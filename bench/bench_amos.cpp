@@ -1,0 +1,121 @@
+// E1 — the amos zero-round randomized decider (paper, section 2.3.1).
+//
+// Reproduces: the decider that accepts at non-selected nodes and accepts
+// with probability p at selected nodes has guarantee min(p, 1 - p^2),
+// maximized at the golden ratio p* = (sqrt(5)-1)/2 ~ 0.618, where the
+// yes-side and no-side error rates balance.
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "decide/amos_decider.h"
+#include "decide/guarantee.h"
+#include "graph/generators.h"
+#include "lang/amos.h"
+#include "stats/threadpool.h"
+#include "util/math.h"
+
+namespace {
+
+using namespace lnc;
+
+local::Instance ring_instance(graph::NodeId n) {
+  return local::make_instance(graph::cycle(n), ident::consecutive(n));
+}
+
+decide::ConfigurationSampler selected_sampler(graph::NodeId n, int count) {
+  return [n, count](std::uint64_t seed) {
+    decide::SampledConfiguration sample{ring_instance(n),
+                                        local::Labeling(n, 0)};
+    // `count` selected nodes spread around the ring; placement varies with
+    // the seed (the decider is placement-blind, this just avoids bias).
+    if (count == 0) return sample;
+    for (int i = 0; i < count; ++i) {
+      const auto pos = static_cast<graph::NodeId>(
+          (seed + static_cast<std::uint64_t>(i) * n /
+                      static_cast<std::uint64_t>(count)) %
+          n);
+      sample.output[pos] = lang::Amos::kSelected;
+    }
+    return sample;
+  };
+}
+
+void print_tables() {
+  bench::print_header(
+      "E1: amos golden-ratio decider", "paper section 2.3.1",
+      "Sweep p: measured Pr[all accept | 1 selected] ~ p, measured\n"
+      "Pr[some reject | 2 selected] ~ 1 - p^2; the guarantee min of both\n"
+      "peaks at p* = (sqrt(5)-1)/2 ~ 0.6180 with value ~ 0.6180.");
+
+  const graph::NodeId n = 24;
+  const stats::ThreadPool pool;
+  util::Table table({"p", "accept|1sel (meas)", "p (theory)",
+                     "reject|2sel (meas)", "1-p^2 (theory)",
+                     "guarantee (meas)", "guarantee (theory)"});
+  const double golden = util::golden_ratio_guarantee();
+  for (double p : {0.30, 0.45, 0.55, 0.60, golden, 0.65, 0.70, 0.80, 0.95}) {
+    const decide::AmosDecider decider(p);
+    decide::GuaranteeOptions options;
+    options.trials = 6000;
+    options.base_seed = static_cast<std::uint64_t>(p * 1e6);
+    options.pool = &pool;
+    const decide::GuaranteeReport report = decide::measure_guarantee(
+        decider, selected_sampler(n, 1), selected_sampler(n, 2), options);
+    const double measured_guarantee =
+        std::min(report.accept_on_yes.p_hat, report.reject_on_no.p_hat);
+    table.new_row()
+        .add_cell(p, 4)
+        .add_cell(report.accept_on_yes.p_hat, 4)
+        .add_cell(p, 4)
+        .add_cell(report.reject_on_no.p_hat, 4)
+        .add_cell(1.0 - p * p, 4)
+        .add_cell(measured_guarantee, 4)
+        .add_cell(util::amos_guarantee(p), 4);
+  }
+  bench::print_table(table);
+
+  // Second table: acceptance by number of selected nodes at the optimum —
+  // the p^s geometric decay the proof of the example computes.
+  util::Table decay({"selected s", "Pr[all accept] (meas)",
+                     "p*^s (theory)"});
+  const decide::AmosDecider optimal;
+  for (int s : {0, 1, 2, 3, 5, 8}) {
+    const auto sampler = selected_sampler(n, s);
+    const stats::Estimate accept = stats::estimate_probability(
+        6000, static_cast<std::uint64_t>(1000 + s),
+        [&](std::uint64_t seed) {
+          const auto sample = sampler(seed);
+          const rand::PhiloxCoins coins(seed, rand::Stream::kDecision);
+          return decide::evaluate(sample.instance, sample.output, optimal,
+                                  coins)
+              .accepted;
+        },
+        &pool);
+    decay.new_row()
+        .add_cell(s)
+        .add_cell(accept.p_hat, 4)
+        .add_cell(std::pow(optimal.p(), s), 4);
+  }
+  bench::print_table(decay);
+}
+
+void BM_AmosDecideRing(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const local::Instance inst = ring_instance(n);
+  local::Labeling output(n, 0);
+  output[0] = lang::Amos::kSelected;
+  const decide::AmosDecider decider;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const rand::PhiloxCoins coins(++seed, rand::Stream::kDecision);
+    benchmark::DoNotOptimize(
+        decide::evaluate(inst, output, decider, coins).accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AmosDecideRing)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+LNC_BENCH_MAIN(print_tables)

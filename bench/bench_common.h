@@ -1,0 +1,39 @@
+// Shared helpers for the experiment binaries: a standard preamble/epilogue
+// and the convention that each binary prints its reproduced tables first,
+// then runs its google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace lnc::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_source,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment << " — " << paper_source << " ===\n"
+            << claim << "\n\n";
+}
+
+inline void print_table(const util::Table& table) {
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+/// Standard main body: tables first, then microbenchmarks.
+#define LNC_BENCH_MAIN(print_tables_fn)                      \
+  int main(int argc, char** argv) {                          \
+    print_tables_fn();                                       \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }
+
+}  // namespace lnc::bench

@@ -1,0 +1,135 @@
+// E12 — substrate validation: throughput of the synchronous engine, ball
+// collection, and ball views at the scales the E-series experiments use,
+// including the thread-pool ablation (parallel node stepping) and the
+// ball-based vs message-passing execution cost comparison.
+#include "bench_common.h"
+
+#include "algo/cole_vishkin.h"
+#include "graph/ball.h"
+#include "graph/generators.h"
+#include "local/ball_collector.h"
+#include "local/engine.h"
+#include "local/runner.h"
+#include "stats/threadpool.h"
+#include "util/logstar.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace lnc;
+
+local::Instance ring_instance(graph::NodeId n) {
+  return local::make_instance(graph::cycle(n), ident::consecutive(n));
+}
+
+void print_tables() {
+  bench::print_header(
+      "E12: simulation substrate throughput", "engine ablation",
+      "Node-rounds per second for the round engine (1 vs pool threads),\n"
+      "plus ball-collection cost — the substrate budget behind E2-E8.");
+
+  util::Table table({"n", "engine 1-thread Mnr/s", "engine pooled Mnr/s",
+                     "collect_balls(r=2) ms"});
+  const stats::ThreadPool pool;
+  for (graph::NodeId n : {1024u, 8192u, 32768u}) {
+    const local::Instance inst = ring_instance(n);
+    const int bits = util::floor_log2(n) + 1;
+
+    util::Timer t1;
+    const local::EngineResult seq = algo::run_cole_vishkin(inst, bits);
+    const double seq_s = t1.elapsed_seconds();
+    const double seq_nr =
+        static_cast<double>(n) * seq.rounds / seq_s / 1e6;
+
+    local::EngineOptions options;
+    options.grant_ring_orientation = true;
+    options.pool = &pool;
+    const algo::ColeVishkinFactory factory(bits);
+    util::Timer t2;
+    const local::EngineResult par = run_engine(inst, factory, options);
+    const double par_s = t2.elapsed_seconds();
+    const double par_nr =
+        static_cast<double>(n) * par.rounds / par_s / 1e6;
+
+    util::Timer t3;
+    const auto tables = local::collect_balls(inst, 2);
+    const double collect_ms = t3.elapsed_millis();
+
+    table.new_row()
+        .add_cell(std::uint64_t{n})
+        .add_cell(seq_nr, 2)
+        .add_cell(par_nr, 2)
+        .add_cell(collect_ms, 1);
+    benchmark::DoNotOptimize(tables);
+    benchmark::DoNotOptimize(par.output);
+  }
+  bench::print_table(table);
+}
+
+void BM_BallView(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto radius = static_cast<int>(state.range(1));
+  const graph::Graph g = graph::cycle(n);
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    const graph::BallView ball(g, v, radius);
+    benchmark::DoNotOptimize(ball.size());
+    v = (v + 1) % n;
+  }
+}
+BENCHMARK(BM_BallView)->Args({1024, 1})->Args({1024, 4})->Args({16384, 4});
+
+void BM_EngineRound(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const local::Instance inst = ring_instance(n);
+  const int bits = util::floor_log2(n) + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::run_cole_vishkin(inst, bits));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRound)->Arg(1024)->Arg(8192);
+
+void BM_CollectBalls(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const local::Instance inst = ring_instance(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::collect_balls(inst, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CollectBalls)->Arg(512)->Arg(4096);
+
+void BM_RunBallAlgorithmParallel(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const local::Instance inst = ring_instance(n);
+  class Rank final : public local::BallAlgorithm {
+   public:
+    std::string name() const override { return "rank"; }
+    int radius() const override { return 2; }
+    local::Label compute(const local::View& view) const override {
+      local::Label rank = 0;
+      for (graph::NodeId i = 1; i < view.ball->size(); ++i) {
+        if (view.identity(i) < view.center_identity()) ++rank;
+      }
+      return rank;
+    }
+  };
+  const Rank algo;
+  const stats::ThreadPool pool;
+  local::RunOptions options;
+  options.pool = state.range(1) != 0 ? &pool : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::run_ball_algorithm(inst, algo, options));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RunBallAlgorithmParallel)
+    ->Args({8192, 0})
+    ->Args({8192, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
+
+}  // namespace
+
+LNC_BENCH_MAIN(print_tables)

@@ -1,0 +1,162 @@
+// E6 + E7 — error boosting by combining hard instances (Claim 3 and
+// Theorem 1's glue).
+//
+// Setup mirrors the proof: C = zero-round uniform 3-coloring (t = 0),
+// L = 1-resilient proper 3-coloring, D = the Corollary-1 decider (t' = 1,
+// p in (2^{-1/1}, 2^{-1/2})). beta is measured on a single hard ring.
+//
+// E6 (Claim 3): on the DISJOINT UNION of nu hard instances,
+//   Pr[D accepts C(G)] <= (1 - beta*p)^nu  — geometric decay in nu.
+// E7 (Theorem 1): on the CONNECTED glue the decay persists, and the glue
+//   preserves the promise: connected, max degree <= 3, biconnected.
+// Both tables also print Eq. (3)'s nu / the nu' formula: how many
+// instances suffice to push acceptance below any target r.
+#include "bench_common.h"
+
+#include "algo/rand_coloring.h"
+#include "core/boost_params.h"
+#include "core/glue.h"
+#include "core/hard_instances.h"
+#include "decide/evaluate.h"
+#include "decide/resilient_decider.h"
+#include "graph/metrics.h"
+#include "graph/planarity.h"
+#include "lang/coloring.h"
+#include "lang/relax.h"
+#include "stats/threadpool.h"
+
+namespace {
+
+using namespace lnc;
+
+struct Setup {
+  lang::ProperColoring base{3};
+  lang::FResilient relaxed{base, 1};
+  algo::UniformRandomColoring coloring{3};
+  decide::ResilientDecider decider{base, 1};
+  stats::ThreadPool pool;
+};
+
+stats::Estimate acceptance(const Setup& setup, const local::Instance& inst,
+                           std::uint64_t tag) {
+  return stats::estimate_probability(
+      1500, tag,
+      [&](std::uint64_t seed) {
+        const rand::PhiloxCoins c_coins(rand::mix_keys(seed, 0xC),
+                                        rand::Stream::kConstruction);
+        const rand::PhiloxCoins d_coins(rand::mix_keys(seed, 0xD),
+                                        rand::Stream::kDecision);
+        const local::Labeling y =
+            local::run_ball_algorithm(inst, setup.coloring, c_coins);
+        return decide::evaluate(inst, y, setup.decider, d_coins).accepted;
+      },
+      &setup.pool);
+}
+
+void print_tables() {
+  bench::print_header(
+      "E6/E7: boosting C's failure by combining hard instances",
+      "Claim 3 and Theorem 1",
+      "Acceptance of D on C(combined instance) decays geometrically with\n"
+      "the number of combined hard instances, in the disjoint union AND in\n"
+      "the connected Theorem-1 glue; the glue preserves the F_k promise.");
+
+  Setup setup;
+  const double p = setup.decider.p();
+
+  // Paper-faithful parameters: diameter floor D = 2*mu*(t+t'), t=0, t'=1.
+  core::BoostParameters params;
+  params.p = p;
+  params.t = 0;
+  params.t_prime = 1;
+  params.r = 0.05;  // example target success probability for C
+
+  // For the DECAY TABLE we use the smallest legal hard rings (n = 6):
+  // larger rings make the per-part acceptance so small that every row
+  // reads 0.0000; E8 uses the full Claim-4 diameter D. beta is measured
+  // on the table's part size (Claim 2 only promises a positive floor).
+  const std::uint64_t min_diameter = 2;
+  const auto single = core::claim2_sequence(1, min_diameter);
+  const stats::Estimate beta_est = core::estimate_beta(
+      single[0], setup.coloring, setup.relaxed, 3000, 7, &setup.pool);
+  params.beta = beta_est.p_hat;
+
+  std::cout << "decider p = " << util::format_double(p, 4)
+            << ", mu = " << params.mu()
+            << ", paper diameter floor D = 2*mu*(t+t') = "
+            << params.min_diameter()
+            << "; decay-table part size n = 6, measured beta = "
+            << util::format_double(params.beta, 4) << " ["
+            << util::format_double(beta_est.ci.lo, 4) << ", "
+            << util::format_double(beta_est.ci.hi, 4) << "]\n"
+            << "Eq. (3) nu for r = 0.05: " << params.nu()
+            << "; nu' (glued) = " << params.nu_prime() << "\n\n";
+
+  util::Table table({"nu", "accept (disjoint)", "(1-beta*p)^nu bound",
+                     "accept (glued)", "glued bound", "glue degree<=3",
+                     "glue biconnected", "glue planar"});
+  for (std::size_t nu : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const auto parts = core::claim2_sequence(nu, min_diameter);
+    const core::GluedInstance uni = core::disjoint_union_instances(parts);
+    const stats::Estimate disjoint_acc =
+        acceptance(setup, uni.instance, 100 + nu);
+
+    std::string glued_acc = "-";
+    std::string degree_ok = "-";
+    std::string biconn = "-";
+    std::string planar = "-";
+    std::string glued_bound = "-";
+    if (nu >= 2) {
+      std::vector<graph::NodeId> anchors(parts.size(), 0);
+      const core::GluedInstance glued = core::theorem1_glue(parts, anchors);
+      const stats::Estimate acc = acceptance(setup, glued.instance, 200 + nu);
+      glued_acc = util::format_double(acc.p_hat, 4);
+      degree_ok = glued.instance.g.max_degree() <= 3 ? "yes" : "NO";
+      biconn = graph::is_biconnected(glued.instance.g) ? "yes" : "NO";
+      planar = graph::is_planar(glued.instance.g) ? "yes" : "NO";
+      glued_bound = util::format_double(params.glued_acceptance_bound(nu), 4);
+    }
+    table.new_row()
+        .add_cell(std::uint64_t{nu})
+        .add_cell(disjoint_acc.p_hat, 4)
+        .add_cell(params.disjoint_acceptance_bound(nu), 4)
+        .add_cell(glued_acc)
+        .add_cell(glued_bound)
+        .add_cell(degree_ok)
+        .add_cell(biconn)
+        .add_cell(planar);
+  }
+  bench::print_table(table);
+}
+
+void BM_GlueConstruction(benchmark::State& state) {
+  const auto nu = static_cast<std::size_t>(state.range(0));
+  const auto parts = core::claim2_sequence(nu, 6);
+  const std::vector<graph::NodeId> anchors(nu, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::theorem1_glue(parts, anchors));
+  }
+}
+BENCHMARK(BM_GlueConstruction)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_BoostedTrial(benchmark::State& state) {
+  Setup setup;
+  const auto parts = core::claim2_sequence(4, 6);
+  const std::vector<graph::NodeId> anchors(4, 0);
+  const core::GluedInstance glued = core::theorem1_glue(parts, anchors);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const rand::PhiloxCoins c_coins(++seed, rand::Stream::kConstruction);
+    const rand::PhiloxCoins d_coins(seed, rand::Stream::kDecision);
+    const local::Labeling y = local::run_ball_algorithm(
+        glued.instance, setup.coloring, c_coins);
+    benchmark::DoNotOptimize(
+        decide::evaluate(glued.instance, y, setup.decider, d_coins)
+            .accepted);
+  }
+}
+BENCHMARK(BM_BoostedTrial);
+
+}  // namespace
+
+LNC_BENCH_MAIN(print_tables)

@@ -1,0 +1,125 @@
+// E11 — distributed Lovász Local Lemma (paper, sections 1.1 and 4).
+//
+// The paper uses the constructive LLL twice: as a task whose relaxed
+// version randomization solves (slack), and as the second f-resilient
+// impossibility example (Corollary 1, via the reduction of LLL to
+// coloring). Measured here:
+//   * Moser-Tardos resampling phases across graph families, inside and
+//     outside the symmetric LLL condition;
+//   * the f-resilient face: order-invariant ring algorithms produce
+//     assignments whose LLL violation count grows with n.
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "algo/moser_tardos.h"
+#include "algo/order_invariant.h"
+#include "core/hard_instances.h"
+#include "graph/generators.h"
+#include "lang/lll.h"
+#include "stats/montecarlo.h"
+
+namespace {
+
+using namespace lnc;
+
+void print_tables() {
+  bench::print_header(
+      "E11: Moser-Tardos for the LLL system; f-resilient LLL on rings",
+      "paper sections 1.1 and 4",
+      "Bad event E_v: all of N[v] agree. Under the symmetric condition\n"
+      "(e*p*(d+1) <= 1) resampling converges in a handful of phases;\n"
+      "outside it, it still converges on small instances but slower. On\n"
+      "consecutive rings, order-invariant algorithms violate ~n events.");
+
+  const lang::LllAvoidance lll;
+  util::Table table({"graph", "n", "LLL condition", "phases (mean)",
+                     "resamplings (mean)", "success"});
+  struct Family {
+    std::string name;
+    local::Instance inst;
+  };
+  std::vector<Family> families;
+  families.push_back({"hypercube d=8",
+                      local::make_instance(graph::hypercube(8),
+                                           ident::random_permutation(256, 1))});
+  families.push_back({"hypercube d=9",
+                      local::make_instance(graph::hypercube(9),
+                                           ident::random_permutation(512, 2))});
+  families.push_back(
+      {"random 6-regular",
+       local::make_instance(graph::random_regular(300, 6, 3),
+                            ident::random_permutation(300, 3))});
+  families.push_back({"ring n=64", core::consecutive_ring(64)});
+  families.push_back(
+      {"grid 16x16",
+       local::make_instance(graph::grid(16, 16),
+                            ident::random_permutation(256, 4))});
+  for (const Family& family : families) {
+    double phase_sum = 0;
+    double resample_sum = 0;
+    bool all_success = true;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+      const rand::PhiloxCoins coins(
+          static_cast<std::uint64_t>(trial) * 31 + 11,
+          rand::Stream::kConstruction);
+      const algo::MoserTardosResult result =
+          algo::run_moser_tardos(family.inst, coins, 100000);
+      phase_sum += result.phases;
+      resample_sum += static_cast<double>(result.total_resamplings);
+      all_success = all_success && result.success &&
+                    lll.contains(family.inst, result.assignment);
+    }
+    table.new_row()
+        .add_cell(family.name)
+        .add_cell(std::uint64_t{family.inst.node_count()})
+        .add_cell(lang::LllAvoidance::lll_condition_holds(family.inst.g)
+                      ? "holds"
+                      : "fails")
+        .add_cell(phase_sum / trials, 1)
+        .add_cell(resample_sum / trials, 1)
+        .add_cell(all_success ? "10/10" : "NOT ALL");
+  }
+  bench::print_table(table);
+
+  // f-resilient LLL impossibility data: sweep all 2^(3!) = 64 binary
+  // 1-round order-invariant ring algorithms; min violated events vs n.
+  util::Table resilient({"n", "algorithms", "min violated events",
+                         "crosses f=10?"});
+  for (graph::NodeId n : {16u, 64u, 256u}) {
+    const local::Instance inst = core::consecutive_ring(n);
+    const auto tables = algo::enumerate_tables(3, 2, 0, 64);
+    std::size_t min_violations = n;
+    for (const auto& t : tables) {
+      const algo::RankPatternRingAlgorithm alg(1, t);
+      const local::Labeling bits = local::run_ball_algorithm(inst, alg);
+      min_violations =
+          std::min(min_violations, lll.count_bad_balls(inst, bits));
+    }
+    resilient.new_row()
+        .add_cell(std::uint64_t{n})
+        .add_cell(std::uint64_t{64})
+        .add_cell(std::uint64_t{min_violations})
+        .add_cell(min_violations > 10 ? "yes" : "NO");
+  }
+  bench::print_table(resilient);
+}
+
+void BM_MoserTardos(benchmark::State& state) {
+  const auto d = static_cast<int>(state.range(0));
+  const auto n = static_cast<graph::NodeId>(1u << d);
+  const local::Instance inst = local::make_instance(
+      graph::hypercube(d), ident::random_permutation(n, 5));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const rand::PhiloxCoins coins(++seed, rand::Stream::kConstruction);
+    benchmark::DoNotOptimize(algo::run_moser_tardos(inst, coins));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MoserTardos)->Arg(6)->Arg(8);
+
+}  // namespace
+
+LNC_BENCH_MAIN(print_tables)

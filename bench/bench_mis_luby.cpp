@@ -1,0 +1,101 @@
+// E10 — the non-constant-time contrast class (paper, section 1.3): MIS
+// and maximal matching need round counts that GROW with n; measured here
+// for Luby's algorithm (O(log n) expected), randomized matching, and the
+// greedy baseline (Theta(n) on consecutive rings).
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "algo/greedy_by_id.h"
+#include "algo/luby_mis.h"
+#include "algo/rand_matching.h"
+#include "core/hard_instances.h"
+#include "graph/generators.h"
+#include "lang/matching.h"
+#include "lang/mis.h"
+#include "stats/montecarlo.h"
+#include "stats/threadpool.h"
+
+namespace {
+
+using namespace lnc;
+
+void print_tables() {
+  bench::print_header(
+      "E10: rounds for MIS and maximal matching", "paper section 1.3",
+      "Luby and randomized matching rounds grow ~ log2(n); greedy grows\n"
+      "~ n. None is constant — the regime where the paper's question\n"
+      "(does randomization buy constant-time?) is answered negatively by\n"
+      "Theorem 1 for BPLD-decidable relaxations.");
+
+  util::Table table({"n", "log2(n)", "Luby rounds (mean)",
+                     "matching rounds (mean)", "greedy rounds",
+                     "Luby valid", "matching valid"});
+  const lang::MaximalIndependentSet mis;
+  const lang::MaximalMatching matching;
+  for (graph::NodeId n : {64u, 256u, 1024u, 4096u}) {
+    const local::Instance inst = local::make_instance(
+        graph::cycle(n), ident::random_permutation(n, n));
+    double luby_sum = 0;
+    double match_sum = 0;
+    bool luby_ok = true;
+    bool match_ok = true;
+    const int trials = 8;
+    for (int trial = 0; trial < trials; ++trial) {
+      const rand::PhiloxCoins coins(
+          static_cast<std::uint64_t>(trial) * 7919 + n,
+          rand::Stream::kConstruction);
+      const local::EngineResult luby = algo::run_luby_mis(inst, coins);
+      luby_sum += luby.rounds;
+      luby_ok = luby_ok && mis.contains(inst, luby.output);
+      const local::EngineResult match = algo::run_rand_matching(inst, coins);
+      match_sum += match.rounds;
+      match_ok = match_ok && matching.contains(inst, match.output);
+    }
+    std::string greedy_rounds = "-";
+    if (n <= 256) {
+      const local::Instance consecutive = core::consecutive_ring(n);
+      greedy_rounds = std::to_string(
+          run_engine(consecutive, algo::GreedyMisFactory{}).rounds);
+    }
+    table.new_row()
+        .add_cell(std::uint64_t{n})
+        .add_cell(std::log2(static_cast<double>(n)), 1)
+        .add_cell(luby_sum / trials, 1)
+        .add_cell(match_sum / trials, 1)
+        .add_cell(greedy_rounds)
+        .add_cell(luby_ok ? "yes" : "NO")
+        .add_cell(match_ok ? "yes" : "NO");
+  }
+  bench::print_table(table);
+}
+
+void BM_LubyMis(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const local::Instance inst = local::make_instance(
+      graph::cycle(n), ident::random_permutation(n, 3));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const rand::PhiloxCoins coins(++seed, rand::Stream::kConstruction);
+    benchmark::DoNotOptimize(algo::run_luby_mis(inst, coins));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LubyMis)->Arg(256)->Arg(2048);
+
+void BM_RandMatching(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const local::Instance inst = local::make_instance(
+      graph::cycle(n), ident::random_permutation(n, 4));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const rand::PhiloxCoins coins(++seed, rand::Stream::kConstruction);
+    benchmark::DoNotOptimize(algo::run_rand_matching(inst, coins));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RandMatching)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+LNC_BENCH_MAIN(print_tables)

@@ -1,0 +1,78 @@
+// resilient_vs_slack: the paper's headline dichotomy on one screen.
+//
+//   $ ./resilient_vs_slack
+//
+// The SAME zero-round Monte-Carlo coloring algorithm:
+//   * solves the eps-slack relaxation of ring 3-coloring with probability
+//     -> 1 (for eps above the 5/9 conflict rate) — randomization HELPS;
+//   * fails the f-resilient relaxation essentially always as n grows —
+//     and Theorem 1 says no other constant-round Monte-Carlo algorithm
+//     can do better, because the f-resilient language is in BPLD (the
+//     Corollary-1 decider) while eps-slack is only in BPLD#node.
+#include <iostream>
+
+#include "algo/rand_coloring.h"
+#include "core/hard_instances.h"
+#include "decide/resilient_decider.h"
+#include "decide/evaluate.h"
+#include "lang/coloring.h"
+#include "lang/relax.h"
+#include "stats/montecarlo.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lnc;
+
+  const lang::ProperColoring base(3);
+  const algo::UniformRandomColoring coloring(3);
+  const double eps = 0.65;      // above the 5/9 threshold
+  const std::size_t faults = 4; // any fixed budget loses eventually
+
+  std::cout << "zero-round uniform 3-coloring vs two relaxations of ring\n"
+            << "3-coloring: slack(eps=0.65) and 4-resilient.\n\n";
+
+  util::Table table({"n", "Pr[slack ok]", "Pr[resilient ok]",
+                     "Pr[decider catches failure]"});
+  for (graph::NodeId n : {20u, 60u, 180u, 540u}) {
+    const local::Instance inst = core::consecutive_ring(n);
+    const lang::EpsSlack slack(base, eps);
+    const lang::FResilient resilient(base, faults);
+    const decide::ResilientDecider decider(base, faults);
+
+    const stats::Estimate slack_ok = stats::estimate_probability(
+        800, n, [&](std::uint64_t seed) {
+          const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
+          return slack.contains(
+              inst, local::run_ball_algorithm(inst, coloring, coins));
+        });
+    const stats::Estimate resilient_ok = stats::estimate_probability(
+        800, n + 1, [&](std::uint64_t seed) {
+          const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
+          return resilient.contains(
+              inst, local::run_ball_algorithm(inst, coloring, coins));
+        });
+    const stats::Estimate caught = stats::estimate_probability(
+        800, n + 2, [&](std::uint64_t seed) {
+          const rand::PhiloxCoins c(rand::mix_keys(seed, 1),
+                                    rand::Stream::kConstruction);
+          const rand::PhiloxCoins d(rand::mix_keys(seed, 2),
+                                    rand::Stream::kDecision);
+          const local::Labeling y =
+              local::run_ball_algorithm(inst, coloring, c);
+          if (resilient.contains(inst, y)) return false;
+          return !decide::evaluate(inst, y, decider, d).accepted;
+        });
+    table.new_row()
+        .add_cell(std::uint64_t{n})
+        .add_cell(slack_ok.p_hat, 4)
+        .add_cell(resilient_ok.p_hat, 4)
+        .add_cell(caught.p_hat, 4);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: the slack column climbs toward 1 with n; the\n"
+         "resilient column collapses to 0; and the BPLD decider keeps\n"
+         "catching the failures — which is exactly the hypothesis\n"
+         "Theorem 1 turns into 'randomization does not help here'.\n";
+  return 0;
+}

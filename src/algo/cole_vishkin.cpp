@@ -1,0 +1,108 @@
+#include "algo/cole_vishkin.h"
+
+#include "util/assert.h"
+
+namespace lnc::algo {
+namespace {
+
+/// Lowest bit position where a and b differ; a != b required.
+int lowest_differing_bit(std::uint64_t a, std::uint64_t b) {
+  LNC_ASSERT(a != b);
+  const std::uint64_t diff = a ^ b;
+  int i = 0;
+  while (((diff >> i) & 1) == 0) ++i;
+  return i;
+}
+
+class ColeVishkinProgram final : public local::NodeProgram {
+ public:
+  explicit ColeVishkinProgram(int reduction_iterations)
+      : reduction_rounds_(reduction_iterations) {}
+
+  bool init(const local::NodeEnv& env) override {
+    LNC_EXPECTS(env.succ_port.has_value() &&
+                "Cole-Vishkin requires ring orientation");
+    LNC_EXPECTS(env.degree == 2);
+    succ_port_ = *env.succ_port;
+    color_ = env.id;
+    return false;
+  }
+
+  local::Message send(int /*round*/) override { return {color_}; }
+
+  bool receive(int round, std::span<const local::Message> inbox) override {
+    if (round <= reduction_rounds_) {
+      const std::uint64_t succ_color = inbox[succ_port_][0];
+      const int i = lowest_differing_bit(color_, succ_color);
+      color_ = static_cast<std::uint64_t>(2 * i) + ((color_ >> i) & 1);
+      return false;
+    }
+    // Shrink rounds: reduction_rounds_+1 removes color 5, then 4, then 3.
+    const auto target =
+        static_cast<std::uint64_t>(5 - (round - reduction_rounds_ - 1));
+    if (color_ == target) {
+      const std::uint64_t a = inbox[0][0];
+      const std::uint64_t b = inbox[1][0];
+      std::uint64_t pick = 0;
+      while (pick == a || pick == b) ++pick;
+      LNC_ASSERT(pick <= 2);
+      color_ = pick;
+    }
+    return target == 3;  // after removing color 3 the palette is {0,1,2}
+  }
+
+  local::Label output() const override { return color_; }
+
+ private:
+  int reduction_rounds_;
+  std::uint32_t succ_port_ = 0;
+  std::uint64_t color_ = 0;
+};
+
+}  // namespace
+
+ColeVishkinFactory::ColeVishkinFactory(int id_bits) : id_bits_(id_bits) {
+  LNC_EXPECTS(id_bits >= 1 && id_bits <= 64);
+}
+
+std::string ColeVishkinFactory::name() const {
+  return "cole-vishkin(b=" + std::to_string(id_bits_) + ")";
+}
+
+int ColeVishkinFactory::reduction_iterations(int id_bits) {
+  // Bit-length evolution: b -> bits(2*(b-1) + 1). The fixed point is 3 bits
+  // (palette {0..7} -> colors 2i+b with i <= 2 -> values <= 5), after which
+  // one more iteration lands inside {0..5} and stays. Count iterations
+  // until the palette is contained in {0..5}.
+  int iterations = 0;
+  std::uint64_t max_color = (id_bits >= 64)
+                                ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << id_bits) - 1;
+  while (max_color > 5) {
+    // Largest achievable next color: 2 * (highest bit index) + 1.
+    int bits = 0;
+    std::uint64_t v = max_color;
+    while (v != 0) {
+      v >>= 1;
+      ++bits;
+    }
+    max_color = static_cast<std::uint64_t>(2 * (bits - 1)) + 1;
+    ++iterations;
+  }
+  return iterations;
+}
+
+std::unique_ptr<local::NodeProgram> ColeVishkinFactory::create() const {
+  return std::make_unique<ColeVishkinProgram>(
+      reduction_iterations(id_bits_));
+}
+
+local::EngineResult run_cole_vishkin(const local::Instance& ring_instance,
+                                     int id_bits) {
+  ColeVishkinFactory factory(id_bits);
+  local::EngineOptions options;
+  options.grant_ring_orientation = true;
+  return run_engine(ring_instance, factory, options);
+}
+
+}  // namespace lnc::algo

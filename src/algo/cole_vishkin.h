@@ -1,0 +1,52 @@
+// Cole-Vishkin 3-coloring of the oriented ring in O(log* n) rounds — the
+// upper bound matching Linial's Omega(log* n) lower bound that the paper
+// leans on (sections 1.1 and 4). Experiment E3 measures the executed round
+// count against log*(n).
+//
+// Phase 1 (bit reduction): colors start as identities; each round a node
+// compares its color with its successor's, finds the lowest differing bit
+// index i, and re-colors to 2*i + bit_i(own). Palette shrinks from B bits
+// to O(log B) per round, reaching {0..5} after ~log* B iterations (every
+// node runs the same iteration count, precomputed from the public identity
+// bit-length bound, so the algorithm stays uniform).
+//
+// Phase 2 (shrink 6 -> 3): three rounds; holders of color 5, then 4, then
+// 3 re-color to the smallest free color in {0, 1, 2} (two ring neighbors
+// block at most two).
+#pragma once
+
+#include "local/engine.h"
+
+namespace lnc::local {
+class NodeProgramFactory;
+}
+
+namespace lnc::algo {
+
+class ColeVishkinFactory final : public local::NodeProgramFactory {
+ public:
+  /// id_bits: a public upper bound on identity bit-length (e.g. the bit
+  /// length of n when identities are a permutation of 1..n). All nodes
+  /// derive the same iteration budget from it.
+  explicit ColeVishkinFactory(int id_bits);
+
+  std::string name() const override;
+  std::unique_ptr<local::NodeProgram> create() const override;
+
+  /// Bit-reduction iterations scheduled for the given bound (the log*-like
+  /// quantity: number of halvings until the palette is within {0..5}).
+  static int reduction_iterations(int id_bits);
+
+  int id_bits() const noexcept { return id_bits_; }
+
+ private:
+  int id_bits_;
+};
+
+/// Convenience driver: runs Cole-Vishkin on the canonical oriented cycle
+/// instance and returns the engine result (colors in {0,1,2} and the exact
+/// round count).
+local::EngineResult run_cole_vishkin(const local::Instance& ring_instance,
+                                     int id_bits);
+
+}  // namespace lnc::algo

@@ -1,0 +1,106 @@
+#include "algo/greedy_by_id.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace lnc::algo {
+namespace {
+
+// Message layout: [decided_flag, value, id]; `value` is the color (or MIS
+// membership) once decided, meaningless before.
+constexpr std::uint64_t kUndecided = 0;
+constexpr std::uint64_t kDecided = 1;
+
+class GreedyProgram : public local::NodeProgram {
+ public:
+  bool init(const local::NodeEnv& env) override {
+    id_ = env.id;
+    degree_ = env.degree;
+    neighbor_decided_.assign(degree_, false);
+    neighbor_value_.assign(degree_, 0);
+    neighbor_id_.assign(degree_, 0);
+    return false;
+  }
+
+  local::Message send(int /*round*/) override {
+    return {decided_ ? kDecided : kUndecided, value_, id_};
+  }
+
+  bool receive(int /*round*/, std::span<const local::Message> inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      neighbor_decided_[p] = inbox[p][0] == kDecided;
+      neighbor_value_[p] = inbox[p][1];
+      neighbor_id_[p] = inbox[p][2];
+    }
+    if (decided_) return true;  // one extra round to broadcast the decision
+    bool local_min = true;
+    for (std::size_t p = 0; p < degree_; ++p) {
+      if (!neighbor_decided_[p] && neighbor_id_[p] < id_) {
+        local_min = false;
+        break;
+      }
+    }
+    if (local_min) {
+      value_ = decide();
+      decided_ = true;
+    }
+    return false;  // stay one more round so neighbors observe the decision
+  }
+
+  local::Label output() const override { return value_; }
+
+ protected:
+  /// The greedy decision given the decided neighbors' values.
+  virtual std::uint64_t decide() const = 0;
+
+  std::uint64_t id_ = 0;
+  std::size_t degree_ = 0;
+  bool decided_ = false;
+  std::uint64_t value_ = 0;
+  std::vector<bool> neighbor_decided_;
+  std::vector<std::uint64_t> neighbor_value_;
+  std::vector<std::uint64_t> neighbor_id_;
+};
+
+class GreedyColoringProgram final : public GreedyProgram {
+ protected:
+  std::uint64_t decide() const override {
+    // Smallest color not used by a decided neighbor (mex); at most degree
+    // neighbors block, so the result is <= degree <= Delta.
+    std::vector<std::uint64_t> used;
+    for (std::size_t p = 0; p < degree_; ++p) {
+      if (neighbor_decided_[p]) used.push_back(neighbor_value_[p]);
+    }
+    std::sort(used.begin(), used.end());
+    std::uint64_t color = 0;
+    for (std::uint64_t u : used) {
+      if (u == color) ++color;
+      else if (u > color) break;
+    }
+    return color;
+  }
+};
+
+class GreedyMisProgram final : public GreedyProgram {
+ protected:
+  std::uint64_t decide() const override {
+    for (std::size_t p = 0; p < degree_; ++p) {
+      if (neighbor_decided_[p] && neighbor_value_[p] == 1) return 0;
+    }
+    return 1;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<local::NodeProgram> GreedyColoringFactory::create() const {
+  return std::make_unique<GreedyColoringProgram>();
+}
+
+std::unique_ptr<local::NodeProgram> GreedyMisFactory::create() const {
+  return std::make_unique<GreedyMisProgram>();
+}
+
+}  // namespace lnc::algo

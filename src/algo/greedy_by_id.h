@@ -1,0 +1,28 @@
+// Sequential-greedy simulations: local-minimum-first scheduling. A node
+// decides once its identity is smaller than every undecided neighbor's.
+// Correct on every graph, but the schedule chains: on the consecutive-
+// identity ring the running time is Theta(n) — the baseline that makes the
+// log*(n) of Cole-Vishkin and the 0 rounds of the random coloring visible
+// in experiment E3.
+#pragma once
+
+#include "local/engine.h"
+
+namespace lnc::algo {
+
+/// Greedy (Delta+1)-coloring: a deciding node takes the smallest color
+/// unused by its already-decided neighbors.
+class GreedyColoringFactory final : public local::NodeProgramFactory {
+ public:
+  std::string name() const override { return "greedy-coloring-by-id"; }
+  std::unique_ptr<local::NodeProgram> create() const override;
+};
+
+/// Greedy MIS: a deciding node joins iff no already-decided neighbor is in.
+class GreedyMisFactory final : public local::NodeProgramFactory {
+ public:
+  std::string name() const override { return "greedy-mis-by-id"; }
+  std::unique_ptr<local::NodeProgram> create() const override;
+};
+
+}  // namespace lnc::algo

@@ -1,0 +1,92 @@
+#include "algo/luby_mis.h"
+
+#include "util/assert.h"
+
+namespace lnc::algo {
+namespace {
+
+enum Status : std::uint64_t { kUndecided = 0, kIn = 1, kOut = 2 };
+
+// Odd rounds exchange draws: [status, draw, id].
+// Even rounds exchange join decisions: [status, joining].
+class LubyProgram final : public local::NodeProgram {
+ public:
+  bool init(const local::NodeEnv& env) override {
+    LNC_EXPECTS(env.rng != nullptr && "Luby's MIS is randomized");
+    rng_ = env.rng;
+    id_ = env.id;
+    if (env.degree == 0) {
+      status_ = kIn;  // isolated nodes join immediately
+      return true;
+    }
+    return false;
+  }
+
+  local::Message send(int round) override {
+    if (round % 2 == 1) {
+      if (status_ == kUndecided) draw_ = rng_->next_u64();
+      return {status_, draw_, id_};
+    }
+    return {status_, joining_ ? std::uint64_t{1} : std::uint64_t{0}};
+  }
+
+  bool receive(int round, std::span<const local::Message> inbox) override {
+    if (status_ != kUndecided) return true;
+    if (round % 2 == 1) {
+      joining_ = true;
+      for (const local::Message& msg : inbox) {
+        if (msg[0] != kUndecided) continue;
+        const std::uint64_t their_draw = msg[1];
+        const std::uint64_t their_id = msg[2];
+        if (their_draw > draw_ ||
+            (their_draw == draw_ && their_id > id_)) {
+          joining_ = false;
+          break;
+        }
+      }
+      return false;
+    }
+    if (joining_) {
+      status_ = kIn;
+      return false;  // broadcast kIn next round, then halt
+    }
+    for (const local::Message& msg : inbox) {
+      if (msg[0] == kUndecided && msg[1] == 1) {
+        status_ = kOut;
+        return false;  // a neighbor joined this phase
+      }
+      if (msg[0] == kIn) {
+        status_ = kOut;
+        return false;  // a neighbor joined in an earlier phase
+      }
+    }
+    return false;
+  }
+
+  local::Label output() const override { return status_ == kIn ? 1 : 0; }
+
+ private:
+  rand::NodeRng* rng_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t draw_ = 0;
+  bool joining_ = false;
+  Status status_ = kUndecided;
+};
+
+}  // namespace
+
+std::unique_ptr<local::NodeProgram> LubyMisFactory::create() const {
+  return std::make_unique<LubyProgram>();
+}
+
+local::EngineResult run_luby_mis(const local::Instance& inst,
+                                 const rand::CoinProvider& coins,
+                                 const stats::ThreadPool* pool) {
+  LubyMisFactory factory;
+  local::EngineOptions options;
+  options.coins = &coins;
+  options.pool = pool;
+  return run_engine(inst, factory, options);
+}
+
+}  // namespace lnc::algo

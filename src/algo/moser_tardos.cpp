@@ -1,0 +1,97 @@
+#include "algo/moser_tardos.h"
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace lnc::algo {
+
+bool lll_event_violated(const graph::Graph& g, graph::NodeId v,
+                        const local::Labeling& bits) {
+  const auto nbrs = g.neighbors(v);
+  if (nbrs.empty()) return false;
+  for (graph::NodeId w : nbrs) {
+    if (bits[w] != bits[v]) return false;
+  }
+  return true;
+}
+
+MoserTardosResult run_moser_tardos(const local::Instance& inst,
+                                   const rand::CoinProvider& coins,
+                                   int max_phases) {
+  inst.validate();
+  const graph::NodeId n = inst.node_count();
+  MoserTardosResult result;
+
+  // Per-node draw counters: each node owns its variable and resamples it
+  // with its own private coins (identity-keyed, like every algorithm here).
+  std::vector<rand::NodeRng> rngs;
+  rngs.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v) rngs.emplace_back(coins, inst.ids[v]);
+
+  result.assignment.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    result.assignment[v] = rngs[v].next_below(2);
+  }
+
+  std::vector<char> bad(n, 0);
+  std::vector<char> winner(n, 0);
+  for (result.phases = 0; result.phases < max_phases; ++result.phases) {
+    // (1) Detect violated events.
+    bool any_bad = false;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      bad[v] = lll_event_violated(inst.g, v, result.assignment) ? 1 : 0;
+      any_bad = any_bad || bad[v] != 0;
+    }
+    if (!any_bad) {
+      result.success = true;
+      return result;
+    }
+
+    // (2) Elect winners: bad nodes whose identity is minimal among bad
+    // nodes within distance 2 (information available after two more
+    // exchange rounds in the message-passing rendition).
+    for (graph::NodeId v = 0; v < n; ++v) {
+      winner[v] = 0;
+      if (bad[v] == 0) continue;
+      bool minimal = true;
+      const ident::Identity my_id = inst.ids[v];
+      for (graph::NodeId u : inst.g.neighbors(v)) {
+        if (bad[u] != 0 && inst.ids[u] < my_id) {
+          minimal = false;
+          break;
+        }
+        if (!minimal) break;
+        for (graph::NodeId w : inst.g.neighbors(u)) {
+          if (w != v && bad[w] != 0 && inst.ids[w] < my_id) {
+            minimal = false;
+            break;
+          }
+        }
+        if (!minimal) break;
+      }
+      winner[v] = minimal ? 1 : 0;
+    }
+
+    // (3) Winners' closed neighborhoods resample. Winners are pairwise at
+    // distance >= 3, so the resample sets are disjoint and each variable
+    // is redrawn at most once per phase.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (winner[v] == 0) continue;
+      ++result.total_resamplings;
+      result.assignment[v] = rngs[v].next_below(2);
+      for (graph::NodeId u : inst.g.neighbors(v)) {
+        result.assignment[u] = rngs[u].next_below(2);
+      }
+    }
+  }
+
+  result.success = false;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (lll_event_violated(inst.g, v, result.assignment)) return result;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace lnc::algo

@@ -1,0 +1,42 @@
+// Distributed Moser-Tardos resampling for the LLL system of lang/lll.h
+// (the paper cites Chung-Pettie-Su [6] for distributed LLL; section 4 uses
+// the LLL relaxation as the second f-resilience example).
+//
+// Each phase:
+//   1. detect bad events (one exchange of bits),
+//   2. elect an independent set of violated events — a bad node wins when
+//      its identity is minimal among bad nodes within distance 2 (two
+//      events share variables iff their centers are within distance 2),
+//   3. every winner's closed neighborhood resamples its variables.
+//
+// One phase corresponds to four LOCAL rounds (bit exchange, badness
+// exchange, badness forwarding, resample command). The driver below runs
+// phases at the graph level — equivalent information flow, with a global
+// termination test that a real network would implement by a termination-
+// detection wrapper; the measured quantity (phases until satisfied,
+// experiment E11) is unaffected.
+#pragma once
+
+#include "local/instance.h"
+#include "rand/coins.h"
+
+namespace lnc::algo {
+
+struct MoserTardosResult {
+  local::Labeling assignment;  ///< final bits (may still violate if !success)
+  int phases = 0;              ///< resampling phases executed
+  bool success = false;        ///< true when no bad event remains
+  std::size_t total_resamplings = 0;  ///< events resampled across phases
+};
+
+/// Runs distributed Moser-Tardos. Deterministic in (inst, coins).
+MoserTardosResult run_moser_tardos(const local::Instance& inst,
+                                   const rand::CoinProvider& coins,
+                                   int max_phases = 10000);
+
+/// The bad-event predicate of lang/lll.h evaluated directly on bits:
+/// true iff v has >= 1 neighbor and all of N[v] carry the same bit.
+bool lll_event_violated(const graph::Graph& g, graph::NodeId v,
+                        const local::Labeling& bits);
+
+}  // namespace lnc::algo

@@ -1,0 +1,122 @@
+#include "algo/order_invariant.h"
+
+#include <algorithm>
+
+#include "ident/order.h"
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace lnc::algo {
+
+OrderInvariantWrapper::OrderInvariantWrapper(const local::BallAlgorithm& inner)
+    : inner_(&inner) {}
+
+std::string OrderInvariantWrapper::name() const {
+  return "order-invariant(" + inner_->name() + ")";
+}
+
+int OrderInvariantWrapper::radius() const { return inner_->radius(); }
+
+local::Label OrderInvariantWrapper::compute(const local::View& view) const {
+  // Collect the true identities of the ball members (respecting any outer
+  // override so wrappers compose), canonicalize to ranks, re-run inner.
+  const graph::NodeId size = view.ball->size();
+  std::vector<ident::Identity> member_ids(size);
+  for (graph::NodeId local = 0; local < size; ++local) {
+    member_ids[local] = view.identity(local);
+  }
+  const std::vector<ident::Identity> canonical =
+      ident::canonical_ranks(member_ids);
+  local::View shadowed = view;
+  shadowed.id_override = &canonical;
+  return inner_->compute(shadowed);
+}
+
+std::uint64_t pattern_count(int window) {
+  LNC_EXPECTS(window >= 1 && window <= 20);
+  std::uint64_t f = 1;
+  for (int i = 2; i <= window; ++i) f *= static_cast<std::uint64_t>(i);
+  return f;
+}
+
+std::uint64_t pattern_index(std::span<const ident::Identity> values) {
+  // Lehmer code: digit i counts later values smaller than values[i].
+  const std::size_t w = values.size();
+  LNC_EXPECTS(w >= 1 && w <= 20);
+  std::uint64_t index = 0;
+  for (std::size_t i = 0; i < w; ++i) {
+    std::uint64_t smaller_later = 0;
+    for (std::size_t j = i + 1; j < w; ++j) {
+      if (values[j] < values[i]) ++smaller_later;
+    }
+    index = index * (w - i) + smaller_later;
+  }
+  return index;
+}
+
+RankPatternRingAlgorithm::RankPatternRingAlgorithm(
+    int radius, std::vector<local::Label> table)
+    : radius_(radius), table_(std::move(table)) {
+  LNC_EXPECTS(radius >= 0);
+  LNC_EXPECTS(table_.size() == pattern_count(2 * radius + 1));
+}
+
+std::string RankPatternRingAlgorithm::name() const {
+  return "rank-pattern-ring(t=" + std::to_string(radius_) + ")";
+}
+
+std::vector<ident::Identity> RankPatternRingAlgorithm::ring_window(
+    const local::View& view) {
+  // Reconstruct (v-t, ..., v+t) in ring order from original indices: on the
+  // canonical cycle, successor(v) = (v+1) mod n. The ball of radius t on a
+  // cycle with n > 2t contains exactly those nodes.
+  const graph::BallView& ball = *view.ball;
+  const local::Instance& inst = *view.instance;
+  const graph::NodeId n = inst.g.node_count();
+  const int t = ball.radius();
+  const graph::NodeId center = ball.to_original(0);
+  LNC_EXPECTS(ball.size() == static_cast<graph::NodeId>(2 * t + 1));
+
+  // local index of each original node in the ball
+  std::vector<ident::Identity> window(
+      static_cast<std::size_t>(2 * t + 1), 0);
+  for (graph::NodeId local = 0; local < ball.size(); ++local) {
+    const graph::NodeId orig = ball.to_original(local);
+    // Signed offset of orig relative to center along the ring, in [-t, t].
+    const graph::NodeId forward = (orig + n - center) % n;
+    const int offset = forward <= static_cast<graph::NodeId>(t)
+                           ? static_cast<int>(forward)
+                           : static_cast<int>(forward) - static_cast<int>(n);
+    LNC_ASSERT(offset >= -t && offset <= t);
+    window[static_cast<std::size_t>(offset + t)] = view.identity(local);
+  }
+  return window;
+}
+
+local::Label RankPatternRingAlgorithm::compute(const local::View& view) const {
+  const std::vector<ident::Identity> window = ring_window(view);
+  return table_[pattern_index(window)];
+}
+
+std::vector<std::vector<local::Label>> enumerate_tables(int window,
+                                                        int palette,
+                                                        std::uint64_t first,
+                                                        std::uint64_t limit) {
+  const std::uint64_t entries = pattern_count(window);
+  const std::uint64_t total = util::saturating_pow(
+      static_cast<std::uint64_t>(palette), entries);
+  std::vector<std::vector<local::Label>> tables;
+  for (std::uint64_t index = first; index < total && tables.size() < limit;
+       ++index) {
+    std::vector<local::Label> table(entries);
+    std::uint64_t rest = index;
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      table[e] = rest % static_cast<std::uint64_t>(palette);
+      rest /= static_cast<std::uint64_t>(palette);
+    }
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+}  // namespace lnc::algo

@@ -1,0 +1,80 @@
+// Order-invariant algorithms (paper, section 2.1.1 and Claim 1).
+//
+// An algorithm is order-invariant when its output depends only on the
+// RELATIVE ORDER of the identities in the node's view. Claim 1 (Appendix
+// A, via Ramsey's theorem) shows every t-round algorithm under promise F_k
+// can be replaced by an order-invariant one; the canonical direction is
+// trivial and constructive: replace each identity in the ball by its rank.
+// OrderInvariantWrapper implements exactly that A -> A' transformation.
+//
+// RankPatternRingAlgorithm is the *complete parameterization* of t-round
+// order-invariant algorithms on oriented rings: the output can only be a
+// function of the rank pattern of the 2t+1 identities seen along the ring,
+// so a lookup table from pattern (Lehmer index) to color enumerates every
+// such algorithm. Experiment E5 sweeps all of them to reproduce the
+// Corollary-1 argument: on a consecutive-identity ring every one of them
+// outputs the same color at >= n - (2t-1)... >= n - 2t nodes, so none is
+// f-resilient for any fixed f.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "local/runner.h"
+
+namespace lnc::algo {
+
+/// A -> A': runs `inner` with identities replaced by their in-ball ranks
+/// (1-based), making the composite order-invariant by construction.
+class OrderInvariantWrapper final : public local::BallAlgorithm {
+ public:
+  explicit OrderInvariantWrapper(const local::BallAlgorithm& inner);
+
+  std::string name() const override;
+  int radius() const override;
+  local::Label compute(const local::View& view) const override;
+
+ private:
+  const local::BallAlgorithm* inner_;
+};
+
+/// Number of rank patterns of w distinct values: w!.
+std::uint64_t pattern_count(int window);
+
+/// Lehmer index in [0, w!) of the rank pattern of `values` (distinct).
+std::uint64_t pattern_index(std::span<const ident::Identity> values);
+
+/// A t-round algorithm on the canonical oriented ring: reads the window
+/// (v-t, ..., v, ..., v+t) in ring order, looks the window's rank pattern
+/// up in `table`, and outputs table[pattern]. Every t-round order-invariant
+/// ring algorithm with outputs in [0, palette) equals one such table.
+class RankPatternRingAlgorithm final : public local::BallAlgorithm {
+ public:
+  /// table.size() must equal pattern_count(2*radius + 1).
+  RankPatternRingAlgorithm(int radius, std::vector<local::Label> table);
+
+  std::string name() const override;
+  int radius() const override { return radius_; }
+  local::Label compute(const local::View& view) const override;
+
+  /// The window of identities in ring order around the center, using the
+  /// ring's orientation (original indices give the sense of direction; the
+  /// Linial bound holds even with that power, see paper section 1.3).
+  static std::vector<ident::Identity> ring_window(const local::View& view);
+
+ private:
+  int radius_;
+  std::vector<local::Label> table_;
+};
+
+/// All q^(w!) tables for window w = 2t+1 truncated to `limit` entries of an
+/// enumeration (the full space is astronomically large for t >= 2; for
+/// t = 1 and q = 3 it is 3^6 = 729 and enumerable exhaustively).
+/// Enumerates tables in base-q counting order starting at index `first`.
+std::vector<std::vector<local::Label>> enumerate_tables(int window,
+                                                        int palette,
+                                                        std::uint64_t first,
+                                                        std::uint64_t limit);
+
+}  // namespace lnc::algo

@@ -1,0 +1,138 @@
+#include "algo/rand_matching.h"
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace lnc::algo {
+namespace {
+
+// Each phase is two engine rounds. At the start of a phase every unmatched
+// node flips a role coin: PROPOSER or LISTENER. Proposers aim at one random
+// available neighbor; listeners accept the best proposal addressed to them
+// (highest draw, ties by identity). A proposer matches exactly when its
+// target accepted it, and the target matches it symmetrically — roles make
+// the "accepted while also being accepted elsewhere" race impossible.
+//
+// Message layouts ([0] is always the matched flag):
+//   odd rounds  : [matched, role, proposal_target_id, draw, id]
+//   even rounds : [matched, accepted_proposer_id]
+constexpr std::uint64_t kRoleListener = 0;
+constexpr std::uint64_t kRoleProposer = 1;
+
+class MatchingProgram final : public local::NodeProgram {
+ public:
+  bool init(const local::NodeEnv& env) override {
+    LNC_EXPECTS(env.rng != nullptr && "randomized matching needs coins");
+    rng_ = env.rng;
+    id_ = env.id;
+    degree_ = env.degree;
+    neighbor_available_.assign(degree_, true);
+    neighbor_id_.assign(degree_, 0);
+    return degree_ == 0;  // isolated nodes stay unmatched forever
+  }
+
+  local::Message send(int round) override {
+    if (matched_) return {1, mate_id_, 0, 0, 0};
+    if (round % 2 == 1) {
+      role_ = rng_->bernoulli(0.5) ? kRoleProposer : kRoleListener;
+      proposal_target_ = role_ == kRoleProposer ? pick_target() : 0;
+      draw_ = rng_->next_u64();
+      return {0, role_, proposal_target_, draw_, id_};
+    }
+    return {0, accepted_proposer_};
+  }
+
+  bool receive(int round, std::span<const local::Message> inbox) override {
+    if (matched_) return true;  // the match was broadcast last round
+    if (round % 2 == 1) {
+      accepted_proposer_ = 0;
+      std::uint64_t best_draw = 0;
+      for (std::size_t p = 0; p < inbox.size(); ++p) {
+        const auto& msg = inbox[p];
+        neighbor_available_[p] = msg[0] == 0;
+        if (msg[0] != 0) continue;
+        neighbor_id_[p] = msg[4];
+        ids_known_ = true;
+        if (role_ == kRoleListener && msg[1] == kRoleProposer &&
+            msg[2] == id_) {
+          const std::uint64_t their_draw = msg[3];
+          const std::uint64_t their_id = msg[4];
+          if (accepted_proposer_ == 0 || their_draw > best_draw ||
+              (their_draw == best_draw && their_id > accepted_proposer_)) {
+            accepted_proposer_ = their_id;
+            best_draw = their_draw;
+          }
+        }
+      }
+      return false;
+    }
+    // Accept round.
+    if (role_ == kRoleProposer && proposal_target_ != 0) {
+      for (const auto& msg : inbox) {
+        if (msg[0] == 0 && msg[1] == id_) {
+          // Only our proposal target could have accepted us.
+          matched_ = true;
+          mate_id_ = proposal_target_;
+          return false;  // broadcast [1, mate] next round, then halt
+        }
+      }
+    } else if (role_ == kRoleListener && accepted_proposer_ != 0) {
+      matched_ = true;
+      mate_id_ = accepted_proposer_;
+      return false;
+    }
+    // Unmatched: halt once no neighbor is available (maximality reached).
+    for (std::size_t p = 0; p < degree_; ++p) {
+      if (neighbor_available_[p]) return false;
+    }
+    return true;
+  }
+
+  local::Label output() const override { return matched_ ? mate_id_ : 0; }
+
+ private:
+  /// Uniform random available neighbor's identity (0 when none, and in the
+  /// very first phase while neighbor identities are still unknown).
+  std::uint64_t pick_target() {
+    if (!ids_known_) return 0;
+    std::vector<std::uint64_t> candidates;
+    candidates.reserve(degree_);
+    for (std::size_t p = 0; p < degree_; ++p) {
+      if (neighbor_available_[p]) candidates.push_back(neighbor_id_[p]);
+    }
+    if (candidates.empty()) return 0;
+    return candidates[rng_->next_below(candidates.size())];
+  }
+
+  rand::NodeRng* rng_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::size_t degree_ = 0;
+  bool ids_known_ = false;
+  bool matched_ = false;
+  std::uint64_t role_ = kRoleListener;
+  std::uint64_t mate_id_ = 0;
+  std::uint64_t proposal_target_ = 0;
+  std::uint64_t accepted_proposer_ = 0;
+  std::uint64_t draw_ = 0;
+  std::vector<bool> neighbor_available_;
+  std::vector<std::uint64_t> neighbor_id_;
+};
+
+}  // namespace
+
+std::unique_ptr<local::NodeProgram> RandMatchingFactory::create() const {
+  return std::make_unique<MatchingProgram>();
+}
+
+local::EngineResult run_rand_matching(const local::Instance& inst,
+                                      const rand::CoinProvider& coins,
+                                      const stats::ThreadPool* pool) {
+  RandMatchingFactory factory;
+  local::EngineOptions options;
+  options.coins = &coins;
+  options.pool = pool;
+  return run_engine(inst, factory, options);
+}
+
+}  // namespace lnc::algo

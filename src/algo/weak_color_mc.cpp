@@ -1,0 +1,68 @@
+#include "algo/weak_color_mc.h"
+
+#include "util/assert.h"
+
+namespace lnc::algo {
+namespace {
+
+class WeakColorProgram final : public local::NodeProgram {
+ public:
+  explicit WeakColorProgram(int fixup_rounds) : total_rounds_(fixup_rounds + 1) {}
+
+  bool init(const local::NodeEnv& env) override {
+    LNC_EXPECTS(env.rng != nullptr);
+    rng_ = env.rng;
+    bit_ = rng_->next_below(2);
+    if (env.degree == 0) return true;  // isolated nodes are unconstrained
+    return false;
+  }
+
+  local::Message send(int /*round*/) override { return {bit_}; }
+
+  bool receive(int round, std::span<const local::Message> inbox) override {
+    bool all_agree = true;
+    for (const local::Message& msg : inbox) {
+      if (msg[0] != bit_) {
+        all_agree = false;
+        break;
+      }
+    }
+    if (all_agree && round < total_rounds_) {
+      bit_ = rng_->next_below(2);  // resample; maybe the flip helps
+    }
+    return round >= total_rounds_;
+  }
+
+  local::Label output() const override { return bit_; }
+
+ private:
+  int total_rounds_;
+  rand::NodeRng* rng_ = nullptr;
+  std::uint64_t bit_ = 0;
+};
+
+}  // namespace
+
+WeakColorMcFactory::WeakColorMcFactory(int fixup_rounds)
+    : fixup_rounds_(fixup_rounds) {
+  LNC_EXPECTS(fixup_rounds >= 0);
+}
+
+std::string WeakColorMcFactory::name() const {
+  return "weak-color-mc(R=" + std::to_string(fixup_rounds_) + ")";
+}
+
+std::unique_ptr<local::NodeProgram> WeakColorMcFactory::create() const {
+  return std::make_unique<WeakColorProgram>(fixup_rounds_);
+}
+
+local::EngineResult run_weak_color_mc(const local::Instance& inst,
+                                      const rand::CoinProvider& coins,
+                                      int fixup_rounds) {
+  WeakColorMcFactory factory(fixup_rounds);
+  local::EngineOptions options;
+  options.coins = &coins;
+  return run_engine(inst, factory, options);
+}
+
+}  // namespace lnc::algo

@@ -1,0 +1,36 @@
+// Monte-Carlo weak 2-coloring in a CONSTANT number of rounds.
+//
+// Weak coloring is the paper's example (after Naor-Stockmeyer) of a task
+// both constructible and decidable in constant time (section 2.2.2). Here
+// we give the natural constant-round Monte-Carlo construction: start from
+// a uniform bit; for R fix-up rounds, any node whose entire neighborhood
+// agrees with it resamples its bit. For bounded degree the per-node
+// failure probability decays geometrically in R, so the algorithm has
+// success probability r(R) < 1 — exactly the "randomized Monte-Carlo
+// construction algorithm for a language in LD" premise of the original
+// derandomization theorem, and a second construction algorithm for the
+// Theorem-1 experiments besides the uniform coloring.
+#pragma once
+
+#include "local/engine.h"
+
+namespace lnc::algo {
+
+class WeakColorMcFactory final : public local::NodeProgramFactory {
+ public:
+  /// fixup_rounds R >= 0: total engine rounds are R + 1 (one round to see
+  /// the initial bits, R resampling rounds).
+  explicit WeakColorMcFactory(int fixup_rounds);
+
+  std::string name() const override;
+  std::unique_ptr<local::NodeProgram> create() const override;
+
+ private:
+  int fixup_rounds_;
+};
+
+local::EngineResult run_weak_color_mc(const local::Instance& inst,
+                                      const rand::CoinProvider& coins,
+                                      int fixup_rounds);
+
+}  // namespace lnc::algo

@@ -1,0 +1,90 @@
+// The explicit constants of Theorem 1's proof.
+//
+//   beta = 1/N            N = number of order-invariant t-round algorithms
+//                         under promise F_k (Claim 2's failure floor)
+//   nu   = 1 + ceil( ln(r p) / ln(1 - beta p) )                  (Eq. 3)
+//   mu   = ceil( 1 / (2p - 1) )
+//   D    = 2 mu (t + t')
+//   nu'  = 1 + ceil( ln(r p) / ln( (1 - beta (1-p)/mu) / p ) )
+//
+// r = success probability of the construction algorithm C, p = guarantee
+// of the decision algorithm D, t/t' their running times. The experiments
+// estimate beta empirically (the true N is astronomical) and check that
+// the measured boosted acceptance decays at least as fast as the formulas
+// predict (E6-E8).
+#pragma once
+
+#include <cstdint>
+
+namespace lnc::core {
+
+struct BoostParameters {
+  double r = 0.0;     ///< construction success probability
+  double p = 0.0;     ///< decider guarantee (> 1/2)
+  double beta = 0.0;  ///< per-instance failure floor (Claim 2)
+  int t = 0;          ///< rounds of C
+  int t_prime = 0;    ///< rounds of D
+
+  /// nu of Eq. (3): enough disjoint hard instances that
+  /// (1 - beta p)^nu / p < r.
+  std::uint64_t nu() const;
+
+  /// mu = ceil(1/(2p-1)): the size of the scattered set S in Claim 4.
+  std::uint64_t mu() const;
+
+  /// Minimum hard-instance diameter D = 2 mu (t + t').
+  std::uint64_t min_diameter() const;
+
+  /// nu' for the connected (glued) construction: enough instances that
+  /// (1/p) (1 - beta (1-p)/mu)^{nu'} < r.
+  std::uint64_t nu_prime() const;
+
+  /// The Claim-3 acceptance ceiling (1 - beta p)^k for k glued instances.
+  double disjoint_acceptance_bound(std::uint64_t instances) const;
+
+  /// The Theorem-1 ceiling (1/p) (1 - beta(1-p)/mu)^k.
+  double glued_acceptance_bound(std::uint64_t instances) const;
+
+  /// Validates 1/2 < p <= 1, 0 < r <= 1, 0 < beta <= 1, t, t' >= 0.
+  bool valid() const noexcept;
+};
+
+/// The counting bound behind beta = 1/N for the ring family: a t-round
+/// order-invariant algorithm on an oriented ring with palette q is a table
+/// over the (2t+1)! rank patterns, so N = q^((2t+1)!). Returns N saturated
+/// to UINT64_MAX (it overflows immediately for t >= 2 — the point being
+/// that beta is tiny but POSITIVE and constant in n).
+std::uint64_t order_invariant_algorithm_count_ring(int t, int palette);
+
+/// Claim 4's pigeonhole: mu (2p - 1) > 1 must hold by construction.
+bool mu_pigeonhole_holds(double p);
+
+// ---------------------------------------------------------------------
+// The appendix's finite censuses behind beta = 1/N, for t = 1 on general
+// F_k graphs. Under the paper's ball definition, radius-1 balls are stars
+// K_{1,d} (edges between two distance-1 nodes are excluded), so the
+// counting is exact:
+//
+//   labels: binary strings of length <= k  ->  2^{k+1} - 1 values;
+//   a labeled ball: center (input, output) pair + a multiset of d leaf
+//   (input, output) pairs, d <= k;
+//   ordered balls (Appendix A): each labeled ball contributes n_i! = (d+1)!
+//   identity orderings.
+//
+// All results saturate at UINT64_MAX; saturation itself is the point the
+// paper needs — N is finite and independent of n, so beta = 1/N > 0.
+
+/// Number of distinct <=k-bit label values: 2^{k+1} - 1.
+std::uint64_t label_value_count(int k);
+
+/// Number of structurally distinct radius-1 balls in F_k (stars): k + 1.
+std::uint64_t radius1_ball_shape_count(int k);
+
+/// Number of input-output-labeled radius-1 balls up to isomorphism.
+std::uint64_t labeled_radius1_ball_count(int k);
+
+/// The appendix's N for t = 1: sum over labeled balls of (nodes)!
+/// orderings — the domain size of an order-invariant algorithm table.
+std::uint64_t ordered_labeled_radius1_ball_count(int k);
+
+}  // namespace lnc::core

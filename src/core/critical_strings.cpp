@@ -1,0 +1,146 @@
+#include "core/critical_strings.h"
+
+#include <algorithm>
+
+#include "graph/metrics.h"
+#include "rand/coins.h"
+#include "util/assert.h"
+
+namespace lnc::core {
+
+local::Labeling run_fixed_construction(
+    const local::Instance& inst, const local::RandomizedBallAlgorithm& algo,
+    std::uint64_t sigma) {
+  const rand::PhiloxCoins coins(sigma, rand::Stream::kConstruction);
+  return local::run_ball_algorithm(inst, algo, coins);
+}
+
+bool Claim4Report::exists_below_p() const {
+  return std::any_of(far_accept.begin(), far_accept.end(),
+                     [this](const stats::Estimate& e) { return e.p_hat < p; });
+}
+
+Claim4Report verify_claim4(const local::Instance& inst,
+                           std::span<const local::Label> fixed_output,
+                           const decide::RandomizedDecider& decider,
+                           std::span<const graph::NodeId> scattered,
+                           int exclusion_radius, double p,
+                           std::uint64_t trials, std::uint64_t base_seed,
+                           const stats::ThreadPool* pool) {
+  Claim4Report report;
+  report.p = p;
+  report.scattered.assign(scattered.begin(), scattered.end());
+  for (graph::NodeId u : scattered) {
+    decide::EvaluateOptions options;
+    options.far_from = decide::FarFrom{u, exclusion_radius};
+    report.far_accept.push_back(stats::estimate_probability(
+        trials, rand::mix_keys(base_seed, u),
+        [&](std::uint64_t seed) {
+          const rand::PhiloxCoins coins(seed, rand::Stream::kDecision);
+          return decide::evaluate(inst, fixed_output, decider, coins, options)
+              .accepted;
+        },
+        pool));
+  }
+  return report;
+}
+
+CriticalStringsReport verify_critical_strings(
+    const local::Instance& inst, std::span<const local::Label> fixed_output,
+    const decide::RandomizedDecider& decider,
+    std::span<const graph::NodeId> scattered, int exclusion_radius,
+    std::uint64_t trials, std::uint64_t base_seed) {
+  CriticalStringsReport report;
+  report.trials = trials;
+  report.critical_for.assign(scattered.size(), 0);
+
+  // Distances from every member of S (reused across trials).
+  std::vector<std::vector<int>> dist;
+  dist.reserve(scattered.size());
+  for (graph::NodeId u : scattered) {
+    dist.push_back(graph::bfs_distances(inst.g, u));
+  }
+
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const std::uint64_t sigma_prime = stats::trial_seed(base_seed, trial);
+    const rand::PhiloxCoins coins(sigma_prime, rand::Stream::kDecision);
+    // One unrestricted evaluation gives the full Reject(., sigma') set;
+    // criticality for each u is then pure geometry over that set.
+    const decide::DecisionOutcome outcome =
+        decide::evaluate(inst, fixed_output, decider, coins);
+    if (outcome.accepted) continue;  // no rejection: critical for nobody
+
+    std::size_t critical_members = 0;
+    for (std::size_t j = 0; j < scattered.size(); ++j) {
+      // sigma' is critical for u when every rejection is within the
+      // exclusion ball of u (i.e. D accepts far from u but rejects).
+      bool all_near_u = true;
+      for (graph::NodeId rej : outcome.rejecting) {
+        if (dist[j][rej] < 0 || dist[j][rej] > exclusion_radius) {
+          all_near_u = false;
+          break;
+        }
+      }
+      if (all_near_u) {
+        ++report.critical_for[j];
+        ++critical_members;
+        // Reject-set containment holds by the test above; a violation
+        // would have been counted as non-critical, so escaped_reject
+        // tracks the complementary check: a string critical for u whose
+        // rejections are NOT all inside B(u, exclusion_radius) cannot
+        // exist by construction here — we keep the counter to document
+        // the invariant (it must stay 0).
+      }
+    }
+    if (critical_members >= 2) ++report.multi_critical;
+  }
+  return report;
+}
+
+bool Claim5Report::exists_above_bound() const {
+  return std::any_of(
+      far_reject.begin(), far_reject.end(),
+      [this](const stats::Estimate& e) { return e.p_hat >= bound; });
+}
+
+graph::NodeId Claim5Report::best_anchor() const {
+  LNC_EXPECTS(!far_reject.empty());
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < far_reject.size(); ++j) {
+    if (far_reject[j].p_hat > far_reject[best].p_hat) best = j;
+  }
+  return scattered[best];
+}
+
+Claim5Report verify_claim5(const local::Instance& inst,
+                           const local::RandomizedBallAlgorithm& algo,
+                           const decide::RandomizedDecider& decider,
+                           std::span<const graph::NodeId> scattered,
+                           int exclusion_radius, double beta, double p,
+                           std::uint64_t mu, std::uint64_t trials,
+                           std::uint64_t base_seed,
+                           const stats::ThreadPool* pool) {
+  Claim5Report report;
+  report.scattered.assign(scattered.begin(), scattered.end());
+  report.bound = beta * (1.0 - p) / static_cast<double>(mu);
+  for (graph::NodeId u : scattered) {
+    decide::EvaluateOptions options;
+    options.far_from = decide::FarFrom{u, exclusion_radius};
+    report.far_reject.push_back(stats::estimate_probability(
+        trials, rand::mix_keys(base_seed, 0xC1A15ULL + u),
+        [&](std::uint64_t seed) {
+          const rand::PhiloxCoins c_coins(rand::mix_keys(seed, 0xC0),
+                                          rand::Stream::kConstruction);
+          const rand::PhiloxCoins d_coins(rand::mix_keys(seed, 0xD0),
+                                          rand::Stream::kDecision);
+          const local::Labeling output =
+              local::run_ball_algorithm(inst, algo, c_coins);
+          return !decide::evaluate(inst, output, decider, d_coins, options)
+                      .accepted;
+        },
+        pool));
+  }
+  return report;
+}
+
+}  // namespace lnc::core

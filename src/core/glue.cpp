@@ -1,0 +1,134 @@
+#include "core/glue.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.h"
+
+namespace lnc::core {
+namespace {
+
+/// Checks pairwise disjointness of identity ranges and returns one past
+/// the maximum identity in use.
+ident::Identity check_disjoint_ids(std::span<const local::Instance> parts) {
+  std::unordered_set<ident::Identity> seen;
+  ident::Identity max_id = 0;
+  for (const local::Instance& part : parts) {
+    for (ident::Identity id : part.ids.raw()) {
+      const bool inserted = seen.insert(id).second;
+      LNC_EXPECTS(inserted && "instance identity ranges must be disjoint");
+      max_id = std::max(max_id, id);
+    }
+  }
+  return max_id + 1;
+}
+
+}  // namespace
+
+GluedInstance theorem1_glue(std::span<const local::Instance> parts,
+                            std::span<const graph::NodeId> anchors) {
+  LNC_EXPECTS(parts.size() >= 2);
+  LNC_EXPECTS(anchors.size() == parts.size());
+  ident::Identity fresh_id = check_disjoint_ids(parts);
+
+  GluedInstance result;
+  const std::size_t count = parts.size();
+
+  // Layout: all original nodes of all parts first (so part-local indices
+  // translate by offset), then the inserted pairs (v_i, w_i).
+  graph::NodeId total_original = 0;
+  for (const local::Instance& part : parts) {
+    result.part_offset.push_back(total_original);
+    total_original += part.node_count();
+  }
+  graph::NodeId next_inserted = total_original;
+
+  graph::Graph::Builder builder(total_original +
+                                static_cast<graph::NodeId>(2 * count));
+  std::vector<ident::Identity> ids;
+  local::Labeling input;
+  ids.resize(total_original + 2 * count, 0);
+  input.resize(total_original + 2 * count, 0);
+
+  result.v_nodes.resize(count);
+  result.w_nodes.resize(count);
+  result.anchors.resize(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const local::Instance& part = parts[i];
+    part.validate();
+    const graph::NodeId offset = result.part_offset[i];
+    const graph::NodeId u = anchors[i];
+    LNC_EXPECTS(u < part.node_count());
+    LNC_EXPECTS(part.g.degree(u) >= 1);
+    const graph::NodeId z = part.g.neighbors(u)[0];
+
+    // Copy every edge except e_i = {u, z}.
+    for (const graph::Edge& e : part.g.edges()) {
+      if ((e.u == std::min(u, z)) && (e.v == std::max(u, z))) continue;
+      builder.add_edge(offset + e.u, offset + e.v);
+    }
+    // u — v_i — w_i — z.
+    const graph::NodeId v_node = next_inserted++;
+    const graph::NodeId w_node = next_inserted++;
+    builder.add_edge(offset + u, v_node);
+    builder.add_edge(v_node, w_node);
+    builder.add_edge(w_node, offset + z);
+    result.v_nodes[i] = v_node;
+    result.w_nodes[i] = w_node;
+    result.anchors[i] = offset + u;
+
+    // Labels: originals keep identity and input; inserted nodes take fresh
+    // identities above all used ranges and arbitrary (zero) inputs.
+    for (graph::NodeId v = 0; v < part.node_count(); ++v) {
+      ids[offset + v] = part.ids[v];
+      input[offset + v] = part.input_of(v);
+    }
+    ids[v_node] = fresh_id++;
+    ids[w_node] = fresh_id++;
+  }
+
+  // The linking cycle v_i — w_{i+1}, closing with v_count — w_1.
+  for (std::size_t i = 0; i < count; ++i) {
+    builder.add_edge(result.v_nodes[i], result.w_nodes[(i + 1) % count]);
+  }
+
+  result.instance.g = builder.build();
+  result.instance.input = std::move(input);
+  result.instance.ids = ident::IdAssignment(std::move(ids));
+  result.instance.validate();
+  return result;
+}
+
+GluedInstance disjoint_union_instances(
+    std::span<const local::Instance> parts) {
+  LNC_EXPECTS(!parts.empty());
+  check_disjoint_ids(parts);
+
+  GluedInstance result;
+  graph::NodeId total = 0;
+  for (const local::Instance& part : parts) {
+    result.part_offset.push_back(total);
+    total += part.node_count();
+  }
+  graph::Graph::Builder builder(total);
+  std::vector<ident::Identity> ids(total, 0);
+  local::Labeling input(total, 0);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const graph::NodeId offset = result.part_offset[i];
+    for (const graph::Edge& e : parts[i].g.edges()) {
+      builder.add_edge(offset + e.u, offset + e.v);
+    }
+    for (graph::NodeId v = 0; v < parts[i].node_count(); ++v) {
+      ids[offset + v] = parts[i].ids[v];
+      input[offset + v] = parts[i].input_of(v);
+    }
+  }
+  result.instance.g = builder.build();
+  result.instance.input = std::move(input);
+  result.instance.ids = ident::IdAssignment(std::move(ids));
+  result.instance.validate();
+  return result;
+}
+
+}  // namespace lnc::core

@@ -1,0 +1,61 @@
+// The Theorem-1 gluing construction.
+//
+// Given instances (H_i, x_i, id_i), i = 1..nu', with chosen anchor nodes
+// u_i (Claim 5's nodes), the construction:
+//
+//   1. picks an edge e_i incident to u_i in H_i,
+//   2. subdivides e_i twice, inserting nodes v_i and w_i
+//      (u_i — v_i — w_i — z_i along the former edge),
+//   3. adds the linking edges {v_i, w_{i+1}} for i < nu' and {v_nu', w_1},
+//
+// yielding a CONNECTED graph of degree <= max(k, 3) (so the promise F_k
+// with k > 2 is preserved), whose identity assignment concatenates the
+// pairwise-disjoint id_i and gives the inserted nodes fresh identities
+// above every used range; inserted nodes get arbitrary inputs (zero).
+//
+// Section 5 notes the construction also preserves planarity and
+// 2-connectivity; tests/glue_test.cpp checks 2-connectivity directly and
+// the degree/connectivity/identity invariants.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "local/instance.h"
+
+namespace lnc::core {
+
+struct GluedInstance {
+  local::Instance instance;
+
+  /// part_offset[i] + v is the glued index of part i's node v.
+  std::vector<graph::NodeId> part_offset;
+
+  /// Glued indices of the inserted nodes, one pair per part.
+  std::vector<graph::NodeId> v_nodes;
+  std::vector<graph::NodeId> w_nodes;
+
+  /// Glued indices of the anchors u_i.
+  std::vector<graph::NodeId> anchors;
+
+  std::size_t part_count() const noexcept { return part_offset.size(); }
+
+  /// Maps part-local node v of part i to its glued index.
+  graph::NodeId to_glued(std::size_t part, graph::NodeId v) const {
+    return part_offset[part] + v;
+  }
+};
+
+/// Glues the parts in a cycle through their anchors. Requirements:
+///  * >= 2 parts, pairwise-disjoint identity ranges;
+///  * anchors[i] is a node of parts[i] with degree >= 1.
+/// The subdivided edge is the one toward the anchor's smallest-index
+/// neighbor (any incident edge works for the theorem).
+GluedInstance theorem1_glue(std::span<const local::Instance> parts,
+                            std::span<const graph::NodeId> anchors);
+
+/// Claim-3 variant: plain disjoint union, no linking (the relaxation that
+/// drops connectivity). Identity ranges must be pairwise disjoint.
+GluedInstance disjoint_union_instances(std::span<const local::Instance> parts);
+
+}  // namespace lnc::core

@@ -1,0 +1,50 @@
+#include "core/hard_instances.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "rand/coins.h"
+#include "util/assert.h"
+
+namespace lnc::core {
+
+local::Instance consecutive_ring(graph::NodeId n, ident::Identity start) {
+  LNC_EXPECTS(n >= 3);
+  return local::make_instance(graph::cycle(n), ident::consecutive(n, start));
+}
+
+std::vector<local::Instance> claim2_sequence(std::size_t count,
+                                             std::uint64_t min_diameter,
+                                             ident::Identity first_identity) {
+  // Ring diameter is floor(n/2); n = 2*Dmin + 2 gives diameter Dmin + 1
+  // (strictly above the floor, so "arbitrarily large diameter" holds even
+  // after the glue subdivides one edge).
+  const auto n = static_cast<graph::NodeId>(
+      std::max<std::uint64_t>(3, 2 * min_diameter + 2));
+  std::vector<local::Instance> instances;
+  instances.reserve(count);
+  ident::Identity next_identity = std::max<ident::Identity>(1, first_identity);
+  for (std::size_t i = 0; i < count; ++i) {
+    instances.push_back(consecutive_ring(n, next_identity));
+    next_identity = instances.back().ids.max_identity() + 1;
+  }
+  return instances;
+}
+
+stats::Estimate estimate_beta(const local::Instance& inst,
+                              const local::RandomizedBallAlgorithm& algo,
+                              const lang::Language& language,
+                              std::uint64_t trials, std::uint64_t base_seed,
+                              const stats::ThreadPool* pool) {
+  return stats::estimate_probability(
+      trials, base_seed,
+      [&](std::uint64_t seed) {
+        const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
+        const local::Labeling output =
+            local::run_ball_algorithm(inst, algo, coins);
+        return !language.contains(inst, output);
+      },
+      pool);
+}
+
+}  // namespace lnc::core

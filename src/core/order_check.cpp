@@ -1,0 +1,33 @@
+#include "core/order_check.h"
+
+#include "ident/order.h"
+#include "rand/splitmix.h"
+#include "util/assert.h"
+
+namespace lnc::core {
+
+OrderInvarianceReport check_order_invariance(
+    const local::Instance& inst, const local::BallAlgorithm& algo,
+    const OrderCheckOptions& options) {
+  LNC_EXPECTS(options.id_ceiling >= inst.node_count());
+  OrderInvarianceReport report;
+  report.trials = options.trials;
+
+  const local::Labeling reference = local::run_ball_algorithm(inst, algo);
+
+  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+    const std::vector<ident::Identity> remapped =
+        ident::order_preserving_remap(
+            inst.ids.raw(), options.id_ceiling,
+            rand::mix_keys(options.base_seed, trial));
+    local::Instance shadow;
+    shadow.g = inst.g;
+    shadow.input = inst.input;
+    shadow.ids = ident::IdAssignment(remapped);
+    const local::Labeling outputs = local::run_ball_algorithm(shadow, algo);
+    if (outputs != reference) ++report.violations;
+  }
+  return report;
+}
+
+}  // namespace lnc::core

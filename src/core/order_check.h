@@ -1,0 +1,39 @@
+// Verification harness for order invariance (Claim 1 / Appendix A).
+//
+// Claim 1 guarantees an order-invariant equivalent A' for any t-round
+// algorithm A under promise F_k; the canonical A' (algo/order_invariant.h)
+// is order-invariant BY CONSTRUCTION. This harness verifies the property
+// empirically for any BallAlgorithm: re-run the algorithm under random
+// order-preserving identity re-assignments and count output changes. A
+// genuinely order-invariant algorithm never changes; an identity-reading
+// algorithm (e.g. "output id mod 3") is caught within a few trials — the
+// harness doubles as a regression net for the wrapper and as the
+// measurement device for experiment E5's preconditions.
+#pragma once
+
+#include <cstdint>
+
+#include "local/runner.h"
+
+namespace lnc::core {
+
+struct OrderInvarianceReport {
+  std::uint64_t trials = 0;
+  std::uint64_t violations = 0;  ///< trials where some node's output moved
+  bool invariant() const noexcept { return violations == 0; }
+};
+
+struct OrderCheckOptions {
+  std::uint64_t trials = 32;
+  std::uint64_t base_seed = 7;
+  /// Remapped identities are drawn from [1, id_ceiling]; must be >= n.
+  ident::Identity id_ceiling = 1u << 20;
+};
+
+/// Runs `algo` on `inst` and on order-preserving re-identifications of
+/// `inst`, comparing full output vectors.
+OrderInvarianceReport check_order_invariance(
+    const local::Instance& inst, const local::BallAlgorithm& algo,
+    const OrderCheckOptions& options = {});
+
+}  // namespace lnc::core

@@ -1,0 +1,182 @@
+#include "core/ramsey.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "ident/order.h"
+#include "rand/splitmix.h"
+#include "util/assert.h"
+
+namespace lnc::core {
+namespace {
+
+/// Evaluates `algo` at the center of a ring window carrying the given
+/// identities in ring order (window.size() == 2*radius + 1). Fillers pad
+/// the ring to >= 3 nodes when the window is smaller.
+local::Label evaluate_window(const local::BallAlgorithm& algo, int radius,
+                             const std::vector<ident::Identity>& window,
+                             ident::Identity filler_base) {
+  const std::size_t w = window.size();
+  LNC_EXPECTS(w == static_cast<std::size_t>(2 * radius + 1));
+  const graph::NodeId n = static_cast<graph::NodeId>(std::max<std::size_t>(3, w));
+  std::vector<ident::Identity> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = i < w ? window[i] : filler_base + static_cast<ident::Identity>(i);
+  }
+  const local::Instance inst =
+      local::make_instance(graph::cycle(n), ident::IdAssignment(ids));
+  const graph::NodeId center = static_cast<graph::NodeId>(radius);
+  const graph::BallView ball(inst.g, center, radius);
+  local::View view;
+  view.ball = &ball;
+  view.instance = &inst;
+  return algo.compute(view);
+}
+
+/// All permutations of {0, ..., w-1}, i.e. all rank patterns of a window.
+std::vector<std::vector<std::size_t>> all_patterns(std::size_t w) {
+  std::vector<std::size_t> perm(w);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::vector<std::vector<std::size_t>> patterns;
+  do {
+    patterns.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return patterns;
+}
+
+/// Arranges the sorted identity set so that position i receives the
+/// identity of rank ranks[i].
+std::vector<ident::Identity> arrange(
+    const std::vector<ident::Identity>& sorted,
+    const std::vector<std::size_t>& ranks) {
+  std::vector<ident::Identity> window(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    window[i] = sorted[ranks[i]];
+  }
+  return window;
+}
+
+}  // namespace
+
+UniverseResult find_uniform_universe(const local::BallAlgorithm& algo,
+                                     int radius,
+                                     const UniverseOptions& options) {
+  const std::size_t w = static_cast<std::size_t>(2 * radius + 1);
+  LNC_EXPECTS(options.pool_size >= 4 * w);
+  const ident::Identity filler_base = options.pool_size + 100;
+
+  // Companion identities at pool quantiles (removed from the pool): the
+  // probes that expose how each candidate identity interacts.
+  std::vector<ident::Identity> companions;
+  for (std::size_t j = 1; j < w; ++j) {
+    companions.push_back(static_cast<ident::Identity>(
+        j * options.pool_size / w + 1));
+  }
+
+  // Fingerprint every remaining pool identity: outputs across all
+  // arrangements of {x} union companions.
+  const auto patterns = all_patterns(w);
+  std::map<std::vector<local::Label>, std::vector<ident::Identity>> classes;
+  for (ident::Identity x = 1; x <= options.pool_size; ++x) {
+    if (std::find(companions.begin(), companions.end(), x) !=
+        companions.end()) {
+      continue;
+    }
+    std::vector<ident::Identity> members = companions;
+    members.push_back(x);
+    std::sort(members.begin(), members.end());
+    std::vector<local::Label> fingerprint;
+    fingerprint.reserve(patterns.size());
+    for (const auto& ranks : patterns) {
+      fingerprint.push_back(
+          evaluate_window(algo, radius, arrange(members, ranks),
+                          filler_base));
+    }
+    classes[fingerprint].push_back(x);
+  }
+
+  // Keep the largest behavior class — the finite stand-in for Ramsey's
+  // monochromatic set.
+  UniverseResult result;
+  const std::vector<ident::Identity>* best = nullptr;
+  for (const auto& [fingerprint, ids] : classes) {
+    if (best == nullptr || ids.size() > best->size()) best = &ids;
+  }
+  if (best == nullptr) return result;
+  result.universe.assign(
+      best->begin(),
+      best->begin() + static_cast<std::ptrdiff_t>(std::min(
+                          options.target_size, best->size())));
+  std::sort(result.universe.begin(), result.universe.end());
+
+  // Verify uniformity: sampled windows drawn entirely from U must give
+  // pattern-constant outputs.
+  if (result.universe.size() < w) return result;  // uniform stays false
+  rand::SplitMix64 rng(rand::mix_keys(options.seed, 0x52414DULL));
+  result.uniform = true;
+  for (const auto& ranks : patterns) {
+    ++result.patterns_checked;
+    bool first = true;
+    local::Label expected = 0;
+    for (std::size_t s = 0; s < options.samples_per_pattern; ++s) {
+      // Random w-subset of U.
+      std::vector<ident::Identity> subset;
+      std::vector<std::size_t> chosen;
+      while (chosen.size() < w) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.next_below(result.universe.size()));
+        if (std::find(chosen.begin(), chosen.end(), pick) == chosen.end()) {
+          chosen.push_back(pick);
+        }
+      }
+      std::sort(chosen.begin(), chosen.end());
+      for (std::size_t idx : chosen) subset.push_back(result.universe[idx]);
+      const local::Label out = evaluate_window(
+          algo, radius, arrange(subset, ranks), filler_base);
+      if (first) {
+        expected = out;
+        first = false;
+      } else if (out != expected) {
+        result.uniform = false;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+RamseyOrderInvariant::RamseyOrderInvariant(
+    const local::BallAlgorithm& inner,
+    std::vector<ident::Identity> universe)
+    : inner_(&inner), universe_(std::move(universe)) {
+  std::sort(universe_.begin(), universe_.end());
+  LNC_EXPECTS(!universe_.empty());
+}
+
+std::string RamseyOrderInvariant::name() const {
+  return "ramsey-A'(" + inner_->name() + ")";
+}
+
+int RamseyOrderInvariant::radius() const { return inner_->radius(); }
+
+local::Label RamseyOrderInvariant::compute(const local::View& view) const {
+  const graph::NodeId size = view.ball->size();
+  LNC_EXPECTS(static_cast<std::size_t>(size) <= universe_.size() &&
+              "universe smaller than the ball (Appendix A needs |U| >= |B|)");
+  std::vector<ident::Identity> member_ids(size);
+  for (graph::NodeId local = 0; local < size; ++local) {
+    member_ids[local] = view.identity(local);
+  }
+  const std::vector<std::size_t> ranks = ident::rank_pattern(member_ids);
+  std::vector<ident::Identity> reassigned(size);
+  for (graph::NodeId local = 0; local < size; ++local) {
+    reassigned[local] = universe_[ranks[local]];
+  }
+  local::View shadowed = view;
+  shadowed.id_override = &reassigned;
+  return inner_->compute(shadowed);
+}
+
+}  // namespace lnc::core

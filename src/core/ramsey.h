@@ -1,0 +1,87 @@
+// Claim 1 / Appendix A: the order-invariant reduction, operationalized.
+//
+// The appendix proves — via the infinite Ramsey theorem — that for every
+// t-round algorithm A under promise F_k there is an infinite identity set
+// U such that A's output at the center of any ball depends only on the
+// ORDER of the identities, provided they come from U. The order-invariant
+// A' then re-identifies every ball with the smallest elements of U.
+//
+// Infinity is not implementable; what IS implementable, and what the
+// argument actually uses, is:
+//
+//   (1) find_uniform_universe — searches a finite candidate pool for a
+//       subset U on which the algorithm's ball outputs are constant per
+//       rank pattern (the "monochromatic" set Ramsey guarantees exists in
+//       the infinite limit). The search is the natural greedy refinement:
+//       process patterns one at a time, keep the largest color class.
+//       For algorithms with structured identity use (e.g. "output id mod
+//       m") this recovers exactly the residue classes Ramsey would.
+//
+//   (2) make_order_invariant (Appendix A's A'): wrap A so that each ball
+//       is re-identified with the |ball| smallest members of U in rank
+//       order. A' is order-invariant by construction, and on instances
+//       whose identities already lie in U it reproduces A exactly — the
+//       correctness argument at the end of the appendix, testable.
+//
+// tests/core_test.cpp + tests/ramsey_test.cpp verify both properties.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "local/runner.h"
+
+namespace lnc::core {
+
+/// Outcome of the universe search.
+struct UniverseResult {
+  std::vector<ident::Identity> universe;  ///< sorted ascending
+  bool uniform = false;  ///< true when outputs were pattern-constant on U
+  std::size_t patterns_checked = 0;
+};
+
+struct UniverseOptions {
+  /// Candidate pool: identities 1..pool_size are considered.
+  ident::Identity pool_size = 512;
+  /// Required size of U (must cover the largest ball the caller will
+  /// re-identify, i.e. >= max ball size).
+  std::size_t target_size = 32;
+  /// Windows sampled per rank pattern when testing uniformity.
+  std::size_t samples_per_pattern = 64;
+  std::uint64_t seed = 1;
+};
+
+/// Searches for a uniform identity universe for `algo` on the fixed ring
+/// ball geometry of radius t (window size 2t+1) — the family the paper's
+/// Corollary-1 instances live in. Greedy Ramsey refinement: for each of
+/// the (2t+1)! rank patterns, split the current pool by the output that
+/// `algo` produces when the window is filled with pool identities in that
+/// pattern, and keep the largest class.
+UniverseResult find_uniform_universe(const local::BallAlgorithm& algo,
+                                     int radius,
+                                     const UniverseOptions& options = {});
+
+/// Appendix A's A': an order-invariant algorithm that re-identifies each
+/// ball with the smallest |ball| members of `universe` in rank order and
+/// runs `inner`. The universe must be at least as large as any ball
+/// encountered.
+class RamseyOrderInvariant final : public local::BallAlgorithm {
+ public:
+  RamseyOrderInvariant(const local::BallAlgorithm& inner,
+                       std::vector<ident::Identity> universe);
+
+  std::string name() const override;
+  int radius() const override;
+  local::Label compute(const local::View& view) const override;
+
+  const std::vector<ident::Identity>& universe() const noexcept {
+    return universe_;
+  }
+
+ private:
+  const local::BallAlgorithm* inner_;
+  std::vector<ident::Identity> universe_;  // sorted ascending
+};
+
+}  // namespace lnc::core

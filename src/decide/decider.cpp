@@ -1,0 +1,6 @@
+#include "decide/decider.h"
+
+// Interface definitions only; concrete deciders live in sibling files.
+// This translation unit anchors the vtables.
+
+namespace lnc::decide {}  // namespace lnc::decide

@@ -1,0 +1,81 @@
+#include "decide/evaluate.h"
+
+#include <mutex>
+
+#include "graph/metrics.h"
+
+namespace lnc::decide {
+namespace {
+
+template <typename VerdictAt>
+DecisionOutcome evaluate_impl(const local::Instance& inst,
+                              const EvaluateOptions& options, int radius,
+                              VerdictAt&& verdict_at) {
+  inst.validate();
+  const graph::NodeId n = inst.node_count();
+
+  std::vector<char> counted(n, 1);
+  if (options.far_from.has_value()) {
+    const std::vector<int> dist =
+        graph::bfs_distances(inst.g, options.far_from->node);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      counted[v] =
+          (dist[v] >= 0 && dist[v] <= options.far_from->exclusion_radius)
+              ? 0
+              : 1;
+    }
+  }
+
+  std::vector<char> rejected(n, 0);
+  auto body = [&](std::uint64_t v) {
+    if (counted[v] == 0) return;
+    const graph::BallView ball(inst.g, static_cast<graph::NodeId>(v),
+                               radius);
+    local::View view;
+    view.ball = &ball;
+    view.instance = &inst;
+    if (options.grant_n) view.n_nodes = n;
+    if (!verdict_at(view)) rejected[v] = 1;
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(n, body);
+  } else {
+    for (graph::NodeId v = 0; v < n; ++v) body(v);
+  }
+
+  DecisionOutcome outcome;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (rejected[v] != 0) {
+      outcome.accepted = false;
+      outcome.rejecting.push_back(v);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+DecisionOutcome evaluate(const local::Instance& inst,
+                         std::span<const local::Label> output,
+                         const Decider& decider,
+                         const EvaluateOptions& options) {
+  return evaluate_impl(inst, options, decider.radius(),
+                       [&](const local::View& view) {
+                         DeciderView dv{view, output};
+                         return decider.accept(dv);
+                       });
+}
+
+DecisionOutcome evaluate(const local::Instance& inst,
+                         std::span<const local::Label> output,
+                         const RandomizedDecider& decider,
+                         const rand::CoinProvider& coins,
+                         const EvaluateOptions& options) {
+  return evaluate_impl(inst, options, decider.radius(),
+                       [&](const local::View& view) {
+                         DeciderView dv{view, output};
+                         return decider.accept(dv, coins);
+                       });
+}
+
+}  // namespace lnc::decide

@@ -1,0 +1,54 @@
+// Running deciders over whole configurations.
+//
+// Acceptance is the conjunction of per-node verdicts (paper, Eq. 1). The
+// optional "far from u" restriction implements the proof device of Claims
+// 4 and 5: only verdicts of nodes at distance GREATER than `exclusion
+// radius` from a distinguished node u count. ("We say that D accepts
+// (G,(x,y)) far from v if D outputs true at all nodes at distance greater
+// than t+t' from v.")
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "decide/decider.h"
+#include "local/instance.h"
+#include "stats/threadpool.h"
+
+namespace lnc::decide {
+
+/// Restricts which verdicts count toward acceptance.
+struct FarFrom {
+  graph::NodeId node = 0;  ///< the distinguished node u
+  int exclusion_radius = 0;  ///< verdicts at distance <= this are ignored
+};
+
+struct DecisionOutcome {
+  bool accepted = true;  ///< conjunction over the counted verdicts
+  std::vector<graph::NodeId> rejecting;  ///< counted nodes voting false
+
+  /// The paper's Reject(u, sigma') set is `rejecting` of an unrestricted
+  /// run under a fixed decision seed.
+};
+
+struct EvaluateOptions {
+  std::optional<FarFrom> far_from;
+  bool grant_n = false;  ///< BPLD#node deciders need |V|
+  const stats::ThreadPool* pool = nullptr;
+};
+
+/// Deterministic decider over the configuration.
+DecisionOutcome evaluate(const local::Instance& inst,
+                         std::span<const local::Label> output,
+                         const Decider& decider,
+                         const EvaluateOptions& options = {});
+
+/// Randomized decider with explicit coins (fix the seed upstream to run
+/// the paper's D_{sigma'}).
+DecisionOutcome evaluate(const local::Instance& inst,
+                         std::span<const local::Label> output,
+                         const RandomizedDecider& decider,
+                         const rand::CoinProvider& coins,
+                         const EvaluateOptions& options = {});
+
+}  // namespace lnc::decide

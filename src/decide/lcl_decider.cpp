@@ -1,0 +1,19 @@
+#include "decide/lcl_decider.h"
+
+namespace lnc::decide {
+
+LclDecider::LclDecider(const lang::LclLanguage& language)
+    : language_(&language) {}
+
+std::string LclDecider::name() const {
+  return "lcl-decider(" + language_->name() + ")";
+}
+
+int LclDecider::radius() const { return language_->radius(); }
+
+bool LclDecider::accept(const DeciderView& view) const {
+  lang::LabeledBall ball{view.view.ball, view.view.instance, view.output};
+  return !language_->is_bad_ball(ball);
+}
+
+}  // namespace lnc::decide

@@ -1,0 +1,25 @@
+// The canonical deterministic decider for an LCL language: node v accepts
+// iff its radius-t ball is not in Bad(L). Witnesses L in LD: on a yes
+// instance every ball is good (all accept); on a no instance some ball is
+// bad and its center rejects. This is the paper's "checking whether a
+// given graph coloring is proper can be done in just one round".
+#pragma once
+
+#include "decide/decider.h"
+#include "lang/language.h"
+
+namespace lnc::decide {
+
+class LclDecider final : public Decider {
+ public:
+  explicit LclDecider(const lang::LclLanguage& language);
+
+  std::string name() const override;
+  int radius() const override;
+  bool accept(const DeciderView& view) const override;
+
+ private:
+  const lang::LclLanguage* language_;
+};
+
+}  // namespace lnc::decide

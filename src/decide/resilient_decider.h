@@ -1,0 +1,48 @@
+// The randomized decider for f-resilient relaxations (Corollary 1 proof).
+//
+// For L in LCL with bad-ball radius t, pick p in (2^{-1/f}, 2^{-1/(f+1)}).
+// Every node inspects its radius-t ball: good ball => accept; bad ball =>
+// accept with probability p. With |F(G)| bad balls the acceptance
+// probability is p^{|F(G)|}, hence
+//
+//   |F(G)| <= f   => Pr[all accept]       >= p^f     > 1/2
+//   |F(G)| >= f+1 => Pr[some node rejects] >= 1-p^{f+1} > 1/2
+//
+// placing L_f in BPLD — the hypothesis Theorem 1 needs. Experiment E4
+// verifies both inequalities empirically across f.
+#pragma once
+
+#include "decide/decider.h"
+#include "lang/language.h"
+#include "util/math.h"
+
+namespace lnc::decide {
+
+class ResilientDecider final : public RandomizedDecider {
+ public:
+  /// Uses the geometric mean of the admissible interval by default; a
+  /// custom p must lie in (2^{-1/f}, 2^{-1/(f+1)}).
+  ResilientDecider(const lang::LclLanguage& base, std::size_t max_faults,
+                   double p = -1.0);
+
+  std::string name() const override;
+  int radius() const override;
+  double guarantee() const override;
+  bool accept(const DeciderView& view,
+              const rand::CoinProvider& coins) const override;
+
+  double p() const noexcept { return p_; }
+  std::size_t max_faults() const noexcept { return max_faults_; }
+
+  /// The admissible open interval (2^{-1/f}, 2^{-1/(f+1)}).
+  static util::Interval admissible_interval(std::size_t max_faults);
+  /// The default p: geometric mean of the interval endpoints.
+  static double default_p(std::size_t max_faults);
+
+ private:
+  const lang::LclLanguage* base_;
+  std::size_t max_faults_;
+  double p_;
+};
+
+}  // namespace lnc::decide

@@ -1,0 +1,76 @@
+#include "graph/ball.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "rand/splitmix.h"
+#include "util/assert.h"
+
+namespace lnc::graph {
+
+BallView::BallView(const Graph& g, NodeId center, int radius)
+    : radius_(radius) {
+  LNC_EXPECTS(center < g.node_count());
+  LNC_EXPECTS(radius >= 0);
+
+  // BFS out to `radius`, recording discovery order and distances.
+  std::vector<NodeId> local_of(g.node_count(), kInvalidNode);
+  members_.push_back(center);
+  distances_.push_back(0);
+  local_of[center] = 0;
+  std::size_t head = 0;
+  while (head < members_.size()) {
+    const NodeId u = members_[head];
+    const int du = distances_[head];
+    ++head;
+    if (du == radius) continue;
+    for (NodeId w : g.neighbors(u)) {
+      if (local_of[w] == kInvalidNode) {
+        local_of[w] = static_cast<NodeId>(members_.size());
+        members_.push_back(w);
+        distances_.push_back(du + 1);
+      }
+    }
+  }
+
+  host_degrees_.reserve(members_.size());
+  for (NodeId orig : members_) host_degrees_.push_back(g.degree(orig));
+
+  // Build local adjacency with the paper's rule: include edge {a, b} iff
+  // both are in the ball and not (dist(a) == radius && dist(b) == radius).
+  offsets_.assign(members_.size() + 1, 0);
+  std::vector<std::vector<NodeId>> local_adj(members_.size());
+  for (NodeId a = 0; a < members_.size(); ++a) {
+    const NodeId orig = members_[a];
+    for (NodeId w : g.neighbors(orig)) {
+      const NodeId b = local_of[w];
+      if (b == kInvalidNode) continue;
+      if (distances_[a] == radius && distances_[b] == radius) continue;
+      local_adj[a].push_back(b);
+    }
+    std::sort(local_adj[a].begin(), local_adj[a].end());
+  }
+  for (std::size_t i = 0; i < local_adj.size(); ++i) {
+    offsets_[i + 1] = offsets_[i] + local_adj[i].size();
+  }
+  adjacency_.resize(offsets_.back());
+  for (std::size_t i = 0; i < local_adj.size(); ++i) {
+    std::copy(local_adj[i].begin(), local_adj[i].end(),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]));
+  }
+}
+
+std::uint64_t BallView::structure_signature() const {
+  std::uint64_t h = 0x62616C6C7369676EULL;  // "ballsign"
+  h = rand::mix_keys(h, members_.size());
+  for (NodeId i = 0; i < size(); ++i) {
+    h = rand::mix_keys(h, static_cast<std::uint64_t>(distances_[i]));
+    for (NodeId j : neighbors(i)) {
+      h = rand::mix_keys(h, j);
+    }
+    h = rand::mix_keys(h, 0xFFFFFFFFULL);  // row separator
+  }
+  return h;
+}
+
+}  // namespace lnc::graph

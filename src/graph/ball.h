@@ -1,0 +1,85 @@
+// Radius-t balls exactly as defined in the paper (section 2.1.1):
+//
+//   "B_G(v, t) is the subgraph of G induced by all nodes at distance at
+//    most t from v, EXCLUDING the edges between the nodes at distance
+//    exactly t from v."
+//
+// The exclusion is not cosmetic: it is precisely the information a t-round
+// LOCAL algorithm can gather (a node at distance t has announced itself but
+// not its adjacency), and the ball-collection protocol in local/ is tested
+// to produce exactly this object. Everything downstream — ball-based
+// algorithms, LCL bad-ball checkers (Definition 1), the order-invariant
+// wrapper (Claim 1) — consumes BallView.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lnc::graph {
+
+class BallView {
+ public:
+  /// Collects B_G(center, radius). O(|ball| + edges inside).
+  BallView(const Graph& g, NodeId center, int radius);
+
+  /// Number of nodes in the ball.
+  NodeId size() const noexcept {
+    return static_cast<NodeId>(members_.size());
+  }
+
+  int radius() const noexcept { return radius_; }
+
+  /// Local index of the center (always 0).
+  NodeId center_local() const noexcept { return 0; }
+
+  /// Original graph index of local node i.
+  NodeId to_original(NodeId local) const noexcept { return members_[local]; }
+
+  /// All original indices, in BFS discovery order (center first; nodes at
+  /// distance d precede nodes at distance d+1).
+  std::span<const NodeId> members() const noexcept { return members_; }
+
+  /// Distance from the center of local node i (0 <= dist <= radius).
+  int distance(NodeId local) const noexcept { return distances_[local]; }
+
+  /// Neighbors of local node i *inside the ball*, as local indices, per the
+  /// paper's edge rule (no edges between two distance-t nodes).
+  std::span<const NodeId> neighbors(NodeId local) const noexcept {
+    return {adjacency_.data() + offsets_[local],
+            adjacency_.data() + offsets_[local + 1]};
+  }
+
+  NodeId degree_in_ball(NodeId local) const noexcept {
+    return static_cast<NodeId>(offsets_[local + 1] - offsets_[local]);
+  }
+
+  /// Degree of the node in the *host graph* — visible to a LOCAL algorithm
+  /// for nodes at distance <= t-1 (their full neighbor list arrived), and
+  /// also exposed for distance-t nodes because a (t+1)-round collection
+  /// would reveal it; callers modeling strict t-round knowledge should use
+  /// degree_in_ball for boundary nodes.
+  NodeId host_degree(NodeId local) const noexcept {
+    return host_degrees_[local];
+  }
+
+  /// A structural fingerprint of the ball: adjacency + distances serialized
+  /// in BFS discovery order. Two balls with equal signatures have identical
+  /// local structure *as collected* (not full isomorphism canonicalization:
+  /// discovery order depends on neighbor order, which is by original index).
+  /// Sufficient for the experiments, which compare balls collected through
+  /// identical pipelines.
+  std::uint64_t structure_signature() const;
+
+ private:
+  int radius_ = 0;
+  std::vector<NodeId> members_;     // local -> original
+  std::vector<int> distances_;      // local -> distance from center
+  std::vector<NodeId> host_degrees_;
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adjacency_;   // local indices
+};
+
+}  // namespace lnc::graph

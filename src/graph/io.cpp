@@ -1,0 +1,56 @@
+#include "graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace lnc::graph {
+
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<std::string>& labels) {
+  os << "graph G {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v;
+    if (v < labels.size() && !labels[v].empty()) {
+      os << " [label=\"" << labels[v] << "\"]";
+    }
+    os << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  n" << e.u << " -- n" << e.v << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  if (!(is >> n >> m)) {
+    throw std::runtime_error("read_edge_list: missing header");
+  }
+  Graph::Builder b(static_cast<NodeId>(n));
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t u = 0;
+    std::size_t v = 0;
+    if (!(is >> u >> v)) {
+      throw std::runtime_error("read_edge_list: truncated edge list");
+    }
+    if (u >= n || v >= n) {
+      throw std::runtime_error("read_edge_list: endpoint out of range");
+    }
+    if (u == v) {
+      throw std::runtime_error("read_edge_list: self-loop");
+    }
+    b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return b.build();
+}
+
+}  // namespace lnc::graph

@@ -1,0 +1,23 @@
+// Serialization: DOT (for visual inspection of glued instances) and a plain
+// edge-list format (round-trippable, used by tests and example programs).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace lnc::graph {
+
+/// Graphviz DOT. Optional labels: one string per node (empty = node index).
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<std::string>& labels = {});
+
+/// Plain text: first line "n m", then m lines "u v".
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the write_edge_list format; throws std::runtime_error on
+/// malformed input (bad counts, out-of-range endpoints, self-loops).
+Graph read_edge_list(std::istream& is);
+
+}  // namespace lnc::graph

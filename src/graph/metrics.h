@@ -1,0 +1,57 @@
+// Structural measurements: BFS distances, diameter, connectivity,
+// biconnectivity, bipartiteness, girth.
+//
+// Theorem 1's construction needs graphs with diameter >= D = 2*mu*(t+t'),
+// node sets S pairwise at distance > 2(t+t'), and the glued result must be
+// connected with degree <= k; section 5 remarks it also preserves
+// 2-connectivity. These checkers are the measuring instruments for those
+// claims (experiments E6-E8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lnc::graph {
+
+/// BFS distances from src; -1 for unreachable nodes.
+std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+/// Distance between two nodes; -1 if disconnected.
+int distance(const Graph& g, NodeId a, NodeId b);
+
+/// Maximum finite BFS distance from src (its eccentricity); -1 when some
+/// node is unreachable.
+int eccentricity(const Graph& g, NodeId src);
+
+/// Exact diameter via n BFS runs; -1 when the graph is disconnected.
+/// Intended for the experiment scales (n up to ~10^4).
+int diameter(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Number of connected components.
+std::size_t component_count(const Graph& g);
+
+/// Component index per node (0-based, in order of first discovery).
+std::vector<std::size_t> components(const Graph& g);
+
+/// Articulation vertices (cut vertices), via iterative Tarjan lowlink.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+/// Connected, has >= 3 nodes, and no articulation point.
+bool is_biconnected(const Graph& g);
+
+bool is_bipartite(const Graph& g);
+
+/// Length of a shortest cycle; -1 for forests. O(n * m) BFS sweep.
+int girth(const Graph& g);
+
+/// Greedily selects nodes pairwise at distance > min_separation, scanning
+/// in index order. Used to build the set S of Claim 4 (mu nodes pairwise at
+/// distance >= 2(t+t') from each other).
+std::vector<NodeId> scattered_nodes(const Graph& g, int min_separation,
+                                    std::size_t max_count);
+
+}  // namespace lnc::graph

@@ -1,0 +1,423 @@
+#include "graph/planarity.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/metrics.h"
+#include "util/assert.h"
+
+namespace lnc::graph {
+namespace {
+
+// ---------------------------------------------------------------------
+// Left-right planarity test (Brandes' formulation of the
+// de Fraysseix-Rosenstiehl criterion).
+//
+// Oriented edges are indexed; every undirected edge {u, v} yields the two
+// orientations. The first DFS orients the graph (tree + back edges only),
+// computes heights, lowpoints and nesting depths; the second DFS walks
+// children in nesting order and maintains a stack of conflict pairs of
+// back-edge intervals, merging constraints and failing exactly when two
+// back edges are forced onto the same side while conflicting.
+
+constexpr int kNone = -1;
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct LrState {
+  const Graph* g = nullptr;
+  std::vector<int> height;        // per node; kNone == unvisited
+  std::vector<int> parent_edge;   // per node; oriented edge id or kNone
+
+  // Per ORIENTED edge (2*m of them): e = 2*k or 2*k+1 for undirected k.
+  std::vector<int> src;
+  std::vector<int> dst;
+  std::vector<int> lowpt;
+  std::vector<int> lowpt2;
+  std::vector<int> nesting;
+  std::vector<int> ref;           // reference edge (constraint chaining)
+  std::vector<int> lowpt_edge;
+  std::vector<char> oriented;     // edge used as tree or back edge
+
+  std::vector<std::vector<int>> out;  // oriented adjacency after DFS1
+
+  int twin(int e) const { return e ^ 1; }
+};
+
+struct Interval {
+  int low = kNone;
+  int high = kNone;
+  bool empty() const { return low == kNone && high == kNone; }
+};
+
+struct ConflictPair {
+  Interval left;
+  Interval right;
+};
+
+class LrTester {
+ public:
+  explicit LrTester(const Graph& g) {
+    state_.g = &g;
+    const NodeId n = g.node_count();
+    state_.height.assign(n, kNone);
+    state_.parent_edge.assign(n, kNone);
+    const std::size_t m2 = 2 * g.edge_count();
+    state_.src.assign(m2, kNone);
+    state_.dst.assign(m2, kNone);
+    state_.lowpt.assign(m2, 0);
+    state_.lowpt2.assign(m2, 0);
+    state_.nesting.assign(m2, 0);
+    state_.ref.assign(m2, kNone);
+    state_.lowpt_edge.assign(m2, kNone);
+    state_.oriented.assign(m2, 0);
+    state_.out.assign(n, {});
+
+    const std::vector<Edge> edges = g.edges();
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      state_.src[2 * k] = static_cast<int>(edges[k].u);
+      state_.dst[2 * k] = static_cast<int>(edges[k].v);
+      state_.src[2 * k + 1] = static_cast<int>(edges[k].v);
+      state_.dst[2 * k + 1] = static_cast<int>(edges[k].u);
+    }
+    // Incidence: oriented edges leaving each node.
+    incident_.assign(n, {});
+    for (std::size_t e = 0; e < m2; ++e) {
+      incident_[static_cast<std::size_t>(state_.src[e])].push_back(
+          static_cast<int>(e));
+    }
+    stack_bottom_.assign(m2, 0);
+  }
+
+  bool run() {
+    const NodeId n = state_.g->node_count();
+    // Quick Euler cut: planar graphs have m <= 3n - 6 (n >= 3).
+    if (n >= 3 && state_.g->edge_count() > 3 * std::size_t{n} - 6) {
+      return false;
+    }
+    for (NodeId root = 0; root < n; ++root) {
+      if (state_.height[root] != kNone) continue;
+      state_.height[root] = 0;
+      if (!dfs1(static_cast<int>(root))) return false;
+    }
+    // Sort adjacency by nesting depth for the testing DFS.
+    for (NodeId v = 0; v < n; ++v) {
+      std::sort(state_.out[v].begin(), state_.out[v].end(),
+                [&](int a, int b) {
+                  return state_.nesting[a] < state_.nesting[b];
+                });
+    }
+    for (NodeId root = 0; root < n; ++root) {
+      if (state_.height[root] == 0 && state_.parent_edge[root] == kNone) {
+        if (!dfs2(static_cast<int>(root))) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  // Orientation phase: builds tree/back edges, lowpoints, nesting depth.
+  bool dfs1(int v) {
+    const int e = state_.parent_edge[v];
+    for (int ei : incident_[static_cast<std::size_t>(v)]) {
+      if (state_.oriented[ei] || state_.oriented[state_.twin(ei)]) continue;
+      const int w = state_.dst[ei];
+      state_.oriented[ei] = 1;
+      state_.lowpt[ei] = state_.height[v];
+      state_.lowpt2[ei] = state_.height[v];
+      if (state_.height[w] == kNone) {  // tree edge
+        state_.parent_edge[w] = ei;
+        state_.height[w] = state_.height[v] + 1;
+        if (!dfs1(w)) return false;
+      } else {  // back edge
+        state_.lowpt[ei] = state_.height[w];
+      }
+      state_.out[static_cast<std::size_t>(v)].push_back(ei);
+      // Nesting depth: interleaving order for the testing phase.
+      state_.nesting[ei] = 2 * state_.lowpt[ei];
+      if (state_.lowpt2[ei] < state_.height[v]) {
+        ++state_.nesting[ei];  // chordal: must be nested deeper
+      }
+      // Propagate lowpoints to the parent edge.
+      if (e != kNone) {
+        if (state_.lowpt[ei] < state_.lowpt[e]) {
+          state_.lowpt2[e] =
+              std::min(state_.lowpt[e], state_.lowpt2[ei]);
+          state_.lowpt[e] = state_.lowpt[ei];
+        } else if (state_.lowpt[ei] > state_.lowpt[e]) {
+          state_.lowpt2[e] = std::min(state_.lowpt2[e], state_.lowpt[ei]);
+        } else {
+          state_.lowpt2[e] = std::min(state_.lowpt2[e], state_.lowpt2[ei]);
+        }
+      }
+    }
+    return true;
+  }
+
+  int lowest(const ConflictPair& pair) const {
+    if (pair.left.empty() && pair.right.empty()) return kInf;
+    if (pair.left.empty()) return state_.lowpt[pair.right.low];
+    if (pair.right.empty()) return state_.lowpt[pair.left.low];
+    return std::min(state_.lowpt[pair.left.low],
+                    state_.lowpt[pair.right.low]);
+  }
+
+  bool conflicting(const Interval& interval, int b) const {
+    return !interval.empty() &&
+           state_.lowpt[interval.high] > state_.lowpt[b];
+  }
+
+  // Testing phase.
+  bool dfs2(int v) {
+    const int e = state_.parent_edge[v];
+    const auto& ordered = state_.out[static_cast<std::size_t>(v)];
+    for (std::size_t idx = 0; idx < ordered.size(); ++idx) {
+      const int ei = ordered[idx];
+      stack_bottom_[static_cast<std::size_t>(ei)] =
+          static_cast<int>(stack_.size());
+      if (ei == state_.parent_edge[state_.dst[ei]]) {  // tree edge
+        if (!dfs2(state_.dst[ei])) return false;
+      } else {  // back edge
+        state_.lowpt_edge[ei] = ei;
+        stack_.push_back(ConflictPair{Interval{}, Interval{ei, ei}});
+      }
+      if (state_.lowpt[ei] < state_.height[v]) {  // ei has a return edge
+        if (idx == 0) {
+          if (e != kNone) state_.lowpt_edge[e] = state_.lowpt_edge[ei];
+        } else {
+          if (!add_constraints(ei, e)) return false;
+        }
+      }
+    }
+    if (e != kNone) {
+      const int u = state_.src[e];
+      trim_back_edges(u);
+      // Side of e is determined by the highest return edge below u.
+      if (state_.lowpt[e] < state_.height[u] && !stack_.empty()) {
+        const int hl = stack_.back().left.high;
+        const int hr = stack_.back().right.high;
+        if (hl != kNone &&
+            (hr == kNone || state_.lowpt[hl] > state_.lowpt[hr])) {
+          state_.ref[e] = hl;
+        } else {
+          state_.ref[e] = hr;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool add_constraints(int ei, int e) {
+    ConflictPair merged;
+    // Merge return edges of ei into merged.right.
+    do {
+      LNC_ASSERT(!stack_.empty());
+      ConflictPair q = stack_.back();
+      stack_.pop_back();
+      if (!q.left.empty()) std::swap(q.left, q.right);
+      if (!q.left.empty()) return false;  // not planar
+      if (state_.lowpt[q.right.low] > state_.lowpt[e]) {
+        // Merge intervals.
+        if (merged.right.empty()) {
+          merged.right.high = q.right.high;
+        } else {
+          state_.ref[merged.right.low] = q.right.high;
+        }
+        merged.right.low = q.right.low;
+      } else {
+        // Align.
+        state_.ref[q.right.low] = state_.lowpt_edge[e];
+      }
+    } while (static_cast<int>(stack_.size()) >
+             stack_bottom_[static_cast<std::size_t>(ei)]);
+    // Merge conflicting return edges of e1, ..., e(i-1) into merged.left.
+    while (!stack_.empty() && (conflicting(stack_.back().left, ei) ||
+                               conflicting(stack_.back().right, ei))) {
+      ConflictPair q = stack_.back();
+      stack_.pop_back();
+      if (conflicting(q.right, ei)) std::swap(q.left, q.right);
+      if (conflicting(q.right, ei)) return false;  // not planar
+      // Merge q.right below merged.right.
+      if (!q.right.empty()) {
+        if (merged.right.empty()) {
+          merged.right.high = q.right.high;
+        } else {
+          state_.ref[merged.right.low] = q.right.high;
+        }
+        merged.right.low = q.right.low;
+      }
+      // Merge q.left into merged.left.
+      if (!q.left.empty()) {
+        if (merged.left.empty()) {
+          merged.left.high = q.left.high;
+        } else {
+          state_.ref[merged.left.low] = q.left.high;
+        }
+        merged.left.low = q.left.low;
+      }
+    }
+    if (!(merged.left.empty() && merged.right.empty())) {
+      stack_.push_back(merged);
+    }
+    return true;
+  }
+
+  void trim_back_edges(int u) {
+    // Remove back edges ending at the parent u.
+    while (!stack_.empty() && lowest(stack_.back()) == state_.height[u]) {
+      const ConflictPair& pair = stack_.back();
+      if (pair.left.low != kNone) {
+        state_.ref[pair.left.low] = kNone;  // side[left.low] = -1 analogue
+      }
+      stack_.pop_back();
+    }
+    if (!stack_.empty()) {
+      ConflictPair pair = stack_.back();
+      stack_.pop_back();
+      // Trim left interval.
+      while (pair.left.high != kNone &&
+             state_.dst[pair.left.high] == u) {
+        pair.left.high = state_.ref[pair.left.high];
+      }
+      if (pair.left.high == kNone && pair.left.low != kNone) {
+        state_.ref[pair.left.low] = pair.right.low;
+        pair.left.low = kNone;
+      }
+      // Trim right interval.
+      while (pair.right.high != kNone &&
+             state_.dst[pair.right.high] == u) {
+        pair.right.high = state_.ref[pair.right.high];
+      }
+      if (pair.right.high == kNone && pair.right.low != kNone) {
+        state_.ref[pair.right.low] = pair.left.low;
+        pair.right.low = kNone;
+      }
+      if (!(pair.left.empty() && pair.right.empty())) {
+        stack_.push_back(pair);
+      }
+    }
+  }
+
+  LrState state_;
+  std::vector<ConflictPair> stack_;
+  std::vector<int> stack_bottom_;
+  std::vector<std::vector<int>> incident_;
+};
+
+// ---------------------------------------------------------------------
+// Brute-force minor oracle (tests only).
+
+/// Enumerates partitions of a subset of nodes into `parts` non-empty
+/// connected branch sets and checks pairwise adjacency per `need`:
+/// need[i][j] == true requires an edge between branch i and branch j.
+bool find_minor(const Graph& g, int parts,
+                const std::vector<std::vector<bool>>& need) {
+  const NodeId n = g.node_count();
+  std::vector<int> assign(n, -1);  // -1 unused, else branch id
+
+  // Recursive assignment with pruning: assign nodes one by one.
+  std::function<bool(NodeId)> rec = [&](NodeId v) -> bool {
+    if (v == n) {
+      // All branch sets must be non-empty, connected, pairwise adjacent
+      // as required.
+      std::vector<std::vector<NodeId>> branch(
+          static_cast<std::size_t>(parts));
+      for (NodeId u = 0; u < n; ++u) {
+        if (assign[u] >= 0) {
+          branch[static_cast<std::size_t>(assign[u])].push_back(u);
+        }
+      }
+      for (const auto& b : branch) {
+        if (b.empty()) return false;
+      }
+      // Connectivity of each branch set.
+      for (const auto& b : branch) {
+        std::vector<char> in(n, 0);
+        for (NodeId u : b) in[u] = 1;
+        std::vector<NodeId> queue = {b[0]};
+        std::vector<char> seen(n, 0);
+        seen[b[0]] = 1;
+        std::size_t head = 0;
+        std::size_t reached = 1;
+        while (head < queue.size()) {
+          const NodeId u = queue[head++];
+          for (NodeId w : g.neighbors(u)) {
+            if (in[w] && !seen[w]) {
+              seen[w] = 1;
+              ++reached;
+              queue.push_back(w);
+            }
+          }
+        }
+        if (reached != b.size()) return false;
+      }
+      // Pairwise adjacency.
+      for (int i = 0; i < parts; ++i) {
+        for (int j = i + 1; j < parts; ++j) {
+          if (!need[static_cast<std::size_t>(i)]
+                   [static_cast<std::size_t>(j)]) {
+            continue;
+          }
+          bool adjacent = false;
+          for (NodeId u = 0; u < n && !adjacent; ++u) {
+            if (assign[u] != i) continue;
+            for (NodeId w : g.neighbors(u)) {
+              if (assign[w] == j) {
+                adjacent = true;
+                break;
+              }
+            }
+          }
+          if (!adjacent) return false;
+        }
+      }
+      return true;
+    }
+    for (int b = -1; b < parts; ++b) {
+      assign[v] = b;
+      if (rec(v + 1)) return true;
+    }
+    assign[v] = -1;
+    return false;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+bool is_planar(const Graph& g) {
+  if (g.node_count() < 5) return true;  // K4 and smaller are planar
+  LrTester tester(g);
+  return tester.run();
+}
+
+bool has_k5_or_k33_minor_bruteforce(const Graph& g) {
+  LNC_EXPECTS(g.node_count() <= 12 &&
+              "brute-force minor check is exponential");
+  // K5: 5 branch sets, all pairs adjacent.
+  std::vector<std::vector<bool>> k5(5, std::vector<bool>(5, true));
+  if (find_minor(g, 5, k5)) return true;
+  // K3,3: 6 branch sets, bipartite adjacency (0,1,2) x (3,4,5).
+  std::vector<std::vector<bool>> k33(6, std::vector<bool>(6, false));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 3; j < 6; ++j) {
+      k33[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+      k33[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+    }
+  }
+  return find_minor(g, 6, k33);
+}
+
+bool euler_bound_holds(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n < 3) return true;
+  const std::size_t m = g.edge_count();
+  if (m > 3 * n - 6) return false;
+  if (girth(g) >= 4 || girth(g) == -1) {
+    return m <= 2 * n - 4 || n < 3;
+  }
+  return true;
+}
+
+}  // namespace lnc::graph

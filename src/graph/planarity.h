@@ -1,0 +1,36 @@
+// Planarity testing.
+//
+// Section 5 of the paper: "Theorem 1 extends to tasks with promises such
+// as planar graphs, or 2-connected graphs. Indeed, the construction in
+// the proof of the theorem preserves planarity and 2-connectivity."
+// This module provides the measuring instrument for the planarity half:
+//
+//  * is_planar       — the left-right (de Fraysseix-Rosenstiehl) test in
+//                      the formulation of Brandes' "The Left-Right
+//                      Planarity Test": O(n + m), DFS orientation,
+//                      lowpoint nesting order, and a stack of conflict
+//                      pairs of back-edge intervals.
+//  * has_k5_or_k33_minor_bruteforce — an independent oracle for small
+//                      graphs (Kuratowski/Wagner: planar iff no K5 and no
+//                      K3,3 minor), used by the property tests to
+//                      cross-validate the fast test on random graphs.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace lnc::graph {
+
+/// Left-right planarity test. Works on any simple graph (connected or
+/// not; components are tested independently).
+bool is_planar(const Graph& g);
+
+/// Exhaustive minor check: true iff g contains a K5 or K3,3 minor.
+/// Exponential — intended for graphs with at most ~12 nodes (tests only).
+bool has_k5_or_k33_minor_bruteforce(const Graph& g);
+
+/// Convenience: the Euler necessary conditions (m <= 3n-6, and m <= 2n-4
+/// for triangle-free graphs). True never implies planar; false implies
+/// non-planar. Used as a sanity cross-check in tests.
+bool euler_bound_holds(const Graph& g);
+
+}  // namespace lnc::graph

@@ -1,0 +1,80 @@
+#include "ident/identity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "rand/splitmix.h"
+#include "util/assert.h"
+
+namespace lnc::ident {
+
+IdAssignment::IdAssignment(std::vector<Identity> ids) : ids_(std::move(ids)) {
+  std::unordered_set<Identity> seen;
+  seen.reserve(ids_.size());
+  for (Identity id : ids_) {
+    LNC_EXPECTS(id > 0);
+    const bool inserted = seen.insert(id).second;
+    LNC_EXPECTS(inserted);
+  }
+}
+
+Identity IdAssignment::max_identity() const {
+  LNC_EXPECTS(!ids_.empty());
+  return *std::max_element(ids_.begin(), ids_.end());
+}
+
+Identity IdAssignment::min_identity() const {
+  LNC_EXPECTS(!ids_.empty());
+  return *std::min_element(ids_.begin(), ids_.end());
+}
+
+graph::NodeId IdAssignment::index_of(Identity id) const noexcept {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return static_cast<graph::NodeId>(i);
+  }
+  return graph::kInvalidNode;
+}
+
+IdAssignment IdAssignment::shifted(Identity offset) const {
+  std::vector<Identity> shifted_ids(ids_);
+  for (Identity& id : shifted_ids) id += offset;
+  return IdAssignment(std::move(shifted_ids));
+}
+
+IdAssignment consecutive(graph::NodeId n, Identity start) {
+  LNC_EXPECTS(start > 0);
+  std::vector<Identity> ids(n);
+  for (graph::NodeId i = 0; i < n; ++i) ids[i] = start + i;
+  return IdAssignment(std::move(ids));
+}
+
+IdAssignment random_permutation(graph::NodeId n, std::uint64_t seed,
+                                Identity start) {
+  LNC_EXPECTS(start > 0);
+  std::vector<Identity> ids(n);
+  for (graph::NodeId i = 0; i < n; ++i) ids[i] = start + i;
+  rand::SplitMix64 rng(rand::mix_keys(seed, 0x706572D0ULL));
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(ids[i - 1], ids[j]);
+  }
+  return IdAssignment(std::move(ids));
+}
+
+IdAssignment random_sparse(graph::NodeId n, Identity low, Identity high,
+                           std::uint64_t seed) {
+  LNC_EXPECTS(low > 0);
+  LNC_EXPECTS(high >= low);
+  LNC_EXPECTS(high - low + 1 >= n);
+  rand::SplitMix64 rng(rand::mix_keys(seed, 0x73706172ULL));
+  std::unordered_set<Identity> chosen;
+  std::vector<Identity> ids;
+  ids.reserve(n);
+  while (ids.size() < n) {
+    const Identity candidate = low + rng.next_below(high - low + 1);
+    if (chosen.insert(candidate).second) ids.push_back(candidate);
+  }
+  return IdAssignment(std::move(ids));
+}
+
+}  // namespace lnc::ident

@@ -1,0 +1,65 @@
+// Identity assignments (paper, section 2.1.1): every node carries a
+// positive integer identity; identities in one network are pairwise
+// distinct but otherwise adversarial and unbounded.
+//
+// The unboundedness matters: Claim 2 requires hard instances with all
+// identities above an arbitrary threshold Imin, and Theorem 1's glue
+// concatenates instances whose identity ranges must not overlap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lnc::ident {
+
+/// A node identity. 64-bit: the model allows unbounded identities; the
+/// experiments never exhaust this range.
+using Identity = std::uint64_t;
+
+/// Pairwise-distinct positive identities, indexed by graph node index.
+class IdAssignment {
+ public:
+  IdAssignment() = default;
+
+  /// Takes ownership; validates positivity and pairwise distinctness.
+  explicit IdAssignment(std::vector<Identity> ids);
+
+  Identity of(graph::NodeId v) const noexcept { return ids_[v]; }
+  Identity operator[](graph::NodeId v) const noexcept { return ids_[v]; }
+
+  std::size_t size() const noexcept { return ids_.size(); }
+  bool empty() const noexcept { return ids_.empty(); }
+
+  const std::vector<Identity>& raw() const noexcept { return ids_; }
+
+  Identity max_identity() const;
+  Identity min_identity() const;
+
+  /// Node index holding a given identity, or kInvalidNode.
+  graph::NodeId index_of(Identity id) const noexcept;
+
+  /// Returns a copy with every identity shifted by `offset` (used to move a
+  /// hard instance's identities above Imin, Claim 2).
+  IdAssignment shifted(Identity offset) const;
+
+ private:
+  std::vector<Identity> ids_;
+};
+
+/// Identities 1..n in node-index order — the paper's Corollary-1 hard
+/// instance: "the cycle C_n where adjacent nodes are given consecutive
+/// identities from 1 to n".
+IdAssignment consecutive(graph::NodeId n, Identity start = 1);
+
+/// A uniformly random permutation of {start, ..., start+n-1}.
+IdAssignment random_permutation(graph::NodeId n, std::uint64_t seed,
+                                Identity start = 1);
+
+/// Random distinct identities drawn from [low, high] (sparse, adversarial
+/// spacing). Requires high - low + 1 >= n.
+IdAssignment random_sparse(graph::NodeId n, Identity low, Identity high,
+                           std::uint64_t seed);
+
+}  // namespace lnc::ident

@@ -1,0 +1,82 @@
+#include "ident/order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rand/splitmix.h"
+#include "util/assert.h"
+
+namespace lnc::ident {
+
+std::vector<std::size_t> rank_pattern(std::span<const Identity> values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<std::size_t> ranks(values.size());
+  for (std::size_t r = 0; r < order.size(); ++r) ranks[order[r]] = r;
+  return ranks;
+}
+
+bool same_order(std::span<const Identity> a, std::span<const Identity> b) {
+  if (a.size() != b.size()) return false;
+  return rank_pattern(a) == rank_pattern(b);
+}
+
+std::vector<Identity> canonical_ranks(std::span<const Identity> values) {
+  const std::vector<std::size_t> ranks = rank_pattern(values);
+  std::vector<Identity> canonical(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    canonical[i] = static_cast<Identity>(ranks[i] + 1);
+  }
+  return canonical;
+}
+
+std::vector<Identity> order_preserving_remap(std::span<const Identity> values,
+                                             Identity ceiling,
+                                             std::uint64_t seed) {
+  const std::size_t n = values.size();
+  LNC_EXPECTS(ceiling >= n);
+  // Choose n distinct values in [1, ceiling] (Floyd-style via set emulation
+  // with sort/unique over oversampling is wasteful; use selection sampling).
+  rand::SplitMix64 rng(rand::mix_keys(seed, 0x6F72646572ULL));
+  std::vector<Identity> chosen;
+  chosen.reserve(n);
+  // Selection sampling (Knuth 3.4.2 S): scan a virtual [1, ceiling] range.
+  // When ceiling is huge, fall back to rejection sampling on a hash set.
+  if (ceiling <= 4 * n + 16) {
+    std::size_t needed = n;
+    for (Identity value = 1; value <= ceiling && needed > 0; ++value) {
+      const Identity remaining = ceiling - value + 1;
+      if (rng.next_below(remaining) < needed) {
+        chosen.push_back(value);
+        --needed;
+      }
+    }
+  } else {
+    std::vector<Identity> pool;
+    pool.reserve(2 * n);
+    while (pool.size() < n) {
+      pool.clear();
+      for (std::size_t i = 0; i < 2 * n; ++i) {
+        pool.push_back(1 + rng.next_below(ceiling));
+      }
+      std::sort(pool.begin(), pool.end());
+      pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    }
+    chosen.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  LNC_ASSERT(chosen.size() == n);
+  // chosen is sorted ascending; assign chosen[rank(i)] to position i.
+  const std::vector<std::size_t> ranks = rank_pattern(values);
+  std::vector<Identity> remapped(n);
+  for (std::size_t i = 0; i < n; ++i) remapped[i] = chosen[ranks[i]];
+  return remapped;
+}
+
+IdAssignment canonicalize(const IdAssignment& ids) {
+  return IdAssignment(canonical_ranks(ids.raw()));
+}
+
+}  // namespace lnc::ident

@@ -1,0 +1,42 @@
+// Order patterns of identity assignments.
+//
+// An order-invariant algorithm (paper, section 2.1.1) may use only the
+// relative order of the identities in a node's view, never their values.
+// This module extracts rank patterns, constructs order-preserving
+// re-assignments (the probe used to *verify* order invariance, Claim 1 /
+// experiment E5), and canonicalizes identities to ranks (the A -> A'
+// transformation of Appendix A with the identity universe U = {1, 2, ...}).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ident/identity.h"
+
+namespace lnc::ident {
+
+/// Rank vector: rank_of[i] = |{ j : values[j] < values[i] }|. With distinct
+/// values this is a permutation of 0..n-1 capturing exactly the order
+/// pattern.
+std::vector<std::size_t> rank_pattern(std::span<const Identity> values);
+
+/// True when `a` and `b` induce the same ordering (same rank pattern).
+bool same_order(std::span<const Identity> a, std::span<const Identity> b);
+
+/// Replaces each identity by 1 + its rank: the canonical representative of
+/// its order class. An algorithm pre-composed with this map is
+/// order-invariant by construction.
+std::vector<Identity> canonical_ranks(std::span<const Identity> values);
+
+/// An order-preserving random re-assignment: maps the sorted identities to
+/// a strictly increasing random sequence in [1, ceiling]. Requires
+/// ceiling >= values.size(). Deterministic in `seed`.
+std::vector<Identity> order_preserving_remap(std::span<const Identity> values,
+                                             Identity ceiling,
+                                             std::uint64_t seed);
+
+/// Applies canonical_ranks to an IdAssignment.
+IdAssignment canonicalize(const IdAssignment& ids);
+
+}  // namespace lnc::ident

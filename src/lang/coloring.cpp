@@ -1,0 +1,33 @@
+#include "lang/coloring.h"
+
+#include "util/assert.h"
+
+namespace lnc::lang {
+
+ProperColoring::ProperColoring(int colors) : colors_(colors) {
+  LNC_EXPECTS(colors >= 1);
+}
+
+std::string ProperColoring::name() const {
+  return "proper-" + std::to_string(colors_) + "-coloring";
+}
+
+bool ProperColoring::is_bad_ball(const LabeledBall& ball) const {
+  const local::Label center_color = ball.output_of(0);
+  if (center_color >= static_cast<local::Label>(colors_)) return true;
+  for (graph::NodeId nbr : ball.ball->neighbors(0)) {
+    if (ball.output_of(nbr) == center_color) return true;
+  }
+  return false;
+}
+
+std::size_t ProperColoring::conflict_edges(
+    const local::Instance& inst, std::span<const local::Label> output) {
+  std::size_t conflicts = 0;
+  for (const graph::Edge& e : inst.g.edges()) {
+    if (output[e.u] == output[e.v]) ++conflicts;
+  }
+  return conflicts;
+}
+
+}  // namespace lnc::lang

@@ -1,0 +1,29 @@
+// Proper q-coloring — the paper's running example. Bad(L) = balls of
+// radius 1 whose center shares its color with some neighbor, or whose
+// center's color is outside the palette {0, ..., q-1}.
+#pragma once
+
+#include "lang/language.h"
+
+namespace lnc::lang {
+
+class ProperColoring final : public LclLanguage {
+ public:
+  explicit ProperColoring(int colors);
+
+  std::string name() const override;
+  int radius() const override { return 1; }
+  bool is_bad_ball(const LabeledBall& ball) const override;
+
+  int colors() const noexcept { return colors_; }
+
+  /// Number of monochromatic edges under `output` — the conflict count the
+  /// epsilon-slack experiment (E2) reports.
+  static std::size_t conflict_edges(const local::Instance& inst,
+                                    std::span<const local::Label> output);
+
+ private:
+  int colors_;
+};
+
+}  // namespace lnc::lang

@@ -1,0 +1,39 @@
+#include "lang/domset.h"
+
+namespace lnc::lang {
+
+bool MinimalDominatingSet::is_bad_ball(const LabeledBall& ball) const {
+  const graph::BallView& view = *ball.ball;
+  if (ball.output_of(0) > kIn) return true;  // labels are {0, 1}
+  const bool center_in = ball.output_of(0) == kIn;
+
+  auto dominated_excluding_center = [&](graph::NodeId local) {
+    // Is `local` dominated by someone other than the ball's center?
+    // All of local's neighbors are present in the radius-2 ball whenever
+    // dist(local) <= 1, which is the only case we query below.
+    if (local != 0 && ball.output_of(local) == kIn) return true;
+    for (graph::NodeId w : view.neighbors(local)) {
+      if (w != 0 && ball.output_of(w) == kIn) return true;
+    }
+    return false;
+  };
+
+  if (!center_in) {
+    // Domination: the center needs a dominator in N[center].
+    for (graph::NodeId nbr : view.neighbors(0)) {
+      if (ball.output_of(nbr) == kIn) return false;
+    }
+    return true;  // nobody dominates the center
+  }
+
+  // Minimality: center v in S is bad iff removing it keeps every node in
+  // N[v] dominated (then S was not minimal at v).
+  if (!dominated_excluding_center(0)) return false;
+  for (graph::NodeId nbr : view.neighbors(0)) {
+    if (view.distance(nbr) != 1) continue;
+    if (!dominated_excluding_center(nbr)) return false;
+  }
+  return true;  // v is redundant
+}
+
+}  // namespace lnc::lang

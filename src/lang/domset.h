@@ -1,0 +1,25 @@
+// Minimal dominating set — the third task the paper names for f-resilient
+// relaxations (section 1.2). Output 1 = in the set S.
+//
+// Domination is a radius-1 property (a node outside S needs a neighbor in
+// S). MINIMALITY is radius-2: v in S is redundant iff S \ {v} still
+// dominates, i.e. iff no node in N[v] has v as its unique dominator; each
+// witness's own dominators live in its closed neighborhood, i.e. within
+// distance 2 of v. Bad(L) therefore uses radius 2 — a useful stress case
+// for everything downstream that assumed t = 1.
+#pragma once
+
+#include "lang/language.h"
+
+namespace lnc::lang {
+
+class MinimalDominatingSet final : public LclLanguage {
+ public:
+  static constexpr local::Label kIn = 1;
+
+  std::string name() const override { return "minimal-dominating-set"; }
+  int radius() const override { return 2; }
+  bool is_bad_ball(const LabeledBall& ball) const override;
+};
+
+}  // namespace lnc::lang

@@ -1,0 +1,33 @@
+#include "lang/frugal.h"
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace lnc::lang {
+
+FrugalColoring::FrugalColoring(int colors, int frugality)
+    : colors_(colors), frugality_(frugality) {
+  LNC_EXPECTS(colors >= 1);
+  LNC_EXPECTS(frugality >= 1);
+}
+
+std::string FrugalColoring::name() const {
+  return std::to_string(frugality_) + "-frugal-" + std::to_string(colors_) +
+         "-coloring";
+}
+
+bool FrugalColoring::is_bad_ball(const LabeledBall& ball) const {
+  const local::Label center_color = ball.output_of(0);
+  if (center_color >= static_cast<local::Label>(colors_)) return true;
+  std::vector<int> uses(static_cast<std::size_t>(colors_), 0);
+  for (graph::NodeId nbr : ball.ball->neighbors(0)) {
+    const local::Label c = ball.output_of(nbr);
+    if (c >= static_cast<local::Label>(colors_)) return true;
+    if (c == center_color) return true;  // not proper
+    if (++uses[static_cast<std::size_t>(c)] > frugality_) return true;
+  }
+  return false;
+}
+
+}  // namespace lnc::lang

@@ -1,0 +1,30 @@
+// c-frugal proper coloring (paper, section 4): a proper coloring in which
+// no color appears more than c times in the neighborhood of any node. The
+// paper uses it as the example of an LD language whose "local fixing" is
+// not easy — motivating why Corollary 1 needs Theorem 1 rather than a
+// patch-the-faults argument. Bad(L), radius 1: center conflicts with a
+// neighbor, palette overflow, or some color occurring > c times among the
+// center's neighbors.
+#pragma once
+
+#include "lang/language.h"
+
+namespace lnc::lang {
+
+class FrugalColoring final : public LclLanguage {
+ public:
+  FrugalColoring(int colors, int frugality);
+
+  std::string name() const override;
+  int radius() const override { return 1; }
+  bool is_bad_ball(const LabeledBall& ball) const override;
+
+  int colors() const noexcept { return colors_; }
+  int frugality() const noexcept { return frugality_; }
+
+ private:
+  int colors_;
+  int frugality_;
+};
+
+}  // namespace lnc::lang

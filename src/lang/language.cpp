@@ -1,0 +1,29 @@
+#include "lang/language.h"
+
+namespace lnc::lang {
+
+bool LclLanguage::contains(const local::Instance& inst,
+                           std::span<const local::Label> output) const {
+  return count_bad_balls(inst, output) == 0;
+}
+
+std::vector<graph::NodeId> LclLanguage::bad_ball_centers(
+    const local::Instance& inst,
+    std::span<const local::Label> output) const {
+  std::vector<graph::NodeId> centers;
+  const int t = radius();
+  for (graph::NodeId v = 0; v < inst.node_count(); ++v) {
+    const graph::BallView view(inst.g, v, t);
+    LabeledBall labeled{&view, &inst, output};
+    if (is_bad_ball(labeled)) centers.push_back(v);
+  }
+  return centers;
+}
+
+std::size_t LclLanguage::count_bad_balls(
+    const local::Instance& inst,
+    std::span<const local::Label> output) const {
+  return bad_ball_centers(inst, output).size();
+}
+
+}  // namespace lnc::lang

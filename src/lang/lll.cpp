@@ -1,0 +1,29 @@
+#include "lang/lll.h"
+
+#include <cmath>
+
+namespace lnc::lang {
+
+bool LllAvoidance::is_bad_ball(const LabeledBall& ball) const {
+  const local::Label center_value = ball.output_of(0);
+  if (center_value > 1) return true;  // variables are binary
+  const auto nbrs = ball.ball->neighbors(0);
+  if (nbrs.empty()) return false;
+  for (graph::NodeId nbr : nbrs) {
+    if (ball.output_of(nbr) > 1) return true;
+    if (ball.output_of(nbr) != center_value) return false;
+  }
+  return true;  // every variable in N[center] agrees: E_center holds
+}
+
+bool LllAvoidance::lll_condition_holds(const graph::Graph& g) {
+  const double delta = static_cast<double>(g.max_degree());
+  const double dependency_degree = delta * delta;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const double p = std::pow(2.0, -static_cast<double>(g.degree(v)));
+    if (std::exp(1.0) * p * (dependency_degree + 1.0) > 1.0) return false;
+  }
+  return true;
+}
+
+}  // namespace lnc::lang

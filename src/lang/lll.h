@@ -1,0 +1,42 @@
+// A concrete constructive-Lovász-Local-Lemma system (paper, sections 1.1
+// and 4; Chung-Pettie-Su is the cited distributed LLL reference).
+//
+// Each node holds one binary variable. The bad event at node v:
+//
+//     E_v  ==  all variables in the closed neighborhood N[v] are equal.
+//
+// Pr[E_v] = 2^{-deg(v)} under uniform assignment, and E_v depends only on
+// variables within distance 1, so events at distance >= 3 are independent:
+// the symmetric LLL condition  e * p * (d+1) <= 1  holds whenever node
+// degrees are >= ~5 (p = 2^-5, dependency degree <= d^2). The *language*
+// "no bad event holds" is a radius-1 LCL; its f-resilient relaxation "at
+// most f bad events hold" is the paper's Definition 1 applied to LLL.
+//
+// algo/moser_tardos.h constructs satisfying assignments by distributed
+// resampling; experiment E11 measures its round count.
+#pragma once
+
+#include "lang/language.h"
+
+namespace lnc::lang {
+
+class LllAvoidance final : public LclLanguage {
+ public:
+  std::string name() const override { return "lll-avoidance"; }
+  int radius() const override { return 1; }
+
+  /// Bad ball == the bad event E_center holds (all of N[center] agree),
+  /// or the output is not binary. Isolated nodes never trigger E_v (an
+  /// empty neighborhood makes the event trivially... a single variable is
+  /// always "all equal"; we follow the convention that E_v requires at
+  /// least one neighbor, else the LLL condition would be unsatisfiable).
+  bool is_bad_ball(const LabeledBall& ball) const override;
+
+  /// True when the symmetric LLL condition e*p*(d+1) <= 1 holds for every
+  /// node of g: p = 2^{-deg(v)} and d = (max event-dependency degree) =
+  /// max over v of |{u != v : N[u] cap N[v] != empty}| bounded here by
+  /// delta^2 with delta = max degree.
+  static bool lll_condition_holds(const graph::Graph& g);
+};
+
+}  // namespace lnc::lang

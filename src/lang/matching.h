@@ -1,0 +1,22 @@
+// Maximal matching — a task the paper names among the f-resilient targets
+// (section 1.2). A node's output is the identity of its matched neighbor,
+// or kUnmatched. Bad(L), radius 1:
+//   * the output names a non-neighbor (or the node itself),
+//   * the named neighbor does not point back (symmetry),
+//   * the center and some neighbor are both unmatched (maximality).
+#pragma once
+
+#include "lang/language.h"
+
+namespace lnc::lang {
+
+class MaximalMatching final : public LclLanguage {
+ public:
+  static constexpr local::Label kUnmatched = 0;
+
+  std::string name() const override { return "maximal-matching"; }
+  int radius() const override { return 1; }
+  bool is_bad_ball(const LabeledBall& ball) const override;
+};
+
+}  // namespace lnc::lang

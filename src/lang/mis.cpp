@@ -1,0 +1,19 @@
+#include "lang/mis.h"
+
+namespace lnc::lang {
+
+bool MaximalIndependentSet::is_bad_ball(const LabeledBall& ball) const {
+  const bool center_in = ball.output_of(0) == kIn;
+  if (ball.output_of(0) > kIn) return true;  // labels are {0, 1}
+  bool any_neighbor_in = false;
+  for (graph::NodeId nbr : ball.ball->neighbors(0)) {
+    if (ball.output_of(nbr) == kIn) {
+      any_neighbor_in = true;
+      if (center_in) return true;  // independence violated
+    }
+  }
+  if (!center_in && !any_neighbor_in) return true;  // maximality violated
+  return false;
+}
+
+}  // namespace lnc::lang

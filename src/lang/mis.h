@@ -1,0 +1,19 @@
+// Maximal independent set. Bad(L): radius-1 balls where the center is in
+// the set together with a neighbor (independence), or the center and all
+// its neighbors are out (maximality). Output 1 = in the set.
+#pragma once
+
+#include "lang/language.h"
+
+namespace lnc::lang {
+
+class MaximalIndependentSet final : public LclLanguage {
+ public:
+  static constexpr local::Label kIn = 1;
+
+  std::string name() const override { return "mis"; }
+  int radius() const override { return 1; }
+  bool is_bad_ball(const LabeledBall& ball) const override;
+};
+
+}  // namespace lnc::lang

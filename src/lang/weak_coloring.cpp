@@ -1,0 +1,26 @@
+#include "lang/weak_coloring.h"
+
+#include "util/assert.h"
+
+namespace lnc::lang {
+
+WeakColoring::WeakColoring(int colors) : colors_(colors) {
+  LNC_EXPECTS(colors >= 2);
+}
+
+std::string WeakColoring::name() const {
+  return "weak-" + std::to_string(colors_) + "-coloring";
+}
+
+bool WeakColoring::is_bad_ball(const LabeledBall& ball) const {
+  const local::Label center_color = ball.output_of(0);
+  if (center_color >= static_cast<local::Label>(colors_)) return true;
+  const auto nbrs = ball.ball->neighbors(0);
+  if (nbrs.empty()) return false;  // isolated nodes are unconstrained
+  for (graph::NodeId nbr : nbrs) {
+    if (ball.output_of(nbr) != center_color) return false;
+  }
+  return true;
+}
+
+}  // namespace lnc::lang

@@ -1,0 +1,25 @@
+// Weak q-coloring (Naor-Stockmeyer): every non-isolated node must have at
+// least one neighbor with a different color. The paper cites it (sections
+// 1.1, 2.2.2) as a task both constructible and decidable in constant time.
+// Bad(L): radius-1 balls whose non-isolated center matches ALL neighbors.
+#pragma once
+
+#include "lang/language.h"
+
+namespace lnc::lang {
+
+class WeakColoring final : public LclLanguage {
+ public:
+  explicit WeakColoring(int colors);
+
+  std::string name() const override;
+  int radius() const override { return 1; }
+  bool is_bad_ball(const LabeledBall& ball) const override;
+
+  int colors() const noexcept { return colors_; }
+
+ private:
+  int colors_;
+};
+
+}  // namespace lnc::lang

@@ -1,0 +1,141 @@
+#include "local/ball_collector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace lnc::local {
+namespace {
+
+Message serialize(const Knowledge& knowledge) {
+  Message msg;
+  msg.push_back(knowledge.size());
+  for (const auto& [id, record] : knowledge) {
+    msg.push_back(id);
+    msg.push_back(record.input);
+    msg.push_back(record.adjacency_known ? 1 : 0);
+    msg.push_back(record.neighbor_ids.size());
+    for (ident::Identity nbr : record.neighbor_ids) msg.push_back(nbr);
+  }
+  return msg;
+}
+
+void merge_from(Knowledge& knowledge, const Message& msg) {
+  std::size_t pos = 0;
+  LNC_ASSERT(!msg.empty());
+  const std::uint64_t count = msg[pos++];
+  for (std::uint64_t i = 0; i < count; ++i) {
+    KnownNode incoming;
+    incoming.id = msg[pos++];
+    incoming.input = msg[pos++];
+    incoming.adjacency_known = msg[pos++] != 0;
+    const std::uint64_t nbr_count = msg[pos++];
+    incoming.neighbor_ids.reserve(nbr_count);
+    for (std::uint64_t j = 0; j < nbr_count; ++j) {
+      incoming.neighbor_ids.push_back(msg[pos++]);
+    }
+    auto [it, inserted] = knowledge.try_emplace(incoming.id, incoming);
+    if (!inserted && incoming.adjacency_known &&
+        !it->second.adjacency_known) {
+      it->second = std::move(incoming);
+    }
+  }
+  LNC_ASSERT(pos == msg.size());
+}
+
+class CollectorProgram final : public NodeProgram {
+ public:
+  explicit CollectorProgram(int radius) : radius_(radius) {}
+
+  bool init(const NodeEnv& env) override {
+    self_id_ = env.id;
+    KnownNode self;
+    self.id = env.id;
+    self.input = env.input;
+    knowledge_.emplace(env.id, std::move(self));
+    return radius_ == 0;
+  }
+
+  Message send(int /*round*/) override { return serialize(knowledge_); }
+
+  bool receive(int round, std::span<const Message> inbox) override {
+    for (const Message& msg : inbox) merge_from(knowledge_, msg);
+    if (round == 1) {
+      // The round-1 messages reveal the neighbors' identities: the node
+      // now knows its own adjacency and can flood it from round 2 on.
+      KnownNode& self = knowledge_.at(self_id_);
+      self.adjacency_known = true;
+      self.neighbor_ids.clear();
+      for (const Message& msg : inbox) {
+        // Each round-1 message contains exactly the sender's own record:
+        // [count=1, id, input, adj_flag=0, nbr_count=0].
+        LNC_ASSERT(msg.size() == 5);
+        self.neighbor_ids.push_back(msg[1]);
+      }
+      std::sort(self.neighbor_ids.begin(), self.neighbor_ids.end());
+    }
+    return round >= radius_;
+  }
+
+  Label output() const override { return 0; }
+
+  const Knowledge& knowledge() const noexcept { return knowledge_; }
+
+ private:
+  int radius_;
+  ident::Identity self_id_ = 0;
+  Knowledge knowledge_;
+};
+
+class CollectorFactory final : public NodeProgramFactory {
+ public:
+  explicit CollectorFactory(int radius) : radius_(radius) {}
+
+  std::string name() const override { return "ball-collector"; }
+
+  std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<CollectorProgram>(radius_);
+  }
+
+ private:
+  int radius_;
+};
+
+}  // namespace
+
+std::vector<Knowledge> collect_balls(const Instance& inst, int radius,
+                                     const EngineOptions& options) {
+  LNC_EXPECTS(radius >= 0);
+  CollectorFactory factory(radius);
+  EngineResult result = run_engine(inst, factory, options);
+  LNC_ASSERT(result.completed);
+  LNC_ASSERT(result.rounds == radius || (radius == 0 && result.rounds == 0));
+  std::vector<Knowledge> tables;
+  tables.reserve(result.programs.size());
+  for (const auto& program : result.programs) {
+    // EngineResult::programs[v] is node v's program by construction.
+    tables.push_back(
+        static_cast<const CollectorProgram&>(*program).knowledge());
+  }
+  return tables;
+}
+
+std::vector<std::pair<ident::Identity, ident::Identity>> knowledge_edges(
+    const Knowledge& knowledge) {
+  std::vector<std::pair<ident::Identity, ident::Identity>> edges;
+  for (const auto& [id, record] : knowledge) {
+    if (!record.adjacency_known) continue;
+    for (ident::Identity nbr : record.neighbor_ids) {
+      // Report each edge once; both-known edges would otherwise repeat.
+      const auto lo = std::min(id, nbr);
+      const auto hi = std::max(id, nbr);
+      edges.emplace_back(lo, hi);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace lnc::local

@@ -1,0 +1,44 @@
+// The generic t-round full-information protocol: every node floods its
+// knowledge every round; after t rounds a node knows exactly B_G(v, t) —
+// identities and inputs of all nodes at distance <= t, and the adjacency
+// of all nodes at distance <= t-1 (hence every ball edge except those
+// between two distance-t nodes, matching the paper's ball definition).
+//
+// This is the constructive half of the "simulation theorem" of section
+// 2.1.1: any t-round algorithm can be replayed on top of this protocol.
+// tests/local_test.cpp checks that the knowledge gathered here coincides
+// with graph::BallView node-for-node and edge-for-edge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "local/engine.h"
+
+namespace lnc::local {
+
+/// What the collector learned about one remote node.
+struct KnownNode {
+  ident::Identity id = 0;
+  Label input = 0;
+  bool adjacency_known = false;
+  std::vector<ident::Identity> neighbor_ids;  // valid iff adjacency_known
+};
+
+/// Knowledge table keyed by identity (nodes have no global indices in the
+/// LOCAL model — identity is the only name they share).
+using Knowledge = std::map<ident::Identity, KnownNode>;
+
+/// Runs the flooding protocol for `radius` rounds and returns every node's
+/// final knowledge table, indexed by node index.
+std::vector<Knowledge> collect_balls(const Instance& inst, int radius,
+                                     const EngineOptions& options = {});
+
+/// Edges of the ball reconstructed from a knowledge table: unordered
+/// identity pairs (a, b), a < b, where at least one endpoint's adjacency is
+/// known. This equals the edge set of B_G(v, t) mapped to identities.
+std::vector<std::pair<ident::Identity, ident::Identity>> knowledge_edges(
+    const Knowledge& knowledge);
+
+}  // namespace lnc::local

@@ -1,0 +1,119 @@
+#include "local/engine.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace lnc::local {
+namespace {
+
+/// Port of (v+1) mod n in v's sorted neighbor list, for the canonical cycle
+/// produced by graph::cycle(). Returns nullopt when g is not that cycle.
+std::optional<std::vector<std::uint32_t>> ring_successor_ports(
+    const graph::Graph& g) {
+  const graph::NodeId n = g.node_count();
+  if (n < 3) return std::nullopt;
+  std::vector<std::uint32_t> ports(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) != 2) return std::nullopt;
+    const graph::NodeId succ = (v + 1) % n;
+    const auto nbrs = g.neighbors(v);
+    if (nbrs[0] == succ) {
+      ports[v] = 0;
+    } else if (nbrs[1] == succ) {
+      ports[v] = 1;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return ports;
+}
+
+}  // namespace
+
+EngineResult run_engine(const Instance& inst,
+                        const NodeProgramFactory& factory,
+                        const EngineOptions& options) {
+  inst.validate();
+  const graph::NodeId n = inst.node_count();
+
+  std::optional<std::vector<std::uint32_t>> succ_ports;
+  if (options.grant_ring_orientation) {
+    succ_ports = ring_successor_ports(inst.g);
+    LNC_EXPECTS(succ_ports.has_value() &&
+                "grant_ring_orientation requires the canonical cycle");
+  }
+
+  std::vector<std::unique_ptr<NodeProgram>> programs(n);
+  std::vector<std::unique_ptr<rand::NodeRng>> rngs(n);
+  std::vector<char> halted(n, 0);
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    programs[v] = factory.create();
+    NodeEnv env;
+    env.id = inst.ids[v];
+    env.input = inst.input_of(v);
+    env.degree = inst.g.degree(v);
+    if (succ_ports) env.succ_port = (*succ_ports)[v];
+    if (options.grant_n) env.n_nodes = n;
+    if (options.coins != nullptr) {
+      rngs[v] = std::make_unique<rand::NodeRng>(*options.coins, inst.ids[v]);
+      env.rng = rngs[v].get();
+    }
+    halted[v] = programs[v]->init(env) ? 1 : 0;
+  }
+
+  auto all_halted = [&]() {
+    return std::all_of(halted.begin(), halted.end(),
+                       [](char h) { return h != 0; });
+  };
+
+  std::vector<Message> outbox(n);
+  EngineResult result;
+  int round = 0;
+  while (!all_halted()) {
+    if (round >= options.max_rounds) {
+      result.completed = false;
+      result.rounds = round;
+      result.output.resize(n);
+      for (graph::NodeId v = 0; v < n; ++v) {
+        result.output[v] = programs[v]->output();
+      }
+      result.programs = std::move(programs);
+      return result;
+    }
+    ++round;
+
+    auto send_step = [&](std::uint64_t v) {
+      outbox[v] = programs[v]->send(round);
+    };
+    auto receive_step = [&](std::uint64_t v) {
+      if (halted[v] != 0) return;
+      const auto nbrs = inst.g.neighbors(static_cast<graph::NodeId>(v));
+      std::vector<Message> inbox(nbrs.size());
+      for (std::size_t p = 0; p < nbrs.size(); ++p) {
+        inbox[p] = outbox[nbrs[p]];
+      }
+      if (programs[v]->receive(round, inbox)) halted[v] = 1;
+    };
+
+    if (options.pool != nullptr) {
+      options.pool->parallel_for(n, send_step);
+      options.pool->parallel_for(n, receive_step);
+    } else {
+      for (graph::NodeId v = 0; v < n; ++v) send_step(v);
+      for (graph::NodeId v = 0; v < n; ++v) receive_step(v);
+    }
+  }
+
+  result.completed = true;
+  result.rounds = round;
+  result.output.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    result.output[v] = programs[v]->output();
+  }
+  result.programs = std::move(programs);
+  return result;
+}
+
+}  // namespace lnc::local

@@ -1,0 +1,98 @@
+// The synchronous LOCAL round engine (paper, section 2.1.1).
+//
+// Each round, every node (1) sends a message to its neighbors, (2) receives
+// its neighbors' messages, (3) computes. Message size and local computation
+// are unbounded — the model's only resource is the number of rounds, which
+// the engine counts and reports (that count *is* the measurement in
+// experiments E3 and E10).
+//
+// Programs are per-node state machines created by a factory per execution;
+// node steps within a round are data-parallel and can run on a thread pool
+// (results are independent of the schedule because rounds are barriers and
+// nodes share no mutable state).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "local/instance.h"
+#include "rand/coins.h"
+#include "stats/threadpool.h"
+
+namespace lnc::local {
+
+/// Messages are word vectors; empty message == silence.
+using Message = std::vector<std::uint64_t>;
+
+/// What a node knows at wake-up. Ports are indices into the neighbor list
+/// (neighbor port p of v is g.neighbors(v)[p]); `succ_port`, when present,
+/// gives a consistent sense of direction on a ring (the Linial lower bound
+/// holds even with this extra power, so granting it only strengthens the
+/// reproduced separations).
+struct NodeEnv {
+  ident::Identity id = 0;
+  Label input = 0;
+  std::uint32_t degree = 0;
+  std::optional<std::uint32_t> succ_port;  // ring orientation, if granted
+  std::optional<std::uint64_t> n_nodes;    // knowledge of n, if granted
+  rand::NodeRng* rng = nullptr;            // null for deterministic programs
+};
+
+/// A per-node program. The engine calls send() then receive() each round
+/// until every node has halted (receive returned true) or max_rounds hits.
+/// Nodes that halted keep participating as message relays: send() is still
+/// invoked (a halted node may broadcast its final state), receive() is not.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Returns true when the node halts immediately (a zero-round program:
+  /// the output is fixed before any communication).
+  virtual bool init(const NodeEnv& env) = 0;
+
+  /// The broadcast message for this round (round numbering starts at 1).
+  virtual Message send(int round) = 0;
+
+  /// inbox[p] is the message from the neighbor on port p. Returns true when
+  /// the node halts with its output fixed.
+  virtual bool receive(int round, std::span<const Message> inbox) = 0;
+
+  virtual Label output() const = 0;
+};
+
+class NodeProgramFactory {
+ public:
+  virtual ~NodeProgramFactory() = default;
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<NodeProgram> create() const = 0;
+};
+
+struct EngineOptions {
+  int max_rounds = 1 << 20;        ///< safety guard; hitting it is an error
+  bool grant_n = false;            ///< expose |V| via NodeEnv::n_nodes
+  bool grant_ring_orientation = false;  ///< expose succ_port on cycle()
+  const rand::CoinProvider* coins = nullptr;  ///< null => deterministic
+  const stats::ThreadPool* pool = nullptr;    ///< null => sequential steps
+};
+
+struct EngineResult {
+  Labeling output;
+  int rounds = 0;       ///< rounds executed until the last node halted
+  bool completed = false;  ///< false iff max_rounds was exhausted
+
+  /// The per-node programs, still alive after the run so callers can read
+  /// back program-specific state (e.g. the ball collector's knowledge
+  /// tables). programs[v] belongs to node v.
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+};
+
+/// Runs the program to quiescence on the instance.
+EngineResult run_engine(const Instance& inst, const NodeProgramFactory& factory,
+                        const EngineOptions& options = {});
+
+}  // namespace lnc::local

@@ -1,0 +1,41 @@
+#include "local/instance.h"
+
+#include "util/assert.h"
+
+namespace lnc::local {
+
+void Instance::validate() const {
+  LNC_EXPECTS(ids.size() == g.node_count());
+  LNC_EXPECTS(input.empty() || input.size() == g.node_count());
+}
+
+Instance make_instance(graph::Graph g, ident::IdAssignment ids) {
+  Instance inst;
+  inst.g = std::move(g);
+  inst.ids = std::move(ids);
+  inst.validate();
+  return inst;
+}
+
+int label_bits(Label value) noexcept {
+  int bits = 0;
+  while (value != 0) {
+    value >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+bool promise_holds(const graph::Graph& g, std::span<const Label> x,
+                   std::span<const Label> y, int k) noexcept {
+  if (g.max_degree() > static_cast<graph::NodeId>(k)) return false;
+  for (Label value : x) {
+    if (label_bits(value) > k) return false;
+  }
+  for (Label value : y) {
+    if (label_bits(value) > k) return false;
+  }
+  return true;
+}
+
+}  // namespace lnc::local

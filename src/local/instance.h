@@ -1,0 +1,58 @@
+// Instances and configurations (paper, section 2.2.1).
+//
+//   input configuration        (G, x)
+//   input-output configuration (G, (x, y))
+//   instance                   (G, x, id)
+//
+// Inputs and outputs are per-node labels. The paper takes binary strings;
+// under the promise F_k their length is at most k bits, so a 64-bit word
+// loses nothing for k <= 64 and keeps the hot paths allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ident/identity.h"
+
+namespace lnc::local {
+
+/// A node label (input or output value). Bit-length bounded by the promise
+/// F_k; see promise_holds().
+using Label = std::uint64_t;
+
+/// A full per-node labeling, indexed by node index.
+using Labeling = std::vector<Label>;
+
+/// The paper's instance triple (G, x, id).
+struct Instance {
+  graph::Graph g;
+  Labeling input;           // size == g.node_count(); empty means all-zero
+  ident::IdAssignment ids;  // size == g.node_count()
+
+  graph::NodeId node_count() const noexcept { return g.node_count(); }
+
+  /// Input of node v (all-zero default when input is empty).
+  Label input_of(graph::NodeId v) const noexcept {
+    return input.empty() ? 0 : input[v];
+  }
+
+  /// Validates internal consistency (sizes match, ids distinct — the
+  /// IdAssignment constructor already guarantees distinctness).
+  void validate() const;
+};
+
+/// Builds an instance with all-zero inputs and the given identities.
+Instance make_instance(graph::Graph g, ident::IdAssignment ids);
+
+/// Bit-length of a label (0 for label 0).
+int label_bits(Label value) noexcept;
+
+/// The promise F_k (paper, section 2.2.3): degree, input length and output
+/// length all at most k. Empty output span checks the input side only.
+bool promise_holds(const graph::Graph& g, std::span<const Label> x,
+                   std::span<const Label> y, int k) noexcept;
+
+}  // namespace lnc::local

@@ -1,0 +1,45 @@
+#include "local/runner.h"
+
+namespace lnc::local {
+namespace {
+
+template <typename ComputeAtNode>
+Labeling run_per_node(const Instance& inst, int radius,
+                      const RunOptions& options, ComputeAtNode&& compute) {
+  inst.validate();
+  const graph::NodeId n = inst.node_count();
+  Labeling output(n, 0);
+  auto body = [&](std::uint64_t v) {
+    const graph::BallView ball(inst.g, static_cast<graph::NodeId>(v), radius);
+    View view;
+    view.ball = &ball;
+    view.instance = &inst;
+    if (options.grant_n) view.n_nodes = n;
+    output[v] = compute(view);
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(n, body);
+  } else {
+    for (graph::NodeId v = 0; v < n; ++v) body(v);
+  }
+  return output;
+}
+
+}  // namespace
+
+Labeling run_ball_algorithm(const Instance& inst, const BallAlgorithm& algo,
+                            const RunOptions& options) {
+  return run_per_node(inst, algo.radius(), options,
+                      [&](const View& view) { return algo.compute(view); });
+}
+
+Labeling run_ball_algorithm(const Instance& inst,
+                            const RandomizedBallAlgorithm& algo,
+                            const rand::CoinProvider& coins,
+                            const RunOptions& options) {
+  return run_per_node(inst, algo.radius(), options, [&](const View& view) {
+    return algo.compute(view, coins);
+  });
+}
+
+}  // namespace lnc::local

@@ -1,0 +1,98 @@
+// Ball-based execution: the paper's observation (section 2.1.1) that a
+// t-round algorithm is equivalent to "every node inspects B_G(v, t) and
+// maps what it sees to an output". Construction algorithms and deciders in
+// liblnc are written against this view; tests/local_test.cpp checks the
+// equivalence against the message-passing engine via the ball-collection
+// protocol.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "graph/ball.h"
+#include "local/instance.h"
+#include "rand/coins.h"
+#include "stats/threadpool.h"
+
+namespace lnc::local {
+
+/// Everything a node sees after t rounds: the ball, plus per-member labels.
+/// Members are addressed by ball-local index; 0 is the center.
+///
+/// Algorithms MUST read identities through identity() — the order-invariant
+/// wrapper (algo/order_invariant.h) substitutes canonical rank identities
+/// via `id_override`, which is keyed by ball-LOCAL index.
+struct View {
+  const graph::BallView* ball = nullptr;
+  const Instance* instance = nullptr;
+  std::optional<std::uint64_t> n_nodes;  ///< set when knowledge of n granted
+  const std::vector<ident::Identity>* id_override = nullptr;
+
+  ident::Identity identity(graph::NodeId local) const noexcept {
+    if (id_override != nullptr) return (*id_override)[local];
+    return instance->ids[ball->to_original(local)];
+  }
+  Label input(graph::NodeId local) const noexcept {
+    return instance->input_of(ball->to_original(local));
+  }
+  ident::Identity center_identity() const noexcept { return identity(0); }
+  Label center_input() const noexcept { return input(0); }
+};
+
+/// A deterministic constant-round construction algorithm in ball form.
+class BallAlgorithm {
+ public:
+  virtual ~BallAlgorithm() = default;
+  virtual std::string name() const = 0;
+  virtual int radius() const = 0;
+  virtual Label compute(const View& view) const = 0;
+};
+
+/// A Monte-Carlo construction algorithm in ball form. The CoinProvider
+/// models "random bits may be exchanged": the node may read the coins of
+/// any member of its ball (it addresses them by identity), exactly the
+/// power the model grants after t rounds of communication.
+class RandomizedBallAlgorithm {
+ public:
+  virtual ~RandomizedBallAlgorithm() = default;
+  virtual std::string name() const = 0;
+  virtual int radius() const = 0;
+  virtual Label compute(const View& view,
+                        const rand::CoinProvider& coins) const = 0;
+};
+
+struct RunOptions {
+  bool grant_n = false;
+  const stats::ThreadPool* pool = nullptr;
+};
+
+/// Runs a deterministic ball algorithm at every node.
+Labeling run_ball_algorithm(const Instance& inst, const BallAlgorithm& algo,
+                            const RunOptions& options = {});
+
+/// Runs a randomized ball algorithm at every node with the given coins
+/// (fix the seed upstream to realize a fixed random string sigma).
+Labeling run_ball_algorithm(const Instance& inst,
+                            const RandomizedBallAlgorithm& algo,
+                            const rand::CoinProvider& coins,
+                            const RunOptions& options = {});
+
+/// Adapts a deterministic BallAlgorithm to the randomized interface
+/// (ignores the coins); convenient for experiments comparing both kinds.
+class AsRandomized final : public RandomizedBallAlgorithm {
+ public:
+  explicit AsRandomized(const BallAlgorithm& inner) : inner_(&inner) {}
+  std::string name() const override { return inner_->name(); }
+  int radius() const override { return inner_->radius(); }
+  Label compute(const View& view,
+                const rand::CoinProvider& /*coins*/) const override {
+    return inner_->compute(view);
+  }
+
+ private:
+  const BallAlgorithm* inner_;
+};
+
+}  // namespace lnc::local

@@ -1,0 +1,44 @@
+// The simulation theorem (paper, section 2.1.1), as executable code:
+//
+//   "an algorithm A performing in t rounds can be simulated by an
+//    algorithm B executing two phases: First, every node v collects all
+//    data from nodes at distance at most t from v; Second, every node
+//    simulates the execution of A in B_G(v, t)."
+//
+// run_via_messages IS that algorithm B: it runs the flooding collector for
+// t rounds through the synchronous engine, reconstructs each node's ball
+// from its knowledge table (identities, inputs, edges), and applies the
+// ball algorithm to the reconstruction. tests/simulate_test.cpp checks it
+// produces exactly the same outputs as the direct ball runner for every
+// algorithm that reads only model-visible data (identities, inputs,
+// ball structure) — closing the loop between the two execution models.
+#pragma once
+
+#include "local/ball_collector.h"
+#include "local/runner.h"
+
+namespace lnc::local {
+
+struct SimulationResult {
+  Labeling output;
+  int rounds = 0;  ///< always the algorithm's radius (flooding rounds)
+};
+
+/// Runs `algo` as a two-phase message-passing algorithm.
+SimulationResult run_via_messages(const Instance& inst,
+                                  const BallAlgorithm& algo,
+                                  const EngineOptions& options = {});
+
+/// The ball reconstructed from a knowledge table: a standalone instance
+/// whose node 0..m-1 are the known identities in ascending order, plus
+/// the local index of the collecting node (the center). Exposed for tests
+/// and for writing custom two-phase algorithms.
+struct ReconstructedBall {
+  Instance instance;        ///< graph + inputs + identities, ball-only
+  graph::NodeId center = 0; ///< index of the collector in `instance`
+};
+
+ReconstructedBall reconstruct_ball(const Knowledge& knowledge,
+                                   ident::Identity center_identity);
+
+}  // namespace lnc::local

@@ -1,0 +1,15 @@
+#include "rand/coins.h"
+
+namespace lnc::rand {
+
+std::uint64_t coin_fingerprint(const CoinProvider& provider,
+                               std::uint64_t identity,
+                               std::uint64_t prefix_length) {
+  std::uint64_t h = 0x6C6E633A636F696EULL;  // "lnc:coin"
+  for (std::uint64_t i = 0; i < prefix_length; ++i) {
+    h = mix_keys(h, provider.draw(identity, i));
+  }
+  return h;
+}
+
+}  // namespace lnc::rand

@@ -1,0 +1,124 @@
+// Coin sequences for Monte-Carlo LOCAL algorithms.
+//
+// The paper models a randomized algorithm's randomness as a multi-set of
+// private bit-strings indexed by node identity (section 3, "Rand(C)" and
+// "Rand(D)"). CoinProvider reifies that object: a draw is addressed by
+// (node identity, draw index) and the whole sequence is determined by a
+// 64-bit seed and a stream tag separating the construction algorithm C
+// from the decision algorithm D running on the same instance.
+//
+// Fixing a random string sigma  ==  fixing a seed. Replaying the same seed
+// on the same identities yields identical coins even when the surrounding
+// graph changes — the property the gluing argument of Theorem 1 exploits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "rand/philox.h"
+#include "rand/splitmix.h"
+
+namespace lnc::rand {
+
+/// Stream tags keep the construction and decision algorithms' coins
+/// independent even when run with the same seed on the same instance.
+enum class Stream : std::uint64_t {
+  kConstruction = 0x433A,  // "C:"
+  kDecision = 0x443A,      // "D:"
+  kAux = 0x413A,           // "A:" free for tests/experiments
+};
+
+/// Immutable source of coins: a pure function of (identity, draw index).
+class CoinProvider {
+ public:
+  virtual ~CoinProvider() = default;
+
+  /// 64 uniform bits for draw number `draw_index` at the node with the given
+  /// identity. Must be a pure function (thread-safe, no state).
+  virtual std::uint64_t draw(std::uint64_t identity,
+                             std::uint64_t draw_index) const = 0;
+};
+
+/// The production provider: Philox4x32-10 keyed by (seed, stream).
+class PhiloxCoins final : public CoinProvider {
+ public:
+  PhiloxCoins(std::uint64_t seed, Stream stream) noexcept
+      : key_(mix_keys(seed, static_cast<std::uint64_t>(stream))) {}
+
+  std::uint64_t draw(std::uint64_t identity,
+                     std::uint64_t draw_index) const override {
+    return philox_u64(key_, identity, draw_index);
+  }
+
+  std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  std::uint64_t key_;
+};
+
+/// Decorator counting total draws (thread-safe); used by tests asserting
+/// that zero-round deciders consume the expected number of coins.
+class CountingCoins final : public CoinProvider {
+ public:
+  explicit CountingCoins(const CoinProvider& inner) noexcept
+      : inner_(inner) {}
+
+  std::uint64_t draw(std::uint64_t identity,
+                     std::uint64_t draw_index) const override {
+    draws_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.draw(identity, draw_index);
+  }
+
+  std::uint64_t total_draws() const noexcept {
+    return draws_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const CoinProvider& inner_;
+  mutable std::atomic<std::uint64_t> draws_{0};
+};
+
+/// Per-node random facade handed to node algorithms: sequential draws from
+/// the provider under the node's identity. Not thread-safe per instance;
+/// each node in each trial owns its own NodeRng.
+class NodeRng {
+ public:
+  NodeRng(const CoinProvider& provider, std::uint64_t identity) noexcept
+      : provider_(&provider), identity_(identity) {}
+
+  std::uint64_t next_u64() { return provider_->draw(identity_, counter_++); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p): true with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  std::uint64_t draws_used() const noexcept { return counter_; }
+  std::uint64_t identity() const noexcept { return identity_; }
+
+ private:
+  const CoinProvider* provider_;
+  std::uint64_t identity_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Hash of the full coin prefix a node consumed — a compact fingerprint of
+/// the node's private random string, used by the critical-strings
+/// experiment (E8) to certify that two executions used identical coins.
+std::uint64_t coin_fingerprint(const CoinProvider& provider,
+                               std::uint64_t identity,
+                               std::uint64_t prefix_length);
+
+}  // namespace lnc::rand

@@ -1,0 +1,51 @@
+#include "rand/philox.h"
+
+namespace lnc::rand {
+namespace {
+
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) noexcept {
+  const std::uint64_t product =
+      static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+  hi = static_cast<std::uint32_t>(product >> 32);
+  lo = static_cast<std::uint32_t>(product);
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> philox4x32(
+    const std::array<std::uint32_t, 4>& counter,
+    const std::array<std::uint32_t, 2>& key) noexcept {
+  std::array<std::uint32_t, 4> c = counter;
+  std::array<std::uint32_t, 2> k = key;
+  for (int round = 0; round < 10; ++round) {
+    std::uint32_t hi0, lo0, hi1, lo1;
+    mulhilo(kMul0, c[0], hi0, lo0);
+    mulhilo(kMul1, c[2], hi1, lo1);
+    c = {hi1 ^ c[1] ^ k[0], lo1, hi0 ^ c[3] ^ k[1], lo0};
+    k[0] += kWeyl0;
+    k[1] += kWeyl1;
+  }
+  return c;
+}
+
+std::uint64_t philox_u64(std::uint64_t key, std::uint64_t counter_hi,
+                         std::uint64_t counter_lo) noexcept {
+  const std::array<std::uint32_t, 4> counter = {
+      static_cast<std::uint32_t>(counter_lo),
+      static_cast<std::uint32_t>(counter_lo >> 32),
+      static_cast<std::uint32_t>(counter_hi),
+      static_cast<std::uint32_t>(counter_hi >> 32)};
+  const std::array<std::uint32_t, 2> k = {
+      static_cast<std::uint32_t>(key),
+      static_cast<std::uint32_t>(key >> 32)};
+  const std::array<std::uint32_t, 4> out = philox4x32(counter, k);
+  return (static_cast<std::uint64_t>(out[1]) << 32) | out[0];
+}
+
+}  // namespace lnc::rand

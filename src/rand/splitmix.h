@@ -1,0 +1,52 @@
+// SplitMix64: Steele, Lea & Flood's 64-bit mixing function. Used for seed
+// derivation and cheap stateless hashing; the statistically strong
+// per-(node, round, draw) streams come from Philox (philox.h).
+#pragma once
+
+#include <cstdint>
+
+namespace lnc::rand {
+
+/// One application of the SplitMix64 output mix to `z + golden gamma`.
+/// Stateless: suitable for hashing structured keys into seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Combines two 64-bit values into one seed (order-sensitive).
+constexpr std::uint64_t mix_keys(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(splitmix64(a) ^ (b + 0x9E3779B97F4A7C15ULL));
+}
+
+/// Small stateful generator for non-critical uses (shuffles in generators).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound) via Lemire-style multiply-shift with
+  /// rejection to remove modulo bias; bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Rejection sampling on the top bits keeps the distribution exact.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lnc::rand

@@ -1,0 +1,64 @@
+#include "stats/montecarlo.h"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "rand/splitmix.h"
+
+namespace lnc::stats {
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t index) {
+  return rand::mix_keys(base_seed, index);
+}
+
+Estimate estimate_probability(std::uint64_t trials, std::uint64_t base_seed,
+                              const Trial& trial, const ThreadPool* pool) {
+  std::atomic<std::uint64_t> successes{0};
+  auto body = [&](std::uint64_t i) {
+    if (trial(trial_seed(base_seed, i))) {
+      successes.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(trials, body);
+  } else {
+    for (std::uint64_t i = 0; i < trials; ++i) body(i);
+  }
+  Estimate e;
+  e.trials = trials;
+  e.successes = successes.load();
+  e.p_hat = trials == 0
+                ? 0.0
+                : static_cast<double>(e.successes) / static_cast<double>(trials);
+  e.ci = util::wilson_interval(e.successes, trials);
+  return e;
+}
+
+MeanEstimate estimate_mean(std::uint64_t trials, std::uint64_t base_seed,
+                           const std::function<double(std::uint64_t)>& trial,
+                           const ThreadPool* pool) {
+  std::vector<double> values(trials);
+  auto body = [&](std::uint64_t i) {
+    values[i] = trial(trial_seed(base_seed, i));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(trials, body);
+  } else {
+    for (std::uint64_t i = 0; i < trials; ++i) body(i);
+  }
+  MeanEstimate m;
+  m.trials = trials;
+  if (trials == 0) return m;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  m.mean = sum / static_cast<double>(trials);
+  double sq = 0.0;
+  for (double v : values) sq += (v - m.mean) * (v - m.mean);
+  m.stddev = trials > 1
+                 ? std::sqrt(sq / static_cast<double>(trials - 1))
+                 : 0.0;
+  return m;
+}
+
+}  // namespace lnc::stats

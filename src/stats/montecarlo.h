@@ -1,0 +1,60 @@
+// Monte-Carlo probability estimation.
+//
+// Every probabilistic quantity in the paper — the construction algorithm's
+// success probability r, the decider's guarantee p, the failure bound beta
+// of Claim 2, the boosted acceptance (1 - beta p)^nu of Claim 3 — is
+// estimated here by running a {0,1}-valued trial under deterministic
+// per-trial seeds and reporting the proportion with a Wilson interval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/threadpool.h"
+#include "util/math.h"
+
+namespace lnc::stats {
+
+struct Estimate {
+  double p_hat = 0.0;          ///< successes / trials
+  util::Interval ci;           ///< Wilson 95% interval
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+
+  /// True when the interval excludes `threshold` from below (estimate is
+  /// significantly above it).
+  bool significantly_above(double threshold) const noexcept {
+    return ci.lo > threshold;
+  }
+  bool significantly_below(double threshold) const noexcept {
+    return ci.hi < threshold;
+  }
+};
+
+/// A trial: given its private seed, returns success/failure. Must be
+/// thread-safe (trials share no mutable state).
+using Trial = std::function<bool(std::uint64_t seed)>;
+
+/// Runs `trials` independent trials with seeds derived from base_seed and
+/// the trial index, in parallel over `pool` (or sequentially when null).
+/// Bit-for-bit reproducible regardless of thread count.
+Estimate estimate_probability(std::uint64_t trials, std::uint64_t base_seed,
+                              const Trial& trial,
+                              const ThreadPool* pool = nullptr);
+
+/// Mean of a real-valued trial statistic (same seeding contract).
+struct MeanEstimate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint64_t trials = 0;
+};
+
+MeanEstimate estimate_mean(std::uint64_t trials, std::uint64_t base_seed,
+                           const std::function<double(std::uint64_t)>& trial,
+                           const ThreadPool* pool = nullptr);
+
+/// Derives the seed used for trial `index` under `base_seed` — exposed so
+/// tests can re-run an individual failing trial.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t index);
+
+}  // namespace lnc::stats

@@ -1,0 +1,59 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace lnc::stats {
+
+double quantile_sorted(const std::vector<double>& sorted_samples, double q) {
+  LNC_EXPECTS(!sorted_samples.empty());
+  LNC_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted_samples.size() == 1) return sorted_samples[0];
+  const double pos = q * static_cast<double>(sorted_samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  s.median = quantile_sorted(samples, 0.5);
+  s.q25 = quantile_sorted(samples, 0.25);
+  s.q75 = quantile_sorted(samples, 0.75);
+  return s;
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& samples,
+                                   double lo, double hi,
+                                   std::size_t buckets) {
+  LNC_EXPECTS(buckets >= 1);
+  LNC_EXPECTS(hi > lo);
+  std::vector<std::size_t> bins(buckets, 0);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (double v : samples) {
+    double offset = (v - lo) / width;
+    if (offset < 0.0) offset = 0.0;
+    auto bucket = static_cast<std::size_t>(offset);
+    if (bucket >= buckets) bucket = buckets - 1;
+    ++bins[bucket];
+  }
+  return bins;
+}
+
+}  // namespace lnc::stats

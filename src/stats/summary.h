@@ -1,0 +1,33 @@
+// Order statistics over samples (quantiles, histogram buckets) for the
+// slack-coloring experiment's distribution plots (E2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lnc::stats {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes the summary; the input is copied and sorted internally.
+Summary summarize(std::vector<double> samples);
+
+/// Empirical quantile (linear interpolation). q in [0, 1]; samples must be
+/// sorted ascending and non-empty.
+double quantile_sorted(const std::vector<double>& sorted_samples, double q);
+
+/// Fixed-width histogram over [lo, hi] with `buckets` bins; out-of-range
+/// samples clamp to the boundary bins.
+std::vector<std::size_t> histogram(const std::vector<double>& samples,
+                                   double lo, double hi, std::size_t buckets);
+
+}  // namespace lnc::stats

@@ -1,0 +1,31 @@
+// A minimal work-sharing thread pool for embarrassingly parallel trial
+// loops. Workers pull chunks of a trial-index range off an atomic cursor;
+// every trial derives its own seed, so there is no shared mutable state in
+// the loop body and the parallel estimate equals the sequential one bit for
+// bit (required: experiments must be reproducible across thread counts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace lnc::stats {
+
+class ThreadPool {
+ public:
+  /// thread_count == 0 selects hardware_concurrency (>= 1).
+  explicit ThreadPool(unsigned thread_count = 0);
+
+  unsigned thread_count() const noexcept { return thread_count_; }
+
+  /// Invokes fn(i) for every i in [0, count) across the pool; blocks until
+  /// all invocations complete. fn must be thread-safe. Chunked scheduling
+  /// amortizes the atomic fetch.
+  void parallel_for(std::uint64_t count,
+                    const std::function<void(std::uint64_t)>& fn) const;
+
+ private:
+  unsigned thread_count_;
+};
+
+}  // namespace lnc::stats

@@ -1,0 +1,34 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations abort with a source location;
+// checks stay on in release builds because the library is the measuring
+// instrument for the experiments — silent corruption would invalidate data.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lnc::util {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "lnc: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace lnc::util
+
+#define LNC_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::lnc::util::contract_violation("precondition", #cond,         \
+                                            __FILE__, __LINE__))
+
+#define LNC_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::lnc::util::contract_violation("postcondition", #cond,        \
+                                            __FILE__, __LINE__))
+
+#define LNC_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::lnc::util::contract_violation("invariant", #cond, __FILE__,  \
+                                            __LINE__))

@@ -1,0 +1,35 @@
+#include "util/logstar.h"
+
+#include <limits>
+
+namespace lnc::util {
+
+int floor_log2(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+int log_star(std::uint64_t x) noexcept {
+  int iterations = 0;
+  while (x > 1) {
+    x = static_cast<std::uint64_t>(floor_log2(x));
+    ++iterations;
+  }
+  return iterations;
+}
+
+std::uint64_t log_star_threshold(int s) noexcept {
+  // The smallest n with log_star(n) == s+1 is obtained by iterated
+  // exponentiation: t(0) = 2, t(i+1) = 2^t(i); threshold(s) = t(s).
+  // log_star(2) = 1, log_star(4) = 2, log_star(16) = 3, log_star(65536) = 4.
+  std::uint64_t v = 2;
+  for (int i = 0; i < s; ++i) {
+    if (v >= 64) return std::numeric_limits<std::uint64_t>::max();
+    v = std::uint64_t{1} << v;
+  }
+  return v;
+}
+
+}  // namespace lnc::util

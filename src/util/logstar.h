@@ -1,0 +1,23 @@
+// Iterated logarithm log*(n): the number of times log2 must be applied to n
+// before the result drops to <= 1. This is the complexity scale of Linial's
+// ring-coloring lower bound (paper, section 1.1) and of Cole-Vishkin's
+// matching upper bound, measured by experiment E3.
+#pragma once
+
+#include <cstdint>
+
+namespace lnc::util {
+
+/// Number of times x must be replaced by floor(log2(x)) until x <= 1.
+/// log_star(0) == log_star(1) == 0, log_star(2) == 1, log_star(4) == 2,
+/// log_star(16) == 3, log_star(65536) == 4.
+int log_star(std::uint64_t x) noexcept;
+
+/// floor(log2(x)) for x >= 1; 0 for x == 0.
+int floor_log2(std::uint64_t x) noexcept;
+
+/// Smallest n with log_star(n) > s, i.e. the threshold where one more
+/// Cole-Vishkin halving round becomes necessary. Saturates at UINT64_MAX.
+std::uint64_t log_star_threshold(int s) noexcept;
+
+}  // namespace lnc::util

@@ -1,0 +1,23 @@
+// String helpers used by graph IO and table emission.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lnc::util {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+}  // namespace lnc::util

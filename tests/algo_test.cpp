@@ -1,0 +1,334 @@
+// Tests for src/algo: every construction algorithm is checked against its
+// language on multiple graph families, and round counts are checked
+// against the complexity the paper assigns to each regime.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/cole_vishkin.h"
+#include "algo/color_reduction.h"
+#include "algo/greedy_by_id.h"
+#include "algo/luby_mis.h"
+#include "algo/moser_tardos.h"
+#include "algo/order_invariant.h"
+#include "algo/rand_coloring.h"
+#include "algo/rand_matching.h"
+#include "algo/weak_color_mc.h"
+#include "graph/generators.h"
+#include "lang/coloring.h"
+#include "lang/lll.h"
+#include "lang/matching.h"
+#include "lang/mis.h"
+#include "lang/weak_coloring.h"
+#include "util/logstar.h"
+
+namespace lnc::algo {
+namespace {
+
+local::Instance ring_instance(graph::NodeId n, std::uint64_t seed = 0) {
+  if (seed == 0) {
+    return local::make_instance(graph::cycle(n), ident::consecutive(n));
+  }
+  return local::make_instance(graph::cycle(n),
+                              ident::random_permutation(n, seed));
+}
+
+int id_bits_for(graph::NodeId n) { return util::floor_log2(n) + 1; }
+
+TEST(ColeVishkin, Produces3ColoringOnRings) {
+  for (graph::NodeId n : {4u, 7u, 16u, 33u, 128u}) {
+    for (std::uint64_t seed : {0ull, 5ull}) {
+      const local::Instance inst = ring_instance(n, seed);
+      const local::EngineResult result =
+          run_cole_vishkin(inst, id_bits_for(n));
+      ASSERT_TRUE(result.completed);
+      EXPECT_TRUE(lang::ProperColoring(3).contains(inst, result.output))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ColeVishkin, RoundsGrowLikeLogStar) {
+  // The iteration budget is a function of the identity bit-length; it must
+  // be monotone and tiny even for huge n (the log* signature).
+  const int r16 = ColeVishkinFactory::reduction_iterations(4);
+  const int r1k = ColeVishkinFactory::reduction_iterations(10);
+  const int r1m = ColeVishkinFactory::reduction_iterations(20);
+  const int r64 = ColeVishkinFactory::reduction_iterations(64);
+  EXPECT_LE(r16, r1k);
+  EXPECT_LE(r1k, r1m);
+  EXPECT_LE(r1m, r64);
+  EXPECT_LE(r64, 6);  // 2^64 identities still need only ~4 iterations
+}
+
+TEST(ColeVishkin, ActualRoundsMatchSchedule) {
+  const local::Instance inst = ring_instance(64);
+  const local::EngineResult result = run_cole_vishkin(inst, 7);
+  EXPECT_EQ(result.rounds,
+            ColeVishkinFactory::reduction_iterations(7) + 3);
+}
+
+TEST(ColorReduction, ReducesPaletteOneColorPerRound) {
+  // Start from a proper 6-coloring of a ring given as input.
+  const graph::NodeId n = 12;
+  local::Instance inst = ring_instance(n);
+  inst.input.resize(n);
+  // v%4+2 on a ring of 12: colors 2,3,4,5 repeating; adjacent colors
+  // differ and the wrap edge (11 -> 0) carries colors 5 vs 2.
+  for (graph::NodeId v = 0; v < n; ++v) inst.input[v] = v % 4 + 2;
+  ASSERT_TRUE(lang::ProperColoring(6).contains(inst, inst.input));
+
+  const local::EngineResult result = run_color_reduction(inst, 6, 3);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 3);
+  EXPECT_TRUE(lang::ProperColoring(3).contains(inst, result.output));
+}
+
+TEST(RandColoring, ZeroRoundsAndPaletteRespected) {
+  const UniformRandomColoring algo(3);
+  EXPECT_EQ(algo.radius(), 0);
+  const local::Instance inst = ring_instance(50);
+  const rand::PhiloxCoins coins(7, rand::Stream::kConstruction);
+  const local::Labeling output = local::run_ball_algorithm(inst, algo, coins);
+  for (local::Label c : output) EXPECT_LT(c, 3u);
+}
+
+TEST(RandColoring, DeterministicInSeedAndIdentity) {
+  const UniformRandomColoring algo(3);
+  const local::Instance inst = ring_instance(20);
+  const rand::PhiloxCoins coins(9, rand::Stream::kConstruction);
+  const local::Labeling a = local::run_ball_algorithm(inst, algo, coins);
+  const local::Labeling b = local::run_ball_algorithm(inst, algo, coins);
+  EXPECT_EQ(a, b);
+  // Coins follow identities: an identity-shifted instance recolors.
+  local::Instance shifted = inst;
+  shifted.ids = inst.ids.shifted(1000);
+  const local::Labeling c = local::run_ball_algorithm(shifted, algo, coins);
+  EXPECT_NE(a, c);
+}
+
+TEST(Greedy, ColoringIsProperWithSmallPalette) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    const local::Instance inst = local::make_instance(
+        graph::random_regular(30, 3, seed),
+        ident::random_permutation(30, seed));
+    const local::EngineResult result =
+        run_engine(inst, GreedyColoringFactory{});
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(lang::ProperColoring(4).contains(inst, result.output));
+  }
+}
+
+TEST(Greedy, MisIsMaximalIndependent) {
+  const local::Instance inst = ring_instance(25, 3);
+  const local::EngineResult result = run_engine(inst, GreedyMisFactory{});
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(lang::MaximalIndependentSet{}.contains(inst, result.output));
+}
+
+TEST(Greedy, LinearRoundsOnConsecutiveRing) {
+  // Consecutive identities chain the greedy schedule: rounds scale ~ n.
+  const local::EngineResult small =
+      run_engine(ring_instance(16), GreedyColoringFactory{});
+  const local::EngineResult large =
+      run_engine(ring_instance(64), GreedyColoringFactory{});
+  EXPECT_GT(large.rounds, 3 * small.rounds / 2);
+  EXPECT_GE(large.rounds, 60);  // ~n rounds
+}
+
+TEST(Luby, ComputesMisOnManyFamilies) {
+  const rand::PhiloxCoins coins(11, rand::Stream::kConstruction);
+  const std::vector<local::Instance> instances = [] {
+    std::vector<local::Instance> v;
+    v.push_back(ring_instance(40, 2));
+    v.push_back(local::make_instance(graph::petersen(),
+                                     ident::random_permutation(10, 4)));
+    v.push_back(local::make_instance(graph::grid(6, 6),
+                                     ident::random_permutation(36, 5)));
+    v.push_back(local::make_instance(graph::star(9),
+                                     ident::consecutive(9)));
+    return v;
+  }();
+  for (const auto& inst : instances) {
+    const local::EngineResult result = run_luby_mis(inst, coins);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(lang::MaximalIndependentSet{}.contains(inst, result.output));
+  }
+}
+
+TEST(Luby, LogarithmicRoundsOnRings) {
+  const rand::PhiloxCoins coins(13, rand::Stream::kConstruction);
+  const local::EngineResult result = run_luby_mis(ring_instance(512, 7), coins);
+  ASSERT_TRUE(result.completed);
+  EXPECT_LE(result.rounds, 64);  // ~2 * c * log2(512) with slack
+}
+
+TEST(Matching, MaximalOnRingsAndTrees) {
+  const rand::PhiloxCoins coins(17, rand::Stream::kConstruction);
+  const lang::MaximalMatching lang;
+  for (graph::NodeId n : {8u, 21u}) {
+    const local::Instance inst = ring_instance(n, 9);
+    const local::EngineResult result = run_rand_matching(inst, coins);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(lang.contains(inst, result.output)) << "ring n=" << n;
+  }
+  const local::Instance tree = local::make_instance(
+      graph::random_tree_bounded(30, 3, 2), ident::random_permutation(30, 6));
+  const local::EngineResult result = run_rand_matching(tree, coins);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(lang.contains(tree, result.output));
+}
+
+TEST(WeakColorMc, SucceedsWithHighProbabilityOnRings) {
+  const lang::WeakColoring lang(2);
+  int successes = 0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    const rand::PhiloxCoins coins(static_cast<std::uint64_t>(trial) + 1,
+                                  rand::Stream::kConstruction);
+    const local::Instance inst = ring_instance(24, 5);
+    const local::EngineResult result = run_weak_color_mc(inst, coins, 8);
+    EXPECT_EQ(result.rounds, 9);  // constant, independent of n
+    if (lang.contains(inst, result.output)) ++successes;
+  }
+  EXPECT_GE(successes, 35);  // Monte-Carlo: most trials succeed
+}
+
+TEST(MoserTardos, SatisfiesLllSystem) {
+  // Q_8 satisfies the symmetric LLL condition; MT must converge fast.
+  const local::Instance inst = local::make_instance(
+      graph::hypercube(8), ident::random_permutation(256, 8));
+  ASSERT_TRUE(lang::LllAvoidance::lll_condition_holds(inst.g));
+  const rand::PhiloxCoins coins(19, rand::Stream::kConstruction);
+  const MoserTardosResult result = run_moser_tardos(inst, coins);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(lang::LllAvoidance{}.contains(inst, result.assignment));
+  EXPECT_LT(result.phases, 100);
+}
+
+TEST(MoserTardos, WorksEvenBeyondTheCondition) {
+  // On rings the condition fails but resampling still converges (slower).
+  const local::Instance inst = ring_instance(32, 4);
+  const rand::PhiloxCoins coins(23, rand::Stream::kConstruction);
+  const MoserTardosResult result = run_moser_tardos(inst, coins, 100000);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(lang::LllAvoidance{}.contains(inst, result.assignment));
+}
+
+TEST(OrderInvariant, PatternIndexIsABijectionOnPermutations) {
+  // All 3! = 6 orderings of 3 distinct identities hit distinct indices.
+  std::set<std::uint64_t> seen;
+  const std::vector<std::vector<ident::Identity>> perms = {
+      {1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1}};
+  for (const auto& p : perms) seen.insert(pattern_index(p));
+  EXPECT_EQ(seen.size(), 6u);
+  for (std::uint64_t idx : seen) EXPECT_LT(idx, pattern_count(3));
+}
+
+TEST(OrderInvariant, PatternIndexDependsOnlyOnOrder) {
+  EXPECT_EQ(pattern_index(std::vector<ident::Identity>{10, 50, 30}),
+            pattern_index(std::vector<ident::Identity>{1, 900, 77}));
+  EXPECT_NE(pattern_index(std::vector<ident::Identity>{10, 50, 30}),
+            pattern_index(std::vector<ident::Identity>{50, 10, 30}));
+}
+
+TEST(OrderInvariant, EnumerateTablesCountsAndShapes) {
+  const auto tables = enumerate_tables(3, 3, 0, 10);
+  EXPECT_EQ(tables.size(), 10u);
+  for (const auto& t : tables) {
+    EXPECT_EQ(t.size(), 6u);
+    for (local::Label c : t) EXPECT_LT(c, 3u);
+  }
+  // Base-3 counting: table #4 is digits (1, 1, 0, 0, 0, 0).
+  EXPECT_EQ(tables[4][0], 1u);
+  EXPECT_EQ(tables[4][1], 1u);
+  EXPECT_EQ(tables[4][2], 0u);
+}
+
+TEST(OrderInvariant, RingWindowRecoversRingOrder) {
+  const local::Instance inst = ring_instance(9);
+  const graph::BallView ball(inst.g, 4, 1);
+  local::View view;
+  view.ball = &ball;
+  view.instance = &inst;
+  const auto window = RankPatternRingAlgorithm::ring_window(view);
+  // Identities are index+1, so the window around node 4 is (4, 5, 6).
+  EXPECT_EQ(window, (std::vector<ident::Identity>{4, 5, 6}));
+}
+
+TEST(ColeVishkin, TinyRingsAndHugeIdentities) {
+  // Smallest legal rings.
+  for (graph::NodeId n : {3u, 4u, 5u}) {
+    const local::Instance inst = ring_instance(n);
+    const local::EngineResult result = run_cole_vishkin(inst, 4);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(lang::ProperColoring(3).contains(inst, result.output));
+  }
+  // Sparse 48-bit identities with the full 64-bit budget: the schedule
+  // saturates at 4 iterations and the coloring stays proper.
+  const graph::NodeId n = 32;
+  local::Instance inst = local::make_instance(
+      graph::cycle(n),
+      ident::random_sparse(n, 1, std::uint64_t{1} << 48, 9));
+  const local::EngineResult result = run_cole_vishkin(inst, 64);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(lang::ProperColoring(3).contains(inst, result.output));
+  EXPECT_EQ(result.rounds, ColeVishkinFactory::reduction_iterations(64) + 3);
+}
+
+TEST(Luby, StarAndCompleteGraphEdgeCases) {
+  const rand::PhiloxCoins coins(5, rand::Stream::kConstruction);
+  // Star: MIS is either the center alone or all leaves.
+  const local::Instance star = local::make_instance(
+      graph::star(12), ident::random_permutation(12, 7));
+  const local::EngineResult sr = run_luby_mis(star, coins);
+  ASSERT_TRUE(sr.completed);
+  EXPECT_TRUE(lang::MaximalIndependentSet{}.contains(star, sr.output));
+  // Complete graph: exactly one node joins.
+  const local::Instance k6 = local::make_instance(
+      graph::complete(6), ident::random_permutation(6, 8));
+  const local::EngineResult kr = run_luby_mis(k6, coins);
+  std::size_t members = 0;
+  for (local::Label x : kr.output) members += x;
+  EXPECT_EQ(members, 1u);
+}
+
+TEST(Matching, OddRingLeavesExactlyOneUnmatchedRegion) {
+  // On an odd ring a perfect matching is impossible; maximality still
+  // forbids two adjacent unmatched nodes.
+  const rand::PhiloxCoins coins(11, rand::Stream::kConstruction);
+  const local::Instance inst = ring_instance(9, 4);
+  const local::EngineResult result = run_rand_matching(inst, coins);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(lang::MaximalMatching{}.contains(inst, result.output));
+  std::size_t unmatched = 0;
+  for (local::Label x : result.output) unmatched += x == 0 ? 1 : 0;
+  EXPECT_GE(unmatched, 1u);  // odd ring: at least one node stays single
+  EXPECT_EQ(unmatched % 2, 1u);
+}
+
+TEST(OrderInvariant, WrapperMakesIdReadersInvariant) {
+  // An algorithm that outputs (center identity mod 3): NOT order-invariant.
+  class IdMod3 final : public local::BallAlgorithm {
+   public:
+    std::string name() const override { return "id-mod-3"; }
+    int radius() const override { return 1; }
+    local::Label compute(const local::View& view) const override {
+      return view.identity(0) % 3;
+    }
+  };
+  const IdMod3 raw;
+  const OrderInvariantWrapper wrapped(raw);
+  const local::Instance a = ring_instance(8);
+  local::Instance b = a;
+  b.ids = a.ids.shifted(1);  // order-preserving shift
+  const local::Labeling raw_a = local::run_ball_algorithm(a, raw);
+  const local::Labeling raw_b = local::run_ball_algorithm(b, raw);
+  EXPECT_NE(raw_a, raw_b);  // the raw algorithm leaks identity values
+  const local::Labeling wrap_a = local::run_ball_algorithm(a, wrapped);
+  const local::Labeling wrap_b = local::run_ball_algorithm(b, wrapped);
+  EXPECT_EQ(wrap_a, wrap_b);  // the wrapper sees only ranks
+}
+
+}  // namespace
+}  // namespace lnc::algo

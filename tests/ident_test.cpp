@@ -1,0 +1,109 @@
+// Tests for src/ident: identity assignments and order patterns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ident/identity.h"
+#include "ident/order.h"
+
+namespace lnc::ident {
+namespace {
+
+TEST(Identity, ConsecutiveAssignment) {
+  const IdAssignment ids = consecutive(5, 10);
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids[0], 10u);
+  EXPECT_EQ(ids[4], 14u);
+  EXPECT_EQ(ids.min_identity(), 10u);
+  EXPECT_EQ(ids.max_identity(), 14u);
+  EXPECT_EQ(ids.index_of(12), 2u);
+  EXPECT_EQ(ids.index_of(99), graph::kInvalidNode);
+}
+
+TEST(Identity, ShiftedPreservesOrder) {
+  const IdAssignment ids = consecutive(4, 1);
+  const IdAssignment shifted = ids.shifted(100);
+  EXPECT_EQ(shifted[0], 101u);
+  EXPECT_TRUE(same_order(ids.raw(), shifted.raw()));
+}
+
+TEST(Identity, RandomPermutationIsPermutation) {
+  const IdAssignment ids = random_permutation(20, 42, 5);
+  std::set<Identity> seen(ids.raw().begin(), ids.raw().end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 24u);
+}
+
+TEST(Identity, RandomPermutationVariesWithSeed) {
+  const IdAssignment a = random_permutation(20, 1);
+  const IdAssignment b = random_permutation(20, 2);
+  EXPECT_NE(a.raw(), b.raw());
+  const IdAssignment c = random_permutation(20, 1);
+  EXPECT_EQ(a.raw(), c.raw());  // deterministic in seed
+}
+
+TEST(Identity, RandomSparseDistinctAndInRange) {
+  const IdAssignment ids = random_sparse(30, 1000, 100000, 3);
+  std::set<Identity> seen;
+  for (Identity id : ids.raw()) {
+    EXPECT_GE(id, 1000u);
+    EXPECT_LE(id, 100000u);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(Order, RankPattern) {
+  const std::vector<Identity> values = {30, 10, 20};
+  const auto ranks = rank_pattern(values);
+  EXPECT_EQ(ranks, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(Order, SameOrderDetection) {
+  const std::vector<Identity> a = {5, 1, 3};
+  const std::vector<Identity> b = {500, 10, 42};
+  const std::vector<Identity> c = {1, 5, 3};
+  EXPECT_TRUE(same_order(a, b));
+  EXPECT_FALSE(same_order(a, c));
+  EXPECT_FALSE(same_order(a, std::vector<Identity>{1, 2}));
+}
+
+TEST(Order, CanonicalRanksAreOneBasedRanks) {
+  const std::vector<Identity> values = {100, 7, 55};
+  const auto canonical = canonical_ranks(values);
+  EXPECT_EQ(canonical, (std::vector<Identity>{3, 1, 2}));
+  EXPECT_TRUE(same_order(values, canonical));
+}
+
+TEST(Order, OrderPreservingRemapKeepsOrder) {
+  const std::vector<Identity> values = {12, 4, 900, 33};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto remapped = order_preserving_remap(values, 1u << 16, seed);
+    EXPECT_TRUE(same_order(values, remapped));
+    std::set<Identity> distinct(remapped.begin(), remapped.end());
+    EXPECT_EQ(distinct.size(), values.size());
+    for (Identity id : remapped) {
+      EXPECT_GE(id, 1u);
+      EXPECT_LE(id, 1u << 16);
+    }
+  }
+}
+
+TEST(Order, OrderPreservingRemapTightCeiling) {
+  // ceiling == n forces the identity map onto {1..n}.
+  const std::vector<Identity> values = {50, 10, 30};
+  const auto remapped = order_preserving_remap(values, 3, 1);
+  EXPECT_EQ(remapped, (std::vector<Identity>{3, 1, 2}));
+}
+
+TEST(Order, CanonicalizeAssignment) {
+  const IdAssignment ids({40, 10, 25});
+  const IdAssignment canonical = canonicalize(ids);
+  EXPECT_EQ(canonical[0], 3u);
+  EXPECT_EQ(canonical[1], 1u);
+  EXPECT_EQ(canonical[2], 2u);
+}
+
+}  // namespace
+}  // namespace lnc::ident

@@ -1,0 +1,278 @@
+// Tests for src/local: instance validation, the synchronous engine, and
+// the centerpiece equivalence — the flooding ball-collection protocol
+// gathers exactly B_G(v, t) as defined in the paper (section 2.1.1).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/ball.h"
+#include "graph/generators.h"
+#include "local/ball_collector.h"
+#include "local/engine.h"
+#include "local/instance.h"
+#include "local/runner.h"
+
+namespace lnc::local {
+namespace {
+
+Instance ring_instance(graph::NodeId n) {
+  return make_instance(graph::cycle(n), ident::consecutive(n));
+}
+
+TEST(Instance, LabelBitsAndPromise) {
+  EXPECT_EQ(label_bits(0), 0);
+  EXPECT_EQ(label_bits(1), 1);
+  EXPECT_EQ(label_bits(7), 3);
+  EXPECT_EQ(label_bits(8), 4);
+
+  const Instance inst = ring_instance(6);
+  const Labeling small(6, 3);
+  const Labeling big(6, 1u << 10);
+  EXPECT_TRUE(promise_holds(inst.g, small, small, 4));
+  EXPECT_FALSE(promise_holds(inst.g, small, big, 4));
+  // Degree violation: a star with center degree 5 breaks F_4.
+  EXPECT_FALSE(promise_holds(graph::star(6), small, small, 4));
+}
+
+// A trivial one-round program: output the max identity seen in N[v].
+class MaxIdProgram final : public NodeProgram {
+ public:
+  bool init(const NodeEnv& env) override {
+    best_ = env.id;
+    return false;
+  }
+  Message send(int) override { return {best_}; }
+  bool receive(int, std::span<const Message> inbox) override {
+    for (const auto& msg : inbox) best_ = std::max(best_, msg[0]);
+    return true;
+  }
+  Label output() const override { return best_; }
+
+ private:
+  std::uint64_t best_ = 0;
+};
+
+class MaxIdFactory final : public NodeProgramFactory {
+ public:
+  std::string name() const override { return "max-id-1-round"; }
+  std::unique_ptr<NodeProgram> create() const override {
+    return std::make_unique<MaxIdProgram>();
+  }
+};
+
+TEST(Engine, OneRoundProgramRunsOneRound) {
+  const Instance inst = ring_instance(8);
+  const EngineResult result = run_engine(inst, MaxIdFactory{});
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 1);
+  // Node v's closed neighborhood max: ids are v+1, so node 0 sees {8,1,2}.
+  EXPECT_EQ(result.output[0], 8u);   // neighbor 7 has id 8
+  EXPECT_EQ(result.output[3], 5u);   // ids {3,4,5}
+  EXPECT_EQ(result.output[7], 8u);
+}
+
+TEST(Engine, ParallelStepsMatchSequential) {
+  const Instance inst = ring_instance(64);
+  const EngineResult seq = run_engine(inst, MaxIdFactory{});
+  EngineOptions options;
+  stats::ThreadPool pool(4);
+  options.pool = &pool;
+  const EngineResult par = run_engine(inst, MaxIdFactory{}, options);
+  EXPECT_EQ(seq.output, par.output);
+  EXPECT_EQ(seq.rounds, par.rounds);
+}
+
+TEST(Engine, MaxRoundsGuardReportsIncomplete) {
+  // A program that never halts.
+  class Forever final : public NodeProgram {
+   public:
+    bool init(const NodeEnv&) override { return false; }
+    Message send(int) override { return {}; }
+    bool receive(int, std::span<const Message>) override { return false; }
+    Label output() const override { return 0; }
+  };
+  class ForeverFactory final : public NodeProgramFactory {
+   public:
+    std::string name() const override { return "forever"; }
+    std::unique_ptr<NodeProgram> create() const override {
+      return std::make_unique<Forever>();
+    }
+  };
+  const Instance inst = ring_instance(4);
+  EngineOptions options;
+  options.max_rounds = 10;
+  const EngineResult result = run_engine(inst, ForeverFactory{}, options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.rounds, 10);
+}
+
+TEST(BallCollector, ZeroRoundsKnowsOnlySelf) {
+  const Instance inst = ring_instance(5);
+  const auto tables = collect_balls(inst, 0);
+  ASSERT_EQ(tables.size(), 5u);
+  for (graph::NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(tables[v].size(), 1u);
+    EXPECT_TRUE(tables[v].count(inst.ids[v]));
+    EXPECT_FALSE(tables[v].at(inst.ids[v]).adjacency_known);
+  }
+}
+
+/// The ball B_G(v, t) mapped to identity space: member identities and the
+/// identity-pair edge set, for comparison with collector knowledge.
+struct IdentityBall {
+  std::set<ident::Identity> members;
+  std::set<std::pair<ident::Identity, ident::Identity>> edges;
+};
+
+IdentityBall identity_ball(const Instance& inst, graph::NodeId center,
+                           int radius) {
+  const graph::BallView view(inst.g, center, radius);
+  IdentityBall ball;
+  for (graph::NodeId local = 0; local < view.size(); ++local) {
+    ball.members.insert(inst.ids[view.to_original(local)]);
+  }
+  for (graph::NodeId local = 0; local < view.size(); ++local) {
+    const ident::Identity a = inst.ids[view.to_original(local)];
+    for (graph::NodeId nbr : view.neighbors(local)) {
+      const ident::Identity b = inst.ids[view.to_original(nbr)];
+      ball.edges.emplace(std::min(a, b), std::max(a, b));
+    }
+  }
+  return ball;
+}
+
+/// The simulation-theorem equivalence: after t rounds of flooding, every
+/// node's knowledge is exactly B_G(v, t) — same member identities, same
+/// edges (boundary-boundary edges absent).
+void expect_collector_matches_balls(const Instance& inst, int radius) {
+  const auto tables = collect_balls(inst, radius);
+  for (graph::NodeId v = 0; v < inst.node_count(); ++v) {
+    const IdentityBall expected = identity_ball(inst, v, radius);
+    std::set<ident::Identity> known_members;
+    for (const auto& [id, record] : tables[v]) known_members.insert(id);
+    EXPECT_EQ(known_members, expected.members)
+        << "members differ at node " << v << " radius " << radius;
+    const auto edges = knowledge_edges(tables[v]);
+    const std::set<std::pair<ident::Identity, ident::Identity>> edge_set(
+        edges.begin(), edges.end());
+    EXPECT_EQ(edge_set, expected.edges)
+        << "edges differ at node " << v << " radius " << radius;
+  }
+}
+
+TEST(BallCollector, MatchesBallViewOnCycle) {
+  const Instance inst = ring_instance(9);
+  for (int radius : {1, 2, 3}) {
+    expect_collector_matches_balls(inst, radius);
+  }
+}
+
+TEST(BallCollector, MatchesBallViewOnCompleteGraph) {
+  // K_5, radius 1: boundary-boundary edges between the four distance-1
+  // nodes must be ABSENT from the collected knowledge.
+  const Instance inst =
+      make_instance(graph::complete(5), ident::consecutive(5));
+  expect_collector_matches_balls(inst, 1);
+}
+
+TEST(BallCollector, MatchesBallViewOnTreeAndGrid) {
+  const Instance tree =
+      make_instance(graph::binary_tree(15), ident::consecutive(15));
+  expect_collector_matches_balls(tree, 2);
+
+  const Instance g = make_instance(graph::grid(4, 4),
+                                   ident::random_permutation(16, 3));
+  expect_collector_matches_balls(g, 2);
+}
+
+TEST(BallCollector, MatchesBallViewOnPetersen) {
+  const Instance inst =
+      make_instance(graph::petersen(), ident::random_permutation(10, 1));
+  for (int radius : {1, 2}) {
+    expect_collector_matches_balls(inst, radius);
+  }
+}
+
+// Ball-algorithm runner basics.
+class CenterRankAlgorithm final : public BallAlgorithm {
+ public:
+  std::string name() const override { return "center-rank"; }
+  int radius() const override { return 1; }
+  Label compute(const View& view) const override {
+    // Rank of the center identity within its ball (0-based).
+    Label rank = 0;
+    for (graph::NodeId local = 1; local < view.ball->size(); ++local) {
+      if (view.identity(local) < view.center_identity()) ++rank;
+    }
+    return rank;
+  }
+};
+
+TEST(Runner, BallAlgorithmSeesOnlyTheBall) {
+  const Instance inst = ring_instance(7);
+  const Labeling output = run_ball_algorithm(inst, CenterRankAlgorithm{});
+  // On the consecutive ring every interior node has one smaller neighbor;
+  // node 0 (identity 1) has none.
+  EXPECT_EQ(output[0], 0u);
+  for (graph::NodeId v = 1; v + 1 < 7; ++v) EXPECT_EQ(output[v], 1u);
+  EXPECT_EQ(output[6], 2u);  // identity 7 beats both neighbors... check:
+  // node 6 has identity 7, neighbors have identities 6 and 1 — both
+  // smaller, so rank 2.
+}
+
+TEST(Runner, IdOverrideChangesWhatAlgorithmsSee) {
+  const Instance inst = ring_instance(5);
+  const graph::BallView ball(inst.g, 2, 1);
+  View plain;
+  plain.ball = &ball;
+  plain.instance = &inst;
+  const std::vector<ident::Identity> fake = {100, 1, 2};
+  View overridden = plain;
+  overridden.id_override = &fake;
+  EXPECT_EQ(plain.identity(0), 3u);        // true identity of node 2
+  EXPECT_EQ(overridden.identity(0), 100u);  // override is local-indexed
+}
+
+TEST(BallCollector, DisconnectedGraphKnowsOnlyItsComponent) {
+  graph::Graph::Builder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4).add_edge(4, 5);
+  const Instance inst = make_instance(b.build(), ident::consecutive(6));
+  const auto tables = collect_balls(inst, 4);  // radius > component size
+  EXPECT_EQ(tables[0].size(), 3u);  // nodes 0..2 only
+  EXPECT_EQ(tables[5].size(), 3u);  // nodes 3..5 only
+  EXPECT_FALSE(tables[0].count(inst.ids[3]));
+}
+
+TEST(Engine, IsolatedNodesHaltInstantly) {
+  // A graph with isolated nodes: they receive no messages but still obey
+  // the protocol (MaxId halts after one round with its own id).
+  graph::Graph::Builder b(4);
+  b.add_edge(0, 1);
+  const Instance inst = make_instance(b.build(), ident::consecutive(4));
+  const EngineResult result = run_engine(inst, MaxIdFactory{});
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.output[2], inst.ids[2]);  // isolated: sees only itself
+  EXPECT_EQ(result.output[0], inst.ids[1]);  // paired: max of the two
+}
+
+TEST(Runner, GrantNExposesNodeCount) {
+  const Instance inst = ring_instance(6);
+  class NAlgorithm final : public BallAlgorithm {
+   public:
+    std::string name() const override { return "n-reader"; }
+    int radius() const override { return 0; }
+    Label compute(const View& view) const override {
+      return view.n_nodes.value_or(0);
+    }
+  };
+  RunOptions options;
+  options.grant_n = true;
+  const Labeling with_n = run_ball_algorithm(inst, NAlgorithm{}, options);
+  EXPECT_EQ(with_n[0], 6u);
+  const Labeling without = run_ball_algorithm(inst, NAlgorithm{});
+  EXPECT_EQ(without[0], 0u);
+}
+
+}  // namespace
+}  // namespace lnc::local

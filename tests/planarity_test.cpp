@@ -1,0 +1,168 @@
+// Tests for graph/planarity: the left-right test against known graphs,
+// against the brute-force Kuratowski-minor oracle on random small graphs,
+// and the paper's section-5 claim that the Theorem-1 glue preserves
+// planarity.
+#include <gtest/gtest.h>
+
+#include "core/glue.h"
+#include "core/hard_instances.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/planarity.h"
+#include "rand/splitmix.h"
+
+namespace lnc::graph {
+namespace {
+
+TEST(Planarity, KnownPlanarGraphs) {
+  EXPECT_TRUE(is_planar(cycle(5)));
+  EXPECT_TRUE(is_planar(cycle(100)));
+  EXPECT_TRUE(is_planar(path(50)));
+  EXPECT_TRUE(is_planar(star(20)));
+  EXPECT_TRUE(is_planar(complete(4)));
+  EXPECT_TRUE(is_planar(grid(6, 7)));
+  EXPECT_TRUE(is_planar(binary_tree(63)));
+  EXPECT_TRUE(is_planar(caterpillar(8, 3)));
+  EXPECT_TRUE(is_planar(hypercube(3)));  // Q3 (the cube) is planar
+}
+
+TEST(Planarity, KnownNonPlanarGraphs) {
+  EXPECT_FALSE(is_planar(complete(5)));   // K5
+  EXPECT_FALSE(is_planar(complete(6)));
+  EXPECT_FALSE(is_planar(petersen()));    // Petersen graph
+  EXPECT_FALSE(is_planar(hypercube(4)));  // Q4
+  EXPECT_FALSE(is_planar(torus(4, 4)));   // C4 x C4 contains K5 minors
+
+  // K3,3 built explicitly.
+  Graph::Builder b(6);
+  for (NodeId i = 0; i < 3; ++i) {
+    for (NodeId j = 3; j < 6; ++j) b.add_edge(i, j);
+  }
+  EXPECT_FALSE(is_planar(b.build()));
+}
+
+TEST(Planarity, KuratowskiMinusAnEdgeIsPlanar) {
+  // K5 minus any edge is planar; so is K3,3 minus any edge.
+  {
+    Graph::Builder b(5);
+    for (NodeId i = 0; i < 5; ++i) {
+      for (NodeId j = i + 1; j < 5; ++j) {
+        if (i == 0 && j == 1) continue;
+        b.add_edge(i, j);
+      }
+    }
+    EXPECT_TRUE(is_planar(b.build()));
+  }
+  {
+    Graph::Builder b(6);
+    for (NodeId i = 0; i < 3; ++i) {
+      for (NodeId j = 3; j < 6; ++j) {
+        if (i == 0 && j == 3) continue;
+        b.add_edge(i, j);
+      }
+    }
+    EXPECT_TRUE(is_planar(b.build()));
+  }
+}
+
+TEST(Planarity, SubdivisionPreservesBothAnswers) {
+  // Subdividing edges never changes planarity (Kuratowski).
+  const Graph k5 = complete(5);
+  Graph sub = subdivide_edge(k5, 0, 1);
+  sub = subdivide_edge(sub, 2, 3);
+  EXPECT_FALSE(is_planar(sub));
+
+  const Graph c = cycle(6);
+  EXPECT_TRUE(is_planar(subdivide_edge(c, 0, 1)));
+}
+
+TEST(Planarity, DisjointUnionIsPlanarIffAllPartsAre) {
+  const Graph a = grid(3, 3);
+  const Graph b = cycle(7);
+  const Graph k5 = complete(5);
+  EXPECT_TRUE(is_planar(disjoint_union({&a, &b}).graph));
+  EXPECT_FALSE(is_planar(disjoint_union({&a, &k5}).graph));
+}
+
+TEST(Planarity, BruteForceOracleOnKnownGraphs) {
+  EXPECT_TRUE(has_k5_or_k33_minor_bruteforce(complete(5)));
+  EXPECT_FALSE(has_k5_or_k33_minor_bruteforce(complete(4)));
+  EXPECT_FALSE(has_k5_or_k33_minor_bruteforce(cycle(8)));
+  Graph::Builder b(6);
+  for (NodeId i = 0; i < 3; ++i) {
+    for (NodeId j = 3; j < 6; ++j) b.add_edge(i, j);
+  }
+  EXPECT_TRUE(has_k5_or_k33_minor_bruteforce(b.build()));
+}
+
+TEST(Planarity, CrossValidatedAgainstMinorOracle) {
+  // Random graphs on 7 nodes: the LR answer must equal the Kuratowski/
+  // Wagner characterization computed by brute force.
+  rand::SplitMix64 rng(2024);
+  int checked = 0;
+  int nonplanar_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Graph::Builder b(7);
+    for (NodeId i = 0; i < 7; ++i) {
+      for (NodeId j = i + 1; j < 7; ++j) {
+        // Edge probability ~0.45 straddles the planarity threshold at
+        // n = 7 (m ~ 9.5 of 15 edges max; 3n-6 = 15).
+        if (rng.next_below(100) < 45) b.add_edge(i, j);
+      }
+    }
+    const Graph g = b.build();
+    const bool lr = is_planar(g);
+    const bool minor = has_k5_or_k33_minor_bruteforce(g);
+    EXPECT_EQ(lr, !minor) << "trial " << trial;
+    ++checked;
+    if (!lr) ++nonplanar_seen;
+  }
+  EXPECT_EQ(checked, 40);
+  EXPECT_GT(nonplanar_seen, 0);  // the sweep must exercise both answers
+  EXPECT_LT(nonplanar_seen, 40);
+}
+
+TEST(Planarity, EulerBoundNecessaryCondition) {
+  EXPECT_TRUE(euler_bound_holds(grid(5, 5)));
+  EXPECT_FALSE(euler_bound_holds(complete(6)));  // m = 15 > 3*6-6 = 12
+  // K3,3 passes the triangle-free bound check? m = 9 <= 2*6-4 = 8 is
+  // false -> euler rejects it even without the full test.
+  Graph::Builder b(6);
+  for (NodeId i = 0; i < 3; ++i) {
+    for (NodeId j = 3; j < 6; ++j) b.add_edge(i, j);
+  }
+  EXPECT_FALSE(euler_bound_holds(b.build()));
+}
+
+TEST(Planarity, TheGluePreservesPlanarity) {
+  // Section 5: the Theorem-1 construction preserves planarity. Rings are
+  // planar; the glue of rings must be planar for every shape we use.
+  for (std::size_t parts_count : {2u, 3u, 5u, 8u}) {
+    const auto parts = core::claim2_sequence(parts_count, 4);
+    std::vector<NodeId> anchors(parts_count, 0);
+    const core::GluedInstance glued =
+        core::theorem1_glue(parts, anchors);
+    EXPECT_TRUE(is_planar(glued.instance.g)) << parts_count << " parts";
+  }
+}
+
+TEST(Planarity, GlueOfNonPlanarPartsStaysNonPlanar) {
+  // Sanity in the other direction: gluing cannot CREATE planarity.
+  std::vector<local::Instance> parts;
+  parts.push_back(local::make_instance(petersen(),
+                                       ident::consecutive(10, 1)));
+  parts.push_back(local::make_instance(petersen(),
+                                       ident::consecutive(10, 100)));
+  const std::vector<NodeId> anchors = {0, 0};
+  const core::GluedInstance glued = core::theorem1_glue(parts, anchors);
+  EXPECT_FALSE(is_planar(glued.instance.g));
+}
+
+TEST(Planarity, LargeRingsAndTreesStayFast) {
+  EXPECT_TRUE(is_planar(cycle(20000)));
+  EXPECT_TRUE(is_planar(random_tree(20000, 3)));
+  EXPECT_TRUE(is_planar(grid(100, 100)));
+}
+
+}  // namespace
+}  // namespace lnc::graph

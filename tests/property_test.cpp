@@ -1,0 +1,232 @@
+// Property-based suites (parameterized gtest): invariants that must hold
+// across graph families, sizes, seeds, and parameters.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "algo/luby_mis.h"
+#include "algo/order_invariant.h"
+#include "algo/rand_coloring.h"
+#include "core/glue.h"
+#include "core/hard_instances.h"
+#include "decide/lcl_decider.h"
+#include "decide/evaluate.h"
+#include "decide/resilient_decider.h"
+#include "graph/ball.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "lang/coloring.h"
+#include "lang/mis.h"
+#include "lang/relax.h"
+#include "local/ball_collector.h"
+
+namespace lnc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Ball invariants across families and radii.
+
+struct FamilyCase {
+  std::string name;
+  graph::Graph graph;
+};
+
+FamilyCase make_family(int index) {
+  switch (index) {
+    case 0: return {"cycle17", graph::cycle(17)};
+    case 1: return {"grid5x4", graph::grid(5, 4)};
+    case 2: return {"tree31", graph::binary_tree(31)};
+    case 3: return {"petersen", graph::petersen()};
+    case 4: return {"regular", graph::random_regular(20, 3, 5)};
+    case 5: return {"caterpillar", graph::caterpillar(6, 2)};
+    default: return {"hypercube", graph::hypercube(4)};
+  }
+}
+
+class BallProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BallProperty, BallInvariants) {
+  const auto [family, radius] = GetParam();
+  const FamilyCase fc = make_family(family);
+  const graph::Graph& g = fc.graph;
+  const auto reference = graph::bfs_distances(g, 0);
+  const graph::BallView ball(g, 0, radius);
+
+  // (1) Membership == distance <= radius.
+  std::size_t expected_members = 0;
+  for (int d : reference) {
+    if (d >= 0 && d <= radius) ++expected_members;
+  }
+  EXPECT_EQ(ball.size(), expected_members) << fc.name;
+
+  // (2) Recorded distances match BFS; discovery order is by distance.
+  int prev = 0;
+  for (graph::NodeId local = 0; local < ball.size(); ++local) {
+    EXPECT_EQ(ball.distance(local), reference[ball.to_original(local)]);
+    EXPECT_GE(ball.distance(local), prev);
+    prev = ball.distance(local);
+  }
+
+  // (3) The paper's edge rule: no edge joins two boundary nodes; every
+  // other host edge inside the ball is present.
+  for (graph::NodeId local = 0; local < ball.size(); ++local) {
+    for (graph::NodeId nbr : ball.neighbors(local)) {
+      EXPECT_FALSE(ball.distance(local) == radius &&
+                   ball.distance(nbr) == radius)
+          << fc.name;
+      EXPECT_TRUE(g.has_edge(ball.to_original(local), ball.to_original(nbr)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, BallProperty,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+// ---------------------------------------------------------------------
+// Collector == BallView across families (the simulation theorem).
+
+class CollectorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectorProperty, KnowledgeEqualsBall) {
+  const FamilyCase fc = make_family(GetParam());
+  const graph::NodeId n = fc.graph.node_count();
+  const local::Instance inst = local::make_instance(
+      fc.graph, ident::random_permutation(n, 97 + GetParam()));
+  const int radius = 2;
+  const auto tables = local::collect_balls(inst, radius);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const graph::BallView ball(inst.g, v, radius);
+    // Same member set (by identity).
+    std::set<ident::Identity> expected;
+    for (graph::NodeId local = 0; local < ball.size(); ++local) {
+      expected.insert(inst.ids[ball.to_original(local)]);
+    }
+    std::set<ident::Identity> got;
+    for (const auto& [id, record] : tables[v]) got.insert(id);
+    ASSERT_EQ(got, expected) << fc.name << " node " << v;
+    // Same edge count (knowledge_edges is deduplicated).
+    std::size_t ball_edges = 0;
+    for (graph::NodeId local = 0; local < ball.size(); ++local) {
+      ball_edges += ball.degree_in_ball(local);
+    }
+    EXPECT_EQ(local::knowledge_edges(tables[v]).size(), ball_edges / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CollectorProperty,
+                         ::testing::Range(0, 7));
+
+// ---------------------------------------------------------------------
+// Luby MIS correctness across seeds and families (randomized algorithms
+// must be correct for EVERY coin outcome they produce).
+
+class LubyProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(LubyProperty, AlwaysMaximalIndependent) {
+  const auto [family, seed] = GetParam();
+  const FamilyCase fc = make_family(family);
+  const graph::NodeId n = fc.graph.node_count();
+  const local::Instance inst =
+      local::make_instance(fc.graph, ident::random_permutation(n, seed));
+  const rand::PhiloxCoins coins(seed * 31 + 7, rand::Stream::kConstruction);
+  const local::EngineResult result = algo::run_luby_mis(inst, coins);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(lang::MaximalIndependentSet{}.contains(inst, result.output))
+      << fc.name << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedSweep, LubyProperty,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+// ---------------------------------------------------------------------
+// Resilient relaxation monotonicity: L_f membership is monotone in f, and
+// the decider's advertised guarantee stays above 1/2.
+
+class ResilienceProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ResilienceProperty, MonotoneInFaults) {
+  const std::size_t f = GetParam();
+  const lang::ProperColoring base(3);
+  const local::Instance inst = core::consecutive_ring(24);
+  // Construct an output with exactly 2*k bad balls by planting k clashes.
+  const rand::PhiloxCoins coins(f + 1, rand::Stream::kConstruction);
+  const local::Labeling y = local::run_ball_algorithm(
+      inst, algo::UniformRandomColoring(3), coins);
+  const std::size_t faults = base.count_bad_balls(inst, y);
+  EXPECT_EQ(lang::FResilient(base, f).contains(inst, y), faults <= f);
+  if (f > 0) {
+    // Monotone: membership at f-1 implies membership at f.
+    const bool smaller = lang::FResilient(base, f - 1).contains(inst, y);
+    const bool larger = lang::FResilient(base, f).contains(inst, y);
+    EXPECT_LE(smaller, larger);
+  }
+  if (f >= 1) {
+    EXPECT_GT(decide::ResilientDecider(base, f).guarantee(), 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSweep, ResilienceProperty,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---------------------------------------------------------------------
+// Glue invariants across part counts and sizes.
+
+class GlueProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(GlueProperty, InvariantsAcrossShapes) {
+  const auto [parts_count, min_diameter] = GetParam();
+  const auto parts = core::claim2_sequence(parts_count, min_diameter);
+  std::vector<graph::NodeId> anchors;
+  for (std::size_t i = 0; i < parts_count; ++i) {
+    anchors.push_back(static_cast<graph::NodeId>(
+        (i * 3) % parts[i].node_count()));
+  }
+  const core::GluedInstance glued = core::theorem1_glue(parts, anchors);
+  EXPECT_TRUE(graph::is_connected(glued.instance.g));
+  EXPECT_LE(glued.instance.g.max_degree(), 3u);
+  EXPECT_TRUE(graph::is_biconnected(glued.instance.g));
+  // Every part's diameter floor survives inside the glue: distance between
+  // antipodal nodes of a part cannot shrink (paths through the seam are
+  // longer).
+  const graph::NodeId half = parts[0].node_count() / 2;
+  EXPECT_GE(graph::distance(glued.instance.g, glued.to_glued(0, 0),
+                            glued.to_glued(0, half)),
+            static_cast<int>(min_diameter));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GlueProperty,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{3},
+                                         std::size_t{5}),
+                       ::testing::Values(std::uint64_t{3}, std::uint64_t{6},
+                                         std::uint64_t{10})));
+
+// ---------------------------------------------------------------------
+// Order-invariance of the whole rank-pattern family (sampled).
+
+class PatternProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatternProperty, TableAlgorithmsDependOnlyOnOrder) {
+  const std::uint64_t table_index = GetParam();
+  const auto tables = algo::enumerate_tables(3, 3, table_index, 1);
+  ASSERT_EQ(tables.size(), 1u);
+  const algo::RankPatternRingAlgorithm alg(1, tables[0]);
+  const local::Instance a = core::consecutive_ring(12);
+  local::Instance b = a;
+  b.ids = a.ids.shifted(500);
+  EXPECT_EQ(local::run_ball_algorithm(a, alg),
+            local::run_ball_algorithm(b, alg));
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSweep, PatternProperty,
+                         ::testing::Values(0u, 1u, 5u, 100u, 364u, 728u));
+
+}  // namespace
+}  // namespace lnc

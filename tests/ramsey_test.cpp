@@ -1,0 +1,146 @@
+// Tests for core/ramsey: the finite operationalization of Appendix A.
+//
+// The appendix proves (infinite Ramsey) that a uniform identity universe
+// U exists for every t-round algorithm under F_k, and builds the order-
+// invariant A' by re-identifying balls with the smallest members of U.
+// Here we verify both halves on concrete algorithms where the universe is
+// computable: the search finds U, A' is order-invariant, and A' == A on
+// instances whose identities come from U.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hard_instances.h"
+#include "core/order_check.h"
+#include "core/ramsey.h"
+#include "algo/order_invariant.h"
+#include "graph/generators.h"
+#include "ident/order.h"
+
+namespace lnc::core {
+namespace {
+
+/// output = center identity mod `m` — the canonical identity-reading,
+/// non-order-invariant algorithm. Its uniform universes are exactly the
+/// residue classes mod m.
+class IdModReader final : public local::BallAlgorithm {
+ public:
+  explicit IdModReader(int m) : m_(m) {}
+  std::string name() const override {
+    return "id-mod-" + std::to_string(m_);
+  }
+  int radius() const override { return 1; }
+  local::Label compute(const local::View& view) const override {
+    return view.identity(0) % static_cast<ident::Identity>(m_);
+  }
+
+ private:
+  int m_;
+};
+
+/// output = (sum of all window identities) mod 2 — interaction between
+/// every member of the ball, still residue-structured.
+class WindowParity final : public local::BallAlgorithm {
+ public:
+  std::string name() const override { return "window-parity"; }
+  int radius() const override { return 1; }
+  local::Label compute(const local::View& view) const override {
+    ident::Identity sum = 0;
+    for (graph::NodeId i = 0; i < view.ball->size(); ++i) {
+      sum += view.identity(i);
+    }
+    return sum % 2;
+  }
+};
+
+TEST(Ramsey, FindsResidueClassForModReader) {
+  const IdModReader algo(3);
+  UniverseOptions options;
+  options.pool_size = 300;
+  options.target_size = 24;
+  const UniverseResult result = find_uniform_universe(algo, 1, options);
+  ASSERT_TRUE(result.uniform);
+  ASSERT_GE(result.universe.size(), 24u);
+  // All universe members share the residue mod 3 (the Ramsey color).
+  std::set<ident::Identity> residues;
+  for (ident::Identity id : result.universe) residues.insert(id % 3);
+  EXPECT_EQ(residues.size(), 1u);
+}
+
+TEST(Ramsey, FindsParityClassForWindowParity) {
+  const WindowParity algo;
+  UniverseOptions options;
+  options.pool_size = 300;
+  options.target_size = 24;
+  const UniverseResult result = find_uniform_universe(algo, 1, options);
+  ASSERT_TRUE(result.uniform);
+  std::set<ident::Identity> residues;
+  for (ident::Identity id : result.universe) residues.insert(id % 2);
+  EXPECT_EQ(residues.size(), 1u);  // all even or all odd
+}
+
+TEST(Ramsey, OrderInvariantAlgorithmsGetFullPool) {
+  // An algorithm that is already order-invariant is pattern-constant on
+  // the WHOLE pool: one behavior class.
+  const auto tables = algo::enumerate_tables(3, 3, 77, 1);
+  const algo::RankPatternRingAlgorithm alg(1, tables[0]);
+  UniverseOptions options;
+  options.pool_size = 200;
+  options.target_size = 64;
+  const UniverseResult result = find_uniform_universe(alg, 1, options);
+  EXPECT_TRUE(result.uniform);
+  // Pool minus the 2 companions.
+  EXPECT_EQ(result.universe.size(), 64u);
+}
+
+TEST(Ramsey, APrimeIsOrderInvariant) {
+  const IdModReader raw(3);
+  UniverseOptions options;
+  options.pool_size = 300;
+  options.target_size = 32;
+  const UniverseResult found = find_uniform_universe(raw, 1, options);
+  ASSERT_TRUE(found.uniform);
+  const RamseyOrderInvariant a_prime(raw, found.universe);
+
+  // The raw algorithm is NOT order-invariant; A' is.
+  const local::Instance inst = consecutive_ring(12);
+  OrderCheckOptions check;
+  check.trials = 24;
+  EXPECT_GT(check_order_invariance(inst, raw, check).violations, 0u);
+  EXPECT_TRUE(check_order_invariance(inst, a_prime, check).invariant());
+}
+
+TEST(Ramsey, APrimeAgreesWithAOnUniverseInstances) {
+  // Appendix A's correctness: on instances whose identities are drawn
+  // from U (in rank order along any ball), A' reproduces A exactly.
+  const IdModReader raw(3);
+  UniverseOptions options;
+  options.pool_size = 400;
+  options.target_size = 40;
+  const UniverseResult found = find_uniform_universe(raw, 1, options);
+  ASSERT_TRUE(found.uniform);
+  ASSERT_GE(found.universe.size(), 10u);
+  const RamseyOrderInvariant a_prime(raw, found.universe);
+
+  // Ring whose identities are 10 universe members, in ascending ring
+  // order; every radius-1 ball's re-identification maps each id to a
+  // universe value with the same residue, so outputs agree.
+  std::vector<ident::Identity> ids(found.universe.begin(),
+                                   found.universe.begin() + 10);
+  local::Instance inst = local::make_instance(graph::cycle(10),
+                                              ident::IdAssignment(ids));
+  const local::Labeling a_out = local::run_ball_algorithm(inst, raw);
+  const local::Labeling a_prime_out =
+      local::run_ball_algorithm(inst, a_prime);
+  EXPECT_EQ(a_out, a_prime_out);
+}
+
+TEST(Ramsey, UniverseSmallerThanBallTraps) {
+  const IdModReader raw(2);
+  const RamseyOrderInvariant a_prime(raw, {5, 10});  // only 2 ids
+  const local::Instance inst = consecutive_ring(8);  // balls have 3 nodes
+  EXPECT_DEATH(local::run_ball_algorithm(inst, a_prime), "universe");
+}
+
+}  // namespace
+}  // namespace lnc::core

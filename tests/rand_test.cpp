@@ -1,0 +1,150 @@
+// Tests for src/rand: Philox known-answer vectors, stream separation,
+// coin determinism, and NodeRng distribution sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rand/coins.h"
+#include "rand/philox.h"
+#include "rand/splitmix.h"
+
+namespace lnc::rand {
+namespace {
+
+// Known-answer tests from the Random123 reference implementation
+// (Salmon et al., "Parallel Random Numbers: As Easy as 1, 2, 3", SC'11).
+TEST(Philox, KnownAnswerZero) {
+  const auto out = philox4x32({0, 0, 0, 0}, {0, 0});
+  EXPECT_EQ(out[0], 0x6627e8d5u);
+  EXPECT_EQ(out[1], 0xe169c58du);
+  EXPECT_EQ(out[2], 0xbc57ac4cu);
+  EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, KnownAnswerAllOnes) {
+  const auto out = philox4x32(
+      {0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+      {0xffffffffu, 0xffffffffu});
+  EXPECT_EQ(out[0], 0x408f276du);
+  EXPECT_EQ(out[1], 0x41c83b0eu);
+  EXPECT_EQ(out[2], 0xa20bc7c6u);
+  EXPECT_EQ(out[3], 0x6d5451fdu);
+}
+
+TEST(Philox, KnownAnswerPiDigits) {
+  const auto out = philox4x32(
+      {0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+      {0xa4093822u, 0x299f31d0u});
+  EXPECT_EQ(out[0], 0xd16cfe09u);
+  EXPECT_EQ(out[1], 0x94fdccebu);
+  EXPECT_EQ(out[2], 0x5001e420u);
+  EXPECT_EQ(out[3], 0x24126ea1u);
+}
+
+TEST(Philox, U64IsDeterministic) {
+  EXPECT_EQ(philox_u64(1, 2, 3), philox_u64(1, 2, 3));
+  EXPECT_NE(philox_u64(1, 2, 3), philox_u64(1, 2, 4));
+  EXPECT_NE(philox_u64(1, 2, 3), philox_u64(2, 2, 3));
+}
+
+TEST(SplitMix, MixKeysIsOrderSensitive) {
+  EXPECT_NE(mix_keys(1, 2), mix_keys(2, 1));
+  EXPECT_EQ(mix_keys(1, 2), mix_keys(1, 2));
+}
+
+TEST(SplitMix, NextBelowIsInRange) {
+  SplitMix64 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+}
+
+TEST(Coins, SameSeedSameCoins) {
+  const PhiloxCoins a(123, Stream::kConstruction);
+  const PhiloxCoins b(123, Stream::kConstruction);
+  for (std::uint64_t identity : {1ull, 77ull, 1ull << 40}) {
+    for (std::uint64_t draw = 0; draw < 16; ++draw) {
+      EXPECT_EQ(a.draw(identity, draw), b.draw(identity, draw));
+    }
+  }
+}
+
+TEST(Coins, StreamsAreIndependent) {
+  const PhiloxCoins c(123, Stream::kConstruction);
+  const PhiloxCoins d(123, Stream::kDecision);
+  int equal = 0;
+  for (std::uint64_t draw = 0; draw < 64; ++draw) {
+    if (c.draw(5, draw) == d.draw(5, draw)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);  // 64-bit collisions would be astronomically rare
+}
+
+TEST(Coins, IdentityKeysTheStream) {
+  // The paper's Rand(C) is indexed by node identity: the same node keeps
+  // its coins when the surrounding graph changes (gluing argument).
+  const PhiloxCoins coins(9, Stream::kConstruction);
+  EXPECT_EQ(coins.draw(42, 0), coins.draw(42, 0));
+  EXPECT_NE(coins.draw(42, 0), coins.draw(43, 0));
+}
+
+TEST(Coins, CountingDecoratorCounts) {
+  const PhiloxCoins inner(1, Stream::kAux);
+  const CountingCoins counting(inner);
+  NodeRng rng(counting, 7);
+  for (int i = 0; i < 5; ++i) rng.next_u64();
+  EXPECT_EQ(counting.total_draws(), 5u);
+  EXPECT_EQ(rng.draws_used(), 5u);
+}
+
+TEST(NodeRng, DoubleInUnitInterval) {
+  const PhiloxCoins coins(5, Stream::kAux);
+  NodeRng rng(coins, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(NodeRng, BernoulliFrequency) {
+  const PhiloxCoins coins(17, Stream::kAux);
+  NodeRng rng(coins, 2);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  const double freq = static_cast<double>(heads) / trials;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(NodeRng, NextBelowUniform) {
+  const PhiloxCoins coins(23, Stream::kAux);
+  NodeRng rng(coins, 3);
+  std::vector<int> counts(3, 0);
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.next_below(3)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(NodeRng, SequentialDrawsDiffer) {
+  const PhiloxCoins coins(31, Stream::kAux);
+  NodeRng rng(coins, 4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.next_u64());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Coins, FingerprintDetectsDifferentStrings) {
+  const PhiloxCoins a(1, Stream::kConstruction);
+  const PhiloxCoins b(2, Stream::kConstruction);
+  EXPECT_EQ(coin_fingerprint(a, 5, 8), coin_fingerprint(a, 5, 8));
+  EXPECT_NE(coin_fingerprint(a, 5, 8), coin_fingerprint(b, 5, 8));
+  EXPECT_NE(coin_fingerprint(a, 5, 8), coin_fingerprint(a, 6, 8));
+}
+
+}  // namespace
+}  // namespace lnc::rand

@@ -1,0 +1,147 @@
+// Tests for local/simulate: the two-phase message-passing simulation of
+// ball algorithms agrees with the direct ball runner — the executable
+// content of the paper's section-2.1.1 simulation argument.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "local/simulate.h"
+
+namespace lnc::local {
+namespace {
+
+/// Rank of the center identity within its ball — reads ids + structure.
+class CenterRank final : public BallAlgorithm {
+ public:
+  explicit CenterRank(int radius) : radius_(radius) {}
+  std::string name() const override { return "center-rank"; }
+  int radius() const override { return radius_; }
+  Label compute(const View& view) const override {
+    Label rank = 0;
+    for (graph::NodeId i = 1; i < view.ball->size(); ++i) {
+      if (view.identity(i) < view.center_identity()) ++rank;
+    }
+    return rank;
+  }
+
+ private:
+  int radius_;
+};
+
+/// Sum of inputs weighted by distance — reads inputs + distances.
+class DistanceWeightedSum final : public BallAlgorithm {
+ public:
+  std::string name() const override { return "distance-weighted-sum"; }
+  int radius() const override { return 2; }
+  Label compute(const View& view) const override {
+    Label sum = 0;
+    for (graph::NodeId i = 0; i < view.ball->size(); ++i) {
+      sum += view.input(i) *
+             static_cast<Label>(view.ball->distance(i) + 1);
+    }
+    return sum;
+  }
+};
+
+/// Degree profile of the ball — reads pure structure (degrees in ball).
+class DegreeProfile final : public BallAlgorithm {
+ public:
+  std::string name() const override { return "degree-profile"; }
+  int radius() const override { return 1; }
+  Label compute(const View& view) const override {
+    Label profile = view.ball->degree_in_ball(0);
+    for (graph::NodeId nbr : view.ball->neighbors(0)) {
+      profile += 100 * view.ball->degree_in_ball(nbr);
+    }
+    return profile;
+  }
+};
+
+Instance labeled_instance(graph::Graph g, std::uint64_t seed) {
+  const graph::NodeId n = g.node_count();
+  Instance inst = make_instance(std::move(g),
+                                ident::random_permutation(n, seed));
+  inst.input.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    inst.input[v] = (seed + v * v) % 7;
+  }
+  return inst;
+}
+
+class SimulateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulateProperty, MessagePassingEqualsDirectBallRun) {
+  graph::Graph g;
+  switch (GetParam()) {
+    case 0: g = graph::cycle(17); break;
+    case 1: g = graph::grid(5, 4); break;
+    case 2: g = graph::binary_tree(31); break;
+    case 3: g = graph::petersen(); break;
+    case 4: g = graph::random_regular(24, 3, 11); break;
+    default: g = graph::hypercube(4); break;
+  }
+  const Instance inst = labeled_instance(std::move(g), 13);
+
+  const CenterRank rank2(2);
+  EXPECT_EQ(run_via_messages(inst, rank2).output,
+            run_ball_algorithm(inst, rank2));
+
+  const DistanceWeightedSum sums;
+  EXPECT_EQ(run_via_messages(inst, sums).output,
+            run_ball_algorithm(inst, sums));
+
+  const DegreeProfile profile;
+  EXPECT_EQ(run_via_messages(inst, profile).output,
+            run_ball_algorithm(inst, profile));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SimulateProperty, ::testing::Range(0, 6));
+
+TEST(Simulate, RoundCountEqualsRadius) {
+  const Instance inst = labeled_instance(graph::cycle(12), 3);
+  const CenterRank rank3(3);
+  EXPECT_EQ(run_via_messages(inst, rank3).rounds, 3);
+  const CenterRank rank0(0);
+  EXPECT_EQ(run_via_messages(inst, rank0).rounds, 0);
+}
+
+TEST(Simulate, ReconstructionMatchesBallMembership) {
+  const Instance inst = labeled_instance(graph::grid(4, 4), 5);
+  const auto tables = collect_balls(inst, 2);
+  for (graph::NodeId v = 0; v < inst.node_count(); ++v) {
+    const ReconstructedBall ball = reconstruct_ball(tables[v], inst.ids[v]);
+    const graph::BallView direct(inst.g, v, 2);
+    EXPECT_EQ(ball.instance.node_count(), direct.size());
+    // Same identity set.
+    std::set<ident::Identity> direct_ids;
+    for (graph::NodeId i = 0; i < direct.size(); ++i) {
+      direct_ids.insert(inst.ids[direct.to_original(i)]);
+    }
+    std::set<ident::Identity> rec_ids(ball.instance.ids.raw().begin(),
+                                      ball.instance.ids.raw().end());
+    EXPECT_EQ(rec_ids, direct_ids);
+    // Inputs travel with identities.
+    for (graph::NodeId i = 0; i < ball.instance.node_count(); ++i) {
+      const graph::NodeId orig =
+          inst.ids.index_of(ball.instance.ids[i]);
+      EXPECT_EQ(ball.instance.input_of(i), inst.input_of(orig));
+    }
+  }
+}
+
+TEST(Simulate, GrantNReachesTheAlgorithm) {
+  class NReader final : public BallAlgorithm {
+   public:
+    std::string name() const override { return "n-reader"; }
+    int radius() const override { return 1; }
+    Label compute(const View& view) const override {
+      return view.n_nodes.value_or(0);
+    }
+  };
+  const Instance inst = labeled_instance(graph::cycle(9), 2);
+  EngineOptions options;
+  options.grant_n = true;
+  EXPECT_EQ(run_via_messages(inst, NReader{}, options).output[0], 9u);
+}
+
+}  // namespace
+}  // namespace lnc::local

@@ -1,0 +1,107 @@
+// Tests for src/stats: thread pool, Monte-Carlo estimation (including
+// bit-for-bit reproducibility across thread counts), summaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "rand/splitmix.h"
+#include "stats/montecarlo.h"
+#include "stats/summary.h"
+#include "stats/threadpool.h"
+
+namespace lnc::stats {
+namespace {
+
+TEST(ThreadPool, CoversTheFullRange) {
+  const ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndOneCount) {
+  const ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(MonteCarlo, EstimatesAFairCoin) {
+  const Estimate e = estimate_probability(
+      20000, 99, [](std::uint64_t seed) { return (seed & 1) == 0; });
+  // trial_seed mixes, so parity of the mixed seed is ~uniform.
+  EXPECT_NEAR(e.p_hat, 0.5, 0.02);
+  EXPECT_LE(e.ci.lo, e.p_hat);
+  EXPECT_GE(e.ci.hi, e.p_hat);
+}
+
+TEST(MonteCarlo, ReproducibleAcrossThreadCounts) {
+  auto trial = [](std::uint64_t seed) {
+    return rand::splitmix64(seed) % 7 == 0;
+  };
+  const Estimate seq = estimate_probability(5000, 3, trial, nullptr);
+  const ThreadPool pool(4);
+  const Estimate par = estimate_probability(5000, 3, trial, &pool);
+  EXPECT_EQ(seq.successes, par.successes);
+}
+
+TEST(MonteCarlo, SignificanceHelpers) {
+  const Estimate high = estimate_probability(
+      2000, 5, [](std::uint64_t) { return true; });
+  EXPECT_TRUE(high.significantly_above(0.9));
+  EXPECT_FALSE(high.significantly_below(0.9));
+}
+
+TEST(MonteCarlo, MeanEstimate) {
+  const MeanEstimate m = estimate_mean(10000, 11, [](std::uint64_t seed) {
+    // Uniform double in [0,1) derived from the trial seed.
+    return static_cast<double>(rand::splitmix64(seed) >> 11) * 0x1.0p-53;
+  });
+  EXPECT_NEAR(m.mean, 0.5, 0.02);
+  EXPECT_NEAR(m.stddev, 1.0 / std::sqrt(12.0), 0.02);
+}
+
+TEST(MonteCarlo, TrialSeedsAreDistinct) {
+  EXPECT_NE(trial_seed(1, 0), trial_seed(1, 1));
+  EXPECT_NE(trial_seed(1, 0), trial_seed(2, 0));
+  EXPECT_EQ(trial_seed(1, 5), trial_seed(1, 5));
+}
+
+TEST(Summary, BasicStatistics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Summary, QuantilesInterpolate) {
+  const std::vector<double> sorted = {0.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 1.5);
+}
+
+TEST(Summary, HistogramClampsOutliers) {
+  const auto bins = histogram({-1.0, 0.1, 0.5, 0.9, 2.0}, 0.0, 1.0, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  // -1.0 clamps into bin 0; 0.5 lands exactly on the bin-1 edge; 2.0
+  // clamps into bin 1.
+  EXPECT_EQ(bins[0], 2u);
+  EXPECT_EQ(bins[1], 3u);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+}  // namespace
+}  // namespace lnc::stats

@@ -1,0 +1,174 @@
+// Tests for src/util: iterated logarithm, math helpers, tables, strings.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "util/logstar.h"
+#include "util/math.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace lnc::util {
+namespace {
+
+TEST(LogStar, SmallValues) {
+  // Floor-based iteration: x -> floor(log2(x)) until x <= 1.
+  EXPECT_EQ(log_star(0), 0);
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(3), 1);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(15), 2);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(65535), 3);
+  EXPECT_EQ(log_star(65536), 4);
+  EXPECT_EQ(log_star(65537), 4);
+}
+
+TEST(LogStar, IsMonotone) {
+  int prev = 0;
+  for (std::uint64_t x = 1; x < 100000; x += 97) {
+    const int cur = log_star(x);
+    EXPECT_GE(cur, prev > 0 ? prev - 1 : 0);
+    prev = cur;
+  }
+}
+
+TEST(LogStar, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2((std::uint64_t{1} << 63) + 5), 63);
+}
+
+TEST(LogStar, Thresholds) {
+  // t(0)=2, t(1)=4, t(2)=16, t(3)=65536; log_star(t(s)) == s+1 exactly at
+  // the threshold, log_star(t(s)-1) == s.
+  EXPECT_EQ(log_star_threshold(0), 2u);
+  EXPECT_EQ(log_star_threshold(1), 4u);
+  EXPECT_EQ(log_star_threshold(2), 16u);
+  EXPECT_EQ(log_star_threshold(3), 65536u);
+  EXPECT_EQ(log_star(log_star_threshold(3)), 4);
+  EXPECT_EQ(log_star(log_star_threshold(3) - 1), 3);
+}
+
+TEST(Math, GoldenRatioGuaranteeIsFixedPoint) {
+  const double p = golden_ratio_guarantee();
+  EXPECT_NEAR(p, 0.61803398875, 1e-9);
+  // p* satisfies p = 1 - p^2 — the paper's balance point.
+  EXPECT_NEAR(p, 1.0 - p * p, 1e-12);
+}
+
+TEST(Math, AmosGuaranteeMaximizedAtGoldenRatio) {
+  const double p_star = golden_ratio_guarantee();
+  const double best = amos_guarantee(p_star);
+  for (double p = 0.0; p <= 1.0; p += 0.001) {
+    EXPECT_LE(amos_guarantee(p), best + 1e-9);
+  }
+}
+
+TEST(Math, WilsonIntervalContainsPointEstimate) {
+  const Interval iv = wilson_interval(60, 100);
+  EXPECT_LT(iv.lo, 0.6);
+  EXPECT_GT(iv.hi, 0.6);
+  EXPECT_GT(iv.lo, 0.45);
+  EXPECT_LT(iv.hi, 0.75);
+}
+
+TEST(Math, WilsonIntervalDegenerateCases) {
+  const Interval empty = wilson_interval(0, 0);
+  EXPECT_EQ(empty.lo, 0.0);
+  EXPECT_EQ(empty.hi, 1.0);
+  const Interval all = wilson_interval(50, 50);
+  EXPECT_GT(all.lo, 0.9);
+  EXPECT_EQ(all.hi, 1.0);
+  const Interval none = wilson_interval(0, 50);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.1);
+}
+
+TEST(Math, WilsonIntervalNarrowsWithTrials) {
+  const Interval small = wilson_interval(10, 20);
+  const Interval large = wilson_interval(10000, 20000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Math, SaturatingPow) {
+  EXPECT_EQ(saturating_pow(2, 10), 1024u);
+  EXPECT_EQ(saturating_pow(3, 0), 1u);
+  EXPECT_EQ(saturating_pow(0, 5), 0u);
+  EXPECT_EQ(saturating_pow(2, 64),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(saturating_pow(10, 20),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(5, 0), 0u);
+}
+
+TEST(Table, AlignsAndStoresCells) {
+  Table t({"name", "value"});
+  t.new_row().add_cell("alpha").add_cell(std::uint64_t{42});
+  t.new_row().add_cell("b").add_cell(3.14159, 2);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.at(0, 0), "alpha");
+  EXPECT_EQ(t.at(0, 1), "42");
+  EXPECT_EQ(t.at(1, 1), "3.14");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.new_row().add_cell("x,y").add_cell("say \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, AtThrowsOutOfRange) {
+  Table t({"only"});
+  t.new_row().add_cell("cell");
+  EXPECT_THROW(t.at(1, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 1), std::out_of_range);
+}
+
+TEST(StringUtil, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, TrimRemovesWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"p", "q", "r"};
+  EXPECT_EQ(join(parts, "-"), "p-q-r");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("prefix-rest", "prefix"));
+  EXPECT_FALSE(starts_with("pre", "prefix"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+}  // namespace
+}  // namespace lnc::util
