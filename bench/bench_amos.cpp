@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "decide/amos_decider.h"
+#include "decide/experiment_plans.h"
 #include "decide/guarantee.h"
 #include "graph/generators.h"
 #include "lang/amos.h"
@@ -80,18 +81,12 @@ void print_tables() {
   util::Table decay({"selected s", "Pr[all accept] (meas)",
                      "p*^s (theory)"});
   const decide::AmosDecider optimal;
+  local::BatchRunner runner(&pool);
   for (int s : {0, 1, 2, 3, 5, 8}) {
     const auto sampler = selected_sampler(n, s);
-    const stats::Estimate accept = stats::estimate_probability(
-        6000, static_cast<std::uint64_t>(1000 + s),
-        [&](std::uint64_t seed) {
-          const auto sample = sampler(seed);
-          const rand::PhiloxCoins coins(seed, rand::Stream::kDecision);
-          return decide::evaluate(sample.instance, sample.output, optimal,
-                                  coins)
-              .accepted;
-        },
-        &pool);
+    const stats::Estimate accept = runner.run(decide::guarantee_side_plan(
+        "amos-decay", sampler, optimal, /*want_accept=*/true, 6000,
+        static_cast<std::uint64_t>(1000 + s)));
     decay.new_row()
         .add_cell(s)
         .add_cell(accept.p_hat, 4)

@@ -1,20 +1,58 @@
 // Shared helpers for the experiment binaries: a standard preamble/epilogue
 // and the convention that each binary prints its reproduced tables first,
 // then runs its google-benchmark microbenchmarks.
+//
+// Machine-readable output: when LNC_BENCH_JSON_DIR is set, every printed
+// table is also written as JSON to <dir>/TABLE_<experiment>_<k>.json and
+// the microbenchmarks are recorded to <dir>/BENCH_<binary>.json — the
+// per-PR trajectory files CI archives.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "util/table.h"
 
 namespace lnc::bench {
+namespace detail {
+
+inline std::string& current_experiment() {
+  static std::string name;
+  return name;
+}
+
+inline int& table_index() {
+  static int index = 0;
+  return index;
+}
+
+inline std::string slugify(const std::string& text) {
+  std::string slug;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      slug.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug.push_back('-');
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "experiment" : slug;
+}
+
+}  // namespace detail
 
 inline void print_header(const std::string& experiment,
                          const std::string& paper_source,
                          const std::string& claim) {
+  detail::current_experiment() = detail::slugify(experiment);
+  detail::table_index() = 0;
   std::cout << "\n=== " << experiment << " — " << paper_source << " ===\n"
             << claim << "\n\n";
 }
@@ -22,18 +60,47 @@ inline void print_header(const std::string& experiment,
 inline void print_table(const util::Table& table) {
   table.print(std::cout);
   std::cout << '\n';
+  if (const char* json_dir = std::getenv("LNC_BENCH_JSON_DIR")) {
+    const std::string path = std::string(json_dir) + "/TABLE_" +
+                             detail::current_experiment() + "_" +
+                             std::to_string(detail::table_index()++) +
+                             ".json";
+    std::ofstream out(path);
+    if (out) table.print_json(out);
+  }
 }
 
-/// Standard main body: tables first, then microbenchmarks.
-#define LNC_BENCH_MAIN(print_tables_fn)                      \
-  int main(int argc, char** argv) {                          \
-    print_tables_fn();                                       \
-    ::benchmark::Initialize(&argc, argv);                    \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
-      return 1;                                              \
-    ::benchmark::RunSpecifiedBenchmarks();                   \
-    ::benchmark::Shutdown();                                 \
-    return 0;                                                \
+/// Standard main body: tables first, then microbenchmarks (recorded as
+/// JSON next to the tables when LNC_BENCH_JSON_DIR is set).
+inline int run_bench_main(int argc, char** argv,
+                          void (*print_tables_fn)()) {
+  print_tables_fn();
+  std::vector<std::string> args(argv, argv + argc);
+  if (const char* json_dir = std::getenv("LNC_BENCH_JSON_DIR")) {
+    std::string name = args.empty() ? std::string("bench") : args[0];
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    args.push_back("--benchmark_out_format=json");
+    args.push_back(std::string("--benchmark_out=") + json_dir + "/BENCH_" +
+                   name + ".json");
+  }
+  std::vector<char*> arg_ptrs;
+  arg_ptrs.reserve(args.size());
+  for (std::string& arg : args) arg_ptrs.push_back(arg.data());
+  int adjusted_argc = static_cast<int>(arg_ptrs.size());
+  ::benchmark::Initialize(&adjusted_argc, arg_ptrs.data());
+  if (::benchmark::ReportUnrecognizedArguments(adjusted_argc,
+                                               arg_ptrs.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+#define LNC_BENCH_MAIN(print_tables_fn)                           \
+  int main(int argc, char** argv) {                               \
+    return ::lnc::bench::run_bench_main(argc, argv, print_tables_fn); \
   }
 
 }  // namespace lnc::bench

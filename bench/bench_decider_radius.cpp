@@ -16,9 +16,9 @@
 
 #include "decide/amos_decider.h"
 #include "decide/evaluate.h"
+#include "decide/experiment_plans.h"
 #include "graph/generators.h"
 #include "lang/amos.h"
-#include "stats/montecarlo.h"
 
 namespace {
 
@@ -94,6 +94,7 @@ void print_tables() {
   util::Table sweep({"ring n", "diameter", "t", "det errs (2 sel antipodal)",
                      "rand guarantee (meas)"});
   const decide::AmosDecider randomized;
+  local::BatchRunner runner;
   for (graph::NodeId ring_n : {6u, 10u, 18u, 34u, 66u}) {
     const local::Instance ring = ring_instance(ring_n);
     const int diameter = static_cast<int>(ring_n) / 2;
@@ -105,13 +106,10 @@ void print_tables() {
       const bool errs =
           decide::evaluate(ring, two_selected, det).accepted;  // non-member!
       // Randomized side: Pr[reject | 2 selected] must stay >= 1 - p^2.
-      const stats::Estimate reject = stats::estimate_probability(
-          3000, ring_n * 10 + static_cast<std::uint64_t>(t),
-          [&](std::uint64_t seed) {
-            const rand::PhiloxCoins coins(seed, rand::Stream::kDecision);
-            return !decide::evaluate(ring, two_selected, randomized, coins)
-                        .accepted;
-          });
+      const stats::Estimate reject = runner.run(decide::acceptance_plan(
+          "amos-reject", ring, two_selected, randomized, 3000,
+          ring_n * 10 + static_cast<std::uint64_t>(t), {},
+          /*success_on_accept=*/false));
       sweep.new_row()
           .add_cell(std::uint64_t{ring_n})
           .add_cell(diameter)

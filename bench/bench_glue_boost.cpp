@@ -18,6 +18,7 @@
 #include "core/glue.h"
 #include "core/hard_instances.h"
 #include "decide/evaluate.h"
+#include "decide/experiment_plans.h"
 #include "decide/resilient_decider.h"
 #include "graph/metrics.h"
 #include "graph/planarity.h"
@@ -35,22 +36,13 @@ struct Setup {
   algo::UniformRandomColoring coloring{3};
   decide::ResilientDecider decider{base, 1};
   stats::ThreadPool pool;
+  local::BatchRunner runner{&pool};
 };
 
-stats::Estimate acceptance(const Setup& setup, const local::Instance& inst,
+stats::Estimate acceptance(Setup& setup, const local::Instance& inst,
                            std::uint64_t tag) {
-  return stats::estimate_probability(
-      1500, tag,
-      [&](std::uint64_t seed) {
-        const rand::PhiloxCoins c_coins(rand::mix_keys(seed, 0xC),
-                                        rand::Stream::kConstruction);
-        const rand::PhiloxCoins d_coins(rand::mix_keys(seed, 0xD),
-                                        rand::Stream::kDecision);
-        const local::Labeling y =
-            local::run_ball_algorithm(inst, setup.coloring, c_coins);
-        return decide::evaluate(inst, y, setup.decider, d_coins).accepted;
-      },
-      &setup.pool);
+  return setup.runner.run(decide::construct_then_decide_plan(
+      "glue-acceptance", inst, setup.coloring, setup.decider, 1500, tag));
 }
 
 void print_tables() {

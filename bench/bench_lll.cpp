@@ -17,7 +17,7 @@
 #include "core/hard_instances.h"
 #include "graph/generators.h"
 #include "lang/lll.h"
-#include "stats/montecarlo.h"
+#include "local/batch_runner.h"
 
 namespace {
 
@@ -55,22 +55,26 @@ void print_tables() {
       {"grid 16x16",
        local::make_instance(graph::grid(16, 16),
                             ident::random_permutation(256, 4))});
+  local::BatchRunner runner;
   for (const Family& family : families) {
-    double phase_sum = 0;
-    double resample_sum = 0;
-    bool all_success = true;
-    const int trials = 10;
-    for (int trial = 0; trial < trials; ++trial) {
-      const rand::PhiloxCoins coins(
-          static_cast<std::uint64_t>(trial) * 31 + 11,
-          rand::Stream::kConstruction);
-      const algo::MoserTardosResult result =
-          algo::run_moser_tardos(family.inst, coins, 100000);
-      phase_sum += result.phases;
-      resample_sum += static_cast<double>(result.total_resamplings);
-      all_success = all_success && result.success &&
-                    lll.contains(family.inst, result.assignment);
-    }
+    const std::uint64_t trials = 10;
+    enum { kPhases, kResamplings, kSuccesses, kSlots };
+    const auto counts = runner.run_counts(local::custom_count_plan(
+        "moser-tardos", trials, 11, kSlots,
+        [&](const local::TrialEnv& env, std::span<std::uint64_t> slots) {
+          const rand::PhiloxCoins coins = env.construction_coins();
+          const algo::MoserTardosResult result =
+              algo::run_moser_tardos(family.inst, coins, 100000);
+          slots[kPhases] += static_cast<std::uint64_t>(result.phases);
+          slots[kResamplings] += result.total_resamplings;
+          slots[kSuccesses] +=
+              (result.success && lll.contains(family.inst, result.assignment))
+                  ? 1
+                  : 0;
+        }));
+    const double phase_sum = static_cast<double>(counts[kPhases]);
+    const double resample_sum = static_cast<double>(counts[kResamplings]);
+    const bool all_success = counts[kSuccesses] == trials;
     table.new_row()
         .add_cell(family.name)
         .add_cell(std::uint64_t{family.inst.node_count()})

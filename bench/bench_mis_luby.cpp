@@ -13,7 +13,7 @@
 #include "graph/generators.h"
 #include "lang/matching.h"
 #include "lang/mis.h"
-#include "stats/montecarlo.h"
+#include "local/batch_runner.h"
 #include "stats/threadpool.h"
 
 namespace {
@@ -33,25 +33,36 @@ void print_tables() {
                      "Luby valid", "matching valid"});
   const lang::MaximalIndependentSet mis;
   const lang::MaximalMatching matching;
+  local::BatchRunner runner;
   for (graph::NodeId n : {64u, 256u, 1024u, 4096u}) {
     const local::Instance inst = local::make_instance(
         graph::cycle(n), ident::random_permutation(n, n));
-    double luby_sum = 0;
-    double match_sum = 0;
-    bool luby_ok = true;
-    bool match_ok = true;
-    const int trials = 8;
-    for (int trial = 0; trial < trials; ++trial) {
-      const rand::PhiloxCoins coins(
-          static_cast<std::uint64_t>(trial) * 7919 + n,
-          rand::Stream::kConstruction);
-      const local::EngineResult luby = algo::run_luby_mis(inst, coins);
-      luby_sum += luby.rounds;
-      luby_ok = luby_ok && mis.contains(inst, luby.output);
-      const local::EngineResult match = algo::run_rand_matching(inst, coins);
-      match_sum += match.rounds;
-      match_ok = match_ok && matching.contains(inst, match.output);
-    }
+    const std::uint64_t trials = 8;
+    // Counter slots: [luby rounds, luby valid, matching rounds, matching
+    // valid] — one engine-backed trial runs both algorithms on shared
+    // construction coins and a shared per-worker engine scratch.
+    enum { kLubyRounds, kLubyValid, kMatchRounds, kMatchValid, kSlots };
+    const auto counts = runner.run_counts(local::custom_count_plan(
+        "mis-matching-rounds", trials, n, kSlots,
+        [&](const local::TrialEnv& env, std::span<std::uint64_t> slots) {
+          const rand::PhiloxCoins coins = env.construction_coins();
+          local::EngineOptions options;
+          options.coins = &coins;
+          options.scratch = &env.arena->engine();
+          const local::EngineResult luby =
+              run_engine(inst, algo::LubyMisFactory{}, options);
+          slots[kLubyRounds] += static_cast<std::uint64_t>(luby.rounds);
+          slots[kLubyValid] += mis.contains(inst, luby.output) ? 1 : 0;
+          const local::EngineResult match =
+              run_engine(inst, algo::RandMatchingFactory{}, options);
+          slots[kMatchRounds] += static_cast<std::uint64_t>(match.rounds);
+          slots[kMatchValid] +=
+              matching.contains(inst, match.output) ? 1 : 0;
+        }));
+    const double luby_sum = static_cast<double>(counts[kLubyRounds]);
+    const double match_sum = static_cast<double>(counts[kMatchRounds]);
+    const bool luby_ok = counts[kLubyValid] == trials;
+    const bool match_ok = counts[kMatchValid] == trials;
     std::string greedy_rounds = "-";
     if (n <= 256) {
       const local::Instance consecutive = core::consecutive_ring(n);

@@ -18,7 +18,7 @@
 #include "core/hard_instances.h"
 #include "lang/coloring.h"
 #include "lang/relax.h"
-#include "stats/montecarlo.h"
+#include "local/experiment.h"
 #include "stats/summary.h"
 #include "stats/threadpool.h"
 
@@ -39,21 +39,21 @@ void print_tables() {
   const lang::ProperColoring base(3);
   const algo::UniformRandomColoring coloring(3);
   const stats::ThreadPool pool;
+  local::BatchRunner runner(&pool);
 
   // Table 1: bad-ball fraction statistics vs n.
   util::Table frac({"n", "mean bad frac", "stddev", "theory 5/9"});
   for (graph::NodeId n : {30u, 100u, 300u, 1000u}) {
     const local::Instance inst = core::consecutive_ring(n);
-    const stats::MeanEstimate mean = stats::estimate_mean(
-        600, n,
-        [&](std::uint64_t seed) {
-          const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
-          const local::Labeling y =
-              local::run_ball_algorithm(inst, coloring, coins);
-          return static_cast<double>(base.count_bad_balls(inst, y)) /
-                 static_cast<double>(n);
-        },
-        &pool);
+    const stats::MeanEstimate mean =
+        runner.run_mean(local::construction_value_plan(
+            "bad-ball-fraction", inst, coloring,
+            [&base, n](const local::Instance& instance,
+                       const local::Labeling& y) {
+              return static_cast<double>(base.count_bad_balls(instance, y)) /
+                     static_cast<double>(n);
+            },
+            600, n));
     frac.new_row()
         .add_cell(std::uint64_t{n})
         .add_cell(mean.mean, 4)
@@ -70,15 +70,13 @@ void print_tables() {
     for (graph::NodeId n : {60u, 600u}) {
       const local::Instance inst = core::consecutive_ring(n);
       const lang::EpsSlack slack(base, eps);
-      const stats::Estimate success = stats::estimate_probability(
-          600, static_cast<std::uint64_t>(eps * 1e4) + n,
-          [&](std::uint64_t seed) {
-            const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
-            const local::Labeling y =
-                local::run_ball_algorithm(inst, coloring, coins);
-            return slack.contains(inst, y);
+      const stats::Estimate success = runner.run(local::construction_plan(
+          "slack-success", inst, coloring,
+          [&slack](const local::Instance& instance,
+                   const local::Labeling& y) {
+            return slack.contains(instance, y);
           },
-          &pool);
+          600, static_cast<std::uint64_t>(eps * 1e4) + n));
       prob.push_back(success.p_hat);
     }
     threshold.new_row()
@@ -102,15 +100,13 @@ void print_tables() {
     for (graph::NodeId n : {30u, 120u, 480u}) {
       const local::Instance inst = core::consecutive_ring(n);
       const lang::PolyResilient relaxed(base, c);
-      const stats::Estimate ok = stats::estimate_probability(
-          400, static_cast<std::uint64_t>(c * 100) + n,
-          [&](std::uint64_t seed) {
-            const rand::PhiloxCoins coins(seed,
-                                          rand::Stream::kConstruction);
-            return relaxed.contains(
-                inst, local::run_ball_algorithm(inst, coloring, coins));
+      const stats::Estimate ok = runner.run(local::construction_plan(
+          "poly-resilient-ok", inst, coloring,
+          [&relaxed](const local::Instance& instance,
+                     const local::Labeling& y) {
+            return relaxed.contains(instance, y);
           },
-          &pool);
+          400, static_cast<std::uint64_t>(c * 100) + n));
       poly.add_cell(ok.p_hat, 4);
     }
   }

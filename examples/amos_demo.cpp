@@ -12,10 +12,9 @@
 #include <iostream>
 
 #include "decide/amos_decider.h"
-#include "decide/evaluate.h"
+#include "decide/experiment_plans.h"
 #include "graph/generators.h"
 #include "lang/amos.h"
-#include "stats/montecarlo.h"
 #include "util/math.h"
 #include "util/table.h"
 
@@ -31,6 +30,7 @@ int main() {
             << "p solves p = 1 - p^2: both error modes equal "
             << util::golden_ratio_guarantee() << "\n\n";
 
+  local::BatchRunner runner;
   util::Table table({"selected", "member?", "Pr[all accept] measured",
                      "p^s theory"});
   for (int s : {0, 1, 2, 3, 6}) {
@@ -38,12 +38,9 @@ int main() {
     for (int i = 0; i < s; ++i) {
       output[static_cast<graph::NodeId>(i * 5)] = lang::Amos::kSelected;
     }
-    const stats::Estimate accept = stats::estimate_probability(
-        20000, static_cast<std::uint64_t>(s) + 1,
-        [&](std::uint64_t seed) {
-          const rand::PhiloxCoins coins(seed, rand::Stream::kDecision);
-          return decide::evaluate(inst, output, decider, coins).accepted;
-        });
+    const stats::Estimate accept = runner.run(decide::acceptance_plan(
+        "amos-accept", inst, output, decider, 20000,
+        static_cast<std::uint64_t>(s) + 1));
     table.new_row()
         .add_cell(s)
         .add_cell(s <= 1 ? "yes" : "no")

@@ -23,11 +23,11 @@
 #include "core/hard_instances.h"
 #include "decide/resilient_decider.h"
 #include "decide/evaluate.h"
+#include "decide/experiment_plans.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
 #include "lang/coloring.h"
 #include "lang/relax.h"
-#include "stats/montecarlo.h"
 #include "util/table.h"
 
 int main() {
@@ -72,22 +72,17 @@ int main() {
   std::cout << "\n\n";
 
   // Step 3-4: glue prefixes of the sequence and measure the collapse.
+  local::BatchRunner runner;
   util::Table table({"nu", "glued n", "accept (meas)", "theory ceiling"});
   for (std::size_t k = 2; k <= nu; ++k) {
     const std::span<const local::Instance> prefix(parts.data(), k);
     const std::span<const graph::NodeId> prefix_anchors(anchors.data(), k);
     const core::GluedInstance glued =
         core::theorem1_glue(prefix, prefix_anchors);
-    const stats::Estimate accept = stats::estimate_probability(
-        1200, 100 + k, [&](std::uint64_t seed) {
-          const rand::PhiloxCoins c(rand::mix_keys(seed, 1),
-                                    rand::Stream::kConstruction);
-          const rand::PhiloxCoins d(rand::mix_keys(seed, 2),
-                                    rand::Stream::kDecision);
-          const local::Labeling y =
-              local::run_ball_algorithm(glued.instance, coloring, c);
-          return decide::evaluate(glued.instance, y, decider, d).accepted;
-        });
+    const stats::Estimate accept =
+        runner.run(decide::construct_then_decide_plan(
+            "glued-accept", glued.instance, coloring, decider, 1200,
+            100 + k));
     table.new_row()
         .add_cell(std::uint64_t{k})
         .add_cell(std::uint64_t{glued.instance.node_count()})

@@ -17,7 +17,7 @@
 #include "decide/evaluate.h"
 #include "lang/coloring.h"
 #include "lang/relax.h"
-#include "stats/montecarlo.h"
+#include "local/experiment.h"
 #include "util/table.h"
 
 int main() {
@@ -31,6 +31,7 @@ int main() {
   std::cout << "zero-round uniform 3-coloring vs two relaxations of ring\n"
             << "3-coloring: slack(eps=0.65) and 4-resilient.\n\n";
 
+  local::BatchRunner runner;
   util::Table table({"n", "Pr[slack ok]", "Pr[resilient ok]",
                      "Pr[decider catches failure]"});
   for (graph::NodeId n : {20u, 60u, 180u, 540u}) {
@@ -39,29 +40,31 @@ int main() {
     const lang::FResilient resilient(base, faults);
     const decide::ResilientDecider decider(base, faults);
 
-    const stats::Estimate slack_ok = stats::estimate_probability(
-        800, n, [&](std::uint64_t seed) {
-          const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
-          return slack.contains(
-              inst, local::run_ball_algorithm(inst, coloring, coins));
-        });
-    const stats::Estimate resilient_ok = stats::estimate_probability(
-        800, n + 1, [&](std::uint64_t seed) {
-          const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
-          return resilient.contains(
-              inst, local::run_ball_algorithm(inst, coloring, coins));
-        });
-    const stats::Estimate caught = stats::estimate_probability(
-        800, n + 2, [&](std::uint64_t seed) {
-          const rand::PhiloxCoins c(rand::mix_keys(seed, 1),
-                                    rand::Stream::kConstruction);
-          const rand::PhiloxCoins d(rand::mix_keys(seed, 2),
-                                    rand::Stream::kDecision);
-          const local::Labeling y =
-              local::run_ball_algorithm(inst, coloring, c);
+    const stats::Estimate slack_ok = runner.run(local::construction_plan(
+        "slack-ok", inst, coloring,
+        [&slack](const local::Instance& instance,
+                 const local::Labeling& y) {
+          return slack.contains(instance, y);
+        },
+        800, n));
+    const stats::Estimate resilient_ok = runner.run(local::construction_plan(
+        "resilient-ok", inst, coloring,
+        [&resilient](const local::Instance& instance,
+                     const local::Labeling& y) {
+          return resilient.contains(instance, y);
+        },
+        800, n + 1));
+    // Caught = C misses the relaxation AND D notices — a bespoke trial
+    // combining both checks, still declared as a plan.
+    const stats::Estimate caught = runner.run(local::custom_plan(
+        "decider-catches", 800, n + 2, [&](const local::TrialEnv& env) {
+          const rand::PhiloxCoins c = env.construction_coins();
+          const rand::PhiloxCoins d = env.decision_coins();
+          local::Labeling& y = env.arena->labeling();
+          local::run_ball_algorithm_into(inst, coloring, c, y);
           if (resilient.contains(inst, y)) return false;
           return !decide::evaluate(inst, y, decider, d).accepted;
-        });
+        }));
     table.new_row()
         .add_cell(std::uint64_t{n})
         .add_cell(slack_ok.p_hat, 4)

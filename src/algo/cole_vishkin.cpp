@@ -28,9 +28,11 @@ class ColeVishkinProgram final : public local::NodeProgram {
     return false;
   }
 
-  local::Message send(int /*round*/) override { return {color_}; }
+  void send(int /*round*/, local::MessageWriter& out) override {
+    out.push(color_);
+  }
 
-  bool receive(int round, std::span<const local::Message> inbox) override {
+  bool receive(int round, const local::Inbox& inbox) override {
     if (round <= reduction_rounds_) {
       const std::uint64_t succ_color = inbox[succ_port_][0];
       const int i = lowest_differing_bit(color_, succ_color);

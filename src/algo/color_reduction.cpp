@@ -19,19 +19,23 @@ class ColorReductionProgram final : public local::NodeProgram {
     return initial_palette_ <= target_palette_;
   }
 
-  local::Message send(int /*round*/) override { return {color_}; }
+  void send(int /*round*/, local::MessageWriter& out) override {
+    out.push(color_);
+  }
 
-  bool receive(int round, std::span<const local::Message> inbox) override {
+  bool receive(int round, const local::Inbox& inbox) override {
     // Round r eliminates color (initial_palette - r).
     const auto eliminated =
         static_cast<std::uint64_t>(initial_palette_ - round);
     if (color_ == eliminated) {
-      std::vector<std::uint64_t> used;
-      used.reserve(inbox.size());
-      for (const local::Message& msg : inbox) used.push_back(msg[0]);
-      std::sort(used.begin(), used.end());
+      used_.clear();
+      used_.reserve(inbox.size());
+      for (std::size_t p = 0; p < inbox.size(); ++p) {
+        used_.push_back(inbox[p][0]);
+      }
+      std::sort(used_.begin(), used_.end());
       std::uint64_t pick = 0;
-      for (std::uint64_t u : used) {
+      for (std::uint64_t u : used_) {
         if (u == pick) ++pick;
         else if (u > pick) break;
       }
@@ -47,6 +51,7 @@ class ColorReductionProgram final : public local::NodeProgram {
   int initial_palette_;
   int target_palette_;
   std::uint64_t color_ = 0;
+  std::vector<std::uint64_t> used_;  // recolor scratch, reused across rounds
 };
 
 }  // namespace

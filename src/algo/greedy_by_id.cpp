@@ -24,15 +24,18 @@ class GreedyProgram : public local::NodeProgram {
     return false;
   }
 
-  local::Message send(int /*round*/) override {
-    return {decided_ ? kDecided : kUndecided, value_, id_};
+  void send(int /*round*/, local::MessageWriter& out) override {
+    out.push(decided_ ? kDecided : kUndecided);
+    out.push(value_);
+    out.push(id_);
   }
 
-  bool receive(int /*round*/, std::span<const local::Message> inbox) override {
+  bool receive(int /*round*/, const local::Inbox& inbox) override {
     for (std::size_t p = 0; p < inbox.size(); ++p) {
-      neighbor_decided_[p] = inbox[p][0] == kDecided;
-      neighbor_value_[p] = inbox[p][1];
-      neighbor_id_[p] = inbox[p][2];
+      const auto msg = inbox[p];
+      neighbor_decided_[p] = msg[0] == kDecided;
+      neighbor_value_[p] = msg[1];
+      neighbor_id_[p] = msg[2];
     }
     if (decided_) return true;  // one extra round to broadcast the decision
     bool local_min = true;

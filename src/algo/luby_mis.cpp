@@ -22,19 +22,24 @@ class LubyProgram final : public local::NodeProgram {
     return false;
   }
 
-  local::Message send(int round) override {
+  void send(int round, local::MessageWriter& out) override {
     if (round % 2 == 1) {
       if (status_ == kUndecided) draw_ = rng_->next_u64();
-      return {status_, draw_, id_};
+      out.push(status_);
+      out.push(draw_);
+      out.push(id_);
+      return;
     }
-    return {status_, joining_ ? std::uint64_t{1} : std::uint64_t{0}};
+    out.push(status_);
+    out.push(joining_ ? std::uint64_t{1} : std::uint64_t{0});
   }
 
-  bool receive(int round, std::span<const local::Message> inbox) override {
+  bool receive(int round, const local::Inbox& inbox) override {
     if (status_ != kUndecided) return true;
     if (round % 2 == 1) {
       joining_ = true;
-      for (const local::Message& msg : inbox) {
+      for (std::size_t p = 0; p < inbox.size(); ++p) {
+        const auto msg = inbox[p];
         if (msg[0] != kUndecided) continue;
         const std::uint64_t their_draw = msg[1];
         const std::uint64_t their_id = msg[2];
@@ -50,7 +55,8 @@ class LubyProgram final : public local::NodeProgram {
       status_ = kIn;
       return false;  // broadcast kIn next round, then halt
     }
-    for (const local::Message& msg : inbox) {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      const auto msg = inbox[p];
       if (msg[0] == kUndecided && msg[1] == 1) {
         status_ = kOut;
         return false;  // a neighbor joined this phase

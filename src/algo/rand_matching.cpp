@@ -32,24 +32,31 @@ class MatchingProgram final : public local::NodeProgram {
     return degree_ == 0;  // isolated nodes stay unmatched forever
   }
 
-  local::Message send(int round) override {
-    if (matched_) return {1, mate_id_, 0, 0, 0};
+  void send(int round, local::MessageWriter& out) override {
+    if (matched_) {
+      const std::uint64_t words[] = {1, mate_id_, 0, 0, 0};
+      out.append(words);
+      return;
+    }
     if (round % 2 == 1) {
       role_ = rng_->bernoulli(0.5) ? kRoleProposer : kRoleListener;
       proposal_target_ = role_ == kRoleProposer ? pick_target() : 0;
       draw_ = rng_->next_u64();
-      return {0, role_, proposal_target_, draw_, id_};
+      const std::uint64_t words[] = {0, role_, proposal_target_, draw_, id_};
+      out.append(words);
+      return;
     }
-    return {0, accepted_proposer_};
+    out.push(0);
+    out.push(accepted_proposer_);
   }
 
-  bool receive(int round, std::span<const local::Message> inbox) override {
+  bool receive(int round, const local::Inbox& inbox) override {
     if (matched_) return true;  // the match was broadcast last round
     if (round % 2 == 1) {
       accepted_proposer_ = 0;
       std::uint64_t best_draw = 0;
       for (std::size_t p = 0; p < inbox.size(); ++p) {
-        const auto& msg = inbox[p];
+        const auto msg = inbox[p];
         neighbor_available_[p] = msg[0] == 0;
         if (msg[0] != 0) continue;
         neighbor_id_[p] = msg[4];
@@ -69,7 +76,8 @@ class MatchingProgram final : public local::NodeProgram {
     }
     // Accept round.
     if (role_ == kRoleProposer && proposal_target_ != 0) {
-      for (const auto& msg : inbox) {
+      for (std::size_t p = 0; p < inbox.size(); ++p) {
+        const auto msg = inbox[p];
         if (msg[0] == 0 && msg[1] == id_) {
           // Only our proposal target could have accepted us.
           matched_ = true;

@@ -17,12 +17,14 @@ class WeakColorProgram final : public local::NodeProgram {
     return false;
   }
 
-  local::Message send(int /*round*/) override { return {bit_}; }
+  void send(int /*round*/, local::MessageWriter& out) override {
+    out.push(bit_);
+  }
 
-  bool receive(int round, std::span<const local::Message> inbox) override {
+  bool receive(int round, const local::Inbox& inbox) override {
     bool all_agree = true;
-    for (const local::Message& msg : inbox) {
-      if (msg[0] != bit_) {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      if (inbox[p][0] != bit_) {
         all_agree = false;
         break;
       }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "decide/experiment_plans.h"
 #include "graph/metrics.h"
+#include "local/batch_runner.h"
 #include "rand/coins.h"
 #include "util/assert.h"
 
@@ -30,17 +32,13 @@ Claim4Report verify_claim4(const local::Instance& inst,
   Claim4Report report;
   report.p = p;
   report.scattered.assign(scattered.begin(), scattered.end());
+  local::BatchRunner runner(pool);
   for (graph::NodeId u : scattered) {
     decide::EvaluateOptions options;
     options.far_from = decide::FarFrom{u, exclusion_radius};
-    report.far_accept.push_back(stats::estimate_probability(
-        trials, rand::mix_keys(base_seed, u),
-        [&](std::uint64_t seed) {
-          const rand::PhiloxCoins coins(seed, rand::Stream::kDecision);
-          return decide::evaluate(inst, fixed_output, decider, coins, options)
-              .accepted;
-        },
-        pool));
+    report.far_accept.push_back(runner.run(decide::acceptance_plan(
+        "claim4/far-accept", inst, fixed_output, decider, trials,
+        rand::mix_keys(base_seed, u), options)));
   }
   return report;
 }
@@ -52,48 +50,53 @@ CriticalStringsReport verify_critical_strings(
     std::uint64_t trials, std::uint64_t base_seed) {
   CriticalStringsReport report;
   report.trials = trials;
-  report.critical_for.assign(scattered.size(), 0);
 
-  // Distances from every member of S (reused across trials).
+  // Distances from every member of S (shared by all trials).
   std::vector<std::vector<int>> dist;
   dist.reserve(scattered.size());
   for (graph::NodeId u : scattered) {
     dist.push_back(graph::bfs_distances(inst.g, u));
   }
 
-  for (std::uint64_t trial = 0; trial < trials; ++trial) {
-    const std::uint64_t sigma_prime = stats::trial_seed(base_seed, trial);
-    const rand::PhiloxCoins coins(sigma_prime, rand::Stream::kDecision);
-    // One unrestricted evaluation gives the full Reject(., sigma') set;
-    // criticality for each u is then pure geometry over that set.
-    const decide::DecisionOutcome outcome =
-        decide::evaluate(inst, fixed_output, decider, coins);
-    if (outcome.accepted) continue;  // no rejection: critical for nobody
+  // Counter slots: one criticality tally per scattered node, plus one slot
+  // for strings critical for >= 2 members.
+  const std::size_t multi_slot = scattered.size();
+  local::ExperimentPlan plan = local::custom_count_plan(
+      "critical-strings", trials, base_seed, scattered.size() + 1,
+      [&](const local::TrialEnv& env, std::span<std::uint64_t> slots) {
+        // The trial seed IS sigma' here (the decision string under test):
+        // one unrestricted evaluation gives the full Reject(., sigma') set;
+        // criticality for each u is then pure geometry over that set.
+        const rand::PhiloxCoins coins(env.seed, rand::Stream::kDecision);
+        const decide::DecisionOutcome outcome =
+            decide::evaluate(inst, fixed_output, decider, coins);
+        if (outcome.accepted) return;  // no rejection: critical for nobody
 
-    std::size_t critical_members = 0;
-    for (std::size_t j = 0; j < scattered.size(); ++j) {
-      // sigma' is critical for u when every rejection is within the
-      // exclusion ball of u (i.e. D accepts far from u but rejects).
-      bool all_near_u = true;
-      for (graph::NodeId rej : outcome.rejecting) {
-        if (dist[j][rej] < 0 || dist[j][rej] > exclusion_radius) {
-          all_near_u = false;
-          break;
+        std::size_t critical_members = 0;
+        for (std::size_t j = 0; j < scattered.size(); ++j) {
+          // sigma' is critical for u when every rejection is within the
+          // exclusion ball of u (i.e. D accepts far from u but rejects).
+          bool all_near_u = true;
+          for (graph::NodeId rej : outcome.rejecting) {
+            if (dist[j][rej] < 0 || dist[j][rej] > exclusion_radius) {
+              all_near_u = false;
+              break;
+            }
+          }
+          if (all_near_u) {
+            ++slots[j];
+            ++critical_members;
+          }
         }
-      }
-      if (all_near_u) {
-        ++report.critical_for[j];
-        ++critical_members;
-        // Reject-set containment holds by the test above; a violation
-        // would have been counted as non-critical, so escaped_reject
-        // tracks the complementary check: a string critical for u whose
-        // rejections are NOT all inside B(u, exclusion_radius) cannot
-        // exist by construction here — we keep the counter to document
-        // the invariant (it must stay 0).
-      }
-    }
-    if (critical_members >= 2) ++report.multi_critical;
-  }
+        if (critical_members >= 2) ++slots[multi_slot];
+      });
+
+  // The report is a plain count census — run it sequentially-deterministic
+  // through the batch runner (the same counts arrive in any thread count).
+  local::BatchRunner runner;
+  const std::vector<std::uint64_t> slots = runner.run_counts(plan);
+  report.critical_for.assign(slots.begin(), slots.begin() + multi_slot);
+  report.multi_critical = slots[multi_slot];
   return report;
 }
 
@@ -123,22 +126,14 @@ Claim5Report verify_claim5(const local::Instance& inst,
   Claim5Report report;
   report.scattered.assign(scattered.begin(), scattered.end());
   report.bound = beta * (1.0 - p) / static_cast<double>(mu);
+  local::BatchRunner runner(pool);
   for (graph::NodeId u : scattered) {
     decide::EvaluateOptions options;
     options.far_from = decide::FarFrom{u, exclusion_radius};
-    report.far_reject.push_back(stats::estimate_probability(
-        trials, rand::mix_keys(base_seed, 0xC1A15ULL + u),
-        [&](std::uint64_t seed) {
-          const rand::PhiloxCoins c_coins(rand::mix_keys(seed, 0xC0),
-                                          rand::Stream::kConstruction);
-          const rand::PhiloxCoins d_coins(rand::mix_keys(seed, 0xD0),
-                                          rand::Stream::kDecision);
-          const local::Labeling output =
-              local::run_ball_algorithm(inst, algo, c_coins);
-          return !decide::evaluate(inst, output, decider, d_coins, options)
-                      .accepted;
-        },
-        pool));
+    report.far_reject.push_back(runner.run(decide::construct_then_decide_plan(
+        "claim5/far-reject", inst, algo, decider, trials,
+        rand::mix_keys(base_seed, 0xC1A15ULL + u), options,
+        /*success_on_accept=*/false)));
   }
   return report;
 }

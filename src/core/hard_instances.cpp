@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/generators.h"
+#include "local/experiment.h"
 #include "rand/coins.h"
 #include "util/assert.h"
 
@@ -36,15 +37,14 @@ stats::Estimate estimate_beta(const local::Instance& inst,
                               const lang::Language& language,
                               std::uint64_t trials, std::uint64_t base_seed,
                               const stats::ThreadPool* pool) {
-  return stats::estimate_probability(
-      trials, base_seed,
-      [&](std::uint64_t seed) {
-        const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
-        const local::Labeling output =
-            local::run_ball_algorithm(inst, algo, coins);
-        return !language.contains(inst, output);
+  local::BatchRunner runner(pool);
+  return runner.run(local::construction_plan(
+      "claim2-beta/" + algo.name(), inst, algo,
+      [&language](const local::Instance& instance,
+                  const local::Labeling& output) {
+        return !language.contains(instance, output);
       },
-      pool);
+      trials, base_seed));
 }
 
 }  // namespace lnc::core

@@ -1,7 +1,7 @@
 #include "core/order_check.h"
 
 #include "ident/order.h"
-#include "rand/splitmix.h"
+#include "local/batch_runner.h"
 #include "util/assert.h"
 
 namespace lnc::core {
@@ -15,18 +15,25 @@ OrderInvarianceReport check_order_invariance(
 
   const local::Labeling reference = local::run_ball_algorithm(inst, algo);
 
-  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
-    const std::vector<ident::Identity> remapped =
-        ident::order_preserving_remap(
-            inst.ids.raw(), options.id_ceiling,
-            rand::mix_keys(options.base_seed, trial));
-    local::Instance shadow;
-    shadow.g = inst.g;
-    shadow.input = inst.input;
-    shadow.ids = ident::IdAssignment(remapped);
-    const local::Labeling outputs = local::run_ball_algorithm(shadow, algo);
-    if (outputs != reference) ++report.violations;
-  }
+  local::BatchRunner runner;
+  const auto counts = runner.run_counts(local::custom_count_plan(
+      "order-invariance/" + algo.name(), options.trials, options.base_seed,
+      /*counters=*/1,
+      [&](const local::TrialEnv& env, std::span<std::uint64_t> slots) {
+        // env.seed == mix_keys(base_seed, trial): same remap stream the
+        // pre-batched harness used.
+        const std::vector<ident::Identity> remapped =
+            ident::order_preserving_remap(inst.ids.raw(), options.id_ceiling,
+                                          env.seed);
+        local::Instance shadow;
+        shadow.g = inst.g;
+        shadow.input = inst.input;
+        shadow.ids = ident::IdAssignment(remapped);
+        local::Labeling& outputs = env.arena->labeling();
+        local::run_ball_algorithm_into(shadow, algo, outputs);
+        if (outputs != reference) ++slots[0];
+      }));
+  report.violations = counts[0];
   return report;
 }
 

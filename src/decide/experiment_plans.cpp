@@ -1,0 +1,72 @@
+#include "decide/experiment_plans.h"
+
+#include <utility>
+
+namespace lnc::decide {
+
+local::ExperimentPlan acceptance_plan(
+    std::string name, const local::Instance& inst,
+    std::span<const local::Label> output, const RandomizedDecider& decider,
+    std::uint64_t trials, std::uint64_t base_seed, EvaluateOptions options,
+    bool success_on_accept) {
+  local::ExperimentPlan plan;
+  plan.name = std::move(name);
+  plan.trials = trials;
+  plan.base_seed = base_seed;
+  plan.success_trial = [&inst, output, &decider, options,
+                        success_on_accept](const local::TrialEnv& env) {
+    const rand::PhiloxCoins coins = env.decision_coins();
+    const DecisionOutcome outcome =
+        evaluate(inst, output, decider, coins, options);
+    return outcome.accepted == success_on_accept;
+  };
+  return plan;
+}
+
+local::ExperimentPlan construct_then_decide_plan(
+    std::string name, const local::Instance& inst,
+    const local::RandomizedBallAlgorithm& algo,
+    const RandomizedDecider& decider, std::uint64_t trials,
+    std::uint64_t base_seed, EvaluateOptions options, bool success_on_accept,
+    local::ExecMode mode) {
+  local::ExperimentPlan plan;
+  plan.name = std::move(name);
+  plan.trials = trials;
+  plan.base_seed = base_seed;
+  plan.success_trial = [&inst, &algo, &decider, options, success_on_accept,
+                        mode](const local::TrialEnv& env) {
+    const rand::PhiloxCoins c_coins = env.construction_coins();
+    const rand::PhiloxCoins d_coins = env.decision_coins();
+    local::ExecOptions exec_options;
+    exec_options.grant_n = options.grant_n;
+    exec_options.arena = env.arena;
+    local::Labeling& output = env.arena->labeling();
+    local::run_construction_into(inst, algo, c_coins, mode, output,
+                                 exec_options);
+    const DecisionOutcome outcome =
+        evaluate(inst, output, decider, d_coins, options);
+    return outcome.accepted == success_on_accept;
+  };
+  return plan;
+}
+
+local::ExperimentPlan guarantee_side_plan(
+    std::string name, const ConfigurationSampler& sampler,
+    const RandomizedDecider& decider, bool want_accept, std::uint64_t trials,
+    std::uint64_t base_seed, EvaluateOptions options) {
+  local::ExperimentPlan plan;
+  plan.name = std::move(name);
+  plan.trials = trials;
+  plan.base_seed = base_seed;
+  plan.success_trial = [&sampler, &decider, want_accept,
+                        options](const local::TrialEnv& env) {
+    const SampledConfiguration sample = sampler(env.sample_seed());
+    const rand::PhiloxCoins coins = env.decision_coins();
+    const DecisionOutcome outcome =
+        evaluate(sample.instance, sample.output, decider, coins, options);
+    return outcome.accepted == want_accept;
+  };
+  return plan;
+}
+
+}  // namespace lnc::decide

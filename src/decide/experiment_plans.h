@@ -1,0 +1,42 @@
+// ExperimentPlan factories for decider workloads — the decision-side
+// counterpart of local/experiment.h. Every Monte-Carlo quantity involving
+// a decider (acceptance probabilities, Eq.-(1) guarantee sides, the
+// Claim-4/Claim-5 far-from statistics) is declared through one of these
+// and executed by local::BatchRunner.
+#pragma once
+
+#include "decide/evaluate.h"
+#include "decide/guarantee.h"
+#include "local/experiment.h"
+
+namespace lnc::decide {
+
+/// Pr over fresh decision coins that D accepts the FIXED configuration
+/// (inst, output). `success_on_accept == false` inverts the success notion
+/// (estimates the rejection probability instead). The referenced instance,
+/// output span, and decider must outlive the plan's run.
+local::ExperimentPlan acceptance_plan(
+    std::string name, const local::Instance& inst,
+    std::span<const local::Label> output, const RandomizedDecider& decider,
+    std::uint64_t trials, std::uint64_t base_seed,
+    EvaluateOptions options = {}, bool success_on_accept = true);
+
+/// One full proof-pipeline trial: run C with fresh construction coins,
+/// then D with fresh (independent) decision coins on C's output.
+local::ExperimentPlan construct_then_decide_plan(
+    std::string name, const local::Instance& inst,
+    const local::RandomizedBallAlgorithm& algo,
+    const RandomizedDecider& decider, std::uint64_t trials,
+    std::uint64_t base_seed, EvaluateOptions options = {},
+    bool success_on_accept = true,
+    local::ExecMode mode = local::ExecMode::kBalls);
+
+/// One side of Eq. (1): sample a configuration with the trial's sample
+/// seed, decide it with fresh decision coins, succeed when the outcome
+/// matches `want_accept`.
+local::ExperimentPlan guarantee_side_plan(
+    std::string name, const ConfigurationSampler& sampler,
+    const RandomizedDecider& decider, bool want_accept, std::uint64_t trials,
+    std::uint64_t base_seed, EvaluateOptions options = {});
+
+}  // namespace lnc::decide

@@ -1,5 +1,7 @@
 #include "decide/guarantee.h"
 
+#include "decide/experiment_plans.h"
+#include "local/batch_runner.h"
 #include "rand/splitmix.h"
 
 namespace lnc::decide {
@@ -14,24 +16,15 @@ GuaranteeReport measure_guarantee(const RandomizedDecider& decider,
   EvaluateOptions eval_options;
   eval_options.grant_n = options.grant_n;
 
-  auto run_side = [&](const ConfigurationSampler& sampler, bool want_accept,
-                      std::uint64_t side_tag) {
-    return stats::estimate_probability(
-        options.trials, rand::mix_keys(options.base_seed, side_tag),
-        [&](std::uint64_t seed) {
-          const SampledConfiguration sample =
-              sampler(rand::mix_keys(seed, 0xC0FF));
-          const rand::PhiloxCoins coins(rand::mix_keys(seed, 0xD1CE),
-                                        rand::Stream::kDecision);
-          const DecisionOutcome outcome = evaluate(
-              sample.instance, sample.output, decider, coins, eval_options);
-          return outcome.accepted == want_accept;
-        },
-        options.pool);
-  };
-
-  report.accept_on_yes = run_side(yes_sampler, /*want_accept=*/true, 0x59);
-  report.reject_on_no = run_side(no_sampler, /*want_accept=*/false, 0x4E);
+  local::BatchRunner runner(options.pool);
+  report.accept_on_yes = runner.run(guarantee_side_plan(
+      decider.name() + "/accept-on-yes", yes_sampler, decider,
+      /*want_accept=*/true, options.trials,
+      rand::mix_keys(options.base_seed, 0x59), eval_options));
+  report.reject_on_no = runner.run(guarantee_side_plan(
+      decider.name() + "/reject-on-no", no_sampler, decider,
+      /*want_accept=*/false, options.trials,
+      rand::mix_keys(options.base_seed, 0x4E), eval_options));
   return report;
 }
 

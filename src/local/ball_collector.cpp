@@ -8,20 +8,18 @@
 namespace lnc::local {
 namespace {
 
-Message serialize(const Knowledge& knowledge) {
-  Message msg;
-  msg.push_back(knowledge.size());
+void serialize(const Knowledge& knowledge, MessageWriter& out) {
+  out.push(knowledge.size());
   for (const auto& [id, record] : knowledge) {
-    msg.push_back(id);
-    msg.push_back(record.input);
-    msg.push_back(record.adjacency_known ? 1 : 0);
-    msg.push_back(record.neighbor_ids.size());
-    for (ident::Identity nbr : record.neighbor_ids) msg.push_back(nbr);
+    out.push(id);
+    out.push(record.input);
+    out.push(record.adjacency_known ? 1 : 0);
+    out.push(record.neighbor_ids.size());
+    for (ident::Identity nbr : record.neighbor_ids) out.push(nbr);
   }
-  return msg;
 }
 
-void merge_from(Knowledge& knowledge, const Message& msg) {
+void merge_from(Knowledge& knowledge, std::span<const std::uint64_t> msg) {
   std::size_t pos = 0;
   LNC_ASSERT(!msg.empty());
   const std::uint64_t count = msg[pos++];
@@ -44,50 +42,6 @@ void merge_from(Knowledge& knowledge, const Message& msg) {
   LNC_ASSERT(pos == msg.size());
 }
 
-class CollectorProgram final : public NodeProgram {
- public:
-  explicit CollectorProgram(int radius) : radius_(radius) {}
-
-  bool init(const NodeEnv& env) override {
-    self_id_ = env.id;
-    KnownNode self;
-    self.id = env.id;
-    self.input = env.input;
-    knowledge_.emplace(env.id, std::move(self));
-    return radius_ == 0;
-  }
-
-  Message send(int /*round*/) override { return serialize(knowledge_); }
-
-  bool receive(int round, std::span<const Message> inbox) override {
-    for (const Message& msg : inbox) merge_from(knowledge_, msg);
-    if (round == 1) {
-      // The round-1 messages reveal the neighbors' identities: the node
-      // now knows its own adjacency and can flood it from round 2 on.
-      KnownNode& self = knowledge_.at(self_id_);
-      self.adjacency_known = true;
-      self.neighbor_ids.clear();
-      for (const Message& msg : inbox) {
-        // Each round-1 message contains exactly the sender's own record:
-        // [count=1, id, input, adj_flag=0, nbr_count=0].
-        LNC_ASSERT(msg.size() == 5);
-        self.neighbor_ids.push_back(msg[1]);
-      }
-      std::sort(self.neighbor_ids.begin(), self.neighbor_ids.end());
-    }
-    return round >= radius_;
-  }
-
-  Label output() const override { return 0; }
-
-  const Knowledge& knowledge() const noexcept { return knowledge_; }
-
- private:
-  int radius_;
-  ident::Identity self_id_ = 0;
-  Knowledge knowledge_;
-};
-
 class CollectorFactory final : public NodeProgramFactory {
  public:
   explicit CollectorFactory(int radius) : radius_(radius) {}
@@ -95,7 +49,7 @@ class CollectorFactory final : public NodeProgramFactory {
   std::string name() const override { return "ball-collector"; }
 
   std::unique_ptr<NodeProgram> create() const override {
-    return std::make_unique<CollectorProgram>(radius_);
+    return std::make_unique<BallCollectorProgram>(radius_);
   }
 
  private:
@@ -104,20 +58,64 @@ class CollectorFactory final : public NodeProgramFactory {
 
 }  // namespace
 
-std::vector<Knowledge> collect_balls(const Instance& inst, int radius,
-                                     const EngineOptions& options) {
+bool BallCollectorProgram::init(const NodeEnv& env) {
+  self_id_ = env.id;
+  knowledge_.clear();
+  KnownNode self;
+  self.id = env.id;
+  self.input = env.input;
+  knowledge_.emplace(env.id, std::move(self));
+  return radius_ == 0;
+}
+
+void BallCollectorProgram::send(int /*round*/, MessageWriter& out) {
+  serialize(knowledge_, out);
+}
+
+bool BallCollectorProgram::receive(int round, const Inbox& inbox) {
+  for (std::size_t p = 0; p < inbox.size(); ++p) {
+    merge_from(knowledge_, inbox[p]);
+  }
+  if (round == 1) {
+    // The round-1 messages reveal the neighbors' identities: the node
+    // now knows its own adjacency and can flood it from round 2 on.
+    KnownNode& self = knowledge_.at(self_id_);
+    self.adjacency_known = true;
+    self.neighbor_ids.clear();
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      // Each round-1 message contains exactly the sender's own record:
+      // [count=1, id, input, adj_flag=0, nbr_count=0].
+      const auto msg = inbox[p];
+      LNC_ASSERT(msg.size() == 5);
+      self.neighbor_ids.push_back(msg[1]);
+    }
+    std::sort(self.neighbor_ids.begin(), self.neighbor_ids.end());
+  }
+  return round >= radius_;
+}
+
+void collect_balls_into(const Instance& inst, int radius,
+                        const EngineOptions& options,
+                        std::vector<Knowledge>& tables) {
   LNC_EXPECTS(radius >= 0);
   CollectorFactory factory(radius);
-  EngineResult result = run_engine(inst, factory, options);
+  EngineOptions engine_options = options;
+  engine_options.retain_programs = true;  // the knowledge lives in programs
+  EngineResult result = run_engine(inst, factory, engine_options);
   LNC_ASSERT(result.completed);
   LNC_ASSERT(result.rounds == radius || (radius == 0 && result.rounds == 0));
-  std::vector<Knowledge> tables;
-  tables.reserve(result.programs.size());
-  for (const auto& program : result.programs) {
+  tables.resize(result.programs.size());
+  for (std::size_t v = 0; v < result.programs.size(); ++v) {
     // EngineResult::programs[v] is node v's program by construction.
-    tables.push_back(
-        static_cast<const CollectorProgram&>(*program).knowledge());
+    tables[v] = static_cast<BallCollectorProgram&>(*result.programs[v])
+                    .take_knowledge();
   }
+}
+
+std::vector<Knowledge> collect_balls(const Instance& inst, int radius,
+                                     const EngineOptions& options) {
+  std::vector<Knowledge> tables;
+  collect_balls_into(inst, radius, options, tables);
   return tables;
 }
 

@@ -30,10 +30,43 @@ struct KnownNode {
 /// LOCAL model — identity is the only name they share).
 using Knowledge = std::map<ident::Identity, KnownNode>;
 
+/// The flooding collector as a reusable NodeProgram: after `radius` rounds
+/// its knowledge table is exactly B_G(v, radius). Subclass and override
+/// receive() to run phase two of the simulation theorem *inside* the node
+/// (see local/experiment.cpp's native message-passing execution mode).
+class BallCollectorProgram : public NodeProgram {
+ public:
+  explicit BallCollectorProgram(int radius) : radius_(radius) {}
+
+  bool init(const NodeEnv& env) override;
+  void send(int round, MessageWriter& out) override;
+  bool receive(int round, const Inbox& inbox) override;
+  Label output() const override { return 0; }
+
+  int radius() const noexcept { return radius_; }
+  ident::Identity self_identity() const noexcept { return self_id_; }
+  const Knowledge& knowledge() const noexcept { return knowledge_; }
+  Knowledge take_knowledge() noexcept { return std::move(knowledge_); }
+
+ private:
+  int radius_;
+  ident::Identity self_id_ = 0;
+  Knowledge knowledge_;
+};
+
 /// Runs the flooding protocol for `radius` rounds and returns every node's
 /// final knowledge table, indexed by node index.
 std::vector<Knowledge> collect_balls(const Instance& inst, int radius,
                                      const EngineOptions& options = {});
+
+/// Same protocol, writing into a caller-owned table vector so batched
+/// executions (local/batch_runner.h) reuse the OUTER vector across trials.
+/// Each Knowledge map is still move-assigned fresh from the collector
+/// programs — per-trial map-node allocations remain (see the ROADMAP's
+/// instance-caching item for the deeper reuse).
+void collect_balls_into(const Instance& inst, int radius,
+                        const EngineOptions& options,
+                        std::vector<Knowledge>& tables);
 
 /// Edges of the ball reconstructed from a knowledge table: unordered
 /// identity pairs (a, b), a < b, where at least one endpoint's adjacency is

@@ -1,0 +1,103 @@
+#include "local/batch_runner.h"
+
+#include "util/assert.h"
+
+namespace lnc::local {
+
+ExperimentPlan custom_plan(std::string name, std::uint64_t trials,
+                           std::uint64_t base_seed,
+                           std::function<bool(const TrialEnv&)> trial) {
+  ExperimentPlan plan;
+  plan.name = std::move(name);
+  plan.trials = trials;
+  plan.base_seed = base_seed;
+  plan.success_trial = std::move(trial);
+  return plan;
+}
+
+ExperimentPlan custom_value_plan(
+    std::string name, std::uint64_t trials, std::uint64_t base_seed,
+    std::function<double(const TrialEnv&)> trial) {
+  ExperimentPlan plan;
+  plan.name = std::move(name);
+  plan.trials = trials;
+  plan.base_seed = base_seed;
+  plan.value_trial = std::move(trial);
+  return plan;
+}
+
+ExperimentPlan custom_count_plan(
+    std::string name, std::uint64_t trials, std::uint64_t base_seed,
+    std::size_t counters,
+    std::function<void(const TrialEnv&, std::span<std::uint64_t>)> trial) {
+  ExperimentPlan plan;
+  plan.name = std::move(name);
+  plan.trials = trials;
+  plan.base_seed = base_seed;
+  plan.counters = counters;
+  plan.count_trial = std::move(trial);
+  return plan;
+}
+
+BatchRunner::BatchRunner(const stats::ThreadPool* pool) : pool_(pool) {
+  arenas_.resize(worker_count());
+}
+
+unsigned BatchRunner::worker_count() const noexcept {
+  return pool_ != nullptr ? pool_->thread_count() : 1;
+}
+
+template <typename Body>
+void BatchRunner::for_each_trial(const ExperimentPlan& plan, Body&& body) {
+  auto invoke = [&](unsigned worker, std::uint64_t i) {
+    TrialEnv env;
+    env.index = i;
+    env.seed = stats::trial_seed(plan.base_seed, i);
+    env.arena = &arenas_[worker];
+    body(worker, env);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for_workers(plan.trials, invoke);
+  } else {
+    for (std::uint64_t i = 0; i < plan.trials; ++i) invoke(0, i);
+  }
+}
+
+stats::Estimate BatchRunner::run(const ExperimentPlan& plan) {
+  LNC_EXPECTS(plan.success_trial != nullptr);
+  std::vector<stats::WorkerCounter> tallies(worker_count());
+  for_each_trial(plan, [&](unsigned worker, const TrialEnv& env) {
+    if (plan.success_trial(env)) ++tallies[worker].value;
+  });
+  return stats::finalize_estimate(stats::sum_counters(tallies), plan.trials);
+}
+
+stats::MeanEstimate BatchRunner::run_mean(const ExperimentPlan& plan) {
+  LNC_EXPECTS(plan.value_trial != nullptr);
+  // Values land at their trial index: the reduction sees them in trial
+  // order regardless of which worker produced which value.
+  std::vector<double> values(plan.trials);
+  for_each_trial(plan, [&](unsigned, const TrialEnv& env) {
+    values[env.index] = plan.value_trial(env);
+  });
+  return stats::finalize_mean(values);
+}
+
+std::vector<std::uint64_t> BatchRunner::run_counts(const ExperimentPlan& plan) {
+  LNC_EXPECTS(plan.count_trial != nullptr);
+  const unsigned workers = worker_count();
+  std::vector<std::vector<std::uint64_t>> slots(
+      workers, std::vector<std::uint64_t>(plan.counters, 0));
+  for_each_trial(plan, [&](unsigned worker, const TrialEnv& env) {
+    plan.count_trial(env, slots[worker]);
+  });
+  std::vector<std::uint64_t> total(plan.counters, 0);
+  for (const auto& worker_slots : slots) {
+    for (std::size_t j = 0; j < plan.counters; ++j) {
+      total[j] += worker_slots[j];
+    }
+  }
+  return total;
+}
+
+}  // namespace lnc::local

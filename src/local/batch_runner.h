@@ -1,0 +1,147 @@
+// The unified batched experiment executor.
+//
+// Every probabilistic quantity in the paper — the construction success
+// probability r, the decider guarantee p, the Claim-2 beta, the Claim-3
+// boosted acceptance — is an average over millions of independent trials.
+// The seed routed those trials through four disjoint entry points that each
+// re-allocated programs, message buffers, and RNGs per trial. This header
+// is the single replacement:
+//
+//   ExperimentPlan  — what one trial does (a {0,1} success test, a
+//                     real-valued statistic, or a counter update), how many
+//                     trials, and the base seed;
+//   BatchRunner     — executes a plan with trial-granularity parallelism
+//                     over stats::ThreadPool, one reusable WorkerArena per
+//                     worker, and per-trial Philox streams derived as
+//                     stats::trial_seed(base_seed, index), so results are
+//                     bit-for-bit identical across thread counts.
+//
+// Plan factories for the common workload shapes live in local/experiment.h
+// (construction algorithms) and decide/experiment_plans.h (deciders).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "local/ball_collector.h"
+#include "local/engine.h"
+#include "rand/coins.h"
+#include "stats/montecarlo.h"
+#include "stats/threadpool.h"
+
+namespace lnc::local {
+
+/// Per-worker reusable scratch: engine arenas, a labeling buffer, and
+/// knowledge tables survive from one trial to the next, so the steady-state
+/// trial allocates (almost) nothing. Not thread-safe; the runner hands each
+/// worker its own arena.
+class WorkerArena {
+ public:
+  EngineScratch& engine() noexcept { return engine_; }
+  Labeling& labeling() noexcept { return labeling_; }
+  std::vector<Knowledge>& knowledge() noexcept { return knowledge_; }
+
+ private:
+  EngineScratch engine_;
+  Labeling labeling_;
+  std::vector<Knowledge> knowledge_;
+};
+
+/// Standard per-trial seed-derivation tags. Keeping them in one place is
+/// what makes the construction and decision streams of every experiment
+/// independent yet reproducible.
+inline constexpr std::uint64_t kConstructionSeedTag = 0xC0;
+inline constexpr std::uint64_t kDecisionSeedTag = 0xD0;
+inline constexpr std::uint64_t kSampleSeedTag = 0x15;
+
+/// Everything a trial body receives: its index, its private seed
+/// (stats::trial_seed(base_seed, index) — a pure function of the index, so
+/// the trial-to-worker assignment cannot influence results), and the
+/// executing worker's arena. BatchRunner ALWAYS populates `arena`; trial
+/// bodies may dereference it unconditionally.
+struct TrialEnv {
+  std::uint64_t index = 0;
+  std::uint64_t seed = 0;
+  WorkerArena* arena = nullptr;
+
+  /// Derives a sub-seed for an auxiliary purpose within the trial.
+  std::uint64_t derive(std::uint64_t tag) const noexcept {
+    return rand::mix_keys(seed, tag);
+  }
+  /// The trial's construction coins (the paper's sigma in Rand(C)).
+  rand::PhiloxCoins construction_coins() const noexcept {
+    return {derive(kConstructionSeedTag), rand::Stream::kConstruction};
+  }
+  /// The trial's decision coins (the paper's sigma' in Rand(D)).
+  rand::PhiloxCoins decision_coins() const noexcept {
+    return {derive(kDecisionSeedTag), rand::Stream::kDecision};
+  }
+  /// Seed for per-trial instance/configuration sampling.
+  std::uint64_t sample_seed() const noexcept {
+    return derive(kSampleSeedTag);
+  }
+};
+
+/// A declarative batch of independent trials. Exactly one of the trial
+/// callbacks is set; the others stay null.
+struct ExperimentPlan {
+  std::string name;
+  std::uint64_t trials = 0;
+  std::uint64_t base_seed = 0;
+
+  /// {0,1}-valued trial: BatchRunner::run reports the success proportion.
+  std::function<bool(const TrialEnv&)> success_trial;
+
+  /// Real-valued trial: BatchRunner::run_mean reports mean and stddev.
+  std::function<double(const TrialEnv&)> value_trial;
+
+  /// Counter trial: adds into `counters` accumulator slots; slots are
+  /// summed across workers (order-free, hence reproducible).
+  std::function<void(const TrialEnv&, std::span<std::uint64_t>)> count_trial;
+  std::size_t counters = 0;
+};
+
+/// Fully custom plans for trial shapes the factories don't cover. The
+/// callback must derive all randomness from the TrialEnv.
+ExperimentPlan custom_plan(std::string name, std::uint64_t trials,
+                           std::uint64_t base_seed,
+                           std::function<bool(const TrialEnv&)> trial);
+ExperimentPlan custom_value_plan(std::string name, std::uint64_t trials,
+                                 std::uint64_t base_seed,
+                                 std::function<double(const TrialEnv&)> trial);
+ExperimentPlan custom_count_plan(
+    std::string name, std::uint64_t trials, std::uint64_t base_seed,
+    std::size_t counters,
+    std::function<void(const TrialEnv&, std::span<std::uint64_t>)> trial);
+
+/// Executes ExperimentPlans. Arenas persist across run() calls, so a
+/// runner reused for a sweep keeps its scratch warm. Not thread-safe;
+/// use one runner per caller thread.
+class BatchRunner {
+ public:
+  /// null pool => sequential execution with a single arena.
+  explicit BatchRunner(const stats::ThreadPool* pool = nullptr);
+
+  unsigned worker_count() const noexcept;
+
+  /// Runs a success_trial plan; Wilson-interval estimate of Pr[success].
+  stats::Estimate run(const ExperimentPlan& plan);
+
+  /// Runs a value_trial plan.
+  stats::MeanEstimate run_mean(const ExperimentPlan& plan);
+
+  /// Runs a count_trial plan; returns the `plan.counters` summed slots.
+  std::vector<std::uint64_t> run_counts(const ExperimentPlan& plan);
+
+ private:
+  template <typename Body>
+  void for_each_trial(const ExperimentPlan& plan, Body&& body);
+
+  const stats::ThreadPool* pool_;
+  std::vector<WorkerArena> arenas_;
+};
+
+}  // namespace lnc::local

@@ -44,12 +44,21 @@ EngineResult run_engine(const Instance& inst,
                 "grant_ring_orientation requires the canonical cycle");
   }
 
-  std::vector<std::unique_ptr<NodeProgram>> programs(n);
-  std::vector<std::unique_ptr<rand::NodeRng>> rngs(n);
-  std::vector<char> halted(n, 0);
+  EngineScratch local_scratch;
+  EngineScratch& s =
+      options.scratch != nullptr ? *options.scratch : local_scratch;
+
+  s.programs_.resize(n);
+  s.halted_.assign(n, 0);
+  s.rngs_.clear();
+  if (options.coins != nullptr) {
+    // reserve() keeps &rngs_[v] stable while programs hold the pointer for
+    // the whole run.
+    s.rngs_.reserve(n);
+  }
 
   for (graph::NodeId v = 0; v < n; ++v) {
-    programs[v] = factory.create();
+    s.programs_[v] = factory.create();
     NodeEnv env;
     env.id = inst.ids[v];
     env.input = inst.input_of(v);
@@ -57,63 +66,64 @@ EngineResult run_engine(const Instance& inst,
     if (succ_ports) env.succ_port = (*succ_ports)[v];
     if (options.grant_n) env.n_nodes = n;
     if (options.coins != nullptr) {
-      rngs[v] = std::make_unique<rand::NodeRng>(*options.coins, inst.ids[v]);
-      env.rng = rngs[v].get();
+      s.rngs_.emplace_back(*options.coins, inst.ids[v]);
+      env.rng = &s.rngs_.back();
     }
-    halted[v] = programs[v]->init(env) ? 1 : 0;
+    s.halted_[v] = s.programs_[v]->init(env) ? 1 : 0;
   }
 
   auto all_halted = [&]() {
-    return std::all_of(halted.begin(), halted.end(),
+    return std::all_of(s.halted_.begin(), s.halted_.end(),
                        [](char h) { return h != 0; });
   };
 
-  std::vector<Message> outbox(n);
-  EngineResult result;
+  // Parallel node stepping cannot fill the shared flat arena in order, so
+  // it falls back to pooled per-node buffers (capacity still reused).
+  const bool parallel_steps = options.pool != nullptr;
+  s.store_.reset(n, /*shared_arena=*/!parallel_steps);
+
+  auto finish = [&](int rounds, bool completed) {
+    EngineResult result;
+    result.completed = completed;
+    result.rounds = rounds;
+    result.output.resize(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      result.output[v] = s.programs_[v]->output();
+    }
+    if (options.retain_programs) result.programs = std::move(s.programs_);
+    return result;
+  };
+
   int round = 0;
   while (!all_halted()) {
-    if (round >= options.max_rounds) {
-      result.completed = false;
-      result.rounds = round;
-      result.output.resize(n);
-      for (graph::NodeId v = 0; v < n; ++v) {
-        result.output[v] = programs[v]->output();
-      }
-      result.programs = std::move(programs);
-      return result;
-    }
+    if (round >= options.max_rounds) return finish(round, false);
     ++round;
 
-    auto send_step = [&](std::uint64_t v) {
-      outbox[v] = programs[v]->send(round);
-    };
+    s.store_.begin_round();
     auto receive_step = [&](std::uint64_t v) {
-      if (halted[v] != 0) return;
-      const auto nbrs = inst.g.neighbors(static_cast<graph::NodeId>(v));
-      std::vector<Message> inbox(nbrs.size());
-      for (std::size_t p = 0; p < nbrs.size(); ++p) {
-        inbox[p] = outbox[nbrs[p]];
-      }
-      if (programs[v]->receive(round, inbox)) halted[v] = 1;
+      if (s.halted_[v] != 0) return;
+      const Inbox inbox(s.store_,
+                        inst.g.neighbors(static_cast<graph::NodeId>(v)));
+      if (s.programs_[v]->receive(round, inbox)) s.halted_[v] = 1;
     };
 
-    if (options.pool != nullptr) {
-      options.pool->parallel_for(n, send_step);
+    if (parallel_steps) {
+      options.pool->parallel_for(n, [&](std::uint64_t v) {
+        MessageWriter out = s.store_.writer(static_cast<graph::NodeId>(v));
+        s.programs_[v]->send(round, out);
+      });
       options.pool->parallel_for(n, receive_step);
     } else {
-      for (graph::NodeId v = 0; v < n; ++v) send_step(v);
+      for (graph::NodeId v = 0; v < n; ++v) {
+        MessageWriter out = s.store_.writer(v);
+        s.programs_[v]->send(round, out);
+        s.store_.end_write(v);
+      }
       for (graph::NodeId v = 0; v < n; ++v) receive_step(v);
     }
   }
 
-  result.completed = true;
-  result.rounds = round;
-  result.output.resize(n);
-  for (graph::NodeId v = 0; v < n; ++v) {
-    result.output[v] = programs[v]->output();
-  }
-  result.programs = std::move(programs);
-  return result;
+  return finish(round, true);
 }
 
 }  // namespace lnc::local

@@ -10,6 +10,13 @@
 // node steps within a round are data-parallel and can run on a thread pool
 // (results are independent of the schedule because rounds are barriers and
 // nodes share no mutable state).
+//
+// Message storage is pooled: nodes write through MessageWriter into a
+// per-run arena (one flat word buffer in sequential mode, reusable per-node
+// buffers under parallel node stepping) and read neighbors' messages
+// through zero-copy Inbox views. An EngineScratch can be passed in to reuse
+// the arena, program table, and RNG storage across runs — the batched
+// Monte-Carlo path (local/batch_runner.h) keeps one scratch per worker.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +33,100 @@
 
 namespace lnc::local {
 
-/// Messages are word vectors; empty message == silence.
-using Message = std::vector<std::uint64_t>;
+class MessageStore;
+
+/// Append-only writer for one node's outgoing message this round. An empty
+/// message (no words pushed) == silence.
+class MessageWriter {
+ public:
+  void push(std::uint64_t word) { words_->push_back(word); }
+  void append(std::span<const std::uint64_t> words) {
+    words_->insert(words_->end(), words.begin(), words.end());
+  }
+
+ private:
+  friend class MessageStore;
+  explicit MessageWriter(std::vector<std::uint64_t>* words) noexcept
+      : words_(words) {}
+  std::vector<std::uint64_t>* words_;
+};
+
+/// Pooled storage for one round's outgoing messages. Two modes:
+///  * shared arena (sequential node stepping): all messages live back to
+///    back in one flat word vector addressed by per-node offsets — no
+///    per-message allocation once the arena is warm;
+///  * per-node buffers (parallel node stepping): each node owns a buffer
+///    whose capacity persists across rounds, so steady-state rounds do not
+///    allocate either.
+class MessageStore {
+ public:
+  /// Prepares storage for n nodes. `shared_arena` selects the flat arena
+  /// (requires the send phase to visit nodes in ascending order).
+  void reset(graph::NodeId n, bool shared_arena) {
+    shared_ = shared_arena;
+    flat_.clear();
+    if (shared_) {
+      offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+      buffers_.clear();
+    } else {
+      offsets_.clear();
+      buffers_.resize(n);  // existing buffers keep their capacity
+    }
+  }
+
+  void begin_round() {
+    if (shared_) flat_.clear();
+  }
+
+  /// Writer for node v's message. In shared-arena mode writers must be
+  /// obtained in ascending node order and closed with end_write(v) before
+  /// the next writer is opened.
+  MessageWriter writer(graph::NodeId v) {
+    if (shared_) {
+      offsets_[v] = flat_.size();
+      return MessageWriter(&flat_);
+    }
+    buffers_[v].clear();
+    return MessageWriter(&buffers_[v]);
+  }
+
+  /// Closes node v's message (shared-arena bookkeeping; no-op otherwise).
+  void end_write(graph::NodeId v) {
+    if (shared_) offsets_[v + 1] = flat_.size();
+  }
+
+  /// The message node v sent this round. Valid until the next begin_round.
+  std::span<const std::uint64_t> message(graph::NodeId v) const noexcept {
+    if (shared_) {
+      return {flat_.data() + offsets_[v], flat_.data() + offsets_[v + 1]};
+    }
+    return {buffers_[v].data(), buffers_[v].size()};
+  }
+
+ private:
+  bool shared_ = true;
+  std::vector<std::uint64_t> flat_;      // shared-arena words
+  std::vector<std::size_t> offsets_;     // size n + 1 in shared mode
+  std::vector<std::vector<std::uint64_t>> buffers_;  // parallel mode
+};
+
+/// Zero-copy view of the messages on a node's ports this round: inbox[p]
+/// is the message from the neighbor on port p (empty span == silence).
+class Inbox {
+ public:
+  Inbox(const MessageStore& store,
+        std::span<const graph::NodeId> neighbors) noexcept
+      : store_(&store), neighbors_(neighbors) {}
+
+  std::size_t size() const noexcept { return neighbors_.size(); }
+  std::span<const std::uint64_t> operator[](std::size_t port) const noexcept {
+    return store_->message(neighbors_[port]);
+  }
+
+ private:
+  const MessageStore* store_;
+  std::span<const graph::NodeId> neighbors_;
+};
 
 /// What a node knows at wake-up. Ports are indices into the neighbor list
 /// (neighbor port p of v is g.neighbors(v)[p]); `succ_port`, when present,
@@ -55,12 +154,13 @@ class NodeProgram {
   /// the output is fixed before any communication).
   virtual bool init(const NodeEnv& env) = 0;
 
-  /// The broadcast message for this round (round numbering starts at 1).
-  virtual Message send(int round) = 0;
+  /// Writes the broadcast message for this round (round numbering starts
+  /// at 1) into `out`; writing nothing means silence.
+  virtual void send(int round, MessageWriter& out) = 0;
 
   /// inbox[p] is the message from the neighbor on port p. Returns true when
   /// the node halts with its output fixed.
-  virtual bool receive(int round, std::span<const Message> inbox) = 0;
+  virtual bool receive(int round, const Inbox& inbox) = 0;
 
   virtual Label output() const = 0;
 };
@@ -72,12 +172,47 @@ class NodeProgramFactory {
   virtual std::unique_ptr<NodeProgram> create() const = 0;
 };
 
+struct EngineOptions;
+struct EngineResult;
+
+/// Reusable cross-run engine storage: the program table, contiguous
+/// per-node RNGs, halted flags, and the message arena. Passing one scratch
+/// to consecutive run_engine calls (same or different instances) reuses all
+/// capacity — the per-trial hot path of the batch runner. Not thread-safe:
+/// use one scratch per worker.
+class EngineScratch {
+ public:
+  EngineScratch() = default;
+  EngineScratch(const EngineScratch&) = delete;
+  EngineScratch& operator=(const EngineScratch&) = delete;
+  EngineScratch(EngineScratch&&) = default;
+  EngineScratch& operator=(EngineScratch&&) = default;
+
+ private:
+  friend EngineResult run_engine(const Instance& inst,
+                                 const NodeProgramFactory& factory,
+                                 const EngineOptions& options);
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<rand::NodeRng> rngs_;  // contiguous; reserve() keeps ptrs stable
+  std::vector<char> halted_;
+  MessageStore store_;
+};
+
 struct EngineOptions {
   int max_rounds = 1 << 20;        ///< safety guard; hitting it is an error
   bool grant_n = false;            ///< expose |V| via NodeEnv::n_nodes
   bool grant_ring_orientation = false;  ///< expose succ_port on cycle()
   const rand::CoinProvider* coins = nullptr;  ///< null => deterministic
   const stats::ThreadPool* pool = nullptr;    ///< null => sequential steps
+
+  /// Keep the per-node programs alive in EngineResult::programs so callers
+  /// can read program-specific state back (e.g. the ball collector's
+  /// knowledge tables). Off by default: most callers only need the
+  /// labeling, and retaining n live programs per run is pure overhead.
+  bool retain_programs = false;
+
+  /// Optional reusable storage; null uses run-local storage.
+  EngineScratch* scratch = nullptr;
 };
 
 struct EngineResult {
@@ -85,9 +220,8 @@ struct EngineResult {
   int rounds = 0;       ///< rounds executed until the last node halted
   bool completed = false;  ///< false iff max_rounds was exhausted
 
-  /// The per-node programs, still alive after the run so callers can read
-  /// back program-specific state (e.g. the ball collector's knowledge
-  /// tables). programs[v] belongs to node v.
+  /// The per-node programs — populated only when
+  /// EngineOptions::retain_programs is set. programs[v] belongs to node v.
   std::vector<std::unique_ptr<NodeProgram>> programs;
 };
 

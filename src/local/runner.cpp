@@ -4,11 +4,11 @@ namespace lnc::local {
 namespace {
 
 template <typename ComputeAtNode>
-Labeling run_per_node(const Instance& inst, int radius,
-                      const RunOptions& options, ComputeAtNode&& compute) {
+void run_per_node(const Instance& inst, int radius, const RunOptions& options,
+                  Labeling& output, ComputeAtNode&& compute) {
   inst.validate();
   const graph::NodeId n = inst.node_count();
-  Labeling output(n, 0);
+  output.assign(n, 0);
   auto body = [&](std::uint64_t v) {
     const graph::BallView ball(inst.g, static_cast<graph::NodeId>(v), radius);
     View view;
@@ -22,24 +22,39 @@ Labeling run_per_node(const Instance& inst, int radius,
   } else {
     for (graph::NodeId v = 0; v < n; ++v) body(v);
   }
-  return output;
 }
 
 }  // namespace
 
+void run_ball_algorithm_into(const Instance& inst, const BallAlgorithm& algo,
+                             Labeling& output, const RunOptions& options) {
+  run_per_node(inst, algo.radius(), options, output,
+               [&](const View& view) { return algo.compute(view); });
+}
+
+void run_ball_algorithm_into(const Instance& inst,
+                             const RandomizedBallAlgorithm& algo,
+                             const rand::CoinProvider& coins, Labeling& output,
+                             const RunOptions& options) {
+  run_per_node(inst, algo.radius(), options, output, [&](const View& view) {
+    return algo.compute(view, coins);
+  });
+}
+
 Labeling run_ball_algorithm(const Instance& inst, const BallAlgorithm& algo,
                             const RunOptions& options) {
-  return run_per_node(inst, algo.radius(), options,
-                      [&](const View& view) { return algo.compute(view); });
+  Labeling output;
+  run_ball_algorithm_into(inst, algo, output, options);
+  return output;
 }
 
 Labeling run_ball_algorithm(const Instance& inst,
                             const RandomizedBallAlgorithm& algo,
                             const rand::CoinProvider& coins,
                             const RunOptions& options) {
-  return run_per_node(inst, algo.radius(), options, [&](const View& view) {
-    return algo.compute(view, coins);
-  });
+  Labeling output;
+  run_ball_algorithm_into(inst, algo, coins, output, options);
+  return output;
 }
 
 }  // namespace lnc::local

@@ -79,6 +79,16 @@ Labeling run_ball_algorithm(const Instance& inst,
                             const rand::CoinProvider& coins,
                             const RunOptions& options = {});
 
+/// In-place variants writing into a caller-owned labeling (resized to
+/// node_count). The batched Monte-Carlo path reuses one labeling per
+/// worker across trials instead of allocating one per trial.
+void run_ball_algorithm_into(const Instance& inst, const BallAlgorithm& algo,
+                             Labeling& output, const RunOptions& options = {});
+void run_ball_algorithm_into(const Instance& inst,
+                             const RandomizedBallAlgorithm& algo,
+                             const rand::CoinProvider& coins, Labeling& output,
+                             const RunOptions& options = {});
+
 /// Adapts a deterministic BallAlgorithm to the randomized interface
 /// (ignores the coins); convenient for experiments comparing both kinds.
 class AsRandomized final : public RandomizedBallAlgorithm {

@@ -41,18 +41,19 @@ ReconstructedBall reconstruct_ball(const Knowledge& knowledge,
   return result;
 }
 
-SimulationResult run_via_messages(const Instance& inst,
-                                  const BallAlgorithm& algo,
-                                  const EngineOptions& options) {
-  const int t = algo.radius();
+namespace {
+
+template <typename ComputeAtNode>
+SimulationResult simulate_impl(const Instance& inst, int t,
+                               const EngineOptions& options,
+                               ComputeAtNode&& compute) {
   const std::vector<Knowledge> tables = collect_balls(inst, t, options);
 
   SimulationResult result;
   result.rounds = t;
   result.output.resize(inst.node_count());
   for (graph::NodeId v = 0; v < inst.node_count(); ++v) {
-    const ReconstructedBall ball =
-        reconstruct_ball(tables[v], inst.ids[v]);
+    const ReconstructedBall ball = reconstruct_ball(tables[v], inst.ids[v]);
     // The reconstruction holds exactly B_G(v, t) (ball_collector tests),
     // so a radius-t BallView over it from the center is the identical
     // object a direct run would see — modulo node indexing, which the
@@ -62,9 +63,27 @@ SimulationResult run_via_messages(const Instance& inst,
     view.ball = &view_ball;
     view.instance = &ball.instance;
     if (options.grant_n) view.n_nodes = inst.node_count();
-    result.output[v] = algo.compute(view);
+    result.output[v] = compute(view);
   }
   return result;
+}
+
+}  // namespace
+
+SimulationResult run_via_messages(const Instance& inst,
+                                  const BallAlgorithm& algo,
+                                  const EngineOptions& options) {
+  return simulate_impl(inst, algo.radius(), options,
+                       [&](const View& view) { return algo.compute(view); });
+}
+
+SimulationResult run_via_messages(const Instance& inst,
+                                  const RandomizedBallAlgorithm& algo,
+                                  const rand::CoinProvider& coins,
+                                  const EngineOptions& options) {
+  return simulate_impl(inst, algo.radius(), options, [&](const View& view) {
+    return algo.compute(view, coins);
+  });
 }
 
 }  // namespace lnc::local

@@ -29,6 +29,15 @@ SimulationResult run_via_messages(const Instance& inst,
                                   const BallAlgorithm& algo,
                                   const EngineOptions& options = {});
 
+/// The randomized variant: phase two applies the Monte-Carlo ball
+/// algorithm to the reconstruction with the given coins. Sound because
+/// coins are addressed by identity (the model's "exchange random bits"
+/// power survives the reconstruction unchanged).
+SimulationResult run_via_messages(const Instance& inst,
+                                  const RandomizedBallAlgorithm& algo,
+                                  const rand::CoinProvider& coins,
+                                  const EngineOptions& options = {});
+
 /// The ball reconstructed from a knowledge table: a standalone instance
 /// whose node 0..m-1 are the known identities in ascending order, plus
 /// the local index of the collecting node (the center). Exposed for tests

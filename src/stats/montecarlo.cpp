@@ -1,6 +1,5 @@
 #include "stats/montecarlo.h"
 
-#include <atomic>
 #include <cmath>
 #include <vector>
 
@@ -12,27 +11,46 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t index) {
   return rand::mix_keys(base_seed, index);
 }
 
-Estimate estimate_probability(std::uint64_t trials, std::uint64_t base_seed,
-                              const Trial& trial, const ThreadPool* pool) {
-  std::atomic<std::uint64_t> successes{0};
-  auto body = [&](std::uint64_t i) {
-    if (trial(trial_seed(base_seed, i))) {
-      successes.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(trials, body);
-  } else {
-    for (std::uint64_t i = 0; i < trials; ++i) body(i);
-  }
+Estimate finalize_estimate(std::uint64_t successes,
+                           std::uint64_t trials) noexcept {
   Estimate e;
   e.trials = trials;
-  e.successes = successes.load();
+  e.successes = successes;
   e.p_hat = trials == 0
                 ? 0.0
-                : static_cast<double>(e.successes) / static_cast<double>(trials);
-  e.ci = util::wilson_interval(e.successes, trials);
+                : static_cast<double>(successes) / static_cast<double>(trials);
+  e.ci = util::wilson_interval(successes, trials);
   return e;
+}
+
+MeanEstimate finalize_mean(std::span<const double> values) noexcept {
+  MeanEstimate m;
+  m.trials = values.size();
+  if (values.empty()) return m;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  m.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - m.mean) * (v - m.mean);
+  m.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return m;
+}
+
+Estimate estimate_probability(std::uint64_t trials, std::uint64_t base_seed,
+                              const Trial& trial, const ThreadPool* pool) {
+  const unsigned workers = pool != nullptr ? pool->thread_count() : 1;
+  std::vector<WorkerCounter> counts(workers);
+  auto body = [&](unsigned worker, std::uint64_t i) {
+    if (trial(trial_seed(base_seed, i))) ++counts[worker].value;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_workers(trials, body);
+  } else {
+    for (std::uint64_t i = 0; i < trials; ++i) body(0, i);
+  }
+  return finalize_estimate(sum_counters(counts), trials);
 }
 
 MeanEstimate estimate_mean(std::uint64_t trials, std::uint64_t base_seed,
@@ -47,18 +65,7 @@ MeanEstimate estimate_mean(std::uint64_t trials, std::uint64_t base_seed,
   } else {
     for (std::uint64_t i = 0; i < trials; ++i) body(i);
   }
-  MeanEstimate m;
-  m.trials = trials;
-  if (trials == 0) return m;
-  double sum = 0.0;
-  for (double v : values) sum += v;
-  m.mean = sum / static_cast<double>(trials);
-  double sq = 0.0;
-  for (double v : values) sq += (v - m.mean) * (v - m.mean);
-  m.stddev = trials > 1
-                 ? std::sqrt(sq / static_cast<double>(trials - 1))
-                 : 0.0;
-  return m;
+  return finalize_mean(values);
 }
 
 }  // namespace lnc::stats

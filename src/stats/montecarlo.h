@@ -1,14 +1,23 @@
-// Monte-Carlo probability estimation.
+// Monte-Carlo probability estimation: the seed-derivation kernel.
 //
 // Every probabilistic quantity in the paper — the construction algorithm's
 // success probability r, the decider's guarantee p, the failure bound beta
 // of Claim 2, the boosted acceptance (1 - beta p)^nu of Claim 3 — is
-// estimated here by running a {0,1}-valued trial under deterministic
-// per-trial seeds and reporting the proportion with a Wilson interval.
+// estimated by running a {0,1}-valued trial under deterministic per-trial
+// seeds and reporting the proportion with a Wilson interval.
+//
+// This header is the low-layer kernel (trial_seed derivation + the plain
+// estimators). Experiment-level code does NOT call it directly: it
+// declares a local::ExperimentPlan and executes it with local::BatchRunner
+// (local/batch_runner.h), which adds per-worker arenas and the unified
+// messages/balls/two-phase execution modes on top of the same seeding
+// contract, so batched estimates remain bit-for-bit reproducible across
+// thread counts.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 
 #include "stats/threadpool.h"
 #include "util/math.h"
@@ -48,6 +57,28 @@ struct MeanEstimate {
   double stddev = 0.0;
   std::uint64_t trials = 0;
 };
+
+/// The estimator epilogues, shared by the kernel above and by
+/// local::BatchRunner so the statistical formulas live in exactly one
+/// place (Wilson interval; sample stddev with n-1).
+Estimate finalize_estimate(std::uint64_t successes,
+                           std::uint64_t trials) noexcept;
+MeanEstimate finalize_mean(std::span<const double> values) noexcept;
+
+/// Cache-line-padded per-worker tally: workers bump their own slot
+/// without contending, and the final sum is order-free, so estimates
+/// stay bit-for-bit identical across thread counts. Shared by the kernel
+/// and local::BatchRunner.
+struct alignas(64) WorkerCounter {
+  std::uint64_t value = 0;
+};
+
+inline std::uint64_t sum_counters(
+    std::span<const WorkerCounter> counters) noexcept {
+  std::uint64_t total = 0;
+  for (const WorkerCounter& c : counters) total += c.value;
+  return total;
+}
 
 MeanEstimate estimate_mean(std::uint64_t trials, std::uint64_t base_seed,
                            const std::function<double(std::uint64_t)>& trial,

@@ -3,6 +3,11 @@
 // every trial derives its own seed, so there is no shared mutable state in
 // the loop body and the parallel estimate equals the sequential one bit for
 // bit (required: experiments must be reproducible across thread counts).
+//
+// parallel_for_workers additionally hands the body a stable worker index
+// in [0, thread_count): results must depend only on the trial index, but
+// the worker index lets the body pick a per-worker arena (scratch memory
+// reused across trials — see local/batch_runner.h) without any locking.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +28,15 @@ class ThreadPool {
   /// amortizes the atomic fetch.
   void parallel_for(std::uint64_t count,
                     const std::function<void(std::uint64_t)>& fn) const;
+
+  /// Invokes fn(worker, i) for every i in [0, count); `worker` is a stable
+  /// index in [0, thread_count) identifying the executing thread. The
+  /// assignment of trials to workers is nondeterministic — bodies must
+  /// derive results from `i` alone and use `worker` only to select
+  /// scratch storage.
+  void parallel_for_workers(
+      std::uint64_t count,
+      const std::function<void(unsigned, std::uint64_t)>& fn) const;
 
  private:
   unsigned thread_count_;

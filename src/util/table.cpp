@@ -108,6 +108,45 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
+void Table::print_json(std::ostream& os) const {
+  auto emit_string = [&](const std::string& s) {
+    os << '"';
+    for (char ch : s) {
+      switch (ch) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+               << static_cast<int>(static_cast<unsigned char>(ch))
+               << std::dec << std::setfill(' ');
+          } else {
+            os << ch;
+          }
+      }
+    }
+    os << '"';
+  };
+  auto emit_array = [&](const std::vector<std::string>& cells) {
+    os << '[';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ", ";
+      emit_string(cells[c]);
+    }
+    os << ']';
+  };
+  os << "{\"headers\": ";
+  emit_array(headers_);
+  os << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) os << ", ";
+    emit_array(rows_[r]);
+  }
+  os << "]}\n";
+}
+
 std::string Table::to_string() const {
   std::ostringstream os;
   print(os);

@@ -39,6 +39,11 @@ class Table {
   /// Renders as CSV (RFC-4180-ish; cells containing commas are quoted).
   void print_csv(std::ostream& os) const;
 
+  /// Renders as JSON: {"headers": [...], "rows": [[...], ...]} — the
+  /// machine-readable form the bench binaries export per PR so table
+  /// trajectories can be diffed and plotted.
+  void print_json(std::ostream& os) const;
+
   /// Renders to a string via print().
   std::string to_string() const;
 

@@ -14,6 +14,7 @@
 #include "core/glue.h"
 #include "core/hard_instances.h"
 #include "decide/evaluate.h"
+#include "decide/experiment_plans.h"
 #include "decide/lcl_decider.h"
 #include "decide/resilient_decider.h"
 #include "graph/generators.h"
@@ -23,7 +24,7 @@
 #include "lang/domset.h"
 #include "lang/relax.h"
 #include "lang/weak_coloring.h"
-#include "stats/montecarlo.h"
+#include "local/experiment.h"
 #include "util/logstar.h"
 
 namespace lnc {
@@ -53,26 +54,21 @@ TEST(Pipeline, RandomColoringSolvesSlackWithHighProbability) {
   const lang::EpsSlack slack(base, 0.55);
   const algo::UniformRandomColoring coloring(3);
   const local::Instance inst = core::consecutive_ring(120);
-  const stats::Estimate success = stats::estimate_probability(
-      400, 21,
-      [&](std::uint64_t seed) {
-        const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
-        const local::Labeling y =
-            local::run_ball_algorithm(inst, coloring, coins);
-        return slack.contains(inst, y);
-      });
+  local::BatchRunner runner;
+  auto contains = [](const lang::Language& language) {
+    return [&language](const local::Instance& instance,
+                       const local::Labeling& y) {
+      return language.contains(instance, y);
+    };
+  };
+  const stats::Estimate success = runner.run(local::construction_plan(
+      "slack-0.55", inst, coloring, contains(slack), 400, 21));
   // Expected bad-ball fraction ~ 5/9 < 0.55... per-node bad probability is
   // 1 - (2/3)^2 = 5/9 ~ 0.5556 with eps = 0.55 slightly below the mean, so
   // success should be near 1/2; use a slack above the mean instead:
   const lang::EpsSlack roomy(base, 0.65);
-  const stats::Estimate roomy_success = stats::estimate_probability(
-      400, 22,
-      [&](std::uint64_t seed) {
-        const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
-        const local::Labeling y =
-            local::run_ball_algorithm(inst, coloring, coins);
-        return roomy.contains(inst, y);
-      });
+  const stats::Estimate roomy_success = runner.run(local::construction_plan(
+      "slack-0.65", inst, coloring, contains(roomy), 400, 22));
   EXPECT_GT(roomy_success.ci.lo, 0.9);
   (void)success;
 }
@@ -87,18 +83,16 @@ TEST(Pipeline, RandomColoringFailsResilientAndGetsCaught) {
   const decide::ResilientDecider decider(base, 2);
   const local::Instance inst = core::consecutive_ring(60);
 
-  const stats::Estimate caught = stats::estimate_probability(
-      600, 31,
-      [&](std::uint64_t seed) {
-        const rand::PhiloxCoins c_coins(rand::mix_keys(seed, 1),
-                                        rand::Stream::kConstruction);
-        const rand::PhiloxCoins d_coins(rand::mix_keys(seed, 2),
-                                        rand::Stream::kDecision);
-        const local::Labeling y =
-            local::run_ball_algorithm(inst, coloring, c_coins);
+  local::BatchRunner runner;
+  const stats::Estimate caught = runner.run(local::custom_plan(
+      "resilient-caught", 600, 31, [&](const local::TrialEnv& env) {
+        const rand::PhiloxCoins c_coins = env.construction_coins();
+        const rand::PhiloxCoins d_coins = env.decision_coins();
+        local::Labeling& y = env.arena->labeling();
+        local::run_ball_algorithm_into(inst, coloring, c_coins, y);
         if (relaxed.contains(inst, y)) return false;  // C got lucky
         return !decide::evaluate(inst, y, decider, d_coins).accepted;
-      });
+      }));
   // Pr[C fails AND D notices] >= beta * p with beta ~ 1 here and
   // p in (2^{-1/2}, 2^{-1/3}) ~ 0.73; allow generous slack.
   EXPECT_GT(caught.ci.lo, 0.5);
@@ -111,22 +105,14 @@ TEST(Pipeline, DisjointUnionBoostsRejection) {
   const algo::UniformRandomColoring coloring(3);
   const decide::ResilientDecider decider(base, 1);
 
+  local::BatchRunner runner;
   auto acceptance_for = [&](std::size_t instance_count) {
     const auto parts = core::claim2_sequence(instance_count, 5);
     const core::GluedInstance combined =
         core::disjoint_union_instances(parts);
-    return stats::estimate_probability(
-        500, 41,
-        [&](std::uint64_t seed) {
-          const rand::PhiloxCoins c_coins(rand::mix_keys(seed, 1),
-                                          rand::Stream::kConstruction);
-          const rand::PhiloxCoins d_coins(rand::mix_keys(seed, 2),
-                                          rand::Stream::kDecision);
-          const local::Labeling y = local::run_ball_algorithm(
-              combined.instance, coloring, c_coins);
-          return decide::evaluate(combined.instance, y, decider, d_coins)
-              .accepted;
-        });
+    return runner.run(decide::construct_then_decide_plan(
+        "disjoint-union-accept", combined.instance, coloring, decider, 500,
+        41));
   };
   const stats::Estimate one = acceptance_for(1);
   const stats::Estimate three = acceptance_for(3);
@@ -142,23 +128,14 @@ TEST(Pipeline, ConnectedGlueBoostsRejection) {
   const algo::UniformRandomColoring coloring(3);
   const decide::ResilientDecider decider(base, 1);
 
+  local::BatchRunner runner;
   auto acceptance_for = [&](std::size_t instance_count) {
     const auto parts = core::claim2_sequence(instance_count, 5);
     std::vector<graph::NodeId> anchors(parts.size(), 0);
     const core::GluedInstance glued = core::theorem1_glue(parts, anchors);
     EXPECT_TRUE(graph::is_connected(glued.instance.g));
-    return stats::estimate_probability(
-        500, 51,
-        [&](std::uint64_t seed) {
-          const rand::PhiloxCoins c_coins(rand::mix_keys(seed, 1),
-                                          rand::Stream::kConstruction);
-          const rand::PhiloxCoins d_coins(rand::mix_keys(seed, 2),
-                                          rand::Stream::kDecision);
-          const local::Labeling y = local::run_ball_algorithm(
-              glued.instance, coloring, c_coins);
-          return decide::evaluate(glued.instance, y, decider, d_coins)
-              .accepted;
-        });
+    return runner.run(decide::construct_then_decide_plan(
+        "glued-accept", glued.instance, coloring, decider, 500, 51));
   };
   const stats::Estimate two = acceptance_for(2);
   const stats::Estimate five = acceptance_for(5);
@@ -173,19 +150,19 @@ TEST(Pipeline, WeakColoringConstructAndDecide) {
   const lang::WeakColoring lang(2);
   const decide::LclDecider decider(lang);
   const local::Instance inst = core::consecutive_ring(40);
-  int agreement = 0;
-  const int trials = 60;
-  for (int trial = 0; trial < trials; ++trial) {
-    const rand::PhiloxCoins coins(static_cast<std::uint64_t>(trial) + 100,
-                                  rand::Stream::kConstruction);
-    const local::EngineResult result =
-        algo::run_weak_color_mc(inst, coins, 6);
-    const bool member = lang.contains(inst, result.output);
-    const bool accepted =
-        decide::evaluate(inst, result.output, decider).accepted;
-    if (member == accepted) ++agreement;  // LD decider is exact
-  }
-  EXPECT_EQ(agreement, trials);
+  const std::uint64_t trials = 60;
+  local::BatchRunner runner;
+  const stats::Estimate agreement = runner.run(local::custom_plan(
+      "weak-color-roundtrip", trials, 100, [&](const local::TrialEnv& env) {
+        const rand::PhiloxCoins coins = env.construction_coins();
+        const local::EngineResult result =
+            algo::run_weak_color_mc(inst, coins, 6);
+        const bool member = lang.contains(inst, result.output);
+        const bool accepted =
+            decide::evaluate(inst, result.output, decider).accepted;
+        return member == accepted;  // LD decider is exact
+      }));
+  EXPECT_EQ(agreement.successes, trials);
 }
 
 // Classic cross-language fact the library should witness: every maximal

@@ -42,9 +42,11 @@ class MaxIdProgram final : public NodeProgram {
     best_ = env.id;
     return false;
   }
-  Message send(int) override { return {best_}; }
-  bool receive(int, std::span<const Message> inbox) override {
-    for (const auto& msg : inbox) best_ = std::max(best_, msg[0]);
+  void send(int, MessageWriter& out) override { out.push(best_); }
+  bool receive(int, const Inbox& inbox) override {
+    for (std::size_t p = 0; p < inbox.size(); ++p) {
+      best_ = std::max(best_, inbox[p][0]);
+    }
     return true;
   }
   Label output() const override { return best_; }
@@ -88,8 +90,8 @@ TEST(Engine, MaxRoundsGuardReportsIncomplete) {
   class Forever final : public NodeProgram {
    public:
     bool init(const NodeEnv&) override { return false; }
-    Message send(int) override { return {}; }
-    bool receive(int, std::span<const Message>) override { return false; }
+    void send(int, MessageWriter&) override {}
+    bool receive(int, const Inbox&) override { return false; }
     Label output() const override { return 0; }
   };
   class ForeverFactory final : public NodeProgramFactory {
