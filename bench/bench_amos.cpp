@@ -4,15 +4,17 @@
 // with probability p at selected nodes has guarantee min(p, 1 - p^2),
 // maximized at the golden ratio p* = (sqrt(5)-1)/2 ~ 0.618, where the
 // yes-side and no-side error rates balance.
+//
+// Components resolve through the scenario registry (scenario/registry.h);
+// only the p-sweep grid and the planted-selection samplers are local.
 #include "bench_common.h"
 
 #include <cmath>
 
-#include "decide/amos_decider.h"
 #include "decide/experiment_plans.h"
 #include "decide/guarantee.h"
-#include "graph/generators.h"
 #include "lang/amos.h"
+#include "scenario/registry.h"
 #include "stats/threadpool.h"
 #include "util/math.h"
 
@@ -20,17 +22,16 @@ namespace {
 
 using namespace lnc;
 
-local::Instance ring_instance(graph::NodeId n) {
-  return local::make_instance(graph::cycle(n), ident::consecutive(n));
-}
-
 decide::ConfigurationSampler selected_sampler(graph::NodeId n, int count) {
-  return [n, count](std::uint64_t seed) {
-    decide::SampledConfiguration sample{ring_instance(n),
-                                        local::Labeling(n, 0)};
+  // The topology is fixed across trials: share the interned ring instance
+  // and rebuild only the output labeling per sample.
+  auto instance = scenario::interned_instance("ring", n);
+  return [instance, n, count](std::uint64_t seed) {
+    decide::SampledConfiguration sample;
+    sample.shared_instance = instance;
+    sample.output.assign(n, 0);
     // `count` selected nodes spread around the ring; placement varies with
     // the seed (the decider is placement-blind, this just avoids bias).
-    if (count == 0) return sample;
     for (int i = 0; i < count; ++i) {
       const auto pos = static_cast<graph::NodeId>(
           (seed + static_cast<std::uint64_t>(i) * n /
@@ -56,13 +57,13 @@ void print_tables() {
                      "guarantee (meas)", "guarantee (theory)"});
   const double golden = util::golden_ratio_guarantee();
   for (double p : {0.30, 0.45, 0.55, 0.60, golden, 0.65, 0.70, 0.80, 0.95}) {
-    const decide::AmosDecider decider(p);
+    const auto decider = scenario::make_decider("amos", nullptr, {{"p", p}});
     decide::GuaranteeOptions options;
     options.trials = 6000;
     options.base_seed = static_cast<std::uint64_t>(p * 1e6);
     options.pool = &pool;
     const decide::GuaranteeReport report = decide::measure_guarantee(
-        decider, selected_sampler(n, 1), selected_sampler(n, 2), options);
+        *decider, selected_sampler(n, 1), selected_sampler(n, 2), options);
     const double measured_guarantee =
         std::min(report.accept_on_yes.p_hat, report.reject_on_no.p_hat);
     table.new_row()
@@ -80,32 +81,33 @@ void print_tables() {
   // the p^s geometric decay the proof of the example computes.
   util::Table decay({"selected s", "Pr[all accept] (meas)",
                      "p*^s (theory)"});
-  const decide::AmosDecider optimal;
+  const auto optimal = scenario::make_decider("amos", nullptr);
+  const double p_star = util::golden_ratio_guarantee();
   local::BatchRunner runner(&pool);
   for (int s : {0, 1, 2, 3, 5, 8}) {
     const auto sampler = selected_sampler(n, s);
     const stats::Estimate accept = runner.run(decide::guarantee_side_plan(
-        "amos-decay", sampler, optimal, /*want_accept=*/true, 6000,
+        "amos-decay", sampler, *optimal, /*want_accept=*/true, 6000,
         static_cast<std::uint64_t>(1000 + s)));
     decay.new_row()
         .add_cell(s)
         .add_cell(accept.p_hat, 4)
-        .add_cell(std::pow(optimal.p(), s), 4);
+        .add_cell(std::pow(p_star, s), 4);
   }
   bench::print_table(decay);
 }
 
 void BM_AmosDecideRing(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = ring_instance(n);
+  const local::Instance inst = scenario::build_instance("ring", n);
   local::Labeling output(n, 0);
   output[0] = lang::Amos::kSelected;
-  const decide::AmosDecider decider;
+  const auto decider = scenario::make_decider("amos", nullptr);
   std::uint64_t seed = 0;
   for (auto _ : state) {
     const rand::PhiloxCoins coins(++seed, rand::Stream::kDecision);
     benchmark::DoNotOptimize(
-        decide::evaluate(inst, output, decider, coins).accepted);
+        decide::evaluate(inst, output, *decider, coins).accepted);
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

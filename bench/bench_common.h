@@ -27,6 +27,9 @@ inline std::string& current_experiment() {
   return name;
 }
 
+/// Monotonic across the whole binary — NEVER reset per header. Two
+/// experiments that slugify to the same name would otherwise restart the
+/// numbering and overwrite each other's TABLE_*.json files.
 inline int& table_index() {
   static int index = 0;
   return index;
@@ -52,7 +55,6 @@ inline void print_header(const std::string& experiment,
                          const std::string& paper_source,
                          const std::string& claim) {
   detail::current_experiment() = detail::slugify(experiment);
-  detail::table_index() = 0;
   std::cout << "\n=== " << experiment << " — " << paper_source << " ===\n"
             << claim << "\n\n";
 }

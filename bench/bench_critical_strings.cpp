@@ -13,14 +13,12 @@
 
 #include <algorithm>
 
-#include "algo/rand_coloring.h"
 #include "core/boost_params.h"
 #include "core/critical_strings.h"
 #include "core/hard_instances.h"
 #include "decide/resilient_decider.h"
 #include "graph/metrics.h"
-#include "lang/coloring.h"
-#include "lang/relax.h"
+#include "scenario/registry.h"
 #include "stats/threadpool.h"
 
 namespace {
@@ -35,12 +33,19 @@ void print_tables() {
       "in Rand(D). Measured: far-acceptance per u in S, criticality\n"
       "counts with zero overlaps, and far-rejection vs beta(1-p)/mu.");
 
-  const lang::ProperColoring base(3);
-  const lang::FResilient relaxed(base, 1);
-  const algo::UniformRandomColoring coloring(3);
-  const decide::ResilientDecider decider(base, 1);
+  const auto base = scenario::make_language("coloring", {{"colors", 3}});
+  const auto relaxed_lang = scenario::make_language(
+      "resilient-coloring", {{"colors", 3}, {"faults", 1}});
+  const lang::Language& relaxed = *relaxed_lang;
+  const auto construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
+  const local::RandomizedBallAlgorithm& coloring =
+      *construction->ball_algorithm();
+  const auto decider_ptr =
+      scenario::make_decider("resilient", base.get(), {{"faults", 1}});
+  const decide::RandomizedDecider& decider = *decider_ptr;
   const stats::ThreadPool pool;
-  const double p = decider.p();
+  const double p = decide::ResilientDecider::default_p(1);
 
   core::BoostParameters params;
   params.p = p;
@@ -137,7 +142,10 @@ void print_tables() {
 
 void BM_FixedConstruction(benchmark::State& state) {
   const auto parts = core::claim2_sequence(1, 12);
-  const algo::UniformRandomColoring coloring(3);
+  const auto construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
+  const local::RandomizedBallAlgorithm& coloring =
+      *construction->ball_algorithm();
   std::uint64_t sigma = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -148,11 +156,14 @@ BENCHMARK(BM_FixedConstruction);
 
 void BM_FarFromEvaluate(benchmark::State& state) {
   const auto parts = core::claim2_sequence(1, 12);
-  const lang::ProperColoring base(3);
-  const decide::ResilientDecider decider(base, 1);
-  const algo::UniformRandomColoring coloring(3);
-  const local::Labeling y =
-      core::run_fixed_construction(parts[0], coloring, 1);
+  const auto base = scenario::make_language("coloring", {{"colors", 3}});
+  const auto decider_ptr =
+      scenario::make_decider("resilient", base.get(), {{"faults", 1}});
+  const decide::RandomizedDecider& decider = *decider_ptr;
+  const auto construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
+  const local::Labeling y = core::run_fixed_construction(
+      parts[0], *construction->ball_algorithm(), 1);
   decide::EvaluateOptions options;
   options.far_from = decide::FarFrom{0, 1};
   std::uint64_t seed = 0;

@@ -5,49 +5,23 @@
 // achieves guarantee ~0.618 on EVERY diameter.
 //
 // Two measurements:
-//  1. Exhaustive sweep of all 16 zero-round deterministic deciders
-//     (verdict = function of (selected?, has-no-neighbors?) — everything a
-//     0-ball shows beyond the identity, which order-invariance strips):
-//     each one errs on a yes or a no instance.
-//  2. The natural radius-t LD attempt ("reject iff >= 2 selected in my
-//     ball") errs exactly when the two selected nodes are > 2t apart:
-//     error rate 1 as soon as the ring diameter exceeds 2t, for every t.
+//  1. Exhaustive sweep of all zero-round deterministic deciders (verdict =
+//     function of (selected?, has-no-neighbors?)): each one errs on a yes
+//     or a no instance.
+//  2. The natural radius-t LD attempt (the registered "local-count"
+//     decider: reject iff >= 2 selected in my ball) errs exactly when the
+//     two selected nodes are > 2t apart: error rate 1 as soon as the ring
+//     diameter exceeds 2t, for every t.
 #include "bench_common.h"
 
-#include "decide/amos_decider.h"
 #include "decide/evaluate.h"
 #include "decide/experiment_plans.h"
-#include "graph/generators.h"
 #include "lang/amos.h"
+#include "scenario/registry.h"
 
 namespace {
 
 using namespace lnc;
-
-local::Instance ring_instance(graph::NodeId n) {
-  return local::make_instance(graph::cycle(n), ident::consecutive(n));
-}
-
-/// Radius-t deterministic decider: reject iff the ball holds >= 2 selected
-/// nodes — the best "local population count" attempt at amos.
-class LocalCountDecider final : public decide::Decider {
- public:
-  explicit LocalCountDecider(int radius) : radius_(radius) {}
-  std::string name() const override {
-    return "count-decider(t=" + std::to_string(radius_) + ")";
-  }
-  int radius() const override { return radius_; }
-  bool accept(const decide::DeciderView& view) const override {
-    int selected = 0;
-    for (graph::NodeId local = 0; local < view.view.ball->size(); ++local) {
-      if (view.output_of(local) == lang::Amos::kSelected) ++selected;
-    }
-    return selected <= 1;
-  }
-
- private:
-  int radius_;
-};
 
 void print_tables() {
   bench::print_header(
@@ -63,8 +37,6 @@ void print_tables() {
   // deciders; we list all and their failure certificate.
   util::Table exhaustive({"accept(unsel)", "accept(sel)",
                           "errs on", "certificate"});
-  const graph::NodeId n = 8;
-  const local::Instance inst = ring_instance(n);
   for (int mask = 0; mask < 4; ++mask) {
     const bool acc_unsel = (mask & 1) != 0;
     const bool acc_sel = (mask & 2) != 0;
@@ -93,21 +65,24 @@ void print_tables() {
   // Part 2: the radius-t counting decider vs diameter.
   util::Table sweep({"ring n", "diameter", "t", "det errs (2 sel antipodal)",
                      "rand guarantee (meas)"});
-  const decide::AmosDecider randomized;
+  const auto randomized = scenario::make_decider("amos", nullptr);
+  const rand::PhiloxCoins no_coins(0, rand::Stream::kDecision);
   local::BatchRunner runner;
   for (graph::NodeId ring_n : {6u, 10u, 18u, 34u, 66u}) {
-    const local::Instance ring = ring_instance(ring_n);
+    const local::Instance ring = scenario::build_instance("ring", ring_n);
     const int diameter = static_cast<int>(ring_n) / 2;
     local::Labeling two_selected(ring_n, 0);
     two_selected[0] = lang::Amos::kSelected;
     two_selected[ring_n / 2] = lang::Amos::kSelected;
     for (int t : {1, 2, 4}) {
-      const LocalCountDecider det(t);
+      const auto det = scenario::make_decider(
+          "local-count", nullptr, {{"radius", static_cast<double>(t)}});
       const bool errs =
-          decide::evaluate(ring, two_selected, det).accepted;  // non-member!
+          decide::evaluate(ring, two_selected, *det, no_coins)
+              .accepted;  // non-member!
       // Randomized side: Pr[reject | 2 selected] must stay >= 1 - p^2.
       const stats::Estimate reject = runner.run(decide::acceptance_plan(
-          "amos-reject", ring, two_selected, randomized, 3000,
+          "amos-reject", ring, two_selected, *randomized, 3000,
           ring_n * 10 + static_cast<std::uint64_t>(t), {},
           /*success_on_accept=*/false));
       sweep.new_row()
@@ -125,12 +100,15 @@ void print_tables() {
 
 void BM_LocalCountDecider(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = ring_instance(n);
+  const local::Instance inst = scenario::build_instance("ring", n);
   local::Labeling y(n, 0);
   y[0] = y[n / 2] = lang::Amos::kSelected;
-  const LocalCountDecider decider(2);
+  const auto decider =
+      scenario::make_decider("local-count", nullptr, {{"radius", 2}});
+  const rand::PhiloxCoins no_coins(0, rand::Stream::kDecision);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(decide::evaluate(inst, y, decider).accepted);
+    benchmark::DoNotOptimize(
+        decide::evaluate(inst, y, *decider, no_coins).accepted);
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

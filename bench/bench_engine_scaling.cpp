@@ -1,29 +1,22 @@
 // E12 — substrate validation: throughput of the synchronous engine, ball
 // collection, and ball views at the scales the E-series experiments use,
 // including the thread-pool ablation (parallel node stepping) and the
-// ball-based vs message-passing execution cost comparison.
+// batched-vs-naive trial execution comparison. Components resolve from the
+// scenario registry; the Construction::RunOptions pool knob drives the
+// parallel-stepping ablation.
 #include "bench_common.h"
 
-#include "algo/cole_vishkin.h"
 #include "algo/weak_color_mc.h"
 #include "graph/ball.h"
-#include "graph/generators.h"
-#include "lang/weak_coloring.h"
 #include "local/ball_collector.h"
-#include "local/engine.h"
 #include "local/experiment.h"
-#include "local/runner.h"
+#include "scenario/registry.h"
 #include "stats/threadpool.h"
-#include "util/logstar.h"
 #include "util/timer.h"
 
 namespace {
 
 using namespace lnc;
-
-local::Instance ring_instance(graph::NodeId n) {
-  return local::make_instance(graph::cycle(n), ident::consecutive(n));
-}
 
 void print_tables() {
   bench::print_header(
@@ -34,22 +27,24 @@ void print_tables() {
   util::Table table({"n", "engine 1-thread Mnr/s", "engine pooled Mnr/s",
                      "collect_balls(r=2) ms"});
   const stats::ThreadPool pool;
+  const auto cole_vishkin = scenario::make_construction("cole-vishkin");
   for (graph::NodeId n : {1024u, 8192u, 32768u}) {
-    const local::Instance inst = ring_instance(n);
-    const int bits = util::floor_log2(n) + 1;
+    const local::Instance inst = scenario::build_instance("hard-ring", n);
+    local::WorkerArena seq_arena;
+    local::TrialEnv env;
+    env.arena = &seq_arena;
+    local::Labeling colors;
 
     util::Timer t1;
-    const local::EngineResult seq = algo::run_cole_vishkin(inst, bits);
+    const auto seq = cole_vishkin->run(inst, env, colors);
     const double seq_s = t1.elapsed_seconds();
     const double seq_nr =
         static_cast<double>(n) * seq.rounds / seq_s / 1e6;
 
-    local::EngineOptions options;
-    options.grant_ring_orientation = true;
-    options.pool = &pool;
-    const algo::ColeVishkinFactory factory(bits);
+    local::WorkerArena par_arena;
+    env.arena = &par_arena;
     util::Timer t2;
-    const local::EngineResult par = run_engine(inst, factory, options);
+    const auto par = cole_vishkin->run(inst, env, colors, {&pool});
     const double par_s = t2.elapsed_seconds();
     const double par_nr =
         static_cast<double>(n) * par.rounds / par_s / 1e6;
@@ -64,16 +59,16 @@ void print_tables() {
         .add_cell(par_nr, 2)
         .add_cell(collect_ms, 1);
     benchmark::DoNotOptimize(tables);
-    benchmark::DoNotOptimize(par.output);
+    benchmark::DoNotOptimize(colors);
   }
   bench::print_table(table);
 
   // Batched Monte-Carlo ablation: the SAME engine workload (weak-coloring
   // MC, 7 rounds) run as (a) a naive per-trial run_engine loop with fresh
   // allocations per trial, (b) BatchRunner with one warm arena at 1
-  // thread (isolates the arena-reuse win), (c) BatchRunner at trial
-  // granularity on 8 threads. Success tallies must agree — the batched
-  // path is a pure execution change.
+  // thread (isolates the arena-reuse + program-recycling win), (c)
+  // BatchRunner at trial granularity on 8 threads. Success tallies must
+  // agree — the batched path is a pure execution change.
   std::cout << "Batched trial execution vs naive per-trial engine loop\n"
                "(weak-coloring MC, n = 512, 600 trials; host has "
             << std::thread::hardware_concurrency()
@@ -82,8 +77,10 @@ void print_tables() {
   util::Table batched({"path", "trials/s", "speedup", "successes"});
   {
     const graph::NodeId n = 512;
-    const local::Instance inst = ring_instance(n);
-    const lang::WeakColoring weak(2);
+    const local::Instance inst = scenario::build_instance("hard-ring", n);
+    const auto weak = scenario::make_language("weak-coloring", {{"colors", 2}});
+    const auto mc =
+        scenario::make_construction("weak-color-mc", {{"fixup-rounds", 6}});
     const std::uint64_t trials = 600;
     const std::uint64_t base_seed = 7;
 
@@ -91,14 +88,9 @@ void print_tables() {
       return local::custom_plan(
           "weak-color-batch", trials, base_seed,
           [&](const local::TrialEnv& env) {
-            const rand::PhiloxCoins coins = env.construction_coins();
-            const algo::WeakColorMcFactory factory(6);
-            local::EngineOptions options;
-            options.coins = &coins;
-            options.scratch = &env.arena->engine();
-            const local::EngineResult result =
-                run_engine(inst, factory, options);
-            return weak.contains(inst, result.output);
+            local::Labeling& output = env.arena->labeling();
+            mc->run(inst, env, output);
+            return weak->contains(inst, output);
           });
     };
 
@@ -112,11 +104,11 @@ void print_tables() {
           rand::Stream::kConstruction);
       const local::EngineResult result =
           algo::run_weak_color_mc(inst, coins, 6);
-      if (weak.contains(inst, result.output)) ++naive_successes;
+      if (weak->contains(inst, result.output)) ++naive_successes;
     }
     const double naive_s = naive_timer.elapsed_seconds();
 
-    // (b) batched, 1 worker (arena reuse only).
+    // (b) batched, 1 worker (arena reuse + program recycling only).
     local::BatchRunner sequential_runner;
     util::Timer seq_timer;
     const stats::Estimate seq_est = sequential_runner.run(make_plan());
@@ -153,20 +145,18 @@ void print_tables() {
 void BM_BatchedTrials(benchmark::State& state) {
   // items/s == trials/s for the batched path at the given thread count.
   const auto threads = static_cast<unsigned>(state.range(0));
-  const local::Instance inst = ring_instance(512);
-  const lang::WeakColoring weak(2);
+  const local::Instance inst = scenario::build_instance("hard-ring", 512);
+  const auto weak = scenario::make_language("weak-coloring", {{"colors", 2}});
+  const auto mc =
+      scenario::make_construction("weak-color-mc", {{"fixup-rounds", 6}});
   const std::uint64_t trials = 200;
   const stats::ThreadPool pool(threads);
   local::BatchRunner runner(threads == 0 ? nullptr : &pool);
   const local::ExperimentPlan plan = local::custom_plan(
       "weak-color-bm", trials, 7, [&](const local::TrialEnv& env) {
-        const rand::PhiloxCoins coins = env.construction_coins();
-        const algo::WeakColorMcFactory factory(6);
-        local::EngineOptions options;
-        options.coins = &coins;
-        options.scratch = &env.arena->engine();
-        return weak.contains(inst,
-                             run_engine(inst, factory, options).output);
+        local::Labeling& output = env.arena->labeling();
+        mc->run(inst, env, output);
+        return weak->contains(inst, output);
       });
   for (auto _ : state) {
     benchmark::DoNotOptimize(runner.run(plan).successes);
@@ -178,10 +168,10 @@ BENCHMARK(BM_BatchedTrials)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
 void BM_BallView(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
   const auto radius = static_cast<int>(state.range(1));
-  const graph::Graph g = graph::cycle(n);
+  const local::Instance inst = scenario::build_instance("ring", n);
   graph::NodeId v = 0;
   for (auto _ : state) {
-    const graph::BallView ball(g, v, radius);
+    const graph::BallView ball(inst.g, v, radius);
     benchmark::DoNotOptimize(ball.size());
     v = (v + 1) % n;
   }
@@ -190,10 +180,14 @@ BENCHMARK(BM_BallView)->Args({1024, 1})->Args({1024, 4})->Args({16384, 4});
 
 void BM_EngineRound(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = ring_instance(n);
-  const int bits = util::floor_log2(n) + 1;
+  const local::Instance inst = scenario::build_instance("hard-ring", n);
+  const auto cole_vishkin = scenario::make_construction("cole-vishkin");
+  local::WorkerArena arena;
+  local::TrialEnv env;
+  env.arena = &arena;
+  local::Labeling colors;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(algo::run_cole_vishkin(inst, bits));
+    benchmark::DoNotOptimize(cole_vishkin->run(inst, env, colors).rounds);
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
@@ -201,7 +195,7 @@ BENCHMARK(BM_EngineRound)->Arg(1024)->Arg(8192);
 
 void BM_CollectBalls(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = ring_instance(n);
+  const local::Instance inst = scenario::build_instance("hard-ring", n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(local::collect_balls(inst, 2));
   }
@@ -211,7 +205,7 @@ BENCHMARK(BM_CollectBalls)->Arg(512)->Arg(4096);
 
 void BM_RunBallAlgorithmParallel(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = ring_instance(n);
+  const local::Instance inst = scenario::build_instance("hard-ring", n);
   class Rank final : public local::BallAlgorithm {
    public:
     std::string name() const override { return "rank"; }

@@ -13,7 +13,6 @@
 // instances suffice to push acceptance below any target r.
 #include "bench_common.h"
 
-#include "algo/rand_coloring.h"
 #include "core/boost_params.h"
 #include "core/glue.h"
 #include "core/hard_instances.h"
@@ -22,19 +21,25 @@
 #include "decide/resilient_decider.h"
 #include "graph/metrics.h"
 #include "graph/planarity.h"
-#include "lang/coloring.h"
-#include "lang/relax.h"
+#include "scenario/registry.h"
 #include "stats/threadpool.h"
 
 namespace {
 
 using namespace lnc;
 
+/// All components resolved once from the registry.
 struct Setup {
-  lang::ProperColoring base{3};
-  lang::FResilient relaxed{base, 1};
-  algo::UniformRandomColoring coloring{3};
-  decide::ResilientDecider decider{base, 1};
+  std::unique_ptr<lang::Language> base =
+      scenario::make_language("coloring", {{"colors", 3}});
+  std::unique_ptr<lang::Language> relaxed = scenario::make_language(
+      "resilient-coloring", {{"colors", 3}, {"faults", 1}});
+  std::unique_ptr<scenario::Construction> construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
+  const local::RandomizedBallAlgorithm& coloring =
+      *construction->ball_algorithm();
+  std::unique_ptr<decide::RandomizedDecider> decider =
+      scenario::make_decider("resilient", base.get(), {{"faults", 1}});
   stats::ThreadPool pool;
   local::BatchRunner runner{&pool};
 };
@@ -42,7 +47,7 @@ struct Setup {
 stats::Estimate acceptance(Setup& setup, const local::Instance& inst,
                            std::uint64_t tag) {
   return setup.runner.run(decide::construct_then_decide_plan(
-      "glue-acceptance", inst, setup.coloring, setup.decider, 1500, tag));
+      "glue-acceptance", inst, setup.coloring, *setup.decider, 1500, tag));
 }
 
 void print_tables() {
@@ -54,7 +59,7 @@ void print_tables() {
       "the connected Theorem-1 glue; the glue preserves the F_k promise.");
 
   Setup setup;
-  const double p = setup.decider.p();
+  const double p = decide::ResilientDecider::default_p(1);
 
   // Paper-faithful parameters: diameter floor D = 2*mu*(t+t'), t=0, t'=1.
   core::BoostParameters params;
@@ -70,7 +75,7 @@ void print_tables() {
   const std::uint64_t min_diameter = 2;
   const auto single = core::claim2_sequence(1, min_diameter);
   const stats::Estimate beta_est = core::estimate_beta(
-      single[0], setup.coloring, setup.relaxed, 3000, 7, &setup.pool);
+      single[0], setup.coloring, *setup.relaxed, 3000, 7, &setup.pool);
   params.beta = beta_est.p_hat;
 
   std::cout << "decider p = " << util::format_double(p, 4)
@@ -143,7 +148,7 @@ void BM_BoostedTrial(benchmark::State& state) {
     const local::Labeling y = local::run_ball_algorithm(
         glued.instance, setup.coloring, c_coins);
     benchmark::DoNotOptimize(
-        decide::evaluate(glued.instance, y, setup.decider, d_coins)
+        decide::evaluate(glued.instance, y, *setup.decider, d_coins)
             .accepted);
   }
 }

@@ -4,8 +4,9 @@
 // version randomization solves (slack), and as the second f-resilient
 // impossibility example (Corollary 1, via the reduction of LLL to
 // coloring). Measured here:
-//   * Moser-Tardos resampling phases across graph families, inside and
-//     outside the symmetric LLL condition;
+//   * Moser-Tardos resampling phases across graph families (all resolved
+//     from the topology registry), inside and outside the symmetric LLL
+//     condition;
 //   * the f-resilient face: order-invariant ring algorithms produce
 //     assignments whose LLL violation count grows with n.
 #include "bench_common.h"
@@ -14,10 +15,9 @@
 
 #include "algo/moser_tardos.h"
 #include "algo/order_invariant.h"
-#include "core/hard_instances.h"
-#include "graph/generators.h"
 #include "lang/lll.h"
 #include "local/batch_runner.h"
+#include "scenario/registry.h"
 
 namespace {
 
@@ -32,7 +32,8 @@ void print_tables() {
       "outside it, it still converges on small instances but slower. On\n"
       "consecutive rings, order-invariant algorithms violate ~n events.");
 
-  const lang::LllAvoidance lll;
+  const auto language = scenario::make_language("lll-avoidance");
+  const lang::LclLanguage& lll = *scenario::lcl_core(*language);
   util::Table table({"graph", "n", "LLL condition", "phases (mean)",
                      "resamplings (mean)", "success"});
   struct Family {
@@ -40,21 +41,16 @@ void print_tables() {
     local::Instance inst;
   };
   std::vector<Family> families;
-  families.push_back({"hypercube d=8",
-                      local::make_instance(graph::hypercube(8),
-                                           ident::random_permutation(256, 1))});
-  families.push_back({"hypercube d=9",
-                      local::make_instance(graph::hypercube(9),
-                                           ident::random_permutation(512, 2))});
+  families.push_back(
+      {"hypercube d=8", scenario::build_instance("hypercube", 256, {}, 1)});
+  families.push_back(
+      {"hypercube d=9", scenario::build_instance("hypercube", 512, {}, 2)});
   families.push_back(
       {"random 6-regular",
-       local::make_instance(graph::random_regular(300, 6, 3),
-                            ident::random_permutation(300, 3))});
-  families.push_back({"ring n=64", core::consecutive_ring(64)});
+       scenario::build_instance("random-regular", 300, {{"degree", 6}}, 3)});
+  families.push_back({"ring n=64", scenario::build_instance("hard-ring", 64)});
   families.push_back(
-      {"grid 16x16",
-       local::make_instance(graph::grid(16, 16),
-                            ident::random_permutation(256, 4))});
+      {"grid 16x16", scenario::build_instance("grid", 256, {}, 4)});
   local::BatchRunner runner;
   for (const Family& family : families) {
     const std::uint64_t trials = 10;
@@ -92,7 +88,7 @@ void print_tables() {
   util::Table resilient({"n", "algorithms", "min violated events",
                          "crosses f=10?"});
   for (graph::NodeId n : {16u, 64u, 256u}) {
-    const local::Instance inst = core::consecutive_ring(n);
+    const local::Instance inst = scenario::build_instance("hard-ring", n);
     const auto tables = algo::enumerate_tables(3, 2, 0, 64);
     std::size_t min_violations = n;
     for (const auto& t : tables) {
@@ -113,8 +109,8 @@ void print_tables() {
 void BM_MoserTardos(benchmark::State& state) {
   const auto d = static_cast<int>(state.range(0));
   const auto n = static_cast<graph::NodeId>(1u << d);
-  const local::Instance inst = local::make_instance(
-      graph::hypercube(d), ident::random_permutation(n, 5));
+  const local::Instance inst =
+      scenario::build_instance("hypercube", n, {}, 5);
   std::uint64_t seed = 0;
   for (auto _ : state) {
     const rand::PhiloxCoins coins(++seed, rand::Stream::kConstruction);

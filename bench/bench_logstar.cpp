@@ -6,13 +6,11 @@
 //     (Cole-Vishkin measured against log* n);
 //   * greedy-by-identity baseline: Theta(n) rounds on consecutive rings;
 //   * randomized zero-round coloring: 0 rounds but only slack-correct.
+// Constructions and the verifying language resolve from the registry.
 #include "bench_common.h"
 
 #include "algo/cole_vishkin.h"
-#include "algo/greedy_by_id.h"
-#include "algo/rand_coloring.h"
-#include "core/hard_instances.h"
-#include "lang/coloring.h"
+#include "scenario/registry.h"
 #include "util/logstar.h"
 
 namespace {
@@ -29,22 +27,27 @@ void print_tables() {
 
   util::Table table({"n", "log*(n)", "CV rounds", "CV proper?",
                      "greedy rounds", "random rounds"});
-  const lang::ProperColoring lang3(3);
+  const auto lang3 = scenario::make_language("coloring", {{"colors", 3}});
+  const auto cole_vishkin = scenario::make_construction("cole-vishkin");
+  const auto greedy = scenario::make_construction("greedy-coloring");
+  local::WorkerArena arena;
+  local::TrialEnv env;
+  env.arena = &arena;
   for (graph::NodeId n : {8u, 64u, 512u, 4096u, 32768u}) {
-    const local::Instance inst = core::consecutive_ring(n);
-    const local::EngineResult cv =
-        algo::run_cole_vishkin(inst, util::floor_log2(n) + 1);
+    const local::Instance inst = scenario::build_instance("hard-ring", n);
+    local::Labeling colors;
+    const auto cv = cole_vishkin->run(inst, env, colors);
     std::string greedy_rounds = "-";
     if (n <= 512) {  // greedy is Theta(n) rounds; cap the quadratic work
-      const local::EngineResult greedy =
-          run_engine(inst, algo::GreedyColoringFactory{});
-      greedy_rounds = std::to_string(greedy.rounds);
+      local::Labeling greedy_colors;
+      greedy_rounds =
+          std::to_string(greedy->run(inst, env, greedy_colors).rounds);
     }
     table.new_row()
         .add_cell(std::uint64_t{n})
         .add_cell(util::log_star(n))
         .add_cell(cv.rounds)
-        .add_cell(lang3.contains(inst, cv.output) ? "yes" : "NO")
+        .add_cell(lang3->contains(inst, colors) ? "yes" : "NO")
         .add_cell(greedy_rounds)
         .add_cell(0);
   }
@@ -62,10 +65,14 @@ void print_tables() {
 
 void BM_ColeVishkin(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = core::consecutive_ring(n);
-  const int bits = util::floor_log2(n) + 1;
+  const local::Instance inst = scenario::build_instance("hard-ring", n);
+  const auto cole_vishkin = scenario::make_construction("cole-vishkin");
+  local::WorkerArena arena;
+  local::TrialEnv env;
+  env.arena = &arena;
+  local::Labeling colors;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(algo::run_cole_vishkin(inst, bits));
+    benchmark::DoNotOptimize(cole_vishkin->run(inst, env, colors).rounds);
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
@@ -73,10 +80,14 @@ BENCHMARK(BM_ColeVishkin)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_GreedyColoring(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = core::consecutive_ring(n);
+  const local::Instance inst = scenario::build_instance("hard-ring", n);
+  const auto greedy = scenario::make_construction("greedy-coloring");
+  local::WorkerArena arena;
+  local::TrialEnv env;
+  env.arena = &arena;
+  local::Labeling colors;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        run_engine(inst, algo::GreedyColoringFactory{}));
+    benchmark::DoNotOptimize(greedy->run(inst, env, colors).rounds);
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

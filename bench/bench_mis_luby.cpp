@@ -1,19 +1,17 @@
 // E10 — the non-constant-time contrast class (paper, section 1.3): MIS
 // and maximal matching need round counts that GROW with n; measured here
 // for Luby's algorithm (O(log n) expected), randomized matching, and the
-// greedy baseline (Theta(n) on consecutive rings).
+// greedy baseline (Theta(n) on consecutive rings). All components resolve
+// through the scenario registry; the Construction interface reports the
+// executed round count per trial.
 #include "bench_common.h"
 
 #include <cmath>
 
-#include "algo/greedy_by_id.h"
 #include "algo/luby_mis.h"
 #include "algo/rand_matching.h"
-#include "core/hard_instances.h"
-#include "graph/generators.h"
-#include "lang/matching.h"
-#include "lang/mis.h"
 #include "local/batch_runner.h"
+#include "scenario/registry.h"
 #include "stats/threadpool.h"
 
 namespace {
@@ -31,12 +29,15 @@ void print_tables() {
   util::Table table({"n", "log2(n)", "Luby rounds (mean)",
                      "matching rounds (mean)", "greedy rounds",
                      "Luby valid", "matching valid"});
-  const lang::MaximalIndependentSet mis;
-  const lang::MaximalMatching matching;
+  const auto mis = scenario::make_language("mis");
+  const auto matching = scenario::make_language("matching");
+  const auto luby = scenario::make_construction("luby-mis");
+  const auto rand_matching = scenario::make_construction("rand-matching");
+  const auto greedy = scenario::make_construction("greedy-mis");
   local::BatchRunner runner;
   for (graph::NodeId n : {64u, 256u, 1024u, 4096u}) {
-    const local::Instance inst = local::make_instance(
-        graph::cycle(n), ident::random_permutation(n, n));
+    const local::Instance inst =
+        scenario::build_instance("ring", n, {{"random-ids", 1}}, n);
     const std::uint64_t trials = 8;
     // Counter slots: [luby rounds, luby valid, matching rounds, matching
     // valid] — one engine-backed trial runs both algorithms on shared
@@ -45,19 +46,13 @@ void print_tables() {
     const auto counts = runner.run_counts(local::custom_count_plan(
         "mis-matching-rounds", trials, n, kSlots,
         [&](const local::TrialEnv& env, std::span<std::uint64_t> slots) {
-          const rand::PhiloxCoins coins = env.construction_coins();
-          local::EngineOptions options;
-          options.coins = &coins;
-          options.scratch = &env.arena->engine();
-          const local::EngineResult luby =
-              run_engine(inst, algo::LubyMisFactory{}, options);
-          slots[kLubyRounds] += static_cast<std::uint64_t>(luby.rounds);
-          slots[kLubyValid] += mis.contains(inst, luby.output) ? 1 : 0;
-          const local::EngineResult match =
-              run_engine(inst, algo::RandMatchingFactory{}, options);
-          slots[kMatchRounds] += static_cast<std::uint64_t>(match.rounds);
-          slots[kMatchValid] +=
-              matching.contains(inst, match.output) ? 1 : 0;
+          local::Labeling& output = env.arena->labeling();
+          const auto luby_run = luby->run(inst, env, output);
+          slots[kLubyRounds] += static_cast<std::uint64_t>(luby_run.rounds);
+          slots[kLubyValid] += mis->contains(inst, output) ? 1 : 0;
+          const auto match_run = rand_matching->run(inst, env, output);
+          slots[kMatchRounds] += static_cast<std::uint64_t>(match_run.rounds);
+          slots[kMatchValid] += matching->contains(inst, output) ? 1 : 0;
         }));
     const double luby_sum = static_cast<double>(counts[kLubyRounds]);
     const double match_sum = static_cast<double>(counts[kMatchRounds]);
@@ -65,9 +60,14 @@ void print_tables() {
     const bool match_ok = counts[kMatchValid] == trials;
     std::string greedy_rounds = "-";
     if (n <= 256) {
-      const local::Instance consecutive = core::consecutive_ring(n);
-      greedy_rounds = std::to_string(
-          run_engine(consecutive, algo::GreedyMisFactory{}).rounds);
+      const local::Instance consecutive =
+          scenario::build_instance("hard-ring", n);
+      local::WorkerArena arena;
+      local::TrialEnv env;
+      env.arena = &arena;
+      local::Labeling output;
+      greedy_rounds =
+          std::to_string(greedy->run(consecutive, env, output).rounds);
     }
     table.new_row()
         .add_cell(std::uint64_t{n})
@@ -83,8 +83,8 @@ void print_tables() {
 
 void BM_LubyMis(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = local::make_instance(
-      graph::cycle(n), ident::random_permutation(n, 3));
+  const local::Instance inst =
+      scenario::build_instance("ring", n, {{"random-ids", 1}}, 3);
   std::uint64_t seed = 0;
   for (auto _ : state) {
     const rand::PhiloxCoins coins(++seed, rand::Stream::kConstruction);
@@ -96,8 +96,8 @@ BENCHMARK(BM_LubyMis)->Arg(256)->Arg(2048);
 
 void BM_RandMatching(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = local::make_instance(
-      graph::cycle(n), ident::random_permutation(n, 4));
+  const local::Instance inst =
+      scenario::build_instance("ring", n, {{"random-ids", 1}}, 4);
   std::uint64_t seed = 0;
   for (auto _ : state) {
     const rand::PhiloxCoins coins(++seed, rand::Stream::kConstruction);

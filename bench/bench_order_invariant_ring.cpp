@@ -15,8 +15,8 @@
 #include "algo/order_invariant.h"
 #include "core/boost_params.h"
 #include "core/hard_instances.h"
-#include "lang/coloring.h"
 #include "local/runner.h"
+#include "scenario/registry.h"
 
 namespace {
 
@@ -29,8 +29,9 @@ struct SweepResult {
 };
 
 SweepResult sweep_all_t1_algorithms(graph::NodeId n) {
-  const local::Instance inst = core::consecutive_ring(n);
-  const lang::ProperColoring lang3(3);
+  const local::Instance inst = scenario::build_instance("hard-ring", n);
+  const auto language = scenario::make_language("coloring", {{"colors", 3}});
+  const lang::LclLanguage& lang3 = *scenario::lcl_core(*language);
   const auto tables = algo::enumerate_tables(3, 3, 0, 729);
   SweepResult result;
   result.min_same_color = n;

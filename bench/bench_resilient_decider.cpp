@@ -7,16 +7,15 @@
 //
 // Instances: consecutive rings with exactly k bad balls planted as k
 // isolated palette-overflow nodes (an out-of-range color makes the node's
-// own ball bad without touching its neighbors' balls).
+// own ball bad without touching its neighbors' balls). The ring is
+// interned and shared across samples; only the planted outputs vary.
 #include "bench_common.h"
 
 #include <cmath>
 
-#include "core/hard_instances.h"
 #include "decide/guarantee.h"
 #include "decide/resilient_decider.h"
-#include "lang/coloring.h"
-#include "lang/relax.h"
+#include "scenario/registry.h"
 #include "stats/threadpool.h"
 
 namespace {
@@ -28,8 +27,9 @@ using namespace lnc;
 decide::SampledConfiguration planted_configuration(graph::NodeId n,
                                                    std::size_t bad,
                                                    std::uint64_t seed) {
-  decide::SampledConfiguration sample{core::consecutive_ring(n),
-                                      local::Labeling(n)};
+  decide::SampledConfiguration sample;
+  sample.shared_instance = scenario::interned_instance("hard-ring", n);
+  sample.output.assign(n, 0);
   for (graph::NodeId v = 0; v < n; ++v) sample.output[v] = v % 2;
   if (n % 2 == 1) sample.output[n - 1] = 2;
   const graph::NodeId stride =
@@ -47,14 +47,16 @@ void print_tables() {
       "For each f: p in (2^{-1/f}, 2^{-1/(f+1)}); accept-on-yes ~ p^f and\n"
       "reject-on-no ~ 1 - p^{f+1}, both > 1/2 — so L_f is in BPLD.");
 
-  const lang::ProperColoring base(3);
+  const auto language = scenario::make_language("coloring", {{"colors", 3}});
+  const lang::LclLanguage& base = *scenario::lcl_core(*language);
   const graph::NodeId n = 64;
   const stats::ThreadPool pool;
 
   util::Table table({"f", "p", "acc|yes meas", "p^f theory",
                      "rej|no meas", "1-p^(f+1) theory", "both > 1/2?"});
   for (std::size_t f : {1u, 2u, 3u, 4u, 6u, 8u}) {
-    const decide::ResilientDecider decider(base, f);
+    const auto decider = scenario::make_decider(
+        "resilient", language.get(), {{"faults", static_cast<double>(f)}});
     decide::GuaranteeOptions options;
     options.trials = 6000;
     options.base_seed = 1000 + f;
@@ -66,8 +68,8 @@ void print_tables() {
       return planted_configuration(n, f + 1, seed);
     };
     const decide::GuaranteeReport report =
-        decide::measure_guarantee(decider, yes, no, options);
-    const double p = decider.p();
+        decide::measure_guarantee(*decider, yes, no, options);
+    const double p = decide::ResilientDecider::default_p(f);
     table.new_row()
         .add_cell(std::uint64_t{f})
         .add_cell(p, 4)
@@ -84,21 +86,22 @@ void print_tables() {
   for (std::size_t k : {1u, 2u, 4u, 8u}) {
     const auto sample = planted_configuration(n, k, 0);
     plant.new_row().add_cell(std::uint64_t{k}).add_cell(
-        std::uint64_t{base.count_bad_balls(sample.instance, sample.output)});
+        std::uint64_t{base.count_bad_balls(sample.inst(), sample.output)});
   }
   bench::print_table(plant);
 }
 
 void BM_ResilientDecide(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const lang::ProperColoring base(3);
-  const decide::ResilientDecider decider(base, 2);
+  const auto language = scenario::make_language("coloring", {{"colors", 3}});
+  const auto decider =
+      scenario::make_decider("resilient", language.get(), {{"faults", 2}});
   const auto sample = planted_configuration(n, 2, 0);
   std::uint64_t seed = 0;
   for (auto _ : state) {
     const rand::PhiloxCoins coins(++seed, rand::Stream::kDecision);
     benchmark::DoNotOptimize(
-        decide::evaluate(sample.instance, sample.output, decider, coins)
+        decide::evaluate(sample.inst(), sample.output, *decider, coins)
             .accepted);
   }
   state.SetItemsProcessed(state.iterations() * n);

@@ -9,17 +9,14 @@
 //    ~0 below, -> 1 above, with the transition narrowing as n grows —
 //    "with constant probability, a fraction 1-eps of the nodes are
 //    properly colored";
-//  * the contrast: NO deterministic order-invariant constant-round
-//    algorithm achieves any eps < 1 on consecutive rings (E5 covers the
-//    full enumeration; here we print the wrapped-greedy witness).
+//  * the open-problem n^c budgets between resilient (c=0) and slack (c=1).
+//
+// Every component resolves through the scenario registry; the tables are
+// the bench-specific part.
 #include "bench_common.h"
 
-#include "algo/rand_coloring.h"
-#include "core/hard_instances.h"
-#include "lang/coloring.h"
-#include "lang/relax.h"
 #include "local/experiment.h"
-#include "stats/summary.h"
+#include "scenario/registry.h"
 #include "stats/threadpool.h"
 
 namespace {
@@ -36,15 +33,19 @@ void print_tables() {
       "the eps-slack relaxation with probability -> 1 (randomization\n"
       "helps), while no fixed f budget survives growing n (E4/E6).");
 
-  const lang::ProperColoring base(3);
-  const algo::UniformRandomColoring coloring(3);
+  const auto language = scenario::make_language("coloring", {{"colors", 3}});
+  const lang::LclLanguage& base = *scenario::lcl_core(*language);
+  const auto construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
+  const local::RandomizedBallAlgorithm& coloring =
+      *construction->ball_algorithm();
   const stats::ThreadPool pool;
   local::BatchRunner runner(&pool);
 
   // Table 1: bad-ball fraction statistics vs n.
   util::Table frac({"n", "mean bad frac", "stddev", "theory 5/9"});
   for (graph::NodeId n : {30u, 100u, 300u, 1000u}) {
-    const local::Instance inst = core::consecutive_ring(n);
+    const local::Instance inst = scenario::build_instance("hard-ring", n);
     const stats::MeanEstimate mean =
         runner.run_mean(local::construction_value_plan(
             "bad-ball-fraction", inst, coloring,
@@ -68,13 +69,14 @@ void print_tables() {
   for (double eps : {0.35, 0.45, 0.50, 0.54, 0.57, 0.60, 0.70, 0.85}) {
     std::vector<double> prob;
     for (graph::NodeId n : {60u, 600u}) {
-      const local::Instance inst = core::consecutive_ring(n);
-      const lang::EpsSlack slack(base, eps);
+      const local::Instance inst = scenario::build_instance("hard-ring", n);
+      const auto slack = scenario::make_language(
+          "slack-coloring", {{"colors", 3}, {"eps", eps}});
       const stats::Estimate success = runner.run(local::construction_plan(
           "slack-success", inst, coloring,
           [&slack](const local::Instance& instance,
                    const local::Labeling& y) {
-            return slack.contains(instance, y);
+            return slack->contains(instance, y);
           },
           600, static_cast<std::uint64_t>(eps * 1e4) + n));
       prob.push_back(success.p_hat);
@@ -98,13 +100,14 @@ void print_tables() {
   for (double c : {0.0, 0.4, 0.7, 0.9, 1.0}) {
     poly.new_row().add_cell(c, 1);
     for (graph::NodeId n : {30u, 120u, 480u}) {
-      const local::Instance inst = core::consecutive_ring(n);
-      const lang::PolyResilient relaxed(base, c);
+      const local::Instance inst = scenario::build_instance("hard-ring", n);
+      const auto relaxed = scenario::make_language(
+          "poly-resilient-coloring", {{"colors", 3}, {"exponent", c}});
       const stats::Estimate ok = runner.run(local::construction_plan(
           "poly-resilient-ok", inst, coloring,
           [&relaxed](const local::Instance& instance,
                      const local::Labeling& y) {
-            return relaxed.contains(instance, y);
+            return relaxed->contains(instance, y);
           },
           400, static_cast<std::uint64_t>(c * 100) + n));
       poly.add_cell(ok.p_hat, 4);
@@ -115,8 +118,11 @@ void print_tables() {
 
 void BM_RandomColoring(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = core::consecutive_ring(n);
-  const algo::UniformRandomColoring coloring(3);
+  const local::Instance inst = scenario::build_instance("hard-ring", n);
+  const auto construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
+  const local::RandomizedBallAlgorithm& coloring =
+      *construction->ball_algorithm();
   std::uint64_t seed = 0;
   for (auto _ : state) {
     const rand::PhiloxCoins coins(++seed, rand::Stream::kConstruction);
@@ -129,11 +135,14 @@ BENCHMARK(BM_RandomColoring)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_CountBadBalls(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const local::Instance inst = core::consecutive_ring(n);
-  const lang::ProperColoring base(3);
+  const local::Instance inst = scenario::build_instance("hard-ring", n);
+  const auto language = scenario::make_language("coloring", {{"colors", 3}});
+  const lang::LclLanguage& base = *scenario::lcl_core(*language);
+  const auto construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
   const rand::PhiloxCoins coins(1, rand::Stream::kConstruction);
   const local::Labeling y = local::run_ball_algorithm(
-      inst, algo::UniformRandomColoring(3), coins);
+      inst, *construction->ball_algorithm(), coins);
   for (auto _ : state) {
     benchmark::DoNotOptimize(base.count_bad_balls(inst, y));
   }

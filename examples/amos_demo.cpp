@@ -7,14 +7,14 @@
 // reaches guarantee (sqrt(5)-1)/2 ~ 0.618: selected nodes accept with
 // probability p, everyone else always accepts. This program measures the
 // acceptance probability as the number of selected nodes grows, and shows
-// why the golden ratio balances the two error modes.
+// why the golden ratio balances the two error modes. The instance and the
+// decider come from the scenario registry.
 #include <cmath>
 #include <iostream>
 
-#include "decide/amos_decider.h"
 #include "decide/experiment_plans.h"
-#include "graph/generators.h"
 #include "lang/amos.h"
+#include "scenario/registry.h"
 #include "util/math.h"
 #include "util/table.h"
 
@@ -22,11 +22,11 @@ int main() {
   using namespace lnc;
 
   const graph::NodeId n = 30;
-  const local::Instance inst =
-      local::make_instance(graph::cycle(n), ident::consecutive(n));
-  const decide::AmosDecider decider;  // p = golden ratio
+  const local::Instance inst = scenario::build_instance("ring", n);
+  const auto decider = scenario::make_decider("amos", nullptr);
+  const double p_star = util::golden_ratio_guarantee();
 
-  std::cout << "amos decider with p = " << decider.p() << "\n"
+  std::cout << "amos decider with p = " << p_star << "\n"
             << "p solves p = 1 - p^2: both error modes equal "
             << util::golden_ratio_guarantee() << "\n\n";
 
@@ -39,13 +39,13 @@ int main() {
       output[static_cast<graph::NodeId>(i * 5)] = lang::Amos::kSelected;
     }
     const stats::Estimate accept = runner.run(decide::acceptance_plan(
-        "amos-accept", inst, output, decider, 20000,
+        "amos-accept", inst, output, *decider, 20000,
         static_cast<std::uint64_t>(s) + 1));
     table.new_row()
         .add_cell(s)
         .add_cell(s <= 1 ? "yes" : "no")
         .add_cell(accept.p_hat, 4)
-        .add_cell(std::pow(decider.p(), s), 4);
+        .add_cell(std::pow(p_star, s), 4);
   }
   table.print(std::cout);
   std::cout << "\nMembers are accepted with probability >= 0.618; already\n"

@@ -16,7 +16,6 @@
 #include <fstream>
 #include <iostream>
 
-#include "algo/rand_coloring.h"
 #include "core/boost_params.h"
 #include "core/critical_strings.h"
 #include "core/glue.h"
@@ -26,18 +25,24 @@
 #include "decide/experiment_plans.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
-#include "lang/coloring.h"
-#include "lang/relax.h"
+#include "scenario/registry.h"
 #include "util/table.h"
 
 int main() {
   using namespace lnc;
 
-  const lang::ProperColoring base(3);
-  const lang::FResilient relaxed(base, 1);
-  const algo::UniformRandomColoring coloring(3);
-  const decide::ResilientDecider decider(base, 1);
-  const double p = decider.p();
+  // Components by name: the same catalogue lnc_sweep exposes.
+  const auto base = scenario::make_language("coloring", {{"colors", 3}});
+  const auto relaxed = scenario::make_language(
+      "resilient-coloring", {{"colors", 3}, {"faults", 1}});
+  const auto construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
+  const local::RandomizedBallAlgorithm& coloring =
+      *construction->ball_algorithm();
+  const auto decider_ptr =
+      scenario::make_decider("resilient", base.get(), {{"faults", 1}});
+  const decide::RandomizedDecider& decider = *decider_ptr;
+  const double p = decide::ResilientDecider::default_p(1);
 
   core::BoostParameters params;
   params.p = p;
@@ -54,7 +59,7 @@ int main() {
   const std::size_t nu = 5;
   const auto parts = core::claim2_sequence(nu, params.min_diameter());
   const stats::Estimate beta =
-      core::estimate_beta(parts[0], coloring, relaxed, 1500, 3);
+      core::estimate_beta(parts[0], coloring, *relaxed, 1500, 3);
   params.beta = beta.p_hat;
   std::cout << "measured beta (Claim 2 floor): " << beta.p_hat << "\n";
 

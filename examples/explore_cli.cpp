@@ -1,143 +1,112 @@
-// explore_cli: run any (family, algorithm) combination from the command
-// line and print outputs, round counts, and verification verdicts — a
-// small driver for poking at the library without writing code.
+// explore_cli: run any registered (topology, construction) combination
+// from the command line and print outputs, round counts, and verification
+// verdicts — a small driver for poking at the library without writing
+// code. Components resolve from the scenario registry; `lnc_sweep --list`
+// prints the full catalogue of valid names.
 //
-//   usage: explore_cli <family> <n> <algorithm> [seed]
+//   usage: explore_cli <topology> <n> <construction> [seed] [language]
 //
-//   family    : ring | grid | tree | regular3 | hypercube | petersen
-//   algorithm : cv        Cole-Vishkin 3-coloring   (rings only)
-//               greedy    greedy (Delta+1)-coloring by identity
-//               luby      Luby's MIS
-//               matching  randomized maximal matching
-//               rand3     zero-round uniform 3-coloring
-//               mt        Moser-Tardos LLL resampling
+//   topology     : ring | hard-ring | grid | torus | hypercube | gnp |
+//                  random-regular | random-tree | binary-tree | petersen | ...
+//   construction : cole-vishkin | greedy-coloring | greedy-mis | luby-mis |
+//                  rand-matching | rand-coloring | weak-color-mc |
+//                  moser-tardos | select-id-below | ...
+//   language     : verification language (defaults to the construction's
+//                  natural target, e.g. luby-mis -> mis)
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "algo/cole_vishkin.h"
-#include "algo/greedy_by_id.h"
-#include "algo/luby_mis.h"
-#include "algo/moser_tardos.h"
-#include "algo/rand_coloring.h"
-#include "algo/rand_matching.h"
-#include "decide/evaluate.h"
-#include "decide/lcl_decider.h"
-#include "graph/generators.h"
 #include "graph/metrics.h"
-#include "lang/coloring.h"
-#include "lang/lll.h"
-#include "lang/matching.h"
-#include "lang/mis.h"
-#include "util/logstar.h"
+#include "rand/splitmix.h"
+#include "scenario/registry.h"
+#include "stats/montecarlo.h"
 
 namespace {
 
 using namespace lnc;
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: explore_cli <ring|grid|tree|regular3|hypercube|"
-               "petersen> <n> <cv|greedy|luby|matching|rand3|mt> [seed]\n";
+  std::cerr << "usage: explore_cli <topology> <n> <construction> [seed] "
+               "[language]\n       (run `lnc_sweep --list` for the "
+               "catalogue of registered names)\n";
   std::exit(2);
-}
-
-graph::Graph make_family(const std::string& family, graph::NodeId n,
-                         std::uint64_t seed) {
-  if (family == "ring") return graph::cycle(n);
-  if (family == "grid") {
-    graph::NodeId side = 1;
-    while ((side + 1) * (side + 1) <= n) ++side;
-    return graph::grid(side, side);
-  }
-  if (family == "tree") return graph::random_tree_bounded(n, 3, seed);
-  if (family == "regular3") return graph::random_regular(n, 3, seed);
-  if (family == "hypercube") {
-    int d = 1;
-    while ((graph::NodeId{1} << (d + 1)) <= n) ++d;
-    return graph::hypercube(d);
-  }
-  if (family == "petersen") return graph::petersen();
-  usage();
-}
-
-void report(const std::string& what, int rounds, bool valid,
-            const local::Instance& inst, const local::Labeling& output) {
-  std::cout << what << ": rounds = " << rounds
-            << ", valid = " << (valid ? "yes" : "NO") << "\n  output head:";
-  for (graph::NodeId v = 0; v < std::min<graph::NodeId>(12, inst.node_count());
-       ++v) {
-    std::cout << ' ' << output[v];
-  }
-  std::cout << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 4) usage();
-  const std::string family = argv[1];
-  const auto n = static_cast<graph::NodeId>(std::atoi(argv[2]));
-  const std::string algorithm = argv[3];
+  const std::string topology = argv[1];
+  const auto n = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  const std::string construction_name = argv[3];
   const std::uint64_t seed =
       argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
-  if (n < 3) usage();
 
-  graph::Graph g = make_family(family, n, seed);
-  const graph::NodeId actual_n = g.node_count();
-  local::Instance inst = local::make_instance(
-      std::move(g), ident::random_permutation(actual_n, seed));
+  const scenario::ConstructionEntry* construction_entry =
+      scenario::constructions().find(construction_name);
+  if (scenario::topologies().find(topology) == nullptr ||
+      construction_entry == nullptr) {
+    std::cerr << "unknown component name (run `lnc_sweep --list`)\n";
+    return 2;
+  }
 
-  std::cout << "family " << family << ": n = " << actual_n
+  std::string language_name;
+  if (argc > 5) {
+    language_name = argv[5];
+  } else if (!construction_entry->default_language.empty()) {
+    language_name = construction_entry->default_language;
+  } else {
+    std::cerr << "no default language for '" << construction_name
+              << "'; pass one explicitly\n";
+    return 2;
+  }
+  if (scenario::languages().find(language_name) == nullptr) {
+    std::cerr << "unknown language '" << language_name
+              << "' (run `lnc_sweep --list`)\n";
+    return 2;
+  }
+  if (construction_entry->ring_only &&
+      !scenario::is_canonical_ring(topology)) {
+    std::cerr << construction_name
+              << " requires the canonical ring topology\n";
+    return 2;
+  }
+
+  const local::Instance inst =
+      scenario::build_instance(topology, n, {}, seed);
+  std::cout << "topology " << topology << ": n = " << inst.node_count()
             << ", m = " << inst.g.edge_count()
             << ", max degree = " << inst.g.max_degree()
             << ", diameter = " << graph::diameter(inst.g) << "\n";
 
-  const rand::PhiloxCoins coins(seed, rand::Stream::kConstruction);
-
-  if (algorithm == "cv") {
-    if (family != "ring") {
-      std::cerr << "cv needs the ring family\n";
-      return 2;
-    }
-    // Cole-Vishkin needs the canonical orientation: rebuild consecutive.
-    inst = local::make_instance(graph::cycle(actual_n),
-                                ident::random_permutation(actual_n, seed));
-    const local::EngineResult r =
-        algo::run_cole_vishkin(inst, util::floor_log2(actual_n) + 1);
-    report("cole-vishkin", r.rounds,
-           lang::ProperColoring(3).contains(inst, r.output), inst, r.output);
-  } else if (algorithm == "greedy") {
-    const local::EngineResult r =
-        run_engine(inst, algo::GreedyColoringFactory{});
-    report("greedy coloring", r.rounds,
-           lang::ProperColoring(static_cast<int>(inst.g.max_degree()) + 1)
-               .contains(inst, r.output),
-           inst, r.output);
-  } else if (algorithm == "luby") {
-    const local::EngineResult r = algo::run_luby_mis(inst, coins);
-    report("luby mis", r.rounds,
-           lang::MaximalIndependentSet{}.contains(inst, r.output), inst,
-           r.output);
-  } else if (algorithm == "matching") {
-    const local::EngineResult r = algo::run_rand_matching(inst, coins);
-    report("rand matching", r.rounds,
-           lang::MaximalMatching{}.contains(inst, r.output), inst, r.output);
-  } else if (algorithm == "rand3") {
-    const local::Labeling y = local::run_ball_algorithm(
-        inst, algo::UniformRandomColoring(3), coins);
-    const std::size_t bad =
-        lang::ProperColoring(3).count_bad_balls(inst, y);
-    report("uniform random 3-coloring", 0, bad == 0, inst, y);
-    std::cout << "  bad balls: " << bad << " of " << actual_n << "\n";
-  } else if (algorithm == "mt") {
-    const algo::MoserTardosResult r = algo::run_moser_tardos(inst, coins);
-    report("moser-tardos", 4 * r.phases,
-           r.success && lang::LllAvoidance{}.contains(inst, r.assignment),
-           inst, r.assignment);
-    std::cout << "  phases: " << r.phases
-              << ", resamplings: " << r.total_resamplings << "\n";
-  } else {
-    usage();
+  // (Delta+1)-coloring needs an instance-dependent palette.
+  scenario::ParamMap language_params;
+  if (construction_name == "greedy-coloring") {
+    language_params["colors"] =
+        static_cast<double>(inst.g.max_degree()) + 1;
   }
-  return 0;
+  const auto language =
+      scenario::make_language(language_name, language_params);
+  const auto construction =
+      scenario::make_construction(construction_name);
+
+  // One trial with the standard seed derivation, exactly as a sweep's
+  // trial 0 would run it.
+  local::WorkerArena arena;
+  local::TrialEnv env;
+  env.index = 0;
+  env.seed = stats::trial_seed(seed, 0);
+  env.arena = &arena;
+  local::Labeling output;
+  const auto outcome = construction->run(inst, env, output);
+  const bool valid = language->contains(inst, output);
+
+  std::cout << construction->name() << ": rounds = " << outcome.rounds
+            << ", in " << language->name() << " = " << (valid ? "yes" : "NO")
+            << "\n  output head:";
+  const auto head = std::min<graph::NodeId>(12, inst.node_count());
+  for (graph::NodeId v = 0; v < head; ++v) std::cout << ' ' << output[v];
+  std::cout << "\n";
+  return valid ? 0 : 1;
 }

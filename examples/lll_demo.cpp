@@ -4,60 +4,59 @@
 //
 // The LLL system: each node holds a bit; the bad event at v fires when all
 // of N[v] agree. The demo (1) checks the symmetric LLL condition across
-// graph families, (2) constructs satisfying assignments by distributed
-// Moser-Tardos resampling, and (3) shows the f-resilient face from the
-// paper's section 4: on consecutive-identity rings, order-invariant
-// algorithms cannot keep the number of fired events below any fixed f.
+// graph families from the topology registry, (2) constructs satisfying
+// assignments by the registered Moser-Tardos construction, and (3) shows
+// the f-resilient face from the paper's section 4: on consecutive-identity
+// rings, order-invariant algorithms cannot keep the number of fired events
+// below any fixed f.
 #include <iostream>
 
-#include "algo/moser_tardos.h"
 #include "algo/order_invariant.h"
-#include "core/hard_instances.h"
-#include "graph/generators.h"
 #include "lang/lll.h"
+#include "local/runner.h"
+#include "scenario/registry.h"
+#include "stats/montecarlo.h"
 #include "util/table.h"
 
 int main() {
   using namespace lnc;
-  const lang::LllAvoidance lll;
+  const auto language = scenario::make_language("lll-avoidance");
+  const lang::LclLanguage& lll = *scenario::lcl_core(*language);
+  const auto moser_tardos = scenario::make_construction("moser-tardos");
 
-  util::Table table({"graph", "condition", "phases", "resamplings",
-                     "satisfied?"});
+  util::Table table({"graph", "condition", "rounds", "satisfied?"});
   struct Family {
     std::string name;
     local::Instance inst;
   };
   std::vector<Family> families;
-  families.push_back({"hypercube d=8",
-                      local::make_instance(graph::hypercube(8),
-                                           ident::random_permutation(256, 1))});
+  families.push_back(
+      {"hypercube d=8", scenario::build_instance("hypercube", 256, {}, 1)});
   families.push_back(
       {"random 5-regular n=200",
-       local::make_instance(graph::random_regular(200, 5, 2),
-                            ident::random_permutation(200, 2))});
-  families.push_back({"ring n=48", core::consecutive_ring(48)});
+       scenario::build_instance("random-regular", 200, {{"degree", 5}}, 2)});
+  families.push_back({"ring n=48", scenario::build_instance("hard-ring", 48)});
+  local::WorkerArena arena;
   for (const Family& family : families) {
-    const rand::PhiloxCoins coins(42, rand::Stream::kConstruction);
-    const algo::MoserTardosResult result =
-        algo::run_moser_tardos(family.inst, coins, 100000);
+    local::TrialEnv env;
+    env.seed = stats::trial_seed(42, 0);
+    env.arena = &arena;
+    local::Labeling assignment;
+    const auto outcome = moser_tardos->run(family.inst, env, assignment);
     table.new_row()
         .add_cell(family.name)
         .add_cell(lang::LllAvoidance::lll_condition_holds(family.inst.g)
                       ? "holds"
                       : "fails")
-        .add_cell(result.phases)
-        .add_cell(std::uint64_t{result.total_resamplings})
-        .add_cell(result.success &&
-                          lll.contains(family.inst, result.assignment)
-                      ? "yes"
-                      : "no");
+        .add_cell(outcome.rounds)
+        .add_cell(lll.contains(family.inst, assignment) ? "yes" : "no");
   }
   table.print(std::cout);
 
   // The f-resilient face: every 1-round order-invariant binary algorithm
   // on the consecutive ring fires ~n events.
   const graph::NodeId n = 64;
-  const local::Instance ring = core::consecutive_ring(n);
+  const local::Instance ring = scenario::build_instance("hard-ring", n);
   const auto tables = algo::enumerate_tables(3, 2, 0, 64);
   std::size_t best = n;
   for (const auto& t : tables) {

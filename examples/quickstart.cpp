@@ -1,5 +1,6 @@
 // Quickstart: build a network, run a LOCAL construction algorithm, verify
-// the result with a local decider — the library's core loop in ~40 lines.
+// the result with a local decider — the library's core loop in ~40 lines,
+// with every component resolved by name from the scenario registry.
 //
 //   $ ./quickstart [n]
 //
@@ -9,12 +10,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "algo/cole_vishkin.h"
 #include "decide/evaluate.h"
-#include "decide/lcl_decider.h"
-#include "graph/generators.h"
-#include "lang/coloring.h"
-#include "local/instance.h"
+#include "scenario/registry.h"
 #include "util/logstar.h"
 
 int main(int argc, char** argv) {
@@ -25,27 +22,31 @@ int main(int argc, char** argv) {
 
   // An instance is (G, x, id): here the cycle C_n, no inputs, and the
   // consecutive identity assignment 1..n (the paper's hard case).
-  const local::Instance inst =
-      local::make_instance(graph::cycle(n), ident::consecutive(n));
+  const local::Instance inst = scenario::build_instance("ring", n);
 
   // Construct: Cole-Vishkin 3-coloring; the engine counts rounds.
-  const local::EngineResult result =
-      algo::run_cole_vishkin(inst, util::floor_log2(n) + 1);
+  const auto cole_vishkin = scenario::make_construction("cole-vishkin");
+  local::WorkerArena arena;
+  local::TrialEnv env;
+  env.arena = &arena;
+  local::Labeling colors;
+  const auto run = cole_vishkin->run(inst, env, colors);
 
   // Decide: the radius-1 LD decider for proper 3-coloring.
-  const lang::ProperColoring language(3);
-  const decide::LclDecider decider(language);
+  const auto language = scenario::make_language("coloring", {{"colors", 3}});
+  const auto decider = scenario::make_decider("lcl", language.get());
+  const rand::PhiloxCoins no_coins(0, rand::Stream::kDecision);
   const decide::DecisionOutcome verdict =
-      decide::evaluate(inst, result.output, decider);
+      decide::evaluate(inst, colors, *decider, no_coins);
 
   std::cout << "ring size        : " << n << "\n"
             << "log*(n)          : " << util::log_star(n) << "\n"
-            << "rounds used      : " << result.rounds << "\n"
+            << "rounds used      : " << run.rounds << "\n"
             << "properly colored : " << (verdict.accepted ? "yes" : "no")
             << "\n"
             << "first ten colors : ";
   for (graph::NodeId v = 0; v < std::min<graph::NodeId>(10, n); ++v) {
-    std::cout << result.output[v] << ' ';
+    std::cout << colors[v] << ' ';
   }
   std::cout << "\n";
   return verdict.accepted ? 0 : 1;

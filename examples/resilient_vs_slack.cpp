@@ -9,24 +9,25 @@
 //     and Theorem 1 says no other constant-round Monte-Carlo algorithm
 //     can do better, because the f-resilient language is in BPLD (the
 //     Corollary-1 decider) while eps-slack is only in BPLD#node.
+// All components come from the scenario registry.
 #include <iostream>
 
-#include "algo/rand_coloring.h"
-#include "core/hard_instances.h"
-#include "decide/resilient_decider.h"
 #include "decide/evaluate.h"
-#include "lang/coloring.h"
-#include "lang/relax.h"
 #include "local/experiment.h"
+#include "scenario/registry.h"
 #include "util/table.h"
 
 int main() {
   using namespace lnc;
 
-  const lang::ProperColoring base(3);
-  const algo::UniformRandomColoring coloring(3);
   const double eps = 0.65;      // above the 5/9 threshold
-  const std::size_t faults = 4; // any fixed budget loses eventually
+  const double faults = 4;      // any fixed budget loses eventually
+
+  const auto base = scenario::make_language("coloring", {{"colors", 3}});
+  const auto construction =
+      scenario::make_construction("rand-coloring", {{"colors", 3}});
+  const local::RandomizedBallAlgorithm& coloring =
+      *construction->ball_algorithm();
 
   std::cout << "zero-round uniform 3-coloring vs two relaxations of ring\n"
             << "3-coloring: slack(eps=0.65) and 4-resilient.\n\n";
@@ -35,23 +36,26 @@ int main() {
   util::Table table({"n", "Pr[slack ok]", "Pr[resilient ok]",
                      "Pr[decider catches failure]"});
   for (graph::NodeId n : {20u, 60u, 180u, 540u}) {
-    const local::Instance inst = core::consecutive_ring(n);
-    const lang::EpsSlack slack(base, eps);
-    const lang::FResilient resilient(base, faults);
-    const decide::ResilientDecider decider(base, faults);
+    const local::Instance inst = scenario::build_instance("hard-ring", n);
+    const auto slack = scenario::make_language(
+        "slack-coloring", {{"colors", 3}, {"eps", eps}});
+    const auto resilient = scenario::make_language(
+        "resilient-coloring", {{"colors", 3}, {"faults", faults}});
+    const auto decider =
+        scenario::make_decider("resilient", base.get(), {{"faults", faults}});
 
     const stats::Estimate slack_ok = runner.run(local::construction_plan(
         "slack-ok", inst, coloring,
         [&slack](const local::Instance& instance,
                  const local::Labeling& y) {
-          return slack.contains(instance, y);
+          return slack->contains(instance, y);
         },
         800, n));
     const stats::Estimate resilient_ok = runner.run(local::construction_plan(
         "resilient-ok", inst, coloring,
         [&resilient](const local::Instance& instance,
                      const local::Labeling& y) {
-          return resilient.contains(instance, y);
+          return resilient->contains(instance, y);
         },
         800, n + 1));
     // Caught = C misses the relaxation AND D notices — a bespoke trial
@@ -62,8 +66,8 @@ int main() {
           const rand::PhiloxCoins d = env.decision_coins();
           local::Labeling& y = env.arena->labeling();
           local::run_ball_algorithm_into(inst, coloring, c, y);
-          if (resilient.contains(inst, y)) return false;
-          return !decide::evaluate(inst, y, decider, d).accepted;
+          if (resilient->contains(inst, y)) return false;
+          return !decide::evaluate(inst, y, *decider, d).accepted;
         }));
     table.new_row()
         .add_cell(std::uint64_t{n})

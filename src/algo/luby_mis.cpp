@@ -71,6 +71,13 @@ class LubyProgram final : public local::NodeProgram {
 
   local::Label output() const override { return status_ == kIn ? 1 : 0; }
 
+  /// Back to the pre-init() state (init reassigns rng and id).
+  void reset() noexcept {
+    draw_ = 0;
+    joining_ = false;
+    status_ = kUndecided;
+  }
+
  private:
   rand::NodeRng* rng_ = nullptr;
   std::uint64_t id_ = 0;
@@ -83,6 +90,13 @@ class LubyProgram final : public local::NodeProgram {
 
 std::unique_ptr<local::NodeProgram> LubyMisFactory::create() const {
   return std::make_unique<LubyProgram>();
+}
+
+bool LubyMisFactory::recreate(local::NodeProgram& program) const {
+  auto* luby = dynamic_cast<LubyProgram*>(&program);
+  if (luby == nullptr) return false;
+  luby->reset();
+  return true;
 }
 
 local::EngineResult run_luby_mis(const local::Instance& inst,

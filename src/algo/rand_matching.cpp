@@ -99,6 +99,17 @@ class MatchingProgram final : public local::NodeProgram {
 
   local::Label output() const override { return matched_ ? mate_id_ : 0; }
 
+  /// Back to the pre-init() state (init reassigns rng/id/degree/buffers).
+  void reset() noexcept {
+    ids_known_ = false;
+    matched_ = false;
+    role_ = kRoleListener;
+    mate_id_ = 0;
+    proposal_target_ = 0;
+    accepted_proposer_ = 0;
+    draw_ = 0;
+  }
+
  private:
   /// Uniform random available neighbor's identity (0 when none, and in the
   /// very first phase while neighbor identities are still unknown).
@@ -131,6 +142,13 @@ class MatchingProgram final : public local::NodeProgram {
 
 std::unique_ptr<local::NodeProgram> RandMatchingFactory::create() const {
   return std::make_unique<MatchingProgram>();
+}
+
+bool RandMatchingFactory::recreate(local::NodeProgram& program) const {
+  auto* matching = dynamic_cast<MatchingProgram*>(&program);
+  if (matching == nullptr) return false;
+  matching->reset();
+  return true;
 }
 
 local::EngineResult run_rand_matching(const local::Instance& inst,

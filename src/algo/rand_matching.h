@@ -14,6 +14,7 @@ class RandMatchingFactory final : public local::NodeProgramFactory {
  public:
   std::string name() const override { return "rand-matching"; }
   std::unique_ptr<local::NodeProgram> create() const override;
+  bool recreate(local::NodeProgram& program) const override;
 };
 
 local::EngineResult run_rand_matching(const local::Instance& inst,

@@ -37,6 +37,10 @@ class WeakColorProgram final : public local::NodeProgram {
 
   local::Label output() const override { return bit_; }
 
+  /// Recyclable iff configured for the same round count (init reassigns
+  /// the rng and resamples the bit; nothing else carries state).
+  bool reset(int total_rounds) noexcept { return total_rounds == total_rounds_; }
+
  private:
   int total_rounds_;
   rand::NodeRng* rng_ = nullptr;
@@ -56,6 +60,11 @@ std::string WeakColorMcFactory::name() const {
 
 std::unique_ptr<local::NodeProgram> WeakColorMcFactory::create() const {
   return std::make_unique<WeakColorProgram>(fixup_rounds_);
+}
+
+bool WeakColorMcFactory::recreate(local::NodeProgram& program) const {
+  auto* weak = dynamic_cast<WeakColorProgram*>(&program);
+  return weak != nullptr && weak->reset(fixup_rounds_ + 1);
 }
 
 local::EngineResult run_weak_color_mc(const local::Instance& inst,

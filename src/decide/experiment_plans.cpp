@@ -1,5 +1,7 @@
 #include "decide/experiment_plans.h"
 
+#include <atomic>
+#include <cstdint>
 #include <utility>
 
 namespace lnc::decide {
@@ -58,12 +60,29 @@ local::ExperimentPlan guarantee_side_plan(
   plan.name = std::move(name);
   plan.trials = trials;
   plan.base_seed = base_seed;
-  plan.success_trial = [&sampler, &decider, want_accept,
+  // Cache-owner token: unique per plan object, NOT the sampler's address —
+  // a stack/loop-local sampler can be freed and a different sampler can
+  // land at the same address, which would otherwise replay a stale cached
+  // configuration on a warm runner.
+  static std::atomic<std::uintptr_t> next_owner_token{1};
+  const std::uintptr_t owner_token =
+      next_owner_token.fetch_add(1, std::memory_order_relaxed);
+  plan.success_trial = [&sampler, owner_token, &decider, want_accept,
                         options](const local::TrialEnv& env) {
-    const SampledConfiguration sample = sampler(env.sample_seed());
+    // The sample lives in the worker arena: its instance/output capacity
+    // persists across trials, and an exact (plan, seed) repeat — e.g.
+    // re-running a plan on a warm runner — skips resampling entirely.
+    local::WorkerArena& arena = *env.arena;
+    const auto* owner = reinterpret_cast<const void*>(owner_token);
+    const std::uint64_t seed = env.sample_seed();
+    local::SampledConfiguration& sample = arena.sample_slot();
+    if (!arena.sample_matches(owner, seed)) {
+      sample = sampler(seed);
+      arena.note_sample(owner, seed);
+    }
     const rand::PhiloxCoins coins = env.decision_coins();
     const DecisionOutcome outcome =
-        evaluate(sample.instance, sample.output, decider, coins, options);
+        evaluate(sample.inst(), sample.output, decider, coins, options);
     return outcome.accepted == want_accept;
   };
   return plan;

@@ -7,17 +7,17 @@
 #include <functional>
 
 #include "decide/evaluate.h"
+#include "local/batch_runner.h"
 #include "stats/montecarlo.h"
 
 namespace lnc::decide {
 
 /// A configuration sampler: produces (instance, output) pairs; `seed`
 /// controls any randomness in the sample. The sampler owns the storage via
-/// the returned struct.
-struct SampledConfiguration {
-  local::Instance instance;
-  local::Labeling output;
-};
+/// the returned struct. Samplers with a fixed topology should set
+/// `shared_instance` to an interned instance (scenario/registry.h) so the
+/// per-trial sample only rebuilds the output labeling.
+using SampledConfiguration = local::SampledConfiguration;
 using ConfigurationSampler =
     std::function<SampledConfiguration(std::uint64_t seed)>;
 

@@ -1,5 +1,7 @@
 #include "local/batch_runner.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace lnc::local {
@@ -39,6 +41,27 @@ ExperimentPlan custom_count_plan(
   return plan;
 }
 
+TrialRange shard_range(std::uint64_t trials, unsigned shard,
+                       unsigned shard_count) {
+  LNC_EXPECTS(shard_count > 0 && shard < shard_count);
+  const std::uint64_t base = trials / shard_count;
+  const std::uint64_t remainder = trials % shard_count;
+  const std::uint64_t begin =
+      shard * base + std::min<std::uint64_t>(shard, remainder);
+  const std::uint64_t length = base + (shard < remainder ? 1 : 0);
+  return {begin, begin + length};
+}
+
+stats::Estimate merge_tallies(std::span<const ShardTally> tallies) {
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+  for (const ShardTally& tally : tallies) {
+    successes += tally.successes;
+    trials += tally.trials;
+  }
+  return stats::finalize_estimate(successes, trials);
+}
+
 BatchRunner::BatchRunner(const stats::ThreadPool* pool) : pool_(pool) {
   arenas_.resize(worker_count());
 }
@@ -48,8 +71,10 @@ unsigned BatchRunner::worker_count() const noexcept {
 }
 
 template <typename Body>
-void BatchRunner::for_each_trial(const ExperimentPlan& plan, Body&& body) {
-  auto invoke = [&](unsigned worker, std::uint64_t i) {
+void BatchRunner::for_each_trial(const ExperimentPlan& plan, TrialRange range,
+                                 Body&& body) {
+  auto invoke = [&](unsigned worker, std::uint64_t offset) {
+    const std::uint64_t i = range.begin + offset;
     TrialEnv env;
     env.index = i;
     env.seed = stats::trial_seed(plan.base_seed, i);
@@ -57,19 +82,26 @@ void BatchRunner::for_each_trial(const ExperimentPlan& plan, Body&& body) {
     body(worker, env);
   };
   if (pool_ != nullptr) {
-    pool_->parallel_for_workers(plan.trials, invoke);
+    pool_->parallel_for_workers(range.count(), invoke);
   } else {
-    for (std::uint64_t i = 0; i < plan.trials; ++i) invoke(0, i);
+    for (std::uint64_t i = 0; i < range.count(); ++i) invoke(0, i);
   }
 }
 
 stats::Estimate BatchRunner::run(const ExperimentPlan& plan) {
+  const ShardTally tally = run_shard(plan, {0, plan.trials});
+  return stats::finalize_estimate(tally.successes, tally.trials);
+}
+
+ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
+                                  TrialRange range) {
   LNC_EXPECTS(plan.success_trial != nullptr);
+  LNC_EXPECTS(range.begin <= range.end && range.end <= plan.trials);
   std::vector<stats::WorkerCounter> tallies(worker_count());
-  for_each_trial(plan, [&](unsigned worker, const TrialEnv& env) {
+  for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
     if (plan.success_trial(env)) ++tallies[worker].value;
   });
-  return stats::finalize_estimate(stats::sum_counters(tallies), plan.trials);
+  return {stats::sum_counters(tallies), range.count()};
 }
 
 stats::MeanEstimate BatchRunner::run_mean(const ExperimentPlan& plan) {
@@ -77,9 +109,10 @@ stats::MeanEstimate BatchRunner::run_mean(const ExperimentPlan& plan) {
   // Values land at their trial index: the reduction sees them in trial
   // order regardless of which worker produced which value.
   std::vector<double> values(plan.trials);
-  for_each_trial(plan, [&](unsigned, const TrialEnv& env) {
-    values[env.index] = plan.value_trial(env);
-  });
+  for_each_trial(plan, {0, plan.trials},
+                 [&](unsigned, const TrialEnv& env) {
+                   values[env.index] = plan.value_trial(env);
+                 });
   return stats::finalize_mean(values);
 }
 
@@ -88,9 +121,10 @@ std::vector<std::uint64_t> BatchRunner::run_counts(const ExperimentPlan& plan) {
   const unsigned workers = worker_count();
   std::vector<std::vector<std::uint64_t>> slots(
       workers, std::vector<std::uint64_t>(plan.counters, 0));
-  for_each_trial(plan, [&](unsigned worker, const TrialEnv& env) {
-    plan.count_trial(env, slots[worker]);
-  });
+  for_each_trial(plan, {0, plan.trials},
+                 [&](unsigned worker, const TrialEnv& env) {
+                   plan.count_trial(env, slots[worker]);
+                 });
   std::vector<std::uint64_t> total(plan.counters, 0);
   for (const auto& worker_slots : slots) {
     for (std::size_t j = 0; j < plan.counters; ++j) {

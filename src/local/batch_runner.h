@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,6 +35,21 @@
 
 namespace lnc::local {
 
+/// A sampled input-output configuration — the storage unit of plans that
+/// draw a fresh (instance, output) per trial (decide/guarantee.h samplers).
+/// Samplers whose topology is fixed across trials set `shared_instance` to
+/// an interned instance (scenario/registry.h) and only refill `output`;
+/// consumers read the instance through inst().
+struct SampledConfiguration {
+  Instance instance;  ///< owned storage (used when shared_instance is null)
+  Labeling output;
+  std::shared_ptr<const Instance> shared_instance;
+
+  const Instance& inst() const noexcept {
+    return shared_instance != nullptr ? *shared_instance : instance;
+  }
+};
+
 /// Per-worker reusable scratch: engine arenas, a labeling buffer, and
 /// knowledge tables survive from one trial to the next, so the steady-state
 /// trial allocates (almost) nothing. Not thread-safe; the runner hands each
@@ -44,10 +60,31 @@ class WorkerArena {
   Labeling& labeling() noexcept { return labeling_; }
   std::vector<Knowledge>& knowledge() noexcept { return knowledge_; }
 
+  /// Per-worker sampled-configuration cache. Sampling plans keep their
+  /// sample in this slot so instance/output capacity persists across
+  /// trials, and an exact (owner, seed) repeat skips resampling entirely.
+  /// `owner` disambiguates plans sharing a runner — use a token minted
+  /// uniquely per plan (see guarantee_side_plan), NOT the address of a
+  /// sampler or other short-lived object: a freed address can be reused
+  /// by a different plan, which would replay a stale configuration.
+  SampledConfiguration& sample_slot() noexcept { return sample_; }
+  bool sample_matches(const void* owner, std::uint64_t seed) const noexcept {
+    return sample_valid_ && sample_owner_ == owner && sample_seed_ == seed;
+  }
+  void note_sample(const void* owner, std::uint64_t seed) noexcept {
+    sample_valid_ = true;
+    sample_owner_ = owner;
+    sample_seed_ = seed;
+  }
+
  private:
   EngineScratch engine_;
   Labeling labeling_;
   std::vector<Knowledge> knowledge_;
+  SampledConfiguration sample_;
+  const void* sample_owner_ = nullptr;
+  std::uint64_t sample_seed_ = 0;
+  bool sample_valid_ = false;
 };
 
 /// Standard per-trial seed-derivation tags. Keeping them in one place is
@@ -117,6 +154,34 @@ ExperimentPlan custom_count_plan(
     std::size_t counters,
     std::function<void(const TrialEnv&, std::span<std::uint64_t>)> trial);
 
+/// A contiguous trial-index subrange [begin, end) of a plan — the unit of
+/// cross-process sharding. Per-trial seeds are pure functions of the trial
+/// index, so executing a plan as any partition of ranges and summing the
+/// tallies is bit-identical to one full run.
+struct TrialRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t count() const noexcept { return end - begin; }
+};
+
+/// The range of shard `shard` out of `shard_count` near-equal contiguous
+/// shards of [0, trials) (earlier shards take the remainder). Requires
+/// shard < shard_count.
+TrialRange shard_range(std::uint64_t trials, unsigned shard,
+                       unsigned shard_count);
+
+/// Raw success tally of one executed trial range.
+struct ShardTally {
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;  ///< trials executed in this range
+};
+
+/// Sums shard tallies into a full-plan estimate. Bit-identical to
+/// BatchRunner::run on the whole plan whenever the tallies came from a
+/// partition of [0, plan.trials).
+stats::Estimate merge_tallies(std::span<const ShardTally> tallies);
+
 /// Executes ExperimentPlans. Arenas persist across run() calls, so a
 /// runner reused for a sweep keeps its scratch warm. Not thread-safe;
 /// use one runner per caller thread.
@@ -130,6 +195,10 @@ class BatchRunner {
   /// Runs a success_trial plan; Wilson-interval estimate of Pr[success].
   stats::Estimate run(const ExperimentPlan& plan);
 
+  /// Runs only the trials of a success_trial plan inside `range` —
+  /// one shard of a cross-process run. Merge with merge_tallies.
+  ShardTally run_shard(const ExperimentPlan& plan, TrialRange range);
+
   /// Runs a value_trial plan.
   stats::MeanEstimate run_mean(const ExperimentPlan& plan);
 
@@ -138,7 +207,8 @@ class BatchRunner {
 
  private:
   template <typename Body>
-  void for_each_trial(const ExperimentPlan& plan, Body&& body);
+  void for_each_trial(const ExperimentPlan& plan, TrialRange range,
+                      Body&& body);
 
   const stats::ThreadPool* pool_;
   std::vector<WorkerArena> arenas_;

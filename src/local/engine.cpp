@@ -48,6 +48,12 @@ EngineResult run_engine(const Instance& inst,
   EngineScratch& s =
       options.scratch != nullptr ? *options.scratch : local_scratch;
 
+  // Program recycling: retained programs from a previous run on this
+  // scratch may be reset in place when the SAME factory runs again and
+  // opts in via recreate() — the per-trial hot path then allocates no
+  // programs at all.
+  const bool may_recycle = s.last_factory_ == &factory &&
+                           s.last_factory_name_ == factory.name();
   s.programs_.resize(n);
   s.halted_.assign(n, 0);
   s.rngs_.clear();
@@ -58,7 +64,9 @@ EngineResult run_engine(const Instance& inst,
   }
 
   for (graph::NodeId v = 0; v < n; ++v) {
-    s.programs_[v] = factory.create();
+    const bool recycled = may_recycle && s.programs_[v] != nullptr &&
+                          factory.recreate(*s.programs_[v]);
+    if (!recycled) s.programs_[v] = factory.create();
     NodeEnv env;
     env.id = inst.ids[v];
     env.input = inst.input_of(v);
@@ -71,6 +79,8 @@ EngineResult run_engine(const Instance& inst,
     }
     s.halted_[v] = s.programs_[v]->init(env) ? 1 : 0;
   }
+  s.last_factory_ = &factory;
+  s.last_factory_name_ = factory.name();
 
   auto all_halted = [&]() {
     return std::all_of(s.halted_.begin(), s.halted_.end(),

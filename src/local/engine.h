@@ -170,6 +170,17 @@ class NodeProgramFactory {
   virtual ~NodeProgramFactory() = default;
   virtual std::string name() const = 0;
   virtual std::unique_ptr<NodeProgram> create() const = 0;
+
+  /// Opt-in program recycling: reset `program` — an instance this factory
+  /// created earlier — back to its pre-init() state and return true, or
+  /// return false when it cannot be recycled (wrong type/configuration),
+  /// in which case the engine falls back to create(). init() runs
+  /// afterwards either way. Implementing this lets the batched Monte-Carlo
+  /// path skip n heap allocations per trial.
+  virtual bool recreate(NodeProgram& program) const {
+    (void)program;
+    return false;
+  }
 };
 
 struct EngineOptions;
@@ -196,6 +207,11 @@ class EngineScratch {
   std::vector<rand::NodeRng> rngs_;  // contiguous; reserve() keeps ptrs stable
   std::vector<char> halted_;
   MessageStore store_;
+  // Which factory populated programs_ — recycling is only attempted when
+  // the same factory (by address AND name, to survive address reuse) runs
+  // again on this scratch.
+  const NodeProgramFactory* last_factory_ = nullptr;
+  std::string last_factory_name_;
 };
 
 struct EngineOptions {

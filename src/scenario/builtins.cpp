@@ -1,0 +1,660 @@
+// The built-in component catalogue: every topology family, language,
+// construction algorithm, and decider the repo implements, registered
+// under stable string names so scenarios (and the lnc_sweep CLI) can
+// reference them as data. Adding a component here makes it available to
+// every preset, spec file, and bench binary at once.
+#include "scenario/builtins.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "algo/cole_vishkin.h"
+#include "algo/greedy_by_id.h"
+#include "algo/luby_mis.h"
+#include "algo/moser_tardos.h"
+#include "algo/rand_coloring.h"
+#include "algo/rand_matching.h"
+#include "algo/weak_color_mc.h"
+#include "core/hard_instances.h"
+#include "decide/amos_decider.h"
+#include "decide/lcl_decider.h"
+#include "decide/resilient_decider.h"
+#include "decide/slack_decider.h"
+#include "graph/generators.h"
+#include "lang/amos.h"
+#include "lang/coloring.h"
+#include "lang/domset.h"
+#include "lang/frugal.h"
+#include "lang/lll.h"
+#include "lang/matching.h"
+#include "lang/mis.h"
+#include "lang/relax.h"
+#include "lang/weak_coloring.h"
+#include "local/experiment.h"
+#include "rand/coins.h"
+#include "util/assert.h"
+
+namespace lnc::scenario::detail {
+namespace {
+
+// ---------------------------------------------------------------- helpers --
+
+/// Identity-derivation tag: keeps identity sampling independent of the
+/// topology's own edge sampling under one scenario seed.
+constexpr std::uint64_t kIdSeedTag = 0x1D;
+
+ident::IdAssignment ids_for(graph::NodeId n, bool random_ids,
+                            std::uint64_t seed) {
+  if (random_ids) {
+    return ident::random_permutation(n, rand::mix_keys(seed, kIdSeedTag));
+  }
+  return ident::consecutive(n);
+}
+
+local::Instance instance_for(graph::Graph g, bool random_ids,
+                             std::uint64_t seed) {
+  const graph::NodeId n = g.node_count();
+  return local::make_instance(std::move(g), ids_for(n, random_ids, seed));
+}
+
+bool flag(const ParamMap& merged, const std::string& name) {
+  return param(merged, name) != 0.0;
+}
+
+const ParamSpec kRandomIdsOff{"random-ids", 0,
+                              "1 = seed-derived permutation identities, "
+                              "0 = consecutive 1..n"};
+const ParamSpec kRandomIdsOn{"random-ids", 1,
+                             "1 = seed-derived permutation identities, "
+                             "0 = consecutive 1..n"};
+
+// ------------------------------------------------------------- topologies --
+
+void register_topologies(Registry<TopologyEntry>& topologies) {
+  topologies.add(
+      {"ring",
+       "Cycle C_n (n >= 3) — the paper's canonical family; consecutive "
+       "identities by default (the Corollary-1 hard case).",
+       {kRandomIdsOff},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 3));
+         return instance_for(graph::cycle(size), flag(p, "random-ids"), seed);
+       }});
+  topologies.add(
+      {"hard-ring",
+       "Claim-2 hard instance: C_n with consecutive identities starting at "
+       "id-start (the identity-floor knob of the claim).",
+       {{"id-start", 1, "smallest identity (Claim 2's Imin)"}},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t /*seed*/) {
+         const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 3));
+         return core::consecutive_ring(
+             size, static_cast<ident::Identity>(param(p, "id-start")));
+       }});
+  topologies.add(
+      {"path",
+       "Path P_n.",
+       {kRandomIdsOff},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 1));
+         return instance_for(graph::path(size), flag(p, "random-ids"), seed);
+       }});
+  topologies.add(
+      {"grid",
+       "Near-square grid: the largest s x s grid with s*s <= n (degree <= 4).",
+       {kRandomIdsOn},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         graph::NodeId side = 1;
+         while (static_cast<std::uint64_t>(side + 1) * (side + 1) <= n) ++side;
+         side = std::max<graph::NodeId>(side, 2);
+         return instance_for(graph::grid(side, side), flag(p, "random-ids"),
+                             seed);
+       }});
+  topologies.add(
+      {"torus",
+       "Near-square torus (4-regular): the largest s x s torus with "
+       "s*s <= n, s >= 3.",
+       {kRandomIdsOn},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         graph::NodeId side = 3;
+         while (static_cast<std::uint64_t>(side + 1) * (side + 1) <= n) ++side;
+         return instance_for(graph::torus(side, side), flag(p, "random-ids"),
+                             seed);
+       }});
+  topologies.add(
+      {"hypercube",
+       "d-dimensional hypercube: the largest d with 2^d <= n (d >= 1).",
+       {kRandomIdsOn},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         int d = 1;
+         while ((std::uint64_t{1} << (d + 1)) <= std::max<std::uint64_t>(n, 2)) {
+           ++d;
+         }
+         return instance_for(graph::hypercube(d), flag(p, "random-ids"), seed);
+       }});
+  topologies.add(
+      {"binary-tree",
+       "Complete binary tree with n nodes (heap indexing, degree <= 3).",
+       {kRandomIdsOn},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 1));
+         return instance_for(graph::binary_tree(size), flag(p, "random-ids"),
+                             seed);
+       }});
+  topologies.add(
+      {"random-regular",
+       "Random d-regular simple graph (pairing model); n is bumped by one "
+       "when n*d is odd.",
+       {{"degree", 3, "regular degree d"}, kRandomIdsOn},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         const auto degree = static_cast<graph::NodeId>(param(p, "degree"));
+         auto size = static_cast<graph::NodeId>(
+             std::max<std::uint64_t>(n, degree + 1));
+         if ((static_cast<std::uint64_t>(size) * degree) % 2 != 0) ++size;
+         return instance_for(graph::random_regular(size, degree, seed),
+                             flag(p, "random-ids"), seed);
+       }});
+  topologies.add(
+      {"gnp",
+       "Erdos-Renyi G(n, p) conditioned on max degree <= max-degree — the "
+       "promise F_k realized on random instances.",
+       {{"edge-prob", 0.1, "edge probability p"},
+        {"max-degree", 8, "degree cap (the promise's k)"},
+        kRandomIdsOn},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 2));
+         return instance_for(
+             graph::gnp_bounded(size, param(p, "edge-prob"),
+                                static_cast<graph::NodeId>(param(p, "max-degree")),
+                                seed),
+             flag(p, "random-ids"), seed);
+       }});
+  topologies.add(
+      {"random-tree",
+       "Random tree with maximum degree <= max-degree.",
+       {{"max-degree", 3, "degree cap"}, kRandomIdsOn},
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
+         const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 1));
+         return instance_for(
+             graph::random_tree_bounded(
+                 size, static_cast<graph::NodeId>(param(p, "max-degree")), seed),
+             flag(p, "random-ids"), seed);
+       }});
+  topologies.add(
+      {"petersen",
+       "The Petersen graph (3-regular, girth 5); n is ignored (always 10).",
+       {kRandomIdsOff},
+       [](std::uint64_t /*n*/, const ParamMap& p, std::uint64_t seed) {
+         return instance_for(graph::petersen(), flag(p, "random-ids"), seed);
+       }});
+}
+
+// -------------------------------------------------------------- languages --
+
+/// Owns a ProperColoring base plus one of the paper's three relaxations of
+/// it, exposing the base as the LCL core deciders check against.
+class ColoringRelaxation final : public RelaxedLanguage {
+ public:
+  enum class Kind { kResilient, kSlack, kPoly };
+
+  ColoringRelaxation(int colors, Kind kind, double value) : base_(colors) {
+    switch (kind) {
+      case Kind::kResilient:
+        relaxed_ = std::make_unique<lang::FResilient>(
+            base_, static_cast<std::size_t>(value));
+        break;
+      case Kind::kSlack:
+        relaxed_ = std::make_unique<lang::EpsSlack>(base_, value);
+        break;
+      case Kind::kPoly:
+        relaxed_ = std::make_unique<lang::PolyResilient>(base_, value);
+        break;
+    }
+  }
+
+  std::string name() const override { return relaxed_->name(); }
+  bool contains(const local::Instance& inst,
+                std::span<const local::Label> output) const override {
+    return relaxed_->contains(inst, output);
+  }
+  const lang::LclLanguage& core() const override { return base_; }
+
+ private:
+  lang::ProperColoring base_;
+  std::unique_ptr<lang::Language> relaxed_;
+};
+
+void register_languages(Registry<LanguageEntry>& languages) {
+  languages.add({"coloring",
+                 "Proper q-coloring (radius-1 LCL) — the running example.",
+                 {{"colors", 3, "palette size q"}},
+                 [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<lang::ProperColoring>(
+                       static_cast<int>(param(p, "colors")));
+                 }});
+  languages.add({"weak-coloring",
+                 "Weak q-coloring (Naor-Stockmeyer): every non-isolated node "
+                 "has a differing neighbor.",
+                 {{"colors", 2, "palette size q"}},
+                 [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<lang::WeakColoring>(
+                       static_cast<int>(param(p, "colors")));
+                 }});
+  languages.add({"mis",
+                 "Maximal independent set (radius-1 LCL).",
+                 {},
+                 [](const ParamMap&) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<lang::MaximalIndependentSet>();
+                 }});
+  languages.add({"matching",
+                 "Maximal matching; outputs name the matched neighbor.",
+                 {},
+                 [](const ParamMap&) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<lang::MaximalMatching>();
+                 }});
+  languages.add({"minimal-dominating-set",
+                 "Minimal dominating set (radius-2 LCL).",
+                 {},
+                 [](const ParamMap&) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<lang::MinimalDominatingSet>();
+                 }});
+  languages.add({"lll-avoidance",
+                 "The LLL system: no closed neighborhood is monochromatic.",
+                 {},
+                 [](const ParamMap&) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<lang::LllAvoidance>();
+                 }});
+  languages.add({"frugal-coloring",
+                 "c-frugal proper coloring (paper, section 4).",
+                 {{"colors", 4, "palette size"},
+                  {"frugality", 1, "max per-color multiplicity c"}},
+                 [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<lang::FrugalColoring>(
+                       static_cast<int>(param(p, "colors")),
+                       static_cast<int>(param(p, "frugality")));
+                 }});
+  languages.add({"amos",
+                 "At most one selected (global; the LD-vs-BPLD separator).",
+                 {},
+                 [](const ParamMap&) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<lang::Amos>();
+                 }});
+  languages.add({"resilient-coloring",
+                 "f-resilient relaxation of proper coloring (Definition 1): "
+                 "at most `faults` bad balls.",
+                 {{"colors", 3, "palette size"},
+                  {"faults", 1, "fault budget f"}},
+                 [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<ColoringRelaxation>(
+                       static_cast<int>(param(p, "colors")),
+                       ColoringRelaxation::Kind::kResilient,
+                       param(p, "faults"));
+                 }});
+  languages.add({"slack-coloring",
+                 "eps-slack relaxation of proper coloring: at most eps*n bad "
+                 "balls (BPLD#node territory).",
+                 {{"colors", 3, "palette size"},
+                  {"eps", 0.1, "slack fraction"}},
+                 [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<ColoringRelaxation>(
+                       static_cast<int>(param(p, "colors")),
+                       ColoringRelaxation::Kind::kSlack, param(p, "eps"));
+                 }});
+  languages.add({"poly-resilient-coloring",
+                 "n^c-resilient coloring — the paper's section-5 open-problem "
+                 "regime.",
+                 {{"colors", 3, "palette size"},
+                  {"exponent", 0.5, "budget exponent c in (0, 1)"}},
+                 [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
+                   return std::make_unique<ColoringRelaxation>(
+                       static_cast<int>(param(p, "colors")),
+                       ColoringRelaxation::Kind::kPoly, param(p, "exponent"));
+                 }});
+}
+
+// ----------------------------------------------------------- constructions --
+
+/// Ball-algorithm-backed construction (direct ball runner; scenario
+/// compilation may still re-route through the messages/two-phase modes).
+class BallConstruction final : public Construction {
+ public:
+  explicit BallConstruction(
+      std::unique_ptr<local::RandomizedBallAlgorithm> algo)
+      : algo_(std::move(algo)) {}
+
+  std::string name() const override { return algo_->name(); }
+
+  Outcome run(const local::Instance& inst, const local::TrialEnv& env,
+              local::Labeling& output,
+              const RunOptions& /*run_options*/) const override {
+    const rand::PhiloxCoins coins = env.construction_coins();
+    local::ExecOptions options;
+    options.arena = env.arena;
+    local::run_construction_into(inst, *algo_, coins, local::ExecMode::kBalls,
+                                 output, options);
+    return {algo_->radius()};
+  }
+
+  const local::RandomizedBallAlgorithm* ball_algorithm() const override {
+    return algo_.get();
+  }
+
+ private:
+  std::unique_ptr<local::RandomizedBallAlgorithm> algo_;
+};
+
+/// Engine-program-backed construction.
+class EngineConstruction final : public Construction {
+ public:
+  EngineConstruction(std::unique_ptr<local::NodeProgramFactory> factory,
+                     bool randomized)
+      : factory_(std::move(factory)), randomized_(randomized) {}
+
+  std::string name() const override { return factory_->name(); }
+
+  Outcome run(const local::Instance& inst, const local::TrialEnv& env,
+              local::Labeling& output,
+              const RunOptions& run_options) const override {
+    const rand::PhiloxCoins coins = env.construction_coins();
+    local::EngineOptions options;
+    if (randomized_) options.coins = &coins;
+    if (env.arena != nullptr) options.scratch = &env.arena->engine();
+    options.pool = run_options.pool;
+    local::EngineResult result = run_engine(inst, *factory_, options);
+    LNC_ASSERT(result.completed);
+    output = std::move(result.output);
+    return {result.rounds};
+  }
+
+ private:
+  std::unique_ptr<local::NodeProgramFactory> factory_;
+  bool randomized_;
+};
+
+/// Zero-round amos construction: a node selects itself iff its identity is
+/// at most `count` — on permutation identities 1..n this marks exactly
+/// `count` nodes, giving declarative yes (count <= 1) and no (count >= 2)
+/// amos configurations.
+class SelectIdBelow final : public local::RandomizedBallAlgorithm {
+ public:
+  explicit SelectIdBelow(std::uint64_t count) : count_(count) {}
+  std::string name() const override {
+    return "select-id-below(" + std::to_string(count_) + ")";
+  }
+  int radius() const override { return 0; }
+  local::Label compute(const local::View& view,
+                       const rand::CoinProvider& /*coins*/) const override {
+    return view.center_identity() <= count_ ? lang::Amos::kSelected : 0;
+  }
+
+ private:
+  std::uint64_t count_;
+};
+
+/// Cole-Vishkin on the oriented ring; the iteration budget derives from
+/// the instance's actual identity range, so one registered entry serves
+/// every ring size.
+class ColeVishkinConstruction final : public Construction {
+ public:
+  std::string name() const override { return "cole-vishkin"; }
+
+  Outcome run(const local::Instance& inst, const local::TrialEnv& env,
+              local::Labeling& output,
+              const RunOptions& run_options) const override {
+    int bits = 1;
+    while ((inst.ids.max_identity() >> bits) != 0) ++bits;
+    const algo::ColeVishkinFactory factory(bits);
+    local::EngineOptions options;
+    options.grant_ring_orientation = true;
+    if (env.arena != nullptr) options.scratch = &env.arena->engine();
+    options.pool = run_options.pool;
+    local::EngineResult result = run_engine(inst, factory, options);
+    LNC_ASSERT(result.completed);
+    output = std::move(result.output);
+    return {result.rounds};
+  }
+};
+
+/// Distributed Moser-Tardos resampling (4 LOCAL rounds per phase).
+class MoserTardosConstruction final : public Construction {
+ public:
+  explicit MoserTardosConstruction(int max_phases) : max_phases_(max_phases) {}
+
+  std::string name() const override { return "moser-tardos"; }
+
+  Outcome run(const local::Instance& inst, const local::TrialEnv& env,
+              local::Labeling& output,
+              const RunOptions& /*run_options*/) const override {
+    const rand::PhiloxCoins coins = env.construction_coins();
+    algo::MoserTardosResult result =
+        algo::run_moser_tardos(inst, coins, max_phases_);
+    output = std::move(result.assignment);
+    return {4 * result.phases};
+  }
+
+ private:
+  int max_phases_;
+};
+
+void register_constructions(Registry<ConstructionEntry>& constructions) {
+  constructions.add(
+      {"rand-coloring",
+       "Zero-round uniform random q-coloring — the paper's section-1.1 "
+       "Monte-Carlo witness.",
+       {{"colors", 3, "palette size q"}},
+       /*randomized=*/true, /*ring_only=*/false,
+       /*default_language=*/"coloring",
+       [](const ParamMap& p) -> std::unique_ptr<Construction> {
+         return std::make_unique<BallConstruction>(
+             std::make_unique<algo::UniformRandomColoring>(
+                 static_cast<int>(param(p, "colors"))));
+       }});
+  constructions.add(
+      {"select-id-below",
+       "Zero-round amos marker: select iff identity <= count (exactly "
+       "`count` selected under permutation identities).",
+       {{"count", 1, "number of selected nodes"}},
+       /*randomized=*/false, /*ring_only=*/false,
+       /*default_language=*/"amos",
+       [](const ParamMap& p) -> std::unique_ptr<Construction> {
+         return std::make_unique<BallConstruction>(
+             std::make_unique<SelectIdBelow>(
+                 static_cast<std::uint64_t>(param(p, "count"))));
+       }});
+  constructions.add(
+      {"weak-color-mc",
+       "Constant-round Monte-Carlo weak 2-coloring with R fix-up rounds.",
+       {{"fixup-rounds", 6, "resampling rounds R"}},
+       /*randomized=*/true, /*ring_only=*/false,
+       /*default_language=*/"weak-coloring",
+       [](const ParamMap& p) -> std::unique_ptr<Construction> {
+         return std::make_unique<EngineConstruction>(
+             std::make_unique<algo::WeakColorMcFactory>(
+                 static_cast<int>(param(p, "fixup-rounds"))),
+             /*randomized=*/true);
+       }});
+  constructions.add(
+      {"luby-mis",
+       "Luby's randomized MIS (O(log n) expected phases).",
+       {},
+       /*randomized=*/true, /*ring_only=*/false,
+       /*default_language=*/"mis",
+       [](const ParamMap&) -> std::unique_ptr<Construction> {
+         return std::make_unique<EngineConstruction>(
+             std::make_unique<algo::LubyMisFactory>(), /*randomized=*/true);
+       }});
+  constructions.add(
+      {"rand-matching",
+       "Randomized maximal matching by propose-and-accept.",
+       {},
+       /*randomized=*/true, /*ring_only=*/false,
+       /*default_language=*/"matching",
+       [](const ParamMap&) -> std::unique_ptr<Construction> {
+         return std::make_unique<EngineConstruction>(
+             std::make_unique<algo::RandMatchingFactory>(),
+             /*randomized=*/true);
+       }});
+  constructions.add(
+      {"greedy-coloring",
+       "Sequential-greedy (Delta+1)-coloring by identity (Theta(n) on "
+       "consecutive rings).",
+       {},
+       /*randomized=*/false, /*ring_only=*/false,
+       /*default_language=*/"coloring",
+       [](const ParamMap&) -> std::unique_ptr<Construction> {
+         return std::make_unique<EngineConstruction>(
+             std::make_unique<algo::GreedyColoringFactory>(),
+             /*randomized=*/false);
+       }});
+  constructions.add(
+      {"greedy-mis",
+       "Sequential-greedy MIS by identity.",
+       {},
+       /*randomized=*/false, /*ring_only=*/false,
+       /*default_language=*/"mis",
+       [](const ParamMap&) -> std::unique_ptr<Construction> {
+         return std::make_unique<EngineConstruction>(
+             std::make_unique<algo::GreedyMisFactory>(), /*randomized=*/false);
+       }});
+  constructions.add(
+      {"cole-vishkin",
+       "Cole-Vishkin 3-coloring of the oriented ring in O(log* n) rounds.",
+       {},
+       /*randomized=*/false, /*ring_only=*/true,
+       /*default_language=*/"coloring",
+       [](const ParamMap&) -> std::unique_ptr<Construction> {
+         return std::make_unique<ColeVishkinConstruction>();
+       }});
+  constructions.add(
+      {"moser-tardos",
+       "Distributed Moser-Tardos resampling for the LLL system.",
+       {{"max-phases", 10000, "resampling phase cap"}},
+       /*randomized=*/true, /*ring_only=*/false,
+       /*default_language=*/"lll-avoidance",
+       [](const ParamMap& p) -> std::unique_ptr<Construction> {
+         return std::make_unique<MoserTardosConstruction>(
+             static_cast<int>(param(p, "max-phases")));
+       }});
+}
+
+// ---------------------------------------------------------------- deciders --
+
+/// Radius-t deterministic "local population count" decider for amos:
+/// reject iff the ball holds >= 2 selected nodes. Registered because E9
+/// uses it as the LD-side foil; it errs whenever two selected nodes are
+/// more than 2t apart.
+class LocalCountDecider final : public decide::Decider {
+ public:
+  explicit LocalCountDecider(int radius) : radius_(radius) {}
+  std::string name() const override {
+    return "local-count(t=" + std::to_string(radius_) + ")";
+  }
+  int radius() const override { return radius_; }
+  bool accept(const decide::DeciderView& view) const override {
+    int selected = 0;
+    for (graph::NodeId local = 0; local < view.view.ball->size(); ++local) {
+      if (view.output_of(local) == lang::Amos::kSelected) ++selected;
+    }
+    return selected <= 1;
+  }
+
+ private:
+  int radius_;
+};
+
+void register_deciders(Registry<DeciderEntry>& deciders) {
+  deciders.add({"exact",
+                "Pseudo-decider: global membership check by the scenario's "
+                "language (measures the construction's raw success "
+                "probability).",
+                {},
+                /*global_check=*/true,
+                /*needs_lcl=*/false,
+                /*needs_n=*/false,
+                nullptr});
+  deciders.add(
+      {"lcl",
+       "The canonical deterministic LD decider: accept iff the radius-t "
+       "ball is not in Bad(L).",
+       {},
+       /*global_check=*/false,
+       /*needs_lcl=*/true,
+       /*needs_n=*/false,
+       [](const lang::Language* language, const ParamMap&)
+           -> std::unique_ptr<decide::RandomizedDecider> {
+         const lang::LclLanguage* core = lcl_core(*language);
+         return std::make_unique<AsRandomizedDecider>(
+             std::make_unique<decide::LclDecider>(*core));
+       }});
+  deciders.add(
+      {"amos",
+       "Zero-round randomized amos decider: selected nodes accept with "
+       "probability p (golden-ratio optimum by default).",
+       {{"p", -1, "acceptance probability at selected nodes; -1 = optimum"}},
+       /*global_check=*/false,
+       /*needs_lcl=*/false,
+       /*needs_n=*/false,
+       [](const lang::Language*, const ParamMap& p)
+           -> std::unique_ptr<decide::RandomizedDecider> {
+         return std::make_unique<decide::AmosDecider>(param(p, "p"));
+       }});
+  deciders.add(
+      {"resilient",
+       "Corollary-1 decider for f-resilient relaxations: bad balls accept "
+       "with probability p in (2^-1/f, 2^-1/(f+1)).",
+       {{"faults", 1, "fault budget f"},
+        {"p", -1, "per-bad-ball acceptance; -1 = interval geometric mean"}},
+       /*global_check=*/false,
+       /*needs_lcl=*/true,
+       /*needs_n=*/false,
+       [](const lang::Language* language, const ParamMap& p)
+           -> std::unique_ptr<decide::RandomizedDecider> {
+         const lang::LclLanguage* core = lcl_core(*language);
+         return std::make_unique<decide::ResilientDecider>(
+             *core, static_cast<std::size_t>(param(p, "faults")),
+             param(p, "p"));
+       }});
+  deciders.add(
+      {"slack",
+       "BPLD#node decider for eps-slack relaxations (fault budget eps*n; "
+       "nodes must know n).",
+       {{"eps", 0.1, "slack fraction"}},
+       /*global_check=*/false,
+       /*needs_lcl=*/true,
+       /*needs_n=*/true,
+       [](const lang::Language* language, const ParamMap& p)
+           -> std::unique_ptr<decide::RandomizedDecider> {
+         const lang::LclLanguage* core = lcl_core(*language);
+         return std::make_unique<decide::SlackDecider>(*core,
+                                                       param(p, "eps"));
+       }});
+  deciders.add(
+      {"local-count",
+       "Deterministic radius-t amos foil: reject iff >= 2 selected in the "
+       "ball (errs once the diameter exceeds 2t — E9).",
+       {{"radius", 1, "ball radius t"}},
+       /*global_check=*/false,
+       /*needs_lcl=*/false,
+       /*needs_n=*/false,
+       [](const lang::Language*, const ParamMap& p)
+           -> std::unique_ptr<decide::RandomizedDecider> {
+         return std::make_unique<AsRandomizedDecider>(
+             std::make_unique<LocalCountDecider>(
+                 static_cast<int>(param(p, "radius"))));
+       }});
+}
+
+}  // namespace
+
+void register_builtins(Registry<TopologyEntry>& topologies,
+                       Registry<LanguageEntry>& languages,
+                       Registry<ConstructionEntry>& constructions,
+                       Registry<DeciderEntry>& deciders) {
+  register_topologies(topologies);
+  register_languages(languages);
+  register_constructions(constructions);
+  register_deciders(deciders);
+}
+
+}  // namespace lnc::scenario::detail

@@ -1,0 +1,15 @@
+// Internal: registration hook wiring the built-in component catalogue
+// (scenario/builtins.cpp) into the registry singletons (registry.cpp).
+// Not part of the public scenario API.
+#pragma once
+
+#include "scenario/registry.h"
+
+namespace lnc::scenario::detail {
+
+void register_builtins(Registry<TopologyEntry>& topologies,
+                       Registry<LanguageEntry>& languages,
+                       Registry<ConstructionEntry>& constructions,
+                       Registry<DeciderEntry>& deciders);
+
+}  // namespace lnc::scenario::detail

@@ -1,0 +1,200 @@
+#include "scenario/presets.h"
+
+#include "util/assert.h"
+
+namespace lnc::scenario {
+namespace {
+
+std::vector<ScenarioSpec> build_presets() {
+  std::vector<ScenarioSpec> presets;
+
+  {
+    ScenarioSpec spec;
+    spec.name = "ring-slack-coloring";
+    spec.doc =
+        "E2's positive side: the zero-round uniform 3-coloring against the "
+        "eps-slack decider on rings (randomization HELPS above eps = 5/9).";
+    spec.topology = "ring";
+    spec.language = "coloring";
+    spec.construction = "rand-coloring";
+    spec.decider = "slack";
+    spec.params = {{"colors", 3}, {"eps", 0.65}};
+    spec.n_grid = {24, 60, 180};
+    spec.trials = 2000;
+    spec.base_seed = 0xE2;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hard-ring-resilient-coloring";
+    spec.doc =
+        "The Theorem-1 pipeline on one hard ring: construct with the "
+        "uniform coloring, decide with the Corollary-1 resilient decider.";
+    spec.topology = "hard-ring";
+    spec.language = "coloring";
+    spec.construction = "rand-coloring";
+    spec.decider = "resilient";
+    spec.params = {{"colors", 3}, {"faults", 1}};
+    spec.n_grid = {12, 24, 48};
+    spec.trials = 2000;
+    spec.base_seed = 0xE6;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hard-ring-beta";
+    spec.doc =
+        "Claim-2 beta: probability that the uniform coloring's output lies "
+        "OUTSIDE the 1-resilient relaxation on the consecutive ring.";
+    spec.topology = "hard-ring";
+    spec.language = "resilient-coloring";
+    spec.construction = "rand-coloring";
+    spec.decider = "exact";
+    spec.params = {{"colors", 3}, {"faults", 1}};
+    spec.n_grid = {12, 24, 48};
+    spec.trials = 3000;
+    spec.base_seed = 0xBE;
+    spec.success_on_accept = false;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "ring-amos-yes";
+    spec.doc =
+        "amos yes side (E1): one selected node; the golden-ratio decider "
+        "accepts with probability ~ p* = 0.618.";
+    spec.topology = "ring";
+    spec.language = "amos";
+    spec.construction = "select-id-below";
+    spec.decider = "amos";
+    spec.params = {{"count", 1}};
+    spec.n_grid = {16, 64};
+    spec.trials = 4000;
+    spec.base_seed = 0xA1;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "ring-amos-no";
+    spec.doc =
+        "amos no side (E1): two selected nodes; rejection probability "
+        "~ 1 - p*^2 = 0.618.";
+    spec.topology = "ring";
+    spec.language = "amos";
+    spec.construction = "select-id-below";
+    spec.decider = "amos";
+    spec.params = {{"count", 2}};
+    spec.n_grid = {16, 64};
+    spec.trials = 4000;
+    spec.base_seed = 0xA2;
+    spec.success_on_accept = false;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "grid-lll-resilient";
+    spec.doc =
+        "Definition 1 beyond rings: random bits on a grid against the "
+        "f-resilient decider for the LLL avoidance language.";
+    spec.topology = "grid";
+    spec.language = "lll-avoidance";
+    spec.construction = "weak-color-mc";
+    spec.decider = "resilient";
+    spec.params = {{"fixup-rounds", 0}, {"faults", 4}};
+    spec.n_grid = {49, 100};
+    spec.trials = 1500;
+    spec.base_seed = 0x6D;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "gnp-weak-coloring";
+    spec.doc =
+        "Naor-Stockmeyer territory on random bounded-degree graphs: "
+        "constant-round Monte-Carlo weak 2-coloring, checked by the "
+        "radius-1 LD decider.";
+    spec.topology = "gnp";
+    spec.language = "weak-coloring";
+    spec.construction = "weak-color-mc";
+    spec.decider = "lcl";
+    spec.params = {{"edge-prob", 0.08}, {"max-degree", 6},
+                   {"fixup-rounds", 6}, {"colors", 2}};
+    spec.n_grid = {64, 256};
+    spec.trials = 1500;
+    spec.base_seed = 0x6E;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "random-regular-mis-luby";
+    spec.doc =
+        "The non-constant-time contrast class (E10): Luby's MIS on random "
+        "3-regular graphs, verified by the LD decider (success must be 1).";
+    spec.topology = "random-regular";
+    spec.language = "mis";
+    spec.construction = "luby-mis";
+    spec.decider = "lcl";
+    spec.params = {{"degree", 3}};
+    spec.n_grid = {64, 256};
+    spec.trials = 400;
+    spec.base_seed = 0x10B;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "tree-matching";
+    spec.doc =
+        "Randomized maximal matching on bounded-degree random trees, "
+        "checked exactly (success must be 1).";
+    spec.topology = "random-tree";
+    spec.language = "matching";
+    spec.construction = "rand-matching";
+    spec.decider = "exact";
+    spec.params = {{"max-degree", 3}};
+    spec.n_grid = {64, 256};
+    spec.trials = 400;
+    spec.base_seed = 0x7E;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "hard-ring-cole-vishkin";
+    spec.doc =
+        "The deterministic upper bound (E3): Cole-Vishkin 3-coloring on "
+        "consecutive rings, checked by the LD coloring decider (success "
+        "must be 1; one trial suffices, more exercise program recycling).";
+    spec.topology = "hard-ring";
+    spec.language = "coloring";
+    spec.construction = "cole-vishkin";
+    spec.decider = "lcl";
+    spec.params = {{"colors", 3}};
+    spec.n_grid = {16, 128, 1024};
+    spec.trials = 8;
+    spec.base_seed = 0xC3;
+    presets.push_back(spec);
+  }
+
+  for (const ScenarioSpec& spec : presets) {
+    const std::string error = validate(spec);
+    LNC_EXPECTS(error.empty() && "invalid built-in preset");
+    (void)error;
+  }
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& preset_scenarios() {
+  static const std::vector<ScenarioSpec>* presets =
+      new std::vector<ScenarioSpec>(build_presets());
+  return *presets;
+}
+
+const ScenarioSpec* find_preset(const std::string& name) {
+  for (const ScenarioSpec& spec : preset_scenarios()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace lnc::scenario

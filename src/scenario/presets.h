@@ -1,0 +1,22 @@
+// The shipped scenario presets: named, validated ScenarioSpecs covering
+// rings, hard instances, grids, random graphs, and trees, and exercising
+// every decider family (exact, lcl, amos, resilient, slack). Mirrored as
+// JSON files under scenarios/ for the --spec workflow; `lnc_sweep --list`
+// prints this catalogue.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace lnc::scenario {
+
+/// All built-in presets, in registration order. Every entry validates
+/// cleanly against the registries (asserted on first access).
+const std::vector<ScenarioSpec>& preset_scenarios();
+
+/// Lookup by name; null when absent.
+const ScenarioSpec* find_preset(const std::string& name);
+
+}  // namespace lnc::scenario

@@ -1,0 +1,251 @@
+// The scenario registries — string-addressable catalogues of the four
+// component kinds every experiment in this repo wires together:
+//
+//   topology      — instance families (graph/generators + identity policy);
+//   language      — the distributed language being constructed/decided
+//                   (lang/*, including the paper's relaxations);
+//   construction  — Monte-Carlo / deterministic construction algorithms
+//                   (src/algo), uniformly runnable per trial whether they
+//                   are ball algorithms or engine node programs;
+//   decider       — randomized local deciders (src/decide), plus the
+//                   pseudo-decider "exact" (global membership check).
+//
+// Each entry self-describes with a name, a parameter schema (numeric
+// knobs with defaults and docs), and a doc string, so drivers can list,
+// validate, and build components without compiling new binaries. A
+// scenario (scenario/scenario.h) references entries by name and compiles
+// into ExperimentPlans; `lnc_sweep` exposes the whole catalogue on the
+// command line.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decide/decider.h"
+#include "lang/language.h"
+#include "local/batch_runner.h"
+#include "local/instance.h"
+
+namespace lnc::scenario {
+
+/// Numeric parameters keyed by name. Every component knob in the repo is
+/// numeric, which keeps specs JSON-friendly; validation fills defaults and
+/// rejects keys no component schema declares.
+using ParamMap = std::map<std::string, double>;
+
+/// One declared knob of a component.
+struct ParamSpec {
+  std::string name;
+  double default_value = 0.0;
+  std::string doc;
+};
+using ParamSchema = std::vector<ParamSpec>;
+
+/// Completes `params` against `schema`: the result holds every schema key
+/// (user value if given, default otherwise). Keys outside the schema are
+/// IGNORED here — scenarios share one parameter namespace across their
+/// four components, so cross-component keys are expected; spec-level
+/// validation separately rejects keys unknown to all schemas.
+ParamMap merged_params(const ParamSchema& schema, const ParamMap& params);
+
+/// The numeric value of `name` in a merged map (asserts presence).
+double param(const ParamMap& merged, const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Topologies
+
+struct TopologyEntry {
+  std::string name;
+  std::string doc;
+  ParamSchema schema;
+  /// Builds the instance (graph + identities + inputs). `n` is the
+  /// REQUESTED size; rigid families (grid, hypercube, petersen) realize
+  /// the nearest size they support — read node_count() off the result.
+  /// `params` is schema-merged; `seed` drives any sampling, so equal
+  /// arguments always produce equal instances.
+  std::function<local::Instance(std::uint64_t n, const ParamMap& params,
+                                std::uint64_t seed)>
+      build;
+};
+
+// ---------------------------------------------------------------------------
+// Languages
+
+/// Implemented by registered relaxation wrappers (f-resilient, eps-slack,
+/// poly-resilient) so deciders can reach the LCL core they check balls
+/// against. Prefer the free function lcl_core() below, which also handles
+/// plain LCL languages and the raw lang/relax.h wrappers.
+class RelaxedLanguage : public lang::Language {
+ public:
+  virtual const lang::LclLanguage& core() const = 0;
+};
+
+/// The LCL language underlying `language`: the language itself when it is
+/// an LclLanguage, the base of a (registered or raw) relaxation wrapper,
+/// null otherwise (e.g. amos).
+const lang::LclLanguage* lcl_core(const lang::Language& language);
+
+/// True for the topologies that realize the canonical oriented cycle —
+/// the shapes ring_only constructions (Cole-Vishkin) accept.
+bool is_canonical_ring(const std::string& topology);
+
+struct LanguageEntry {
+  std::string name;
+  std::string doc;
+  ParamSchema schema;
+  std::function<std::unique_ptr<lang::Language>(const ParamMap& params)> build;
+};
+
+// ---------------------------------------------------------------------------
+// Constructions
+
+/// A construction algorithm resolved from the registry: one uniform way to
+/// run one construction per trial, regardless of substrate (ball algorithm
+/// vs engine node program). Randomness comes from the trial's construction
+/// coins; scratch from the trial's WorkerArena.
+class Construction {
+ public:
+  struct Outcome {
+    int rounds = 0;  ///< LOCAL rounds executed (0 for zero-round/ball runs)
+  };
+
+  /// Per-run knobs beyond the TrialEnv. `pool` requests parallel NODE
+  /// stepping inside the run (engine substrate ablations); Monte-Carlo
+  /// sweeps parallelize across trials instead and leave it null.
+  struct RunOptions {
+    const stats::ThreadPool* pool = nullptr;
+  };
+
+  virtual ~Construction() = default;
+  virtual std::string name() const = 0;
+
+  /// Runs one construction into `output` (resized to inst.node_count()).
+  virtual Outcome run(const local::Instance& inst, const local::TrialEnv& env,
+                      local::Labeling& output,
+                      const RunOptions& options) const = 0;
+  Outcome run(const local::Instance& inst, const local::TrialEnv& env,
+              local::Labeling& output) const {
+    return run(inst, env, output, RunOptions());
+  }
+
+  /// The underlying ball algorithm when this construction is ball-based —
+  /// non-null lets scenario compilation route through the existing
+  /// local::construction_plan / decide::construct_then_decide_plan
+  /// factories (with exec-mode control) instead of a custom trial.
+  virtual const local::RandomizedBallAlgorithm* ball_algorithm() const {
+    return nullptr;
+  }
+};
+
+struct ConstructionEntry {
+  std::string name;
+  std::string doc;
+  ParamSchema schema;
+  bool randomized = true;
+  /// Requires the canonical oriented cycle (graph::cycle) as topology.
+  bool ring_only = false;
+  /// The language this construction naturally targets (empty when there
+  /// is no sensible default) — drivers use it to verify outputs without
+  /// being told a language explicitly.
+  std::string default_language;
+  std::function<std::unique_ptr<Construction>(const ParamMap& params)> build;
+};
+
+// ---------------------------------------------------------------------------
+// Deciders
+
+/// Adapts a deterministic decider to the randomized interface (ignores the
+/// coins; guarantee 1), so every decider slot in the registry speaks
+/// RandomizedDecider.
+class AsRandomizedDecider final : public decide::RandomizedDecider {
+ public:
+  explicit AsRandomizedDecider(std::unique_ptr<decide::Decider> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+  int radius() const override { return inner_->radius(); }
+  double guarantee() const override { return 1.0; }
+  bool accept(const decide::DeciderView& view,
+              const rand::CoinProvider& /*coins*/) const override {
+    return inner_->accept(view);
+  }
+
+ private:
+  std::unique_ptr<decide::Decider> inner_;
+};
+
+struct DeciderEntry {
+  std::string name;
+  std::string doc;
+  ParamSchema schema;
+  /// The pseudo-decider "exact": global membership check by the scenario's
+  /// language instead of a local decider (measures the construction's raw
+  /// success probability r). `build` is unused when set.
+  bool global_check = false;
+  /// Requires lcl_core(language) != null (bad-ball-based deciders).
+  bool needs_lcl = false;
+  /// Evaluation must grant knowledge of n (the BPLD#node deciders).
+  bool needs_n = false;
+  /// `language` may be null for language-independent deciders (amos).
+  std::function<std::unique_ptr<decide::RandomizedDecider>(
+      const lang::Language* language, const ParamMap& params)>
+      build;
+};
+
+// ---------------------------------------------------------------------------
+// The registries
+
+template <typename Entry>
+class Registry {
+ public:
+  /// Registers an entry (unique names; re-registration asserts).
+  void add(Entry entry);
+
+  /// Looks an entry up by name; null when absent.
+  const Entry* find(const std::string& name) const;
+
+  /// All entries in name order.
+  std::vector<const Entry*> all() const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// The process-wide registries. First access registers the built-in
+/// components (scenario/builtins.cpp); callers may add their own through
+/// the mutable accessors before building scenarios.
+Registry<TopologyEntry>& topologies();
+Registry<LanguageEntry>& languages();
+Registry<ConstructionEntry>& constructions();
+Registry<DeciderEntry>& deciders();
+
+// ---------------------------------------------------------------------------
+// Convenience builders (assert on unknown names; scenario/scenario.h
+// offers the error-returning validation path)
+
+/// Builds an instance of the named topology at requested size n.
+local::Instance build_instance(const std::string& topology, std::uint64_t n,
+                               const ParamMap& params = {},
+                               std::uint64_t seed = 1);
+
+/// Process-wide interned fixed instances keyed by (topology, n, params,
+/// seed): repeated requests — across plans, sweeps, and worker samplers —
+/// share one immutable instance instead of rebuilding the graph
+/// (ROADMAP "Instance caching"). Thread-safe.
+std::shared_ptr<const local::Instance> interned_instance(
+    const std::string& topology, std::uint64_t n, const ParamMap& params = {},
+    std::uint64_t seed = 1);
+
+std::unique_ptr<lang::Language> make_language(const std::string& name,
+                                              const ParamMap& params = {});
+std::unique_ptr<Construction> make_construction(const std::string& name,
+                                                const ParamMap& params = {});
+std::unique_ptr<decide::RandomizedDecider> make_decider(
+    const std::string& name, const lang::Language* language,
+    const ParamMap& params = {});
+
+}  // namespace lnc::scenario

@@ -1,0 +1,152 @@
+#include "scenario/scenario.h"
+
+#include <utility>
+
+#include "decide/evaluate.h"
+#include "decide/experiment_plans.h"
+#include "rand/coins.h"
+#include "util/assert.h"
+
+namespace lnc::scenario {
+namespace {
+
+/// Seed-derivation tags separating the per-grid-point streams.
+constexpr std::uint64_t kPlanSeedTag = 0xE1;
+
+/// The union-of-schemas membership test for one user parameter key.
+bool key_declared(const std::string& key,
+                  const std::vector<const ParamSchema*>& schemas) {
+  for (const ParamSchema* schema : schemas) {
+    for (const ParamSpec& spec : *schema) {
+      if (spec.name == key) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string validate(const ScenarioSpec& spec) {
+  if (spec.name.empty()) return "scenario has no name";
+  const TopologyEntry* topology = topologies().find(spec.topology);
+  if (topology == nullptr) return "unknown topology '" + spec.topology + "'";
+  const LanguageEntry* language = languages().find(spec.language);
+  if (language == nullptr) return "unknown language '" + spec.language + "'";
+  const ConstructionEntry* construction =
+      constructions().find(spec.construction);
+  if (construction == nullptr) {
+    return "unknown construction '" + spec.construction + "'";
+  }
+  const DeciderEntry* decider = deciders().find(spec.decider);
+  if (decider == nullptr) return "unknown decider '" + spec.decider + "'";
+
+  const std::vector<const ParamSchema*> schemas = {
+      &topology->schema, &language->schema, &construction->schema,
+      &decider->schema};
+  for (const auto& [key, value] : spec.params) {
+    (void)value;
+    if (!key_declared(key, schemas)) {
+      return "parameter '" + key + "' is not declared by any of the four "
+             "components";
+    }
+  }
+
+  if (spec.n_grid.empty()) return "empty n-grid";
+  if (spec.trials == 0) return "zero trials";
+  if (construction->ring_only && !is_canonical_ring(spec.topology)) {
+    return "construction '" + spec.construction +
+           "' requires the canonical ring topology";
+  }
+  if (decider->needs_lcl) {
+    const std::unique_ptr<lang::Language> built =
+        make_language(spec.language, spec.params);
+    if (lcl_core(*built) == nullptr) {
+      return "decider '" + spec.decider + "' needs an LCL-backed language, "
+             "but '" + spec.language + "' has no LCL core";
+    }
+  }
+  return {};
+}
+
+CompiledScenario compile(const ScenarioSpec& spec) {
+  const std::string error = validate(spec);
+  LNC_EXPECTS(error.empty() && "invalid scenario spec");
+
+  const DeciderEntry* decider_entry = deciders().find(spec.decider);
+
+  CompiledScenario compiled;
+  compiled.spec_ = spec;
+  compiled.language_ = make_language(spec.language, spec.params);
+  compiled.construction_ = make_construction(spec.construction, spec.params);
+  if (!decider_entry->global_check) {
+    compiled.decider_ =
+        make_decider(spec.decider, compiled.language_.get(), spec.params);
+  }
+
+  const lang::Language* language = compiled.language_.get();
+  const Construction* construction = compiled.construction_.get();
+  const decide::RandomizedDecider* decider = compiled.decider_.get();
+  const local::RandomizedBallAlgorithm* ball = construction->ball_algorithm();
+  const bool accept = spec.success_on_accept;
+
+  decide::EvaluateOptions eval_options;
+  eval_options.grant_n = decider_entry->needs_n;
+
+  compiled.points_.reserve(spec.n_grid.size());
+  for (const std::uint64_t n : spec.n_grid) {
+    const std::uint64_t instance_seed = rand::mix_keys(spec.base_seed, n);
+    const std::uint64_t plan_seed =
+        rand::mix_keys(instance_seed, kPlanSeedTag);
+    const std::string plan_name = spec.name + "/n" + std::to_string(n);
+
+    CompiledScenario::GridPoint point;
+    point.requested_n = n;
+    point.instance =
+        interned_instance(spec.topology, n, spec.params, instance_seed);
+    const local::Instance& inst = *point.instance;
+
+    if (decider == nullptr) {
+      // "exact": success == (global membership verdict == accept side).
+      if (ball != nullptr) {
+        point.plan = local::construction_plan(
+            plan_name, inst, *ball,
+            [language, accept](const local::Instance& instance,
+                               const local::Labeling& output) {
+              return language->contains(instance, output) == accept;
+            },
+            spec.trials, plan_seed, spec.mode);
+      } else {
+        const local::Instance* inst_ptr = point.instance.get();
+        point.plan = local::custom_plan(
+            plan_name, spec.trials, plan_seed,
+            [inst_ptr, language, construction, accept](
+                const local::TrialEnv& env) {
+              local::Labeling& output = env.arena->labeling();
+              construction->run(*inst_ptr, env, output);
+              return language->contains(*inst_ptr, output) == accept;
+            });
+      }
+    } else if (ball != nullptr) {
+      point.plan = decide::construct_then_decide_plan(
+          plan_name, inst, *ball, *decider, spec.trials, plan_seed,
+          eval_options, accept, spec.mode);
+    } else {
+      const local::Instance* inst_ptr = point.instance.get();
+      point.plan = local::custom_plan(
+          plan_name, spec.trials, plan_seed,
+          [inst_ptr, construction, decider, eval_options,
+           accept](const local::TrialEnv& env) {
+            local::Labeling& output = env.arena->labeling();
+            construction->run(*inst_ptr, env, output);
+            const rand::PhiloxCoins d_coins = env.decision_coins();
+            const decide::DecisionOutcome outcome = decide::evaluate(
+                *inst_ptr, output, *decider, d_coins, eval_options);
+            return outcome.accepted == accept;
+          });
+    }
+    compiled.points_.push_back(std::move(point));
+  }
+  return compiled;
+}
+
+}  // namespace lnc::scenario

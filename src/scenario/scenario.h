@@ -1,0 +1,91 @@
+// Declarative experiment scenarios.
+//
+// A ScenarioSpec names one component of each kind from the registries
+// (scenario/registry.h), a shared parameter map, an n-grid, a trial count,
+// and a base seed — a complete experiment description as DATA. compile()
+// validates the spec and lowers it into the existing ExperimentPlan
+// factories (local/experiment.h, decide/experiment_plans.h, custom plans),
+// so local::BatchRunner remains the only trial executor; scenario/sweep.h
+// runs the compiled plans (whole or sharded across processes) and formats
+// results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "local/experiment.h"
+#include "scenario/registry.h"
+
+namespace lnc::scenario {
+
+struct ScenarioSpec {
+  std::string name;
+  std::string doc;
+
+  std::string topology;
+  std::string language;
+  std::string construction;
+  std::string decider = "exact";
+
+  /// One shared namespace validated against the union of the four
+  /// components' schemas (shared keys — e.g. "colors" — intentionally
+  /// reach every component that declares them).
+  ParamMap params;
+
+  std::vector<std::uint64_t> n_grid;
+  std::uint64_t trials = 1000;
+  std::uint64_t base_seed = 1;
+
+  /// Success notion of a trial: accept (true) or reject (false) — the
+  /// reject side measures failure/rejection probabilities (e.g. Claim-2
+  /// beta, the no-side of Eq. (1)).
+  bool success_on_accept = true;
+
+  /// Execution mode for ball-based constructions (ignored otherwise).
+  local::ExecMode mode = local::ExecMode::kBalls;
+};
+
+/// Resolves the spec against the registries: empty string when the spec is
+/// well-formed, else a human-readable description of the first problem
+/// (unknown component, parameter no component declares, empty grid, a
+/// ring-only construction on a non-ring topology, a decider whose
+/// language requirements the spec's language cannot meet, ...).
+std::string validate(const ScenarioSpec& spec);
+
+/// A spec compiled against the registries: resolved components plus one
+/// ExperimentPlan per grid point. Owns everything the plans capture; keep
+/// it alive while running them. Instances are interned process-wide, so
+/// recompiling the same spec does not rebuild graphs.
+class CompiledScenario {
+ public:
+  struct GridPoint {
+    std::uint64_t requested_n = 0;
+    std::shared_ptr<const local::Instance> instance;
+    local::ExperimentPlan plan;
+  };
+
+  const ScenarioSpec& spec() const noexcept { return spec_; }
+  const std::vector<GridPoint>& points() const noexcept { return points_; }
+  const lang::Language& language() const noexcept { return *language_; }
+  const Construction& construction() const noexcept { return *construction_; }
+  /// Null for the "exact" pseudo-decider.
+  const decide::RandomizedDecider* decider() const noexcept {
+    return decider_.get();
+  }
+
+ private:
+  friend CompiledScenario compile(const ScenarioSpec& spec);
+
+  ScenarioSpec spec_;
+  std::unique_ptr<lang::Language> language_;
+  std::unique_ptr<Construction> construction_;
+  std::unique_ptr<decide::RandomizedDecider> decider_;
+  std::vector<GridPoint> points_;
+};
+
+/// Compiles a validated spec (asserts validate(spec) is clean).
+CompiledScenario compile(const ScenarioSpec& spec);
+
+}  // namespace lnc::scenario

@@ -1,0 +1,282 @@
+#include "scenario/spec_json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace lnc::scenario {
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  throw std::runtime_error("JSON error at offset " + std::to_string(offset) +
+                           ": " + what);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) {
+      fail(pos_, std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& literal) {
+    if (text_.compare(pos_, literal.size(), literal) == 0) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    const char ch = peek();
+    if (ch == '{') return parse_object();
+    if (ch == '[') return parse_array();
+    if (ch == '"') {
+      Json value;
+      value.kind = Json::Kind::kString;
+      value.string = parse_string();
+      return value;
+    }
+    if (consume_literal("true")) {
+      Json value;
+      value.kind = Json::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      Json value;
+      value.kind = Json::Kind::kBool;
+      return value;
+    }
+    if (consume_literal("null")) return {};
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          default:
+            fail(pos_ - 1, "unsupported escape (\\u is not implemented)");
+        }
+        continue;
+      }
+      out.push_back(ch);
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail(start, "expected a value");
+    Json json;
+    json.kind = Json::Kind::kNumber;
+    json.number = value;
+    // Plain non-negative integer tokens additionally keep their exact
+    // 64-bit value (doubles round above 2^53 — seeds are full-width).
+    const std::string_view token(begin, static_cast<std::size_t>(end - begin));
+    if (!token.empty() &&
+        token.find_first_not_of("0123456789") == std::string_view::npos) {
+      char* int_end = nullptr;
+      errno = 0;
+      const std::uint64_t exact = std::strtoull(begin, &int_end, 10);
+      if (int_end == end && errno == 0) {
+        json.is_uint64 = true;
+        json.integer = exact;
+      }
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return json;
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json value;
+    value.kind = Json::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      const char ch = peek();
+      ++pos_;
+      if (ch == ']') return value;
+      if (ch != ',') fail(pos_ - 1, "expected ',' or ']'");
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json value;
+    value.kind = Json::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      if (peek() != '"') fail(pos_, "expected object key string");
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace(std::move(key), parse_value());
+      const char ch = peek();
+      ++pos_;
+      if (ch == '}') return value;
+      if (ch != ',') fail(pos_ - 1, "expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void type_error(const std::string& what) {
+  throw std::runtime_error("JSON type error: " + what);
+}
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+bool Json::has(const std::string& key) const {
+  return kind == Kind::kObject && object.find(key) != object.end();
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (kind != Kind::kObject) type_error("not an object (key '" + key + "')");
+  const auto it = object.find(key);
+  if (it == object.end()) type_error("missing key '" + key + "'");
+  return it->second;
+}
+
+bool Json::as_bool() const {
+  if (kind != Kind::kBool) type_error("expected a boolean");
+  return boolean;
+}
+
+double Json::as_number() const {
+  if (kind != Kind::kNumber) type_error("expected a number");
+  return number;
+}
+
+std::uint64_t Json::as_uint64() const {
+  if (kind != Kind::kNumber || !is_uint64) {
+    type_error("expected a non-negative integer");
+  }
+  return integer;
+}
+
+const std::string& Json::as_string() const {
+  if (kind != Kind::kString) type_error("expected a string");
+  return string;
+}
+
+const Json::Array& Json::as_array() const {
+  if (kind != Kind::kArray) type_error("expected an array");
+  return array;
+}
+
+const Json::Object& Json::as_object() const {
+  if (kind != Kind::kObject) type_error("expected an object");
+  return object;
+}
+
+ScenarioSpec spec_from_json(const std::string& text) {
+  const Json root = Json::parse(text);
+  ScenarioSpec spec;
+  for (const auto& [key, value] : root.as_object()) {
+    if (key == "name") {
+      spec.name = value.as_string();
+    } else if (key == "doc") {
+      spec.doc = value.as_string();
+    } else if (key == "topology") {
+      spec.topology = value.as_string();
+    } else if (key == "language") {
+      spec.language = value.as_string();
+    } else if (key == "construction") {
+      spec.construction = value.as_string();
+    } else if (key == "decider") {
+      spec.decider = value.as_string();
+    } else if (key == "params") {
+      for (const auto& [param_name, param_value] : value.as_object()) {
+        spec.params[param_name] = param_value.as_number();
+      }
+    } else if (key == "n") {
+      for (const Json& n : value.as_array()) {
+        spec.n_grid.push_back(n.as_uint64());
+      }
+    } else if (key == "trials") {
+      spec.trials = value.as_uint64();
+    } else if (key == "seed") {
+      spec.base_seed = value.as_uint64();
+    } else if (key == "success") {
+      const std::string& side = value.as_string();
+      if (side != "accept" && side != "reject") {
+        throw std::runtime_error("spec 'success' must be accept|reject");
+      }
+      spec.success_on_accept = side == "accept";
+    } else if (key == "mode") {
+      const std::string& mode = value.as_string();
+      if (mode == "balls") {
+        spec.mode = local::ExecMode::kBalls;
+      } else if (mode == "messages") {
+        spec.mode = local::ExecMode::kMessages;
+      } else if (mode == "two-phase") {
+        spec.mode = local::ExecMode::kTwoPhase;
+      } else {
+        throw std::runtime_error(
+            "spec 'mode' must be balls|messages|two-phase");
+      }
+    } else {
+      throw std::runtime_error("unknown spec key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace lnc::scenario

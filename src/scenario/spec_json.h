@@ -1,0 +1,66 @@
+// Minimal JSON support for the scenario subsystem: parsing scenario spec
+// files (scenarios/*.json, lnc_sweep --spec) and shard-result files
+// (sweep.h round trip). Deliberately small — objects, arrays, strings,
+// numbers, booleans, null — with offsets in error messages; not a general
+// JSON library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace lnc::scenario {
+
+/// A parsed JSON value. Parsing throws std::runtime_error (with character
+/// offset) on malformed input; accessors throw on kind/key mismatches so
+/// spec errors surface as readable messages instead of silent defaults.
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Set when the token was a plain non-negative integer that fits
+  /// std::uint64_t — seeds, trial counts, and tallies use the exact value
+  /// (doubles lose integers above 2^53).
+  bool is_uint64 = false;
+  std::uint64_t integer = 0;
+  std::string string;
+  Array array;
+  Object object;
+
+  static Json parse(const std::string& text);
+
+  bool has(const std::string& key) const;
+  /// Member access (requires kObject and key present).
+  const Json& at(const std::string& key) const;
+
+  bool as_bool() const;
+  double as_number() const;
+  /// Exact 64-bit read (requires a plain non-negative integer token).
+  std::uint64_t as_uint64() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+};
+
+/// Parses a ScenarioSpec from its JSON form:
+///
+///   {"name": "...", "doc": "...",
+///    "topology": "...", "language": "...",
+///    "construction": "...", "decider": "...",
+///    "params": {"colors": 3},
+///    "n": [16, 64], "trials": 2000, "seed": 1,
+///    "success": "accept" | "reject",
+///    "mode": "balls" | "messages" | "two-phase"}
+///
+/// Unknown top-level keys are rejected. Does NOT validate against the
+/// registries — call scenario::validate on the result.
+ScenarioSpec spec_from_json(const std::string& text);
+
+}  // namespace lnc::scenario

@@ -1,0 +1,190 @@
+#include "scenario/sweep.h"
+
+#include <ostream>
+#include <set>
+
+#include "scenario/spec_json.h"
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace lnc::scenario {
+
+SweepResult run_sweep(const CompiledScenario& scenario,
+                      const SweepOptions& options) {
+  LNC_EXPECTS(options.shard_count > 0 && options.shard < options.shard_count);
+  SweepResult result;
+  result.scenario = scenario.spec().name;
+  result.base_seed = scenario.spec().base_seed;
+  result.shard = options.shard;
+  result.shard_count = options.shard_count;
+
+  local::BatchRunner runner(options.pool);
+  result.rows.reserve(scenario.points().size());
+  for (const CompiledScenario::GridPoint& point : scenario.points()) {
+    const local::TrialRange range = local::shard_range(
+        point.plan.trials, options.shard, options.shard_count);
+    SweepRow row;
+    row.requested_n = point.requested_n;
+    row.actual_n = point.instance->node_count();
+    row.total_trials = point.plan.trials;
+    row.tally = runner.run_shard(point.plan, range);
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+std::string can_merge(std::span<const SweepResult> shards) {
+  if (shards.empty()) return "no shard results to merge";
+  std::set<unsigned> seen_shards;
+  std::vector<std::uint64_t> covered(shards[0].rows.size(), 0);
+  for (const SweepResult& shard : shards) {
+    if (shard.scenario != shards[0].scenario ||
+        shard.base_seed != shards[0].base_seed ||
+        shard.rows.size() != shards[0].rows.size()) {
+      return "shards come from different scenario runs ('" + shard.scenario +
+             "' vs '" + shards[0].scenario + "')";
+    }
+    if (shard.shard_count != shards[0].shard_count) {
+      return "shards use different split factors (" +
+             std::to_string(shard.shard_count) + " vs " +
+             std::to_string(shards[0].shard_count) + ")";
+    }
+    if (!seen_shards.insert(shard.shard).second) {
+      return "shard " + std::to_string(shard.shard) + " given twice";
+    }
+    for (std::size_t i = 0; i < covered.size(); ++i) {
+      const SweepRow& row = shard.rows[i];
+      const SweepRow& first = shards[0].rows[i];
+      if (row.requested_n != first.requested_n ||
+          row.total_trials != first.total_trials) {
+        return "shards disagree on the n-grid or trial counts";
+      }
+      covered[i] += row.tally.trials;
+    }
+  }
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    if (covered[i] != shards[0].rows[i].total_trials) {
+      return "shards cover " + std::to_string(covered[i]) + " of " +
+             std::to_string(shards[0].rows[i].total_trials) +
+             " trials at n = " +
+             std::to_string(shards[0].rows[i].requested_n) +
+             " (missing or extra shard files)";
+    }
+  }
+  return {};
+}
+
+SweepResult merge_sweeps(std::span<const SweepResult> shards) {
+  LNC_EXPECTS(!shards.empty());
+  SweepResult merged;
+  merged.scenario = shards[0].scenario;
+  merged.base_seed = shards[0].base_seed;
+  merged.shard = 0;
+  merged.shard_count = 1;
+  merged.rows = shards[0].rows;
+
+  // Duplicate shard files would double-count trials yet can still sum to
+  // total_trials (e.g. the same half merged twice) — reject repeats and
+  // mismatched splits outright.
+  std::set<unsigned> seen_shards = {shards[0].shard};
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    const SweepResult& shard = shards[s];
+    LNC_EXPECTS(shard.scenario == merged.scenario &&
+                shard.base_seed == merged.base_seed &&
+                shard.rows.size() == merged.rows.size() &&
+                "merging results of different scenario runs");
+    LNC_EXPECTS(shard.shard_count == shards[0].shard_count &&
+                "merging shards of different split factors");
+    LNC_EXPECTS(seen_shards.insert(shard.shard).second &&
+                "merging the same shard twice");
+    for (std::size_t i = 0; i < merged.rows.size(); ++i) {
+      SweepRow& row = merged.rows[i];
+      const SweepRow& other = shard.rows[i];
+      LNC_EXPECTS(other.requested_n == row.requested_n &&
+                  other.total_trials == row.total_trials &&
+                  "merging rows of different grid points");
+      row.tally.successes += other.tally.successes;
+      row.tally.trials += other.tally.trials;
+    }
+  }
+  for (const SweepRow& row : merged.rows) {
+    LNC_EXPECTS(row.tally.trials == row.total_trials &&
+                "merged shards do not cover the full trial range");
+  }
+  return merged;
+}
+
+stats::Estimate row_estimate(const SweepRow& row) {
+  LNC_EXPECTS(row.tally.trials == row.total_trials &&
+              "estimate of an incomplete (sharded) row");
+  const local::ShardTally tallies[] = {row.tally};
+  return local::merge_tallies(tallies);
+}
+
+util::Table to_table(const SweepResult& result) {
+  if (!result.complete()) {
+    util::Table table({"n", "actual n", "shard trials", "shard successes",
+                       "of total"});
+    for (const SweepRow& row : result.rows) {
+      table.new_row()
+          .add_cell(row.requested_n)
+          .add_cell(row.actual_n)
+          .add_cell(row.tally.trials)
+          .add_cell(row.tally.successes)
+          .add_cell(row.total_trials);
+    }
+    return table;
+  }
+  util::Table table(
+      {"n", "actual n", "trials", "successes", "p_hat", "ci lo", "ci hi"});
+  for (const SweepRow& row : result.rows) {
+    const stats::Estimate estimate = row_estimate(row);
+    table.new_row()
+        .add_cell(row.requested_n)
+        .add_cell(row.actual_n)
+        .add_cell(row.tally.trials)
+        .add_cell(row.tally.successes)
+        .add_cell(estimate.p_hat, 4)
+        .add_cell(estimate.ci.lo, 4)
+        .add_cell(estimate.ci.hi, 4);
+  }
+  return table;
+}
+
+void write_json(std::ostream& os, const SweepResult& result) {
+  os << "{\"scenario\": \"" << util::json_escape(result.scenario)
+     << "\", \"base_seed\": " << result.base_seed
+     << ", \"shard\": " << result.shard
+     << ", \"shard_count\": " << result.shard_count << ", \"rows\": [";
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const SweepRow& row = result.rows[i];
+    if (i > 0) os << ", ";
+    os << "{\"n\": " << row.requested_n << ", \"actual_n\": " << row.actual_n
+       << ", \"total_trials\": " << row.total_trials
+       << ", \"trials\": " << row.tally.trials
+       << ", \"successes\": " << row.tally.successes << "}";
+  }
+  os << "]}\n";
+}
+
+SweepResult sweep_from_json(const std::string& text) {
+  const Json root = Json::parse(text);
+  SweepResult result;
+  result.scenario = root.at("scenario").as_string();
+  result.base_seed = root.at("base_seed").as_uint64();
+  result.shard = static_cast<unsigned>(root.at("shard").as_uint64());
+  result.shard_count =
+      static_cast<unsigned>(root.at("shard_count").as_uint64());
+  for (const Json& row_json : root.at("rows").as_array()) {
+    SweepRow row;
+    row.requested_n = row_json.at("n").as_uint64();
+    row.actual_n = row_json.at("actual_n").as_uint64();
+    row.total_trials = row_json.at("total_trials").as_uint64();
+    row.tally.trials = row_json.at("trials").as_uint64();
+    row.tally.successes = row_json.at("successes").as_uint64();
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace lnc::scenario

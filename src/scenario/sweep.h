@@ -1,0 +1,71 @@
+// Executing compiled scenarios — whole, or as one shard of a
+// cross-process run (ROADMAP "Sharded batch execution").
+//
+// Sharding splits every grid point's trial range [0, trials) into
+// near-equal contiguous slices; per-trial Philox streams are pure
+// functions of the trial index, so merging shard tallies reproduces the
+// unsharded Estimate BIT FOR BIT (tests/scenario_test.cpp asserts this).
+// Shard results round-trip through JSON so `lnc_sweep --shard i/k` runs
+// can land on different machines and be merged offline.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "scenario/scenario.h"
+#include "util/table.h"
+
+namespace lnc::scenario {
+
+struct SweepOptions {
+  unsigned shard = 0;        ///< this run's shard index in [0, shard_count)
+  unsigned shard_count = 1;  ///< 1 == unsharded
+  const stats::ThreadPool* pool = nullptr;  ///< null => sequential trials
+};
+
+struct SweepRow {
+  std::uint64_t requested_n = 0;
+  std::uint64_t actual_n = 0;        ///< instance node count realized
+  std::uint64_t total_trials = 0;    ///< the plan's full trial count
+  local::ShardTally tally;           ///< this result's executed share
+};
+
+struct SweepResult {
+  std::string scenario;
+  std::uint64_t base_seed = 0;
+  unsigned shard = 0;
+  unsigned shard_count = 1;
+  std::vector<SweepRow> rows;
+
+  /// True when the result covers every trial (unsharded or merged).
+  bool complete() const noexcept { return shard_count == 1; }
+};
+
+/// Executes (this shard of) a compiled scenario.
+SweepResult run_sweep(const CompiledScenario& scenario,
+                      const SweepOptions& options = {});
+
+/// Pre-flight check for merge_sweeps: empty string when the shards fit
+/// together (same scenario run, same split factor, distinct shard
+/// indices, full trial coverage), else a human-readable description of
+/// the first problem. CLI callers surface this instead of hitting the
+/// library asserts below.
+std::string can_merge(std::span<const SweepResult> shards);
+
+/// Merges shard results of the same scenario run (matching name, seed,
+/// grid, and total trial counts; together covering every trial). The
+/// merged rows' estimates equal an unsharded run's exactly. Asserts on
+/// input can_merge rejects.
+SweepResult merge_sweeps(std::span<const SweepResult> shards);
+
+/// The Wilson estimate of a complete row.
+stats::Estimate row_estimate(const SweepRow& row);
+
+/// Human-readable table (estimate columns only for complete results).
+util::Table to_table(const SweepResult& result);
+
+/// Shard-file JSON round trip (cross-process merge).
+void write_json(std::ostream& os, const SweepResult& result);
+SweepResult sweep_from_json(const std::string& text);
+
+}  // namespace lnc::scenario

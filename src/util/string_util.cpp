@@ -47,4 +47,28 @@ bool starts_with(std::string_view text, std::string_view prefix) noexcept {
          text.substr(0, prefix.size()) == prefix;
 }
 
+std::string json_escape(std::string_view text) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const auto code = static_cast<unsigned char>(ch);
+          out += "\\u00";
+          out.push_back(kHex[code >> 4]);
+          out.push_back(kHex[code & 0xF]);
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace lnc::util

@@ -20,4 +20,9 @@ std::string join(const std::vector<std::string>& parts,
 /// True when `text` begins with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix) noexcept;
 
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by util::Table::print_json and
+/// the scenario sweep emitters.
+std::string json_escape(std::string_view text);
+
 }  // namespace lnc::util

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "util/assert.h"
+#include "util/string_util.h"
 
 namespace lnc::util {
 
@@ -110,24 +111,7 @@ void Table::print_csv(std::ostream& os) const {
 
 void Table::print_json(std::ostream& os) const {
   auto emit_string = [&](const std::string& s) {
-    os << '"';
-    for (char ch : s) {
-      switch (ch) {
-        case '"': os << "\\\""; break;
-        case '\\': os << "\\\\"; break;
-        case '\n': os << "\\n"; break;
-        case '\t': os << "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(ch) < 0x20) {
-            os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
-               << static_cast<int>(static_cast<unsigned char>(ch))
-               << std::dec << std::setfill(' ');
-          } else {
-            os << ch;
-          }
-      }
-    }
-    os << '"';
+    os << '"' << json_escape(s) << '"';
   };
   auto emit_array = [&](const std::vector<std::string>& cells) {
     os << '[';

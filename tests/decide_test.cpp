@@ -73,13 +73,13 @@ TEST(AmosDecider, MeetsGuaranteeOnBothSides) {
 
   // Yes side: one selected node.
   auto yes_sampler = [&](std::uint64_t seed) {
-    SampledConfiguration sample{ring_instance(10), local::Labeling(10, 0)};
+    SampledConfiguration sample{ring_instance(10), local::Labeling(10, 0), {}};
     sample.output[seed % 10] = lang::Amos::kSelected;
     return sample;
   };
   // No side: two selected nodes.
   auto no_sampler = [&](std::uint64_t seed) {
-    SampledConfiguration sample{ring_instance(10), local::Labeling(10, 0)};
+    SampledConfiguration sample{ring_instance(10), local::Labeling(10, 0), {}};
     sample.output[seed % 10] = lang::Amos::kSelected;
     sample.output[(seed % 10 + 5) % 10] = lang::Amos::kSelected;
     return sample;
@@ -144,14 +144,14 @@ TEST(ResilientDecider, MeetsEqOneBothSides) {
   auto yes_sampler = [&](std::uint64_t seed) {
     return SampledConfiguration{
         ring_instance(n),
-        rotate(one_clash, static_cast<graph::NodeId>(seed % n))};
+        rotate(one_clash, static_cast<graph::NodeId>(seed % n)), {}};
   };
   // No: two monochromatic edges => 4 bad balls > f.
   const local::Labeling two_clashes = {0, 0, 1, 0, 1, 2, 0, 0, 1, 0, 1, 2};
   auto no_sampler = [&](std::uint64_t seed) {
     return SampledConfiguration{
         ring_instance(n),
-        rotate(two_clashes, static_cast<graph::NodeId>(seed % n))};
+        rotate(two_clashes, static_cast<graph::NodeId>(seed % n)), {}};
   };
   GuaranteeOptions options;
   options.trials = 4000;

@@ -1,0 +1,273 @@
+// Scenario subsystem tests: registry resolution, preset health, shard
+// partition/merge bit-identity (the ROADMAP "Sharded batch execution"
+// contract), JSON spec round trips, instance interning, and program
+// recycling.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "algo/weak_color_mc.h"
+#include "local/engine.h"
+#include "scenario/presets.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "scenario/spec_json.h"
+#include "scenario/sweep.h"
+
+namespace {
+
+using namespace lnc;
+using scenario::ScenarioSpec;
+
+ScenarioSpec shrunk(const ScenarioSpec& preset, std::uint64_t trials) {
+  ScenarioSpec spec = preset;
+  spec.trials = trials;
+  spec.n_grid = {preset.n_grid.front()};
+  return spec;
+}
+
+TEST(Registry, CatalogueHasTheAdvertisedSurface) {
+  EXPECT_GE(scenario::topologies().all().size(), 8u);
+  EXPECT_GE(scenario::languages().all().size(), 8u);
+  EXPECT_GE(scenario::constructions().all().size(), 6u);
+  EXPECT_GE(scenario::deciders().all().size(), 5u);
+  for (const char* decider :
+       {"exact", "lcl", "amos", "resilient", "slack", "local-count"}) {
+    EXPECT_NE(scenario::deciders().find(decider), nullptr) << decider;
+  }
+}
+
+TEST(Registry, MergedParamsFillDefaultsAndKeepOverrides) {
+  const scenario::ParamSchema schema = {{"colors", 3, ""}, {"eps", 0.5, ""}};
+  const scenario::ParamMap merged =
+      scenario::merged_params(schema, {{"eps", 0.25}, {"other", 9}});
+  EXPECT_EQ(scenario::param(merged, "colors"), 3);
+  EXPECT_EQ(scenario::param(merged, "eps"), 0.25);
+  EXPECT_EQ(merged.count("other"), 0u);  // foreign keys are not adopted
+}
+
+TEST(Registry, InternedInstancesAreShared) {
+  const auto a = scenario::interned_instance("ring", 24);
+  const auto b = scenario::interned_instance("ring", 24);
+  const auto c = scenario::interned_instance("ring", 25);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(a->node_count(), 24u);
+}
+
+TEST(Presets, AtLeastEightSpanningThreeTopologyFamilies) {
+  const auto& presets = scenario::preset_scenarios();
+  ASSERT_GE(presets.size(), 8u);
+  std::set<std::string> topologies;
+  std::set<std::string> deciders;
+  std::set<std::string> names;
+  for (const ScenarioSpec& spec : presets) {
+    EXPECT_EQ(scenario::validate(spec), "");
+    topologies.insert(spec.topology);
+    deciders.insert(spec.decider);
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+  }
+  EXPECT_GE(topologies.size(), 3u);
+  // Every decider family is exercised by some preset.
+  for (const char* family : {"exact", "lcl", "amos", "resilient", "slack"}) {
+    EXPECT_EQ(deciders.count(family), 1u) << family;
+  }
+}
+
+TEST(Presets, EveryScenarioResolvesAndRunsOneTrialSweep) {
+  for (const ScenarioSpec& preset : scenario::preset_scenarios()) {
+    const ScenarioSpec spec = shrunk(preset, 1);
+    const scenario::CompiledScenario compiled = scenario::compile(spec);
+    const scenario::SweepResult result = scenario::run_sweep(compiled);
+    ASSERT_EQ(result.rows.size(), 1u) << spec.name;
+    EXPECT_EQ(result.rows[0].tally.trials, 1u) << spec.name;
+    EXPECT_LE(result.rows[0].tally.successes, 1u) << spec.name;
+  }
+}
+
+TEST(Sharding, ShardRangePartitionsTheTrialRange) {
+  for (const std::uint64_t trials : {1u, 7u, 8u, 9u, 1000u}) {
+    for (const unsigned shards : {1u, 2u, 3u, 7u}) {
+      std::uint64_t covered = 0;
+      std::uint64_t expected_begin = 0;
+      for (unsigned s = 0; s < shards; ++s) {
+        const local::TrialRange range = local::shard_range(trials, s, shards);
+        EXPECT_EQ(range.begin, expected_begin);
+        expected_begin = range.end;
+        covered += range.count();
+      }
+      EXPECT_EQ(covered, trials);
+      EXPECT_EQ(expected_begin, trials);
+    }
+  }
+}
+
+TEST(Sharding, TwoWayMergeEqualsUnshardedBitForBit) {
+  for (const ScenarioSpec& preset : scenario::preset_scenarios()) {
+    const ScenarioSpec spec = shrunk(preset, 9);
+    const scenario::CompiledScenario compiled = scenario::compile(spec);
+
+    const scenario::SweepResult full = scenario::run_sweep(compiled);
+    scenario::SweepOptions shard0;
+    shard0.shard = 0;
+    shard0.shard_count = 2;
+    scenario::SweepOptions shard1;
+    shard1.shard = 1;
+    shard1.shard_count = 2;
+    const scenario::SweepResult parts[] = {
+        scenario::run_sweep(compiled, shard0),
+        scenario::run_sweep(compiled, shard1)};
+    const scenario::SweepResult merged = scenario::merge_sweeps(parts);
+
+    ASSERT_EQ(merged.rows.size(), full.rows.size()) << spec.name;
+    for (std::size_t i = 0; i < full.rows.size(); ++i) {
+      const stats::Estimate want = scenario::row_estimate(full.rows[i]);
+      const stats::Estimate got = scenario::row_estimate(merged.rows[i]);
+      EXPECT_EQ(got.successes, want.successes) << spec.name;
+      EXPECT_EQ(got.trials, want.trials) << spec.name;
+      // Bit-for-bit: identical integer tallies make identical doubles.
+      EXPECT_EQ(got.p_hat, want.p_hat) << spec.name;
+      EXPECT_EQ(got.ci.lo, want.ci.lo) << spec.name;
+      EXPECT_EQ(got.ci.hi, want.ci.hi) << spec.name;
+    }
+  }
+}
+
+TEST(Sharding, UnevenThreeWayMergeAndJsonRoundTrip) {
+  const ScenarioSpec* preset = scenario::find_preset("ring-amos-yes");
+  ASSERT_NE(preset, nullptr);
+  const ScenarioSpec spec = shrunk(*preset, 10);
+  const scenario::CompiledScenario compiled = scenario::compile(spec);
+  const scenario::SweepResult full = scenario::run_sweep(compiled);
+
+  std::vector<scenario::SweepResult> shards;
+  for (unsigned s = 0; s < 3; ++s) {
+    scenario::SweepOptions options;
+    options.shard = s;
+    options.shard_count = 3;
+    // Round-trip every shard through its JSON wire format, as the
+    // cross-process workflow does.
+    std::ostringstream os;
+    scenario::write_json(os, scenario::run_sweep(compiled, options));
+    shards.push_back(scenario::sweep_from_json(os.str()));
+  }
+  const scenario::SweepResult merged = scenario::merge_sweeps(shards);
+  EXPECT_EQ(scenario::row_estimate(merged.rows[0]).p_hat,
+            scenario::row_estimate(full.rows[0]).p_hat);
+  EXPECT_EQ(merged.rows[0].tally.successes, full.rows[0].tally.successes);
+}
+
+TEST(Sharding, CanMergeRejectsDuplicateAndIncompleteShardSets) {
+  const ScenarioSpec* preset = scenario::find_preset("ring-amos-yes");
+  ASSERT_NE(preset, nullptr);
+  const ScenarioSpec spec = shrunk(*preset, 8);
+  const scenario::CompiledScenario compiled = scenario::compile(spec);
+  scenario::SweepOptions half;
+  half.shard_count = 2;
+  const scenario::SweepResult shard0 = scenario::run_sweep(compiled, half);
+  half.shard = 1;
+  const scenario::SweepResult shard1 = scenario::run_sweep(compiled, half);
+
+  const scenario::SweepResult ok[] = {shard0, shard1};
+  EXPECT_EQ(scenario::can_merge(ok), "");
+  // The same half twice sums to the right trial count but double-counts.
+  const scenario::SweepResult duplicate[] = {shard0, shard0};
+  EXPECT_NE(scenario::can_merge(duplicate), "");
+  // A missing half leaves trials uncovered.
+  const scenario::SweepResult incomplete[] = {shard0};
+  EXPECT_NE(scenario::can_merge(incomplete), "");
+}
+
+TEST(SpecJson, FullWidthSeedsRoundTripExactly) {
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  const ScenarioSpec spec = scenario::spec_from_json(
+      "{\"seed\": 18446744073709551615, \"trials\": 9007199254740993}");
+  EXPECT_EQ(spec.base_seed, big);
+  EXPECT_EQ(spec.trials, 9007199254740993ull);  // 2^53 + 1: double rounds
+}
+
+TEST(Validation, RejectsUnknownComponentsAndParams) {
+  ScenarioSpec spec;
+  spec.name = "bad";
+  spec.topology = "moebius";
+  spec.language = "coloring";
+  spec.construction = "rand-coloring";
+  spec.n_grid = {8};
+  EXPECT_NE(scenario::validate(spec).find("unknown topology"),
+            std::string::npos);
+
+  spec.topology = "ring";
+  spec.params["frobnication"] = 1;
+  EXPECT_NE(scenario::validate(spec).find("frobnication"), std::string::npos);
+  spec.params.clear();
+
+  spec.construction = "cole-vishkin";
+  spec.topology = "grid";
+  EXPECT_NE(scenario::validate(spec).find("ring"), std::string::npos);
+
+  spec.topology = "ring";
+  spec.construction = "rand-coloring";
+  spec.language = "amos";
+  spec.decider = "resilient";
+  EXPECT_NE(scenario::validate(spec).find("LCL"), std::string::npos);
+}
+
+TEST(SpecJson, ShippedScenarioFilesParseAndValidate) {
+  const std::filesystem::path dir =
+      std::filesystem::path(LNC_SOURCE_DIR) / "scenarios";
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++count;
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    const ScenarioSpec spec = scenario::spec_from_json(text.str());
+    EXPECT_EQ(scenario::validate(spec), "") << entry.path();
+    EXPECT_EQ(spec.name, entry.path().stem().string()) << entry.path();
+    // Shipped files mirror registered presets.
+    EXPECT_NE(scenario::find_preset(spec.name), nullptr) << entry.path();
+  }
+  EXPECT_GE(count, 8u);
+}
+
+TEST(SpecJson, MalformedInputThrowsWithOffset) {
+  EXPECT_THROW(scenario::Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(scenario::spec_from_json("{\"nonsense\": 1}"),
+               std::runtime_error);
+  EXPECT_THROW(scenario::spec_from_json("{\"success\": \"maybe\"}"),
+               std::runtime_error);
+}
+
+TEST(Recycling, ScratchReuseAcrossFactoriesStaysCorrect) {
+  const local::Instance inst = scenario::build_instance("ring", 32);
+  const rand::PhiloxCoins coins(7, rand::Stream::kConstruction);
+  const algo::WeakColorMcFactory factory(4);
+
+  local::EngineOptions fresh;
+  fresh.coins = &coins;
+  const local::EngineResult want = run_engine(inst, factory, fresh);
+
+  local::EngineScratch scratch;
+  local::EngineOptions reused;
+  reused.coins = &coins;
+  reused.scratch = &scratch;
+  // Second run recycles the retained programs in place; a factory with a
+  // DIFFERENT configuration afterwards must not reuse them.
+  const local::EngineResult first = run_engine(inst, factory, reused);
+  const local::EngineResult second = run_engine(inst, factory, reused);
+  EXPECT_EQ(first.output, want.output);
+  EXPECT_EQ(second.output, want.output);
+
+  const algo::WeakColorMcFactory other(2);
+  const local::EngineResult shorter = run_engine(inst, other, reused);
+  local::EngineOptions fresh_other;
+  fresh_other.coins = &coins;
+  EXPECT_EQ(shorter.output, run_engine(inst, other, fresh_other).output);
+}
+
+}  // namespace

@@ -1,0 +1,407 @@
+// lnc_sweep — the declarative experiment driver over the scenario
+// registries (src/scenario). Any registered topology x language x
+// construction x decider combination runs from flags or a JSON spec; trial
+// ranges shard across processes and merge bit-identically.
+//
+//   lnc_sweep --list
+//       Catalogue: registered components (with parameter schemas) and the
+//       preset scenarios.
+//   lnc_sweep --scenario NAME [overrides]
+//       Run a preset (override --n/--trials/--seed/--param freely).
+//   lnc_sweep --spec FILE.json [overrides]
+//       Run a spec file (see scenarios/*.json for the format).
+//   lnc_sweep --topology T --language L --construction C [--decider D] ...
+//       Run an ad-hoc scenario assembled from flags.
+//   lnc_sweep --all
+//       Run every preset (CI trajectory mode).
+//   lnc_sweep --merge SHARD.json...
+//       Merge shard result files into the full estimate.
+//
+// Common flags:
+//   --param k=v      set a component parameter (repeatable)
+//   --n A,B,C        override the n-grid
+//   --trials N       override the trial count
+//   --seed S         override the base seed
+//   --success accept|reject
+//   --mode balls|messages|two-phase
+//   --shard i/k      run only trial slice i of k (emits a mergeable tally)
+//   --threads N      worker threads (0 = hardware concurrency; default 1)
+//   --out FILE       also write the result as JSON (shard or complete)
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/presets.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "scenario/spec_json.h"
+#include "scenario/sweep.h"
+#include "stats/threadpool.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace lnc;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: lnc_sweep --list\n"
+        "       lnc_sweep --scenario NAME [overrides]\n"
+        "       lnc_sweep --spec FILE.json [overrides]\n"
+        "       lnc_sweep --topology T --language L --construction C\n"
+        "                 [--decider D] [overrides]\n"
+        "       lnc_sweep --all [overrides]\n"
+        "       lnc_sweep --merge SHARD.json...\n"
+        "overrides: --param k=v | --n A,B,C | --trials N | --seed S\n"
+        "           --success accept|reject | --mode balls|messages|two-phase\n"
+        "           --shard i/k | --threads N | --out FILE\n";
+  return code;
+}
+
+void print_schema(const scenario::ParamSchema& schema) {
+  for (const scenario::ParamSpec& spec : schema) {
+    std::cout << "      " << spec.name << " = " << spec.default_value << "  ("
+              << spec.doc << ")\n";
+  }
+}
+
+void list_catalogue() {
+  std::cout << "topologies:\n";
+  for (const auto* entry : scenario::topologies().all()) {
+    std::cout << "  " << entry->name << " — " << entry->doc << "\n";
+    print_schema(entry->schema);
+  }
+  std::cout << "\nlanguages:\n";
+  for (const auto* entry : scenario::languages().all()) {
+    std::cout << "  " << entry->name << " — " << entry->doc << "\n";
+    print_schema(entry->schema);
+  }
+  std::cout << "\nconstructions:\n";
+  for (const auto* entry : scenario::constructions().all()) {
+    std::cout << "  " << entry->name << " — " << entry->doc << "\n";
+    print_schema(entry->schema);
+  }
+  std::cout << "\ndeciders:\n";
+  for (const auto* entry : scenario::deciders().all()) {
+    std::cout << "  " << entry->name << " — " << entry->doc << "\n";
+    print_schema(entry->schema);
+  }
+  std::cout << "\nscenarios:\n";
+  for (const scenario::ScenarioSpec& spec : scenario::preset_scenarios()) {
+    std::cout << "  " << spec.name << " — " << spec.topology << " / "
+              << spec.language << " / " << spec.construction << " / "
+              << spec.decider << "\n      " << spec.doc << "\n";
+  }
+}
+
+struct Options {
+  bool list = false;
+  bool all = false;
+  std::optional<std::string> scenario_name;
+  std::optional<std::string> spec_file;
+  std::vector<std::string> merge_files;
+
+  // Ad-hoc component flags.
+  std::optional<std::string> topology;
+  std::optional<std::string> language;
+  std::optional<std::string> construction;
+  std::optional<std::string> decider;
+
+  // Overrides.
+  scenario::ParamMap params;
+  std::optional<std::vector<std::uint64_t>> n_grid;
+  std::optional<std::uint64_t> trials;
+  std::optional<std::uint64_t> seed;
+  std::optional<bool> success_on_accept;
+  std::optional<local::ExecMode> mode;
+
+  unsigned shard = 0;
+  unsigned shard_count = 1;
+  unsigned threads = 1;
+  std::optional<std::string> out_file;
+};
+
+bool parse_args(int argc, char** argv, Options& options, std::string& error) {
+  auto next_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      error = flag + " needs a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--all") {
+      options.all = true;
+    } else if (arg == "--scenario") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.scenario_name = value;
+    } else if (arg == "--spec") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.spec_file = value;
+    } else if (arg == "--merge") {
+      while (i + 1 < argc && argv[i + 1][0] != '-') {
+        options.merge_files.emplace_back(argv[++i]);
+      }
+      if (options.merge_files.empty()) {
+        error = "--merge needs at least one shard file";
+        return false;
+      }
+    } else if (arg == "--topology") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.topology = value;
+    } else if (arg == "--language") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.language = value;
+    } else if (arg == "--construction") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.construction = value;
+    } else if (arg == "--decider") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.decider = value;
+    } else if (arg == "--param") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string text = value;
+      const std::size_t eq = text.find('=');
+      if (eq == std::string::npos) {
+        error = "--param expects k=v, got '" + text + "'";
+        return false;
+      }
+      options.params[text.substr(0, eq)] = std::stod(text.substr(eq + 1));
+    } else if (arg == "--n") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      std::vector<std::uint64_t> grid;
+      for (const std::string& part : util::split(value, ',')) {
+        grid.push_back(std::stoull(part));
+      }
+      options.n_grid = std::move(grid);
+    } else if (arg == "--trials") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.trials = std::stoull(value);
+    } else if (arg == "--seed") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.seed = std::stoull(value);
+    } else if (arg == "--success") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string side = value;
+      if (side != "accept" && side != "reject") {
+        error = "--success expects accept|reject";
+        return false;
+      }
+      options.success_on_accept = side == "accept";
+    } else if (arg == "--mode") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string mode = value;
+      if (mode == "balls") {
+        options.mode = local::ExecMode::kBalls;
+      } else if (mode == "messages") {
+        options.mode = local::ExecMode::kMessages;
+      } else if (mode == "two-phase") {
+        options.mode = local::ExecMode::kTwoPhase;
+      } else {
+        error = "--mode expects balls|messages|two-phase";
+        return false;
+      }
+    } else if (arg == "--shard") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string text = value;
+      const std::size_t slash = text.find('/');
+      if (slash == std::string::npos) {
+        error = "--shard expects i/k, got '" + text + "'";
+        return false;
+      }
+      options.shard = static_cast<unsigned>(std::stoul(text.substr(0, slash)));
+      options.shard_count =
+          static_cast<unsigned>(std::stoul(text.substr(slash + 1)));
+      if (options.shard_count == 0 || options.shard >= options.shard_count) {
+        error = "--shard index out of range";
+        return false;
+      }
+    } else if (arg == "--threads") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.threads = static_cast<unsigned>(std::stoul(value));
+    } else if (arg == "--out") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.out_file = value;
+    } else {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
+  for (const auto& [key, value] : options.params) spec.params[key] = value;
+  if (options.n_grid) spec.n_grid = *options.n_grid;
+  if (options.trials) spec.trials = *options.trials;
+  if (options.seed) spec.base_seed = *options.seed;
+  if (options.success_on_accept) {
+    spec.success_on_accept = *options.success_on_accept;
+  }
+  if (options.mode) spec.mode = *options.mode;
+}
+
+/// The --out path for one scenario: unchanged for a single run, suffixed
+/// with the scenario name for multi-scenario runs (--all), so later runs
+/// do not overwrite earlier ones.
+std::string out_path_for(const std::string& out_file, const std::string& name,
+                         bool multiple) {
+  if (!multiple) return out_file;
+  const std::size_t dot = out_file.rfind('.');
+  if (dot == std::string::npos || out_file.find('/', dot) != std::string::npos) {
+    return out_file + "-" + name;
+  }
+  return out_file.substr(0, dot) + "-" + name + out_file.substr(dot);
+}
+
+int run_one(const scenario::ScenarioSpec& spec, const Options& options,
+            bool multiple_specs, const stats::ThreadPool* pool,
+            std::ostream& os) {
+  const std::string error = scenario::validate(spec);
+  if (!error.empty()) {
+    std::cerr << "invalid scenario '" << spec.name << "': " << error << "\n";
+    return 1;
+  }
+  const scenario::CompiledScenario compiled = scenario::compile(spec);
+  scenario::SweepOptions sweep_options;
+  sweep_options.shard = options.shard;
+  sweep_options.shard_count = options.shard_count;
+  sweep_options.pool = pool;
+  const scenario::SweepResult result =
+      scenario::run_sweep(compiled, sweep_options);
+
+  os << "=== " << spec.name << " — " << spec.topology << " / "
+     << spec.language << " / " << spec.construction << " / " << spec.decider
+     << " (success = " << (spec.success_on_accept ? "accept" : "reject")
+     << ", seed = " << spec.base_seed;
+  if (options.shard_count > 1) {
+    os << ", shard " << options.shard << "/" << options.shard_count;
+  }
+  os << ") ===\n";
+  if (!spec.doc.empty()) os << spec.doc << "\n";
+  scenario::to_table(result).print(os);
+  os << "\n";
+
+  if (options.out_file) {
+    const std::string path =
+        out_path_for(*options.out_file, spec.name, multiple_specs);
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write '" << path << "'\n";
+      return 1;
+    }
+    scenario::write_json(out, result);
+  }
+  return 0;
+}
+
+int merge_mode(const Options& options) {
+  std::vector<scenario::SweepResult> shards;
+  for (const std::string& path : options.merge_files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot read '" << path << "'\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    shards.push_back(scenario::sweep_from_json(text.str()));
+  }
+  const std::string merge_error = scenario::can_merge(shards);
+  if (!merge_error.empty()) {
+    std::cerr << "cannot merge: " << merge_error << "\n";
+    return 1;
+  }
+  const scenario::SweepResult merged = scenario::merge_sweeps(shards);
+  std::cout << "=== " << merged.scenario << " (merged from " << shards.size()
+            << " shard files) ===\n";
+  scenario::to_table(merged).print(std::cout);
+  if (options.out_file) {
+    std::ofstream out(*options.out_file);
+    if (!out) {
+      std::cerr << "cannot write '" << *options.out_file << "'\n";
+      return 1;
+    }
+    scenario::write_json(out, merged);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string error;
+  try {
+    if (!parse_args(argc, argv, options, error)) {
+      std::cerr << error << "\n";
+      return usage(std::cerr, 2);
+    }
+  } catch (const std::exception& ex) {
+    // std::stod/std::stoull throw on malformed numeric flag values.
+    std::cerr << "bad flag value: " << ex.what() << "\n";
+    return usage(std::cerr, 2);
+  }
+  if (options.list) {
+    list_catalogue();
+    return 0;
+  }
+  if (!options.merge_files.empty()) return merge_mode(options);
+
+  std::vector<scenario::ScenarioSpec> specs;
+  try {
+    if (options.all) {
+      specs = scenario::preset_scenarios();
+    } else if (options.scenario_name) {
+      const scenario::ScenarioSpec* preset =
+          scenario::find_preset(*options.scenario_name);
+      if (preset == nullptr) {
+        std::cerr << "unknown scenario '" << *options.scenario_name
+                  << "' (see --list)\n";
+        return 1;
+      }
+      specs.push_back(*preset);
+    } else if (options.spec_file) {
+      std::ifstream in(*options.spec_file);
+      if (!in) {
+        std::cerr << "cannot read '" << *options.spec_file << "'\n";
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      specs.push_back(scenario::spec_from_json(text.str()));
+    } else if (options.topology || options.language || options.construction) {
+      scenario::ScenarioSpec spec;
+      spec.name = "adhoc";
+      if (options.topology) spec.topology = *options.topology;
+      if (options.language) spec.language = *options.language;
+      if (options.construction) spec.construction = *options.construction;
+      if (options.decider) spec.decider = *options.decider;
+      if (!options.n_grid) spec.n_grid = {64};
+      specs.push_back(std::move(spec));
+    } else {
+      return usage(std::cerr, 2);
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << ex.what() << "\n";
+    return 1;
+  }
+
+  std::optional<stats::ThreadPool> pool;
+  if (options.threads != 1) pool.emplace(options.threads);
+
+  int rc = 0;
+  for (scenario::ScenarioSpec& spec : specs) {
+    apply_overrides(options, spec);
+    rc |= run_one(spec, options, specs.size() > 1, pool ? &*pool : nullptr,
+                  std::cout);
+  }
+  return rc;
+}
