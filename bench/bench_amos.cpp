@@ -78,23 +78,31 @@ void print_tables() {
   bench::print_table(table);
 
   // Second table: acceptance by number of selected nodes at the optimum —
-  // the p^s geometric decay the proof of the example computes.
+  // the p^s geometric decay the proof of the example computes. The msgs /
+  // words columns are the modeled communication volume of the zero-round
+  // decider (local/telemetry.h) — constant in s, the point of a local
+  // decision: volume scales with n, never with the planted pattern.
   util::Table decay({"selected s", "Pr[all accept] (meas)",
-                     "p*^s (theory)"});
+                     "p*^s (theory)", "msgs", "words"});
   const auto optimal = scenario::make_decider("amos", nullptr);
   const double p_star = util::golden_ratio_guarantee();
   local::BatchRunner runner(&pool);
+  local::Telemetry decay_telemetry;
   for (int s : {0, 1, 2, 3, 5, 8}) {
     const auto sampler = selected_sampler(n, s);
     const stats::Estimate accept = runner.run(decide::guarantee_side_plan(
         "amos-decay", sampler, *optimal, /*want_accept=*/true, 6000,
         static_cast<std::uint64_t>(1000 + s)));
+    const local::Telemetry& telemetry = runner.last_telemetry();
+    decay_telemetry.merge(telemetry);
     decay.new_row()
         .add_cell(s)
         .add_cell(accept.p_hat, 4)
-        .add_cell(std::pow(p_star, s), 4);
+        .add_cell(std::pow(p_star, s), 4)
+        .add_cell(telemetry.messages_sent)
+        .add_cell(telemetry.words_sent);
   }
-  bench::print_table(decay);
+  bench::print_table(decay, &decay_telemetry);
 }
 
 void BM_AmosDecideRing(benchmark::State& state) {

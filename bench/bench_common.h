@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "local/telemetry.h"
+#include "scenario/spec_json.h"
 #include "util/table.h"
 
 namespace lnc::bench {
@@ -59,7 +61,12 @@ inline void print_header(const std::string& experiment,
             << claim << "\n\n";
 }
 
-inline void print_table(const util::Table& table) {
+/// Prints the table; when LNC_BENCH_JSON_DIR is set, the JSON file also
+/// carries a `telemetry` object when one is supplied — the communication
+/// volume behind the table's numbers (local/telemetry.h), so TABLE_*.json
+/// trajectories record message/word volume next to the reproduced values.
+inline void print_table(const util::Table& table,
+                        const local::Telemetry* telemetry = nullptr) {
   table.print(std::cout);
   std::cout << '\n';
   if (const char* json_dir = std::getenv("LNC_BENCH_JSON_DIR")) {
@@ -68,7 +75,13 @@ inline void print_table(const util::Table& table) {
                              std::to_string(detail::table_index()++) +
                              ".json";
     std::ofstream out(path);
-    if (out) table.print_json(out);
+    if (out) {
+      const std::string extra =
+          telemetry != nullptr
+              ? "\"telemetry\": " + scenario::telemetry_to_json(*telemetry)
+              : std::string{};
+      table.print_json(out, extra);
+    }
   }
 }
 

@@ -74,7 +74,12 @@ void print_tables() {
             << std::thread::hardware_concurrency()
             << " hardware thread(s) — on a single-core host the 8-thread\n"
                "row collapses to the arena-reuse win alone):\n\n";
-  util::Table batched({"path", "trials/s", "speedup", "successes"});
+  // The telemetry columns are the engine's MEASURED communication volume
+  // (local/telemetry.h): the batched rows must agree counter for counter
+  // across thread counts — the CI telemetry gate's contract, visible here
+  // in a bench table.
+  util::Table batched({"path", "trials/s", "speedup", "successes", "msgs",
+                       "words", "rounds"});
   {
     const graph::NodeId n = 512;
     const local::Instance inst = scenario::build_instance("hard-ring", n);
@@ -122,24 +127,35 @@ void print_tables() {
     const stats::Estimate par_est = parallel_runner.run(make_plan());
     const double batched8_s = par_timer.elapsed_seconds();
 
+    const local::Telemetry seq_telemetry = sequential_runner.last_telemetry();
+    const local::Telemetry par_telemetry = parallel_runner.last_telemetry();
     const double naive_rate = static_cast<double>(trials) / naive_s;
     batched.new_row()
         .add_cell("naive run_engine loop")
         .add_cell(naive_rate, 0)
         .add_cell(1.0, 2)
-        .add_cell(naive_successes);
+        .add_cell(naive_successes)
+        .add_cell("-")
+        .add_cell("-")
+        .add_cell("-");
     batched.new_row()
         .add_cell("BatchRunner 1 thread")
         .add_cell(static_cast<double>(trials) / batched1_s, 0)
         .add_cell(naive_s / batched1_s, 2)
-        .add_cell(seq_est.successes);
+        .add_cell(seq_est.successes)
+        .add_cell(seq_telemetry.messages_sent)
+        .add_cell(seq_telemetry.words_sent)
+        .add_cell(seq_telemetry.rounds_executed);
     batched.new_row()
         .add_cell("BatchRunner 8 threads")
         .add_cell(static_cast<double>(trials) / batched8_s, 0)
         .add_cell(naive_s / batched8_s, 2)
-        .add_cell(par_est.successes);
+        .add_cell(par_est.successes)
+        .add_cell(par_telemetry.messages_sent)
+        .add_cell(par_telemetry.words_sent)
+        .add_cell(par_telemetry.rounds_executed);
+    bench::print_table(batched, &par_telemetry);
   }
-  bench::print_table(batched);
 }
 
 void BM_BatchedTrials(benchmark::State& state) {

@@ -1,5 +1,7 @@
 #include "decide/evaluate.h"
 
+#include <algorithm>
+#include <atomic>
 #include <mutex>
 
 #include "graph/metrics.h"
@@ -27,6 +29,12 @@ DecisionOutcome evaluate_impl(const local::Instance& inst,
   }
 
   std::vector<char> rejected(n, 0);
+  const bool count_telemetry = options.telemetry != nullptr;
+  // Relaxed atomics: commutative sums, bit-identical whatever the node
+  // schedule (see local/runner.cpp).
+  std::atomic<std::uint64_t> announcements{0};
+  std::atomic<std::uint64_t> encoded_words{0};
+  std::atomic<std::uint64_t> expansions{0};
   auto body = [&](std::uint64_t v) {
     if (counted[v] == 0) return;
     const graph::BallView ball(inst.g, static_cast<graph::NodeId>(v),
@@ -36,11 +44,26 @@ DecisionOutcome evaluate_impl(const local::Instance& inst,
     view.instance = &inst;
     if (options.grant_n) view.n_nodes = n;
     if (!verdict_at(view)) rejected[v] = 1;
+    if (count_telemetry) {
+      announcements.fetch_add(ball.size(), std::memory_order_relaxed);
+      encoded_words.fetch_add(ball.encoded_words(),
+                              std::memory_order_relaxed);
+      expansions.fetch_add(1, std::memory_order_relaxed);
+    }
   };
   if (options.pool != nullptr) {
     options.pool->parallel_for(n, body);
   } else {
     for (graph::NodeId v = 0; v < n; ++v) body(v);
+  }
+  if (count_telemetry) {
+    local::Telemetry& telemetry = *options.telemetry;
+    telemetry.messages_sent +=
+        announcements.load(std::memory_order_relaxed);
+    telemetry.words_sent += encoded_words.load(std::memory_order_relaxed);
+    telemetry.rounds_executed +=
+        static_cast<std::uint64_t>(std::max(radius, 1));
+    telemetry.ball_expansions += expansions.load(std::memory_order_relaxed);
   }
 
   DecisionOutcome outcome;

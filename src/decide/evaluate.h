@@ -13,6 +13,7 @@
 
 #include "decide/decider.h"
 #include "local/instance.h"
+#include "local/telemetry.h"
 #include "stats/threadpool.h"
 
 namespace lnc::decide {
@@ -35,6 +36,17 @@ struct EvaluateOptions {
   std::optional<FarFrom> far_from;
   bool grant_n = false;  ///< BPLD#node deciders need |V|
   const stats::ThreadPool* pool = nullptr;
+
+  /// When set, the evaluation charges its modeled communication volume
+  /// here (same simulation-theorem accounting as the direct ball runner:
+  /// one announcement per member of each counted node's ball, the ball's
+  /// canonical word encoding, and max(radius, 1) rounds per evaluation).
+  /// Honored by direct evaluate() calls only: the plan factories in
+  /// decide/experiment_plans.h REPLACE this per trial with the executing
+  /// worker's arena accumulator — a single caller-supplied sink shared
+  /// across BatchRunner workers would race; read plan telemetry from
+  /// BatchRunner::last_telemetry() / ShardTally::telemetry instead.
+  local::Telemetry* telemetry = nullptr;
 };
 
 /// Deterministic decider over the configuration.

@@ -18,8 +18,10 @@ local::ExperimentPlan acceptance_plan(
   plan.success_trial = [&inst, output, &decider, options,
                         success_on_accept](const local::TrialEnv& env) {
     const rand::PhiloxCoins coins = env.decision_coins();
+    EvaluateOptions trial_options = options;
+    trial_options.telemetry = &env.arena->telemetry();
     const DecisionOutcome outcome =
-        evaluate(inst, output, decider, coins, options);
+        evaluate(inst, output, decider, coins, trial_options);
     return outcome.accepted == success_on_accept;
   };
   return plan;
@@ -45,8 +47,10 @@ local::ExperimentPlan construct_then_decide_plan(
     local::Labeling& output = env.arena->labeling();
     local::run_construction_into(inst, algo, c_coins, mode, output,
                                  exec_options);
+    EvaluateOptions trial_options = options;
+    trial_options.telemetry = &env.arena->telemetry();
     const DecisionOutcome outcome =
-        evaluate(inst, output, decider, d_coins, options);
+        evaluate(inst, output, decider, d_coins, trial_options);
     return outcome.accepted == success_on_accept;
   };
   return plan;
@@ -81,8 +85,11 @@ local::ExperimentPlan guarantee_side_plan(
       arena.note_sample(owner, seed);
     }
     const rand::PhiloxCoins coins = env.decision_coins();
+    EvaluateOptions trial_options = options;
+    trial_options.telemetry = &arena.telemetry();
     const DecisionOutcome outcome =
-        evaluate(sample.inst(), sample.output, decider, coins, options);
+        evaluate(sample.inst(), sample.output, decider, coins,
+                 trial_options);
     return outcome.accepted == want_accept;
   };
   return plan;

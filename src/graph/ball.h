@@ -65,6 +65,16 @@ class BallView {
     return host_degrees_[local];
   }
 
+  /// Words of the canonical knowledge encoding of this ball — the modeled
+  /// cost of delivering the view to the center (local/telemetry.h): one
+  /// table-size word, plus per member its id, input, adjacency flag, and
+  /// neighbor count, plus the in-ball neighbor lists. Matches the shape of
+  /// the flooding collector's serialization (local/ball_collector.cpp).
+  std::uint64_t encoded_words() const noexcept {
+    return 1 + 4 * static_cast<std::uint64_t>(members_.size()) +
+           static_cast<std::uint64_t>(adjacency_.size());
+  }
+
   /// A structural fingerprint of the ball: adjacency + distances serialized
   /// in BFS discovery order. Two balls with equal signatures have identical
   /// local structure *as collected* (not full isomorphism canonicalization:

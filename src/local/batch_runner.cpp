@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.h"
+#include "util/timer.h"
 
 namespace lnc::local {
 
@@ -62,6 +63,12 @@ stats::Estimate merge_tallies(std::span<const ShardTally> tallies) {
   return stats::finalize_estimate(successes, trials);
 }
 
+Telemetry merge_telemetries(std::span<const ShardTally> tallies) {
+  Telemetry merged;
+  for (const ShardTally& tally : tallies) merged.merge(tally.telemetry);
+  return merged;
+}
+
 BatchRunner::BatchRunner(const stats::ThreadPool* pool) : pool_(pool) {
   arenas_.resize(worker_count());
 }
@@ -79,13 +86,28 @@ void BatchRunner::for_each_trial(const ExperimentPlan& plan, TrialRange range,
     env.index = i;
     env.seed = stats::trial_seed(plan.base_seed, i);
     env.arena = &arenas_[worker];
+    const util::Timer trial_timer;
     body(worker, env);
+    // Per-trial wall time lands in the worker's lock-free accumulator
+    // (timing-only telemetry; never part of the deterministic contract).
+    arenas_[worker].telemetry().wall_seconds +=
+        trial_timer.elapsed_seconds();
   };
   if (pool_ != nullptr) {
     pool_->parallel_for_workers(range.count(), invoke);
   } else {
     for (std::uint64_t i = 0; i < range.count(); ++i) invoke(0, i);
   }
+}
+
+void BatchRunner::reset_worker_telemetry() {
+  for (WorkerArena& arena : arenas_) arena.telemetry().reset();
+}
+
+Telemetry BatchRunner::merged_worker_telemetry() {
+  Telemetry merged;
+  for (const WorkerArena& arena : arenas_) merged.merge(arena.telemetry());
+  return merged;
 }
 
 stats::Estimate BatchRunner::run(const ExperimentPlan& plan) {
@@ -97,15 +119,20 @@ ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
                                   TrialRange range) {
   LNC_EXPECTS(plan.success_trial != nullptr);
   LNC_EXPECTS(range.begin <= range.end && range.end <= plan.trials);
+  reset_worker_telemetry();
   std::vector<stats::WorkerCounter> tallies(worker_count());
   for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
     if (plan.success_trial(env)) ++tallies[worker].value;
   });
-  return {stats::sum_counters(tallies), range.count()};
+  ShardTally tally{stats::sum_counters(tallies), range.count(), {}};
+  tally.telemetry = merged_worker_telemetry();
+  last_telemetry_ = tally.telemetry;
+  return tally;
 }
 
 stats::MeanEstimate BatchRunner::run_mean(const ExperimentPlan& plan) {
   LNC_EXPECTS(plan.value_trial != nullptr);
+  reset_worker_telemetry();
   // Values land at their trial index: the reduction sees them in trial
   // order regardless of which worker produced which value.
   std::vector<double> values(plan.trials);
@@ -113,11 +140,13 @@ stats::MeanEstimate BatchRunner::run_mean(const ExperimentPlan& plan) {
                  [&](unsigned, const TrialEnv& env) {
                    values[env.index] = plan.value_trial(env);
                  });
+  last_telemetry_ = merged_worker_telemetry();
   return stats::finalize_mean(values);
 }
 
 std::vector<std::uint64_t> BatchRunner::run_counts(const ExperimentPlan& plan) {
   LNC_EXPECTS(plan.count_trial != nullptr);
+  reset_worker_telemetry();
   const unsigned workers = worker_count();
   std::vector<std::vector<std::uint64_t>> slots(
       workers, std::vector<std::uint64_t>(plan.counters, 0));
@@ -131,6 +160,7 @@ std::vector<std::uint64_t> BatchRunner::run_counts(const ExperimentPlan& plan) {
       total[j] += worker_slots[j];
     }
   }
+  last_telemetry_ = merged_worker_telemetry();
   return total;
 }
 

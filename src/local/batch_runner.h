@@ -60,6 +60,13 @@ class WorkerArena {
   Labeling& labeling() noexcept { return labeling_; }
   std::vector<Knowledge>& knowledge() noexcept { return knowledge_; }
 
+  /// This worker's telemetry accumulator (lives in the engine scratch so
+  /// engine runs on this arena count into it automatically; ball-mode and
+  /// decider paths charge it explicitly). BatchRunner resets it per batch
+  /// and merges the per-worker blocks into the batch result.
+  Telemetry& telemetry() noexcept { return engine_.telemetry(); }
+  const Telemetry& telemetry() const noexcept { return engine_.telemetry(); }
+
   /// Per-worker sampled-configuration cache. Sampling plans keep their
   /// sample in this slot so instance/output capacity persists across
   /// trials, and an exact (owner, seed) repeat skips resampling entirely.
@@ -175,12 +182,22 @@ TrialRange shard_range(std::uint64_t trials, unsigned shard,
 struct ShardTally {
   std::uint64_t successes = 0;
   std::uint64_t trials = 0;  ///< trials executed in this range
+
+  /// Communication volume accumulated executing this range. The
+  /// deterministic counters are per-trial sums, so shard telemetries
+  /// merged over a partition of [0, trials) equal the unsharded run's
+  /// counters bit for bit.
+  Telemetry telemetry;
 };
 
 /// Sums shard tallies into a full-plan estimate. Bit-identical to
 /// BatchRunner::run on the whole plan whenever the tallies came from a
 /// partition of [0, plan.trials).
 stats::Estimate merge_tallies(std::span<const ShardTally> tallies);
+
+/// Merges the telemetry blocks of shard tallies (the telemetry
+/// counterpart of merge_tallies).
+Telemetry merge_telemetries(std::span<const ShardTally> tallies);
 
 /// Executes ExperimentPlans. Arenas persist across run() calls, so a
 /// runner reused for a sweep keeps its scratch warm. Not thread-safe;
@@ -205,13 +222,23 @@ class BatchRunner {
   /// Runs a count_trial plan; returns the `plan.counters` summed slots.
   std::vector<std::uint64_t> run_counts(const ExperimentPlan& plan);
 
+  /// Telemetry of the most recent run/run_shard/run_mean/run_counts:
+  /// the per-worker accumulators merged in worker order. Deterministic
+  /// counters are bit-identical across thread counts.
+  const Telemetry& last_telemetry() const noexcept { return last_telemetry_; }
+
  private:
   template <typename Body>
   void for_each_trial(const ExperimentPlan& plan, TrialRange range,
                       Body&& body);
 
+  /// Clears per-worker accumulators before a batch / merges them after.
+  void reset_worker_telemetry();
+  Telemetry merged_worker_telemetry();
+
   const stats::ThreadPool* pool_;
   std::vector<WorkerArena> arenas_;
+  Telemetry last_telemetry_;
 };
 
 }  // namespace lnc::local

@@ -92,6 +92,10 @@ EngineResult run_engine(const Instance& inst,
   const bool parallel_steps = options.pool != nullptr;
   s.store_.reset(n, /*shared_arena=*/!parallel_steps);
 
+  // Measured telemetry for THIS run; merged into the scratch accumulator
+  // at the end (BatchRunner reads per-worker totals from there).
+  Telemetry run_telemetry;
+
   auto finish = [&](int rounds, bool completed) {
     EngineResult result;
     result.completed = completed;
@@ -100,6 +104,13 @@ EngineResult run_engine(const Instance& inst,
     for (graph::NodeId v = 0; v < n; ++v) {
       result.output[v] = s.programs_[v]->output();
     }
+    run_telemetry.rounds_executed = static_cast<std::uint64_t>(rounds);
+    run_telemetry.arena_peak_bytes =
+        s.store_.footprint_bytes() +
+        s.programs_.capacity() * sizeof(s.programs_[0]) +
+        s.rngs_.capacity() * sizeof(rand::NodeRng) + s.halted_.capacity();
+    result.telemetry = run_telemetry;
+    s.telemetry_.merge(run_telemetry);
     if (options.retain_programs) result.programs = std::move(s.programs_);
     return result;
   };
@@ -122,13 +133,25 @@ EngineResult run_engine(const Instance& inst,
         MessageWriter out = s.store_.writer(static_cast<graph::NodeId>(v));
         s.programs_[v]->send(round, out);
       });
-      options.pool->parallel_for(n, receive_step);
     } else {
       for (graph::NodeId v = 0; v < n; ++v) {
         MessageWriter out = s.store_.writer(v);
         s.programs_[v]->send(round, out);
         s.store_.end_write(v);
       }
+    }
+    // Count after the send barrier (single-threaded either way, so the
+    // tallies are schedule-independent). Empty messages are silence.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const std::size_t words = s.store_.message(v).size();
+      if (words > 0) {
+        ++run_telemetry.messages_sent;
+        run_telemetry.words_sent += words;
+      }
+    }
+    if (parallel_steps) {
+      options.pool->parallel_for(n, receive_step);
+    } else {
       for (graph::NodeId v = 0; v < n; ++v) receive_step(v);
     }
   }

@@ -28,6 +28,7 @@
 
 #include "graph/graph.h"
 #include "local/instance.h"
+#include "local/telemetry.h"
 #include "rand/coins.h"
 #include "stats/threadpool.h"
 
@@ -101,6 +102,18 @@ class MessageStore {
       return {flat_.data() + offsets_[v], flat_.data() + offsets_[v + 1]};
     }
     return {buffers_[v].data(), buffers_[v].size()};
+  }
+
+  /// Retained capacity of the message arena, in bytes (telemetry's
+  /// arena high-water mark).
+  std::size_t footprint_bytes() const noexcept {
+    std::size_t bytes = flat_.capacity() * sizeof(std::uint64_t) +
+                        offsets_.capacity() * sizeof(std::size_t) +
+                        buffers_.capacity() * sizeof(buffers_[0]);
+    for (const auto& buffer : buffers_) {
+      bytes += buffer.capacity() * sizeof(std::uint64_t);
+    }
+    return bytes;
   }
 
  private:
@@ -199,6 +212,13 @@ class EngineScratch {
   EngineScratch(EngineScratch&&) = default;
   EngineScratch& operator=(EngineScratch&&) = default;
 
+  /// Telemetry accumulated across every run executed on this scratch
+  /// since the last reset(). Lock-free by construction: one scratch per
+  /// worker. BatchRunner resets per-worker accumulators at the start of
+  /// each batch and merges them into the batch result.
+  Telemetry& telemetry() noexcept { return telemetry_; }
+  const Telemetry& telemetry() const noexcept { return telemetry_; }
+
  private:
   friend EngineResult run_engine(const Instance& inst,
                                  const NodeProgramFactory& factory,
@@ -212,6 +232,7 @@ class EngineScratch {
   // again on this scratch.
   const NodeProgramFactory* last_factory_ = nullptr;
   std::string last_factory_name_;
+  Telemetry telemetry_;
 };
 
 struct EngineOptions {
@@ -235,6 +256,10 @@ struct EngineResult {
   Labeling output;
   int rounds = 0;       ///< rounds executed until the last node halted
   bool completed = false;  ///< false iff max_rounds was exhausted
+
+  /// Measured communication volume of THIS run (also merged into the
+  /// scratch's cross-run accumulator when one was passed in).
+  Telemetry telemetry;
 
   /// The per-node programs — populated only when
   /// EngineOptions::retain_programs is set. programs[v] belongs to node v.

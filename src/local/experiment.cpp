@@ -108,6 +108,11 @@ void run_two_phase_mode(const Instance& inst, int radius,
     if (options.grant_n) view.n_nodes = n;
     output[v] = compute(view);
   }
+  if (options.arena != nullptr) {
+    // Phase-one flooding was measured by the engine; phase two only
+    // materializes the reconstructed balls in the harness.
+    options.arena->telemetry().ball_expansions += n;
+  }
 }
 
 }  // namespace
@@ -131,6 +136,9 @@ void run_construction_into(const Instance& inst, const BallAlgorithm& algo,
     case ExecMode::kBalls: {
       RunOptions run_options;
       run_options.grant_n = options.grant_n;
+      if (options.arena != nullptr) {
+        run_options.telemetry = &options.arena->telemetry();
+      }
       run_ball_algorithm_into(inst, algo, output, run_options);
       return;
     }
@@ -157,6 +165,9 @@ void run_construction_into(const Instance& inst,
     case ExecMode::kBalls: {
       RunOptions run_options;
       run_options.grant_n = options.grant_n;
+      if (options.arena != nullptr) {
+        run_options.telemetry = &options.arena->telemetry();
+      }
       run_ball_algorithm_into(inst, algo, coins, output, run_options);
       return;
     }

@@ -1,5 +1,8 @@
 #include "local/runner.h"
 
+#include <algorithm>
+#include <atomic>
+
 namespace lnc::local {
 namespace {
 
@@ -9,6 +12,11 @@ void run_per_node(const Instance& inst, int radius, const RunOptions& options,
   inst.validate();
   const graph::NodeId n = inst.node_count();
   output.assign(n, 0);
+  const bool count = options.telemetry != nullptr;
+  // Relaxed atomics: uint64 addition commutes, so the totals are
+  // bit-identical whatever the node schedule (pool or sequential).
+  std::atomic<std::uint64_t> announcements{0};
+  std::atomic<std::uint64_t> encoded_words{0};
   auto body = [&](std::uint64_t v) {
     const graph::BallView ball(inst.g, static_cast<graph::NodeId>(v), radius);
     View view;
@@ -16,11 +24,26 @@ void run_per_node(const Instance& inst, int radius, const RunOptions& options,
     view.instance = &inst;
     if (options.grant_n) view.n_nodes = n;
     output[v] = compute(view);
+    if (count) {
+      announcements.fetch_add(ball.size(), std::memory_order_relaxed);
+      encoded_words.fetch_add(ball.encoded_words(),
+                              std::memory_order_relaxed);
+    }
   };
   if (options.pool != nullptr) {
     options.pool->parallel_for(n, body);
   } else {
     for (graph::NodeId v = 0; v < n; ++v) body(v);
+  }
+  if (count) {
+    // The simulation-theorem charge (local/telemetry.h): delivering every
+    // inspected view, over max(radius, 1) rounds (wake-up included).
+    Telemetry& telemetry = *options.telemetry;
+    telemetry.messages_sent += announcements.load(std::memory_order_relaxed);
+    telemetry.words_sent += encoded_words.load(std::memory_order_relaxed);
+    telemetry.rounds_executed +=
+        static_cast<std::uint64_t>(std::max(radius, 1));
+    telemetry.ball_expansions += n;
   }
 }
 

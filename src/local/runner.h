@@ -13,6 +13,7 @@
 
 #include "graph/ball.h"
 #include "local/instance.h"
+#include "local/telemetry.h"
 #include "rand/coins.h"
 #include "stats/threadpool.h"
 
@@ -66,6 +67,13 @@ class RandomizedBallAlgorithm {
 struct RunOptions {
   bool grant_n = false;
   const stats::ThreadPool* pool = nullptr;
+
+  /// When set, the run charges its modeled communication volume here (see
+  /// local/telemetry.h: per inspected ball, one announcement per member
+  /// and the ball's canonical encoding in words; max(radius, 1) rounds
+  /// per run). Charges are pure functions of the instance and radius —
+  /// deterministic across thread counts.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Runs a deterministic ball algorithm at every node.

@@ -1,0 +1,75 @@
+// Communication-volume telemetry (ROADMAP "Engine telemetry").
+//
+// The paper's round-count tables report one resource; message/word volume
+// is the other implicit cost of a local algorithm, and the randomized-
+// network literature frames its tradeoffs in exactly those terms. Every
+// execution path accumulates a Telemetry block:
+//
+//  * engine executions (kMessages, kTwoPhase collection, engine-backed
+//    constructions) MEASURE their counters: every non-silent message, its
+//    word count, and every executed round;
+//  * ball-mode executions (the direct ball runner, ball-based decider
+//    evaluations) MODEL theirs through the simulation theorem (paper,
+//    section 2.1.1): inspecting B(v, t) is charged as the delivery of the
+//    view to v — one announcement per ball member (`messages_sent`), the
+//    canonical knowledge encoding of the ball (`words_sent`, the same
+//    encoding the flooding collector transmits), and max(t, 1) rounds per
+//    execution (the wake-up round in which nodes announce their initial
+//    records always runs, so zero-round algorithms are charged the
+//    announcements they actually read).
+//
+// Counters accumulate lock-free per worker (inside EngineScratch, reached
+// through WorkerArena) and are merged deterministically by BatchRunner
+// alongside the success tallies. The first four counters are pure
+// functions of the executed trial set — bit-identical across thread
+// counts and across sharded vs. unsharded runs (tests/batch_test.cpp,
+// tests/scenario_test.cpp). The last two describe the executing machine
+// and are reported but never gated.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace lnc::local {
+
+struct Telemetry {
+  // -- deterministic counters (gated by CI) --------------------------------
+  std::uint64_t messages_sent = 0;    ///< non-silent messages (or modeled
+                                      ///< per-member announcements)
+  std::uint64_t words_sent = 0;       ///< 64-bit words across all messages
+  std::uint64_t rounds_executed = 0;  ///< engine rounds, or max(t, 1) per
+                                      ///< ball-mode execution
+  std::uint64_t ball_expansions = 0;  ///< BallViews materialized in the
+                                      ///< harness (direct runner, decider
+                                      ///< evaluations, two-phase rebuilds)
+
+  // -- environment-dependent (reported, never gated) ------------------------
+  std::uint64_t arena_peak_bytes = 0;  ///< high-water engine-arena footprint
+  double wall_seconds = 0.0;           ///< summed per-trial wall time
+
+  void reset() noexcept { *this = Telemetry{}; }
+
+  /// Order-free accumulation: counters and wall time sum, the arena
+  /// high-water mark takes the max — merging per-worker or per-shard
+  /// blocks in any order yields the same deterministic counters.
+  void merge(const Telemetry& other) noexcept {
+    messages_sent += other.messages_sent;
+    words_sent += other.words_sent;
+    rounds_executed += other.rounds_executed;
+    ball_expansions += other.ball_expansions;
+    arena_peak_bytes = std::max(arena_peak_bytes, other.arena_peak_bytes);
+    wall_seconds += other.wall_seconds;
+  }
+
+  /// Equality of the deterministic counters only — the contract checked
+  /// across thread counts and shard partitions (timing fields are
+  /// machine-dependent by nature).
+  bool deterministic_equal(const Telemetry& other) const noexcept {
+    return messages_sent == other.messages_sent &&
+           words_sent == other.words_sent &&
+           rounds_executed == other.rounds_executed &&
+           ball_expansions == other.ball_expansions;
+  }
+};
+
+}  // namespace lnc::local

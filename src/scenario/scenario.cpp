@@ -139,8 +139,10 @@ CompiledScenario compile(const ScenarioSpec& spec) {
             local::Labeling& output = env.arena->labeling();
             construction->run(*inst_ptr, env, output);
             const rand::PhiloxCoins d_coins = env.decision_coins();
+            decide::EvaluateOptions trial_options = eval_options;
+            trial_options.telemetry = &env.arena->telemetry();
             const decide::DecisionOutcome outcome = decide::evaluate(
-                *inst_ptr, output, *decider, d_coins, eval_options);
+                *inst_ptr, output, *decider, d_coins, trial_options);
             return outcome.accepted == accept;
           });
     }

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 
@@ -277,6 +278,39 @@ ScenarioSpec spec_from_json(const std::string& text) {
     }
   }
   return spec;
+}
+
+std::string telemetry_to_json(const local::Telemetry& telemetry) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"messages\": " << telemetry.messages_sent
+     << ", \"words\": " << telemetry.words_sent
+     << ", \"rounds\": " << telemetry.rounds_executed
+     << ", \"ball_expansions\": " << telemetry.ball_expansions
+     << ", \"arena_peak_bytes\": " << telemetry.arena_peak_bytes
+     << ", \"wall_seconds\": " << telemetry.wall_seconds << "}";
+  return os.str();
+}
+
+local::Telemetry telemetry_from_json(const Json& json) {
+  local::Telemetry telemetry;
+  if (json.has("messages")) {
+    telemetry.messages_sent = json.at("messages").as_uint64();
+  }
+  if (json.has("words")) telemetry.words_sent = json.at("words").as_uint64();
+  if (json.has("rounds")) {
+    telemetry.rounds_executed = json.at("rounds").as_uint64();
+  }
+  if (json.has("ball_expansions")) {
+    telemetry.ball_expansions = json.at("ball_expansions").as_uint64();
+  }
+  if (json.has("arena_peak_bytes")) {
+    telemetry.arena_peak_bytes = json.at("arena_peak_bytes").as_uint64();
+  }
+  if (json.has("wall_seconds")) {
+    telemetry.wall_seconds = json.at("wall_seconds").as_number();
+  }
+  return telemetry;
 }
 
 }  // namespace lnc::scenario

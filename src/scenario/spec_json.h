@@ -63,4 +63,16 @@ struct Json {
 /// registries — call scenario::validate on the result.
 ScenarioSpec spec_from_json(const std::string& text);
 
+/// Serializes a telemetry block as a JSON object — the shared wire form
+/// used by sweep shard files (scenario/sweep.cpp) and the bench binaries'
+/// TABLE_*.json `telemetry` member (bench/bench_common.h):
+///
+///   {"messages": M, "words": W, "rounds": R, "ball_expansions": B,
+///    "arena_peak_bytes": A, "wall_seconds": S}
+std::string telemetry_to_json(const local::Telemetry& telemetry);
+
+/// Reads a telemetry block written by telemetry_to_json. Missing keys
+/// default to zero (forward compatibility with pre-telemetry files).
+local::Telemetry telemetry_from_json(const Json& json);
+
 }  // namespace lnc::scenario

@@ -1,5 +1,6 @@
 #include "scenario/sweep.h"
 
+#include <initializer_list>
 #include <ostream>
 #include <set>
 
@@ -105,6 +106,7 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards) {
                   "merging rows of different grid points");
       row.tally.successes += other.tally.successes;
       row.tally.trials += other.tally.trials;
+      row.tally.telemetry.merge(other.tally.telemetry);
     }
   }
   for (const SweepRow& row : merged.rows) {
@@ -121,10 +123,37 @@ stats::Estimate row_estimate(const SweepRow& row) {
   return local::merge_tallies(tallies);
 }
 
-util::Table to_table(const SweepResult& result) {
+local::Telemetry result_telemetry(const SweepResult& result) {
+  local::Telemetry merged;
+  for (const SweepRow& row : result.rows) merged.merge(row.tally.telemetry);
+  return merged;
+}
+
+namespace {
+
+void add_telemetry_cells(util::Table& table, const SweepRow& row) {
+  table.add_cell(row.tally.telemetry.messages_sent)
+      .add_cell(row.tally.telemetry.words_sent)
+      .add_cell(row.tally.telemetry.rounds_executed)
+      .add_cell(row.tally.telemetry.ball_expansions);
+}
+
+}  // namespace
+
+util::Table to_table(const SweepResult& result, bool with_telemetry) {
+  // Only the deterministic counters appear as columns — the table stays
+  // diffable across thread counts and shard layouts; timing lives in the
+  // JSON telemetry block and the CLI's `timing:` line.
+  const std::vector<std::string> telemetry_headers = {"msgs", "words",
+                                                      "rounds", "balls"};
   if (!result.complete()) {
-    util::Table table({"n", "actual n", "shard trials", "shard successes",
-                       "of total"});
+    std::vector<std::string> headers = {"n", "actual n", "shard trials",
+                                        "shard successes", "of total"};
+    if (with_telemetry) {
+      headers.insert(headers.end(), telemetry_headers.begin(),
+                     telemetry_headers.end());
+    }
+    util::Table table(std::move(headers));
     for (const SweepRow& row : result.rows) {
       table.new_row()
           .add_cell(row.requested_n)
@@ -132,11 +161,18 @@ util::Table to_table(const SweepResult& result) {
           .add_cell(row.tally.trials)
           .add_cell(row.tally.successes)
           .add_cell(row.total_trials);
+      if (with_telemetry) add_telemetry_cells(table, row);
     }
     return table;
   }
-  util::Table table(
-      {"n", "actual n", "trials", "successes", "p_hat", "ci lo", "ci hi"});
+  std::vector<std::string> headers = {"n",         "actual n", "trials",
+                                      "successes", "p_hat",    "ci lo",
+                                      "ci hi"};
+  if (with_telemetry) {
+    headers.insert(headers.end(), telemetry_headers.begin(),
+                   telemetry_headers.end());
+  }
+  util::Table table(std::move(headers));
   for (const SweepRow& row : result.rows) {
     const stats::Estimate estimate = row_estimate(row);
     table.new_row()
@@ -147,6 +183,7 @@ util::Table to_table(const SweepResult& result) {
         .add_cell(estimate.p_hat, 4)
         .add_cell(estimate.ci.lo, 4)
         .add_cell(estimate.ci.hi, 4);
+    if (with_telemetry) add_telemetry_cells(table, row);
   }
   return table;
 }
@@ -162,13 +199,36 @@ void write_json(std::ostream& os, const SweepResult& result) {
     os << "{\"n\": " << row.requested_n << ", \"actual_n\": " << row.actual_n
        << ", \"total_trials\": " << row.total_trials
        << ", \"trials\": " << row.tally.trials
-       << ", \"successes\": " << row.tally.successes << "}";
+       << ", \"successes\": " << row.tally.successes << ", \"telemetry\": "
+       << telemetry_to_json(row.tally.telemetry) << "}";
   }
   os << "]}\n";
 }
 
-SweepResult sweep_from_json(const std::string& text) {
+SweepResult sweep_from_json(const std::string& text,
+                            std::vector<std::string>* warnings) {
   const Json root = Json::parse(text);
+  // Deduplicated by (where, key): a 50-row shard file with one foreign
+  // row key warns once, not 50 times.
+  std::set<std::pair<std::string, std::string>> warned;
+  auto warn_unknown = [&](const Json::Object& object,
+                          std::initializer_list<const char*> known,
+                          const std::string& where) {
+    if (warnings == nullptr) return;
+    for (const auto& [key, value] : object) {
+      (void)value;
+      bool recognized = false;
+      for (const char* name : known) recognized |= key == name;
+      if (!recognized && warned.emplace(where, key).second) {
+        warnings->push_back("unrecognized " + where + " key '" + key +
+                            "' (shard file written by a different "
+                            "lnc_sweep generation?)");
+      }
+    }
+  };
+  warn_unknown(root.as_object(),
+               {"scenario", "base_seed", "shard", "shard_count", "rows"},
+               "top-level");
   SweepResult result;
   result.scenario = root.at("scenario").as_string();
   result.base_seed = root.at("base_seed").as_uint64();
@@ -176,12 +236,19 @@ SweepResult sweep_from_json(const std::string& text) {
   result.shard_count =
       static_cast<unsigned>(root.at("shard_count").as_uint64());
   for (const Json& row_json : root.at("rows").as_array()) {
+    warn_unknown(row_json.as_object(),
+                 {"n", "actual_n", "total_trials", "trials", "successes",
+                  "telemetry"},
+                 "row");
     SweepRow row;
     row.requested_n = row_json.at("n").as_uint64();
     row.actual_n = row_json.at("actual_n").as_uint64();
     row.total_trials = row_json.at("total_trials").as_uint64();
     row.tally.trials = row_json.at("trials").as_uint64();
     row.tally.successes = row_json.at("successes").as_uint64();
+    if (row_json.has("telemetry")) {
+      row.tally.telemetry = telemetry_from_json(row_json.at("telemetry"));
+    }
     result.rows.push_back(row);
   }
   return result;

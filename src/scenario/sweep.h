@@ -27,7 +27,8 @@ struct SweepRow {
   std::uint64_t requested_n = 0;
   std::uint64_t actual_n = 0;        ///< instance node count realized
   std::uint64_t total_trials = 0;    ///< the plan's full trial count
-  local::ShardTally tally;           ///< this result's executed share
+  local::ShardTally tally;           ///< this result's executed share,
+                                     ///< including its telemetry block
 };
 
 struct SweepResult {
@@ -61,11 +62,21 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards);
 /// The Wilson estimate of a complete row.
 stats::Estimate row_estimate(const SweepRow& row);
 
-/// Human-readable table (estimate columns only for complete results).
-util::Table to_table(const SweepResult& result);
+/// All rows' telemetry merged (the whole-sweep communication volume).
+local::Telemetry result_telemetry(const SweepResult& result);
 
-/// Shard-file JSON round trip (cross-process merge).
+/// Human-readable table (estimate columns only for complete results).
+/// `with_telemetry` appends the deterministic communication-volume
+/// columns (msgs / words / rounds / balls) to every row.
+util::Table to_table(const SweepResult& result, bool with_telemetry = false);
+
+/// Shard-file JSON round trip (cross-process merge). Rows carry a
+/// `telemetry` block; readers tolerate its absence (files written by
+/// pre-telemetry binaries merge with zeroed counters). Unrecognized keys
+/// are reported through `warnings` when non-null — the guard that
+/// surfaces stale shard files written by a different binary generation.
 void write_json(std::ostream& os, const SweepResult& result);
-SweepResult sweep_from_json(const std::string& text);
+SweepResult sweep_from_json(const std::string& text,
+                            std::vector<std::string>* warnings = nullptr);
 
 }  // namespace lnc::scenario

@@ -109,7 +109,8 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
-void Table::print_json(std::ostream& os) const {
+void Table::print_json(std::ostream& os,
+                       const std::string& extra_members) const {
   auto emit_string = [&](const std::string& s) {
     os << '"' << json_escape(s) << '"';
   };
@@ -128,7 +129,9 @@ void Table::print_json(std::ostream& os) const {
     if (r > 0) os << ", ";
     emit_array(rows_[r]);
   }
-  os << "]}\n";
+  os << "]";
+  if (!extra_members.empty()) os << ", " << extra_members;
+  os << "}\n";
 }
 
 std::string Table::to_string() const {

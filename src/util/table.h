@@ -41,8 +41,11 @@ class Table {
 
   /// Renders as JSON: {"headers": [...], "rows": [[...], ...]} — the
   /// machine-readable form the bench binaries export per PR so table
-  /// trajectories can be diffed and plotted.
-  void print_json(std::ostream& os) const;
+  /// trajectories can be diffed and plotted. `extra_members`, when
+  /// non-empty, is a raw JSON fragment (e.g. "\"telemetry\": {...}")
+  /// appended as additional top-level members.
+  void print_json(std::ostream& os,
+                  const std::string& extra_members = {}) const;
 
   /// Renders to a string via print().
   std::string to_string() const;

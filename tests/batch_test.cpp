@@ -222,6 +222,100 @@ TEST(BatchReproducibility, ModesAgreeInDistributionThroughPlans) {
   expect_identical(balls, runner.run(plan_for(ExecMode::kTwoPhase)));
 }
 
+// -- telemetry: deterministic counters across thread counts ----------------
+
+void expect_telemetry_identical(const local::Telemetry& x,
+                                const local::Telemetry& y) {
+  EXPECT_EQ(x.messages_sent, y.messages_sent);
+  EXPECT_EQ(x.words_sent, y.words_sent);
+  EXPECT_EQ(x.rounds_executed, y.rounds_executed);
+  EXPECT_EQ(x.ball_expansions, y.ball_expansions);
+  EXPECT_TRUE(x.deterministic_equal(y));
+}
+
+TEST(BatchTelemetry, EngineCountersIdenticalAcrossThreadCounts) {
+  // kMessages runs the flooding simulation natively through the engine:
+  // every counter is MEASURED (non-silent messages, their words, rounds).
+  // A radius-2 algorithm actually floods; radius-0 ones measure zero.
+  const local::Instance inst = core::consecutive_ring(24);
+  const CenterRank rank2(2);
+  const local::AsRandomized randomized(rank2);
+  auto plan = [&]() {
+    return local::construction_plan(
+        "telemetry-engine", inst, randomized,
+        [](const local::Instance&, const local::Labeling& y) {
+          return y[0] % 2 == 0;
+        },
+        300, 19, ExecMode::kMessages);
+  };
+  BatchRunner sequential;
+  sequential.run(plan());
+  const local::Telemetry reference = sequential.last_telemetry();
+  EXPECT_GT(reference.messages_sent, 0u);
+  EXPECT_GT(reference.words_sent, 0u);
+  EXPECT_GT(reference.rounds_executed, 0u);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const stats::ThreadPool pool(threads);
+    BatchRunner runner(&pool);
+    runner.run(plan());
+    expect_telemetry_identical(reference, runner.last_telemetry());
+    // A warm re-run must report the SAME batch telemetry (per-batch
+    // reset, not a cross-run accumulation).
+    runner.run(plan());
+    expect_telemetry_identical(reference, runner.last_telemetry());
+  }
+}
+
+TEST(BatchTelemetry, BallModeModeledCountersIdenticalAcrossThreadCounts) {
+  // kBalls never touches the engine: the counters are the MODELED
+  // simulation-theorem charge, still a pure function of the trial set.
+  const local::Instance inst = core::consecutive_ring(30);
+  const algo::UniformRandomColoring coloring(3);
+  const lang::ProperColoring base(3);
+  const decide::ResilientDecider decider(base, 1);
+  auto plan = [&]() {
+    return decide::construct_then_decide_plan(
+        "telemetry-balls", inst, coloring, decider, 400, 23);
+  };
+  BatchRunner sequential;
+  sequential.run(plan());
+  const local::Telemetry reference = sequential.last_telemetry();
+  EXPECT_GT(reference.messages_sent, 0u);
+  EXPECT_GT(reference.words_sent, 0u);
+  EXPECT_GT(reference.rounds_executed, 0u);
+  EXPECT_GT(reference.ball_expansions, 0u);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const stats::ThreadPool pool(threads);
+    BatchRunner runner(&pool);
+    runner.run(plan());
+    expect_telemetry_identical(reference, runner.last_telemetry());
+  }
+}
+
+TEST(BatchTelemetry, ShardTelemetriesSumToTheUnshardedRun) {
+  const local::Instance inst = core::consecutive_ring(18);
+  const CenterRank rank2(2);
+  const local::AsRandomized randomized(rank2);
+  auto plan = [&]() {
+    return local::construction_plan(
+        "telemetry-shards", inst, randomized,
+        [](const local::Instance&, const local::Labeling& y) {
+          return y[0] % 2 == 0;
+        },
+        101, 31, ExecMode::kMessages);
+  };
+  BatchRunner runner;
+  const local::ShardTally full = runner.run_shard(plan(), {0, 101});
+  EXPECT_GT(full.telemetry.messages_sent, 0u);
+  std::vector<local::ShardTally> parts;
+  for (unsigned s = 0; s < 3; ++s) {
+    parts.push_back(
+        runner.run_shard(plan(), local::shard_range(101, s, 3)));
+  }
+  expect_telemetry_identical(full.telemetry,
+                             local::merge_telemetries(parts));
+}
+
 TEST(BatchReproducibility, MeanAndCountPlansAcrossThreadCounts) {
   const local::Instance inst = core::consecutive_ring(36);
   const algo::UniformRandomColoring coloring(3);

@@ -160,6 +160,84 @@ TEST(Sharding, UnevenThreeWayMergeAndJsonRoundTrip) {
   EXPECT_EQ(merged.rows[0].tally.successes, full.rows[0].tally.successes);
 }
 
+TEST(Sharding, TelemetryTwoWayMergeEqualsUnshardedBitForBit) {
+  // The deterministic communication counters obey the same partition
+  // contract as the success tallies: any shard split merges back to the
+  // unsharded counters exactly, for every preset.
+  for (const ScenarioSpec& preset : scenario::preset_scenarios()) {
+    const ScenarioSpec spec = shrunk(preset, 9);
+    const scenario::CompiledScenario compiled = scenario::compile(spec);
+    const scenario::SweepResult full = scenario::run_sweep(compiled);
+    scenario::SweepOptions shard0;
+    shard0.shard_count = 2;
+    scenario::SweepOptions shard1;
+    shard1.shard = 1;
+    shard1.shard_count = 2;
+    const scenario::SweepResult parts[] = {
+        scenario::run_sweep(compiled, shard0),
+        scenario::run_sweep(compiled, shard1)};
+    const scenario::SweepResult merged = scenario::merge_sweeps(parts);
+    ASSERT_EQ(merged.rows.size(), full.rows.size()) << spec.name;
+    for (std::size_t i = 0; i < full.rows.size(); ++i) {
+      const local::Telemetry& want = full.rows[i].tally.telemetry;
+      const local::Telemetry& got = merged.rows[i].tally.telemetry;
+      EXPECT_EQ(got.messages_sent, want.messages_sent) << spec.name;
+      EXPECT_EQ(got.words_sent, want.words_sent) << spec.name;
+      EXPECT_EQ(got.rounds_executed, want.rounds_executed) << spec.name;
+      EXPECT_EQ(got.ball_expansions, want.ball_expansions) << spec.name;
+    }
+  }
+}
+
+TEST(Sharding, TelemetryUnevenThreeWayMergeSurvivesJsonRoundTrip) {
+  const ScenarioSpec* preset = scenario::find_preset("ring-amos-yes");
+  ASSERT_NE(preset, nullptr);
+  const ScenarioSpec spec = shrunk(*preset, 10);
+  const scenario::CompiledScenario compiled = scenario::compile(spec);
+  const scenario::SweepResult full = scenario::run_sweep(compiled);
+  ASSERT_GT(full.rows[0].tally.telemetry.messages_sent, 0u);
+  ASSERT_GT(full.rows[0].tally.telemetry.words_sent, 0u);
+  ASSERT_GT(full.rows[0].tally.telemetry.rounds_executed, 0u);
+
+  std::vector<scenario::SweepResult> shards;
+  for (unsigned s = 0; s < 3; ++s) {  // 10 trials over 3 shards: 4/3/3
+    scenario::SweepOptions options;
+    options.shard = s;
+    options.shard_count = 3;
+    std::ostringstream os;
+    scenario::write_json(os, scenario::run_sweep(compiled, options));
+    std::vector<std::string> warnings;
+    shards.push_back(scenario::sweep_from_json(os.str(), &warnings));
+    EXPECT_TRUE(warnings.empty()) << warnings[0];
+  }
+  const scenario::SweepResult merged = scenario::merge_sweeps(shards);
+  EXPECT_TRUE(merged.rows[0].tally.telemetry.deterministic_equal(
+      full.rows[0].tally.telemetry));
+}
+
+TEST(SweepJson, WarnsOnUnrecognizedKeysButStillParses) {
+  // A shard file from a different binary generation (here: an invented
+  // top-level key and an invented row key) must parse — old files stay
+  // mergeable — but surface both foreign keys as warnings.
+  const std::string text =
+      "{\"scenario\": \"x\", \"base_seed\": 1, \"shard\": 0, "
+      "\"shard_count\": 1, \"future_field\": 7, \"rows\": "
+      "[{\"n\": 8, \"actual_n\": 8, \"total_trials\": 4, \"trials\": 4, "
+      "\"successes\": 2, \"exotic\": 1}]}";
+  std::vector<std::string> warnings;
+  const scenario::SweepResult result =
+      scenario::sweep_from_json(text, &warnings);
+  EXPECT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].tally.successes, 2u);
+  // Pre-telemetry rows read back with zeroed counters.
+  EXPECT_EQ(result.rows[0].tally.telemetry.messages_sent, 0u);
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_NE(warnings[0].find("future_field"), std::string::npos);
+  EXPECT_NE(warnings[1].find("exotic"), std::string::npos);
+  // Without a warning sink the same file parses silently (library use).
+  EXPECT_EQ(scenario::sweep_from_json(text).rows.size(), 1u);
+}
+
 TEST(Sharding, CanMergeRejectsDuplicateAndIncompleteShardSets) {
   const ScenarioSpec* preset = scenario::find_preset("ring-amos-yes");
   ASSERT_NE(preset, nullptr);

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI telemetry gate: deterministic communication counters must be nonzero
+and bit-identical across lnc_sweep result files.
+
+Usage: check_telemetry.py RESULT.json RESULT.json...
+
+Each file is an lnc_sweep --out file (unsharded or merged: every row must
+cover its full trial range). The gate checks, per row, that the
+deterministic counters (messages, words, rounds, ball_expansions) are
+nonzero and agree across every file — the contract that makes
+communication-volume trajectories comparable across thread counts and
+shard layouts. Timing fields (wall_seconds, arena_peak_bytes) are
+machine-dependent and deliberately ignored.
+"""
+import json
+import sys
+
+DETERMINISTIC = ("messages", "words", "rounds", "ball_expansions")
+# Counters the smoke scenario must actually exercise; ball_expansions is
+# nonzero for ball-mode runs but legitimately zero for pure engine sweeps.
+MUST_BE_NONZERO = ("messages", "words", "rounds")
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = data["rows"]
+    for row in rows:
+        if row["trials"] != row["total_trials"]:
+            raise SystemExit(
+                f"{path}: row n={row['n']} covers {row['trials']} of "
+                f"{row['total_trials']} trials — pass a complete "
+                "(unsharded or merged) result to the gate")
+        if "telemetry" not in row:
+            raise SystemExit(f"{path}: row n={row['n']} has no telemetry "
+                             "block (binary built without --telemetry "
+                             "support?)")
+    return data["scenario"], rows
+
+
+def main(argv):
+    if len(argv) < 3:
+        raise SystemExit(__doc__)
+    reference_path = argv[1]
+    scenario, reference = load_rows(reference_path)
+    for row in reference:
+        for key in MUST_BE_NONZERO:
+            if row["telemetry"][key] == 0:
+                raise SystemExit(
+                    f"{reference_path}: {scenario} n={row['n']}: "
+                    f"deterministic counter '{key}' is zero — telemetry "
+                    "is not being accumulated")
+    for path in argv[2:]:
+        other_scenario, other = load_rows(path)
+        if other_scenario != scenario or len(other) != len(reference):
+            raise SystemExit(f"{path}: result of a different sweep "
+                             f"({other_scenario!r} vs {scenario!r})")
+        for ref_row, row in zip(reference, other):
+            for key in DETERMINISTIC:
+                want, got = ref_row["telemetry"][key], row["telemetry"][key]
+                if want != got:
+                    raise SystemExit(
+                        f"telemetry mismatch: {scenario} n={row['n']} "
+                        f"counter '{key}': {reference_path} has {want}, "
+                        f"{path} has {got}")
+    names = ", ".join(argv[2:])
+    print(f"telemetry gate OK: {scenario} deterministic counters nonzero "
+          f"and identical across {reference_path} and {names}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

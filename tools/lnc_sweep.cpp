@@ -57,7 +57,10 @@ int usage(std::ostream& os, int code) {
         "       lnc_sweep --merge SHARD.json...\n"
         "overrides: --param k=v | --n A,B,C | --trials N | --seed S\n"
         "           --success accept|reject | --mode balls|messages|two-phase\n"
-        "           --shard i/k | --threads N | --out FILE\n";
+        "           --shard i/k | --threads N | --out FILE | --telemetry\n"
+        "--telemetry adds communication-volume columns (msgs/words/rounds/\n"
+        "balls; deterministic across thread counts and shardings) plus a\n"
+        "timing line (wall time, arena peak; machine-dependent).\n";
   return code;
 }
 
@@ -121,6 +124,7 @@ struct Options {
   unsigned shard = 0;
   unsigned shard_count = 1;
   unsigned threads = 1;
+  bool telemetry = false;
   std::optional<std::string> out_file;
 };
 
@@ -226,6 +230,8 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
     } else if (arg == "--threads") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.threads = static_cast<unsigned>(std::stoul(value));
+    } else if (arg == "--telemetry") {
+      options.telemetry = true;
     } else if (arg == "--out") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.out_file = value;
@@ -261,6 +267,21 @@ std::string out_path_for(const std::string& out_file, const std::string& name,
   return out_file.substr(0, dot) + "-" + name + out_file.substr(dot);
 }
 
+/// Two summary lines per result: the deterministic counters on one (CI
+/// greps and diffs this line across thread counts and shardings), the
+/// machine-dependent timing on the other.
+void print_telemetry_summary(std::ostream& os,
+                             const scenario::SweepResult& result) {
+  const local::Telemetry total = scenario::result_telemetry(result);
+  os << "telemetry[" << result.scenario
+     << "]: messages=" << total.messages_sent
+     << " words=" << total.words_sent << " rounds=" << total.rounds_executed
+     << " ball_expansions=" << total.ball_expansions << "\n";
+  os << "timing[" << result.scenario << "]: wall_ms="
+     << static_cast<std::uint64_t>(total.wall_seconds * 1e3)
+     << " arena_peak_bytes=" << total.arena_peak_bytes << "\n\n";
+}
+
 int run_one(const scenario::ScenarioSpec& spec, const Options& options,
             bool multiple_specs, const stats::ThreadPool* pool,
             std::ostream& os) {
@@ -286,8 +307,9 @@ int run_one(const scenario::ScenarioSpec& spec, const Options& options,
   }
   os << ") ===\n";
   if (!spec.doc.empty()) os << spec.doc << "\n";
-  scenario::to_table(result).print(os);
+  scenario::to_table(result, options.telemetry).print(os);
   os << "\n";
+  if (options.telemetry) print_telemetry_summary(os, result);
 
   if (options.out_file) {
     const std::string path =
@@ -312,7 +334,11 @@ int merge_mode(const Options& options) {
     }
     std::ostringstream text;
     text << in.rdbuf();
-    shards.push_back(scenario::sweep_from_json(text.str()));
+    std::vector<std::string> warnings;
+    shards.push_back(scenario::sweep_from_json(text.str(), &warnings));
+    for (const std::string& warning : warnings) {
+      std::cerr << "warning: " << path << ": " << warning << "\n";
+    }
   }
   const std::string merge_error = scenario::can_merge(shards);
   if (!merge_error.empty()) {
@@ -322,7 +348,11 @@ int merge_mode(const Options& options) {
   const scenario::SweepResult merged = scenario::merge_sweeps(shards);
   std::cout << "=== " << merged.scenario << " (merged from " << shards.size()
             << " shard files) ===\n";
-  scenario::to_table(merged).print(std::cout);
+  scenario::to_table(merged, options.telemetry).print(std::cout);
+  if (options.telemetry) {
+    std::cout << "\n";
+    print_telemetry_summary(std::cout, merged);
+  }
   if (options.out_file) {
     std::ofstream out(*options.out_file);
     if (!out) {
