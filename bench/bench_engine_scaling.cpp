@@ -11,6 +11,8 @@
 #include "local/ball_collector.h"
 #include "local/experiment.h"
 #include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
 #include "stats/threadpool.h"
 #include "util/timer.h"
 
@@ -156,6 +158,61 @@ void print_tables() {
         .add_cell(par_telemetry.rounds_executed);
     bench::print_table(batched, &par_telemetry);
   }
+
+  // Value-plan sharded identity: the SAME round-count workload (Luby MIS
+  // rounds, the E10 statistic) executed (a) unsharded at 1 thread, (b)
+  // unsharded at 8 threads, (c) as a 3-shard merge — the exact-sum
+  // mean/stddev must agree BIT FOR BIT across all three (the value-sweep
+  // counterpart of the telemetry gate, visible in a bench trajectory).
+  std::cout << "Value-plan (mean rounds) thread/shard identity — Luby MIS\n"
+               "on a 512-node random-identity ring, 60 trials:\n\n";
+  util::Table value_identity(
+      {"path", "mean rounds", "stddev", "bit-identical"});
+  {
+    scenario::ScenarioSpec spec;
+    spec.name = "luby-rounds-identity";
+    spec.topology = "ring";
+    spec.language = "mis";
+    spec.construction = "luby-mis";
+    spec.workload = local::WorkloadKind::kValue;
+    spec.statistic = "rounds";
+    spec.params = {{"random-ids", 1}};
+    spec.n_grid = {512};
+    spec.trials = 60;
+    spec.base_seed = 0xE12;
+    const scenario::CompiledScenario compiled = scenario::compile(spec);
+
+    const scenario::SweepResult reference = scenario::run_sweep(compiled);
+    const stats::ThreadPool pool8(8);
+    scenario::SweepOptions pooled;
+    pooled.pool = &pool8;
+    const scenario::SweepResult threaded =
+        scenario::run_sweep(compiled, pooled);
+    std::vector<scenario::SweepResult> shards;
+    for (unsigned s = 0; s < 3; ++s) {
+      scenario::SweepOptions options;
+      options.shard = s;
+      options.shard_count = 3;
+      shards.push_back(scenario::run_sweep(compiled, options));
+    }
+    const scenario::SweepResult merged = scenario::merge_sweeps(shards);
+
+    const stats::MeanEstimate want = scenario::row_mean(reference.rows[0]);
+    auto add_row = [&](const char* path, const scenario::SweepResult& run) {
+      const stats::MeanEstimate got = scenario::row_mean(run.rows[0]);
+      value_identity.new_row()
+          .add_cell(path)
+          .add_cell(got.mean, 4)
+          .add_cell(got.stddev, 4)
+          .add_cell(got.mean == want.mean && got.stddev == want.stddev
+                        ? "yes"
+                        : "NO");
+    };
+    add_row("unsharded, 1 thread", reference);
+    add_row("unsharded, 8 threads", threaded);
+    add_row("3-shard merge", merged);
+  }
+  bench::print_table(value_identity);
 }
 
 void BM_BatchedTrials(benchmark::State& state) {

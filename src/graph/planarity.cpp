@@ -117,10 +117,55 @@ class LrTester {
   }
 
  private:
-  // Orientation phase: builds tree/back edges, lowpoints, nesting depth.
-  bool dfs1(int v) {
+  /// Post-visit step of oriented edge ei out of v (runs after the subtree
+  /// below a tree edge is done, immediately for a back edge): records the
+  /// edge in the oriented adjacency, computes its nesting depth, and
+  /// propagates lowpoints to v's parent edge.
+  void dfs1_post(int v, int ei) {
     const int e = state_.parent_edge[v];
-    for (int ei : incident_[static_cast<std::size_t>(v)]) {
+    state_.out[static_cast<std::size_t>(v)].push_back(ei);
+    // Nesting depth: interleaving order for the testing phase.
+    state_.nesting[ei] = 2 * state_.lowpt[ei];
+    if (state_.lowpt2[ei] < state_.height[v]) {
+      ++state_.nesting[ei];  // chordal: must be nested deeper
+    }
+    // Propagate lowpoints to the parent edge.
+    if (e != kNone) {
+      if (state_.lowpt[ei] < state_.lowpt[e]) {
+        state_.lowpt2[e] = std::min(state_.lowpt[e], state_.lowpt2[ei]);
+        state_.lowpt[e] = state_.lowpt[ei];
+      } else if (state_.lowpt[ei] > state_.lowpt[e]) {
+        state_.lowpt2[e] = std::min(state_.lowpt2[e], state_.lowpt[ei]);
+      } else {
+        state_.lowpt2[e] = std::min(state_.lowpt2[e], state_.lowpt2[ei]);
+      }
+    }
+  }
+
+  // Orientation phase: builds tree/back edges, lowpoints, nesting depth.
+  // Iterative with an explicit frame stack — paths and rings recurse to
+  // depth n, which overflows the thread stack under sanitizers.
+  bool dfs1(int root) {
+    struct Frame {
+      int v;
+      std::size_t i;  // next incident-edge index to inspect
+    };
+    std::vector<Frame> frames = {{root, 0}};
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const int v = frame.v;
+      const auto& incident = incident_[static_cast<std::size_t>(v)];
+      if (frame.i == incident.size()) {
+        frames.pop_back();
+        if (!frames.empty()) {
+          // Returned across the tree edge into v: run its post step in
+          // the parent's context (matches the recursive control flow).
+          const int tree_edge = state_.parent_edge[v];
+          dfs1_post(state_.src[tree_edge], tree_edge);
+        }
+        continue;
+      }
+      const int ei = incident[frame.i++];
       if (state_.oriented[ei] || state_.oriented[state_.twin(ei)]) continue;
       const int w = state_.dst[ei];
       state_.oriented[ei] = 1;
@@ -129,27 +174,10 @@ class LrTester {
       if (state_.height[w] == kNone) {  // tree edge
         state_.parent_edge[w] = ei;
         state_.height[w] = state_.height[v] + 1;
-        if (!dfs1(w)) return false;
+        frames.push_back({w, 0});
       } else {  // back edge
         state_.lowpt[ei] = state_.height[w];
-      }
-      state_.out[static_cast<std::size_t>(v)].push_back(ei);
-      // Nesting depth: interleaving order for the testing phase.
-      state_.nesting[ei] = 2 * state_.lowpt[ei];
-      if (state_.lowpt2[ei] < state_.height[v]) {
-        ++state_.nesting[ei];  // chordal: must be nested deeper
-      }
-      // Propagate lowpoints to the parent edge.
-      if (e != kNone) {
-        if (state_.lowpt[ei] < state_.lowpt[e]) {
-          state_.lowpt2[e] =
-              std::min(state_.lowpt[e], state_.lowpt2[ei]);
-          state_.lowpt[e] = state_.lowpt[ei];
-        } else if (state_.lowpt[ei] > state_.lowpt[e]) {
-          state_.lowpt2[e] = std::min(state_.lowpt2[e], state_.lowpt[ei]);
-        } else {
-          state_.lowpt2[e] = std::min(state_.lowpt2[e], state_.lowpt2[ei]);
-        }
+        dfs1_post(v, ei);
       }
     }
     return true;
@@ -168,41 +196,79 @@ class LrTester {
            state_.lowpt[interval.high] > state_.lowpt[b];
   }
 
-  // Testing phase.
-  bool dfs2(int v) {
+  /// Return-edge step of oriented edge ei (index idx in v's ordered
+  /// adjacency): runs after a tree edge's subtree completes, immediately
+  /// after pushing a back edge. False == not planar.
+  bool dfs2_edge_post(int v, int ei, std::size_t idx) {
     const int e = state_.parent_edge[v];
-    const auto& ordered = state_.out[static_cast<std::size_t>(v)];
-    for (std::size_t idx = 0; idx < ordered.size(); ++idx) {
-      const int ei = ordered[idx];
+    if (state_.lowpt[ei] < state_.height[v]) {  // ei has a return edge
+      if (idx == 0) {
+        if (e != kNone) state_.lowpt_edge[e] = state_.lowpt_edge[ei];
+      } else {
+        if (!add_constraints(ei, e)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Leave step of v: trims back edges ending at the parent and decides
+  /// the parent edge's side reference.
+  void dfs2_leave(int v) {
+    const int e = state_.parent_edge[v];
+    if (e == kNone) return;
+    const int u = state_.src[e];
+    trim_back_edges(u);
+    // Side of e is determined by the highest return edge below u.
+    if (state_.lowpt[e] < state_.height[u] && !stack_.empty()) {
+      const int hl = stack_.back().left.high;
+      const int hr = stack_.back().right.high;
+      if (hl != kNone &&
+          (hr == kNone || state_.lowpt[hl] > state_.lowpt[hr])) {
+        state_.ref[e] = hl;
+      } else {
+        state_.ref[e] = hr;
+      }
+    }
+  }
+
+  // Testing phase. Iterative like dfs1 (same stack-depth concern); the
+  // per-edge work splits into a pre step (conflict-stack bookkeeping,
+  // possibly descending a tree edge) and a post step (return-edge
+  // constraints) that runs after the subtree below a tree edge is done.
+  bool dfs2(int root) {
+    struct Frame {
+      int v;
+      std::size_t i;          // current edge index in the ordered adjacency
+      bool post_pending;      // edge i descended a tree edge; run its post
+    };
+    std::vector<Frame> frames = {{root, 0, false}};
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const int v = frame.v;
+      const auto& ordered = state_.out[static_cast<std::size_t>(v)];
+      if (frame.post_pending) {
+        frame.post_pending = false;
+        const int ei = ordered[frame.i];
+        if (!dfs2_edge_post(v, ei, frame.i)) return false;
+        ++frame.i;
+        continue;
+      }
+      if (frame.i == ordered.size()) {
+        dfs2_leave(v);
+        frames.pop_back();
+        continue;
+      }
+      const int ei = ordered[frame.i];
       stack_bottom_[static_cast<std::size_t>(ei)] =
           static_cast<int>(stack_.size());
       if (ei == state_.parent_edge[state_.dst[ei]]) {  // tree edge
-        if (!dfs2(state_.dst[ei])) return false;
+        frame.post_pending = true;
+        frames.push_back({state_.dst[ei], 0, false});
       } else {  // back edge
         state_.lowpt_edge[ei] = ei;
         stack_.push_back(ConflictPair{Interval{}, Interval{ei, ei}});
-      }
-      if (state_.lowpt[ei] < state_.height[v]) {  // ei has a return edge
-        if (idx == 0) {
-          if (e != kNone) state_.lowpt_edge[e] = state_.lowpt_edge[ei];
-        } else {
-          if (!add_constraints(ei, e)) return false;
-        }
-      }
-    }
-    if (e != kNone) {
-      const int u = state_.src[e];
-      trim_back_edges(u);
-      // Side of e is determined by the highest return edge below u.
-      if (state_.lowpt[e] < state_.height[u] && !stack_.empty()) {
-        const int hl = stack_.back().left.high;
-        const int hr = stack_.back().right.high;
-        if (hl != kNone &&
-            (hr == kNone || state_.lowpt[hl] > state_.lowpt[hr])) {
-          state_.ref[e] = hl;
-        } else {
-          state_.ref[e] = hr;
-        }
+        if (!dfs2_edge_post(v, ei, frame.i)) return false;
+        ++frame.i;
       }
     }
     return true;

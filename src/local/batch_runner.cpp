@@ -42,6 +42,39 @@ ExperimentPlan custom_count_plan(
   return plan;
 }
 
+const char* to_string(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kSuccess:
+      return "success";
+    case WorkloadKind::kValue:
+      return "value";
+    case WorkloadKind::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+std::optional<WorkloadKind> workload_from_string(
+    std::string_view text) noexcept {
+  if (text == "success") return WorkloadKind::kSuccess;
+  if (text == "value") return WorkloadKind::kValue;
+  if (text == "counter") return WorkloadKind::kCounter;
+  return std::nullopt;
+}
+
+WorkloadKind workload_kind(const ExperimentPlan& plan) {
+  if (plan.success_trial != nullptr) {
+    LNC_EXPECTS(plan.value_trial == nullptr && plan.count_trial == nullptr);
+    return WorkloadKind::kSuccess;
+  }
+  if (plan.value_trial != nullptr) {
+    LNC_EXPECTS(plan.count_trial == nullptr);
+    return WorkloadKind::kValue;
+  }
+  LNC_EXPECTS(plan.count_trial != nullptr);
+  return WorkloadKind::kCounter;
+}
+
 TrialRange shard_range(std::uint64_t trials, unsigned shard,
                        unsigned shard_count) {
   LNC_EXPECTS(shard_count > 0 && shard < shard_count);
@@ -61,6 +94,33 @@ stats::Estimate merge_tallies(std::span<const ShardTally> tallies) {
     trials += tally.trials;
   }
   return stats::finalize_estimate(successes, trials);
+}
+
+stats::MeanEstimate merge_value_tallies(std::span<const ShardTally> tallies) {
+  stats::ExactSum sum;
+  stats::ExactSum sum_sq;
+  std::uint64_t trials = 0;
+  for (const ShardTally& tally : tallies) {
+    sum.merge(tally.value_sum);
+    sum_sq.merge(tally.value_sum_sq);
+    trials += tally.trials;
+  }
+  return stats::finalize_mean_exact(sum, sum_sq, trials);
+}
+
+std::vector<std::uint64_t> merge_count_tallies(
+    std::span<const ShardTally> tallies) {
+  std::vector<std::uint64_t> total;
+  for (const ShardTally& tally : tallies) {
+    if (tally.counts.empty()) continue;
+    if (total.empty()) total.assign(tally.counts.size(), 0);
+    LNC_EXPECTS(tally.counts.size() == total.size() &&
+                "merging counter tallies of different widths");
+    for (std::size_t j = 0; j < total.size(); ++j) {
+      total[j] += tally.counts[j];
+    }
+  }
+  return total;
 }
 
 Telemetry merge_telemetries(std::span<const ShardTally> tallies) {
@@ -111,20 +171,63 @@ Telemetry BatchRunner::merged_worker_telemetry() {
 }
 
 stats::Estimate BatchRunner::run(const ExperimentPlan& plan) {
+  LNC_EXPECTS(plan.success_trial != nullptr);
   const ShardTally tally = run_shard(plan, {0, plan.trials});
   return stats::finalize_estimate(tally.successes, tally.trials);
 }
 
 ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
                                   TrialRange range) {
-  LNC_EXPECTS(plan.success_trial != nullptr);
   LNC_EXPECTS(range.begin <= range.end && range.end <= plan.trials);
+  const WorkloadKind kind = workload_kind(plan);
   reset_worker_telemetry();
-  std::vector<stats::WorkerCounter> tallies(worker_count());
-  for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
-    if (plan.success_trial(env)) ++tallies[worker].value;
-  });
-  ShardTally tally{stats::sum_counters(tallies), range.count(), {}};
+  ShardTally tally;
+  tally.trials = range.count();
+  switch (kind) {
+    case WorkloadKind::kSuccess: {
+      std::vector<stats::WorkerCounter> tallies(worker_count());
+      for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
+        if (plan.success_trial(env)) ++tallies[worker].value;
+      });
+      tally.successes = stats::sum_counters(tallies);
+      break;
+    }
+    case WorkloadKind::kValue: {
+      // Per-worker exact accumulators: exact sums are order-free, so
+      // merging them in worker order reproduces the same represented
+      // value — and hence the same rounded double — for every thread
+      // count and shard partition.
+      struct alignas(64) WorkerSums {
+        stats::ExactSum sum;
+        stats::ExactSum sum_sq;
+      };
+      std::vector<WorkerSums> sums(worker_count());
+      for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
+        const double value = plan.value_trial(env);
+        sums[worker].sum.add(value);
+        sums[worker].sum_sq.add(value * value);
+      });
+      for (const WorkerSums& worker_sums : sums) {
+        tally.value_sum.merge(worker_sums.sum);
+        tally.value_sum_sq.merge(worker_sums.sum_sq);
+      }
+      break;
+    }
+    case WorkloadKind::kCounter: {
+      std::vector<std::vector<std::uint64_t>> slots(
+          worker_count(), std::vector<std::uint64_t>(plan.counters, 0));
+      for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
+        plan.count_trial(env, slots[worker]);
+      });
+      tally.counts.assign(plan.counters, 0);
+      for (const auto& worker_slots : slots) {
+        for (std::size_t j = 0; j < plan.counters; ++j) {
+          tally.counts[j] += worker_slots[j];
+        }
+      }
+      break;
+    }
+  }
   tally.telemetry = merged_worker_telemetry();
   last_telemetry_ = tally.telemetry;
   return tally;
@@ -132,36 +235,14 @@ ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
 
 stats::MeanEstimate BatchRunner::run_mean(const ExperimentPlan& plan) {
   LNC_EXPECTS(plan.value_trial != nullptr);
-  reset_worker_telemetry();
-  // Values land at their trial index: the reduction sees them in trial
-  // order regardless of which worker produced which value.
-  std::vector<double> values(plan.trials);
-  for_each_trial(plan, {0, plan.trials},
-                 [&](unsigned, const TrialEnv& env) {
-                   values[env.index] = plan.value_trial(env);
-                 });
-  last_telemetry_ = merged_worker_telemetry();
-  return stats::finalize_mean(values);
+  const ShardTally tally = run_shard(plan, {0, plan.trials});
+  return stats::finalize_mean_exact(tally.value_sum, tally.value_sum_sq,
+                                    tally.trials);
 }
 
 std::vector<std::uint64_t> BatchRunner::run_counts(const ExperimentPlan& plan) {
   LNC_EXPECTS(plan.count_trial != nullptr);
-  reset_worker_telemetry();
-  const unsigned workers = worker_count();
-  std::vector<std::vector<std::uint64_t>> slots(
-      workers, std::vector<std::uint64_t>(plan.counters, 0));
-  for_each_trial(plan, {0, plan.trials},
-                 [&](unsigned worker, const TrialEnv& env) {
-                   plan.count_trial(env, slots[worker]);
-                 });
-  std::vector<std::uint64_t> total(plan.counters, 0);
-  for (const auto& worker_slots : slots) {
-    for (std::size_t j = 0; j < plan.counters; ++j) {
-      total[j] += worker_slots[j];
-    }
-  }
-  last_telemetry_ = merged_worker_telemetry();
-  return total;
+  return run_shard(plan, {0, plan.trials}).counts;
 }
 
 }  // namespace lnc::local

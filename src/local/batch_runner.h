@@ -23,8 +23,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "local/ball_collector.h"
@@ -148,6 +150,23 @@ struct ExperimentPlan {
   std::size_t counters = 0;
 };
 
+/// The three trial shapes a plan (and a scenario) can declare. Success
+/// plans tally {0,1} outcomes into a Wilson estimate; value plans
+/// average a real statistic; counter plans sum integer slots.
+enum class WorkloadKind { kSuccess, kValue, kCounter };
+
+const char* to_string(WorkloadKind kind) noexcept;
+
+/// Inverse of to_string — the one parser behind spec files, shard files,
+/// and the CLI flag. Nullopt on an unknown tag (callers own the error
+/// message).
+std::optional<WorkloadKind> workload_from_string(
+    std::string_view text) noexcept;
+
+/// The workload of a plan, read off which trial callback is set
+/// (asserts that exactly the corresponding callback is present).
+WorkloadKind workload_kind(const ExperimentPlan& plan);
+
 /// Fully custom plans for trial shapes the factories don't cover. The
 /// callback must derive all randomness from the TrialEnv.
 ExperimentPlan custom_plan(std::string name, std::uint64_t trials,
@@ -178,10 +197,25 @@ struct TrialRange {
 TrialRange shard_range(std::uint64_t trials, unsigned shard,
                        unsigned shard_count);
 
-/// Raw success tally of one executed trial range.
+/// Raw tally of one executed trial range. Which block is meaningful
+/// depends on the plan's workload: success plans fill `successes`, value
+/// plans fill the exact sum/sum-of-squares accumulators, counter plans
+/// fill `counts`. All blocks merge order-free, so any shard partition
+/// reproduces the unsharded run's numbers bit for bit.
 struct ShardTally {
   std::uint64_t successes = 0;
   std::uint64_t trials = 0;  ///< trials executed in this range
+
+  /// Value-workload accumulators: the trial statistics and their squares
+  /// summed EXACTLY (stats::ExactSum), which is what makes sharded means
+  /// merge to the unsharded mean bit for bit — the floating-point
+  /// analogue of the integer success tally.
+  stats::ExactSum value_sum;
+  stats::ExactSum value_sum_sq;
+
+  /// Counter-workload slot sums (plan.counters entries; empty for other
+  /// workloads).
+  std::vector<std::uint64_t> counts;
 
   /// Communication volume accumulated executing this range. The
   /// deterministic counters are per-trial sums, so shard telemetries
@@ -194,6 +228,16 @@ struct ShardTally {
 /// BatchRunner::run on the whole plan whenever the tallies came from a
 /// partition of [0, plan.trials).
 stats::Estimate merge_tallies(std::span<const ShardTally> tallies);
+
+/// Merges value-workload tallies into the full-plan mean estimate —
+/// exact-sum accumulation, so the result equals BatchRunner::run_mean on
+/// the whole plan bit for bit for any partition of [0, plan.trials).
+stats::MeanEstimate merge_value_tallies(std::span<const ShardTally> tallies);
+
+/// Element-wise sum of counter-workload tallies (empty `counts` entries
+/// are treated as all-zero; non-empty entries must agree on width).
+std::vector<std::uint64_t> merge_count_tallies(
+    std::span<const ShardTally> tallies);
 
 /// Merges the telemetry blocks of shard tallies (the telemetry
 /// counterpart of merge_tallies).
@@ -212,11 +256,13 @@ class BatchRunner {
   /// Runs a success_trial plan; Wilson-interval estimate of Pr[success].
   stats::Estimate run(const ExperimentPlan& plan);
 
-  /// Runs only the trials of a success_trial plan inside `range` —
-  /// one shard of a cross-process run. Merge with merge_tallies.
+  /// Runs only the trials of a plan inside `range` — one shard of a
+  /// cross-process run, for any workload kind. Merge with merge_tallies
+  /// / merge_value_tallies / merge_count_tallies per the plan's kind.
   ShardTally run_shard(const ExperimentPlan& plan, TrialRange range);
 
-  /// Runs a value_trial plan.
+  /// Runs a value_trial plan (run_shard over the full range, finalized
+  /// with stats::finalize_mean_exact).
   stats::MeanEstimate run_mean(const ExperimentPlan& plan);
 
   /// Runs a count_trial plan; returns the `plan.counters` summed slots.

@@ -65,10 +65,12 @@ bool flag(const ParamMap& merged, const std::string& name) {
 
 const ParamSpec kRandomIdsOff{"random-ids", 0,
                               "1 = seed-derived permutation identities, "
-                              "0 = consecutive 1..n"};
+                              "0 = consecutive 1..n",
+                              0, 1};
 const ParamSpec kRandomIdsOn{"random-ids", 1,
                              "1 = seed-derived permutation identities, "
-                             "0 = consecutive 1..n"};
+                             "0 = consecutive 1..n",
+                             0, 1};
 
 // ------------------------------------------------------------- topologies --
 
@@ -86,7 +88,7 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
       {"hard-ring",
        "Claim-2 hard instance: C_n with consecutive identities starting at "
        "id-start (the identity-floor knob of the claim).",
-       {{"id-start", 1, "smallest identity (Claim 2's Imin)"}},
+       {{"id-start", 1, "smallest identity (Claim 2's Imin)", 0, 1e18}},
        [](std::uint64_t n, const ParamMap& p, std::uint64_t /*seed*/) {
          const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 3));
          return core::consecutive_ring(
@@ -146,7 +148,7 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
       {"random-regular",
        "Random d-regular simple graph (pairing model); n is bumped by one "
        "when n*d is odd.",
-       {{"degree", 3, "regular degree d"}, kRandomIdsOn},
+       {{"degree", 3, "regular degree d", 1, 1024}, kRandomIdsOn},
        [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
          const auto degree = static_cast<graph::NodeId>(param(p, "degree"));
          auto size = static_cast<graph::NodeId>(
@@ -159,8 +161,8 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
       {"gnp",
        "Erdos-Renyi G(n, p) conditioned on max degree <= max-degree — the "
        "promise F_k realized on random instances.",
-       {{"edge-prob", 0.1, "edge probability p"},
-        {"max-degree", 8, "degree cap (the promise's k)"},
+       {{"edge-prob", 0.1, "edge probability p", 0, 1},
+        {"max-degree", 8, "degree cap (the promise's k)", 0, 1e9},
         kRandomIdsOn},
        [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
          const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 2));
@@ -173,7 +175,7 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
   topologies.add(
       {"random-tree",
        "Random tree with maximum degree <= max-degree.",
-       {{"max-degree", 3, "degree cap"}, kRandomIdsOn},
+       {{"max-degree", 3, "degree cap", 2, 1e9}, kRandomIdsOn},
        [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
          const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 1));
          return instance_for(
@@ -228,7 +230,7 @@ class ColoringRelaxation final : public RelaxedLanguage {
 void register_languages(Registry<LanguageEntry>& languages) {
   languages.add({"coloring",
                  "Proper q-coloring (radius-1 LCL) — the running example.",
-                 {{"colors", 3, "palette size q"}},
+                 {{"colors", 3, "palette size q", 1, 1e9}},
                  [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
                    return std::make_unique<lang::ProperColoring>(
                        static_cast<int>(param(p, "colors")));
@@ -236,7 +238,7 @@ void register_languages(Registry<LanguageEntry>& languages) {
   languages.add({"weak-coloring",
                  "Weak q-coloring (Naor-Stockmeyer): every non-isolated node "
                  "has a differing neighbor.",
-                 {{"colors", 2, "palette size q"}},
+                 {{"colors", 2, "palette size q", 2, 1e9}},
                  [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
                    return std::make_unique<lang::WeakColoring>(
                        static_cast<int>(param(p, "colors")));
@@ -267,8 +269,8 @@ void register_languages(Registry<LanguageEntry>& languages) {
                  }});
   languages.add({"frugal-coloring",
                  "c-frugal proper coloring (paper, section 4).",
-                 {{"colors", 4, "palette size"},
-                  {"frugality", 1, "max per-color multiplicity c"}},
+                 {{"colors", 4, "palette size", 1, 1e9},
+                  {"frugality", 1, "max per-color multiplicity c", 1, 1e9}},
                  [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
                    return std::make_unique<lang::FrugalColoring>(
                        static_cast<int>(param(p, "colors")),
@@ -283,8 +285,8 @@ void register_languages(Registry<LanguageEntry>& languages) {
   languages.add({"resilient-coloring",
                  "f-resilient relaxation of proper coloring (Definition 1): "
                  "at most `faults` bad balls.",
-                 {{"colors", 3, "palette size"},
-                  {"faults", 1, "fault budget f"}},
+                 {{"colors", 3, "palette size", 1, 1e9},
+                  {"faults", 1, "fault budget f", 0, 1e9}},
                  [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
                    return std::make_unique<ColoringRelaxation>(
                        static_cast<int>(param(p, "colors")),
@@ -294,8 +296,8 @@ void register_languages(Registry<LanguageEntry>& languages) {
   languages.add({"slack-coloring",
                  "eps-slack relaxation of proper coloring: at most eps*n bad "
                  "balls (BPLD#node territory).",
-                 {{"colors", 3, "palette size"},
-                  {"eps", 0.1, "slack fraction"}},
+                 {{"colors", 3, "palette size", 1, 1e9},
+                  {"eps", 0.1, "slack fraction", 0, 1}},
                  [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
                    return std::make_unique<ColoringRelaxation>(
                        static_cast<int>(param(p, "colors")),
@@ -304,8 +306,8 @@ void register_languages(Registry<LanguageEntry>& languages) {
   languages.add({"poly-resilient-coloring",
                  "n^c-resilient coloring — the paper's section-5 open-problem "
                  "regime.",
-                 {{"colors", 3, "palette size"},
-                  {"exponent", 0.5, "budget exponent c in (0, 1)"}},
+                 {{"colors", 3, "palette size", 1, 1e9},
+                  {"exponent", 0.5, "budget exponent c in (0, 1)", 0, 1}},
                  [](const ParamMap& p) -> std::unique_ptr<lang::Language> {
                    return std::make_unique<ColoringRelaxation>(
                        static_cast<int>(param(p, "colors")),
@@ -442,7 +444,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
       {"rand-coloring",
        "Zero-round uniform random q-coloring — the paper's section-1.1 "
        "Monte-Carlo witness.",
-       {{"colors", 3, "palette size q"}},
+       {{"colors", 3, "palette size q", 1, 1e9}},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"coloring",
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
@@ -454,7 +456,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
       {"select-id-below",
        "Zero-round amos marker: select iff identity <= count (exactly "
        "`count` selected under permutation identities).",
-       {{"count", 1, "number of selected nodes"}},
+       {{"count", 1, "number of selected nodes", 0, 1e18}},
        /*randomized=*/false, /*ring_only=*/false,
        /*default_language=*/"amos",
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
@@ -465,7 +467,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
   constructions.add(
       {"weak-color-mc",
        "Constant-round Monte-Carlo weak 2-coloring with R fix-up rounds.",
-       {{"fixup-rounds", 6, "resampling rounds R"}},
+       {{"fixup-rounds", 6, "resampling rounds R", 0, 1e6}},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"weak-coloring",
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
@@ -529,7 +531,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
   constructions.add(
       {"moser-tardos",
        "Distributed Moser-Tardos resampling for the LLL system.",
-       {{"max-phases", 10000, "resampling phase cap"}},
+       {{"max-phases", 10000, "resampling phase cap", 1, 1e9}},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"lll-avoidance",
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
@@ -591,7 +593,8 @@ void register_deciders(Registry<DeciderEntry>& deciders) {
       {"amos",
        "Zero-round randomized amos decider: selected nodes accept with "
        "probability p (golden-ratio optimum by default).",
-       {{"p", -1, "acceptance probability at selected nodes; -1 = optimum"}},
+       {{"p", -1, "acceptance probability at selected nodes; -1 = optimum",
+         -1, 1}},
        /*global_check=*/false,
        /*needs_lcl=*/false,
        /*needs_n=*/false,
@@ -603,8 +606,9 @@ void register_deciders(Registry<DeciderEntry>& deciders) {
       {"resilient",
        "Corollary-1 decider for f-resilient relaxations: bad balls accept "
        "with probability p in (2^-1/f, 2^-1/(f+1)).",
-       {{"faults", 1, "fault budget f"},
-        {"p", -1, "per-bad-ball acceptance; -1 = interval geometric mean"}},
+       {{"faults", 1, "fault budget f", 1, 1e9},
+        {"p", -1, "per-bad-ball acceptance; -1 = interval geometric mean",
+         -1, 1}},
        /*global_check=*/false,
        /*needs_lcl=*/true,
        /*needs_n=*/false,
@@ -619,7 +623,7 @@ void register_deciders(Registry<DeciderEntry>& deciders) {
       {"slack",
        "BPLD#node decider for eps-slack relaxations (fault budget eps*n; "
        "nodes must know n).",
-       {{"eps", 0.1, "slack fraction"}},
+       {{"eps", 0.1, "slack fraction", 1e-9, 1}},
        /*global_check=*/false,
        /*needs_lcl=*/true,
        /*needs_n=*/true,
@@ -633,7 +637,7 @@ void register_deciders(Registry<DeciderEntry>& deciders) {
       {"local-count",
        "Deterministic radius-t amos foil: reject iff >= 2 selected in the "
        "ball (errs once the diameter exceeds 2t — E9).",
-       {{"radius", 1, "ball radius t"}},
+       {{"radius", 1, "ball radius t", 0, 1e6}},
        /*global_check=*/false,
        /*needs_lcl=*/false,
        /*needs_n=*/false,
@@ -645,16 +649,83 @@ void register_deciders(Registry<DeciderEntry>& deciders) {
        }});
 }
 
+// -------------------------------------------------------------- statistics --
+
+void register_statistics(Registry<StatisticEntry>& statistics) {
+  statistics.add(
+      {"rounds",
+       "LOCAL rounds the construction executed this trial (engine programs "
+       "report their actual round count; ball algorithms their radius) — "
+       "the E10 contrast quantity.",
+       /*integer_valued=*/true, /*needs_lcl=*/false, /*needs_telemetry=*/false,
+       [](const StatisticContext& ctx) {
+         return static_cast<double>(ctx.outcome.rounds);
+       }});
+  statistics.add(
+      {"output-size",
+       "Nodes with a nonzero output label — MIS size, matched nodes, "
+       "selected amos nodes.",
+       /*integer_valued=*/true, /*needs_lcl=*/false, /*needs_telemetry=*/false,
+       [](const StatisticContext& ctx) {
+         std::uint64_t nonzero = 0;
+         for (const local::Label label : *ctx.output) {
+           if (label != 0) ++nonzero;
+         }
+         return static_cast<double>(nonzero);
+       }});
+  statistics.add(
+      {"distinct-labels",
+       "Distinct output labels used (the palette a coloring actually "
+       "spends).",
+       /*integer_valued=*/true, /*needs_lcl=*/false, /*needs_telemetry=*/false,
+       [](const StatisticContext& ctx) {
+         std::vector<local::Label> labels(ctx.output->begin(),
+                                          ctx.output->end());
+         std::sort(labels.begin(), labels.end());
+         return static_cast<double>(
+             std::unique(labels.begin(), labels.end()) - labels.begin());
+       }});
+  statistics.add(
+      {"bad-balls",
+       "Bad balls of the language's LCL core in the output — 0 is a "
+       "perfect configuration, so the mean measures output quality.",
+       /*integer_valued=*/true, /*needs_lcl=*/true, /*needs_telemetry=*/false,
+       [](const StatisticContext& ctx) {
+         const lang::LclLanguage* core = lcl_core(*ctx.language);
+         LNC_ASSERT(core != nullptr);
+         return static_cast<double>(
+             core->count_bad_balls(*ctx.instance, *ctx.output));
+       }});
+  statistics.add(
+      {"messages",
+       "Messages the construction run charged this trial (measured for "
+       "engine runs, simulation-theorem-modeled for ball runs).",
+       /*integer_valued=*/true, /*needs_lcl=*/false, /*needs_telemetry=*/true,
+       [](const StatisticContext& ctx) {
+         return static_cast<double>(ctx.delta.messages_sent);
+       }});
+  statistics.add(
+      {"words",
+       "64-bit words the construction run charged this trial (measured "
+       "for engine runs, simulation-theorem-modeled for ball runs).",
+       /*integer_valued=*/true, /*needs_lcl=*/false, /*needs_telemetry=*/true,
+       [](const StatisticContext& ctx) {
+         return static_cast<double>(ctx.delta.words_sent);
+       }});
+}
+
 }  // namespace
 
 void register_builtins(Registry<TopologyEntry>& topologies,
                        Registry<LanguageEntry>& languages,
                        Registry<ConstructionEntry>& constructions,
-                       Registry<DeciderEntry>& deciders) {
+                       Registry<DeciderEntry>& deciders,
+                       Registry<StatisticEntry>& statistics) {
   register_topologies(topologies);
   register_languages(languages);
   register_constructions(constructions);
   register_deciders(deciders);
+  register_statistics(statistics);
 }
 
 }  // namespace lnc::scenario::detail

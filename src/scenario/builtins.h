@@ -10,6 +10,7 @@ namespace lnc::scenario::detail {
 void register_builtins(Registry<TopologyEntry>& topologies,
                        Registry<LanguageEntry>& languages,
                        Registry<ConstructionEntry>& constructions,
-                       Registry<DeciderEntry>& deciders);
+                       Registry<DeciderEntry>& deciders,
+                       Registry<StatisticEntry>& statistics);
 
 }  // namespace lnc::scenario::detail

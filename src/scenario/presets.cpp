@@ -174,6 +174,80 @@ std::vector<ScenarioSpec> build_presets() {
     presets.push_back(spec);
   }
 
+  {
+    ScenarioSpec spec;
+    spec.name = "luby-mis-rounds";
+    spec.doc =
+        "E10's round-growth side as a VALUE sweep: expected rounds of "
+        "Luby's MIS on random 3-regular graphs grow ~ log2(n) (no "
+        "constant-round decision analogue exists — the contrast class).";
+    spec.topology = "random-regular";
+    spec.language = "mis";
+    spec.construction = "luby-mis";
+    spec.workload = local::WorkloadKind::kValue;
+    spec.statistic = "rounds";
+    spec.params = {{"degree", 3}};
+    spec.n_grid = {64, 256, 1024};
+    spec.trials = 300;
+    spec.base_seed = 0x10C;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "rand-matching-rounds";
+    spec.doc =
+        "E10's second algorithm as a VALUE sweep: expected rounds of "
+        "propose-and-accept maximal matching on bounded-degree random "
+        "trees.";
+    spec.topology = "random-tree";
+    spec.language = "matching";
+    spec.construction = "rand-matching";
+    spec.workload = local::WorkloadKind::kValue;
+    spec.statistic = "rounds";
+    spec.params = {{"max-degree", 3}};
+    spec.n_grid = {64, 256, 1024};
+    spec.trials = 300;
+    spec.base_seed = 0x7F;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "gnp-weak-coloring-quality";
+    spec.doc =
+        "Weak-coloring output quality as a VALUE sweep: mean bad balls "
+        "left by the zero-fixup Monte-Carlo weak 2-coloring on random "
+        "bounded-degree graphs (0 = perfect configuration).";
+    spec.topology = "gnp";
+    spec.language = "weak-coloring";
+    spec.construction = "weak-color-mc";
+    spec.workload = local::WorkloadKind::kValue;
+    spec.statistic = "bad-balls";
+    spec.params = {{"edge-prob", 0.08}, {"max-degree", 6},
+                   {"fixup-rounds", 0}, {"colors", 2}};
+    spec.n_grid = {64, 256};
+    spec.trials = 500;
+    spec.base_seed = 0x6F;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "ring-amos-words";
+    spec.doc =
+        "Telemetry-derived COUNTER sweep: total simulation-theorem word "
+        "volume charged by the zero-round amos marker on rings, summed "
+        "exactly across trials (and across shards).";
+    spec.topology = "ring";
+    spec.language = "amos";
+    spec.construction = "select-id-below";
+    spec.workload = local::WorkloadKind::kCounter;
+    spec.statistic = "words";
+    spec.params = {{"count", 1}};
+    spec.n_grid = {16, 64};
+    spec.trials = 500;
+    spec.base_seed = 0xA3;
+    presets.push_back(spec);
+  }
+
   for (const ScenarioSpec& spec : presets) {
     const std::string error = validate(spec);
     LNC_EXPECTS(error.empty() && "invalid built-in preset");

@@ -74,6 +74,7 @@ template class Registry<TopologyEntry>;
 template class Registry<LanguageEntry>;
 template class Registry<ConstructionEntry>;
 template class Registry<DeciderEntry>;
+template class Registry<StatisticEntry>;
 
 namespace {
 
@@ -82,6 +83,7 @@ struct Registries {
   Registry<LanguageEntry> languages;
   Registry<ConstructionEntry> constructions;
   Registry<DeciderEntry> deciders;
+  Registry<StatisticEntry> statistics;
 };
 
 /// Built-ins register during the (thread-safe) static-local init, so the
@@ -90,7 +92,7 @@ Registries& registries() {
   static Registries* instance = [] {
     auto* r = new Registries;
     detail::register_builtins(r->topologies, r->languages, r->constructions,
-                              r->deciders);
+                              r->deciders, r->statistics);
     return r;
   }();
   return *instance;
@@ -104,6 +106,7 @@ Registry<ConstructionEntry>& constructions() {
   return registries().constructions;
 }
 Registry<DeciderEntry>& deciders() { return registries().deciders; }
+Registry<StatisticEntry>& statistics() { return registries().statistics; }
 
 local::Instance build_instance(const std::string& topology, std::uint64_t n,
                                const ParamMap& params, std::uint64_t seed) {

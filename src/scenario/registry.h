@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -37,11 +38,16 @@ namespace lnc::scenario {
 /// rejects keys no component schema declares.
 using ParamMap = std::map<std::string, double>;
 
-/// One declared knob of a component.
+/// One declared knob of a component. The inclusive [min_value, max_value]
+/// range mirrors the component's constructor preconditions, so spec-level
+/// validation rejects out-of-range values with a diagnostic instead of
+/// letting the build abort on a contract violation.
 struct ParamSpec {
   std::string name;
   double default_value = 0.0;
   std::string doc;
+  double min_value = -std::numeric_limits<double>::infinity();
+  double max_value = std::numeric_limits<double>::infinity();
 };
 using ParamSchema = std::vector<ParamSpec>;
 
@@ -156,6 +162,40 @@ struct ConstructionEntry {
 };
 
 // ---------------------------------------------------------------------------
+// Statistics (value / counter workloads)
+
+/// Everything a per-trial statistic may read: the instance, the
+/// construction's output labeling and outcome (executed rounds), the
+/// scenario's language, and the trial's telemetry delta — the
+/// communication volume this construction run charged (measured for
+/// engine runs, simulation-theorem-modeled for ball runs).
+struct StatisticContext {
+  const local::Instance* instance = nullptr;
+  const local::Labeling* output = nullptr;
+  Construction::Outcome outcome;
+  const lang::Language* language = nullptr;
+  local::Telemetry delta;
+};
+
+/// One registered per-trial statistic — the quantity a value workload
+/// averages (BatchRunner::run_mean) or a counter workload sums exactly.
+struct StatisticEntry {
+  std::string name;
+  std::string doc;
+  /// Integer-valued statistics are eligible for counter workloads: their
+  /// per-trial values sum exactly into uint64 slots. Opt-in (false by
+  /// default) so a forgotten flag on a fractional statistic fails safe —
+  /// value workloads always work.
+  bool integer_valued = false;
+  /// Requires lcl_core(language) != null (bad-ball statistics).
+  bool needs_lcl = false;
+  /// Reads the trial's telemetry delta; scenario compilation then routes
+  /// the plan through the custom path that snapshots telemetry per trial.
+  bool needs_telemetry = false;
+  std::function<double(const StatisticContext&)> eval;
+};
+
+// ---------------------------------------------------------------------------
 // Deciders
 
 /// Adapts a deterministic decider to the randomized interface (ignores the
@@ -222,6 +262,7 @@ Registry<TopologyEntry>& topologies();
 Registry<LanguageEntry>& languages();
 Registry<ConstructionEntry>& constructions();
 Registry<DeciderEntry>& deciders();
+Registry<StatisticEntry>& statistics();
 
 // ---------------------------------------------------------------------------
 // Convenience builders (assert on unknown names; scenario/scenario.h

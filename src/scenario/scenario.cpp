@@ -1,5 +1,7 @@
 #include "scenario/scenario.h"
 
+#include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "decide/evaluate.h"
@@ -13,15 +15,33 @@ namespace {
 /// Seed-derivation tags separating the per-grid-point streams.
 constexpr std::uint64_t kPlanSeedTag = 0xE1;
 
-/// The union-of-schemas membership test for one user parameter key.
-bool key_declared(const std::string& key,
-                  const std::vector<const ParamSchema*>& schemas) {
+/// Union-of-schemas check for one user parameter: the key must be
+/// declared by some component, and the value must satisfy the declared
+/// range of EVERY declaring component (shared keys reach them all).
+/// Empty string when fine, else the diagnostic.
+std::string check_param(const std::string& key, double value,
+                        const std::vector<const ParamSchema*>& schemas) {
+  bool declared = false;
   for (const ParamSchema* schema : schemas) {
     for (const ParamSpec& spec : *schema) {
-      if (spec.name == key) return true;
+      if (spec.name != key) continue;
+      declared = true;
+      // Negated >= form so NaN fails the check instead of slipping
+      // through to abort in a component constructor.
+      if (!(value >= spec.min_value && value <= spec.max_value)) {
+        std::ostringstream os;
+        os << "parameter '" << key << "' = " << value << " is outside the "
+           << "declared range [" << spec.min_value << ", " << spec.max_value
+           << "] (" << spec.doc << ")";
+        return os.str();
+      }
     }
   }
-  return false;
+  if (!declared) {
+    return "parameter '" + key + "' is not declared by any of the four "
+           "components";
+  }
+  return {};
 }
 
 }  // namespace
@@ -44,11 +64,8 @@ std::string validate(const ScenarioSpec& spec) {
       &topology->schema, &language->schema, &construction->schema,
       &decider->schema};
   for (const auto& [key, value] : spec.params) {
-    (void)value;
-    if (!key_declared(key, schemas)) {
-      return "parameter '" + key + "' is not declared by any of the four "
-             "components";
-    }
+    const std::string problem = check_param(key, value, schemas);
+    if (!problem.empty()) return problem;
   }
 
   if (spec.n_grid.empty()) return "empty n-grid";
@@ -63,6 +80,43 @@ std::string validate(const ScenarioSpec& spec) {
     if (lcl_core(*built) == nullptr) {
       return "decider '" + spec.decider + "' needs an LCL-backed language, "
              "but '" + spec.language + "' has no LCL core";
+    }
+  }
+
+  if (spec.workload == local::WorkloadKind::kSuccess) {
+    if (!spec.statistic.empty()) {
+      return "success workloads take no statistic (got '" + spec.statistic +
+             "'; declare a value or counter workload to measure it)";
+    }
+    return {};
+  }
+  const char* workload_name = local::to_string(spec.workload);
+  if (spec.decider != "exact") {
+    return std::string(workload_name) +
+           " workloads measure the construction's output directly and "
+           "require the 'exact' pseudo-decider, not '" + spec.decider + "'";
+  }
+  if (spec.statistic.empty()) {
+    return std::string(workload_name) +
+           " workload needs a statistic (e.g. 'rounds'; see the statistics "
+           "catalogue)";
+  }
+  const StatisticEntry* statistic = statistics().find(spec.statistic);
+  if (statistic == nullptr) {
+    return "unknown statistic '" + spec.statistic + "'";
+  }
+  if (spec.workload == local::WorkloadKind::kCounter &&
+      !statistic->integer_valued) {
+    return "statistic '" + spec.statistic + "' is not integer-valued; "
+           "counter workloads sum exact integer slots — use a value "
+           "workload instead";
+  }
+  if (statistic->needs_lcl) {
+    const std::unique_ptr<lang::Language> built =
+        make_language(spec.language, spec.params);
+    if (lcl_core(*built) == nullptr) {
+      return "statistic '" + spec.statistic + "' needs an LCL-backed "
+             "language, but '" + spec.language + "' has no LCL core";
     }
   }
   return {};
@@ -92,6 +146,50 @@ CompiledScenario compile(const ScenarioSpec& spec) {
   decide::EvaluateOptions eval_options;
   eval_options.grant_n = decider_entry->needs_n;
 
+  // Value/counter workloads evaluate a registered statistic per trial.
+  // Registry entries are process-lifetime, so plans may capture the entry.
+  const StatisticEntry* statistic =
+      spec.workload != local::WorkloadKind::kSuccess
+          ? statistics().find(spec.statistic)
+          : nullptr;
+  // Shared per-trial body of the custom statistic paths: run the
+  // construction (ball algorithms through the spec's exec mode, so
+  // --mode means the same thing on every workload path), snapshot the
+  // telemetry delta when the statistic reads it, evaluate.
+  const local::ExecMode mode = spec.mode;
+  const auto evaluate_statistic =
+      [language, construction, statistic, ball,
+       mode](const local::Instance& instance, const local::TrialEnv& env) {
+        local::Labeling& output = env.arena->labeling();
+        local::Telemetry before;
+        if (statistic->needs_telemetry) before = env.arena->telemetry();
+        StatisticContext ctx;
+        if (ball != nullptr) {
+          local::ExecOptions exec_options;
+          exec_options.arena = env.arena;
+          local::run_construction_into(instance, *ball,
+                                       env.construction_coins(), mode,
+                                       output, exec_options);
+          ctx.outcome = Construction::Outcome{ball->radius()};
+        } else {
+          ctx.outcome = construction->run(instance, env, output);
+        }
+        if (statistic->needs_telemetry) {
+          const local::Telemetry& after = env.arena->telemetry();
+          ctx.delta.messages_sent =
+              after.messages_sent - before.messages_sent;
+          ctx.delta.words_sent = after.words_sent - before.words_sent;
+          ctx.delta.rounds_executed =
+              after.rounds_executed - before.rounds_executed;
+          ctx.delta.ball_expansions =
+              after.ball_expansions - before.ball_expansions;
+        }
+        ctx.instance = &instance;
+        ctx.output = &output;
+        ctx.language = language;
+        return statistic->eval(ctx);
+      };
+
   compiled.points_.reserve(spec.n_grid.size());
   for (const std::uint64_t n : spec.n_grid) {
     const std::uint64_t instance_seed = rand::mix_keys(spec.base_seed, n);
@@ -105,7 +203,43 @@ CompiledScenario compile(const ScenarioSpec& spec) {
         interned_instance(spec.topology, n, spec.params, instance_seed);
     const local::Instance& inst = *point.instance;
 
-    if (decider == nullptr) {
+    if (spec.workload == local::WorkloadKind::kValue) {
+      if (ball != nullptr && !statistic->needs_telemetry) {
+        // Ball-based construction: route through the standard value-plan
+        // factory (honoring the exec mode). Ball runs execute in their
+        // radius, so the outcome is a grid-point constant.
+        const Construction::Outcome ball_outcome{ball->radius()};
+        point.plan = local::construction_value_plan(
+            plan_name, inst, *ball,
+            [language, statistic, ball_outcome](
+                const local::Instance& instance,
+                const local::Labeling& output) {
+              StatisticContext ctx;
+              ctx.instance = &instance;
+              ctx.output = &output;
+              ctx.outcome = ball_outcome;
+              ctx.language = language;
+              return statistic->eval(ctx);
+            },
+            spec.trials, plan_seed, spec.mode);
+      } else {
+        const local::Instance* inst_ptr = point.instance.get();
+        point.plan = local::custom_value_plan(
+            plan_name, spec.trials, plan_seed,
+            [inst_ptr, evaluate_statistic](const local::TrialEnv& env) {
+              return evaluate_statistic(*inst_ptr, env);
+            });
+      }
+    } else if (spec.workload == local::WorkloadKind::kCounter) {
+      const local::Instance* inst_ptr = point.instance.get();
+      point.plan = local::custom_count_plan(
+          plan_name, spec.trials, plan_seed, 1,
+          [inst_ptr, evaluate_statistic](const local::TrialEnv& env,
+                                         std::span<std::uint64_t> slots) {
+            slots[0] += static_cast<std::uint64_t>(
+                std::llround(evaluate_statistic(*inst_ptr, env)));
+          });
+    } else if (decider == nullptr) {
       // "exact": success == (global membership verdict == accept side).
       if (ball != nullptr) {
         point.plan = local::construction_plan(

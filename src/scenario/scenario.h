@@ -34,13 +34,27 @@ struct ScenarioSpec {
   /// reach every component that declares them).
   ParamMap params;
 
+  /// What each trial contributes (local/batch_runner.h):
+  ///   kSuccess — a {0,1} outcome through the decider slot (Wilson
+  ///              estimate of the success probability);
+  ///   kValue   — the named `statistic` of the construction's output,
+  ///              averaged with exact-sum mean/stddev;
+  ///   kCounter — the same statistic summed exactly into integer slots.
+  /// Value/counter workloads measure the construction directly, so they
+  /// require the "exact" pseudo-decider and a registered statistic.
+  local::WorkloadKind workload = local::WorkloadKind::kSuccess;
+
+  /// The registered statistic a value/counter workload evaluates per
+  /// trial (ignored for success workloads).
+  std::string statistic;
+
   std::vector<std::uint64_t> n_grid;
   std::uint64_t trials = 1000;
   std::uint64_t base_seed = 1;
 
   /// Success notion of a trial: accept (true) or reject (false) — the
   /// reject side measures failure/rejection probabilities (e.g. Claim-2
-  /// beta, the no-side of Eq. (1)).
+  /// beta, the no-side of Eq. (1)). Ignored by value/counter workloads.
   bool success_on_accept = true;
 
   /// Execution mode for ball-based constructions (ignored otherwise).

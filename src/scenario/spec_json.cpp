@@ -255,6 +255,16 @@ ScenarioSpec spec_from_json(const std::string& text) {
       spec.trials = value.as_uint64();
     } else if (key == "seed") {
       spec.base_seed = value.as_uint64();
+    } else if (key == "workload") {
+      const std::optional<local::WorkloadKind> kind =
+          local::workload_from_string(value.as_string());
+      if (!kind) {
+        throw std::runtime_error(
+            "spec 'workload' must be success|value|counter");
+      }
+      spec.workload = *kind;
+    } else if (key == "statistic") {
+      spec.statistic = value.as_string();
     } else if (key == "success") {
       const std::string& side = value.as_string();
       if (side != "accept" && side != "reject") {

@@ -55,6 +55,8 @@ struct Json {
 ///    "topology": "...", "language": "...",
 ///    "construction": "...", "decider": "...",
 ///    "params": {"colors": 3},
+///    "workload": "success" | "value" | "counter",
+///    "statistic": "rounds",            // value/counter workloads only
 ///    "n": [16, 64], "trials": 2000, "seed": 1,
 ///    "success": "accept" | "reject",
 ///    "mode": "balls" | "messages" | "two-phase"}

@@ -3,6 +3,8 @@
 #include <initializer_list>
 #include <ostream>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 
 #include "scenario/spec_json.h"
 #include "util/assert.h"
@@ -18,6 +20,7 @@ SweepResult run_sweep(const CompiledScenario& scenario,
   result.base_seed = scenario.spec().base_seed;
   result.shard = options.shard;
   result.shard_count = options.shard_count;
+  result.workload = scenario.spec().workload;
 
   local::BatchRunner runner(options.pool);
   result.rows.reserve(scenario.points().size());
@@ -45,6 +48,11 @@ std::string can_merge(std::span<const SweepResult> shards) {
       return "shards come from different scenario runs ('" + shard.scenario +
              "' vs '" + shards[0].scenario + "')";
     }
+    if (shard.workload != shards[0].workload) {
+      return std::string("shards tally different workloads (") +
+             local::to_string(shard.workload) + " vs " +
+             local::to_string(shards[0].workload) + ")";
+    }
     if (shard.shard_count != shards[0].shard_count) {
       return "shards use different split factors (" +
              std::to_string(shard.shard_count) + " vs " +
@@ -59,6 +67,13 @@ std::string can_merge(std::span<const SweepResult> shards) {
       if (row.requested_n != first.requested_n ||
           row.total_trials != first.total_trials) {
         return "shards disagree on the n-grid or trial counts";
+      }
+      if (!row.tally.counts.empty() && !first.tally.counts.empty() &&
+          row.tally.counts.size() != first.tally.counts.size()) {
+        return "shards carry counter rows of different widths (" +
+               std::to_string(row.tally.counts.size()) + " vs " +
+               std::to_string(first.tally.counts.size()) +
+               " slots at n = " + std::to_string(row.requested_n) + ")";
       }
       covered[i] += row.tally.trials;
     }
@@ -82,6 +97,7 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards) {
   merged.base_seed = shards[0].base_seed;
   merged.shard = 0;
   merged.shard_count = 1;
+  merged.workload = shards[0].workload;
   merged.rows = shards[0].rows;
 
   // Duplicate shard files would double-count trials yet can still sum to
@@ -94,6 +110,8 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards) {
                 shard.base_seed == merged.base_seed &&
                 shard.rows.size() == merged.rows.size() &&
                 "merging results of different scenario runs");
+    LNC_EXPECTS(shard.workload == merged.workload &&
+                "merging results of different workloads");
     LNC_EXPECTS(shard.shard_count == shards[0].shard_count &&
                 "merging shards of different split factors");
     LNC_EXPECTS(seen_shards.insert(shard.shard).second &&
@@ -106,6 +124,20 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards) {
                   "merging rows of different grid points");
       row.tally.successes += other.tally.successes;
       row.tally.trials += other.tally.trials;
+      // Exact accumulators merge exactly: the merged row's mean/stddev
+      // equal the unsharded run's bit for bit.
+      row.tally.value_sum.merge(other.tally.value_sum);
+      row.tally.value_sum_sq.merge(other.tally.value_sum_sq);
+      if (!other.tally.counts.empty()) {
+        if (row.tally.counts.empty()) {
+          row.tally.counts.assign(other.tally.counts.size(), 0);
+        }
+        LNC_EXPECTS(row.tally.counts.size() == other.tally.counts.size() &&
+                    "merging counter rows of different widths");
+        for (std::size_t j = 0; j < row.tally.counts.size(); ++j) {
+          row.tally.counts[j] += other.tally.counts[j];
+        }
+      }
       row.tally.telemetry.merge(other.tally.telemetry);
     }
   }
@@ -123,6 +155,14 @@ stats::Estimate row_estimate(const SweepRow& row) {
   return local::merge_tallies(tallies);
 }
 
+stats::MeanEstimate row_mean(const SweepRow& row) {
+  LNC_EXPECTS(row.tally.trials == row.total_trials &&
+              "mean of an incomplete (sharded) row");
+  return stats::finalize_mean_exact(row.tally.value_sum,
+                                    row.tally.value_sum_sq,
+                                    row.tally.trials);
+}
+
 local::Telemetry result_telemetry(const SweepResult& result) {
   local::Telemetry merged;
   for (const SweepRow& row : result.rows) merged.merge(row.tally.telemetry);
@@ -138,6 +178,87 @@ void add_telemetry_cells(util::Table& table, const SweepRow& row) {
       .add_cell(row.tally.telemetry.ball_expansions);
 }
 
+std::uint64_t row_count_sum(const SweepRow& row) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t count : row.tally.counts) sum += count;
+  return sum;
+}
+
+/// Full round-trip precision — the form the grep-stable summary lines and
+/// the JSON sum fields use, so textual equality implies bit equality.
+std::string format_exact(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+/// The tally column(s) of one row, headed per workload.
+void add_workload_headers(std::vector<std::string>& headers,
+                          local::WorkloadKind workload, bool complete) {
+  switch (workload) {
+    case local::WorkloadKind::kSuccess:
+      if (complete) {
+        headers.insert(headers.end(),
+                       {"successes", "p_hat", "ci lo", "ci hi"});
+      } else {
+        headers.push_back("shard successes");
+      }
+      break;
+    case local::WorkloadKind::kValue:
+      if (complete) {
+        headers.insert(headers.end(), {"mean", "stddev"});
+      } else {
+        headers.push_back("shard sum");
+      }
+      break;
+    case local::WorkloadKind::kCounter:
+      if (complete) {
+        headers.insert(headers.end(), {"count", "mean/trial"});
+      } else {
+        headers.push_back("shard count");
+      }
+      break;
+  }
+}
+
+void add_workload_cells(util::Table& table, const SweepRow& row,
+                        local::WorkloadKind workload, bool complete) {
+  switch (workload) {
+    case local::WorkloadKind::kSuccess:
+      if (complete) {
+        const stats::Estimate estimate = row_estimate(row);
+        table.add_cell(row.tally.successes)
+            .add_cell(estimate.p_hat, 4)
+            .add_cell(estimate.ci.lo, 4)
+            .add_cell(estimate.ci.hi, 4);
+      } else {
+        table.add_cell(row.tally.successes);
+      }
+      break;
+    case local::WorkloadKind::kValue:
+      if (complete) {
+        const stats::MeanEstimate mean = row_mean(row);
+        table.add_cell(mean.mean, 4).add_cell(mean.stddev, 4);
+      } else {
+        table.add_cell(row.tally.value_sum.value(), 4);
+      }
+      break;
+    case local::WorkloadKind::kCounter: {
+      const std::uint64_t sum = row_count_sum(row);
+      table.add_cell(sum);
+      if (complete) {
+        table.add_cell(row.tally.trials == 0
+                           ? 0.0
+                           : static_cast<double>(sum) /
+                                 static_cast<double>(row.tally.trials),
+                       4);
+      }
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 util::Table to_table(const SweepResult& result, bool with_telemetry) {
@@ -146,61 +267,91 @@ util::Table to_table(const SweepResult& result, bool with_telemetry) {
   // JSON telemetry block and the CLI's `timing:` line.
   const std::vector<std::string> telemetry_headers = {"msgs", "words",
                                                       "rounds", "balls"};
-  if (!result.complete()) {
-    std::vector<std::string> headers = {"n", "actual n", "shard trials",
-                                        "shard successes", "of total"};
-    if (with_telemetry) {
-      headers.insert(headers.end(), telemetry_headers.begin(),
-                     telemetry_headers.end());
-    }
-    util::Table table(std::move(headers));
-    for (const SweepRow& row : result.rows) {
-      table.new_row()
-          .add_cell(row.requested_n)
-          .add_cell(row.actual_n)
-          .add_cell(row.tally.trials)
-          .add_cell(row.tally.successes)
-          .add_cell(row.total_trials);
-      if (with_telemetry) add_telemetry_cells(table, row);
-    }
-    return table;
-  }
-  std::vector<std::string> headers = {"n",         "actual n", "trials",
-                                      "successes", "p_hat",    "ci lo",
-                                      "ci hi"};
+  const bool complete = result.complete();
+  std::vector<std::string> headers = {"n", "actual n"};
+  headers.push_back(complete ? "trials" : "shard trials");
+  add_workload_headers(headers, result.workload, complete);
+  if (!complete) headers.push_back("of total");
   if (with_telemetry) {
     headers.insert(headers.end(), telemetry_headers.begin(),
                    telemetry_headers.end());
   }
   util::Table table(std::move(headers));
   for (const SweepRow& row : result.rows) {
-    const stats::Estimate estimate = row_estimate(row);
     table.new_row()
         .add_cell(row.requested_n)
         .add_cell(row.actual_n)
-        .add_cell(row.tally.trials)
-        .add_cell(row.tally.successes)
-        .add_cell(estimate.p_hat, 4)
-        .add_cell(estimate.ci.lo, 4)
-        .add_cell(estimate.ci.hi, 4);
+        .add_cell(row.tally.trials);
+    add_workload_cells(table, row, result.workload, complete);
+    if (!complete) table.add_cell(row.total_trials);
     if (with_telemetry) add_telemetry_cells(table, row);
   }
   return table;
+}
+
+std::vector<std::string> summary_lines(const SweepResult& result) {
+  std::vector<std::string> lines;
+  if (!result.complete() ||
+      result.workload == local::WorkloadKind::kSuccess) {
+    return lines;
+  }
+  for (const SweepRow& row : result.rows) {
+    const std::string where =
+        result.scenario + "/n" + std::to_string(row.requested_n);
+    if (result.workload == local::WorkloadKind::kValue) {
+      const stats::MeanEstimate mean = row_mean(row);
+      lines.push_back("value[" + where + "]: mean=" +
+                      format_exact(mean.mean) + " stddev=" +
+                      format_exact(mean.stddev) + " trials=" +
+                      std::to_string(mean.trials));
+    } else {
+      const std::uint64_t sum = row_count_sum(row);
+      const double mean =
+          row.tally.trials == 0
+              ? 0.0
+              : static_cast<double>(sum) /
+                    static_cast<double>(row.tally.trials);
+      lines.push_back("counter[" + where + "]: sum=" + std::to_string(sum) +
+                      " mean=" + format_exact(mean) + " trials=" +
+                      std::to_string(row.tally.trials));
+    }
+  }
+  return lines;
 }
 
 void write_json(std::ostream& os, const SweepResult& result) {
   os << "{\"scenario\": \"" << util::json_escape(result.scenario)
      << "\", \"base_seed\": " << result.base_seed
      << ", \"shard\": " << result.shard
-     << ", \"shard_count\": " << result.shard_count << ", \"rows\": [";
+     << ", \"shard_count\": " << result.shard_count << ", \"workload\": \""
+     << local::to_string(result.workload) << "\", \"rows\": [";
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const SweepRow& row = result.rows[i];
     if (i > 0) os << ", ";
     os << "{\"n\": " << row.requested_n << ", \"actual_n\": " << row.actual_n
        << ", \"total_trials\": " << row.total_trials
        << ", \"trials\": " << row.tally.trials
-       << ", \"successes\": " << row.tally.successes << ", \"telemetry\": "
-       << telemetry_to_json(row.tally.telemetry) << "}";
+       << ", \"successes\": " << row.tally.successes;
+    if (result.workload == local::WorkloadKind::kValue) {
+      // sum/sum_sq are the human-readable rounded views; the exact hex
+      // words are what cross-process merges actually accumulate.
+      os << ", \"values\": {\"sum\": "
+         << format_exact(row.tally.value_sum.value()) << ", \"sum_sq\": "
+         << format_exact(row.tally.value_sum_sq.value())
+         << ", \"exact_sum\": \"" << row.tally.value_sum.to_hex()
+         << "\", \"exact_sum_sq\": \"" << row.tally.value_sum_sq.to_hex()
+         << "\"}";
+    }
+    if (result.workload == local::WorkloadKind::kCounter) {
+      os << ", \"counts\": [";
+      for (std::size_t j = 0; j < row.tally.counts.size(); ++j) {
+        if (j > 0) os << ", ";
+        os << row.tally.counts[j];
+      }
+      os << "]";
+    }
+    os << ", \"telemetry\": " << telemetry_to_json(row.tally.telemetry)
+       << "}";
   }
   os << "]}\n";
 }
@@ -227,7 +378,8 @@ SweepResult sweep_from_json(const std::string& text,
     }
   };
   warn_unknown(root.as_object(),
-               {"scenario", "base_seed", "shard", "shard_count", "rows"},
+               {"scenario", "base_seed", "shard", "shard_count", "workload",
+                "rows"},
                "top-level");
   SweepResult result;
   result.scenario = root.at("scenario").as_string();
@@ -235,10 +387,22 @@ SweepResult sweep_from_json(const std::string& text,
   result.shard = static_cast<unsigned>(root.at("shard").as_uint64());
   result.shard_count =
       static_cast<unsigned>(root.at("shard_count").as_uint64());
+  if (root.has("workload")) {
+    // Absent in files written by success-only binary generations.
+    const std::string& workload = root.at("workload").as_string();
+    const std::optional<local::WorkloadKind> kind =
+        local::workload_from_string(workload);
+    if (!kind) {
+      throw std::runtime_error("shard file 'workload' must be "
+                               "success|value|counter, got '" +
+                               workload + "'");
+    }
+    result.workload = *kind;
+  }
   for (const Json& row_json : root.at("rows").as_array()) {
     warn_unknown(row_json.as_object(),
                  {"n", "actual_n", "total_trials", "trials", "successes",
-                  "telemetry"},
+                  "values", "counts", "telemetry"},
                  "row");
     SweepRow row;
     row.requested_n = row_json.at("n").as_uint64();
@@ -246,6 +410,32 @@ SweepResult sweep_from_json(const std::string& text,
     row.total_trials = row_json.at("total_trials").as_uint64();
     row.tally.trials = row_json.at("trials").as_uint64();
     row.tally.successes = row_json.at("successes").as_uint64();
+    if (row_json.has("values")) {
+      const Json& values = row_json.at("values");
+      warn_unknown(values.as_object(),
+                   {"sum", "sum_sq", "exact_sum", "exact_sum_sq"},
+                   "values-block");
+      // The exact hex words are authoritative; the rounded doubles are a
+      // fallback for hand-written files (exactness then only holds for
+      // sums that are representable, e.g. small integers).
+      if (values.has("exact_sum")) {
+        row.tally.value_sum =
+            stats::ExactSum::from_hex(values.at("exact_sum").as_string());
+      } else if (values.has("sum")) {
+        row.tally.value_sum.add(values.at("sum").as_number());
+      }
+      if (values.has("exact_sum_sq")) {
+        row.tally.value_sum_sq =
+            stats::ExactSum::from_hex(values.at("exact_sum_sq").as_string());
+      } else if (values.has("sum_sq")) {
+        row.tally.value_sum_sq.add(values.at("sum_sq").as_number());
+      }
+    }
+    if (row_json.has("counts")) {
+      for (const Json& count : row_json.at("counts").as_array()) {
+        row.tally.counts.push_back(count.as_uint64());
+      }
+    }
     if (row_json.has("telemetry")) {
       row.tally.telemetry = telemetry_from_json(row_json.at("telemetry"));
     }

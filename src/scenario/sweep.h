@@ -36,6 +36,8 @@ struct SweepResult {
   std::uint64_t base_seed = 0;
   unsigned shard = 0;
   unsigned shard_count = 1;
+  /// The workload the rows tally (which ShardTally block is meaningful).
+  local::WorkloadKind workload = local::WorkloadKind::kSuccess;
   std::vector<SweepRow> rows;
 
   /// True when the result covers every trial (unsharded or merged).
@@ -59,22 +61,40 @@ std::string can_merge(std::span<const SweepResult> shards);
 /// input can_merge rejects.
 SweepResult merge_sweeps(std::span<const SweepResult> shards);
 
-/// The Wilson estimate of a complete row.
+/// The Wilson estimate of a complete success row.
 stats::Estimate row_estimate(const SweepRow& row);
+
+/// The exact-sum mean/stddev of a complete value row. Because the row's
+/// accumulators are exact, the result is bit-identical whether the row
+/// came from one unsharded run or any merged shard partition.
+stats::MeanEstimate row_mean(const SweepRow& row);
 
 /// All rows' telemetry merged (the whole-sweep communication volume).
 local::Telemetry result_telemetry(const SweepResult& result);
 
-/// Human-readable table (estimate columns only for complete results).
-/// `with_telemetry` appends the deterministic communication-volume
-/// columns (msgs / words / rounds / balls) to every row.
+/// Human-readable table (estimate/mean/count columns only for complete
+/// results; workload-appropriate columns per row). `with_telemetry`
+/// appends the deterministic communication-volume columns
+/// (msgs / words / rounds / balls) to every row.
 util::Table to_table(const SweepResult& result, bool with_telemetry = false);
 
+/// Grep-stable per-row summary lines for complete value/counter results
+/// (full %.17g precision, so diffing the lines across thread counts and
+/// shard layouts asserts the exact-merge contract at the CLI level):
+///
+///   value[scenario/nN]: mean=M stddev=S trials=T
+///   counter[scenario/nN]: sum=C mean=M trials=T
+///
+/// Empty for success workloads and for incomplete (sharded) results.
+std::vector<std::string> summary_lines(const SweepResult& result);
+
 /// Shard-file JSON round trip (cross-process merge). Rows carry a
-/// `telemetry` block; readers tolerate its absence (files written by
-/// pre-telemetry binaries merge with zeroed counters). Unrecognized keys
-/// are reported through `warnings` when non-null — the guard that
-/// surfaces stale shard files written by a different binary generation.
+/// `telemetry` block plus, per workload, a `values` block (human-readable
+/// sum/sum_sq doubles AND the authoritative exact-sum hex words) or a
+/// `counts` array; readers tolerate their absence (files written by
+/// older binaries merge with zeroed blocks). Unrecognized keys are
+/// reported through `warnings` when non-null — the guard that surfaces
+/// stale shard files written by a different binary generation.
 void write_json(std::ostream& os, const SweepResult& result);
 SweepResult sweep_from_json(const std::string& text,
                             std::vector<std::string>* warnings = nullptr);

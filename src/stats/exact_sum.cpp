@@ -1,0 +1,213 @@
+#include "stats/exact_sum.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace lnc::stats {
+namespace {
+
+/// Negates a two's-complement multi-word integer in place.
+void negate(std::array<std::uint64_t, ExactSum::kWords>& words) noexcept {
+  std::uint64_t carry = 1;
+  for (std::uint64_t& word : words) {
+    word = ~word + carry;
+    carry = (carry != 0 && word == 0) ? 1 : 0;
+  }
+}
+
+bool is_negative(
+    const std::array<std::uint64_t, ExactSum::kWords>& words) noexcept {
+  return (words[ExactSum::kWords - 1] >> 63) != 0;
+}
+
+int hex_digit(char ch) {
+  if (ch >= '0' && ch <= '9') return ch - '0';
+  if (ch >= 'a' && ch <= 'f') return ch - 'a' + 10;
+  if (ch >= 'A' && ch <= 'F') return ch - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+void ExactSum::add_magnitude(std::uint64_t mantissa, int bit_offset,
+                             bool negative) noexcept {
+  const int word = bit_offset / 64;
+  const int bit = bit_offset % 64;
+  const std::uint64_t lo = mantissa << bit;
+  const std::uint64_t hi =
+      bit == 0 ? 0 : (mantissa >> 1) >> (63 - bit);  // avoid UB shift by 64
+  if (!negative) {
+    std::uint64_t carry = 0;
+    for (int i = word; i < kWords; ++i) {
+      const std::uint64_t addend = i == word ? lo : (i == word + 1 ? hi : 0);
+      const std::uint64_t partial = words_[i] + addend;
+      const std::uint64_t overflow1 = partial < addend ? 1 : 0;
+      words_[i] = partial + carry;
+      const std::uint64_t overflow2 = words_[i] < partial ? 1 : 0;
+      carry = overflow1 | overflow2;
+      if (carry == 0 && i > word) break;
+    }
+  } else {
+    std::uint64_t borrow = 0;
+    for (int i = word; i < kWords; ++i) {
+      const std::uint64_t subtrahend =
+          i == word ? lo : (i == word + 1 ? hi : 0);
+      const std::uint64_t partial = words_[i] - subtrahend;
+      const std::uint64_t underflow1 = words_[i] < subtrahend ? 1 : 0;
+      words_[i] = partial - borrow;
+      const std::uint64_t underflow2 = partial < borrow ? 1 : 0;
+      borrow = underflow1 | underflow2;
+      if (borrow == 0 && i > word) break;
+    }
+  }
+}
+
+void ExactSum::add(double value) noexcept {
+  LNC_ASSERT(std::isfinite(value));
+  if (value == 0.0) return;
+  int exponent = 0;
+  const double fraction = std::frexp(std::fabs(value), &exponent);
+  // |value| = fraction * 2^exponent with fraction in [0.5, 1); scaling by
+  // 2^53 yields the integer mantissa exactly (doubles carry 53 bits).
+  const auto mantissa =
+      static_cast<std::uint64_t>(std::ldexp(fraction, 53));
+  // value = mantissa * 2^(exponent - 53); bit offset relative to the unit.
+  int offset = (exponent - 53) - kUnitExponent;
+  std::uint64_t shifted = mantissa;
+  if (offset < 0) {
+    // Subnormal with a trailing-zero mantissa: still an exact multiple of
+    // the unit, so the right shift drops only zero bits.
+    shifted >>= -offset;
+    offset = 0;
+  }
+  add_magnitude(shifted, offset, value < 0.0);
+}
+
+void ExactSum::merge(const ExactSum& other) noexcept {
+  std::uint64_t carry = 0;
+  for (int i = 0; i < kWords; ++i) {
+    const std::uint64_t partial = words_[i] + other.words_[i];
+    const std::uint64_t overflow1 = partial < other.words_[i] ? 1 : 0;
+    words_[i] = partial + carry;
+    const std::uint64_t overflow2 = words_[i] < partial ? 1 : 0;
+    carry = overflow1 | overflow2;
+  }
+}
+
+bool ExactSum::is_zero() const noexcept {
+  for (const std::uint64_t word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+double ExactSum::value() const noexcept {
+  std::array<std::uint64_t, kWords> magnitude = words_;
+  const bool negative = is_negative(magnitude);
+  if (negative) negate(magnitude);
+
+  int high = -1;  // highest set bit position
+  for (int i = kWords - 1; i >= 0 && high < 0; --i) {
+    if (magnitude[i] == 0) continue;
+    int bit = 63;
+    while ((magnitude[i] >> bit) == 0) --bit;
+    high = i * 64 + bit;
+  }
+  if (high < 0) return 0.0;
+
+  auto bit_at = [&](int pos) -> int {
+    if (pos < 0) return 0;
+    return static_cast<int>((magnitude[pos / 64] >> (pos % 64)) & 1u);
+  };
+
+  // Extract the top 53 bits [high-52, high] as the mantissa.
+  std::uint64_t mantissa = 0;
+  for (int pos = high; pos > high - 53; --pos) {
+    mantissa = (mantissa << 1) | static_cast<std::uint64_t>(bit_at(pos));
+  }
+  int lsb_exponent = (high - 52) + kUnitExponent;
+
+  // Round to nearest, ties to even, using the guard bit and a sticky OR
+  // of everything below it.
+  const int guard_pos = high - 53;
+  if (guard_pos >= 0 && bit_at(guard_pos) != 0) {
+    bool sticky = false;
+    for (int i = 0; i < guard_pos / 64 && !sticky; ++i) {
+      sticky = magnitude[i] != 0;
+    }
+    if (!sticky) {
+      const std::uint64_t below =
+          magnitude[guard_pos / 64] &
+          ((std::uint64_t{1} << (guard_pos % 64)) - 1);
+      sticky = below != 0;
+    }
+    if (sticky || (mantissa & 1u) != 0) {
+      ++mantissa;
+      if (mantissa == (std::uint64_t{1} << 53)) {
+        mantissa >>= 1;
+        ++lsb_exponent;
+      }
+    }
+  }
+
+  const double result =
+      std::ldexp(static_cast<double>(mantissa), lsb_exponent);
+  return negative ? -result : result;
+}
+
+std::string ExactSum::to_hex() const {
+  std::array<std::uint64_t, kWords> magnitude = words_;
+  const bool negative = is_negative(magnitude);
+  if (negative) negate(magnitude);
+
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex;
+  bool started = false;
+  for (int i = kWords - 1; i >= 0; --i) {
+    for (int nibble = 15; nibble >= 0; --nibble) {
+      const int digit =
+          static_cast<int>((magnitude[i] >> (4 * nibble)) & 0xFu);
+      if (!started && digit == 0) continue;
+      started = true;
+      hex.push_back(kDigits[digit]);
+    }
+  }
+  if (!started) return "0";
+  return negative ? "-" + hex : hex;
+}
+
+ExactSum ExactSum::from_hex(const std::string& text) {
+  std::size_t start = 0;
+  bool negative = false;
+  if (start < text.size() && text[start] == '-') {
+    negative = true;
+    ++start;
+  }
+  if (start == text.size()) {
+    throw std::runtime_error("exact-sum hex: empty digits");
+  }
+  ExactSum sum;
+  const std::size_t digits = text.size() - start;
+  if (digits > static_cast<std::size_t>(kWords) * 16) {
+    throw std::runtime_error("exact-sum hex: too many digits");
+  }
+  for (std::size_t i = 0; i < digits; ++i) {
+    const int digit = hex_digit(text[start + i]);
+    if (digit < 0) {
+      throw std::runtime_error("exact-sum hex: invalid digit '" +
+                               std::string(1, text[start + i]) + "'");
+    }
+    const std::size_t nibble_index = digits - 1 - i;  // from the LSB
+    sum.words_[nibble_index / 16] |= static_cast<std::uint64_t>(digit)
+                                     << (4 * (nibble_index % 16));
+  }
+  if (is_negative(sum.words_)) {
+    throw std::runtime_error("exact-sum hex: magnitude out of range");
+  }
+  if (negative) negate(sum.words_);
+  return sum;
+}
+
+}  // namespace lnc::stats

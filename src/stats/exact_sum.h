@@ -1,0 +1,68 @@
+// Exact summation of IEEE doubles — the mean-merge counterpart of the
+// integer success tallies.
+//
+// Success-probability shards merge bit-identically because their tallies
+// are integers; a value (mean) workload sums DOUBLES, and floating-point
+// addition is not associative, so "shard sums added together" would not
+// reproduce an unsharded run's sequential sum bit for bit. ExactSum
+// restores the integer story: it accumulates doubles into a fixed-point
+// superaccumulator wide enough to represent any sum of up to ~2^63
+// finite doubles EXACTLY. The represented value is a pure function of
+// the multiset of added values — independent of addition order, thread
+// assignment, and shard partition — so merged shard accumulators equal
+// the unsharded accumulator word for word, and the final rounding to
+// double (correct to nearest, ties to even) is performed exactly once.
+//
+// Shard files serialize the accumulator as a sign-magnitude hex string
+// (to_hex/from_hex), which is canonical: equal sums produce equal
+// strings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace lnc::stats {
+
+class ExactSum {
+ public:
+  /// Fixed-point layout: bit 0 of word 0 has weight 2^-1074 (the least
+  /// subnormal double), so every finite double is an integer multiple of
+  /// the unit. The largest double tops out below 2^1024 — bit 2098 — and
+  /// 64 extra headroom bits absorb 2^63 worst-case additions without
+  /// overflow; 35 x 64 = 2240 bits covers both with margin. Stored as
+  /// two's complement so mixed-sign accumulation is a plain carry chain.
+  static constexpr int kWords = 35;
+  static constexpr int kUnitExponent = -1074;
+
+  /// Adds a finite double exactly (asserts on NaN/infinity).
+  void add(double value) noexcept;
+
+  /// Adds another accumulator exactly (big-integer addition).
+  void merge(const ExactSum& other) noexcept;
+
+  /// The accumulated sum rounded once to the nearest double (ties to
+  /// even) — the only rounding in the pipeline.
+  double value() const noexcept;
+
+  bool is_zero() const noexcept;
+
+  /// Word-for-word equality — equivalent to exact value equality.
+  friend bool operator==(const ExactSum& a, const ExactSum& b) noexcept {
+    return a.words_ == b.words_;
+  }
+
+  /// Canonical sign-magnitude hex serialization ("0", "1a2b...", or
+  /// "-1a2b..."): the shard-file wire format. from_hex throws
+  /// std::runtime_error on malformed or out-of-range input.
+  std::string to_hex() const;
+  static ExactSum from_hex(const std::string& text);
+
+ private:
+  void add_magnitude(std::uint64_t mantissa, int bit_offset,
+                     bool negative) noexcept;
+
+  std::array<std::uint64_t, kWords> words_{};
+};
+
+}  // namespace lnc::stats

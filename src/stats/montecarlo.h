@@ -19,6 +19,7 @@
 #include <functional>
 #include <span>
 
+#include "stats/exact_sum.h"
 #include "stats/threadpool.h"
 #include "util/math.h"
 
@@ -64,6 +65,15 @@ struct MeanEstimate {
 Estimate finalize_estimate(std::uint64_t successes,
                            std::uint64_t trials) noexcept;
 MeanEstimate finalize_mean(std::span<const double> values) noexcept;
+
+/// Mean/stddev from exact sum and sum-of-squares accumulators (the
+/// shard-mergeable form local::BatchRunner produces): both sums are
+/// order-free and exact, so the resulting estimate is bit-identical
+/// across thread counts and shard partitions. Stddev uses the sample
+/// formula sqrt((sum_sq - mean * sum) / (n - 1)), clamped at zero.
+MeanEstimate finalize_mean_exact(const ExactSum& sum,
+                                 const ExactSum& sum_sq,
+                                 std::uint64_t trials) noexcept;
 
 /// Cache-line-padded per-worker tally: workers bump their own slot
 /// without contending, and the final sum is order-free, so estimates

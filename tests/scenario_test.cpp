@@ -4,10 +4,12 @@
 // recycling.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "algo/weak_color_mc.h"
 #include "local/engine.h"
@@ -215,6 +217,163 @@ TEST(Sharding, TelemetryUnevenThreeWayMergeSurvivesJsonRoundTrip) {
       full.rows[0].tally.telemetry));
 }
 
+TEST(ValueSweep, SummaryLinesAreGrepStableAndThreadInvariant) {
+  // The value-mode CLI summary line prints the mean/stddev at full
+  // round-trip precision, so string equality across thread counts IS the
+  // exact-merge contract. A hand-built row pins the exact format.
+  scenario::SweepResult result;
+  result.scenario = "golden";
+  result.workload = local::WorkloadKind::kValue;
+  scenario::SweepRow row;
+  row.requested_n = 8;
+  row.actual_n = 8;
+  row.total_trials = 2;
+  row.tally.trials = 2;
+  row.tally.value_sum.add(1.5);
+  row.tally.value_sum.add(2.5);
+  row.tally.value_sum_sq.add(1.5 * 1.5);
+  row.tally.value_sum_sq.add(2.5 * 2.5);
+  result.rows.push_back(row);
+  const std::vector<std::string> golden = scenario::summary_lines(result);
+  ASSERT_EQ(golden.size(), 1u);
+  EXPECT_EQ(golden[0],
+            "value[golden/n8]: mean=2 stddev=0.70710678118654757 trials=2");
+
+  // Live sweeps: identical lines at 1 and 8 worker threads.
+  const ScenarioSpec* preset = scenario::find_preset("luby-mis-rounds");
+  ASSERT_NE(preset, nullptr);
+  const ScenarioSpec spec = shrunk(*preset, 12);
+  const scenario::CompiledScenario compiled = scenario::compile(spec);
+  const std::vector<std::string> sequential =
+      scenario::summary_lines(scenario::run_sweep(compiled));
+  const stats::ThreadPool pool(8);
+  scenario::SweepOptions pooled;
+  pooled.pool = &pool;
+  EXPECT_EQ(sequential,
+            scenario::summary_lines(scenario::run_sweep(compiled, pooled)));
+  ASSERT_EQ(sequential.size(), 1u);
+  EXPECT_EQ(sequential[0].rfind("value[luby-mis-rounds/n64]: mean=", 0), 0u)
+      << sequential[0];
+  EXPECT_NE(sequential[0].find(" stddev="), std::string::npos);
+  EXPECT_NE(sequential[0].find(" trials=12"), std::string::npos);
+
+  // Sharded (incomplete) results and success workloads emit no lines.
+  scenario::SweepOptions half;
+  half.shard_count = 2;
+  EXPECT_TRUE(
+      scenario::summary_lines(scenario::run_sweep(compiled, half)).empty());
+}
+
+TEST(ValueSweep, JsonRoundTripCarriesTheMeanBlock) {
+  const ScenarioSpec* preset = scenario::find_preset("luby-mis-rounds");
+  ASSERT_NE(preset, nullptr);
+  const scenario::CompiledScenario compiled =
+      scenario::compile(shrunk(*preset, 9));
+
+  scenario::SweepOptions options;
+  options.shard = 1;
+  options.shard_count = 2;
+  const scenario::SweepResult shard = scenario::run_sweep(compiled, options);
+  std::ostringstream os;
+  scenario::write_json(os, shard);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"workload\": \"value\""), std::string::npos);
+  EXPECT_NE(text.find("\"values\": {\"sum\": "), std::string::npos);
+  EXPECT_NE(text.find("\"exact_sum\": \""), std::string::npos);
+
+  std::vector<std::string> warnings;
+  const scenario::SweepResult parsed =
+      scenario::sweep_from_json(text, &warnings);
+  EXPECT_TRUE(warnings.empty()) << warnings[0];
+  EXPECT_EQ(parsed.workload, local::WorkloadKind::kValue);
+  ASSERT_EQ(parsed.rows.size(), shard.rows.size());
+  for (std::size_t i = 0; i < shard.rows.size(); ++i) {
+    EXPECT_TRUE(parsed.rows[i].tally.value_sum ==
+                shard.rows[i].tally.value_sum);
+    EXPECT_TRUE(parsed.rows[i].tally.value_sum_sq ==
+                shard.rows[i].tally.value_sum_sq);
+  }
+}
+
+TEST(ValueSweep, CounterJsonRoundTripCarriesCounts) {
+  const ScenarioSpec* preset = scenario::find_preset("ring-amos-words");
+  ASSERT_NE(preset, nullptr);
+  const scenario::CompiledScenario compiled =
+      scenario::compile(shrunk(*preset, 7));
+  const scenario::SweepResult full = scenario::run_sweep(compiled);
+  ASSERT_EQ(full.rows[0].tally.counts.size(), 1u);
+  EXPECT_GT(full.rows[0].tally.counts[0], 0u);
+
+  std::ostringstream os;
+  scenario::write_json(os, full);
+  EXPECT_NE(os.str().find("\"workload\": \"counter\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"counts\": ["), std::string::npos);
+  std::vector<std::string> warnings;
+  const scenario::SweepResult parsed =
+      scenario::sweep_from_json(os.str(), &warnings);
+  EXPECT_TRUE(warnings.empty()) << warnings[0];
+  EXPECT_EQ(parsed.rows[0].tally.counts, full.rows[0].tally.counts);
+}
+
+TEST(ValueSweep, WarnsOnUnknownValueRowKeysButStillParses) {
+  // A value shard file from a future binary generation: foreign keys in
+  // a row's values block (and next to it) warn but do not break the
+  // merge, and the exact accumulators still read back bit-perfectly.
+  scenario::SweepResult seeded;
+  seeded.scenario = "x";
+  seeded.workload = local::WorkloadKind::kValue;
+  scenario::SweepRow row;
+  row.requested_n = 8;
+  row.actual_n = 8;
+  row.total_trials = 4;
+  row.tally.trials = 4;
+  row.tally.value_sum.add(0.1);
+  row.tally.value_sum.add(2.25);
+  row.tally.value_sum_sq.add(0.1 * 0.1);
+  row.tally.value_sum_sq.add(2.25 * 2.25);
+  seeded.rows.push_back(row);
+  std::ostringstream os;
+  scenario::write_json(os, seeded);
+  std::string text = os.str();
+  const std::string needle = "\"exact_sum\":";
+  text.insert(text.find(needle), "\"future_moment\": 3.5, ");
+  ASSERT_NE(text.find("future_moment"), std::string::npos);
+
+  std::vector<std::string> warnings;
+  const scenario::SweepResult parsed =
+      scenario::sweep_from_json(text, &warnings);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("future_moment"), std::string::npos);
+  EXPECT_NE(warnings[0].find("values-block"), std::string::npos);
+  EXPECT_TRUE(parsed.rows[0].tally.value_sum ==
+              seeded.rows[0].tally.value_sum);
+  EXPECT_EQ(scenario::row_mean(parsed.rows[0]).mean,
+            scenario::row_mean(seeded.rows[0]).mean);
+
+  // An unknown workload tag is a hard error, not a warning — the reader
+  // cannot merge tallies it does not understand.
+  EXPECT_THROW(
+      scenario::sweep_from_json(
+          "{\"scenario\": \"x\", \"base_seed\": 1, \"shard\": 0, "
+          "\"shard_count\": 1, \"workload\": \"vibes\", \"rows\": []}"),
+      std::runtime_error);
+}
+
+TEST(ValueSweep, MergeRejectsMixedWorkloads) {
+  const ScenarioSpec* value_preset = scenario::find_preset("luby-mis-rounds");
+  ASSERT_NE(value_preset, nullptr);
+  const scenario::CompiledScenario compiled =
+      scenario::compile(shrunk(*value_preset, 8));
+  scenario::SweepOptions half;
+  half.shard_count = 2;
+  scenario::SweepResult shard0 = scenario::run_sweep(compiled, half);
+  half.shard = 1;
+  scenario::SweepResult shard1 = scenario::run_sweep(compiled, half);
+  shard1.workload = local::WorkloadKind::kSuccess;  // simulated stale file
+  const scenario::SweepResult mixed[] = {shard0, shard1};
+  EXPECT_NE(scenario::can_merge(mixed).find("workload"), std::string::npos);
+}
+
 TEST(SweepJson, WarnsOnUnrecognizedKeysButStillParses) {
   // A shard file from a different binary generation (here: an invented
   // top-level key and an invented row key) must parse — old files stay
@@ -291,6 +450,45 @@ TEST(Validation, RejectsUnknownComponentsAndParams) {
   spec.language = "amos";
   spec.decider = "resilient";
   EXPECT_NE(scenario::validate(spec).find("LCL"), std::string::npos);
+}
+
+TEST(Validation, RejectsOutOfRangeAndNanParameters) {
+  ScenarioSpec spec;
+  spec.name = "ranges";
+  spec.topology = "ring";
+  spec.language = "coloring";
+  spec.construction = "rand-coloring";
+  spec.decider = "slack";
+  spec.n_grid = {12};
+  spec.params = {{"eps", 0.5}};
+  EXPECT_EQ(scenario::validate(spec), "");
+  spec.params["eps"] = 2.0;  // slack decider declares eps in (0, 1]
+  EXPECT_NE(scenario::validate(spec).find("range"), std::string::npos);
+  // NaN satisfies no declared range — it must be diagnosed here, not
+  // abort later in the decider's constructor precondition.
+  spec.params["eps"] = std::nan("");
+  EXPECT_NE(scenario::validate(spec).find("range"), std::string::npos);
+  spec.params = {{"colors", 0}};  // below the palette minimum
+  spec.decider = "exact";
+  EXPECT_NE(scenario::validate(spec).find("range"), std::string::npos);
+}
+
+TEST(ValueSweep, CanMergeRejectsMismatchedCounterWidths) {
+  // A shard file from a binary generation with a different counter-slot
+  // layout must be refused with a diagnostic, not an abort.
+  const ScenarioSpec* preset = scenario::find_preset("ring-amos-words");
+  ASSERT_NE(preset, nullptr);
+  const scenario::CompiledScenario compiled =
+      scenario::compile(shrunk(*preset, 8));
+  scenario::SweepOptions half;
+  half.shard_count = 2;
+  const scenario::SweepResult shard0 = scenario::run_sweep(compiled, half);
+  half.shard = 1;
+  scenario::SweepResult shard1 = scenario::run_sweep(compiled, half);
+  shard1.rows[0].tally.counts.push_back(7);  // extra foreign slot
+  const scenario::SweepResult mismatched[] = {shard0, shard1};
+  EXPECT_NE(scenario::can_merge(mismatched).find("widths"),
+            std::string::npos);
 }
 
 TEST(SpecJson, ShippedScenarioFilesParseAndValidate) {

@@ -4,14 +4,124 @@
 
 #include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "rand/splitmix.h"
+#include "stats/exact_sum.h"
 #include "stats/montecarlo.h"
 #include "stats/summary.h"
 #include "stats/threadpool.h"
 
 namespace lnc::stats {
 namespace {
+
+TEST(ExactSum, SingleAdditionRoundTripsTheDouble) {
+  for (const double value :
+       {0.0, 1.0, -1.0, 0.1, -0.1, 1e-300, -1e300, 4.9406564584124654e-324,
+        1.7976931348623157e308, 3.141592653589793, 1.0 / 3.0}) {
+    ExactSum sum;
+    sum.add(value);
+    EXPECT_EQ(sum.value(), value) << value;
+  }
+}
+
+TEST(ExactSum, CancellationIsExact) {
+  // Naive double accumulation of 1e100 + 1 - 1e100 collapses to 0; the
+  // superaccumulator keeps the 1 alive.
+  ExactSum sum;
+  sum.add(1e100);
+  sum.add(1.0);
+  sum.add(-1e100);
+  EXPECT_EQ(sum.value(), 1.0);
+  EXPECT_FALSE(sum.is_zero());
+  sum.add(-1.0);
+  EXPECT_TRUE(sum.is_zero());
+  EXPECT_EQ(sum.value(), 0.0);
+}
+
+TEST(ExactSum, OrderAndPartitionIndependent) {
+  // Any addition order and any shard partition represent the same exact
+  // value — word-for-word equal accumulators, identical hex, identical
+  // rounded double. (Naive double sums would disagree here.)
+  rand::SplitMix64 rng(77);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    const double magnitude = std::ldexp(
+        static_cast<double>(rng.next() >> 11),
+        static_cast<int>(rng.next_below(600)) - 300);
+    values.push_back((rng.next() & 1) != 0 ? -magnitude : magnitude);
+  }
+  ExactSum forward;
+  for (const double v : values) forward.add(v);
+  ExactSum backward;
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    backward.add(*it);
+  }
+  ExactSum sharded;
+  ExactSum shard_a;
+  ExactSum shard_b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 127 ? shard_a : shard_b).add(values[i]);
+  }
+  sharded.merge(shard_a);
+  sharded.merge(shard_b);
+  EXPECT_TRUE(forward == backward);
+  EXPECT_TRUE(forward == sharded);
+  EXPECT_EQ(forward.to_hex(), sharded.to_hex());
+  EXPECT_EQ(forward.value(), backward.value());
+  EXPECT_EQ(forward.value(), sharded.value());
+}
+
+TEST(ExactSum, HexRoundTripIsCanonical) {
+  rand::SplitMix64 rng(91);
+  for (int i = 0; i < 50; ++i) {
+    ExactSum sum;
+    for (int k = 0; k < 7; ++k) {
+      const double magnitude =
+          static_cast<double>(rng.next() >> 12) / 1024.0;
+      sum.add((rng.next() & 1) != 0 ? -magnitude : magnitude);
+    }
+    const ExactSum parsed = ExactSum::from_hex(sum.to_hex());
+    EXPECT_TRUE(parsed == sum);
+    EXPECT_EQ(parsed.to_hex(), sum.to_hex());
+    EXPECT_EQ(parsed.value(), sum.value());
+  }
+  EXPECT_EQ(ExactSum().to_hex(), "0");
+  EXPECT_TRUE(ExactSum::from_hex("0").is_zero());
+  EXPECT_THROW(ExactSum::from_hex(""), std::runtime_error);
+  EXPECT_THROW(ExactSum::from_hex("xyz"), std::runtime_error);
+}
+
+TEST(ExactSum, IntegerSumsAreExact) {
+  ExactSum sum;
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    sum.add(static_cast<double>(i));
+    expected += i;
+  }
+  EXPECT_EQ(sum.value(), static_cast<double>(expected));
+}
+
+TEST(MonteCarlo, FinalizeMeanExactMatchesTwoPassOnBenignData) {
+  // On well-conditioned data the sum-of-squares formula agrees with the
+  // two-pass stddev to floating-point accuracy.
+  std::vector<double> values;
+  ExactSum sum;
+  ExactSum sum_sq;
+  rand::SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>(rng.next_below(1000)) / 10.0;
+    values.push_back(v);
+    sum.add(v);
+    sum_sq.add(v * v);
+  }
+  const MeanEstimate two_pass = finalize_mean(values);
+  const MeanEstimate exact = finalize_mean_exact(sum, sum_sq, values.size());
+  EXPECT_EQ(exact.trials, two_pass.trials);
+  EXPECT_NEAR(exact.mean, two_pass.mean, 1e-12);
+  EXPECT_NEAR(exact.stddev, two_pass.stddev, 1e-9);
+}
 
 TEST(ThreadPool, CoversTheFullRange) {
   const ThreadPool pool(4);

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI value-sweep merge gate: a sharded value/counter sweep merged with
+`lnc_sweep --merge` must reproduce the unsharded run BIT FOR BIT.
+
+Usage: check_value_merge.py UNSHARDED.json MERGED.json...
+
+Each file is a complete lnc_sweep --out result of a value or counter
+workload. The gate compares, per row, the exact-sum accumulators (the
+authoritative hex words plus the rounded sum/sum_sq doubles) or the
+integer count slots against the first file — any difference means the
+exact-merge contract broke. Telemetry timing fields are machine-dependent
+and ignored (the telemetry gate checks the deterministic counters).
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    workload = data.get("workload", "success")
+    if workload not in ("value", "counter"):
+        raise SystemExit(f"{path}: workload is {workload!r} — pass value or "
+                         "counter sweep results to this gate")
+    for row in data["rows"]:
+        if row["trials"] != row["total_trials"]:
+            raise SystemExit(
+                f"{path}: row n={row['n']} covers {row['trials']} of "
+                f"{row['total_trials']} trials — pass a complete "
+                "(unsharded or merged) result")
+        if workload == "value" and "values" not in row:
+            raise SystemExit(f"{path}: value row n={row['n']} has no "
+                             "values block")
+        if workload == "counter" and "counts" not in row:
+            raise SystemExit(f"{path}: counter row n={row['n']} has no "
+                             "counts array")
+    return data
+
+
+def row_fingerprint(workload, row):
+    if workload == "value":
+        values = row["values"]
+        return (values["exact_sum"], values["exact_sum_sq"],
+                values["sum"], values["sum_sq"])
+    return tuple(row["counts"])
+
+
+def main(argv):
+    if len(argv) < 3:
+        raise SystemExit(__doc__)
+    reference_path = argv[1]
+    reference = load(reference_path)
+    workload = reference.get("workload")
+    if workload == "value":
+        nonzero = any(row["values"]["exact_sum"] != "0"
+                      for row in reference["rows"])
+    else:
+        nonzero = any(count != 0 for row in reference["rows"]
+                      for count in row["counts"])
+    if not nonzero:
+        raise SystemExit(f"{reference_path}: every row tallies to zero — "
+                         "the smoke scenario is not exercising the "
+                         "value path")
+    for path in argv[2:]:
+        other = load(path)
+        if other.get("workload") != workload or \
+                len(other["rows"]) != len(reference["rows"]):
+            raise SystemExit(f"{path}: result of a different sweep shape "
+                             f"than {reference_path}")
+        for ref_row, row in zip(reference["rows"], other["rows"]):
+            want = row_fingerprint(workload, ref_row)
+            got = row_fingerprint(workload, row)
+            if want != got:
+                raise SystemExit(
+                    f"value-merge mismatch at n={row['n']}: "
+                    f"{reference_path} has {want}, {path} has {got}")
+    print(f"value-merge gate OK: {workload} tallies bit-identical across "
+          f"{reference_path} and {', '.join(argv[2:])}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

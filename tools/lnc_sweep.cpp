@@ -27,6 +27,7 @@
 //   --shard i/k      run only trial slice i of k (emits a mergeable tally)
 //   --threads N      worker threads (0 = hardware concurrency; default 1)
 //   --out FILE       also write the result as JSON (shard or complete)
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -56,8 +57,13 @@ int usage(std::ostream& os, int code) {
         "       lnc_sweep --all [overrides]\n"
         "       lnc_sweep --merge SHARD.json...\n"
         "overrides: --param k=v | --n A,B,C | --trials N | --seed S\n"
+        "           --workload success|value|counter | --statistic NAME\n"
         "           --success accept|reject | --mode balls|messages|two-phase\n"
         "           --shard i/k | --threads N | --out FILE | --telemetry\n"
+        "value/counter workloads measure a registered statistic of the\n"
+        "construction's output (mean/stddev via exact sums, or exact\n"
+        "integer totals) instead of a success probability; sharded value\n"
+        "runs --merge back to the unsharded mean bit for bit.\n"
         "--telemetry adds communication-volume columns (msgs/words/rounds/\n"
         "balls; deterministic across thread counts and shardings) plus a\n"
         "timing line (wall time, arena peak; machine-dependent).\n";
@@ -66,8 +72,12 @@ int usage(std::ostream& os, int code) {
 
 void print_schema(const scenario::ParamSchema& schema) {
   for (const scenario::ParamSpec& spec : schema) {
-    std::cout << "      " << spec.name << " = " << spec.default_value << "  ("
-              << spec.doc << ")\n";
+    std::cout << "      " << spec.name << " = " << spec.default_value;
+    if (std::isfinite(spec.min_value) || std::isfinite(spec.max_value)) {
+      std::cout << " in [" << spec.min_value << ", " << spec.max_value
+                << "]";
+    }
+    std::cout << "  (" << spec.doc << ")\n";
   }
 }
 
@@ -92,11 +102,22 @@ void list_catalogue() {
     std::cout << "  " << entry->name << " — " << entry->doc << "\n";
     print_schema(entry->schema);
   }
+  std::cout << "\nstatistics (value/counter workloads):\n";
+  for (const auto* entry : scenario::statistics().all()) {
+    std::cout << "  " << entry->name
+              << (entry->integer_valued ? "" : " (value-only)") << " — "
+              << entry->doc << "\n";
+  }
   std::cout << "\nscenarios:\n";
   for (const scenario::ScenarioSpec& spec : scenario::preset_scenarios()) {
     std::cout << "  " << spec.name << " — " << spec.topology << " / "
               << spec.language << " / " << spec.construction << " / "
-              << spec.decider << "\n      " << spec.doc << "\n";
+              << spec.decider;
+    if (spec.workload != local::WorkloadKind::kSuccess) {
+      std::cout << " [" << local::to_string(spec.workload) << ":"
+                << spec.statistic << "]";
+    }
+    std::cout << "\n      " << spec.doc << "\n";
   }
 }
 
@@ -120,6 +141,8 @@ struct Options {
   std::optional<std::uint64_t> seed;
   std::optional<bool> success_on_accept;
   std::optional<local::ExecMode> mode;
+  std::optional<local::WorkloadKind> workload;
+  std::optional<std::string> statistic;
 
   unsigned shard = 0;
   unsigned shard_count = 1;
@@ -191,6 +214,18 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
     } else if (arg == "--seed") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.seed = std::stoull(value);
+    } else if (arg == "--workload") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::optional<local::WorkloadKind> kind =
+          local::workload_from_string(value);
+      if (!kind) {
+        error = "--workload expects success|value|counter";
+        return false;
+      }
+      options.workload = *kind;
+    } else if (arg == "--statistic") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.statistic = value;
     } else if (arg == "--success") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       const std::string side = value;
@@ -252,6 +287,8 @@ void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
     spec.success_on_accept = *options.success_on_accept;
   }
   if (options.mode) spec.mode = *options.mode;
+  if (options.workload) spec.workload = *options.workload;
+  if (options.statistic) spec.statistic = *options.statistic;
 }
 
 /// The --out path for one scenario: unchanged for a single run, suffixed
@@ -299,15 +336,23 @@ int run_one(const scenario::ScenarioSpec& spec, const Options& options,
       scenario::run_sweep(compiled, sweep_options);
 
   os << "=== " << spec.name << " — " << spec.topology << " / "
-     << spec.language << " / " << spec.construction << " / " << spec.decider
-     << " (success = " << (spec.success_on_accept ? "accept" : "reject")
-     << ", seed = " << spec.base_seed;
+     << spec.language << " / " << spec.construction << " / " << spec.decider;
+  if (spec.workload == local::WorkloadKind::kSuccess) {
+    os << " (success = " << (spec.success_on_accept ? "accept" : "reject");
+  } else {
+    os << " (" << local::to_string(spec.workload) << " of "
+       << spec.statistic;
+  }
+  os << ", seed = " << spec.base_seed;
   if (options.shard_count > 1) {
     os << ", shard " << options.shard << "/" << options.shard_count;
   }
   os << ") ===\n";
   if (!spec.doc.empty()) os << spec.doc << "\n";
   scenario::to_table(result, options.telemetry).print(os);
+  for (const std::string& line : scenario::summary_lines(result)) {
+    os << line << "\n";
+  }
   os << "\n";
   if (options.telemetry) print_telemetry_summary(os, result);
 
@@ -349,6 +394,9 @@ int merge_mode(const Options& options) {
   std::cout << "=== " << merged.scenario << " (merged from " << shards.size()
             << " shard files) ===\n";
   scenario::to_table(merged, options.telemetry).print(std::cout);
+  for (const std::string& line : scenario::summary_lines(merged)) {
+    std::cout << line << "\n";
+  }
   if (options.telemetry) {
     std::cout << "\n";
     print_telemetry_summary(std::cout, merged);
