@@ -6,6 +6,9 @@
 // parallel-stepping ablation.
 #include "bench_common.h"
 
+#include <initializer_list>
+#include <utility>
+
 #include "algo/weak_color_mc.h"
 #include "graph/ball.h"
 #include "local/ball_collector.h"
@@ -213,6 +216,55 @@ void print_tables() {
     add_row("3-shard merge", merged);
   }
   bench::print_table(value_identity);
+
+  // BallView arena reuse: the direct ball runner's per-node collection
+  // with a fresh BallView per node (the pre-arena behavior: five vectors
+  // plus an O(n) visited map allocated and zeroed per node) vs one
+  // BallWorkspace re-collected in place — what every worker now holds
+  // across trials (ROADMAP "BallView arenas"). The collected structures
+  // are bit-identical (tests/graph_test.cpp); only allocation differs.
+  std::cout << "BallView arena reuse — per-node ball collection on a\n"
+               "hard-ring instance, whole-graph sweeps:\n\n";
+  util::Table arena_table(
+      {"n", "radius", "fresh Mballs/s", "arena Mballs/s", "speedup"});
+  for (const auto& [n, radius] :
+       std::initializer_list<std::pair<graph::NodeId, int>>{
+           {4096, 1}, {4096, 2}, {4096, 4}}) {
+    const local::Instance inst = scenario::build_instance("hard-ring", n);
+    const int passes = 4;
+    std::uint64_t sink = 0;
+
+    util::Timer fresh_timer;
+    for (int pass = 0; pass < passes; ++pass) {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        const graph::BallView ball(inst.g, v, radius);
+        sink += ball.size();
+      }
+    }
+    const double fresh_s = fresh_timer.elapsed_seconds();
+
+    graph::BallView reused;
+    graph::BallScratch scratch;
+    util::Timer arena_timer;
+    for (int pass = 0; pass < passes; ++pass) {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        reused.collect(inst.g, v, radius, scratch);
+        sink += reused.size();
+      }
+    }
+    const double arena_s = arena_timer.elapsed_seconds();
+    benchmark::DoNotOptimize(sink);
+
+    const double total =
+        static_cast<double>(passes) * static_cast<double>(n);
+    arena_table.new_row()
+        .add_cell(std::uint64_t{n})
+        .add_cell(std::uint64_t(radius))
+        .add_cell(total / fresh_s / 1e6, 2)
+        .add_cell(total / arena_s / 1e6, 2)
+        .add_cell(fresh_s / arena_s, 2);
+  }
+  bench::print_table(arena_table);
 }
 
 void BM_BatchedTrials(benchmark::State& state) {
@@ -250,6 +302,26 @@ void BM_BallView(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BallView)->Args({1024, 1})->Args({1024, 4})->Args({16384, 4});
+
+void BM_BallViewArena(benchmark::State& state) {
+  // Same collections as BM_BallView through a reused workspace — the
+  // steady state of the batched Monte-Carlo runners.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto radius = static_cast<int>(state.range(1));
+  const local::Instance inst = scenario::build_instance("ring", n);
+  graph::BallView ball;
+  graph::BallScratch scratch;
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    ball.collect(inst.g, v, radius, scratch);
+    benchmark::DoNotOptimize(ball.size());
+    v = (v + 1) % n;
+  }
+}
+BENCHMARK(BM_BallViewArena)
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({16384, 4});
 
 void BM_EngineRound(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

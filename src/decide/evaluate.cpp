@@ -35,10 +35,11 @@ DecisionOutcome evaluate_impl(const local::Instance& inst,
   std::atomic<std::uint64_t> announcements{0};
   std::atomic<std::uint64_t> encoded_words{0};
   std::atomic<std::uint64_t> expansions{0};
-  auto body = [&](std::uint64_t v) {
+  auto body = [&](local::BallWorkspace& workspace, std::uint64_t v) {
     if (counted[v] == 0) return;
-    const graph::BallView ball(inst.g, static_cast<graph::NodeId>(v),
-                               radius);
+    workspace.ball.collect(inst.g, static_cast<graph::NodeId>(v), radius,
+                           workspace.scratch);
+    const graph::BallView& ball = workspace.ball;
     local::View view;
     view.ball = &ball;
     view.instance = &inst;
@@ -52,9 +53,17 @@ DecisionOutcome evaluate_impl(const local::Instance& inst,
     }
   };
   if (options.pool != nullptr) {
-    options.pool->parallel_for(n, body);
+    std::vector<local::BallWorkspace> workspaces(
+        options.pool->thread_count());
+    options.pool->parallel_for_workers(
+        n, [&](unsigned worker, std::uint64_t v) {
+          body(workspaces[worker], v);
+        });
   } else {
-    for (graph::NodeId v = 0; v < n; ++v) body(v);
+    local::BallWorkspace local_workspace;
+    local::BallWorkspace& workspace =
+        options.ball != nullptr ? *options.ball : local_workspace;
+    for (graph::NodeId v = 0; v < n; ++v) body(workspace, v);
   }
   if (count_telemetry) {
     local::Telemetry& telemetry = *options.telemetry;

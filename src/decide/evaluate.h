@@ -13,6 +13,7 @@
 
 #include "decide/decider.h"
 #include "local/instance.h"
+#include "local/runner.h"
 #include "local/telemetry.h"
 #include "stats/threadpool.h"
 
@@ -47,6 +48,12 @@ struct EvaluateOptions {
   /// across BatchRunner workers would race; read plan telemetry from
   /// BatchRunner::last_telemetry() / ShardTally::telemetry instead.
   local::Telemetry* telemetry = nullptr;
+
+  /// Reusable ball storage for sequential evaluations (same contract as
+  /// local::RunOptions::ball); the plan factories pass the executing
+  /// worker's slot per trial. Pooled evaluations manage per-worker
+  /// workspaces internally.
+  local::BallWorkspace* ball = nullptr;
 };
 
 /// Deterministic decider over the configuration.

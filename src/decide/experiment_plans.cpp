@@ -20,6 +20,7 @@ local::ExperimentPlan acceptance_plan(
     const rand::PhiloxCoins coins = env.decision_coins();
     EvaluateOptions trial_options = options;
     trial_options.telemetry = &env.arena->telemetry();
+    trial_options.ball = &env.arena->ball_workspace();
     const DecisionOutcome outcome =
         evaluate(inst, output, decider, coins, trial_options);
     return outcome.accepted == success_on_accept;
@@ -49,6 +50,7 @@ local::ExperimentPlan construct_then_decide_plan(
                                  exec_options);
     EvaluateOptions trial_options = options;
     trial_options.telemetry = &env.arena->telemetry();
+    trial_options.ball = &env.arena->ball_workspace();
     const DecisionOutcome outcome =
         evaluate(inst, output, decider, d_coins, trial_options);
     return outcome.accepted == success_on_accept;
@@ -87,6 +89,7 @@ local::ExperimentPlan guarantee_side_plan(
     const rand::PhiloxCoins coins = env.decision_coins();
     EvaluateOptions trial_options = options;
     trial_options.telemetry = &arena.telemetry();
+    trial_options.ball = &arena.ball_workspace();
     const DecisionOutcome outcome =
         evaluate(sample.inst(), sample.output, decider, coins,
                  trial_options);

@@ -1,23 +1,45 @@
 #include "graph/ball.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "rand/splitmix.h"
 #include "util/assert.h"
 
 namespace lnc::graph {
 
-BallView::BallView(const Graph& g, NodeId center, int radius)
-    : radius_(radius) {
+BallView::BallView(const Graph& g, NodeId center, int radius) {
+  BallScratch scratch;
+  collect(g, center, radius, scratch);
+}
+
+void BallView::collect(const Graph& g, NodeId center, int radius,
+                       BallScratch& scratch) {
   LNC_EXPECTS(center < g.node_count());
   LNC_EXPECTS(radius >= 0);
+  radius_ = radius;
+  members_.clear();
+  distances_.clear();
+  host_degrees_.clear();
+
+  // Stamp-versioned visited map: an entry is valid only when its stamp
+  // matches the current collection, so reuse never clears the array.
+  if (scratch.local_of_.size() < g.node_count()) {
+    scratch.local_of_.resize(g.node_count());
+    scratch.stamp_.resize(g.node_count(), 0);
+  }
+  const std::uint64_t version = ++scratch.version_;
+  auto local_of = [&](NodeId v) -> NodeId {
+    return scratch.stamp_[v] == version ? scratch.local_of_[v] : kInvalidNode;
+  };
+  auto mark = [&](NodeId v, NodeId local) {
+    scratch.local_of_[v] = local;
+    scratch.stamp_[v] = version;
+  };
 
   // BFS out to `radius`, recording discovery order and distances.
-  std::vector<NodeId> local_of(g.node_count(), kInvalidNode);
   members_.push_back(center);
   distances_.push_back(0);
-  local_of[center] = 0;
+  mark(center, 0);
   std::size_t head = 0;
   while (head < members_.size()) {
     const NodeId u = members_[head];
@@ -25,8 +47,8 @@ BallView::BallView(const Graph& g, NodeId center, int radius)
     ++head;
     if (du == radius) continue;
     for (NodeId w : g.neighbors(u)) {
-      if (local_of[w] == kInvalidNode) {
-        local_of[w] = static_cast<NodeId>(members_.size());
+      if (local_of(w) == kInvalidNode) {
+        mark(w, static_cast<NodeId>(members_.size()));
         members_.push_back(w);
         distances_.push_back(du + 1);
       }
@@ -38,25 +60,36 @@ BallView::BallView(const Graph& g, NodeId center, int radius)
 
   // Build local adjacency with the paper's rule: include edge {a, b} iff
   // both are in the ball and not (dist(a) == radius && dist(b) == radius).
+  // Two passes over the members' host adjacency (count, then fill) keep
+  // the CSR build allocation-free once capacity is warm.
   offsets_.assign(members_.size() + 1, 0);
-  std::vector<std::vector<NodeId>> local_adj(members_.size());
   for (NodeId a = 0; a < members_.size(); ++a) {
-    const NodeId orig = members_[a];
-    for (NodeId w : g.neighbors(orig)) {
-      const NodeId b = local_of[w];
+    for (NodeId w : g.neighbors(members_[a])) {
+      const NodeId b = local_of(w);
       if (b == kInvalidNode) continue;
       if (distances_[a] == radius && distances_[b] == radius) continue;
-      local_adj[a].push_back(b);
+      ++offsets_[a + 1];
     }
-    std::sort(local_adj[a].begin(), local_adj[a].end());
   }
-  for (std::size_t i = 0; i < local_adj.size(); ++i) {
-    offsets_[i + 1] = offsets_[i] + local_adj[i].size();
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
   }
   adjacency_.resize(offsets_.back());
-  for (std::size_t i = 0; i < local_adj.size(); ++i) {
-    std::copy(local_adj[i].begin(), local_adj[i].end(),
-              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]));
+  scratch.cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (NodeId a = 0; a < members_.size(); ++a) {
+    for (NodeId w : g.neighbors(members_[a])) {
+      const NodeId b = local_of(w);
+      if (b == kInvalidNode) continue;
+      if (distances_[a] == radius && distances_[b] == radius) continue;
+      adjacency_[scratch.cursor_[a]++] = b;
+    }
+  }
+  // Neighbor lists sort by local index, exactly as the original
+  // vector-of-vectors build emitted them.
+  for (NodeId a = 0; a < members_.size(); ++a) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[a]),
+              adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(offsets_[a + 1]));
   }
 }
 

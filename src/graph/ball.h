@@ -20,10 +20,35 @@
 
 namespace lnc::graph {
 
+/// Reusable working storage for BallView::collect. The visited map is
+/// stamp-versioned, so successive collections touch only the nodes of the
+/// ball being built instead of clearing an O(n) array each time; the
+/// Monte-Carlo paths keep one scratch per worker (local/batch_runner.h)
+/// and stop allocating per node per trial. Not thread-safe: one scratch
+/// per concurrent collector.
+class BallScratch {
+ private:
+  friend class BallView;
+  std::vector<NodeId> local_of_;     // node -> local index (when stamped)
+  std::vector<std::uint64_t> stamp_; // node -> version of last visit
+  std::vector<std::size_t> cursor_;  // per-local CSR fill cursor
+  std::uint64_t version_ = 0;
+};
+
 class BallView {
  public:
+  /// An empty view; fill with collect().
+  BallView() = default;
+
   /// Collects B_G(center, radius). O(|ball| + edges inside).
   BallView(const Graph& g, NodeId center, int radius);
+
+  /// Re-collects B_G(center, radius) into this view, reusing this view's
+  /// vector capacity and the scratch's visited map. Bit-identical to a
+  /// freshly constructed BallView (tests/graph_test.cpp asserts this);
+  /// only the allocations differ.
+  void collect(const Graph& g, NodeId center, int radius,
+               BallScratch& scratch);
 
   /// Number of nodes in the ball.
   NodeId size() const noexcept {

@@ -31,6 +31,7 @@
 
 #include "local/ball_collector.h"
 #include "local/engine.h"
+#include "local/runner.h"
 #include "rand/coins.h"
 #include "stats/montecarlo.h"
 #include "stats/threadpool.h"
@@ -62,6 +63,11 @@ class WorkerArena {
   Labeling& labeling() noexcept { return labeling_; }
   std::vector<Knowledge>& knowledge() noexcept { return knowledge_; }
 
+  /// This worker's reusable ball-collection slot: the direct ball runner
+  /// keeps view and visited-map capacity warm across trials instead of
+  /// allocating five vectors per node per trial.
+  BallWorkspace& ball_workspace() noexcept { return ball_; }
+
   /// This worker's telemetry accumulator (lives in the engine scratch so
   /// engine runs on this arena count into it automatically; ball-mode and
   /// decider paths charge it explicitly). BatchRunner resets it per batch
@@ -90,6 +96,7 @@ class WorkerArena {
   EngineScratch engine_;
   Labeling labeling_;
   std::vector<Knowledge> knowledge_;
+  BallWorkspace ball_;
   SampledConfiguration sample_;
   const void* sample_owner_ = nullptr;
   std::uint64_t sample_seed_ = 0;

@@ -99,9 +99,15 @@ void run_two_phase_mode(const Instance& inst, int radius,
 
   const graph::NodeId n = inst.node_count();
   output.assign(n, 0);
+  BallWorkspace local_workspace;
+  BallWorkspace& workspace = options.arena != nullptr
+                                 ? options.arena->ball_workspace()
+                                 : local_workspace;
   for (graph::NodeId v = 0; v < n; ++v) {
     const ReconstructedBall ball = reconstruct_ball(tables[v], inst.ids[v]);
-    const graph::BallView view_ball(ball.instance.g, ball.center, radius);
+    workspace.ball.collect(ball.instance.g, ball.center, radius,
+                           workspace.scratch);
+    const graph::BallView& view_ball = workspace.ball;
     View view;
     view.ball = &view_ball;
     view.instance = &ball.instance;
@@ -138,6 +144,7 @@ void run_construction_into(const Instance& inst, const BallAlgorithm& algo,
       run_options.grant_n = options.grant_n;
       if (options.arena != nullptr) {
         run_options.telemetry = &options.arena->telemetry();
+        run_options.ball = &options.arena->ball_workspace();
       }
       run_ball_algorithm_into(inst, algo, output, run_options);
       return;
@@ -167,6 +174,7 @@ void run_construction_into(const Instance& inst,
       run_options.grant_n = options.grant_n;
       if (options.arena != nullptr) {
         run_options.telemetry = &options.arena->telemetry();
+        run_options.ball = &options.arena->ball_workspace();
       }
       run_ball_algorithm_into(inst, algo, coins, output, run_options);
       return;

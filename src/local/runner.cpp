@@ -17,8 +17,10 @@ void run_per_node(const Instance& inst, int radius, const RunOptions& options,
   // bit-identical whatever the node schedule (pool or sequential).
   std::atomic<std::uint64_t> announcements{0};
   std::atomic<std::uint64_t> encoded_words{0};
-  auto body = [&](std::uint64_t v) {
-    const graph::BallView ball(inst.g, static_cast<graph::NodeId>(v), radius);
+  auto body = [&](BallWorkspace& workspace, std::uint64_t v) {
+    workspace.ball.collect(inst.g, static_cast<graph::NodeId>(v), radius,
+                           workspace.scratch);
+    const graph::BallView& ball = workspace.ball;
     View view;
     view.ball = &ball;
     view.instance = &inst;
@@ -31,9 +33,19 @@ void run_per_node(const Instance& inst, int radius, const RunOptions& options,
     }
   };
   if (options.pool != nullptr) {
-    options.pool->parallel_for(n, body);
+    std::vector<BallWorkspace> workspaces(options.pool->thread_count());
+    options.pool->parallel_for_workers(
+        n, [&](unsigned worker, std::uint64_t v) {
+          body(workspaces[worker], v);
+        });
   } else {
-    for (graph::NodeId v = 0; v < n; ++v) body(v);
+    // One workspace for the whole run even without a caller slot — the
+    // per-node allocations collapse either way; the caller's slot only
+    // adds cross-call (per-trial) reuse.
+    BallWorkspace local_workspace;
+    BallWorkspace& workspace =
+        options.ball != nullptr ? *options.ball : local_workspace;
+    for (graph::NodeId v = 0; v < n; ++v) body(workspace, v);
   }
   if (count) {
     // The simulation-theorem charge (local/telemetry.h): delivering every

@@ -64,6 +64,15 @@ class RandomizedBallAlgorithm {
                         const rand::CoinProvider& coins) const = 0;
 };
 
+/// A reusable ball-collection slot: the view's vectors and the scratch's
+/// visited map keep their capacity across collect() calls. The direct ball
+/// runner holds one per worker, so the steady-state node inspection
+/// allocates nothing (ROADMAP "BallView arenas").
+struct BallWorkspace {
+  graph::BallView ball;
+  graph::BallScratch scratch;
+};
+
 struct RunOptions {
   bool grant_n = false;
   const stats::ThreadPool* pool = nullptr;
@@ -74,6 +83,12 @@ struct RunOptions {
   /// per run). Charges are pure functions of the instance and radius —
   /// deterministic across thread counts.
   Telemetry* telemetry = nullptr;
+
+  /// Reusable ball storage for sequential runs (the batched Monte-Carlo
+  /// path passes its worker's slot, keeping capacity warm ACROSS trials).
+  /// Null still reuses one call-local workspace across the nodes of this
+  /// run; pooled runs manage one workspace per pool worker internally.
+  BallWorkspace* ball = nullptr;
 };
 
 /// Runs a deterministic ball algorithm at every node.

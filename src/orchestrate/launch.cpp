@@ -1,0 +1,74 @@
+#include "orchestrate/launch.h"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "scenario/spec_json.h"
+#include "util/file_util.h"
+
+namespace lnc::orchestrate {
+
+RunManifest plan_run(const scenario::ScenarioSpec& spec,
+                     const std::string& run_dir, unsigned shard_count) {
+  if (shard_count == 0) {
+    throw std::runtime_error("a run needs at least one shard");
+  }
+  const std::string error = scenario::validate(spec);
+  if (!error.empty()) {
+    throw std::runtime_error("invalid scenario '" + spec.name +
+                             "': " + error);
+  }
+  std::filesystem::create_directories(run_dir);
+  if (std::filesystem::exists(run_dir + "/manifest.json")) {
+    throw std::runtime_error(
+        "'" + run_dir + "' already holds a run manifest — resume it (or "
+        "pick a fresh directory); restarting in place would discard "
+        "completed shards");
+  }
+
+  RunManifest manifest = make_manifest(run_dir, spec.name, shard_count);
+  const std::string write_error = util::write_file_atomic(
+      manifest.spec_path(), scenario::spec_to_json(spec));
+  if (!write_error.empty()) {
+    throw std::runtime_error("spec freeze failed: " + write_error);
+  }
+  save_manifest(manifest);
+  return manifest;
+}
+
+LaunchOutcome merge_run(const RunManifest& manifest) {
+  LaunchOutcome outcome;
+  for (const ShardRecord& record : manifest.shards) {
+    if (record.state != ShardState::kDone) {
+      outcome.failed_shards.push_back(record.shard);
+    }
+  }
+  if (!outcome.failed_shards.empty()) {
+    outcome.error = "not every shard is done; failures never reach the "
+                    "merge, so the aggregate stays exact";
+    return outcome;
+  }
+  std::vector<std::string> paths;
+  paths.reserve(manifest.shards.size());
+  for (const ShardRecord& record : manifest.shards) {
+    paths.push_back(manifest.output_path(record.shard));
+  }
+  try {
+    outcome.merged = scenario::merge_sweep_files(paths, &outcome.warnings);
+  } catch (const std::exception& ex) {
+    outcome.error = ex.what();
+    return outcome;
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+LaunchOutcome execute_run(RunManifest& manifest, Transport& transport,
+                          const SupervisorOptions& options,
+                          unsigned sweep_threads) {
+  JobSupervisor supervisor(transport, options);
+  supervisor.run(manifest, sweep_threads);
+  return merge_run(manifest);
+}
+
+}  // namespace lnc::orchestrate

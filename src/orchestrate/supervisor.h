@@ -1,0 +1,54 @@
+// Fault-tolerant execution of a manifest's shard jobs.
+//
+// The supervisor dispatches every not-yet-done shard over a Transport
+// with bounded concurrency, a per-attempt deadline (stragglers are killed
+// and re-dispatched), and retry-with-exponential-backoff up to an attempt
+// budget. Every state transition is persisted through save_manifest
+// BEFORE the next action, so a coordinator crash at any point leaves a
+// resumable run directory. Failures never perturb the aggregate: a shard
+// either lands its complete result file (and is marked done) or stays
+// failed and the merge refuses to proceed — partial results cannot leak
+// into the estimate.
+#pragma once
+
+#include <iosfwd>
+
+#include "orchestrate/manifest.h"
+#include "orchestrate/transport.h"
+
+namespace lnc::orchestrate {
+
+struct SupervisorOptions {
+  /// Concurrent jobs; 0 picks min(shard count, hardware concurrency).
+  unsigned max_parallel = 0;
+  /// Launch attempts per shard in THIS supervisor run (a resume grants a
+  /// fresh budget; the manifest keeps the cumulative count).
+  unsigned max_attempts = 3;
+  /// Per-attempt deadline; <= 0 disables the straggler kill.
+  double timeout_seconds = 0;
+  /// First retry delay; doubles per further retry of the same shard.
+  /// The claiming worker holds its job slot through the backoff — with
+  /// the small default delays and attempt budget that idles a slot for
+  /// well under a second per flaky shard; work-stealing retry scheduling
+  /// belongs to the elastic-sizing ROADMAP item.
+  double backoff_ms = 100;
+  /// Streaming status lines (one per state transition); null = silent.
+  std::ostream* status = nullptr;
+};
+
+/// Runs jobs until every shard is done or permanently failed.
+class JobSupervisor {
+ public:
+  JobSupervisor(Transport& transport, SupervisorOptions options);
+
+  /// Dispatches every shard of `manifest` not already done. Blocks until
+  /// all of them are done or failed; returns true when the whole manifest
+  /// is done. The manifest reflects the final states (and has been saved).
+  bool run(RunManifest& manifest, unsigned sweep_threads = 1);
+
+ private:
+  Transport* transport_;
+  SupervisorOptions options_;
+};
+
+}  // namespace lnc::orchestrate

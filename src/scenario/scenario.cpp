@@ -275,6 +275,7 @@ CompiledScenario compile(const ScenarioSpec& spec) {
             const rand::PhiloxCoins d_coins = env.decision_coins();
             decide::EvaluateOptions trial_options = eval_options;
             trial_options.telemetry = &env.arena->telemetry();
+            trial_options.ball = &env.arena->ball_workspace();
             const decide::DecisionOutcome outcome = decide::evaluate(
                 *inst_ptr, output, *decider, d_coins, trial_options);
             return outcome.accepted == accept;

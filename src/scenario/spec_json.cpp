@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "util/string_util.h"
+
 namespace lnc::scenario {
 namespace {
 
@@ -99,8 +101,42 @@ class Parser {
           case 'r': out.push_back('\r'); break;
           case 'b': out.push_back('\b'); break;
           case 'f': out.push_back('\f'); break;
+          case 'u': {
+            // \uXXXX, UTF-8-encoded (BMP code points; surrogate pairs are
+            // not combined — the stack only ever emits \u00XX for control
+            // characters, but files written by other tools parse too).
+            if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char hex = text_[pos_ + static_cast<std::size_t>(k)];
+              code <<= 4;
+              if (hex >= '0' && hex <= '9') {
+                code |= static_cast<unsigned>(hex - '0');
+              } else if (hex >= 'a' && hex <= 'f') {
+                code |= static_cast<unsigned>(hex - 'a' + 10);
+              } else if (hex >= 'A' && hex <= 'F') {
+                code |= static_cast<unsigned>(hex - 'A' + 10);
+              } else {
+                fail(pos_ + static_cast<std::size_t>(k),
+                     "bad \\u escape digit");
+              }
+            }
+            pos_ += 4;
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(
+                  static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
           default:
-            fail(pos_ - 1, "unsupported escape (\\u is not implemented)");
+            fail(pos_ - 1, "unsupported escape");
         }
         continue;
       }
@@ -288,6 +324,45 @@ ScenarioSpec spec_from_json(const std::string& text) {
     }
   }
   return spec;
+}
+
+std::string spec_to_json(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << util::json_escape(spec.name) << "\"";
+  if (!spec.doc.empty()) {
+    os << ", \"doc\": \"" << util::json_escape(spec.doc) << "\"";
+  }
+  os << ", \"topology\": \"" << util::json_escape(spec.topology)
+     << "\", \"language\": \"" << util::json_escape(spec.language)
+     << "\", \"construction\": \"" << util::json_escape(spec.construction)
+     << "\", \"decider\": \"" << util::json_escape(spec.decider) << "\"";
+  if (!spec.params.empty()) {
+    os << ", \"params\": {";
+    bool first = true;
+    // ParamMap is ordered — emission is deterministic.
+    for (const auto& [key, value] : spec.params) {
+      if (!first) os << ", ";
+      first = false;
+      std::ostringstream number;
+      number.precision(17);  // doubles round-trip at 17 significant digits
+      number << value;
+      os << "\"" << util::json_escape(key) << "\": " << number.str();
+    }
+    os << "}";
+  }
+  os << ", \"workload\": \"" << local::to_string(spec.workload) << "\"";
+  if (!spec.statistic.empty()) {
+    os << ", \"statistic\": \"" << util::json_escape(spec.statistic) << "\"";
+  }
+  os << ", \"n\": [";
+  for (std::size_t i = 0; i < spec.n_grid.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << spec.n_grid[i];
+  }
+  os << "], \"trials\": " << spec.trials << ", \"seed\": " << spec.base_seed
+     << ", \"success\": \"" << (spec.success_on_accept ? "accept" : "reject")
+     << "\", \"mode\": \"" << local::to_string(spec.mode) << "\"}\n";
+  return os.str();
 }
 
 std::string telemetry_to_json(const local::Telemetry& telemetry) {

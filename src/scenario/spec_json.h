@@ -65,6 +65,14 @@ struct Json {
 /// registries — call scenario::validate on the result.
 ScenarioSpec spec_from_json(const std::string& text);
 
+/// Inverse of spec_from_json: serializes a spec in the scenarios/*.json
+/// form. Numeric parameters print with full round-trip precision and
+/// seeds/trials as exact integers, so spec_from_json(spec_to_json(spec))
+/// reproduces the spec FIELD FOR FIELD — the contract that lets the
+/// distributed launcher (src/orchestrate) hand a spec to remote
+/// lnc_sweep shards and still merge bit-identically.
+std::string spec_to_json(const ScenarioSpec& spec);
+
 /// Serializes a telemetry block as a JSON object — the shared wire form
 /// used by sweep shard files (scenario/sweep.cpp) and the bench binaries'
 /// TABLE_*.json `telemetry` member (bench/bench_common.h):

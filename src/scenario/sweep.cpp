@@ -1,5 +1,6 @@
 #include "scenario/sweep.h"
 
+#include <fstream>
 #include <initializer_list>
 #include <ostream>
 #include <set>
@@ -8,6 +9,7 @@
 
 #include "scenario/spec_json.h"
 #include "util/assert.h"
+#include "util/file_util.h"
 #include "util/string_util.h"
 
 namespace lnc::scenario {
@@ -442,6 +444,47 @@ SweepResult sweep_from_json(const std::string& text,
     result.rows.push_back(row);
   }
   return result;
+}
+
+std::string write_json_file(const std::string& path,
+                            const SweepResult& result) {
+  std::ostringstream os;
+  write_json(os, result);
+  return util::write_file_atomic(path, os.str());
+}
+
+SweepResult merge_sweep_files(std::span<const std::string> paths,
+                              std::vector<std::string>* warnings) {
+  if (paths.empty()) {
+    throw std::runtime_error("no shard result files to merge");
+  }
+  std::vector<SweepResult> shards;
+  shards.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::string text;
+    const std::string read_error = util::read_file(path, text);
+    if (!read_error.empty()) {
+      throw std::runtime_error("shard result: " + read_error);
+    }
+    std::vector<std::string> file_warnings;
+    try {
+      shards.push_back(sweep_from_json(
+          text, warnings != nullptr ? &file_warnings : nullptr));
+    } catch (const std::exception& ex) {
+      throw std::runtime_error("shard result '" + path +
+                               "': " + ex.what());
+    }
+    if (warnings != nullptr) {
+      for (const std::string& warning : file_warnings) {
+        warnings->push_back(path + ": " + warning);
+      }
+    }
+  }
+  const std::string error = can_merge(shards);
+  if (!error.empty()) {
+    throw std::runtime_error("cannot merge shard results: " + error);
+  }
+  return merge_sweeps(shards);
 }
 
 }  // namespace lnc::scenario

@@ -99,4 +99,22 @@ void write_json(std::ostream& os, const SweepResult& result);
 SweepResult sweep_from_json(const std::string& text,
                             std::vector<std::string>* warnings = nullptr);
 
+/// Writes a result file ATOMICALLY (tmp + rename) — the file either holds
+/// the complete JSON or does not exist; a torn write, a full disk, or a
+/// straggler process killed mid-write can never leave a partial file for
+/// a merge to trip over. Returns an empty string on success, else a
+/// human-readable error (the tmp file is cleaned up). Shared by
+/// `lnc_sweep --out` and the launch coordinator's merged output.
+std::string write_json_file(const std::string& path,
+                            const SweepResult& result);
+
+/// Reads complete shard-result files and merges them — the gather step
+/// shared by `lnc_sweep --merge` and the distributed launcher
+/// (src/orchestrate). Throws std::runtime_error naming the offending file
+/// on an unreadable/unparseable path and with can_merge's diagnostic when
+/// the shards do not fit together; per-file parse warnings are prefixed
+/// with their path.
+SweepResult merge_sweep_files(std::span<const std::string> paths,
+                              std::vector<std::string>* warnings = nullptr);
+
 }  // namespace lnc::scenario

@@ -1,0 +1,55 @@
+#include "util/file_util.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lnc::util {
+
+std::string write_file_atomic(const std::string& path,
+                              const std::string& contents) {
+  // Unique per process AND per call: concurrent writers (two supervisor
+  // threads, or a straggler process surviving its kill on a shared
+  // filesystem) each write their own tmp file, and the LAST rename wins
+  // whole — never a torn mix.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (out) {
+      out.write(contents.data(),
+                static_cast<std::streamsize>(contents.size()));
+      // Close EXPLICITLY and re-check: NFS and quota errors can surface
+      // only at close, and the destructor would swallow them — renaming
+      // after a silently short write would break the all-or-nothing
+      // contract.
+      out.close();
+    }
+    if (!out) {
+      std::remove(tmp.c_str());
+      return "cannot write '" + path + "'";
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return "cannot move '" + tmp + "' into place at '" + path + "'";
+  }
+  return {};
+}
+
+std::string read_file(const std::string& path, std::string& contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot read '" + path + "'";
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) return "read of '" + path + "' failed";
+  contents = text.str();
+  return {};
+}
+
+}  // namespace lnc::util

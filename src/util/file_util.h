@@ -1,0 +1,24 @@
+// Whole-file read/write — the primitives behind every persistent
+// artifact of a distributed run (spec freeze, manifest, shard results,
+// merged output). Writes are atomic: a reader, a resumed coordinator, or
+// a straggler racing a re-run can observe the complete old bytes or the
+// complete new bytes, never a torn file.
+#pragma once
+
+#include <string>
+
+namespace lnc::util {
+
+/// Writes `contents` to `path` via a UNIQUE tmp file + rename (unique per
+/// process and call, so two surviving writers racing on a shared
+/// filesystem cannot truncate each other's tmp mid-write). Returns an
+/// empty string on success, else a human-readable error; on failure the
+/// tmp file is cleaned up and `path` is untouched.
+std::string write_file_atomic(const std::string& path,
+                              const std::string& contents);
+
+/// Reads the whole file into `contents`. Returns an empty string on
+/// success, else a human-readable error naming the path.
+std::string read_file(const std::string& path, std::string& contents);
+
+}  // namespace lnc::util

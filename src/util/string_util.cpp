@@ -1,8 +1,38 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 
 namespace lnc::util {
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) noexcept {
+  if (text.empty() || text.size() > 20) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(ch - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<double> parse_finite_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string owned(text);  // strtod needs a terminator
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_nonnegative_double(std::string_view text) {
+  const std::optional<double> value = parse_finite_double(text);
+  if (!value || *value < 0) return std::nullopt;
+  return value;
+}
 
 std::vector<std::string> split(std::string_view text, char delimiter) {
   std::vector<std::string> parts;
@@ -57,6 +87,13 @@ std::string json_escape(std::string_view text) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
+      // Named escapes for the remaining common controls — the project's
+      // own parser (scenario/spec_json.cpp) reads these back, so escaped
+      // text survives the freeze/reload round trips (spec and manifest
+      // files) that \u00XX would break.
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(ch) < 0x20) {
           const auto code = static_cast<unsigned char>(ch);

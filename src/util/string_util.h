@@ -1,11 +1,29 @@
 // String helpers used by graph IO and table emission.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace lnc::util {
+
+/// Strict non-negative integer parse: digits only, no sign, no trailing
+/// garbage, no overflow. Nullopt otherwise — std::stoul would accept
+/// "-1" and wrap it to ULONG_MAX, which is how a typo'd flag becomes a
+/// 4-billion-shard request (the CLIs' numeric flags all route through
+/// this).
+std::optional<std::uint64_t> parse_uint(std::string_view text) noexcept;
+
+/// Strict finite double parse: any sign, but the whole string must be
+/// consumed and the value finite. Nullopt otherwise ("0.5x" must not
+/// silently become 0.5).
+std::optional<double> parse_finite_double(std::string_view text);
+
+/// parse_finite_double restricted to values >= 0 ("5m"/"-5" are not
+/// timeouts).
+std::optional<double> parse_nonnegative_double(std::string_view text);
 
 /// Splits on a single-character delimiter; empty fields are preserved.
 std::vector<std::string> split(std::string_view text, char delimiter);

@@ -212,6 +212,39 @@ TEST(Ball, SignatureDistinguishesStructures) {
   EXPECT_NE(b1.structure_signature(), b3.structure_signature());
 }
 
+TEST(Ball, ScratchReuseIsBitIdenticalToFreshConstruction) {
+  // One workspace re-collected across graphs of different sizes, centers,
+  // and radii must reproduce the freshly constructed ball exactly — the
+  // contract that lets the Monte-Carlo runners keep a per-worker scratch
+  // warm across trials.
+  const Graph graphs[] = {cycle(17), path(9), complete(6), grid(4, 5)};
+  BallView reused;
+  BallScratch scratch;
+  for (const Graph& g : graphs) {
+    for (int radius : {0, 1, 2, 4}) {
+      for (NodeId center = 0; center < g.node_count(); center += 3) {
+        const BallView fresh(g, center, radius);
+        reused.collect(g, center, radius, scratch);
+        ASSERT_EQ(fresh.size(), reused.size());
+        ASSERT_TRUE(std::equal(fresh.members().begin(),
+                               fresh.members().end(),
+                               reused.members().begin()));
+        for (NodeId i = 0; i < fresh.size(); ++i) {
+          ASSERT_EQ(fresh.distance(i), reused.distance(i));
+          ASSERT_EQ(fresh.host_degree(i), reused.host_degree(i));
+          const auto want = fresh.neighbors(i);
+          const auto got = reused.neighbors(i);
+          ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(),
+                                 got.end()));
+        }
+        ASSERT_EQ(fresh.structure_signature(),
+                  reused.structure_signature());
+        ASSERT_EQ(fresh.encoded_words(), reused.encoded_words());
+      }
+    }
+  }
+}
+
 TEST(Ops, DisjointUnion) {
   const Graph a = cycle(4);
   const Graph b = path(3);

@@ -1,0 +1,503 @@
+// lnc_launch — the distributed sweep orchestrator (src/orchestrate).
+//
+// Turns any scenario into a fleet of `lnc_sweep --shard i/k` jobs, runs
+// them over a pluggable transport with per-job timeouts and
+// retry-with-backoff, records every state transition in a persistent run
+// manifest, and gathers the shard results into the EXACT unsharded
+// SweepResult (estimates, exact-sum value accumulators, counter slots,
+// and deterministic telemetry counters are bit-identical — the same
+// merge contract `lnc_sweep --merge` obeys).
+//
+//   lnc_launch --scenario NAME --shards K [options] [overrides]
+//   lnc_launch --spec FILE.json --shards K [options] [overrides]
+//       Plan a fresh run directory and execute it.
+//   lnc_launch --resume DIR [options]
+//       Re-run only the missing/failed shards of an interrupted run,
+//       then merge.
+//
+// Options:
+//   --run-dir DIR        run directory (default lnc-run-<scenario>)
+//   --transport local|ssh   (default local: fork/exec lnc_sweep)
+//   --ssh-template TMPL  ssh/srun command template; {cmd} expands to the
+//                        lnc_sweep invocation (bare shell-safe words —
+//                        pick run-dir/binary paths without spaces),
+//                        {shard} to the shard index, e.g.
+//                        'ssh worker{shard} {cmd}'. The run directory
+//                        must be on a filesystem the remote command can
+//                        reach.
+//   --remote-sweep CMD   lnc_sweep spelling on the executor (ssh only)
+//   --sweep-bin PATH     local lnc_sweep binary (default: next to this)
+//   --sweep-threads N    lnc_sweep --threads per shard (default 1)
+//   --jobs J             concurrent shard jobs (default min(K, cores))
+//   --timeout SEC        per-attempt deadline; stragglers are killed and
+//                        re-dispatched (default: none)
+//   --retries N          attempts per shard per run (default 3)
+//   --backoff-ms MS      first retry delay, doubling per retry (def 100)
+//   --out FILE           also write the merged result JSON
+//   --inject-fail S[:T]  TEST HOOK: fail shard S's first T attempts
+//                        (default 1) before reaching the transport — CI
+//                        exercises the retry path with this.
+// Overrides (new runs only; the spec is frozen into the run directory):
+//   --param k=v | --n A,B,C | --trials N | --seed S
+//   --workload success|value|counter | --statistic NAME
+//   --success accept|reject | --mode balls|messages|two-phase
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "orchestrate/launch.h"
+#include "orchestrate/manifest.h"
+#include "orchestrate/supervisor.h"
+#include "orchestrate/transport.h"
+#include "scenario/presets.h"
+#include "scenario/scenario.h"
+#include "scenario/spec_json.h"
+#include "scenario/sweep.h"
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace lnc;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: lnc_launch --scenario NAME --shards K [options]\n"
+        "       lnc_launch --spec FILE.json --shards K [options]\n"
+        "       lnc_launch --resume DIR [options]\n"
+        "options: --run-dir DIR | --transport local|ssh\n"
+        "         --ssh-template 'ssh worker{shard} {cmd}'\n"
+        "         --remote-sweep CMD | --sweep-bin PATH\n"
+        "         --sweep-threads N | --jobs J | --timeout SEC\n"
+        "         --retries N | --backoff-ms MS | --out FILE\n"
+        "         --inject-fail SHARD[:TIMES]   (test hook)\n"
+        "overrides (new runs): --param k=v | --n A,B,C | --trials N\n"
+        "         --seed S | --workload success|value|counter\n"
+        "         --statistic NAME | --success accept|reject\n"
+        "         --mode balls|messages|two-phase\n"
+        "The merged result is bit-identical to the unsharded lnc_sweep\n"
+        "run; failed shards never reach the merge.\n";
+  return code;
+}
+
+struct Options {
+  std::optional<std::string> scenario_name;
+  std::optional<std::string> spec_file;
+  std::optional<std::string> resume_dir;
+
+  unsigned shards = 0;
+  std::optional<std::string> run_dir;
+  std::string transport = "local";
+  std::optional<std::string> ssh_template;
+  std::string remote_sweep = "lnc_sweep";
+  std::optional<std::string> sweep_bin;
+  unsigned sweep_threads = 1;
+  orchestrate::SupervisorOptions supervisor;
+  std::optional<std::string> out_file;
+  std::optional<std::pair<unsigned, unsigned>> inject_fail;  // shard, times
+
+  // Spec overrides (new runs only).
+  scenario::ParamMap params;
+  std::optional<std::vector<std::uint64_t>> n_grid;
+  std::optional<std::uint64_t> trials;
+  std::optional<std::uint64_t> seed;
+  std::optional<bool> success_on_accept;
+  std::optional<local::ExecMode> mode;
+  std::optional<local::WorkloadKind> workload;
+  std::optional<std::string> statistic;
+};
+
+/// Strict flag parses (util::parse_uint / parse_nonnegative_double) —
+/// a typo'd `--shards -1` must be a usage error, not a 4-billion-shard
+/// manifest, and `--timeout 5m` must not silently become 5 seconds.
+unsigned parse_unsigned(const std::string& text, const std::string& flag) {
+  const std::optional<std::uint64_t> value = util::parse_uint(text);
+  if (!value) {
+    throw std::runtime_error(flag + " expects a non-negative integer, "
+                             "got '" + text + "'");
+  }
+  if (*value > 1000000) {
+    throw std::runtime_error(flag + " value " + text +
+                             " is implausibly large");
+  }
+  return static_cast<unsigned>(*value);
+}
+
+double parse_seconds(const std::string& text, const std::string& flag) {
+  const std::optional<double> value = util::parse_nonnegative_double(text);
+  if (!value) {
+    throw std::runtime_error(flag + " expects a non-negative number, "
+                             "got '" + text + "'");
+  }
+  return *value;
+}
+
+bool parse_args(int argc, char** argv, Options& options, std::string& error) {
+  auto next_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      error = flag + " needs a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--scenario") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.scenario_name = value;
+    } else if (arg == "--spec") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.spec_file = value;
+    } else if (arg == "--resume") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.resume_dir = value;
+    } else if (arg == "--shards") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.shards = parse_unsigned(value, arg);
+      if (options.shards == 0) {
+        error = "--shards needs a positive shard count";
+        return false;
+      }
+    } else if (arg == "--run-dir") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.run_dir = value;
+    } else if (arg == "--transport") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.transport = value;
+      if (options.transport != "local" && options.transport != "ssh") {
+        error = "--transport expects local|ssh";
+        return false;
+      }
+    } else if (arg == "--ssh-template") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.ssh_template = value;
+    } else if (arg == "--remote-sweep") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.remote_sweep = value;
+    } else if (arg == "--sweep-bin") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.sweep_bin = value;
+    } else if (arg == "--sweep-threads") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.sweep_threads = parse_unsigned(value, arg);
+    } else if (arg == "--jobs") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.supervisor.max_parallel = parse_unsigned(value, arg);
+    } else if (arg == "--timeout") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.supervisor.timeout_seconds = parse_seconds(value, arg);
+    } else if (arg == "--retries") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.supervisor.max_attempts = parse_unsigned(value, arg);
+      if (options.supervisor.max_attempts == 0) {
+        error = "--retries needs at least one attempt";
+        return false;
+      }
+    } else if (arg == "--backoff-ms") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.supervisor.backoff_ms = parse_seconds(value, arg);
+    } else if (arg == "--out") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.out_file = value;
+    } else if (arg == "--inject-fail") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string text = value;
+      const std::size_t colon = text.find(':');
+      const unsigned shard = parse_unsigned(text.substr(0, colon), arg);
+      const unsigned times =
+          colon == std::string::npos
+              ? 1
+              : parse_unsigned(text.substr(colon + 1), arg);
+      options.inject_fail = {shard, times};
+    } else if (arg == "--param") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string text = value;
+      const std::size_t eq = text.find('=');
+      if (eq == std::string::npos) {
+        error = "--param expects k=v, got '" + text + "'";
+        return false;
+      }
+      const std::optional<double> param_value =
+          util::parse_finite_double(text.substr(eq + 1));
+      if (!param_value) {
+        error = "--param " + text + " has a malformed numeric value";
+        return false;
+      }
+      options.params[text.substr(0, eq)] = *param_value;
+    } else if (arg == "--n") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      std::vector<std::uint64_t> grid;
+      for (const std::string& part : util::split(value, ',')) {
+        const std::optional<std::uint64_t> n = util::parse_uint(part);
+        if (!n) {
+          error = "--n expects non-negative integers, got '" + part + "'";
+          return false;
+        }
+        grid.push_back(*n);
+      }
+      options.n_grid = std::move(grid);
+    } else if (arg == "--trials") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::optional<std::uint64_t> trials = util::parse_uint(value);
+      if (!trials) {
+        error = std::string("--trials expects a non-negative integer, "
+                            "got '") + value + "'";
+        return false;
+      }
+      options.trials = *trials;
+    } else if (arg == "--seed") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::optional<std::uint64_t> seed = util::parse_uint(value);
+      if (!seed) {
+        error = std::string("--seed expects a non-negative integer, "
+                            "got '") + value + "'";
+        return false;
+      }
+      options.seed = *seed;
+    } else if (arg == "--workload") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::optional<local::WorkloadKind> kind =
+          local::workload_from_string(value);
+      if (!kind) {
+        error = "--workload expects success|value|counter";
+        return false;
+      }
+      options.workload = *kind;
+    } else if (arg == "--statistic") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.statistic = value;
+    } else if (arg == "--success") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string side = value;
+      if (side != "accept" && side != "reject") {
+        error = "--success expects accept|reject";
+        return false;
+      }
+      options.success_on_accept = side == "accept";
+    } else if (arg == "--mode") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string mode = value;
+      if (mode == "balls") {
+        options.mode = local::ExecMode::kBalls;
+      } else if (mode == "messages") {
+        options.mode = local::ExecMode::kMessages;
+      } else if (mode == "two-phase") {
+        options.mode = local::ExecMode::kTwoPhase;
+      } else {
+        error = "--mode expects balls|messages|two-phase";
+        return false;
+      }
+    } else {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
+  for (const auto& [key, value] : options.params) spec.params[key] = value;
+  if (options.n_grid) spec.n_grid = *options.n_grid;
+  if (options.trials) spec.trials = *options.trials;
+  if (options.seed) spec.base_seed = *options.seed;
+  if (options.success_on_accept) {
+    spec.success_on_accept = *options.success_on_accept;
+  }
+  if (options.mode) spec.mode = *options.mode;
+  if (options.workload) spec.workload = *options.workload;
+  if (options.statistic) spec.statistic = *options.statistic;
+}
+
+/// The lnc_sweep next to this binary — shards run the same build by
+/// default, which is what the bit-identity guarantee assumes.
+std::string default_sweep_binary(const char* argv0) {
+  std::error_code ec;
+  std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) self = argv0;
+  const std::filesystem::path dir = self.parent_path();
+  if (dir.empty()) return "lnc_sweep";  // bare argv0: rely on PATH
+  return (dir / "lnc_sweep").string();
+}
+
+std::unique_ptr<orchestrate::Transport> make_transport(
+    const Options& options, const char* argv0, std::string& error) {
+  if (options.transport == "ssh") {
+    if (!options.ssh_template) {
+      error = "--transport ssh needs --ssh-template";
+      return nullptr;
+    }
+    return std::make_unique<orchestrate::SshTransport>(
+        *options.ssh_template, options.remote_sweep);
+  }
+  const std::string binary = options.sweep_bin
+                                 ? *options.sweep_bin
+                                 : default_sweep_binary(argv0);
+  return std::make_unique<orchestrate::LocalProcessTransport>(binary);
+}
+
+int report_outcome(const orchestrate::RunManifest& manifest,
+                   const orchestrate::LaunchOutcome& outcome,
+                   const Options& options) {
+  for (const std::string& warning : outcome.warnings) {
+    std::cerr << "warning: " << warning << "\n";
+  }
+  if (!outcome.ok) {
+    std::cerr << "launch failed: " << outcome.error << "\n";
+    for (const unsigned shard : outcome.failed_shards) {
+      const orchestrate::ShardRecord& record = manifest.shards[shard];
+      std::cerr << "  shard " << shard << ": " << to_string(record.state)
+                << " after " << record.attempts << " attempt(s)";
+      if (!record.error.empty()) std::cerr << " — " << record.error;
+      std::cerr << " (log: " << manifest.log_path(shard) << ")\n";
+    }
+    std::cerr << "resume with: lnc_launch --resume " << manifest.run_dir
+              << "\n";
+    return 1;
+  }
+
+  std::cout << "=== " << outcome.merged.scenario << " (merged from "
+            << manifest.shard_count << " shards, run dir "
+            << manifest.run_dir << ") ===\n";
+  scenario::to_table(outcome.merged).print(std::cout);
+  for (const std::string& line : scenario::summary_lines(outcome.merged)) {
+    std::cout << line << "\n";
+  }
+  if (options.out_file) {
+    // Same contract as lnc_sweep --out: atomic, no silent partial files.
+    const std::string write_error =
+        scenario::write_json_file(*options.out_file, outcome.merged);
+    if (!write_error.empty()) {
+      std::cerr << write_error << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string error;
+  try {
+    if (!parse_args(argc, argv, options, error)) {
+      std::cerr << error << "\n";
+      return usage(std::cerr, 2);
+    }
+  } catch (const std::exception& ex) {
+    std::cerr << "bad flag value: " << ex.what() << "\n";
+    return usage(std::cerr, 2);
+  }
+
+  const int mode_count = (options.scenario_name ? 1 : 0) +
+                         (options.spec_file ? 1 : 0) +
+                         (options.resume_dir ? 1 : 0);
+  if (mode_count != 1) {
+    std::cerr << "pick exactly one of --scenario, --spec, --resume\n";
+    return usage(std::cerr, 2);
+  }
+
+  std::unique_ptr<orchestrate::Transport> transport =
+      make_transport(options, argv[0], error);
+  if (transport == nullptr) {
+    std::cerr << error << "\n";
+    return usage(std::cerr, 2);
+  }
+  orchestrate::Transport* effective = transport.get();
+  std::unique_ptr<orchestrate::FaultInjectingTransport> injector;
+  if (options.inject_fail) {
+    injector = std::make_unique<orchestrate::FaultInjectingTransport>(
+        *effective, options.inject_fail->first,
+        options.inject_fail->second);
+    effective = injector.get();
+  }
+
+  orchestrate::SupervisorOptions supervisor = options.supervisor;
+  supervisor.status = &std::cerr;
+
+  try {
+    orchestrate::RunManifest manifest;
+    if (options.resume_dir) {
+      // The spec is frozen in the run directory; accepting overrides
+      // here would silently run different parameters than reported.
+      const bool has_overrides =
+          !options.params.empty() || options.n_grid || options.trials ||
+          options.seed || options.success_on_accept || options.mode ||
+          options.workload || options.statistic || options.shards != 0 ||
+          options.run_dir.has_value();
+      if (has_overrides) {
+        std::cerr << "--resume re-runs the FROZEN spec in its existing "
+                     "directory; --run-dir and spec overrides "
+                     "(--param/--n/--trials/--seed/--shards/...) cannot "
+                     "change it — plan a new run directory instead\n";
+        return usage(std::cerr, 2);
+      }
+      manifest = orchestrate::load_manifest(
+          std::filesystem::absolute(*options.resume_dir).string());
+      std::cerr << "resuming '" << manifest.scenario << "' in "
+                << manifest.run_dir << " (" << manifest.shard_count
+                << " shards)\n";
+    } else {
+      scenario::ScenarioSpec spec;
+      if (options.scenario_name) {
+        const scenario::ScenarioSpec* preset =
+            scenario::find_preset(*options.scenario_name);
+        if (preset == nullptr) {
+          std::cerr << "unknown scenario '" << *options.scenario_name
+                    << "' (see lnc_sweep --list)\n";
+          return 1;
+        }
+        spec = *preset;
+      } else {
+        std::string text;
+        const std::string read_error =
+            util::read_file(*options.spec_file, text);
+        if (!read_error.empty()) {
+          std::cerr << read_error << "\n";
+          return 1;
+        }
+        spec = scenario::spec_from_json(text);
+      }
+      apply_overrides(options, spec);
+      if (options.shards == 0) {
+        std::cerr << "--shards is required for a new run\n";
+        return usage(std::cerr, 2);
+      }
+      // Absolute, so the ShardJob paths handed to transports really are
+      // absolute as documented — an ssh shard must not resolve a
+      // relative run dir against its remote login cwd.
+      const std::string run_dir =
+          std::filesystem::absolute(
+              options.run_dir ? *options.run_dir : "lnc-run-" + spec.name)
+              .string();
+      if (options.transport == "ssh") {
+        // Template transports require shell-safe paths
+        // (orchestrate::render_template throws on others) — surface that
+        // BEFORE plan_run puts anything on disk.
+        orchestrate::ShardJob probe;
+        probe.shard = 0;
+        probe.shard_count = options.shards;
+        probe.spec_path = run_dir + "/spec.json";
+        probe.output_path = run_dir + "/shard-0.json";
+        orchestrate::render_template(*options.ssh_template,
+                                     options.remote_sweep, probe);
+      }
+      manifest = orchestrate::plan_run(spec, run_dir, options.shards);
+      std::cerr << "planned " << options.shards << " shard(s) of '"
+                << spec.name << "' in " << run_dir << "\n";
+    }
+
+    const orchestrate::LaunchOutcome outcome = orchestrate::execute_run(
+        manifest, *effective, supervisor, options.sweep_threads);
+    return report_outcome(manifest, outcome, options);
+  } catch (const std::exception& ex) {
+    std::cerr << ex.what() << "\n";
+    return 1;
+  }
+}

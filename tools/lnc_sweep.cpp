@@ -200,20 +200,43 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         error = "--param expects k=v, got '" + text + "'";
         return false;
       }
-      options.params[text.substr(0, eq)] = std::stod(text.substr(eq + 1));
+      const std::optional<double> param_value =
+          util::parse_finite_double(text.substr(eq + 1));
+      if (!param_value) {
+        error = "--param " + text + " has a malformed numeric value";
+        return false;
+      }
+      options.params[text.substr(0, eq)] = *param_value;
     } else if (arg == "--n") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       std::vector<std::uint64_t> grid;
       for (const std::string& part : util::split(value, ',')) {
-        grid.push_back(std::stoull(part));
+        const std::optional<std::uint64_t> n = util::parse_uint(part);
+        if (!n) {
+          error = "--n expects non-negative integers, got '" + part + "'";
+          return false;
+        }
+        grid.push_back(*n);
       }
       options.n_grid = std::move(grid);
     } else if (arg == "--trials") {
       if ((value = next_value(i, arg)) == nullptr) return false;
-      options.trials = std::stoull(value);
+      const std::optional<std::uint64_t> trials = util::parse_uint(value);
+      if (!trials) {
+        error = std::string("--trials expects a non-negative integer, "
+                            "got '") + value + "'";
+        return false;
+      }
+      options.trials = *trials;
     } else if (arg == "--seed") {
       if ((value = next_value(i, arg)) == nullptr) return false;
-      options.seed = std::stoull(value);
+      const std::optional<std::uint64_t> seed = util::parse_uint(value);
+      if (!seed) {
+        error = std::string("--seed expects a non-negative integer, "
+                            "got '") + value + "'";
+        return false;
+      }
+      options.seed = *seed;
     } else if (arg == "--workload") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       const std::optional<local::WorkloadKind> kind =
@@ -255,16 +278,42 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         error = "--shard expects i/k, got '" + text + "'";
         return false;
       }
-      options.shard = static_cast<unsigned>(std::stoul(text.substr(0, slash)));
-      options.shard_count =
-          static_cast<unsigned>(std::stoul(text.substr(slash + 1)));
-      if (options.shard_count == 0 || options.shard >= options.shard_count) {
-        error = "--shard index out of range";
+      // Strict parses: std::stoul would wrap "-1" to ULONG_MAX instead
+      // of rejecting it.
+      const std::optional<std::uint64_t> index =
+          util::parse_uint(text.substr(0, slash));
+      const std::optional<std::uint64_t> count =
+          util::parse_uint(text.substr(slash + 1));
+      if (!index || !count || *index > 1000000 || *count > 1000000) {
+        error = "--shard expects non-negative integers i/k, got '" + text +
+                "'";
+        return false;
+      }
+      options.shard = static_cast<unsigned>(*index);
+      options.shard_count = static_cast<unsigned>(*count);
+      // Diagnose precisely — the launch supervisor keys off this exit
+      // code, and "out of range" alone buries which bound was violated.
+      if (options.shard_count == 0) {
+        error = "--shard " + text + " is invalid: the shard count k must "
+                "be at least 1";
+        return false;
+      }
+      if (options.shard >= options.shard_count) {
+        error = "--shard " + text + " is invalid: the shard index i must "
+                "satisfy i < k (indices are 0-based, so the last shard "
+                "of k=" + std::to_string(options.shard_count) + " is " +
+                std::to_string(options.shard_count - 1) + ")";
         return false;
       }
     } else if (arg == "--threads") {
       if ((value = next_value(i, arg)) == nullptr) return false;
-      options.threads = static_cast<unsigned>(std::stoul(value));
+      const std::optional<std::uint64_t> threads = util::parse_uint(value);
+      if (!threads || *threads > 4096) {
+        error = std::string("--threads expects a non-negative integer "
+                            "(<= 4096), got '") + value + "'";
+        return false;
+      }
+      options.threads = static_cast<unsigned>(*threads);
     } else if (arg == "--telemetry") {
       options.telemetry = true;
     } else if (arg == "--out") {
@@ -302,6 +351,20 @@ std::string out_path_for(const std::string& out_file, const std::string& name,
     return out_file + "-" + name;
   }
   return out_file.substr(0, dot) + "-" + name + out_file.substr(dot);
+}
+
+/// Writes the result JSON to `path` atomically (scenario::write_json_file)
+/// and reports failures on stderr. A failed --out MUST exit nonzero with
+/// no file left at `path`: the launch supervisor (tools/lnc_launch.cpp)
+/// keys off the exit code, and a partial file would poison the merge.
+bool write_result_file(const std::string& path,
+                       const scenario::SweepResult& result) {
+  const std::string error = scenario::write_json_file(path, result);
+  if (!error.empty()) {
+    std::cerr << error << "\n";
+    return false;
+  }
+  return true;
 }
 
 /// Two summary lines per result: the deterministic counters on one (CI
@@ -359,40 +422,30 @@ int run_one(const scenario::ScenarioSpec& spec, const Options& options,
   if (options.out_file) {
     const std::string path =
         out_path_for(*options.out_file, spec.name, multiple_specs);
-    std::ofstream out(path);
-    if (!out) {
-      std::cerr << "cannot write '" << path << "'\n";
-      return 1;
-    }
-    scenario::write_json(out, result);
+    if (!write_result_file(path, result)) return 1;
   }
   return 0;
 }
 
 int merge_mode(const Options& options) {
-  std::vector<scenario::SweepResult> shards;
-  for (const std::string& path : options.merge_files) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "cannot read '" << path << "'\n";
-      return 1;
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
-    std::vector<std::string> warnings;
-    shards.push_back(scenario::sweep_from_json(text.str(), &warnings));
+  scenario::SweepResult merged;
+  std::vector<std::string> warnings;
+  try {
+    // The same gather step the distributed launcher runs
+    // (scenario::merge_sweep_files — src/orchestrate reuses it).
+    merged = scenario::merge_sweep_files(options.merge_files, &warnings);
+  } catch (const std::exception& ex) {
     for (const std::string& warning : warnings) {
-      std::cerr << "warning: " << path << ": " << warning << "\n";
+      std::cerr << "warning: " << warning << "\n";
     }
-  }
-  const std::string merge_error = scenario::can_merge(shards);
-  if (!merge_error.empty()) {
-    std::cerr << "cannot merge: " << merge_error << "\n";
+    std::cerr << ex.what() << "\n";
     return 1;
   }
-  const scenario::SweepResult merged = scenario::merge_sweeps(shards);
-  std::cout << "=== " << merged.scenario << " (merged from " << shards.size()
-            << " shard files) ===\n";
+  for (const std::string& warning : warnings) {
+    std::cerr << "warning: " << warning << "\n";
+  }
+  std::cout << "=== " << merged.scenario << " (merged from "
+            << options.merge_files.size() << " shard files) ===\n";
   scenario::to_table(merged, options.telemetry).print(std::cout);
   for (const std::string& line : scenario::summary_lines(merged)) {
     std::cout << line << "\n";
@@ -402,12 +455,7 @@ int merge_mode(const Options& options) {
     print_telemetry_summary(std::cout, merged);
   }
   if (options.out_file) {
-    std::ofstream out(*options.out_file);
-    if (!out) {
-      std::cerr << "cannot write '" << *options.out_file << "'\n";
-      return 1;
-    }
-    scenario::write_json(out, merged);
+    if (!write_result_file(*options.out_file, merged)) return 1;
   }
   return 0;
 }
