@@ -63,10 +63,15 @@ inline void print_header(const std::string& experiment,
 
 /// Prints the table; when LNC_BENCH_JSON_DIR is set, the JSON file also
 /// carries a `telemetry` object when one is supplied — the communication
-/// volume behind the table's numbers (local/telemetry.h), so TABLE_*.json
-/// trajectories record message/word volume next to the reproduced values.
+/// volume behind the table's numbers (local/telemetry.h) — and an
+/// `optimization` object naming the backend/tuning configuration the rows
+/// ran under (local/vector_engine.h), so TABLE_*.json trajectories record
+/// message/word volume and the producing backend next to the reproduced
+/// values.
 inline void print_table(const util::Table& table,
-                        const local::Telemetry* telemetry = nullptr) {
+                        const local::Telemetry* telemetry = nullptr,
+                        const local::OptimizationConfig* optimization =
+                            nullptr) {
   table.print(std::cout);
   std::cout << '\n';
   if (const char* json_dir = std::getenv("LNC_BENCH_JSON_DIR")) {
@@ -76,10 +81,15 @@ inline void print_table(const util::Table& table,
                              ".json";
     std::ofstream out(path);
     if (out) {
-      const std::string extra =
-          telemetry != nullptr
-              ? "\"telemetry\": " + scenario::telemetry_to_json(*telemetry)
-              : std::string{};
+      std::string extra;
+      if (telemetry != nullptr) {
+        extra += "\"telemetry\": " + scenario::telemetry_to_json(*telemetry);
+      }
+      if (optimization != nullptr) {
+        if (!extra.empty()) extra += ", ";
+        extra += "\"optimization\": " +
+                 scenario::optimization_to_json(*optimization);
+      }
       table.print_json(out, extra);
     }
   }

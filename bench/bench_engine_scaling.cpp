@@ -13,6 +13,7 @@
 #include "graph/ball.h"
 #include "local/ball_collector.h"
 #include "local/experiment.h"
+#include "scenario/presets.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "scenario/sweep.h"
@@ -265,6 +266,91 @@ void print_tables() {
         .add_cell(fresh_s / arena_s, 2);
   }
   bench::print_table(arena_table);
+
+  // Backend ablation: the SAME vectorizable workloads forced through each
+  // trial-execution backend (local/vector_engine.h). The tallies, exact
+  // sums, and deterministic telemetry must be bit-identical on every row
+  // — the speedup column is the only thing a backend may change. The CI
+  // backend identity gate re-asserts the same contract from the CLI
+  // (lnc_sweep --backend + tools/check_value_merge.py).
+  std::cout << "Trial-execution backend ablation — naive per-trial arenas\n"
+               "vs batched (warm scalar arenas) vs vectorized (SoA\n"
+               "lockstep batches), 1 thread, preset-default n:\n\n";
+  util::Table backend_table({"workload", "backend", "trials/s",
+                             "speedup vs batched", "bit-identical"});
+  local::OptimizationConfig vectorized_config;
+  {
+    using Backend = local::OptimizationConfig::Backend;
+    std::vector<scenario::ScenarioSpec> cases;
+    {
+      // The vectorized backend's showcase: Luby on C_n keeps every halted
+      // node paying scalar message costs for the whole O(log n) tail, all
+      // of which the SoA skip masks elide (n = 1024 is the middle of the
+      // preset's default grid).
+      scenario::ScenarioSpec spec =
+          *scenario::find_preset("ring-mis-luby-rounds");
+      spec.n_grid = {1024};
+      spec.trials = 2000;
+      cases.push_back(std::move(spec));
+    }
+    for (const char* preset : {"luby-mis-rounds", "rand-matching-rounds"}) {
+      scenario::ScenarioSpec spec = *scenario::find_preset(preset);
+      spec.n_grid = {256};
+      spec.trials = 400;
+      cases.push_back(std::move(spec));
+    }
+    {
+      scenario::ScenarioSpec spec;
+      spec.name = "weak-color-mc";
+      spec.topology = "hard-ring";
+      spec.language = "weak-coloring";
+      spec.construction = "weak-color-mc";
+      spec.params = {{"colors", 2}, {"fixup-rounds", 6}};
+      spec.n_grid = {512};
+      spec.trials = 400;
+      spec.base_seed = 0xE12;
+      cases.push_back(std::move(spec));
+    }
+    for (scenario::ScenarioSpec& spec : cases) {
+      struct Run {
+        double seconds = 0;
+        local::ShardTally tally;
+      };
+      auto run_backend = [&](Backend backend) {
+        spec.backend = backend;
+        const scenario::CompiledScenario compiled = scenario::compile(spec);
+        Run run;
+        util::Timer timer;
+        const scenario::SweepResult result = scenario::run_sweep(compiled);
+        run.seconds = timer.elapsed_seconds();
+        run.tally = result.rows[0].tally;
+        if (backend == Backend::kVectorized) {
+          vectorized_config = compiled.points()[0].plan.optimization;
+        }
+        return run;
+      };
+      const Run naive = run_backend(Backend::kNaive);
+      const Run batched = run_backend(Backend::kBatched);
+      const Run vectorized = run_backend(Backend::kVectorized);
+      auto add_row = [&](const char* backend, const Run& run) {
+        const bool identical =
+            run.tally.successes == naive.tally.successes &&
+            run.tally.value_sum == naive.tally.value_sum &&
+            run.tally.value_sum_sq == naive.tally.value_sum_sq &&
+            run.tally.telemetry.deterministic_equal(naive.tally.telemetry);
+        backend_table.new_row()
+            .add_cell(spec.name)
+            .add_cell(backend)
+            .add_cell(static_cast<double>(spec.trials) / run.seconds, 0)
+            .add_cell(batched.seconds / run.seconds, 2)
+            .add_cell(identical ? "yes" : "NO");
+      };
+      add_row("naive", naive);
+      add_row("batched", batched);
+      add_row("vectorized", vectorized);
+    }
+  }
+  bench::print_table(backend_table, nullptr, &vectorized_config);
 }
 
 void BM_BatchedTrials(benchmark::State& state) {

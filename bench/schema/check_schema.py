@@ -9,7 +9,9 @@ added/renamed — tables fail the build instead of quietly vanishing from
 the uploaded trajectory artifact. Each present table must also parse as
 JSON with the expected top-level shape: "headers" (non-empty) and "rows"
 (row width == header width); an optional "telemetry" object must carry
-the counter keys written by scenario::telemetry_to_json.
+the counter keys written by scenario::telemetry_to_json, and an optional
+"optimization" object the backend/tuning keys written by
+scenario::optimization_to_json.
 
 When a bench binary legitimately gains or loses a table, regenerate the
 golden list:
@@ -23,6 +25,9 @@ import sys
 
 TELEMETRY_KEYS = {"messages", "words", "rounds", "ball_expansions",
                   "arena_peak_bytes", "wall_seconds"}
+OPTIMIZATION_KEYS = {"backend", "batch_trials", "use_silent_skip",
+                     "use_done_mask", "reuse_round_buffers"}
+BACKENDS = {"auto", "naive", "batched", "vectorized"}
 
 
 def check_table(path):
@@ -40,6 +45,13 @@ def check_table(path):
         missing = TELEMETRY_KEYS - set(data["telemetry"])
         if missing:
             return f"telemetry object missing {sorted(missing)}"
+    if "optimization" in data:
+        missing = OPTIMIZATION_KEYS - set(data["optimization"])
+        if missing:
+            return f"optimization object missing {sorted(missing)}"
+        backend = data["optimization"].get("backend")
+        if backend not in BACKENDS:
+            return f"optimization backend {backend!r} not in {sorted(BACKENDS)}"
     return None
 
 

@@ -55,6 +55,12 @@ class ColeVishkinProgram final : public local::NodeProgram {
 
   local::Label output() const override { return color_; }
 
+  /// Recyclable iff scheduled for the same iteration budget (init
+  /// reassigns the port and color; nothing else carries state).
+  bool reset(int reduction_rounds) noexcept {
+    return reduction_rounds == reduction_rounds_;
+  }
+
  private:
   int reduction_rounds_;
   std::uint32_t succ_port_ = 0;
@@ -97,6 +103,11 @@ int ColeVishkinFactory::reduction_iterations(int id_bits) {
 std::unique_ptr<local::NodeProgram> ColeVishkinFactory::create() const {
   return std::make_unique<ColeVishkinProgram>(
       reduction_iterations(id_bits_));
+}
+
+bool ColeVishkinFactory::recreate(local::NodeProgram& program) const {
+  auto* cv = dynamic_cast<ColeVishkinProgram*>(&program);
+  return cv != nullptr && cv->reset(reduction_iterations(id_bits_));
 }
 
 local::EngineResult run_cole_vishkin(const local::Instance& ring_instance,

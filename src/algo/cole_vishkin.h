@@ -32,6 +32,7 @@ class ColeVishkinFactory final : public local::NodeProgramFactory {
 
   std::string name() const override;
   std::unique_ptr<local::NodeProgram> create() const override;
+  bool recreate(local::NodeProgram& program) const override;
 
   /// Bit-reduction iterations scheduled for the given bound (the log*-like
   /// quantity: number of halvings until the palette is within {0..5}).

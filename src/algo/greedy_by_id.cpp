@@ -54,6 +54,13 @@ class GreedyProgram : public local::NodeProgram {
 
   local::Label output() const override { return value_; }
 
+  /// Back to the pre-init() state (init reassigns the identity, degree,
+  /// and neighbor tables; the decision state must be cleared here).
+  void reset() noexcept {
+    decided_ = false;
+    value_ = 0;
+  }
+
  protected:
   /// The greedy decision given the decided neighbors' values.
   virtual std::uint64_t decide() const = 0;
@@ -102,8 +109,22 @@ std::unique_ptr<local::NodeProgram> GreedyColoringFactory::create() const {
   return std::make_unique<GreedyColoringProgram>();
 }
 
+bool GreedyColoringFactory::recreate(local::NodeProgram& program) const {
+  auto* greedy = dynamic_cast<GreedyColoringProgram*>(&program);
+  if (greedy == nullptr) return false;
+  greedy->reset();
+  return true;
+}
+
 std::unique_ptr<local::NodeProgram> GreedyMisFactory::create() const {
   return std::make_unique<GreedyMisProgram>();
+}
+
+bool GreedyMisFactory::recreate(local::NodeProgram& program) const {
+  auto* greedy = dynamic_cast<GreedyMisProgram*>(&program);
+  if (greedy == nullptr) return false;
+  greedy->reset();
+  return true;
 }
 
 }  // namespace lnc::algo

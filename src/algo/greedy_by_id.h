@@ -16,6 +16,7 @@ class GreedyColoringFactory final : public local::NodeProgramFactory {
  public:
   std::string name() const override { return "greedy-coloring-by-id"; }
   std::unique_ptr<local::NodeProgram> create() const override;
+  bool recreate(local::NodeProgram& program) const override;
 };
 
 /// Greedy MIS: a deciding node joins iff no already-decided neighbor is in.
@@ -23,6 +24,7 @@ class GreedyMisFactory final : public local::NodeProgramFactory {
  public:
   std::string name() const override { return "greedy-mis-by-id"; }
   std::unique_ptr<local::NodeProgram> create() const override;
+  bool recreate(local::NodeProgram& program) const override;
 };
 
 }  // namespace lnc::algo

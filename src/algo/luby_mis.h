@@ -15,6 +15,7 @@ class LubyMisFactory final : public local::NodeProgramFactory {
   std::string name() const override { return "luby-mis"; }
   std::unique_ptr<local::NodeProgram> create() const override;
   bool recreate(local::NodeProgram& program) const override;
+  std::unique_ptr<local::VectorProgram> create_vector() const override;
 };
 
 /// Driver: runs Luby's MIS with the given coins; returns outputs (1 = in

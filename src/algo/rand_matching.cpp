@@ -1,7 +1,9 @@
 #include "algo/rand_matching.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "local/vector_engine.h"
 #include "util/assert.h"
 
 namespace lnc::algo {
@@ -138,6 +140,189 @@ class MatchingProgram final : public local::NodeProgram {
   std::vector<std::uint64_t> neighbor_id_;
 };
 
+/// SoA lockstep counterpart of MatchingProgram. Node state is flat
+/// [trial * n + node]; the per-port availability/identity tables are flat
+/// [trial * ports + port_base[node] + port] against shared CSR port
+/// offsets. Draw sequences replicate the scalar send exactly: role coin,
+/// then (proposers with known ids and a non-empty candidate list) the
+/// target pick, then the competition draw. Halted unmatched nodes' scalar
+/// draws are provably unread — every neighbor is matched and a matched
+/// node's receive halts before scanning — so the vector backend skips
+/// them without observable difference.
+class MatchingVectorProgram final : public local::VectorProgram {
+ public:
+  std::string name() const override { return "rand-matching"; }
+
+  void init(local::VectorBatch& batch) override {
+    const auto& g = batch.instance().g;
+    const std::uint32_t n = batch.nodes();
+    const std::uint32_t trials = batch.trials();
+    const std::size_t total = static_cast<std::size_t>(trials) * n;
+    port_base_.resize(n + 1);
+    port_base_[0] = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      port_base_[v + 1] = port_base_[v] + g.degree(v);
+    }
+    const std::size_t ports = port_base_[n];
+    matched_.assign(total, 0);
+    ids_known_.assign(total, 0);
+    role_.assign(total, static_cast<std::uint8_t>(kRoleListener));
+    mate_.assign(total, 0);
+    target_.assign(total, 0);
+    accepted_.assign(total, 0);
+    draw_.assign(total, 0);
+    avail_.assign(static_cast<std::size_t>(trials) * ports, 1);
+    nid_.assign(static_cast<std::size_t>(trials) * ports, 0);
+    matched_count_.assign(trials, 0);
+    prev_matched_.resize(n);
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (g.degree(v) == 0) batch.set_halted(t, v);  // unmatched forever
+      }
+    }
+  }
+
+  void round(local::VectorBatch& batch, int round) override {
+    const auto& g = batch.instance().g;
+    const auto& ids = batch.instance().ids;
+    const std::uint32_t n = batch.nodes();
+    const std::size_t ports = port_base_[n];
+    const bool odd = round % 2 == 1;
+    batch.for_each_live_trial([&](std::uint32_t t) {
+      const std::size_t base = batch.at(t, 0);
+      std::uint8_t* matched = matched_.data() + base;
+      std::uint8_t* known = ids_known_.data() + base;
+      std::uint8_t* role = role_.data() + base;
+      std::uint64_t* mate = mate_.data() + base;
+      std::uint64_t* target = target_.data() + base;
+      std::uint64_t* accepted = accepted_.data() + base;
+      std::uint64_t* draw = draw_.data() + base;
+      std::uint8_t* avail = avail_.data() + static_cast<std::size_t>(t) * ports;
+      std::uint64_t* nid = nid_.data() + static_cast<std::size_t>(t) * ports;
+      // Everyone sends: matched nodes 5 words always, unmatched nodes 5
+      // in propose rounds and 2 in accept rounds.
+      const std::uint64_t mc = matched_count_[t];
+      batch.add_traffic(t, n, odd ? 5 * std::uint64_t{n} : 5 * mc + 2 * (n - mc));
+      if (odd) {
+        // Send pass: unmatched nodes flip the role coin, proposers pick a
+        // target, everyone refreshes the competition draw.
+        batch.for_each_active_node(t, [&](std::uint32_t v) {
+          if (matched[v] != 0) return;
+          auto& rng = batch.rng(t, v);
+          role[v] = rng.bernoulli(0.5) ? static_cast<std::uint8_t>(kRoleProposer)
+                                       : static_cast<std::uint8_t>(kRoleListener);
+          target[v] = 0;
+          if (role[v] == kRoleProposer && known[v] != 0) {
+            candidates_.clear();
+            for (std::size_t pp = port_base_[v]; pp < port_base_[v + 1]; ++pp) {
+              if (avail[pp] != 0) candidates_.push_back(nid[pp]);
+            }
+            if (!candidates_.empty()) {
+              target[v] = candidates_[rng.next_below(candidates_.size())];
+            }
+          }
+          draw[v] = rng.next_u64();
+        });
+        batch.for_each_active_node(t, [&](std::uint32_t v) {
+          if (matched[v] != 0) {
+            batch.set_halted(t, v);  // the match was broadcast last round
+            return;
+          }
+          accepted[v] = 0;
+          std::uint64_t best_draw = 0;
+          const auto nbrs = g.neighbors(v);
+          for (std::size_t p = 0; p < nbrs.size(); ++p) {
+            const auto u = nbrs[p];
+            const std::size_t pp = port_base_[v] + p;
+            avail[pp] = matched[u] == 0 ? 1 : 0;
+            if (matched[u] != 0) continue;
+            nid[pp] = ids[u];
+            known[v] = 1;
+            if (role[v] == kRoleListener && role[u] == kRoleProposer &&
+                target[u] == ids[v]) {
+              if (accepted[v] == 0 || draw[u] > best_draw ||
+                  (draw[u] == best_draw && ids[u] > accepted[v])) {
+                accepted[v] = ids[u];
+                best_draw = draw[u];
+              }
+            }
+          }
+        });
+        return;
+      }
+      // Accept round: matches form in place, so compare against the
+      // round-start matched snapshot (the "sent" flags).
+      std::copy(matched, matched + n, prev_matched_.begin());
+      std::uint32_t new_matches = 0;
+      batch.for_each_active_node(t, [&](std::uint32_t v) {
+        if (matched[v] != 0) {
+          batch.set_halted(t, v);
+          return;
+        }
+        if (role[v] == kRoleProposer && target[v] != 0) {
+          const auto nbrs = g.neighbors(v);
+          for (std::size_t p = 0; p < nbrs.size(); ++p) {
+            const auto u = nbrs[p];
+            if (prev_matched_[u] == 0 && accepted[u] == ids[v]) {
+              // Only our proposal target could have accepted us.
+              matched[v] = 1;
+              mate[v] = target[v];
+              ++new_matches;
+              return;  // broadcast [1, mate] next round, then halt
+            }
+          }
+        } else if (role[v] == kRoleListener && accepted[v] != 0) {
+          matched[v] = 1;
+          mate[v] = accepted[v];
+          ++new_matches;
+          return;
+        }
+        // Unmatched: halt once no neighbor is available (maximality).
+        for (std::size_t pp = port_base_[v]; pp < port_base_[v + 1]; ++pp) {
+          if (avail[pp] != 0) return;
+        }
+        batch.set_halted(t, v);
+      });
+      matched_count_[t] += new_matches;
+    });
+  }
+
+  void output(const local::VectorBatch& batch, std::uint32_t trial,
+              local::Labeling& out) const override {
+    const std::uint32_t n = batch.nodes();
+    out.resize(n);
+    const std::size_t base = batch.at(trial, 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      out[v] = matched_[base + v] != 0 ? mate_[base + v] : 0;
+    }
+  }
+
+  std::size_t footprint_bytes() const noexcept override {
+    return matched_.capacity() + ids_known_.capacity() + role_.capacity() +
+           avail_.capacity() + prev_matched_.capacity() +
+           (mate_.capacity() + target_.capacity() + accepted_.capacity() +
+            draw_.capacity() + nid_.capacity() + candidates_.capacity()) *
+               sizeof(std::uint64_t) +
+           (port_base_.capacity() + matched_count_.capacity()) *
+               sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint32_t> port_base_;  // shared CSR port offsets, n + 1
+  std::vector<std::uint8_t> matched_;     // [trial * n + node]
+  std::vector<std::uint8_t> ids_known_;   // [trial * n + node]
+  std::vector<std::uint8_t> role_;        // [trial * n + node]
+  std::vector<std::uint64_t> mate_;       // [trial * n + node]
+  std::vector<std::uint64_t> target_;     // [trial * n + node]
+  std::vector<std::uint64_t> accepted_;   // [trial * n + node]
+  std::vector<std::uint64_t> draw_;       // [trial * n + node]
+  std::vector<std::uint8_t> avail_;       // [trial * ports + port]
+  std::vector<std::uint64_t> nid_;        // [trial * ports + port]
+  std::vector<std::uint32_t> matched_count_;  // per trial
+  std::vector<std::uint8_t> prev_matched_;    // round-start snapshot
+  std::vector<std::uint64_t> candidates_;     // pick_target scratch
+};
+
 }  // namespace
 
 std::unique_ptr<local::NodeProgram> RandMatchingFactory::create() const {
@@ -149,6 +334,11 @@ bool RandMatchingFactory::recreate(local::NodeProgram& program) const {
   if (matching == nullptr) return false;
   matching->reset();
   return true;
+}
+
+std::unique_ptr<local::VectorProgram> RandMatchingFactory::create_vector()
+    const {
+  return std::make_unique<MatchingVectorProgram>();
 }
 
 local::EngineResult run_rand_matching(const local::Instance& inst,

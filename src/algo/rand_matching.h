@@ -15,6 +15,7 @@ class RandMatchingFactory final : public local::NodeProgramFactory {
   std::string name() const override { return "rand-matching"; }
   std::unique_ptr<local::NodeProgram> create() const override;
   bool recreate(local::NodeProgram& program) const override;
+  std::unique_ptr<local::VectorProgram> create_vector() const override;
 };
 
 local::EngineResult run_rand_matching(const local::Instance& inst,

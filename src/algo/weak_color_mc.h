@@ -25,6 +25,7 @@ class WeakColorMcFactory final : public local::NodeProgramFactory {
   std::string name() const override;
   std::unique_ptr<local::NodeProgram> create() const override;
   bool recreate(local::NodeProgram& program) const override;
+  std::unique_ptr<local::VectorProgram> create_vector() const override;
 
  private:
   int fixup_rounds_;

@@ -139,15 +139,25 @@ unsigned BatchRunner::worker_count() const noexcept {
 
 template <typename Body>
 void BatchRunner::for_each_trial(const ExperimentPlan& plan, TrialRange range,
-                                 Body&& body) {
+                                 bool fresh_arenas, Body&& body) {
   auto invoke = [&](unsigned worker, std::uint64_t offset) {
     const std::uint64_t i = range.begin + offset;
     TrialEnv env;
     env.index = i;
     env.seed = stats::trial_seed(plan.base_seed, i);
-    env.arena = &arenas_[worker];
     const util::Timer trial_timer;
-    body(worker, env);
+    if (fresh_arenas) {
+      // Naive backend: a cold arena per trial (nothing survives — the
+      // reuse-ablation baseline). The trial's telemetry still lands in
+      // the persistent worker accumulator so tallies merge identically.
+      WorkerArena fresh;
+      env.arena = &fresh;
+      body(worker, env);
+      arenas_[worker].telemetry().merge(fresh.telemetry());
+    } else {
+      env.arena = &arenas_[worker];
+      body(worker, env);
+    }
     // Per-trial wall time lands in the worker's lock-free accumulator
     // (timing-only telemetry; never part of the deterministic contract).
     arenas_[worker].telemetry().wall_seconds +=
@@ -157,6 +167,48 @@ void BatchRunner::for_each_trial(const ExperimentPlan& plan, TrialRange range,
     pool_->parallel_for_workers(range.count(), invoke);
   } else {
     for (std::uint64_t i = 0; i < range.count(); ++i) invoke(0, i);
+  }
+}
+
+template <typename Body>
+void BatchRunner::for_each_vector_trial(const ExperimentPlan& plan,
+                                        TrialRange range, Body&& body) {
+  const std::uint64_t batch_size =
+      std::max<std::uint64_t>(plan.optimization.batch_trials, 1);
+  const std::uint64_t batches =
+      (range.count() + batch_size - 1) / batch_size;
+  auto run_batch = [&](unsigned worker, std::uint64_t b) {
+    WorkerArena& arena = arenas_[worker];
+    const std::uint64_t begin = range.begin + b * batch_size;
+    const std::uint64_t end = std::min(range.end, begin + batch_size);
+    // Per-trial construction-coin keys, exactly what the scalar trial
+    // body's env.construction_coins() would produce.
+    auto& keys = arena.vector_scratch().coin_key_buffer();
+    keys.resize(end - begin);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      TrialEnv env;
+      env.index = i;
+      env.seed = stats::trial_seed(plan.base_seed, i);
+      keys[i - begin] = env.construction_coins().key();
+    }
+    const util::Timer batch_timer;
+    run_vector_batch(
+        *plan.vector.instance, *plan.vector.factory, keys, plan.optimization,
+        arena.vector_scratch(), &arena.telemetry(),
+        [&](std::uint32_t local, const Labeling& out, int rounds,
+            const Telemetry& delta) {
+          TrialEnv env;
+          env.index = begin + local;
+          env.seed = stats::trial_seed(plan.base_seed, env.index);
+          env.arena = &arena;
+          body(worker, env, out, rounds, delta);
+        });
+    arena.telemetry().wall_seconds += batch_timer.elapsed_seconds();
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for_workers(batches, run_batch);
+  } else {
+    for (std::uint64_t b = 0; b < batches; ++b) run_batch(0, b);
   }
 }
 
@@ -180,15 +232,44 @@ ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
                                   TrialRange range) {
   LNC_EXPECTS(range.begin <= range.end && range.end <= plan.trials);
   const WorkloadKind kind = workload_kind(plan);
+
+  // Resolve the backend. kAuto at this level means the plan never went
+  // through OptimizationConfig::automatic — keep the warm-arena scalar
+  // path, the long-standing default. A vectorized request degrades to
+  // batched transparently when the plan carries no vector execution.
+  OptimizationConfig::Backend backend = plan.optimization.backend;
+  if (backend == OptimizationConfig::Backend::kAuto) {
+    backend = OptimizationConfig::Backend::kBatched;
+  }
+  if (backend == OptimizationConfig::Backend::kVectorized &&
+      !plan.vector.engaged()) {
+    backend = OptimizationConfig::Backend::kBatched;
+  }
+  const bool vectorized = backend == OptimizationConfig::Backend::kVectorized;
+  const bool fresh_arenas = backend == OptimizationConfig::Backend::kNaive;
+
   reset_worker_telemetry();
   ShardTally tally;
   tally.trials = range.count();
   switch (kind) {
     case WorkloadKind::kSuccess: {
       std::vector<stats::WorkerCounter> tallies(worker_count());
-      for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
-        if (plan.success_trial(env)) ++tallies[worker].value;
-      });
+      if (vectorized) {
+        LNC_EXPECTS(plan.vector.success_finish != nullptr);
+        for_each_vector_trial(
+            plan, range,
+            [&](unsigned worker, const TrialEnv& env, const Labeling& out,
+                int rounds, const Telemetry& delta) {
+              if (plan.vector.success_finish(env, out, rounds, delta)) {
+                ++tallies[worker].value;
+              }
+            });
+      } else {
+        for_each_trial(plan, range, fresh_arenas,
+                       [&](unsigned worker, const TrialEnv& env) {
+                         if (plan.success_trial(env)) ++tallies[worker].value;
+                       });
+      }
       tally.successes = stats::sum_counters(tallies);
       break;
     }
@@ -202,11 +283,25 @@ ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
         stats::ExactSum sum_sq;
       };
       std::vector<WorkerSums> sums(worker_count());
-      for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
-        const double value = plan.value_trial(env);
-        sums[worker].sum.add(value);
-        sums[worker].sum_sq.add(value * value);
-      });
+      if (vectorized) {
+        LNC_EXPECTS(plan.vector.value_finish != nullptr);
+        for_each_vector_trial(
+            plan, range,
+            [&](unsigned worker, const TrialEnv& env, const Labeling& out,
+                int rounds, const Telemetry& delta) {
+              const double value =
+                  plan.vector.value_finish(env, out, rounds, delta);
+              sums[worker].sum.add(value);
+              sums[worker].sum_sq.add(value * value);
+            });
+      } else {
+        for_each_trial(plan, range, fresh_arenas,
+                       [&](unsigned worker, const TrialEnv& env) {
+                         const double value = plan.value_trial(env);
+                         sums[worker].sum.add(value);
+                         sums[worker].sum_sq.add(value * value);
+                       });
+      }
       for (const WorkerSums& worker_sums : sums) {
         tally.value_sum.merge(worker_sums.sum);
         tally.value_sum_sq.merge(worker_sums.sum_sq);
@@ -216,9 +311,21 @@ ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
     case WorkloadKind::kCounter: {
       std::vector<std::vector<std::uint64_t>> slots(
           worker_count(), std::vector<std::uint64_t>(plan.counters, 0));
-      for_each_trial(plan, range, [&](unsigned worker, const TrialEnv& env) {
-        plan.count_trial(env, slots[worker]);
-      });
+      if (vectorized) {
+        LNC_EXPECTS(plan.vector.count_finish != nullptr);
+        for_each_vector_trial(
+            plan, range,
+            [&](unsigned worker, const TrialEnv& env, const Labeling& out,
+                int rounds, const Telemetry& delta) {
+              plan.vector.count_finish(env, out, rounds, delta,
+                                       slots[worker]);
+            });
+      } else {
+        for_each_trial(plan, range, fresh_arenas,
+                       [&](unsigned worker, const TrialEnv& env) {
+                         plan.count_trial(env, slots[worker]);
+                       });
+      }
       tally.counts.assign(plan.counters, 0);
       for (const auto& worker_slots : slots) {
         for (std::size_t j = 0; j < plan.counters; ++j) {

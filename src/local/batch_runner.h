@@ -32,6 +32,7 @@
 #include "local/ball_collector.h"
 #include "local/engine.h"
 #include "local/runner.h"
+#include "local/vector_engine.h"
 #include "rand/coins.h"
 #include "stats/montecarlo.h"
 #include "stats/threadpool.h"
@@ -75,6 +76,11 @@ class WorkerArena {
   Telemetry& telemetry() noexcept { return engine_.telemetry(); }
   const Telemetry& telemetry() const noexcept { return engine_.telemetry(); }
 
+  /// This worker's reusable trial-vectorized batch storage (SoA arrays,
+  /// the vector program, and the per-batch coin-key buffer stay warm
+  /// across batches, mirroring what engine() does for the scalar path).
+  VectorScratch& vector_scratch() noexcept { return vector_; }
+
   /// Per-worker sampled-configuration cache. Sampling plans keep their
   /// sample in this slot so instance/output capacity persists across
   /// trials, and an exact (owner, seed) repeat skips resampling entirely.
@@ -97,6 +103,7 @@ class WorkerArena {
   Labeling labeling_;
   std::vector<Knowledge> knowledge_;
   BallWorkspace ball_;
+  VectorScratch vector_;
   SampledConfiguration sample_;
   const void* sample_owner_ = nullptr;
   std::uint64_t sample_seed_ = 0;
@@ -138,6 +145,37 @@ struct TrialEnv {
   }
 };
 
+/// Opt-in trial-vectorized execution of a plan. When `factory` (whose
+/// create_vector() must be non-null) and `instance` are set, the runner
+/// may advance whole batches of trials in lockstep on the SoA backend
+/// (local/vector_engine.h) instead of calling the scalar per-trial
+/// callback; per trial, the workload-matching finish hook then turns the
+/// construction's output into the tallied quantity. The scalar callbacks
+/// stay populated regardless — they are the naive/batched path and the
+/// bit-identity reference.
+struct VectorExec {
+  const Instance* instance = nullptr;
+  const NodeProgramFactory* factory = nullptr;
+
+  /// Finish hooks (exactly the one matching the plan's workload is set):
+  /// each receives the trial env, the vector run's output labeling (valid
+  /// only during the call), the executed round count, and the trial's
+  /// deterministic telemetry delta — everything the scalar trial body
+  /// would have derived from its own construction run.
+  std::function<bool(const TrialEnv&, const Labeling&, int, const Telemetry&)>
+      success_finish;
+  std::function<double(const TrialEnv&, const Labeling&, int,
+                       const Telemetry&)>
+      value_finish;
+  std::function<void(const TrialEnv&, const Labeling&, int, const Telemetry&,
+                     std::span<std::uint64_t>)>
+      count_finish;
+
+  bool engaged() const noexcept {
+    return instance != nullptr && factory != nullptr;
+  }
+};
+
 /// A declarative batch of independent trials. Exactly one of the trial
 /// callbacks is set; the others stay null.
 struct ExperimentPlan {
@@ -155,6 +193,16 @@ struct ExperimentPlan {
   /// summed across workers (order-free, hence reproducible).
   std::function<void(const TrialEnv&, std::span<std::uint64_t>)> count_trial;
   std::size_t counters = 0;
+
+  /// Optional vectorized execution of the same trials (see VectorExec).
+  VectorExec vector;
+
+  /// Backend selection and vector-backend tuning. kAuto resolves to
+  /// kBatched here (scenario compilation resolves kAuto through
+  /// OptimizationConfig::automatic before the plan reaches the runner);
+  /// kVectorized transparently falls back to kBatched when `vector` is
+  /// not engaged.
+  OptimizationConfig optimization;
 };
 
 /// The three trial shapes a plan (and a scenario) can declare. Success
@@ -283,7 +331,15 @@ class BatchRunner {
  private:
   template <typename Body>
   void for_each_trial(const ExperimentPlan& plan, TrialRange range,
-                      Body&& body);
+                      bool fresh_arenas, Body&& body);
+
+  /// Vectorized dispatch: cuts `range` into consecutive lockstep batches
+  /// of plan.optimization.batch_trials (a pure function of the range, NOT
+  /// of the thread count) and runs each through run_vector_batch on the
+  /// executing worker's scratch. `body` sees one call per trial.
+  template <typename Body>
+  void for_each_vector_trial(const ExperimentPlan& plan, TrialRange range,
+                             Body&& body);
 
   /// Clears per-worker accumulators before a batch / merges them after.
   void reset_worker_telemetry();

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "local/vector_engine.h"
 #include "util/assert.h"
 
 namespace lnc::local {
+
+std::unique_ptr<VectorProgram> NodeProgramFactory::create_vector() const {
+  return nullptr;
+}
+
 namespace {
 
 /// Port of (v+1) mod n in v's sorted neighbor list, for the canonical cycle

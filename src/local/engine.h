@@ -17,6 +17,13 @@
 // through zero-copy Inbox views. An EngineScratch can be passed in to reuse
 // the arena, program table, and RNG storage across runs — the batched
 // Monte-Carlo path (local/batch_runner.h) keeps one scratch per worker.
+//
+// This file is the SCALAR engine: one trial at a time, one heap program
+// object per node. Programs whose factory overrides create_vector() can
+// additionally run on the trial-vectorized SoA backend in
+// local/vector_engine.h, which advances whole batches of trials in
+// lockstep with bit-identical coin flips, outputs, and telemetry; the
+// batch runner picks between the two per plan via local::OptimizationConfig.
 #pragma once
 
 #include <cstdint>
@@ -178,6 +185,8 @@ class NodeProgram {
   virtual Label output() const = 0;
 };
 
+class VectorProgram;  // local/vector_engine.h
+
 class NodeProgramFactory {
  public:
   virtual ~NodeProgramFactory() = default;
@@ -194,6 +203,13 @@ class NodeProgramFactory {
     (void)program;
     return false;
   }
+
+  /// Opt-in trial vectorization: a structure-of-arrays program advancing
+  /// many trials in lockstep (local/vector_engine.h), required to be
+  /// bit-identical to create()'s program — same per-node draw sequences,
+  /// halting rounds, outputs, and message/word counts. Null (the default)
+  /// means the plan transparently falls back to the scalar engine.
+  virtual std::unique_ptr<VectorProgram> create_vector() const;
 };
 
 struct EngineOptions;

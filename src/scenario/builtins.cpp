@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "algo/cole_vishkin.h"
 #include "algo/greedy_by_id.h"
@@ -369,6 +371,10 @@ class EngineConstruction final : public Construction {
     return {result.rounds};
   }
 
+  const local::NodeProgramFactory* engine_factory() const override {
+    return factory_.get();
+  }
+
  private:
   std::unique_ptr<local::NodeProgramFactory> factory_;
   bool randomized_;
@@ -406,15 +412,33 @@ class ColeVishkinConstruction final : public Construction {
               const RunOptions& run_options) const override {
     int bits = 1;
     while ((inst.ids.max_identity() >> bits) != 0) ++bits;
-    const algo::ColeVishkinFactory factory(bits);
     local::EngineOptions options;
     options.grant_ring_orientation = true;
     if (env.arena != nullptr) options.scratch = &env.arena->engine();
     options.pool = run_options.pool;
-    local::EngineResult result = run_engine(inst, factory, options);
+    local::EngineResult result =
+        run_engine(inst, factory_for_bits(bits), options);
     LNC_ASSERT(result.completed);
     output = std::move(result.output);
     return {result.rounds};
+  }
+
+ private:
+  /// Interned immutable factories, one per identity width. A stack-local
+  /// factory per trial would defeat run_engine's program recycling (the
+  /// scratch compares factory addresses across runs); these live for the
+  /// process, so consecutive trials on one worker recycle their programs.
+  static const algo::ColeVishkinFactory& factory_for_bits(int bits) {
+    static const auto table = [] {
+      std::vector<std::unique_ptr<algo::ColeVishkinFactory>> factories;
+      factories.reserve(64);
+      for (int b = 1; b <= 64; ++b) {
+        factories.push_back(std::make_unique<algo::ColeVishkinFactory>(b));
+      }
+      return factories;
+    }();
+    LNC_EXPECTS(bits >= 1 && bits <= 64);
+    return *table[static_cast<std::size_t>(bits) - 1];
   }
 };
 

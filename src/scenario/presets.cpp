@@ -194,6 +194,26 @@ std::vector<ScenarioSpec> build_presets() {
   }
   {
     ScenarioSpec spec;
+    spec.name = "ring-mis-luby-rounds";
+    spec.doc =
+        "Luby's MIS round growth on the paper's canonical family: expected "
+        "rounds on C_n with random identities grow ~ log2(n). The ring "
+        "variant of luby-mis-rounds, and the showcase workload for the "
+        "trial-vectorized backend (long halted-relay tails, contiguous "
+        "neighborhoods).";
+    spec.topology = "ring";
+    spec.language = "mis";
+    spec.construction = "luby-mis";
+    spec.workload = local::WorkloadKind::kValue;
+    spec.statistic = "rounds";
+    spec.params = {{"random-ids", 1}};
+    spec.n_grid = {256, 1024, 4096};
+    spec.trials = 300;
+    spec.base_seed = 0x10D;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
     spec.name = "rand-matching-rounds";
     spec.doc =
         "E10's second algorithm as a VALUE sweep: expected rounds of "

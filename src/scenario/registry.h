@@ -145,6 +145,14 @@ class Construction {
   virtual const local::RandomizedBallAlgorithm* ball_algorithm() const {
     return nullptr;
   }
+
+  /// The node-program factory when this construction is an engine program
+  /// — non-null lets scenario compilation probe the factory's
+  /// create_vector() capability and attach a trial-vectorized execution
+  /// (local/vector_engine.h) to the compiled plan.
+  virtual const local::NodeProgramFactory* engine_factory() const {
+    return nullptr;
+  }
 };
 
 struct ConstructionEntry {

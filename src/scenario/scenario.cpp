@@ -141,6 +141,12 @@ CompiledScenario compile(const ScenarioSpec& spec) {
   const Construction* construction = compiled.construction_.get();
   const decide::RandomizedDecider* decider = compiled.decider_.get();
   const local::RandomizedBallAlgorithm* ball = construction->ball_algorithm();
+  // Engine constructions whose factory implements create_vector() can run
+  // trial-vectorized; probe the capability once for the whole grid.
+  const local::NodeProgramFactory* engine_factory =
+      construction->engine_factory();
+  const bool vectorizable =
+      engine_factory != nullptr && engine_factory->create_vector() != nullptr;
   const bool accept = spec.success_on_accept;
 
   decide::EvaluateOptions eval_options;
@@ -280,6 +286,87 @@ CompiledScenario compile(const ScenarioSpec& spec) {
                 *inst_ptr, output, *decider, d_coins, trial_options);
             return outcome.accepted == accept;
           });
+    }
+
+    // Backend selection. Every plan carries an OptimizationConfig so a
+    // forced --backend naive/batched is honored on every path; kAuto
+    // resolves through the size-based tuner. Vectorizable engine
+    // constructions additionally get the SoA execution hooks — the
+    // workload-matching finish turns each lockstep trial's output into
+    // exactly what the scalar trial body would have tallied.
+    {
+      double degree_sum = 0.0;
+      for (graph::NodeId v = 0; v < inst.g.node_count(); ++v) {
+        degree_sum += static_cast<double>(inst.g.degree(v));
+      }
+      const double mean_degree =
+          inst.node_count() > 0
+              ? degree_sum / static_cast<double>(inst.node_count())
+              : 0.0;
+      local::OptimizationConfig config = local::OptimizationConfig::automatic(
+          inst.node_count(), spec.trials, mean_degree);
+      if (spec.backend != local::OptimizationConfig::Backend::kAuto) {
+        config.backend = spec.backend;
+      }
+      point.plan.optimization = config;
+    }
+    if (vectorizable) {
+      const local::Instance* inst_ptr = point.instance.get();
+      point.plan.vector.instance = inst_ptr;
+      point.plan.vector.factory = engine_factory;
+      if (spec.workload == local::WorkloadKind::kValue ||
+          spec.workload == local::WorkloadKind::kCounter) {
+        const auto finish_statistic =
+            [inst_ptr, language, statistic](
+                const local::TrialEnv& /*env*/, const local::Labeling& output,
+                int rounds, const local::Telemetry& delta) {
+              StatisticContext ctx;
+              ctx.instance = inst_ptr;
+              ctx.output = &output;
+              ctx.outcome = Construction::Outcome{rounds};
+              ctx.language = language;
+              if (statistic->needs_telemetry) ctx.delta = delta;
+              return statistic->eval(ctx);
+            };
+        if (spec.workload == local::WorkloadKind::kValue) {
+          point.plan.vector.value_finish =
+              [finish_statistic](const local::TrialEnv& env,
+                                 const local::Labeling& output, int rounds,
+                                 const local::Telemetry& delta) {
+                return finish_statistic(env, output, rounds, delta);
+              };
+        } else {
+          point.plan.vector.count_finish =
+              [finish_statistic](const local::TrialEnv& env,
+                                 const local::Labeling& output, int rounds,
+                                 const local::Telemetry& delta,
+                                 std::span<std::uint64_t> slots) {
+                slots[0] += static_cast<std::uint64_t>(
+                    std::llround(finish_statistic(env, output, rounds, delta)));
+              };
+        }
+      } else if (decider == nullptr) {
+        point.plan.vector.success_finish =
+            [inst_ptr, language, accept](const local::TrialEnv& /*env*/,
+                                         const local::Labeling& output,
+                                         int /*rounds*/,
+                                         const local::Telemetry& /*delta*/) {
+              return language->contains(*inst_ptr, output) == accept;
+            };
+      } else {
+        point.plan.vector.success_finish =
+            [inst_ptr, decider, eval_options, accept](
+                const local::TrialEnv& env, const local::Labeling& output,
+                int /*rounds*/, const local::Telemetry& /*delta*/) {
+              const rand::PhiloxCoins d_coins = env.decision_coins();
+              decide::EvaluateOptions trial_options = eval_options;
+              trial_options.telemetry = &env.arena->telemetry();
+              trial_options.ball = &env.arena->ball_workspace();
+              const decide::DecisionOutcome outcome = decide::evaluate(
+                  *inst_ptr, output, *decider, d_coins, trial_options);
+              return outcome.accepted == accept;
+            };
+      }
     }
     compiled.points_.push_back(std::move(point));
   }

@@ -59,6 +59,14 @@ struct ScenarioSpec {
 
   /// Execution mode for ball-based constructions (ignored otherwise).
   local::ExecMode mode = local::ExecMode::kBalls;
+
+  /// Trial-execution backend for engine-backed constructions. kAuto lets
+  /// compile() pick per grid point via OptimizationConfig::automatic;
+  /// the named backends force the choice (kVectorized silently degrades
+  /// to kBatched when the construction is not vectorizable). Recorded in
+  /// spec JSON and warned about on sweep-shard merge mismatch.
+  local::OptimizationConfig::Backend backend =
+      local::OptimizationConfig::Backend::kAuto;
 };
 
 /// Resolves the spec against the registries: empty string when the spec is

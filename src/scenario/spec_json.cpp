@@ -307,6 +307,15 @@ ScenarioSpec spec_from_json(const std::string& text) {
         throw std::runtime_error("spec 'success' must be accept|reject");
       }
       spec.success_on_accept = side == "accept";
+    } else if (key == "backend") {
+      const std::optional<local::OptimizationConfig::Backend> backend =
+          local::backend_from_string(value.as_string());
+      if (!backend) {
+        throw std::runtime_error(
+            "spec 'backend' must be auto|naive|batched|vectorized, got '" +
+            value.as_string() + "'");
+      }
+      spec.backend = *backend;
     } else if (key == "mode") {
       const std::string& mode = value.as_string();
       if (mode == "balls") {
@@ -361,7 +370,8 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   }
   os << "], \"trials\": " << spec.trials << ", \"seed\": " << spec.base_seed
      << ", \"success\": \"" << (spec.success_on_accept ? "accept" : "reject")
-     << "\", \"mode\": \"" << local::to_string(spec.mode) << "\"}\n";
+     << "\", \"mode\": \"" << local::to_string(spec.mode)
+     << "\", \"backend\": \"" << local::to_string(spec.backend) << "\"}\n";
   return os.str();
 }
 
@@ -374,6 +384,18 @@ std::string telemetry_to_json(const local::Telemetry& telemetry) {
      << ", \"ball_expansions\": " << telemetry.ball_expansions
      << ", \"arena_peak_bytes\": " << telemetry.arena_peak_bytes
      << ", \"wall_seconds\": " << telemetry.wall_seconds << "}";
+  return os.str();
+}
+
+std::string optimization_to_json(const local::OptimizationConfig& config) {
+  std::ostringstream os;
+  os << "{\"backend\": \"" << local::to_string(config.backend)
+     << "\", \"batch_trials\": " << config.batch_trials
+     << ", \"use_silent_skip\": "
+     << (config.use_silent_skip ? "true" : "false")
+     << ", \"use_done_mask\": " << (config.use_done_mask ? "true" : "false")
+     << ", \"reuse_round_buffers\": "
+     << (config.reuse_round_buffers ? "true" : "false") << "}";
   return os.str();
 }
 

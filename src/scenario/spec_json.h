@@ -59,7 +59,8 @@ struct Json {
 ///    "statistic": "rounds",            // value/counter workloads only
 ///    "n": [16, 64], "trials": 2000, "seed": 1,
 ///    "success": "accept" | "reject",
-///    "mode": "balls" | "messages" | "two-phase"}
+///    "mode": "balls" | "messages" | "two-phase",
+///    "backend": "auto" | "naive" | "batched" | "vectorized"}
 ///
 /// Unknown top-level keys are rejected. Does NOT validate against the
 /// registries — call scenario::validate on the result.
@@ -84,5 +85,14 @@ std::string telemetry_to_json(const local::Telemetry& telemetry);
 /// Reads a telemetry block written by telemetry_to_json. Missing keys
 /// default to zero (forward compatibility with pre-telemetry files).
 local::Telemetry telemetry_from_json(const Json& json);
+
+/// Serializes a backend/tuning configuration as a JSON object — the wire
+/// form bench TABLE_*.json files attach as their `optimization` member so
+/// ablation trajectories record exactly which backend produced a row:
+///
+///   {"backend": "vectorized", "batch_trials": 32,
+///    "use_silent_skip": true, "use_done_mask": true,
+///    "reuse_round_buffers": true}
+std::string optimization_to_json(const local::OptimizationConfig& config);
 
 }  // namespace lnc::scenario

@@ -23,6 +23,7 @@ SweepResult run_sweep(const CompiledScenario& scenario,
   result.shard = options.shard;
   result.shard_count = options.shard_count;
   result.workload = scenario.spec().workload;
+  result.backend = scenario.spec().backend;
 
   local::BatchRunner runner(options.pool);
   result.rows.reserve(scenario.points().size());
@@ -100,6 +101,7 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards) {
   merged.shard = 0;
   merged.shard_count = 1;
   merged.workload = shards[0].workload;
+  merged.backend = shards[0].backend;
   merged.rows = shards[0].rows;
 
   // Duplicate shard files would double-count trials yet can still sum to
@@ -326,7 +328,8 @@ void write_json(std::ostream& os, const SweepResult& result) {
      << "\", \"base_seed\": " << result.base_seed
      << ", \"shard\": " << result.shard
      << ", \"shard_count\": " << result.shard_count << ", \"workload\": \""
-     << local::to_string(result.workload) << "\", \"rows\": [";
+     << local::to_string(result.workload) << "\", \"backend\": \""
+     << local::to_string(result.backend) << "\", \"rows\": [";
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const SweepRow& row = result.rows[i];
     if (i > 0) os << ", ";
@@ -381,7 +384,7 @@ SweepResult sweep_from_json(const std::string& text,
   };
   warn_unknown(root.as_object(),
                {"scenario", "base_seed", "shard", "shard_count", "workload",
-                "rows"},
+                "backend", "rows"},
                "top-level");
   SweepResult result;
   result.scenario = root.at("scenario").as_string();
@@ -400,6 +403,18 @@ SweepResult sweep_from_json(const std::string& text,
                                workload + "'");
     }
     result.workload = *kind;
+  }
+  if (root.has("backend")) {
+    // Absent in files written by pre-backend binary generations.
+    const std::string& backend = root.at("backend").as_string();
+    const std::optional<local::OptimizationConfig::Backend> parsed =
+        local::backend_from_string(backend);
+    if (!parsed) {
+      throw std::runtime_error(
+          "shard file 'backend' must be auto|naive|batched|vectorized, "
+          "got '" + backend + "'");
+    }
+    result.backend = *parsed;
   }
   for (const Json& row_json : root.at("rows").as_array()) {
     warn_unknown(row_json.as_object(),
@@ -477,6 +492,23 @@ SweepResult merge_sweep_files(std::span<const std::string> paths,
     if (warnings != nullptr) {
       for (const std::string& warning : file_warnings) {
         warnings->push_back(path + ": " + warning);
+      }
+    }
+  }
+  if (warnings != nullptr) {
+    // Mixed backends still merge bit-identically (that contract is what
+    // tests/vector_engine_test.cpp asserts), so a mismatch is a warning,
+    // not a merge failure — but a fleet silently running half naive and
+    // half vectorized is worth surfacing.
+    for (std::size_t s = 1; s < shards.size(); ++s) {
+      if (shards[s].backend != shards[0].backend) {
+        warnings->push_back(
+            std::string("shard files were produced under different "
+                        "backends (") +
+            local::to_string(shards[0].backend) + " vs " +
+            local::to_string(shards[s].backend) +
+            "); tallies still merge bit-identically");
+        break;
       }
     }
   }

@@ -38,6 +38,12 @@ struct SweepResult {
   unsigned shard_count = 1;
   /// The workload the rows tally (which ShardTally block is meaningful).
   local::WorkloadKind workload = local::WorkloadKind::kSuccess;
+  /// The backend the spec requested (kAuto unless forced). Shards run
+  /// under different backends still merge — that bit-identity is the
+  /// contract — but merge_sweep_files warns on a mismatch so a mixed
+  /// fleet is visible rather than silent.
+  local::OptimizationConfig::Backend backend =
+      local::OptimizationConfig::Backend::kAuto;
   std::vector<SweepRow> rows;
 
   /// True when the result covers every trial (unsharded or merged).

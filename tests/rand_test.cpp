@@ -48,6 +48,27 @@ TEST(Philox, U64IsDeterministic) {
   EXPECT_NE(philox_u64(1, 2, 3), philox_u64(2, 2, 3));
 }
 
+// The bulk kernel (SIMD-dispatched at runtime) must reproduce the serial
+// path bit for bit — it is the vector engine's draw-pass primitive and
+// any divergence would silently break backend bit-identity. Odd counts
+// exercise both the wide main loop and the serial tail.
+TEST(Philox, BatchMatchesSerialBitForBit) {
+  for (const std::size_t count : {0uz, 1uz, 3uz, 16uz, 37uz, 1000uz}) {
+    std::vector<std::uint64_t> hi(count), lo(count), out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      hi[i] = 0x9E3779B97F4A7C15ull * i + 7;
+      lo[i] = ~i * 3;
+    }
+    for (const std::uint64_t key : {0ull, 1ull, 0xDEADBEEFCAFEF00Dull}) {
+      philox_u64_batch(key, hi.data(), lo.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[i], philox_u64(key, hi[i], lo[i]))
+            << "lane " << i << " of " << count << " under key " << key;
+      }
+    }
+  }
+}
+
 TEST(SplitMix, MixKeysIsOrderSensitive) {
   EXPECT_NE(mix_keys(1, 2), mix_keys(2, 1));
   EXPECT_EQ(mix_keys(1, 2), mix_keys(1, 2));

@@ -41,6 +41,7 @@
 //   --param k=v | --n A,B,C | --trials N | --seed S
 //   --workload success|value|counter | --statistic NAME
 //   --success accept|reject | --mode balls|messages|two-phase
+//   --backend auto|naive|batched|vectorized
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -79,6 +80,7 @@ int usage(std::ostream& os, int code) {
         "         --seed S | --workload success|value|counter\n"
         "         --statistic NAME | --success accept|reject\n"
         "         --mode balls|messages|two-phase\n"
+        "         --backend auto|naive|batched|vectorized\n"
         "The merged result is bit-identical to the unsharded lnc_sweep\n"
         "run; failed shards never reach the merge.\n";
   return code;
@@ -109,6 +111,7 @@ struct Options {
   std::optional<local::ExecMode> mode;
   std::optional<local::WorkloadKind> workload;
   std::optional<std::string> statistic;
+  std::optional<local::OptimizationConfig::Backend> backend;
 };
 
 /// Strict flag parses (util::parse_uint / parse_nonnegative_double) —
@@ -292,6 +295,17 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         error = "--mode expects balls|messages|two-phase";
         return false;
       }
+    } else if (arg == "--backend") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::optional<local::OptimizationConfig::Backend> backend =
+          local::backend_from_string(value);
+      if (!backend) {
+        error = std::string("--backend expects "
+                            "auto|naive|batched|vectorized, got '") +
+                value + "'";
+        return false;
+      }
+      options.backend = *backend;
     } else {
       error = "unknown flag '" + arg + "'";
       return false;
@@ -311,6 +325,7 @@ void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
   if (options.mode) spec.mode = *options.mode;
   if (options.workload) spec.workload = *options.workload;
   if (options.statistic) spec.statistic = *options.statistic;
+  if (options.backend) spec.backend = *options.backend;
 }
 
 /// The lnc_sweep next to this binary — shards run the same build by
@@ -429,8 +444,8 @@ int main(int argc, char** argv) {
       const bool has_overrides =
           !options.params.empty() || options.n_grid || options.trials ||
           options.seed || options.success_on_accept || options.mode ||
-          options.workload || options.statistic || options.shards != 0 ||
-          options.run_dir.has_value();
+          options.workload || options.statistic || options.backend ||
+          options.shards != 0 || options.run_dir.has_value();
       if (has_overrides) {
         std::cerr << "--resume re-runs the FROZEN spec in its existing "
                      "directory; --run-dir and spec overrides "

@@ -24,6 +24,7 @@
 //   --seed S         override the base seed
 //   --success accept|reject
 //   --mode balls|messages|two-phase
+//   --backend auto|naive|batched|vectorized  trial-execution backend
 //   --shard i/k      run only trial slice i of k (emits a mergeable tally)
 //   --threads N      worker threads (0 = hardware concurrency; default 1)
 //   --out FILE       also write the result as JSON (shard or complete)
@@ -59,6 +60,7 @@ int usage(std::ostream& os, int code) {
         "overrides: --param k=v | --n A,B,C | --trials N | --seed S\n"
         "           --workload success|value|counter | --statistic NAME\n"
         "           --success accept|reject | --mode balls|messages|two-phase\n"
+        "           --backend auto|naive|batched|vectorized\n"
         "           --shard i/k | --threads N | --out FILE | --telemetry\n"
         "value/counter workloads measure a registered statistic of the\n"
         "construction's output (mean/stddev via exact sums, or exact\n"
@@ -66,7 +68,10 @@ int usage(std::ostream& os, int code) {
         "runs --merge back to the unsharded mean bit for bit.\n"
         "--telemetry adds communication-volume columns (msgs/words/rounds/\n"
         "balls; deterministic across thread counts and shardings) plus a\n"
-        "timing line (wall time, arena peak; machine-dependent).\n";
+        "timing line (wall time, arena peak; machine-dependent).\n"
+        "--backend picks how trials execute (auto tunes per grid point;\n"
+        "all backends produce bit-identical tallies, so forcing one is a\n"
+        "performance choice, never a results choice).\n";
   return code;
 }
 
@@ -143,6 +148,7 @@ struct Options {
   std::optional<local::ExecMode> mode;
   std::optional<local::WorkloadKind> workload;
   std::optional<std::string> statistic;
+  std::optional<local::OptimizationConfig::Backend> backend;
 
   unsigned shard = 0;
   unsigned shard_count = 1;
@@ -270,6 +276,17 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         error = "--mode expects balls|messages|two-phase";
         return false;
       }
+    } else if (arg == "--backend") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::optional<local::OptimizationConfig::Backend> backend =
+          local::backend_from_string(value);
+      if (!backend) {
+        error = std::string("--backend expects "
+                            "auto|naive|batched|vectorized, got '") +
+                value + "'";
+        return false;
+      }
+      options.backend = *backend;
     } else if (arg == "--shard") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       const std::string text = value;
@@ -338,6 +355,7 @@ void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
   if (options.mode) spec.mode = *options.mode;
   if (options.workload) spec.workload = *options.workload;
   if (options.statistic) spec.statistic = *options.statistic;
+  if (options.backend) spec.backend = *options.backend;
 }
 
 /// The --out path for one scenario: unchanged for a single run, suffixed
