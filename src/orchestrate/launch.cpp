@@ -36,6 +36,48 @@ RunManifest plan_run(const scenario::ScenarioSpec& spec,
   return manifest;
 }
 
+RunManifest plan_topup_run(const scenario::ScenarioSpec& spec,
+                           const std::string& run_dir, unsigned shard_count,
+                           const scenario::SweepResult& baseline) {
+  if (!baseline.complete()) {
+    throw std::runtime_error(
+        "top-up baseline is incomplete — merge it (or rerun) first");
+  }
+  if (baseline.trial_end == 0 && !baseline.rows.empty()) {
+    throw std::runtime_error(
+        "top-up baseline does not declare its trial range (written by a "
+        "pre-range binary generation?)");
+  }
+  if (baseline.trial_begin != 0 || baseline.trial_end >= spec.trials) {
+    throw std::runtime_error(
+        "top-up baseline covers trials [" +
+        std::to_string(baseline.trial_begin) + ", " +
+        std::to_string(baseline.trial_end) + ") but the spec asks for " +
+        std::to_string(spec.trials) +
+        " — nothing to top up (or a non-prefix baseline)");
+  }
+  // An empty shard slice would degrade to a full `--shard i/k` job (a
+  // zero-width range is the "no range" encoding) — forbid more shards
+  // than there are trials to compute.
+  const std::uint64_t width = spec.trials - baseline.trial_end;
+  if (shard_count > width) {
+    throw std::runtime_error(
+        "top-up computes only " + std::to_string(width) +
+        " trial(s); use at most that many shards (asked for " +
+        std::to_string(shard_count) + ")");
+  }
+  RunManifest manifest = plan_run(spec, run_dir, shard_count);
+  manifest.trial_begin = baseline.trial_end;
+  manifest.trial_end = spec.trials;
+  const std::string write_error =
+      scenario::write_json_file(manifest.baseline_path(), baseline);
+  if (!write_error.empty()) {
+    throw std::runtime_error("baseline freeze failed: " + write_error);
+  }
+  save_manifest(manifest);
+  return manifest;
+}
+
 LaunchOutcome merge_run(const RunManifest& manifest) {
   LaunchOutcome outcome;
   for (const ShardRecord& record : manifest.shards) {
@@ -54,7 +96,42 @@ LaunchOutcome merge_run(const RunManifest& manifest) {
     paths.push_back(manifest.output_path(record.shard));
   }
   try {
-    outcome.merged = scenario::merge_sweep_files(paths, &outcome.warnings);
+    if (manifest.is_topup()) {
+      // Baseline first, then the shard slices in trial order (shard i's
+      // range precedes shard i+1's by construction), merged by explicit
+      // extent.
+      std::vector<scenario::SweepResult> parts;
+      parts.reserve(paths.size() + 1);
+      std::string text;
+      const std::string read_error =
+          util::read_file(manifest.baseline_path(), text);
+      if (!read_error.empty()) {
+        throw std::runtime_error("top-up baseline: " + read_error);
+      }
+      parts.push_back(scenario::sweep_from_json(text, &outcome.warnings));
+      for (const std::string& path : paths) {
+        std::string shard_text;
+        const std::string shard_error = util::read_file(path, shard_text);
+        if (!shard_error.empty()) {
+          throw std::runtime_error("shard result: " + shard_error);
+        }
+        std::vector<std::string> file_warnings;
+        parts.push_back(
+            scenario::sweep_from_json(shard_text, &file_warnings));
+        for (const std::string& warning : file_warnings) {
+          outcome.warnings.push_back(path + ": " + warning);
+        }
+      }
+      const std::string cannot = scenario::can_merge_trial_ranges(parts);
+      if (!cannot.empty()) {
+        throw std::runtime_error("cannot merge top-up partitions: " +
+                                 cannot);
+      }
+      outcome.merged = scenario::merge_trial_ranges(parts);
+    } else {
+      outcome.merged =
+          scenario::merge_sweep_files(paths, &outcome.warnings);
+    }
   } catch (const std::exception& ex) {
     outcome.error = ex.what();
     return outcome;

@@ -32,6 +32,20 @@ namespace lnc::orchestrate {
 RunManifest plan_run(const scenario::ScenarioSpec& spec,
                      const std::string& run_dir, unsigned shard_count);
 
+/// Plans a TOP-UP run: the fleet computes only trials
+/// [baseline_trials, spec.trials) of `spec`, split into shard_count
+/// contiguous ranges, and the merge folds the cached `baseline` result
+/// (frozen as baseline.json in the run directory) in front of the shard
+/// outputs via scenario::merge_trial_ranges — bit-identical to a cold
+/// full-width fleet run. `baseline` must be a complete result covering
+/// [0, baseline_trials) with baseline_trials < spec.trials, and `spec`
+/// must be the baseline's own spec at the raised trial count (same seed
+/// — the cache key's canonical one). Same directory rules as plan_run;
+/// resume works unchanged (baseline.json rides in the run directory).
+RunManifest plan_topup_run(const scenario::ScenarioSpec& spec,
+                           const std::string& run_dir, unsigned shard_count,
+                           const scenario::SweepResult& baseline);
+
 struct LaunchOutcome {
   bool ok = false;  ///< every shard done and the merge succeeded
   scenario::SweepResult merged;            ///< meaningful when ok

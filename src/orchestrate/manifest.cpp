@@ -49,6 +49,10 @@ std::string RunManifest::log_path(unsigned shard) const {
   return run_dir + "/shard-" + std::to_string(shard) + ".log";
 }
 
+std::string RunManifest::baseline_path() const {
+  return run_dir + "/baseline.json";
+}
+
 bool RunManifest::all_done() const noexcept {
   for (const ShardRecord& record : shards) {
     if (record.state != ShardState::kDone) return false;
@@ -75,7 +79,14 @@ std::string manifest_to_json(const RunManifest& manifest) {
   std::ostringstream os;
   os << "{\"scenario\": \"" << util::json_escape(manifest.scenario)
      << "\", \"spec_file\": \"" << util::json_escape(manifest.spec_file)
-     << "\", \"shard_count\": " << manifest.shard_count << ", \"shards\": [";
+     << "\", \"shard_count\": " << manifest.shard_count;
+  if (manifest.is_topup()) {
+    // Only top-up runs carry the range keys — classic manifests stay
+    // byte-compatible with older binaries.
+    os << ", \"trial_begin\": " << manifest.trial_begin
+       << ", \"trial_end\": " << manifest.trial_end;
+  }
+  os << ", \"shards\": [";
   for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
     const ShardRecord& record = manifest.shards[i];
     if (i > 0) os << ", ";
@@ -98,6 +109,18 @@ RunManifest manifest_from_json(const std::string& text,
   manifest.spec_file = root.at("spec_file").as_string();
   manifest.shard_count =
       static_cast<unsigned>(root.at("shard_count").as_uint64());
+  if (root.has("trial_begin")) {
+    manifest.trial_begin = root.at("trial_begin").as_uint64();
+  }
+  if (root.has("trial_end")) {
+    manifest.trial_end = root.at("trial_end").as_uint64();
+  }
+  if (manifest.trial_end < manifest.trial_begin) {
+    throw std::runtime_error("manifest trial range [" +
+                             std::to_string(manifest.trial_begin) + ", " +
+                             std::to_string(manifest.trial_end) +
+                             ") is inverted");
+  }
   const scenario::Json::Array& shards = root.at("shards").as_array();
   if (shards.size() != manifest.shard_count) {
     throw std::runtime_error(

@@ -52,6 +52,14 @@ struct RunManifest {
   std::string scenario;                 ///< spec name (labels status lines)
   std::string spec_file = "spec.json";  ///< run-dir-relative spec path
   unsigned shard_count = 0;
+  /// When nonzero-width, this run covers only trials
+  /// [trial_begin, trial_end) of the frozen spec — a TOP-UP run planned
+  /// against a cached baseline (plan_topup_run): shards split the range
+  /// instead of [0, trials), and the merge folds baseline.json in front
+  /// of the shard files via scenario::merge_trial_ranges. 0/0 = a
+  /// classic full run (and what pre-range manifests parse as).
+  std::uint64_t trial_begin = 0;
+  std::uint64_t trial_end = 0;
   std::vector<ShardRecord> shards;      ///< one per shard, index-ordered
 
   std::string manifest_path() const;
@@ -60,7 +68,10 @@ struct RunManifest {
   std::string output_path(unsigned shard) const;
   /// Absolute path of a shard's launch log (stdout+stderr of attempts).
   std::string log_path(unsigned shard) const;
+  /// Absolute path of the cached baseline result a top-up run extends.
+  std::string baseline_path() const;
 
+  bool is_topup() const noexcept { return trial_end > trial_begin; }
   bool all_done() const noexcept;
 };
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,10 +27,18 @@ namespace lnc::orchestrate {
 struct ShardJob {
   unsigned shard = 0;
   unsigned shard_count = 1;
+  /// When nonzero-width, the job runs `--trial-range begin:end` instead
+  /// of `--shard i/k` — the explicit-extent form used by cache top-up
+  /// runs (and any planner that sizes shards unevenly). The results
+  /// merge by range (scenario::merge_trial_ranges), not by index.
+  std::uint64_t trial_begin = 0;
+  std::uint64_t trial_end = 0;
   std::string spec_path;    ///< frozen spec JSON (scenario::spec_to_json)
   std::string output_path;  ///< where the shard result JSON must land
   std::string log_path;     ///< attempt stdout+stderr (empty: /dev/null)
   unsigned threads = 1;     ///< lnc_sweep --threads for this job
+
+  bool has_trial_range() const noexcept { return trial_end > trial_begin; }
 };
 
 struct TransportResult {

@@ -264,7 +264,10 @@ const Json::Object& Json::as_object() const {
 }
 
 ScenarioSpec spec_from_json(const std::string& text) {
-  const Json root = Json::parse(text);
+  return spec_from_json(Json::parse(text));
+}
+
+ScenarioSpec spec_from_json(const Json& root) {
   ScenarioSpec spec;
   for (const auto& [key, value] : root.as_object()) {
     if (key == "name") {
@@ -333,6 +336,21 @@ ScenarioSpec spec_from_json(const std::string& text) {
     }
   }
   return spec;
+}
+
+ScenarioSpec cache_normal_form(const ScenarioSpec& spec) {
+  ScenarioSpec normal = spec;
+  // Not part of WHICH curve: the cache stores an explicit trial range at
+  // the entry's own seed, labels don't change results, and backends are
+  // bit-identical by contract (CI backend identity gate). Mode stays —
+  // measured vs modeled telemetry makes ball/message runs distinct
+  // cacheable results.
+  normal.trials = 0;
+  normal.base_seed = 0;
+  normal.name.clear();
+  normal.doc.clear();
+  normal.backend = local::OptimizationConfig::Backend::kAuto;
+  return normal;
 }
 
 std::string spec_to_json(const ScenarioSpec& spec) {

@@ -66,6 +66,21 @@ struct Json {
 /// registries — call scenario::validate on the result.
 ScenarioSpec spec_from_json(const std::string& text);
 
+/// Same, from an already-parsed JSON object — used where a spec is
+/// embedded inside a larger document (cache entry files, serve
+/// requests).
+ScenarioSpec spec_from_json(const Json& root);
+
+/// The spec with every field that does not affect WHICH curve is being
+/// computed reset to a fixed value: trials and seed (the cache stores
+/// accumulators over an explicit trial range at the entry's own seed),
+/// name and doc (labels), and backend (all backends are bit-identical
+/// by contract — CI's backend identity gate). Execution mode is KEPT:
+/// ball-mode and message-mode telemetry differ (measured vs modeled),
+/// so they are different cacheable results. serve::cache_key hashes
+/// spec_to_json(cache_normal_form(spec)).
+ScenarioSpec cache_normal_form(const ScenarioSpec& spec);
+
 /// Inverse of spec_from_json: serializes a spec in the scenarios/*.json
 /// form. Numeric parameters print with full round-trip precision and
 /// seeds/trials as exact integers, so spec_from_json(spec_to_json(spec))

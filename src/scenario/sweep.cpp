@@ -9,6 +9,7 @@
 
 #include "scenario/spec_json.h"
 #include "util/assert.h"
+#include "util/build_info.h"
 #include "util/file_util.h"
 #include "util/string_util.h"
 
@@ -17,6 +18,13 @@ namespace lnc::scenario {
 SweepResult run_sweep(const CompiledScenario& scenario,
                       const SweepOptions& options) {
   LNC_EXPECTS(options.shard_count > 0 && options.shard < options.shard_count);
+  if (options.trial_range) {
+    LNC_EXPECTS(options.shard == 0 && options.shard_count == 1 &&
+                "an explicit trial range cannot be combined with sharding");
+    LNC_EXPECTS(options.trial_range->begin <= options.trial_range->end &&
+                options.trial_range->end <= scenario.spec().trials &&
+                "trial range outside [0, trials)");
+  }
   SweepResult result;
   result.scenario = scenario.spec().name;
   result.base_seed = scenario.spec().base_seed;
@@ -27,9 +35,20 @@ SweepResult run_sweep(const CompiledScenario& scenario,
 
   local::BatchRunner runner(options.pool);
   result.rows.reserve(scenario.points().size());
+  bool range_recorded = false;
   for (const CompiledScenario::GridPoint& point : scenario.points()) {
-    const local::TrialRange range = local::shard_range(
-        point.plan.trials, options.shard, options.shard_count);
+    const local::TrialRange range =
+        options.trial_range
+            ? *options.trial_range
+            : local::shard_range(point.plan.trials, options.shard,
+                                 options.shard_count);
+    if (!range_recorded) {
+      // Every grid point shares the spec's trial count, so the slice is
+      // uniform across rows; record it once as the result's extent.
+      result.trial_begin = range.begin;
+      result.trial_end = range.end;
+      range_recorded = true;
+    }
     SweepRow row;
     row.requested_n = point.requested_n;
     row.actual_n = point.instance->node_count();
@@ -148,6 +167,115 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards) {
   for (const SweepRow& row : merged.rows) {
     LNC_EXPECTS(row.tally.trials == row.total_trials &&
                 "merged shards do not cover the full trial range");
+  }
+  merged.trial_begin = 0;
+  merged.trial_end = merged.rows.empty() ? 0 : merged.rows[0].total_trials;
+  return merged;
+}
+
+std::string can_merge_trial_ranges(std::span<const SweepResult> parts) {
+  if (parts.empty()) return "no range partitions to merge";
+  std::uint64_t expected_begin = 0;
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    const SweepResult& part = parts[s];
+    if (part.scenario != parts[0].scenario ||
+        part.base_seed != parts[0].base_seed ||
+        part.rows.size() != parts[0].rows.size()) {
+      return "range partitions come from different scenario runs ('" +
+             part.scenario + "' vs '" + parts[0].scenario + "')";
+    }
+    if (part.workload != parts[0].workload) {
+      return std::string("range partitions tally different workloads (") +
+             local::to_string(part.workload) + " vs " +
+             local::to_string(parts[0].workload) + ")";
+    }
+    if (part.trial_begin == 0 && part.trial_end == 0 && !part.rows.empty() &&
+        part.rows[0].tally.trials != 0) {
+      return "partition " + std::to_string(s) +
+             " does not declare its trial range (file written by a "
+             "pre-range binary generation?)";
+    }
+    if (part.trial_begin != expected_begin) {
+      return "partition " + std::to_string(s) + " covers trials [" +
+             std::to_string(part.trial_begin) + ", " +
+             std::to_string(part.trial_end) + ") but [" +
+             std::to_string(expected_begin) +
+             ", ...) is the next uncovered range (partitions must be "
+             "given in order and abut exactly)";
+    }
+    if (part.trial_end < part.trial_begin) {
+      return "partition " + std::to_string(s) + " has an inverted range";
+    }
+    const std::uint64_t extent = part.trial_end - part.trial_begin;
+    for (std::size_t i = 0; i < part.rows.size(); ++i) {
+      const SweepRow& row = part.rows[i];
+      const SweepRow& first = parts[0].rows[i];
+      if (row.requested_n != first.requested_n) {
+        return "range partitions disagree on the n-grid";
+      }
+      if (row.tally.trials != extent) {
+        return "partition " + std::to_string(s) + " tallies " +
+               std::to_string(row.tally.trials) + " trials at n = " +
+               std::to_string(row.requested_n) +
+               " but declares the range [" +
+               std::to_string(part.trial_begin) + ", " +
+               std::to_string(part.trial_end) + ")";
+      }
+      if (!row.tally.counts.empty() && !first.tally.counts.empty() &&
+          row.tally.counts.size() != first.tally.counts.size()) {
+        return "range partitions carry counter rows of different widths";
+      }
+    }
+    expected_begin = part.trial_end;
+  }
+  return {};
+}
+
+SweepResult merge_trial_ranges(std::span<const SweepResult> parts) {
+  LNC_EXPECTS(!parts.empty());
+  LNC_EXPECTS(can_merge_trial_ranges(parts).empty() &&
+              "merging range partitions that do not abut");
+  SweepResult merged;
+  merged.scenario = parts[0].scenario;
+  merged.base_seed = parts[0].base_seed;
+  merged.shard = 0;
+  merged.shard_count = 1;
+  merged.workload = parts[0].workload;
+  merged.backend = parts[0].backend;
+  merged.rows = parts[0].rows;
+  for (std::size_t s = 1; s < parts.size(); ++s) {
+    const SweepResult& part = parts[s];
+    for (std::size_t i = 0; i < merged.rows.size(); ++i) {
+      SweepRow& row = merged.rows[i];
+      const SweepRow& other = part.rows[i];
+      row.tally.successes += other.tally.successes;
+      row.tally.trials += other.tally.trials;
+      // ExactSum merge is exact: the result equals a single run over the
+      // union range bit for bit.
+      row.tally.value_sum.merge(other.tally.value_sum);
+      row.tally.value_sum_sq.merge(other.tally.value_sum_sq);
+      if (!other.tally.counts.empty()) {
+        if (row.tally.counts.empty()) {
+          row.tally.counts.assign(other.tally.counts.size(), 0);
+        }
+        LNC_EXPECTS(row.tally.counts.size() == other.tally.counts.size() &&
+                    "merging counter rows of different widths");
+        for (std::size_t j = 0; j < row.tally.counts.size(); ++j) {
+          row.tally.counts[j] += other.tally.counts[j];
+        }
+      }
+      row.tally.telemetry.merge(other.tally.telemetry);
+    }
+  }
+  merged.trial_begin = 0;
+  merged.trial_end = parts.back().trial_end;
+  for (SweepRow& row : merged.rows) {
+    // The merged result is a complete run at the union's trial count —
+    // the partitions' own totals (a cached run at T' carries T', its
+    // top-up carries T) are superseded.
+    row.total_trials = merged.trial_end;
+    LNC_EXPECTS(row.tally.trials == row.total_trials &&
+                "merged range partitions do not cover [0, total)");
   }
   return merged;
 }
@@ -329,7 +457,12 @@ void write_json(std::ostream& os, const SweepResult& result) {
      << ", \"shard\": " << result.shard
      << ", \"shard_count\": " << result.shard_count << ", \"workload\": \""
      << local::to_string(result.workload) << "\", \"backend\": \""
-     << local::to_string(result.backend) << "\", \"rows\": [";
+     << local::to_string(result.backend)
+     << "\", \"trial_begin\": " << result.trial_begin
+     << ", \"trial_end\": " << result.trial_end
+     << ", \"seed_stream_epoch\": " << util::seed_stream_epoch()
+     << ", \"build_rev\": \"" << util::json_escape(util::build_rev())
+     << "\", \"rows\": [";
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
     const SweepRow& row = result.rows[i];
     if (i > 0) os << ", ";
@@ -363,7 +496,11 @@ void write_json(std::ostream& os, const SweepResult& result) {
 
 SweepResult sweep_from_json(const std::string& text,
                             std::vector<std::string>* warnings) {
-  const Json root = Json::parse(text);
+  return sweep_from_json(Json::parse(text), warnings);
+}
+
+SweepResult sweep_from_json(const Json& root,
+                            std::vector<std::string>* warnings) {
   // Deduplicated by (where, key): a 50-row shard file with one foreign
   // row key warns once, not 50 times.
   std::set<std::pair<std::string, std::string>> warned;
@@ -384,7 +521,8 @@ SweepResult sweep_from_json(const std::string& text,
   };
   warn_unknown(root.as_object(),
                {"scenario", "base_seed", "shard", "shard_count", "workload",
-                "backend", "rows"},
+                "backend", "trial_begin", "trial_end", "seed_stream_epoch",
+                "build_rev", "rows"},
                "top-level");
   SweepResult result;
   result.scenario = root.at("scenario").as_string();
@@ -392,6 +530,22 @@ SweepResult sweep_from_json(const std::string& text,
   result.shard = static_cast<unsigned>(root.at("shard").as_uint64());
   result.shard_count =
       static_cast<unsigned>(root.at("shard_count").as_uint64());
+  if (root.has("trial_begin")) {
+    result.trial_begin = root.at("trial_begin").as_uint64();
+  }
+  if (root.has("trial_end")) {
+    result.trial_end = root.at("trial_end").as_uint64();
+  }
+  if (warnings != nullptr && root.has("seed_stream_epoch")) {
+    const std::uint64_t epoch = root.at("seed_stream_epoch").as_uint64();
+    if (epoch != util::seed_stream_epoch()) {
+      warnings->push_back(
+          "result file was written at seed-stream epoch " +
+          std::to_string(epoch) + " but this binary is at epoch " +
+          std::to_string(util::seed_stream_epoch()) +
+          " — its trial streams are NOT mergeable with fresh runs");
+    }
+  }
   if (root.has("workload")) {
     // Absent in files written by success-only binary generations.
     const std::string& workload = root.at("workload").as_string();
@@ -457,6 +611,13 @@ SweepResult sweep_from_json(const std::string& text,
       row.tally.telemetry = telemetry_from_json(row_json.at("telemetry"));
     }
     result.rows.push_back(row);
+  }
+  if (!root.has("trial_begin") && !root.has("trial_end") &&
+      !result.rows.empty() && result.complete()) {
+    // Pre-range files carry no extent; a complete one provably covers
+    // [0, total). Sharded legacy files stay 0/0 (unknown) — the range
+    // merge rejects them with a diagnostic rather than guessing.
+    result.trial_end = result.rows[0].total_trials;
   }
   return result;
 }

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <span>
 
 #include "scenario/scenario.h"
+#include "scenario/spec_json.h"
 #include "util/table.h"
 
 namespace lnc::scenario {
@@ -20,6 +22,13 @@ namespace lnc::scenario {
 struct SweepOptions {
   unsigned shard = 0;        ///< this run's shard index in [0, shard_count)
   unsigned shard_count = 1;  ///< 1 == unsharded
+  /// Explicit trial slice [begin, end) instead of an i-of-k shard —
+  /// the incremental top-up path (serve::SweepService, lnc_sweep
+  /// --trial-range). Requires shard == 0 && shard_count == 1 and
+  /// end <= the spec's trial count. Per-trial seeds depend only on the
+  /// trial index, so a ranged result merges bit-identically with any
+  /// abutting ranges (merge_trial_ranges).
+  std::optional<local::TrialRange> trial_range;
   const stats::ThreadPool* pool = nullptr;  ///< null => sequential trials
 };
 
@@ -44,10 +53,22 @@ struct SweepResult {
   /// fleet is visible rather than silent.
   local::OptimizationConfig::Backend backend =
       local::OptimizationConfig::Backend::kAuto;
+  /// The contiguous trial slice the rows tally, [trial_begin, trial_end).
+  /// 0/0 means unknown (files written by pre-range binary generations);
+  /// complete results cover [0, total_trials). Carried through JSON so
+  /// range-partitioned results (cache top-ups, elastic shards) merge by
+  /// explicit extent rather than i-of-k index.
+  std::uint64_t trial_begin = 0;
+  std::uint64_t trial_end = 0;
   std::vector<SweepRow> rows;
 
   /// True when the result covers every trial (unsharded or merged).
-  bool complete() const noexcept { return shard_count == 1; }
+  bool complete() const noexcept {
+    for (const SweepRow& row : rows) {
+      if (row.tally.trials != row.total_trials) return false;
+    }
+    return shard_count == 1;
+  }
 };
 
 /// Executes (this shard of) a compiled scenario.
@@ -66,6 +87,22 @@ std::string can_merge(std::span<const SweepResult> shards);
 /// merged rows' estimates equal an unsharded run's exactly. Asserts on
 /// input can_merge rejects.
 SweepResult merge_sweeps(std::span<const SweepResult> shards);
+
+/// Pre-flight check for merge_trial_ranges: empty string when the parts
+/// are range-partitioned results of the same scenario/seed/workload that
+/// start at trial 0 and abut contiguously (each part's rows covering
+/// exactly its [trial_begin, trial_end) extent), else a diagnostic.
+/// Unlike can_merge, parts may disagree on total_trials — a cached
+/// result at T' merges with a [T', T) top-up into a result at T.
+std::string can_merge_trial_ranges(std::span<const SweepResult> parts);
+
+/// Merges contiguous trial-range partitions in order of trial_begin:
+/// cached accumulators over [0, T') plus a delta over [T', T) produce
+/// the run-at-T result BIT FOR BIT (per-trial seeds depend only on the
+/// trial index, never on the total count). The merged result's
+/// total_trials is the final part's trial_end. Asserts on input
+/// can_merge_trial_ranges rejects.
+SweepResult merge_trial_ranges(std::span<const SweepResult> parts);
 
 /// The Wilson estimate of a complete success row.
 stats::Estimate row_estimate(const SweepRow& row);
@@ -101,8 +138,17 @@ std::vector<std::string> summary_lines(const SweepResult& result);
 /// older binaries merge with zeroed blocks). Unrecognized keys are
 /// reported through `warnings` when non-null — the guard that surfaces
 /// stale shard files written by a different binary generation.
+/// The file additionally stamps the writing binary's identity
+/// (`seed_stream_epoch`, `build_rev` — util/build_info.h); readers
+/// tolerate their absence and warn when the file's epoch differs from
+/// the running binary's, so a stale result is diagnosable, not wrong.
 void write_json(std::ostream& os, const SweepResult& result);
 SweepResult sweep_from_json(const std::string& text,
+                            std::vector<std::string>* warnings = nullptr);
+
+/// Same, from an already-parsed JSON object — used where a result is
+/// embedded inside a larger document (serve cache entry files).
+SweepResult sweep_from_json(const Json& root,
                             std::vector<std::string>* warnings = nullptr);
 
 /// Writes a result file ATOMICALLY (tmp + rename) — the file either holds

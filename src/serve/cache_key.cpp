@@ -1,0 +1,159 @@
+#include "serve/cache_key.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "scenario/spec_json.h"
+#include "util/build_info.h"
+
+namespace lnc::serve {
+namespace {
+
+// SHA-256 per FIPS 180-4. Straightforward scalar implementation — keys
+// are computed once per query over ~300 bytes, nowhere near a hot path.
+
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t rotr(std::uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+struct Sha256 {
+  std::array<std::uint32_t, 8> state = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                        0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                        0x1f83d9ab, 0x5be0cd19};
+  std::array<std::uint8_t, 64> block{};
+  std::size_t block_len = 0;
+  std::uint64_t total_bytes = 0;
+
+  void compress() {
+    std::array<std::uint32_t, 64> w{};
+    for (int i = 0; i < 16; ++i) {
+      w[static_cast<std::size_t>(i)] =
+          (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+          (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+          (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+          static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (std::size_t i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (std::size_t i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = h + s1 + ch + kRoundConstants[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+
+  void update(const std::uint8_t* data, std::size_t len) {
+    total_bytes += len;
+    while (len > 0) {
+      const std::size_t take = std::min(len, block.size() - block_len);
+      std::memcpy(block.data() + block_len, data, take);
+      block_len += take;
+      data += take;
+      len -= take;
+      if (block_len == block.size()) {
+        compress();
+        block_len = 0;
+      }
+    }
+  }
+
+  std::array<std::uint8_t, 32> finish() {
+    const std::uint64_t bit_len = total_bytes * 8;
+    const std::uint8_t one = 0x80;
+    update(&one, 1);
+    const std::uint8_t zero = 0x00;
+    while (block_len != 56) update(&zero, 1);
+    std::array<std::uint8_t, 8> length_bytes{};
+    for (int i = 0; i < 8; ++i) {
+      length_bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+    // update() counts these padding bytes into total_bytes, but bit_len
+    // was latched before the first padding byte, so the digest is over
+    // the message alone — as the spec requires.
+    update(length_bytes.data(), length_bytes.size());
+    std::array<std::uint8_t, 32> digest{};
+    for (int i = 0; i < 8; ++i) {
+      digest[static_cast<std::size_t>(4 * i)] =
+          static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 24);
+      digest[static_cast<std::size_t>(4 * i + 1)] =
+          static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 16);
+      digest[static_cast<std::size_t>(4 * i + 2)] =
+          static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 8);
+      digest[static_cast<std::size_t>(4 * i + 3)] =
+          static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)]);
+    }
+    return digest;
+  }
+};
+
+}  // namespace
+
+std::string sha256_hex(const std::string& bytes) {
+  Sha256 hasher;
+  hasher.update(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                bytes.size());
+  const std::array<std::uint8_t, 32> digest = hasher.finish();
+  static const char kHex[] = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(64);
+  for (const std::uint8_t byte : digest) {
+    hex.push_back(kHex[byte >> 4]);
+    hex.push_back(kHex[byte & 0xF]);
+  }
+  return hex;
+}
+
+std::string cache_key_preimage(const scenario::ScenarioSpec& spec) {
+  // The epoch lives in the PREIMAGE, not alongside the key: bumping it
+  // changes every key, so stale-epoch entries become unreachable rather
+  // than needing an auxiliary validity check on every hit.
+  return "lnc-cache-v1 epoch=" +
+         std::to_string(util::seed_stream_epoch()) + "\n" +
+         scenario::spec_to_json(scenario::cache_normal_form(spec));
+}
+
+CacheKey cache_key(const scenario::ScenarioSpec& spec) {
+  return sha256_hex(cache_key_preimage(spec));
+}
+
+}  // namespace lnc::serve

@@ -1,0 +1,42 @@
+// Content-addressed cache keys for sweep results (ROADMAP "serving
+// tier").
+//
+// The key is SHA-256 over a versioned preamble plus the CANONICAL JSON
+// of the spec's cache normal form (scenario::cache_normal_form — trials,
+// seed, labels and backend stripped; see that header for why). Because
+// spec_to_json emits fields in a fixed order, params through an ordered
+// map, and doubles at full round-trip precision, two specs describe the
+// same curve iff their canonical bytes — and hence their keys — are
+// equal. The preamble bakes in util::kSeedStreamEpoch, so a seed-stream
+// change orphans every old entry instead of merging wrong bits into new
+// runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace lnc::serve {
+
+/// A cache key: 64 lowercase hex characters (SHA-256). Doubles as the
+/// entry's file name stem in ResultStore.
+using CacheKey = std::string;
+
+/// The key for a spec's curve. Any trials/seed/name/doc/backend value
+/// maps to the same key; any semantic change (topology, language,
+/// construction, decider, params, n-grid, workload, statistic, success
+/// side, exec mode) maps to a different one.
+CacheKey cache_key(const scenario::ScenarioSpec& spec);
+
+/// The exact bytes cache_key hashes — exposed for tests and for
+/// `lnc_serve --explain`-style debugging of key mismatches.
+std::string cache_key_preimage(const scenario::ScenarioSpec& spec);
+
+/// Self-contained SHA-256 (FIPS 180-4), returned as lowercase hex. No
+/// external crypto dependency; this is content addressing, not
+/// security.
+std::string sha256_hex(const std::string& bytes);
+
+}  // namespace lnc::serve

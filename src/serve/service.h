@@ -1,0 +1,100 @@
+// The serving tier's brain: answer "the curve for this spec, at T
+// trials" from the ResultStore when possible, compute ONLY the missing
+// trial range when not, and write the improved entry back.
+//
+// Three outcomes per query:
+//   hit   — a cached entry already covers >= T trials; zero trials run.
+//           (Aggregates cannot extract a prefix, so a T < T' query is
+//           served the cached T'-trial superset — strictly tighter
+//           error bars than asked for.)
+//   topup — an entry covers T' < T; exactly [T', T) runs and merges
+//           into the cached accumulators. Bit-identical to a cold run
+//           at T (tests/serve_test.cpp asserts the exact bits).
+//   miss  — no usable entry; [0, T) runs cold and seeds the cache.
+//
+// Concurrent identical queries share one computation: queries serialize
+// on a per-key mutex, so the second of two racing misses finds the
+// first's entry and becomes a hit. Distinct keys proceed in parallel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
+#include "serve/result_store.h"
+#include "stats/threadpool.h"
+
+namespace lnc::serve {
+
+enum class CacheOutcome { kMiss, kHit, kTopUp };
+const char* to_string(CacheOutcome outcome) noexcept;
+
+struct ServiceOptions {
+  /// Worker threads per computed sweep: 0 = hardware concurrency,
+  /// 1 = sequential in the calling thread.
+  unsigned threads = 0;
+};
+
+struct QueryOutcome {
+  CacheOutcome outcome = CacheOutcome::kMiss;
+  CacheKey key;
+  std::uint64_t trials_reused = 0;    ///< trials served from the store
+  std::uint64_t trials_computed = 0;  ///< trials actually run
+  /// The seed the served result was computed under. The key excludes
+  /// the seed, so this is the ENTRY's canonical seed — the first
+  /// writer's — which may differ from the query's.
+  std::uint64_t served_seed = 0;
+  bool seed_differs = false;  ///< served_seed != the query's base_seed
+  scenario::SweepResult result;
+  /// Human-readable events worth surfacing (store diagnostics, seed
+  /// divergence, write-back failures). Never fatal.
+  std::vector<std::string> notes;
+};
+
+class SweepService {
+ public:
+  /// Throws std::runtime_error when the cache directory is unusable
+  /// (ResultStore's constructor contract).
+  SweepService(std::string cache_dir, ServiceOptions options = {});
+
+  /// Answers `spec` (which must pass scenario::validate — throws
+  /// std::runtime_error with the validation error otherwise). Thread
+  /// safe; identical concurrent queries share one computation.
+  QueryOutcome query(const scenario::ScenarioSpec& spec);
+
+  const ResultStore& store() const noexcept { return store_; }
+
+  /// Monotonic totals across all queries — the daemon's telemetry and
+  /// the repeated-query tests' "no trials were rerun" witness.
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t topups = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t trials_computed = 0;
+    std::uint64_t trials_reused = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// The per-key serialization point for in-flight deduplication.
+  std::mutex& key_mutex(const CacheKey& key);
+
+  ResultStore store_;
+  ServiceOptions options_;
+  std::optional<stats::ThreadPool> pool_;
+
+  std::mutex key_mutexes_guard_;
+  std::map<CacheKey, std::unique_ptr<std::mutex>> key_mutexes_;
+
+  mutable std::mutex stats_guard_;
+  Stats stats_;
+};
+
+}  // namespace lnc::serve

@@ -1,0 +1,20 @@
+#include "util/build_info.h"
+
+namespace lnc::util {
+
+std::uint64_t seed_stream_epoch() { return kSeedStreamEpoch; }
+
+std::string build_rev() {
+#ifdef LNC_BUILD_REV
+  return LNC_BUILD_REV;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_identity() {
+  return "seed-stream epoch " + std::to_string(seed_stream_epoch()) +
+         ", build rev " + build_rev();
+}
+
+}  // namespace lnc::util

@@ -1,0 +1,40 @@
+// Build / epoch identity for cache versioning and diagnostics.
+//
+// Two facts let a cached result be trusted or distrusted at a glance:
+//
+//  * The SEED-STREAM EPOCH: a hand-bumped integer that changes whenever
+//    the mapping (base_seed, trial index) -> Philox stream changes —
+//    i.e. whenever old tallies can no longer be merged bit-identically
+//    with new ones. It is baked into every cache key, so an epoch bump
+//    silently invalidates the whole store instead of corrupting it.
+//
+//  * The BINARY REV: the git revision the binary was built from, where
+//    available ("unknown" otherwise). Recorded in result files and
+//    cache entries for diagnosis only — two revs at the same epoch are
+//    bit-compatible by contract, so the rev is deliberately NOT hashed
+//    into cache keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lnc::util {
+
+/// Bump when the per-trial seed derivation (stats::trial_seed, the seed
+/// tags in local/batch_runner.h, or the Philox core) changes
+/// incompatibly. Old cache entries then miss instead of merging wrong.
+inline constexpr std::uint64_t kSeedStreamEpoch = 1;
+
+/// The epoch as a runtime value (same as kSeedStreamEpoch; exists so
+/// call sites read uniformly next to build_rev()).
+std::uint64_t seed_stream_epoch();
+
+/// Short git revision baked in at configure time via LNC_BUILD_REV,
+/// or "unknown" when the build tree had no git metadata.
+std::string build_rev();
+
+/// One-line identity for --help / --version output, e.g.
+/// "seed-stream epoch 1, build rev a1b2c3d".
+std::string build_identity();
+
+}  // namespace lnc::util

@@ -1,16 +1,67 @@
 #include "util/file_util.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 namespace lnc::util {
 
+namespace {
+
+// Last path component's parent, for "did you forget to mkdir?" hints.
+// "shard.json" -> "." so the stat below still answers sensibly.
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// errno -> human-readable suffix. Captured eagerly by callers because
+// any later syscall (remove of the tmp file, stat for diagnostics)
+// clobbers errno.
+std::string errno_detail(int err) {
+  if (err == 0) return {};
+  std::string detail = ": ";
+  detail += std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT)
+    detail += " (disk full or quota exceeded — partial write discarded)";
+  return detail;
+}
+
+}  // namespace
+
 std::string write_file_atomic(const std::string& path,
                               const std::string& contents) {
+  // The two failures users actually hit are a missing output directory
+  // and a target that is itself a directory. Both produce useless
+  // "cannot write" messages from the stream layer, so name them first.
+  const std::string parent = parent_dir(path);
+  if (!path_exists(parent))
+    return "cannot write '" + path + "': parent directory '" + parent +
+           "' does not exist";
+  if (!is_directory(parent))
+    return "cannot write '" + path + "': parent path '" + parent +
+           "' is not a directory";
+  if (is_directory(path))
+    return "cannot write '" + path + "': path is a directory";
+
   // Unique per process AND per call: concurrent writers (two supervisor
   // threads, or a straggler process surviving its kill on a shared
   // filesystem) each write their own tmp file, and the LAST rename wins
@@ -20,34 +71,50 @@ std::string write_file_atomic(const std::string& path,
       path + ".tmp." + std::to_string(::getpid()) + "." +
       std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
   {
+    errno = 0;
     std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
     if (out) {
       out.write(contents.data(),
                 static_cast<std::streamsize>(contents.size()));
-      // Close EXPLICITLY and re-check: NFS and quota errors can surface
-      // only at close, and the destructor would swallow them — renaming
-      // after a silently short write would break the all-or-nothing
-      // contract.
+      // Close EXPLICITLY and re-check: NFS, ENOSPC and quota errors can
+      // surface only at close, and the destructor would swallow them —
+      // renaming after a silently short write would break the
+      // all-or-nothing contract.
       out.close();
     }
     if (!out) {
+      const int err = errno;
       std::remove(tmp.c_str());
-      return "cannot write '" + path + "'";
+      return "cannot write '" + path + "'" + errno_detail(err);
     }
   }
+  errno = 0;
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
     std::remove(tmp.c_str());
-    return "cannot move '" + tmp + "' into place at '" + path + "'";
+    return "cannot move '" + tmp + "' into place at '" + path + "'" +
+           errno_detail(err);
   }
   return {};
 }
 
 std::string read_file(const std::string& path, std::string& contents) {
+  if (is_directory(path))
+    return "cannot read '" + path + "': path is a directory";
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) return "cannot read '" + path + "'";
+  if (!in) {
+    const int err = errno;
+    if (err == ENOENT || !path_exists(path))
+      return "cannot read '" + path + "': no such file";
+    return "cannot read '" + path + "'" + errno_detail(err);
+  }
   std::ostringstream text;
   text << in.rdbuf();
-  if (in.bad()) return "read of '" + path + "' failed";
+  if (in.bad()) {
+    const int err = errno;
+    return "read of '" + path + "' failed" + errno_detail(err);
+  }
   contents = text.str();
   return {};
 }

@@ -346,4 +346,63 @@ TEST(EndToEnd, ValuePresetMergesBitIdenticalToUnsharded) {
   EXPECT_EQ(want.stddev, got.stddev);
 }
 
+TEST(Manifest, TrialRangeRoundTripsAndStaysOptional) {
+  RunManifest manifest = orchestrate::make_manifest("/tmp/x", "demo", 2);
+  // Classic manifests must not grow range keys: older binaries resume
+  // them, and byte-stable JSON is the compatibility contract.
+  EXPECT_EQ(orchestrate::manifest_to_json(manifest).find("trial_begin"),
+            std::string::npos);
+  EXPECT_FALSE(manifest.is_topup());
+
+  manifest.trial_begin = 30;
+  manifest.trial_end = 80;
+  const RunManifest parsed = orchestrate::manifest_from_json(
+      orchestrate::manifest_to_json(manifest), "/tmp/x");
+  EXPECT_TRUE(parsed.is_topup());
+  EXPECT_EQ(parsed.trial_begin, 30u);
+  EXPECT_EQ(parsed.trial_end, 80u);
+  EXPECT_EQ(parsed.baseline_path(), "/tmp/x/baseline.json");
+}
+
+TEST(EndToEnd, TopUpFleetMergesBitIdenticalToColdRun) {
+  // A cached 14-trial baseline + a 3-shard fleet over trials [14, 40)
+  // must reassemble the exact cold 40-trial result — the cache tier's
+  // acceptance property at the orchestrator level.
+  ScenarioSpec small = shrunk("luby-mis-rounds", 14, 32);
+  ScenarioSpec big = small;
+  big.trials = 40;
+  const scenario::SweepResult baseline = reference_run(small);
+
+  const std::string dir = fresh_dir("e2e-topup");
+  RunManifest manifest = orchestrate::plan_topup_run(big, dir, 3, baseline);
+  EXPECT_TRUE(manifest.is_topup());
+  EXPECT_EQ(manifest.trial_begin, 14u);
+  EXPECT_EQ(manifest.trial_end, 40u);
+  ASSERT_TRUE(std::filesystem::exists(manifest.baseline_path()));
+
+  orchestrate::LocalProcessTransport local(kSweepBinary);
+  const orchestrate::LaunchOutcome outcome =
+      orchestrate::execute_run(manifest, local, quiet_supervisor());
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.merged.complete());
+  EXPECT_EQ(outcome.merged.trial_end, 40u);
+  expect_rows_bit_identical(reference_run(big), outcome.merged);
+}
+
+TEST(EndToEnd, TopUpPlanningRejectsBadBaselines) {
+  ScenarioSpec small = shrunk("ring-amos-yes", 10, 16);
+  const scenario::SweepResult baseline = reference_run(small);
+  // Nothing to top up: the baseline already covers the request.
+  EXPECT_THROW(orchestrate::plan_topup_run(small, fresh_dir("topup-none"),
+                                           1, baseline),
+               std::runtime_error);
+  // More shards than missing trials would degrade an empty slice into a
+  // full-width job — must be refused outright.
+  ScenarioSpec big = small;
+  big.trials = 12;
+  EXPECT_THROW(orchestrate::plan_topup_run(big, fresh_dir("topup-wide"),
+                                           3, baseline),
+               std::runtime_error);
+}
+
 }  // namespace

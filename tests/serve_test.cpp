@@ -1,0 +1,448 @@
+// Serving-tier tests (src/serve): cache-key canonicalization (the key
+// ignores trials/seed/labels/backend and JSON key order, and changes on
+// every semantic field), the self-contained SHA-256 against FIPS 180-4
+// vectors, ResultStore round trip + corruption/stale-epoch degradation
+// to diagnosed misses, trial-range merging, and the SweepService
+// contract — miss seeds the cache, repeat hits run zero trials, top-up
+// computes only the missing range and is BIT-identical to a cold run,
+// concurrent identical queries share one computation — plus the daemon
+// protocol via handle_request_line (no sockets needed).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "local/batch_runner.h"
+#include "scenario/presets.h"
+#include "scenario/scenario.h"
+#include "scenario/spec_json.h"
+#include "scenario/sweep.h"
+#include "serve/cache_key.h"
+#include "serve/daemon.h"
+#include "serve/result_store.h"
+#include "serve/service.h"
+#include "util/build_info.h"
+#include "util/file_util.h"
+
+namespace {
+
+using namespace lnc;
+using scenario::ScenarioSpec;
+using serve::CacheEntry;
+using serve::CacheKey;
+using serve::CacheOutcome;
+
+ScenarioSpec shrunk(const char* preset_name, std::uint64_t trials,
+                    std::uint64_t n) {
+  const ScenarioSpec* preset = scenario::find_preset(preset_name);
+  EXPECT_NE(preset, nullptr) << preset_name;
+  ScenarioSpec spec = *preset;
+  spec.trials = trials;
+  spec.n_grid = {n};
+  return spec;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("lnc-serve-" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+scenario::SweepResult cold_run(const ScenarioSpec& spec) {
+  return scenario::run_sweep(scenario::compile(spec));
+}
+
+/// Bit-level row equality: tallies, exact accumulators (canonical hex
+/// words), counter slots, deterministic telemetry. Timing excluded.
+void expect_rows_bit_identical(const scenario::SweepResult& want,
+                               const scenario::SweepResult& got) {
+  ASSERT_EQ(want.rows.size(), got.rows.size());
+  EXPECT_EQ(want.workload, got.workload);
+  for (std::size_t i = 0; i < want.rows.size(); ++i) {
+    const local::ShardTally& w = want.rows[i].tally;
+    const local::ShardTally& g = got.rows[i].tally;
+    EXPECT_EQ(want.rows[i].total_trials, got.rows[i].total_trials);
+    EXPECT_EQ(w.trials, g.trials);
+    EXPECT_EQ(w.successes, g.successes);
+    EXPECT_EQ(w.value_sum.to_hex(), g.value_sum.to_hex());
+    EXPECT_EQ(w.value_sum_sq.to_hex(), g.value_sum_sq.to_hex());
+    EXPECT_EQ(w.counts, g.counts);
+    EXPECT_EQ(w.telemetry.messages_sent, g.telemetry.messages_sent);
+    EXPECT_EQ(w.telemetry.words_sent, g.telemetry.words_sent);
+    EXPECT_EQ(w.telemetry.rounds_executed, g.telemetry.rounds_executed);
+    EXPECT_EQ(w.telemetry.ball_expansions, g.telemetry.ball_expansions);
+  }
+}
+
+// ------------------------------------------------------------- sha256 --
+
+TEST(Sha256, Fips180KnownAnswers) {
+  EXPECT_EQ(serve::sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(serve::sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad");
+  // Two-block message (FIPS 180-4 example B.2).
+  EXPECT_EQ(serve::sha256_hex(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039"
+            "a33ce45964ff2167f6ecedd419db06c1");
+  // Padding boundary: 55/56/64-byte messages exercise the one- vs
+  // two-block finalization split.
+  EXPECT_EQ(serve::sha256_hex(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f"
+            "590ce20f1bde7090ef7970686ec6738a");
+}
+
+// ---------------------------------------------------------- cache key --
+
+TEST(CacheKey, IgnoresNonSemanticFields) {
+  const ScenarioSpec base = shrunk("luby-mis-rounds", 100, 64);
+  const CacheKey key = serve::cache_key(base);
+  EXPECT_EQ(key.size(), 64u);
+
+  ScenarioSpec variant = base;
+  variant.trials = 7777;
+  EXPECT_EQ(serve::cache_key(variant), key) << "trials must not key";
+  variant = base;
+  variant.base_seed = 999;
+  EXPECT_EQ(serve::cache_key(variant), key) << "seed must not key";
+  variant = base;
+  variant.name = "renamed";
+  variant.doc = "other docs";
+  EXPECT_EQ(serve::cache_key(variant), key) << "labels must not key";
+  variant = base;
+  variant.backend = local::OptimizationConfig::Backend::kNaive;
+  EXPECT_EQ(serve::cache_key(variant), key)
+      << "backends are bit-identical, so they must not key";
+}
+
+TEST(CacheKey, JsonKeyOrderDoesNotMatter) {
+  // The same spec spelled with top-level keys in two different orders
+  // must produce the same key: canonicalization goes through the parsed
+  // (ordered-map) form, not the input bytes.
+  const std::string forward =
+      "{\"name\": \"a\", \"topology\": \"ring\", \"language\": \"amos\","
+      " \"construction\": \"amos-verifier\", \"decider\": \"exact\","
+      " \"params\": {\"ids\": 1, \"radius\": 2}, \"workload\": \"success\","
+      " \"n\": [16], \"trials\": 10, \"seed\": 3}";
+  const std::string reordered =
+      "{\"trials\": 99, \"seed\": 42, \"n\": [16],"
+      " \"params\": {\"radius\": 2, \"ids\": 1},"
+      " \"decider\": \"exact\", \"construction\": \"amos-verifier\","
+      " \"language\": \"amos\", \"topology\": \"ring\","
+      " \"workload\": \"success\", \"name\": \"b\"}";
+  const ScenarioSpec a = scenario::spec_from_json(forward);
+  const ScenarioSpec b = scenario::spec_from_json(reordered);
+  EXPECT_EQ(serve::cache_key(a), serve::cache_key(b));
+}
+
+TEST(CacheKey, SemanticChangesChangeTheKey) {
+  const ScenarioSpec base = shrunk("luby-mis-rounds", 100, 64);
+  const CacheKey key = serve::cache_key(base);
+
+  ScenarioSpec variant = base;
+  variant.params["degree"] = 4;
+  EXPECT_NE(serve::cache_key(variant), key) << "param value";
+  variant = base;
+  variant.params["extra"] = 1;
+  EXPECT_NE(serve::cache_key(variant), key) << "param presence";
+  variant = base;
+  variant.n_grid = {64, 128};
+  EXPECT_NE(serve::cache_key(variant), key) << "n grid";
+  variant = base;
+  variant.statistic = "messages";
+  EXPECT_NE(serve::cache_key(variant), key) << "statistic";
+  variant = base;
+  variant.mode = local::ExecMode::kMessages;
+  EXPECT_NE(serve::cache_key(variant), key)
+      << "exec mode (telemetry is measured vs modeled)";
+  variant = base;
+  variant.topology = "ring";
+  EXPECT_NE(serve::cache_key(variant), key) << "topology";
+
+  const ScenarioSpec success = shrunk("ring-amos-yes", 100, 16);
+  ScenarioSpec flipped = success;
+  flipped.success_on_accept = !success.success_on_accept;
+  EXPECT_NE(serve::cache_key(flipped), serve::cache_key(success))
+      << "success side";
+}
+
+TEST(CacheKey, PreimageIsVersionedByEpoch) {
+  const ScenarioSpec spec = shrunk("ring-amos-yes", 10, 16);
+  const std::string preimage = serve::cache_key_preimage(spec);
+  const std::string expected_prefix =
+      "lnc-cache-v1 epoch=" + std::to_string(util::seed_stream_epoch()) +
+      "\n";
+  ASSERT_GE(preimage.size(), expected_prefix.size());
+  EXPECT_EQ(preimage.substr(0, expected_prefix.size()), expected_prefix);
+  EXPECT_EQ(serve::cache_key(spec), serve::sha256_hex(preimage));
+}
+
+// --------------------------------------------------------- ResultStore --
+
+TEST(ResultStore, RoundTripsAnEntry) {
+  const serve::ResultStore store(fresh_dir("roundtrip"));
+  const ScenarioSpec spec = shrunk("luby-mis-rounds", 12, 64);
+  CacheEntry entry;
+  entry.key = serve::cache_key(spec);
+  entry.spec = spec;
+  entry.result = cold_run(spec);
+  ASSERT_EQ(store.store(entry), "");
+
+  std::string diagnostic;
+  const std::optional<CacheEntry> loaded =
+      store.lookup(entry.key, &diagnostic);
+  ASSERT_TRUE(loaded.has_value()) << diagnostic;
+  EXPECT_EQ(loaded->key, entry.key);
+  EXPECT_EQ(loaded->seed_stream_epoch, util::seed_stream_epoch());
+  EXPECT_EQ(loaded->spec.trials, spec.trials);
+  EXPECT_EQ(loaded->spec.base_seed, spec.base_seed);
+  expect_rows_bit_identical(entry.result, loaded->result);
+}
+
+TEST(ResultStore, MissingEntryIsADiagnosedMiss) {
+  const serve::ResultStore store(fresh_dir("absent"));
+  std::string diagnostic;
+  EXPECT_FALSE(store.lookup(std::string(64, '0'), &diagnostic).has_value());
+  EXPECT_EQ(diagnostic, "no entry");
+}
+
+TEST(ResultStore, CorruptEntryDegradesToAMiss) {
+  const serve::ResultStore store(fresh_dir("corrupt"));
+  const ScenarioSpec spec = shrunk("ring-amos-yes", 8, 16);
+  const CacheKey key = serve::cache_key(spec);
+  ASSERT_EQ(util::write_file_atomic(store.path_for(key), "{ not json"), "");
+  std::string diagnostic;
+  EXPECT_FALSE(store.lookup(key, &diagnostic).has_value());
+  EXPECT_NE(diagnostic, "");
+  EXPECT_NE(diagnostic, "no entry");
+}
+
+TEST(ResultStore, StaleEpochDegradesToAMiss) {
+  const serve::ResultStore store(fresh_dir("epoch"));
+  const ScenarioSpec spec = shrunk("ring-amos-yes", 8, 16);
+  CacheEntry entry;
+  entry.key = serve::cache_key(spec);
+  entry.spec = spec;
+  entry.result = cold_run(spec);
+  ASSERT_EQ(store.store(entry), "");
+
+  // Rewrite the stored entry claiming a different seed-stream epoch —
+  // as a binary from another generation would have.
+  std::string text;
+  ASSERT_EQ(util::read_file(store.path_for(entry.key), text), "");
+  const std::string field = "\"seed_stream_epoch\": ";
+  const std::size_t at = text.find(field);
+  ASSERT_NE(at, std::string::npos);
+  std::size_t end = at + field.size();
+  while (end < text.size() && std::isdigit(text[end])) ++end;
+  text.replace(at + field.size(), end - (at + field.size()), "999");
+  ASSERT_EQ(util::write_file_atomic(store.path_for(entry.key), text), "");
+
+  std::string diagnostic;
+  EXPECT_FALSE(store.lookup(entry.key, &diagnostic).has_value());
+  EXPECT_NE(diagnostic.find("epoch"), std::string::npos) << diagnostic;
+}
+
+// --------------------------------------------------- trial-range merge --
+
+TEST(TrialRanges, SplitRunsMergeBitIdentically) {
+  const ScenarioSpec spec = shrunk("luby-mis-rounds", 25, 64);
+  const scenario::SweepResult whole = cold_run(spec);
+  const scenario::CompiledScenario compiled = scenario::compile(spec);
+
+  // Deliberately uneven split points — nothing about the merge depends
+  // on near-equal shard_range slices.
+  std::vector<scenario::SweepResult> parts;
+  const std::uint64_t cuts[] = {0, 3, 4, 20, 25};
+  for (int i = 0; i + 1 < 5; ++i) {
+    scenario::SweepOptions options;
+    options.trial_range = local::TrialRange{cuts[i], cuts[i + 1]};
+    parts.push_back(scenario::run_sweep(compiled, options));
+  }
+  ASSERT_EQ(scenario::can_merge_trial_ranges(parts), "");
+  const scenario::SweepResult merged = scenario::merge_trial_ranges(parts);
+  EXPECT_EQ(merged.trial_begin, 0u);
+  EXPECT_EQ(merged.trial_end, spec.trials);
+  EXPECT_TRUE(merged.complete());
+  expect_rows_bit_identical(whole, merged);
+}
+
+TEST(TrialRanges, GapsAndDisorderAreRejected) {
+  const ScenarioSpec spec = shrunk("ring-amos-yes", 20, 16);
+  const scenario::CompiledScenario compiled = scenario::compile(spec);
+  auto slice = [&](std::uint64_t begin, std::uint64_t end) {
+    scenario::SweepOptions options;
+    options.trial_range = local::TrialRange{begin, end};
+    return scenario::run_sweep(compiled, options);
+  };
+  const scenario::SweepResult a = slice(0, 8);
+  const scenario::SweepResult b = slice(8, 20);
+  const scenario::SweepResult late = slice(10, 20);
+
+  EXPECT_EQ(scenario::can_merge_trial_ranges(
+                std::vector<scenario::SweepResult>{a, b}),
+            "");
+  EXPECT_NE(scenario::can_merge_trial_ranges(
+                std::vector<scenario::SweepResult>{a, late}),
+            "")
+      << "a gap [8,10) must not merge";
+  EXPECT_NE(scenario::can_merge_trial_ranges(
+                std::vector<scenario::SweepResult>{b, a}),
+            "")
+      << "out-of-order parts must not merge";
+  EXPECT_NE(scenario::can_merge_trial_ranges(
+                std::vector<scenario::SweepResult>{b}),
+            "")
+      << "coverage must start at trial 0";
+}
+
+// -------------------------------------------------------- SweepService --
+
+TEST(SweepService, MissSeedsTheCacheAndRepeatHits) {
+  serve::ServiceOptions options;
+  options.threads = 1;
+  serve::SweepService service(fresh_dir("misshit"), options);
+  const ScenarioSpec spec = shrunk("ring-amos-yes", 16, 16);
+
+  const serve::QueryOutcome first = service.query(spec);
+  EXPECT_EQ(first.outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(first.trials_computed, 16u);
+  EXPECT_EQ(first.trials_reused, 0u);
+
+  const serve::QueryOutcome second = service.query(spec);
+  EXPECT_EQ(second.outcome, CacheOutcome::kHit);
+  EXPECT_EQ(second.trials_computed, 0u);
+  EXPECT_EQ(second.trials_reused, 16u);
+  EXPECT_EQ(second.key, first.key);
+  expect_rows_bit_identical(first.result, second.result);
+
+  const serve::SweepService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.trials_computed, 16u)
+      << "the repeat query must not rerun any trial";
+}
+
+TEST(SweepService, TopUpIsBitIdenticalToAColdRun) {
+  // The acceptance-criterion property, library-level: miss at T', then
+  // query T > T' (computes only [T', T)) == cold run at T, exactly —
+  // for a value workload (exact sums + telemetry) and a success one.
+  struct Case {
+    const char* preset;
+    std::uint64_t n;
+  };
+  for (const Case& c : {Case{"luby-mis-rounds", 64},
+                        Case{"ring-amos-yes", 16}}) {
+    serve::ServiceOptions options;
+    options.threads = 1;
+    serve::SweepService service(
+        fresh_dir(std::string("topup-") + c.preset), options);
+
+    const ScenarioSpec small = shrunk(c.preset, 11, c.n);
+    ScenarioSpec big = small;
+    big.trials = 29;
+
+    EXPECT_EQ(service.query(small).outcome, CacheOutcome::kMiss);
+    const serve::QueryOutcome topped = service.query(big);
+    EXPECT_EQ(topped.outcome, CacheOutcome::kTopUp);
+    EXPECT_EQ(topped.trials_reused, 11u);
+    EXPECT_EQ(topped.trials_computed, 18u);
+
+    expect_rows_bit_identical(cold_run(big), topped.result);
+
+    // And the topped-up entry serves the next query outright.
+    const serve::QueryOutcome again = service.query(big);
+    EXPECT_EQ(again.outcome, CacheOutcome::kHit);
+    expect_rows_bit_identical(topped.result, again.result);
+  }
+}
+
+TEST(SweepService, EntrySeedIsCanonical) {
+  serve::ServiceOptions options;
+  options.threads = 1;
+  serve::SweepService service(fresh_dir("seed"), options);
+  ScenarioSpec spec = shrunk("ring-amos-yes", 12, 16);
+  spec.base_seed = 101;
+  EXPECT_EQ(service.query(spec).outcome, CacheOutcome::kMiss);
+
+  ScenarioSpec other_seed = spec;
+  other_seed.base_seed = 202;
+  const serve::QueryOutcome served = service.query(other_seed);
+  EXPECT_EQ(served.outcome, CacheOutcome::kHit)
+      << "the key excludes the seed";
+  EXPECT_TRUE(served.seed_differs);
+  EXPECT_EQ(served.served_seed, 101u) << "first writer's seed wins";
+  EXPECT_EQ(served.result.base_seed, 101u);
+}
+
+TEST(SweepService, ConcurrentIdenticalQueriesShareOneComputation) {
+  serve::ServiceOptions options;
+  options.threads = 1;
+  serve::SweepService service(fresh_dir("dedup"), options);
+  const ScenarioSpec spec = shrunk("luby-mis-rounds", 14, 64);
+
+  serve::QueryOutcome a, b;
+  std::thread ta([&] { a = service.query(spec); });
+  std::thread tb([&] { b = service.query(spec); });
+  ta.join();
+  tb.join();
+
+  // The per-key lock serializes them: exactly one computes, the other
+  // finds the fresh entry and hits.
+  const serve::SweepService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.trials_computed, 14u);
+  expect_rows_bit_identical(a.result, b.result);
+}
+
+// ------------------------------------------------------ wire protocol --
+
+TEST(DaemonProtocol, AnswersAndCachesRequests) {
+  serve::ServiceOptions options;
+  options.threads = 1;
+  serve::SweepService service(fresh_dir("protocol"), options);
+
+  const std::string request =
+      "{\"scenario\": \"ring-amos-yes\", \"trials\": 8, \"n\": [16]}";
+  const std::string first = serve::handle_request_line(service, request);
+  EXPECT_NE(first.find("\"status\": \"ok\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"outcome\": \"miss\""), std::string::npos);
+  EXPECT_NE(first.find("\"seed_stream_epoch\": "), std::string::npos);
+  EXPECT_EQ(first.find('\n'), first.size() - 1)
+      << "exactly one newline-terminated line";
+
+  const std::string second = serve::handle_request_line(service, request);
+  EXPECT_NE(second.find("\"outcome\": \"hit\""), std::string::npos)
+      << second;
+  EXPECT_NE(second.find("\"trials_computed\": 0"), std::string::npos);
+}
+
+TEST(DaemonProtocol, RejectsBadRequestsWithoutDying) {
+  serve::ServiceOptions options;
+  options.threads = 1;
+  serve::SweepService service(fresh_dir("badreq"), options);
+  for (const char* bad : {
+           "not json at all",
+           "{\"scenario\": \"no-such-preset\"}",
+           "{\"scenario\": \"ring-amos-yes\", \"bogus\": 1}",
+           "{}",
+           "{\"scenario\": \"ring-amos-yes\", \"spec\": {}}",
+       }) {
+    const std::string response = serve::handle_request_line(service, bad);
+    EXPECT_NE(response.find("\"status\": \"error\""), std::string::npos)
+        << bad << " -> " << response;
+  }
+  EXPECT_EQ(service.stats().trials_computed, 0u);
+}
+
+}  // namespace

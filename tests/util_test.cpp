@@ -1,9 +1,14 @@
-// Tests for src/util: iterated logarithm, math helpers, tables, strings.
+// Tests for src/util: iterated logarithm, math helpers, tables, strings,
+// and the file I/O error paths (named-path diagnostics, atomic-write
+// pre-checks).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <limits>
 #include <sstream>
 
+#include "util/build_info.h"
+#include "util/file_util.h"
 #include "util/logstar.h"
 #include "util/math.h"
 #include "util/string_util.h"
@@ -168,6 +173,81 @@ TEST(StringUtil, StartsWith) {
   EXPECT_TRUE(starts_with("prefix-rest", "prefix"));
   EXPECT_FALSE(starts_with("pre", "prefix"));
   EXPECT_TRUE(starts_with("anything", ""));
+}
+
+// ------------------------------------------------------------ file I/O --
+
+std::string fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("lnc-util-" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(FileUtil, RoundTripsContent) {
+  const std::string path = fresh_dir("roundtrip") + "/data.txt";
+  EXPECT_EQ(write_file_atomic(path, "line one\nline two\n"), "");
+  std::string text;
+  EXPECT_EQ(read_file(path, text), "");
+  EXPECT_EQ(text, "line one\nline two\n");
+  // No tmp-file droppings next to the target.
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(path).parent_path())) {
+    EXPECT_EQ(entry.path().filename().string(), "data.txt");
+  }
+}
+
+TEST(FileUtil, ReadNamesTheMissingFile) {
+  const std::string path = fresh_dir("read-missing") + "/absent.json";
+  std::string text = "sentinel";
+  const std::string error = read_file(path, text);
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_NE(error.find("no such file"), std::string::npos) << error;
+}
+
+TEST(FileUtil, ReadRejectsADirectory) {
+  const std::string dir = fresh_dir("read-dir");
+  std::string text;
+  const std::string error = read_file(dir, text);
+  EXPECT_NE(error.find(dir), std::string::npos) << error;
+  EXPECT_NE(error.find("directory"), std::string::npos) << error;
+}
+
+TEST(FileUtil, WriteNamesTheMissingParentDirectory) {
+  const std::string parent = fresh_dir("write-parent") + "/no/such/dir";
+  const std::string error =
+      write_file_atomic(parent + "/out.json", "content");
+  EXPECT_NE(error.find(parent), std::string::npos)
+      << "the diagnostic must name the missing PARENT, not just the "
+         "target: "
+      << error;
+  EXPECT_NE(error.find("does not exist"), std::string::npos) << error;
+}
+
+TEST(FileUtil, WriteRejectsAFileUsedAsParentDirectory) {
+  const std::string dir = fresh_dir("write-notdir");
+  ASSERT_EQ(write_file_atomic(dir + "/plain.txt", "x"), "");
+  const std::string error =
+      write_file_atomic(dir + "/plain.txt/nested.json", "content");
+  EXPECT_NE(error.find("not a directory"), std::string::npos) << error;
+}
+
+TEST(FileUtil, WriteRejectsADirectoryTarget) {
+  const std::string dir = fresh_dir("write-dirtarget");
+  const std::string error = write_file_atomic(dir, "content");
+  EXPECT_NE(error.find(dir), std::string::npos) << error;
+  EXPECT_NE(error.find("directory"), std::string::npos) << error;
+  EXPECT_TRUE(std::filesystem::is_directory(dir))
+      << "a failed write must not disturb the target";
+}
+
+TEST(BuildInfo, IdentityNamesEpochAndRev) {
+  EXPECT_EQ(seed_stream_epoch(), kSeedStreamEpoch);
+  EXPECT_FALSE(build_rev().empty());
+  const std::string identity = build_identity();
+  EXPECT_NE(identity.find("seed-stream epoch "), std::string::npos);
+  EXPECT_NE(identity.find(build_rev()), std::string::npos);
 }
 
 }  // namespace

@@ -34,6 +34,15 @@
 //   --retries N          attempts per shard per run (default 3)
 //   --backoff-ms MS      first retry delay, doubling per retry (def 100)
 //   --out FILE           also write the merged result JSON
+//   --cache DIR          content-addressed result store (serve/): a
+//                        cached result at >= the requested trials is
+//                        served without launching any shard; a cached
+//                        PREFIX turns the fleet into a top-up run that
+//                        computes only the missing trial range and merges
+//                        bit-identically; misses run the classic fleet.
+//                        Merged results are written back to the store
+//                        (also on --resume, by re-reading the frozen
+//                        spec).
 //   --inject-fail S[:T]  TEST HOOK: fail shard S's first T attempts
 //                        (default 1) before reaching the transport — CI
 //                        exercises the retry path with this.
@@ -59,6 +68,9 @@
 #include "scenario/scenario.h"
 #include "scenario/spec_json.h"
 #include "scenario/sweep.h"
+#include "serve/cache_key.h"
+#include "serve/result_store.h"
+#include "util/build_info.h"
 #include "util/file_util.h"
 #include "util/string_util.h"
 
@@ -75,6 +87,9 @@ int usage(std::ostream& os, int code) {
         "         --remote-sweep CMD | --sweep-bin PATH\n"
         "         --sweep-threads N | --jobs J | --timeout SEC\n"
         "         --retries N | --backoff-ms MS | --out FILE\n"
+        "         --cache DIR   (result store: hit skips the fleet,\n"
+        "                        a cached prefix tops up only the missing\n"
+        "                        trials; merged results are written back)\n"
         "         --inject-fail SHARD[:TIMES]   (test hook)\n"
         "overrides (new runs): --param k=v | --n A,B,C | --trials N\n"
         "         --seed S | --workload success|value|counter\n"
@@ -82,7 +97,8 @@ int usage(std::ostream& os, int code) {
         "         --mode balls|messages|two-phase\n"
         "         --backend auto|naive|batched|vectorized\n"
         "The merged result is bit-identical to the unsharded lnc_sweep\n"
-        "run; failed shards never reach the merge.\n";
+        "run; failed shards never reach the merge.\n"
+        "build identity: " << util::build_identity() << "\n";
   return code;
 }
 
@@ -100,7 +116,10 @@ struct Options {
   unsigned sweep_threads = 1;
   orchestrate::SupervisorOptions supervisor;
   std::optional<std::string> out_file;
+  std::optional<std::string> cache_dir;
   std::optional<std::pair<unsigned, unsigned>> inject_fail;  // shard, times
+  bool help = false;
+  bool version = false;
 
   // Spec overrides (new runs only).
   scenario::ParamMap params;
@@ -207,6 +226,13 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
     } else if (arg == "--out") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.out_file = value;
+    } else if (arg == "--cache") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.cache_dir = value;
+    } else if (arg == "--help") {
+      options.help = true;
+    } else if (arg == "--version") {
+      options.version = true;
     } else if (arg == "--inject-fail") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       const std::string text = value;
@@ -395,6 +421,64 @@ int report_outcome(const orchestrate::RunManifest& manifest,
   return 0;
 }
 
+/// The same grep-stable decision line lnc_sweep --cache prints, so CI
+/// and humans can watch cache behaviour identically across both CLIs:
+///   cache[name]: outcome=topup trials_reused=30 trials_computed=30 ...
+void print_cache_line(const std::string& scenario, const char* outcome,
+                      std::uint64_t reused, std::uint64_t computed,
+                      const serve::CacheKey& key) {
+  std::cout << "cache[" << scenario << "]: outcome=" << outcome
+            << " trials_reused=" << reused << " trials_computed="
+            << computed << " key=" << key.substr(0, 16)
+            << " epoch=" << util::seed_stream_epoch() << "\n";
+}
+
+/// Serves a cache hit: same report shape as a merged run, but no fleet
+/// ever launches and no run directory is created.
+int report_cached(const serve::CacheEntry& entry, const Options& options) {
+  std::cout << "=== " << entry.result.scenario << " (served from cache, "
+            << entry.spec.trials << " trials, key "
+            << entry.key.substr(0, 16) << ") ===\n";
+  scenario::to_table(entry.result).print(std::cout);
+  for (const std::string& line : scenario::summary_lines(entry.result)) {
+    std::cout << line << "\n";
+  }
+  if (options.out_file) {
+    const std::string write_error =
+        scenario::write_json_file(*options.out_file, entry.result);
+    if (!write_error.empty()) {
+      std::cerr << write_error << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Stores a freshly merged result under its spec's key — unless the
+/// store already covers at least as many trials (a concurrent writer or
+/// the resume of a superseded run); fewer-trial entries are replaced.
+/// Write-back failure is a warning, never a run failure: the result
+/// itself is already merged and reported.
+void write_back(const serve::ResultStore& store,
+                const scenario::ScenarioSpec& spec,
+                const scenario::SweepResult& merged) {
+  const serve::CacheKey key = serve::cache_key(spec);
+  const std::optional<serve::CacheEntry> existing = store.lookup(key);
+  if (existing && existing->spec.trials >= spec.trials) return;
+  serve::CacheEntry entry;
+  entry.key = key;
+  entry.spec = spec;
+  entry.result = merged;
+  const std::string error = store.store(std::move(entry));
+  if (!error.empty()) {
+    std::cerr << "warning: cache write-back failed: " << error << "\n";
+  } else {
+    std::cerr << "cache[" << merged.scenario << "]: stored "
+              << spec.trials << " trial(s) under key " << key.substr(0, 16)
+              << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -408,6 +492,11 @@ int main(int argc, char** argv) {
   } catch (const std::exception& ex) {
     std::cerr << "bad flag value: " << ex.what() << "\n";
     return usage(std::cerr, 2);
+  }
+  if (options.help) return usage(std::cout, 0);
+  if (options.version) {
+    std::cout << "lnc_launch (" << util::build_identity() << ")\n";
+    return 0;
   }
 
   const int mode_count = (options.scenario_name ? 1 : 0) +
@@ -437,6 +526,12 @@ int main(int argc, char** argv) {
   supervisor.status = &std::cerr;
 
   try {
+    std::optional<serve::ResultStore> store;
+    if (options.cache_dir) store.emplace(*options.cache_dir);
+    // The spec whose key the merged result is stored under; for resumes
+    // it is re-read from the run directory's frozen spec.json.
+    std::optional<scenario::ScenarioSpec> cache_spec;
+
     orchestrate::RunManifest manifest;
     if (options.resume_dir) {
       // The spec is frozen in the run directory; accepting overrides
@@ -458,6 +553,16 @@ int main(int argc, char** argv) {
       std::cerr << "resuming '" << manifest.scenario << "' in "
                 << manifest.run_dir << " (" << manifest.shard_count
                 << " shards)\n";
+      if (store) {
+        std::string text;
+        const std::string read_error =
+            util::read_file(manifest.spec_path(), text);
+        if (!read_error.empty()) {
+          throw std::runtime_error(
+              "--cache write-back needs the frozen spec: " + read_error);
+        }
+        cache_spec = scenario::spec_from_json(text);
+      }
     } else {
       scenario::ScenarioSpec spec;
       if (options.scenario_name) {
@@ -503,13 +608,74 @@ int main(int argc, char** argv) {
         orchestrate::render_template(*options.ssh_template,
                                      options.remote_sweep, probe);
       }
-      manifest = orchestrate::plan_run(spec, run_dir, options.shards);
-      std::cerr << "planned " << options.shards << " shard(s) of '"
-                << spec.name << "' in " << run_dir << "\n";
+      std::optional<serve::CacheEntry> entry;
+      serve::CacheKey key;
+      if (store) {
+        key = serve::cache_key(spec);
+        std::string diagnostic;
+        entry = store->lookup(key, &diagnostic);
+        if (!entry && diagnostic != "no entry") {
+          std::cerr << "note: cache: " << diagnostic << "\n";
+        }
+      }
+      if (entry && entry->spec.trials >= spec.trials) {
+        // Hit: the store already covers the request — serve it, no fleet.
+        print_cache_line(spec.name, "hit", entry->spec.trials, 0, key);
+        if (entry->spec.trials > spec.trials) {
+          std::cerr << "note: serving the cached " << entry->spec.trials
+                    << "-trial result, a superset of the requested "
+                    << spec.trials << " (aggregates cannot be narrowed)\n";
+        }
+        if (entry->spec.base_seed != spec.base_seed) {
+          std::cerr << "note: served under the entry's canonical seed "
+                    << entry->spec.base_seed << ", not the requested "
+                    << spec.base_seed << " (the key excludes the seed; "
+                    << "the first writer's seed is canonical)\n";
+        }
+        return report_cached(*entry, options);
+      }
+      if (entry) {
+        // Top-up: the fleet computes only [cached, requested) of the
+        // entry's spec (its seed is canonical) and the merge folds the
+        // cached prefix in front — bit-identical to a cold fleet run.
+        scenario::ScenarioSpec run_spec = entry->spec;
+        run_spec.trials = spec.trials;
+        if (entry->spec.base_seed != spec.base_seed) {
+          std::cerr << "note: topping up under the entry's canonical seed "
+                    << entry->spec.base_seed << ", not the requested "
+                    << spec.base_seed << "\n";
+        }
+        unsigned shards = options.shards;
+        const std::uint64_t width = spec.trials - entry->spec.trials;
+        if (shards > width) {
+          shards = static_cast<unsigned>(width);
+          std::cerr << "note: only " << width << " trial(s) to top up — "
+                    << "using " << shards << " shard(s) instead of "
+                    << options.shards << "\n";
+        }
+        print_cache_line(spec.name, "topup", entry->spec.trials, width,
+                         key);
+        manifest = orchestrate::plan_topup_run(run_spec, run_dir, shards,
+                                               entry->result);
+        cache_spec = run_spec;
+        std::cerr << "planned " << shards << " top-up shard(s) of '"
+                  << spec.name << "' (trials [" << manifest.trial_begin
+                  << ", " << manifest.trial_end << ")) in " << run_dir
+                  << "\n";
+      } else {
+        if (store) print_cache_line(spec.name, "miss", 0, spec.trials, key);
+        manifest = orchestrate::plan_run(spec, run_dir, options.shards);
+        if (store) cache_spec = spec;
+        std::cerr << "planned " << options.shards << " shard(s) of '"
+                  << spec.name << "' in " << run_dir << "\n";
+      }
     }
 
     const orchestrate::LaunchOutcome outcome = orchestrate::execute_run(
         manifest, *effective, supervisor, options.sweep_threads);
+    if (outcome.ok && store && cache_spec) {
+      write_back(*store, *cache_spec, outcome.merged);
+    }
     return report_outcome(manifest, outcome, options);
   } catch (const std::exception& ex) {
     std::cerr << ex.what() << "\n";

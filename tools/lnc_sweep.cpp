@@ -42,7 +42,9 @@
 #include "scenario/scenario.h"
 #include "scenario/spec_json.h"
 #include "scenario/sweep.h"
+#include "serve/service.h"
 #include "stats/threadpool.h"
+#include "util/build_info.h"
 #include "util/string_util.h"
 
 namespace {
@@ -62,6 +64,7 @@ int usage(std::ostream& os, int code) {
         "           --success accept|reject | --mode balls|messages|two-phase\n"
         "           --backend auto|naive|batched|vectorized\n"
         "           --shard i/k | --threads N | --out FILE | --telemetry\n"
+        "           --trial-range B:E | --cache DIR | --help | --version\n"
         "value/counter workloads measure a registered statistic of the\n"
         "construction's output (mean/stddev via exact sums, or exact\n"
         "integer totals) instead of a success probability; sharded value\n"
@@ -71,7 +74,13 @@ int usage(std::ostream& os, int code) {
         "timing line (wall time, arena peak; machine-dependent).\n"
         "--backend picks how trials execute (auto tunes per grid point;\n"
         "all backends produce bit-identical tallies, so forcing one is a\n"
-        "performance choice, never a results choice).\n";
+        "performance choice, never a results choice).\n"
+        "--cache DIR reads/writes the content-addressed result store\n"
+        "(src/serve): a repeated query is answered from cache, a raised\n"
+        "--trials runs only the missing trial range and merges exactly.\n"
+        "--trial-range B:E runs only trials [B, E) — the slice form of\n"
+        "--shard, used by cache top-ups and range-partitioned fleets.\n"
+        "build identity: " << lnc::util::build_identity() << "\n";
   return code;
 }
 
@@ -129,6 +138,8 @@ void list_catalogue() {
 struct Options {
   bool list = false;
   bool all = false;
+  bool help = false;
+  bool version = false;
   std::optional<std::string> scenario_name;
   std::optional<std::string> spec_file;
   std::vector<std::string> merge_files;
@@ -152,6 +163,8 @@ struct Options {
 
   unsigned shard = 0;
   unsigned shard_count = 1;
+  std::optional<local::TrialRange> trial_range;
+  std::optional<std::string> cache_dir;
   unsigned threads = 1;
   bool telemetry = false;
   std::optional<std::string> out_file;
@@ -322,6 +335,32 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
                 std::to_string(options.shard_count - 1) + ")";
         return false;
       }
+    } else if (arg == "--trial-range") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string text = value;
+      const std::size_t colon = text.find(':');
+      if (colon == std::string::npos) {
+        error = "--trial-range expects B:E, got '" + text + "'";
+        return false;
+      }
+      const std::optional<std::uint64_t> begin =
+          util::parse_uint(text.substr(0, colon));
+      const std::optional<std::uint64_t> end =
+          util::parse_uint(text.substr(colon + 1));
+      if (!begin || !end) {
+        error = "--trial-range expects non-negative integers B:E, got '" +
+                text + "'";
+        return false;
+      }
+      if (*begin >= *end) {
+        error = "--trial-range " + text +
+                " is empty: B must be strictly below E";
+        return false;
+      }
+      options.trial_range = local::TrialRange{*begin, *end};
+    } else if (arg == "--cache") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.cache_dir = value;
     } else if (arg == "--threads") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       const std::optional<std::uint64_t> threads = util::parse_uint(value);
@@ -336,10 +375,26 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
     } else if (arg == "--out") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.out_file = value;
+    } else if (arg == "--help") {
+      options.help = true;
+    } else if (arg == "--version") {
+      options.version = true;
     } else {
       error = "unknown flag '" + arg + "'";
       return false;
     }
+  }
+  if (options.trial_range && options.shard_count > 1) {
+    error = "--trial-range and --shard are mutually exclusive (a range IS "
+            "an explicit shard)";
+    return false;
+  }
+  if (options.cache_dir &&
+      (options.shard_count > 1 || options.trial_range ||
+       !options.merge_files.empty())) {
+    error = "--cache serves complete results only — it cannot be combined "
+            "with --shard, --trial-range, or --merge";
+    return false;
   }
   return true;
 }
@@ -402,19 +457,49 @@ void print_telemetry_summary(std::ostream& os,
 
 int run_one(const scenario::ScenarioSpec& spec, const Options& options,
             bool multiple_specs, const stats::ThreadPool* pool,
-            std::ostream& os) {
+            serve::SweepService* service, std::ostream& os) {
   const std::string error = scenario::validate(spec);
   if (!error.empty()) {
     std::cerr << "invalid scenario '" << spec.name << "': " << error << "\n";
     return 1;
   }
-  const scenario::CompiledScenario compiled = scenario::compile(spec);
-  scenario::SweepOptions sweep_options;
-  sweep_options.shard = options.shard;
-  sweep_options.shard_count = options.shard_count;
-  sweep_options.pool = pool;
-  const scenario::SweepResult result =
-      scenario::run_sweep(compiled, sweep_options);
+  if (options.trial_range && options.trial_range->end > spec.trials) {
+    std::cerr << "--trial-range [" << options.trial_range->begin << ", "
+              << options.trial_range->end << ") exceeds the spec's "
+              << spec.trials << " trials\n";
+    return 1;
+  }
+  scenario::SweepResult result;
+  if (service != nullptr) {
+    // Read-through/write-back against the content-addressed store: a
+    // repeated run is a hit, a raised --trials computes only the delta.
+    serve::QueryOutcome outcome;
+    try {
+      outcome = service->query(spec);
+    } catch (const std::exception& ex) {
+      std::cerr << ex.what() << "\n";
+      return 1;
+    }
+    for (const std::string& note : outcome.notes) {
+      std::cerr << "note: " << note << "\n";
+    }
+    // Grep-stable (CI's cache gate keys off this line).
+    os << "cache[" << spec.name << "]: outcome="
+       << serve::to_string(outcome.outcome)
+       << " trials_reused=" << outcome.trials_reused
+       << " trials_computed=" << outcome.trials_computed << " key="
+       << outcome.key.substr(0, 16) << " epoch=" << util::seed_stream_epoch()
+       << "\n";
+    result = std::move(outcome.result);
+  } else {
+    const scenario::CompiledScenario compiled = scenario::compile(spec);
+    scenario::SweepOptions sweep_options;
+    sweep_options.shard = options.shard;
+    sweep_options.shard_count = options.shard_count;
+    sweep_options.trial_range = options.trial_range;
+    sweep_options.pool = pool;
+    result = scenario::run_sweep(compiled, sweep_options);
+  }
 
   os << "=== " << spec.name << " — " << spec.topology << " / "
      << spec.language << " / " << spec.construction << " / " << spec.decider;
@@ -427,6 +512,10 @@ int run_one(const scenario::ScenarioSpec& spec, const Options& options,
   os << ", seed = " << spec.base_seed;
   if (options.shard_count > 1) {
     os << ", shard " << options.shard << "/" << options.shard_count;
+  }
+  if (options.trial_range) {
+    os << ", trials [" << options.trial_range->begin << ", "
+       << options.trial_range->end << ")";
   }
   os << ") ===\n";
   if (!spec.doc.empty()) os << spec.doc << "\n";
@@ -493,6 +582,11 @@ int main(int argc, char** argv) {
     std::cerr << "bad flag value: " << ex.what() << "\n";
     return usage(std::cerr, 2);
   }
+  if (options.help) return usage(std::cout, 0);
+  if (options.version) {
+    std::cout << "lnc_sweep (" << lnc::util::build_identity() << ")\n";
+    return 0;
+  }
   if (options.list) {
     list_catalogue();
     return 0;
@@ -541,11 +635,22 @@ int main(int argc, char** argv) {
   std::optional<stats::ThreadPool> pool;
   if (options.threads != 1) pool.emplace(options.threads);
 
+  std::optional<serve::SweepService> service;
+  if (options.cache_dir) {
+    try {
+      service.emplace(*options.cache_dir,
+                      serve::ServiceOptions{options.threads});
+    } catch (const std::exception& ex) {
+      std::cerr << ex.what() << "\n";
+      return 1;
+    }
+  }
+
   int rc = 0;
   for (scenario::ScenarioSpec& spec : specs) {
     apply_overrides(options, spec);
     rc |= run_one(spec, options, specs.size() > 1, pool ? &*pool : nullptr,
-                  std::cout);
+                  service ? &*service : nullptr, std::cout);
   }
   return rc;
 }
