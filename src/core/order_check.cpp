@@ -1,5 +1,8 @@
 #include "core/order_check.h"
 
+#include <map>
+#include <mutex>
+
 #include "ident/order.h"
 #include "local/batch_runner.h"
 #include "util/assert.h"
@@ -15,6 +18,12 @@ OrderInvarianceReport check_order_invariance(
 
   const local::Labeling reference = local::run_ball_algorithm(inst, algo);
 
+  // Only the identity assignment varies per trial; the graph and inputs
+  // are trial-invariant, so each worker clones them ONCE into its own
+  // shadow instance (keyed by the trial's arena) instead of copying the
+  // CSR graph every trial.
+  std::mutex shadows_mutex;
+  std::map<local::WorkerArena*, local::Instance> shadows;
   local::BatchRunner runner;
   const auto counts = runner.run_counts(local::custom_count_plan(
       "order-invariance/" + algo.name(), options.trials, options.base_seed,
@@ -25,12 +34,19 @@ OrderInvarianceReport check_order_invariance(
         const std::vector<ident::Identity> remapped =
             ident::order_preserving_remap(inst.ids.raw(), options.id_ceiling,
                                           env.seed);
-        local::Instance shadow;
-        shadow.g = inst.g;
-        shadow.input = inst.input;
-        shadow.ids = ident::IdAssignment(remapped);
+        local::Instance* shadow;
+        {
+          const std::lock_guard<std::mutex> lock(shadows_mutex);
+          const auto [it, inserted] = shadows.try_emplace(env.arena);
+          shadow = &it->second;
+          if (inserted) {
+            shadow->g = inst.g;
+            shadow->input = inst.input;
+          }
+        }
+        shadow->ids = ident::IdAssignment(remapped);
         local::Labeling& outputs = env.arena->labeling();
-        local::run_ball_algorithm_into(shadow, algo, outputs);
+        local::run_ball_algorithm_into(*shadow, algo, outputs);
         if (outputs != reference) ++slots[0];
       }));
   report.violations = counts[0];

@@ -20,12 +20,20 @@
 namespace lnc::decide {
 
 /// A decider's view: a construction View plus the output labeling.
+///
+/// The outputs arrive in one of two forms: a full labeling indexed by
+/// ORIGINAL node index (the materialized path), or a ball-local span
+/// `ball_output` covering exactly the ball's members (the streaming
+/// implicit path, which never holds an O(n) labeling). Deciders read
+/// through output_of and never notice the difference.
 struct DeciderView {
   local::View view;
-  std::span<const local::Label> output;  // indexed by ORIGINAL node index
+  std::span<const local::Label> output;       // by ORIGINAL node index
+  std::span<const local::Label> ball_output;  // by ball-LOCAL index
 
   local::Label output_of(graph::NodeId local) const noexcept {
-    return output[view.ball->to_original(local)];
+    return output.empty() ? ball_output[local]
+                          : output[view.ball->to_original(local)];
   }
 };
 

@@ -37,8 +37,8 @@ DecisionOutcome evaluate_impl(const local::Instance& inst,
   std::atomic<std::uint64_t> expansions{0};
   auto body = [&](local::BallWorkspace& workspace, std::uint64_t v) {
     if (counted[v] == 0) return;
-    workspace.ball.collect(inst.g, static_cast<graph::NodeId>(v), radius,
-                           workspace.scratch);
+    workspace.ball.collect(inst.topology(), static_cast<graph::NodeId>(v),
+                           radius, workspace.scratch);
     const graph::BallView& ball = workspace.ball;
     local::View view;
     view.ball = &ball;

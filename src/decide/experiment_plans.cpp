@@ -1,8 +1,11 @@
 #include "decide/experiment_plans.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <utility>
+
+#include "util/assert.h"
 
 namespace lnc::decide {
 
@@ -38,6 +41,72 @@ local::ExperimentPlan construct_then_decide_plan(
   plan.name = std::move(name);
   plan.trials = trials;
   plan.base_seed = base_seed;
+  if (inst.is_implicit()) {
+    // Streaming construct-then-decide: an implicit instance has no O(n)
+    // labeling to fill, so each node's verdict recomputes the outputs of
+    // its decision ball's members from their own construction balls.
+    // Outputs are pure functions of (ball, identities, construction
+    // coins), and the conjunction over nodes is taken WITHOUT early exit,
+    // so the trial result and the telemetry charges (each node charges
+    // its construction ball once and its decision ball once;
+    // recomputation is not communication) are bit-identical to the
+    // materialized path's.
+    LNC_EXPECTS(mode == local::ExecMode::kBalls);
+    LNC_EXPECTS(!options.far_from.has_value());
+    plan.success_trial = [&inst, &algo, &decider, options,
+                          success_on_accept](const local::TrialEnv& env) {
+      const rand::PhiloxCoins c_coins = env.construction_coins();
+      const rand::PhiloxCoins d_coins = env.decision_coins();
+      local::WorkerArena& arena = *env.arena;
+      local::BallWorkspace& dec_ws = arena.ball_workspace();
+      local::BallWorkspace& member_ws = arena.member_ball_workspace();
+      local::Labeling& member_outputs = arena.ball_outputs();
+      const graph::Topology& topology = inst.topology();
+      const graph::NodeId n = inst.node_count();
+      const int t_cons = algo.radius();
+      const int t_dec = decider.radius();
+      std::uint64_t announcements = 0;
+      std::uint64_t encoded_words = 0;
+      bool accepted = true;
+      for (graph::NodeId v = 0; v < n; ++v) {
+        dec_ws.ball.collect(topology, v, t_dec, dec_ws.scratch);
+        const graph::BallView& dec_ball = dec_ws.ball;
+        announcements += dec_ball.size();
+        encoded_words += dec_ball.encoded_words();
+        member_outputs.assign(dec_ball.size(), 0);
+        for (graph::NodeId m = 0; m < dec_ball.size(); ++m) {
+          member_ws.ball.collect(topology, dec_ball.to_original(m), t_cons,
+                                 member_ws.scratch);
+          local::View member_view;
+          member_view.ball = &member_ws.ball;
+          member_view.instance = &inst;
+          if (options.grant_n) member_view.n_nodes = n;
+          member_outputs[m] = algo.compute(member_view, c_coins);
+          if (m == 0) {
+            // The center's construction ball IS node v's construction-
+            // phase visit; charge it exactly once.
+            announcements += member_ws.ball.size();
+            encoded_words += member_ws.ball.encoded_words();
+          }
+        }
+        local::View view;
+        view.ball = &dec_ball;
+        view.instance = &inst;
+        if (options.grant_n) view.n_nodes = n;
+        const DeciderView dv{view, {}, member_outputs};
+        if (!decider.accept(dv, d_coins)) accepted = false;
+      }
+      local::Telemetry& telemetry = arena.telemetry();
+      telemetry.messages_sent += announcements;
+      telemetry.words_sent += encoded_words;
+      telemetry.rounds_executed +=
+          static_cast<std::uint64_t>(std::max(t_cons, 1)) +
+          static_cast<std::uint64_t>(std::max(t_dec, 1));
+      telemetry.ball_expansions += 2 * static_cast<std::uint64_t>(n);
+      return accepted == success_on_accept;
+    };
+    return plan;
+  }
   plan.success_trial = [&inst, &algo, &decider, options, success_on_accept,
                         mode](const local::TrialEnv& env) {
     const rand::PhiloxCoins c_coins = env.construction_coins();

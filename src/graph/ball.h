@@ -26,6 +26,11 @@ namespace lnc::graph {
 /// Monte-Carlo paths keep one scratch per worker (local/batch_runner.h)
 /// and stop allocating per node per trial. Not thread-safe: one scratch
 /// per concurrent collector.
+///
+/// The generic Topology path (implicit topologies) must NOT touch the
+/// O(n) stamp arrays — ball-bounded memory at n = 10^8+ is the point —
+/// so it keeps its own ball-sized open-addressing visited map and a
+/// per-collect memo of the members' host neighbor lists instead.
 class BallScratch {
  private:
   friend class BallView;
@@ -33,6 +38,12 @@ class BallScratch {
   std::vector<std::uint64_t> stamp_; // node -> version of last visit
   std::vector<std::size_t> cursor_;  // per-local CSR fill cursor
   std::uint64_t version_ = 0;
+  // Generic-path state (sized by the ball, never by n).
+  std::vector<NodeId> map_keys_;     // open addressing: original index
+  std::vector<NodeId> map_vals_;     //   -> local index
+  std::vector<std::size_t> host_offsets_;  // per-member memo rows
+  std::vector<NodeId> host_adj_;
+  std::vector<NodeId> fetch_;        // neighbors_of synthesis buffer
 };
 
 class BallView {
@@ -43,11 +54,22 @@ class BallView {
   /// Collects B_G(center, radius). O(|ball| + edges inside).
   BallView(const Graph& g, NodeId center, int radius);
 
+  /// Same, from any topology (dispatches like collect below).
+  BallView(const Topology& topology, NodeId center, int radius);
+
   /// Re-collects B_G(center, radius) into this view, reusing this view's
   /// vector capacity and the scratch's visited map. Bit-identical to a
   /// freshly constructed BallView (tests/graph_test.cpp asserts this);
   /// only the allocations differ.
   void collect(const Graph& g, NodeId center, int radius,
+               BallScratch& scratch);
+
+  /// Collects the ball from any Topology. A materialized Graph takes the
+  /// CSR fast path above; anything else expands through neighbors_of with
+  /// ball-bounded scratch (no O(n) visited arrays), producing a view
+  /// bit-identical to collecting from the materialized graph of the same
+  /// topology (tests/topology_test.cpp).
+  void collect(const Topology& topology, NodeId center, int radius,
                BallScratch& scratch);
 
   /// Number of nodes in the ball.
@@ -109,6 +131,9 @@ class BallView {
   std::uint64_t structure_signature() const;
 
  private:
+  void collect_generic(const Topology& topology, NodeId center, int radius,
+                       BallScratch& scratch);
+
   int radius_ = 0;
   std::vector<NodeId> members_;     // local -> original
   std::vector<int> distances_;      // local -> distance from center

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "graph/implicit.h"
+
 #include "rand/splitmix.h"
 #include "util/assert.h"
 
@@ -178,6 +180,14 @@ Graph gnp_bounded(NodeId n, double p, NodeId max_deg, std::uint64_t seed) {
     }
   }
   return b.build();
+}
+
+Graph random_regular_cycles(NodeId n, NodeId degree, std::uint64_t seed) {
+  return materialize(*implicit_random_regular_cycles(n, degree, seed));
+}
+
+Graph gnp_hash(NodeId n, double p, NodeId max_deg, std::uint64_t seed) {
+  return materialize(*implicit_gnp_hash(n, p, max_deg, seed));
 }
 
 Graph random_tree(NodeId n, std::uint64_t seed) {

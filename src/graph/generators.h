@@ -55,6 +55,20 @@ Graph random_regular(NodeId n, NodeId degree, std::uint64_t seed);
 /// distribution; experiments only need "some bounded-degree random graph").
 Graph gnp_bounded(NodeId n, double p, NodeId max_deg, std::uint64_t seed);
 
+/// The locally-sampleable random (<= degree)-regular graph: materializes
+/// graph::implicit_random_regular_cycles (implicit.h) by querying its
+/// neighbor sampler, so the implicit and materialized representations of
+/// the same (n, degree, seed) are the same graph by construction. The
+/// scenario registry's "random-regular" family builds through this;
+/// random_regular above remains for callers wanting the pairing model.
+Graph random_regular_cycles(NodeId n, NodeId degree, std::uint64_t seed);
+
+/// The locally-sampleable degree-capped G(n, p): materializes
+/// graph::implicit_gnp_hash (implicit.h). The scenario registry's "gnp"
+/// family builds through this; gnp_bounded above remains for callers
+/// wanting the sequential-stream model.
+Graph gnp_hash(NodeId n, double p, NodeId max_deg, std::uint64_t seed);
+
 /// Random spanning tree on n nodes (random Prufer sequence). Degree bound
 /// is not enforced; for bounded-degree trees use random_tree_bounded.
 Graph random_tree(NodeId n, std::uint64_t seed);

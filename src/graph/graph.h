@@ -13,14 +13,9 @@
 #include <span>
 #include <vector>
 
+#include "graph/topology.h"
+
 namespace lnc::graph {
-
-/// Dense node index in [0, node_count). Distinct from ident::Identity:
-/// indices are an implementation artifact, identities are the model's
-/// (adversarial) names.
-using NodeId = std::uint32_t;
-
-inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
 /// An undirected edge as an unordered pair (stored with u < v).
 struct Edge {
@@ -30,13 +25,13 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
-class Graph {
+class Graph : public Topology {
  public:
   class Builder;
 
   Graph() = default;
 
-  NodeId node_count() const noexcept {
+  NodeId node_count() const noexcept override {
     return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
   }
 
@@ -47,6 +42,13 @@ class Graph {
   std::span<const NodeId> neighbors(NodeId v) const noexcept {
     return {adjacency_.data() + offsets_[v],
             adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Topology interface: the CSR row directly; `scratch` is untouched.
+  std::span<const NodeId> neighbors_of(
+      NodeId v, std::vector<NodeId>& scratch) const override {
+    (void)scratch;
+    return neighbors(v);
   }
 
   NodeId degree(NodeId v) const noexcept {

@@ -1,0 +1,92 @@
+// Implicit topologies: neighborhoods synthesized on demand from
+// (family, params, seed) — no CSR, no O(n + m) memory (ROADMAP "Implicit
+// giga-scale topologies").
+//
+// Each family here is bit-identical to a materialized generator: the
+// analytic families (cycle, path, grid, torus, hypercube, binary tree)
+// reproduce generators.h edge for edge, and the randomized families
+// (random_regular_cycles, gnp_hash) are DEFINED by their local sampler —
+// the matching materialized generators in generators.h build the graph by
+// querying the sampler, so at any n where both paths fit in RAM, balls
+// collected through either are equal (tests/topology_test.cpp).
+//
+// Randomized families use seed-keyed invertible permutations / per-edge
+// hashes rather than sequential RNG streams, because a node must be able
+// to enumerate its neighbors without replaying a global generation order:
+//  - random_regular_cycles: the union of floor(d/2) permutation 2-factors
+//    (edges {v, pi_j(v)}, needing pi_j and pi_j^-1 locally — hence a
+//    Feistel permutation, invertible both ways), plus a perfect matching
+//    sigma(sigma^-1(v) XOR 1) when d is odd. Degrees are <= d and equal
+//    to d except where cycles collide (the permutation model of random
+//    regular graphs).
+//  - gnp_hash: candidate edge {u,v} present iff a symmetric per-pair hash
+//    clears the p-threshold AND the candidate ranks below the degree cap
+//    on BOTH endpoints (candidates ranked by ascending neighbor index).
+//    A neighbor query scans all n candidate endpoints, so this family is
+//    validation-scale: O(n * degree) per query, not ball-bounded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.h"
+#include "graph/topology.h"
+
+namespace lnc::graph {
+
+/// A topology whose neighborhoods are computed, not stored. Adds the
+/// degree metadata the scenario compiler needs for tuning (a CSR scan is
+/// exactly what implicit execution exists to avoid).
+class ImplicitTopology : public Topology {
+ public:
+  /// Hard upper bound on any node's degree.
+  virtual NodeId degree_bound() const noexcept = 0;
+
+  /// Analytic expected/typical degree — a tuning hint for
+  /// local::OptimizationConfig, never a correctness input.
+  virtual double mean_degree() const noexcept = 0;
+};
+
+/// Cycle on n >= 3 nodes (edges {i, i+1 mod n}) — generators.h cycle().
+std::shared_ptr<const ImplicitTopology> implicit_cycle(NodeId n);
+
+/// Path on n >= 1 nodes — generators.h path().
+std::shared_ptr<const ImplicitTopology> implicit_path(NodeId n);
+
+/// width x height grid, node (r, c) at index r*width + c — grid().
+std::shared_ptr<const ImplicitTopology> implicit_grid(NodeId width,
+                                                      NodeId height);
+
+/// width x height torus (both >= 3), wraparound rows and columns —
+/// torus().
+std::shared_ptr<const ImplicitTopology> implicit_torus(NodeId width,
+                                                       NodeId height);
+
+/// dimensions-cube on 2^dimensions nodes, neighbors v XOR 2^k —
+/// hypercube().
+std::shared_ptr<const ImplicitTopology> implicit_hypercube(int dimensions);
+
+/// Complete binary tree on n >= 1 nodes, node v > 0 linked to (v-1)/2 —
+/// binary_tree().
+std::shared_ptr<const ImplicitTopology> implicit_binary_tree(NodeId n);
+
+/// The permutation model of a random (<= degree)-regular graph on n
+/// nodes; degree < n, and n must be even when degree is odd (the perfect
+/// matching pairs nodes up). Same (n, degree, seed) always yields the
+/// same graph; random_regular_cycles() materializes it.
+std::shared_ptr<const ImplicitTopology> implicit_random_regular_cycles(
+    NodeId n, NodeId degree, std::uint64_t seed);
+
+/// Degree-capped G(n, p) via symmetric per-edge hashing; p in [0, 1].
+/// Same (n, p, max_degree, seed) always yields the same graph;
+/// gnp_hash() materializes it. Validation-scale only (see file comment).
+std::shared_ptr<const ImplicitTopology> implicit_gnp_hash(
+    NodeId n, double edge_prob, NodeId max_degree, std::uint64_t seed);
+
+/// Materializes any topology into CSR by querying neighbors_of for every
+/// node — the reference the implicit path is bit-compared against, and
+/// the build path for the locally-sampled families' materialized
+/// generators (so the two representations cannot drift apart).
+Graph materialize(const Topology& topology);
+
+}  // namespace lnc::graph

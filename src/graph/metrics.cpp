@@ -7,16 +7,17 @@
 
 namespace lnc::graph {
 
-std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+std::vector<int> bfs_distances(const Topology& g, NodeId src) {
   LNC_EXPECTS(src < g.node_count());
   std::vector<int> dist(g.node_count(), -1);
   std::queue<NodeId> queue;
+  std::vector<NodeId> scratch;
   dist[src] = 0;
   queue.push(src);
   while (!queue.empty()) {
     const NodeId u = queue.front();
     queue.pop();
-    for (NodeId w : g.neighbors(u)) {
+    for (NodeId w : g.neighbors_of(u, scratch)) {
       if (dist[w] < 0) {
         dist[w] = dist[u] + 1;
         queue.push(w);
@@ -26,11 +27,11 @@ std::vector<int> bfs_distances(const Graph& g, NodeId src) {
   return dist;
 }
 
-int distance(const Graph& g, NodeId a, NodeId b) {
+int distance(const Topology& g, NodeId a, NodeId b) {
   return bfs_distances(g, a)[b];
 }
 
-int eccentricity(const Graph& g, NodeId src) {
+int eccentricity(const Topology& g, NodeId src) {
   const std::vector<int> dist = bfs_distances(g, src);
   int ecc = 0;
   for (int d : dist) {
@@ -40,7 +41,7 @@ int eccentricity(const Graph& g, NodeId src) {
   return ecc;
 }
 
-int diameter(const Graph& g) {
+int diameter(const Topology& g) {
   if (g.node_count() == 0) return -1;
   int best = 0;
   for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -51,17 +52,18 @@ int diameter(const Graph& g) {
   return best;
 }
 
-bool is_connected(const Graph& g) {
+bool is_connected(const Topology& g) {
   if (g.node_count() == 0) return true;
   const std::vector<int> dist = bfs_distances(g, 0);
   return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
 }
 
-std::vector<std::size_t> components(const Graph& g) {
+std::vector<std::size_t> components(const Topology& g) {
   std::vector<std::size_t> comp(g.node_count(),
                                 static_cast<std::size_t>(-1));
   std::size_t next = 0;
   std::queue<NodeId> queue;
+  std::vector<NodeId> scratch;
   for (NodeId start = 0; start < g.node_count(); ++start) {
     if (comp[start] != static_cast<std::size_t>(-1)) continue;
     comp[start] = next;
@@ -69,7 +71,7 @@ std::vector<std::size_t> components(const Graph& g) {
     while (!queue.empty()) {
       const NodeId u = queue.front();
       queue.pop();
-      for (NodeId w : g.neighbors(u)) {
+      for (NodeId w : g.neighbors_of(u, scratch)) {
         if (comp[w] == static_cast<std::size_t>(-1)) {
           comp[w] = next;
           queue.push(w);
@@ -81,13 +83,13 @@ std::vector<std::size_t> components(const Graph& g) {
   return comp;
 }
 
-std::size_t component_count(const Graph& g) {
+std::size_t component_count(const Topology& g) {
   if (g.node_count() == 0) return 0;
   const auto comp = components(g);
   return 1 + *std::max_element(comp.begin(), comp.end());
 }
 
-std::vector<NodeId> articulation_points(const Graph& g) {
+std::vector<NodeId> articulation_points(const Topology& g) {
   const NodeId n = g.node_count();
   std::vector<int> disc(n, -1);
   std::vector<int> low(n, 0);
@@ -102,6 +104,7 @@ std::vector<NodeId> articulation_points(const Graph& g) {
     NodeId children;
   };
   std::vector<Frame> stack;
+  std::vector<NodeId> scratch;
   for (NodeId root = 0; root < n; ++root) {
     if (disc[root] != -1) continue;
     stack.push_back({root, 0, 0});
@@ -109,7 +112,9 @@ std::vector<NodeId> articulation_points(const Graph& g) {
     while (!stack.empty()) {
       Frame& frame = stack.back();
       const NodeId v = frame.v;
-      const auto nbrs = g.neighbors(v);
+      // Re-fetched every iteration: a scratch-backed span is invalidated
+      // by the child fetches between iterations.
+      const auto nbrs = g.neighbors_of(v, scratch);
       if (frame.next_edge < nbrs.size()) {
         const NodeId w = nbrs[frame.next_edge++];
         if (disc[w] == -1) {
@@ -131,7 +136,7 @@ std::vector<NodeId> articulation_points(const Graph& g) {
     }
     // Root rule: the root is a cut vertex iff it has >= 2 DFS children.
     NodeId root_children = 0;
-    for (NodeId w : g.neighbors(root)) {
+    for (NodeId w : g.neighbors_of(root, scratch)) {
       if (parent[w] == root) ++root_children;
     }
     is_cut[root] = root_children >= 2;
@@ -144,14 +149,15 @@ std::vector<NodeId> articulation_points(const Graph& g) {
   return cuts;
 }
 
-bool is_biconnected(const Graph& g) {
+bool is_biconnected(const Topology& g) {
   return g.node_count() >= 3 && is_connected(g) &&
          articulation_points(g).empty();
 }
 
-bool is_bipartite(const Graph& g) {
+bool is_bipartite(const Topology& g) {
   std::vector<int> side(g.node_count(), -1);
   std::queue<NodeId> queue;
+  std::vector<NodeId> scratch;
   for (NodeId start = 0; start < g.node_count(); ++start) {
     if (side[start] != -1) continue;
     side[start] = 0;
@@ -159,7 +165,7 @@ bool is_bipartite(const Graph& g) {
     while (!queue.empty()) {
       const NodeId u = queue.front();
       queue.pop();
-      for (NodeId w : g.neighbors(u)) {
+      for (NodeId w : g.neighbors_of(u, scratch)) {
         if (side[w] == -1) {
           side[w] = 1 - side[u];
           queue.push(w);
@@ -172,12 +178,13 @@ bool is_bipartite(const Graph& g) {
   return true;
 }
 
-int girth(const Graph& g) {
+int girth(const Topology& g) {
   // For each node, BFS until a cross/back edge closes a cycle through it.
   int best = -1;
   const NodeId n = g.node_count();
   std::vector<int> dist(n);
   std::vector<NodeId> parent(n);
+  std::vector<NodeId> scratch;
   for (NodeId src = 0; src < n; ++src) {
     std::fill(dist.begin(), dist.end(), -1);
     std::fill(parent.begin(), parent.end(), kInvalidNode);
@@ -187,7 +194,7 @@ int girth(const Graph& g) {
     while (!queue.empty()) {
       const NodeId u = queue.front();
       queue.pop();
-      for (NodeId w : g.neighbors(u)) {
+      for (NodeId w : g.neighbors_of(u, scratch)) {
         if (dist[w] == -1) {
           dist[w] = dist[u] + 1;
           parent[w] = u;
@@ -202,7 +209,7 @@ int girth(const Graph& g) {
   return best;
 }
 
-std::vector<NodeId> scattered_nodes(const Graph& g, int min_separation,
+std::vector<NodeId> scattered_nodes(const Topology& g, int min_separation,
                                     std::size_t max_count) {
   std::vector<NodeId> chosen;
   if (g.node_count() == 0 || max_count == 0) return chosen;

@@ -69,6 +69,16 @@ class WorkerArena {
   /// allocating five vectors per node per trial.
   BallWorkspace& ball_workspace() noexcept { return ball_; }
 
+  /// Second reusable ball slot for trial bodies that hold two balls at
+  /// once: the streaming implicit path (decide/experiment_plans.cpp)
+  /// re-expands each decision-ball member's construction ball while the
+  /// decision ball stays live.
+  BallWorkspace& member_ball_workspace() noexcept { return member_ball_; }
+
+  /// Ball-local output buffer for the streaming implicit path — sized by
+  /// the current ball, never by n.
+  Labeling& ball_outputs() noexcept { return ball_outputs_; }
+
   /// This worker's telemetry accumulator (lives in the engine scratch so
   /// engine runs on this arena count into it automatically; ball-mode and
   /// decider paths charge it explicitly). BatchRunner resets it per batch
@@ -103,6 +113,8 @@ class WorkerArena {
   Labeling labeling_;
   std::vector<Knowledge> knowledge_;
   BallWorkspace ball_;
+  BallWorkspace member_ball_;
+  Labeling ball_outputs_;
   VectorScratch vector_;
   SampledConfiguration sample_;
   const void* sample_owner_ = nullptr;

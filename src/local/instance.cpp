@@ -5,6 +5,14 @@
 namespace lnc::local {
 
 void Instance::validate() const {
+  if (implicit != nullptr) {
+    // Implicit instances never hold O(n) state: no CSR, no stored ids,
+    // no stored inputs.
+    LNC_EXPECTS(g.node_count() == 0);
+    LNC_EXPECTS(ids.empty());
+    LNC_EXPECTS(input.empty());
+    return;
+  }
   LNC_EXPECTS(ids.size() == g.node_count());
   LNC_EXPECTS(input.empty() || input.size() == g.node_count());
 }
@@ -13,6 +21,15 @@ Instance make_instance(graph::Graph g, ident::IdAssignment ids) {
   Instance inst;
   inst.g = std::move(g);
   inst.ids = std::move(ids);
+  inst.validate();
+  return inst;
+}
+
+Instance make_implicit_instance(
+    std::shared_ptr<const graph::ImplicitTopology> topology) {
+  LNC_EXPECTS(topology != nullptr);
+  Instance inst;
+  inst.implicit = std::move(topology);
   inst.validate();
   return inst;
 }

@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/implicit.h"
 #include "ident/identity.h"
 
 namespace lnc::local {
@@ -27,16 +29,41 @@ using Label = std::uint64_t;
 using Labeling = std::vector<Label>;
 
 /// The paper's instance triple (G, x, id).
+///
+/// The graph lives in exactly one of two representations: materialized
+/// (`g`, a CSR Graph; `implicit` null) or implicit (`implicit` set, `g`
+/// empty — neighborhoods synthesized on demand, no O(n) state at all).
+/// Implicit instances carry consecutive identities (id(v) = v + 1, the
+/// paper's Corollary-1 assignment) and all-zero inputs, computed rather
+/// than stored; consumers go through topology() / identity_of() instead
+/// of touching `g` / `ids` directly.
 struct Instance {
   graph::Graph g;
-  Labeling input;           // size == g.node_count(); empty means all-zero
-  ident::IdAssignment ids;  // size == g.node_count()
+  std::shared_ptr<const graph::ImplicitTopology> implicit;
+  Labeling input;           // size == node_count(); empty means all-zero
+  ident::IdAssignment ids;  // size == node_count(); empty when implicit
 
-  graph::NodeId node_count() const noexcept { return g.node_count(); }
+  bool is_implicit() const noexcept { return implicit != nullptr; }
+
+  /// The graph under either representation — what ball collection and
+  /// every neighbor-scanning consumer should expand against.
+  const graph::Topology& topology() const noexcept {
+    return implicit ? static_cast<const graph::Topology&>(*implicit) : g;
+  }
+
+  graph::NodeId node_count() const noexcept {
+    return implicit ? implicit->node_count() : g.node_count();
+  }
 
   /// Input of node v (all-zero default when input is empty).
   Label input_of(graph::NodeId v) const noexcept {
     return input.empty() ? 0 : input[v];
+  }
+
+  /// Identity of node v: the stored assignment, or the computed
+  /// consecutive assignment (v + 1) for implicit instances.
+  ident::Identity identity_of(graph::NodeId v) const noexcept {
+    return implicit ? static_cast<ident::Identity>(v) + 1 : ids[v];
   }
 
   /// Validates internal consistency (sizes match, ids distinct — the
@@ -46,6 +73,11 @@ struct Instance {
 
 /// Builds an instance with all-zero inputs and the given identities.
 Instance make_instance(graph::Graph g, ident::IdAssignment ids);
+
+/// Builds an implicit instance: on-demand neighborhoods, consecutive
+/// identities, all-zero inputs.
+Instance make_implicit_instance(
+    std::shared_ptr<const graph::ImplicitTopology> topology);
 
 /// Bit-length of a label (0 for label 0).
 int label_bits(Label value) noexcept;

@@ -18,8 +18,8 @@ void run_per_node(const Instance& inst, int radius, const RunOptions& options,
   std::atomic<std::uint64_t> announcements{0};
   std::atomic<std::uint64_t> encoded_words{0};
   auto body = [&](BallWorkspace& workspace, std::uint64_t v) {
-    workspace.ball.collect(inst.g, static_cast<graph::NodeId>(v), radius,
-                           workspace.scratch);
+    workspace.ball.collect(inst.topology(), static_cast<graph::NodeId>(v),
+                           radius, workspace.scratch);
     const graph::BallView& ball = workspace.ball;
     View view;
     view.ball = &ball;

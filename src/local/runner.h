@@ -33,7 +33,7 @@ struct View {
 
   ident::Identity identity(graph::NodeId local) const noexcept {
     if (id_override != nullptr) return (*id_override)[local];
-    return instance->ids[ball->to_original(local)];
+    return instance->identity_of(ball->to_original(local));
   }
   Label input(graph::NodeId local) const noexcept {
     return instance->input_of(ball->to_original(local));

@@ -25,6 +25,7 @@
 #include "decide/resilient_decider.h"
 #include "decide/slack_decider.h"
 #include "graph/generators.h"
+#include "graph/implicit.h"
 #include "lang/amos.h"
 #include "lang/coloring.h"
 #include "lang/domset.h"
@@ -85,6 +86,13 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
        [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
          const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 3));
          return instance_for(graph::cycle(size), flag(p, "random-ids"), seed);
+       },
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t /*seed*/)
+           -> std::shared_ptr<const graph::ImplicitTopology> {
+         if (flag(p, "random-ids")) return nullptr;
+         const auto size =
+             static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 3));
+         return graph::implicit_cycle(size);
        }});
   topologies.add(
       {"hard-ring",
@@ -95,7 +103,10 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
          const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 3));
          return core::consecutive_ring(
              size, static_cast<ident::Identity>(param(p, "id-start")));
-       }});
+       },
+       // id-start offsets the identity assignment, which implicit
+       // instances compute as consecutive 1..n — not representable.
+       nullptr});
   topologies.add(
       {"path",
        "Path P_n.",
@@ -103,6 +114,13 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
        [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
          const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 1));
          return instance_for(graph::path(size), flag(p, "random-ids"), seed);
+       },
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t /*seed*/)
+           -> std::shared_ptr<const graph::ImplicitTopology> {
+         if (flag(p, "random-ids")) return nullptr;
+         const auto size =
+             static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 1));
+         return graph::implicit_path(size);
        }});
   topologies.add(
       {"grid",
@@ -114,6 +132,14 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
          side = std::max<graph::NodeId>(side, 2);
          return instance_for(graph::grid(side, side), flag(p, "random-ids"),
                              seed);
+       },
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t /*seed*/)
+           -> std::shared_ptr<const graph::ImplicitTopology> {
+         if (flag(p, "random-ids")) return nullptr;
+         graph::NodeId side = 1;
+         while (static_cast<std::uint64_t>(side + 1) * (side + 1) <= n) ++side;
+         side = std::max<graph::NodeId>(side, 2);
+         return graph::implicit_grid(side, side);
        }});
   topologies.add(
       {"torus",
@@ -125,6 +151,13 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
          while (static_cast<std::uint64_t>(side + 1) * (side + 1) <= n) ++side;
          return instance_for(graph::torus(side, side), flag(p, "random-ids"),
                              seed);
+       },
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t /*seed*/)
+           -> std::shared_ptr<const graph::ImplicitTopology> {
+         if (flag(p, "random-ids")) return nullptr;
+         graph::NodeId side = 3;
+         while (static_cast<std::uint64_t>(side + 1) * (side + 1) <= n) ++side;
+         return graph::implicit_torus(side, side);
        }});
   topologies.add(
       {"hypercube",
@@ -136,6 +169,15 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
            ++d;
          }
          return instance_for(graph::hypercube(d), flag(p, "random-ids"), seed);
+       },
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t /*seed*/)
+           -> std::shared_ptr<const graph::ImplicitTopology> {
+         if (flag(p, "random-ids")) return nullptr;
+         int d = 1;
+         while ((std::uint64_t{1} << (d + 1)) <= std::max<std::uint64_t>(n, 2)) {
+           ++d;
+         }
+         return graph::implicit_hypercube(d);
        }});
   topologies.add(
       {"binary-tree",
@@ -145,34 +187,61 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
          const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 1));
          return instance_for(graph::binary_tree(size), flag(p, "random-ids"),
                              seed);
+       },
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t /*seed*/)
+           -> std::shared_ptr<const graph::ImplicitTopology> {
+         if (flag(p, "random-ids")) return nullptr;
+         const auto size =
+             static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 1));
+         return graph::implicit_binary_tree(size);
        }});
   topologies.add(
       {"random-regular",
-       "Random d-regular simple graph (pairing model); n is bumped by one "
-       "when n*d is odd.",
+       "Random near-d-regular simple graph (union of seed-keyed "
+       "permutation 2-factors, locally samplable); n is bumped by one when "
+       "n*d is odd.",
        {{"degree", 3, "regular degree d", 1, 1024}, kRandomIdsOn},
        [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
          const auto degree = static_cast<graph::NodeId>(param(p, "degree"));
          auto size = static_cast<graph::NodeId>(
              std::max<std::uint64_t>(n, degree + 1));
          if ((static_cast<std::uint64_t>(size) * degree) % 2 != 0) ++size;
-         return instance_for(graph::random_regular(size, degree, seed),
+         return instance_for(graph::random_regular_cycles(size, degree, seed),
                              flag(p, "random-ids"), seed);
+       },
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed)
+           -> std::shared_ptr<const graph::ImplicitTopology> {
+         if (flag(p, "random-ids")) return nullptr;
+         const auto degree = static_cast<graph::NodeId>(param(p, "degree"));
+         auto size = static_cast<graph::NodeId>(
+             std::max<std::uint64_t>(n, degree + 1));
+         if ((static_cast<std::uint64_t>(size) * degree) % 2 != 0) ++size;
+         return graph::implicit_random_regular_cycles(size, degree, seed);
        }});
   topologies.add(
       {"gnp",
        "Erdos-Renyi G(n, p) conditioned on max degree <= max-degree — the "
-       "promise F_k realized on random instances.",
+       "promise F_k realized on random instances (hash-sampled edges, "
+       "locally samplable).",
        {{"edge-prob", 0.1, "edge probability p", 0, 1},
         {"max-degree", 8, "degree cap (the promise's k)", 0, 1e9},
         kRandomIdsOn},
        [](std::uint64_t n, const ParamMap& p, std::uint64_t seed) {
          const auto size = static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 2));
          return instance_for(
-             graph::gnp_bounded(size, param(p, "edge-prob"),
-                                static_cast<graph::NodeId>(param(p, "max-degree")),
-                                seed),
+             graph::gnp_hash(size, param(p, "edge-prob"),
+                             static_cast<graph::NodeId>(param(p, "max-degree")),
+                             seed),
              flag(p, "random-ids"), seed);
+       },
+       [](std::uint64_t n, const ParamMap& p, std::uint64_t seed)
+           -> std::shared_ptr<const graph::ImplicitTopology> {
+         if (flag(p, "random-ids")) return nullptr;
+         const auto size =
+             static_cast<graph::NodeId>(std::max<std::uint64_t>(n, 2));
+         return graph::implicit_gnp_hash(
+             size, param(p, "edge-prob"),
+             static_cast<graph::NodeId>(param(p, "max-degree")), seed);
        }});
   topologies.add(
       {"random-tree",
@@ -184,14 +253,18 @@ void register_topologies(Registry<TopologyEntry>& topologies) {
              graph::random_tree_bounded(
                  size, static_cast<graph::NodeId>(param(p, "max-degree")), seed),
              flag(p, "random-ids"), seed);
-       }});
+       },
+       // Sequential attachment sampler — no local neighborhood oracle.
+       nullptr});
   topologies.add(
       {"petersen",
        "The Petersen graph (3-regular, girth 5); n is ignored (always 10).",
        {kRandomIdsOff},
        [](std::uint64_t /*n*/, const ParamMap& p, std::uint64_t seed) {
          return instance_for(graph::petersen(), flag(p, "random-ids"), seed);
-       }});
+       },
+       // Fixed 10-node graph — nothing to gain from implicitness.
+       nullptr});
 }
 
 // -------------------------------------------------------------- languages --
@@ -400,6 +473,77 @@ class SelectIdBelow final : public local::RandomizedBallAlgorithm {
   std::uint64_t count_;
 };
 
+/// K-phase Luby MIS simulated inside the radius-K ball. Phase-j priorities
+/// are pure functions of (coins, identity, j), so every ball containing a
+/// node replays the same trajectory for it — the consistency the implicit
+/// streaming path relies on when it recomputes members' outputs from their
+/// own balls. The center's state after K phases depends on exactly its
+/// radius-K ball (a node at distance d is simulated faithfully through
+/// phase K-d, and only its early phases reach the center), so simulating
+/// the whole ball and reading the center is a faithful K-round LOCAL
+/// algorithm. Output: 1 = joined the MIS; undecided centers output 0.
+class LubyBallMis final : public local::RandomizedBallAlgorithm {
+ public:
+  explicit LubyBallMis(int phases) : phases_(phases) {}
+
+  std::string name() const override {
+    return "luby-ball(" + std::to_string(phases_) + ")";
+  }
+  int radius() const override { return phases_; }
+
+  local::Label compute(const local::View& view,
+                       const rand::CoinProvider& coins) const override {
+    const graph::BallView& ball = *view.ball;
+    const graph::NodeId size = ball.size();
+    // Per-thread simulation state: compute() is shared across workers, and
+    // these stay ball-sized (never O(n)).
+    static thread_local std::vector<std::uint8_t> state;  // 0 undecided,
+    static thread_local std::vector<std::uint8_t> wins;   // 1 in MIS, 2 out
+    static thread_local std::vector<std::uint64_t> priority;
+    state.assign(size, 0);
+    wins.assign(size, 0);
+    priority.resize(size);
+    for (int phase = 0; phase < phases_; ++phase) {
+      for (graph::NodeId v = 0; v < size; ++v) {
+        if (state[v] == 0) {
+          priority[v] =
+              coins.draw(view.identity(v), static_cast<std::uint64_t>(phase));
+        }
+      }
+      for (graph::NodeId v = 0; v < size; ++v) {
+        if (state[v] != 0) {
+          wins[v] = 0;
+          continue;
+        }
+        bool best = true;
+        for (const graph::NodeId w : ball.neighbors(v)) {
+          if (state[w] != 0) continue;
+          if (priority[w] < priority[v] ||
+              (priority[w] == priority[v] &&
+               view.identity(w) < view.identity(v))) {
+            best = false;
+            break;
+          }
+        }
+        wins[v] = best ? 1 : 0;
+      }
+      // Two adjacent undecided nodes never both win (strict total order by
+      // (priority, identity)), so applying joins in index order is safe.
+      for (graph::NodeId v = 0; v < size; ++v) {
+        if (wins[v] == 0) continue;
+        state[v] = 1;
+        for (const graph::NodeId w : ball.neighbors(v)) {
+          if (state[w] == 0) state[w] = 2;
+        }
+      }
+    }
+    return state[0] == 1 ? 1 : 0;
+  }
+
+ private:
+  int phases_;
+};
+
 /// Cole-Vishkin on the oriented ring; the iteration budget derives from
 /// the instance's actual identity range, so one registered entry serves
 /// every ring size.
@@ -509,6 +653,19 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        [](const ParamMap&) -> std::unique_ptr<Construction> {
          return std::make_unique<EngineConstruction>(
              std::make_unique<algo::LubyMisFactory>(), /*randomized=*/true);
+       }});
+  constructions.add(
+      {"luby-ball",
+       "K-phase Luby MIS simulated inside the radius-K ball — a "
+       "constant-round Monte-Carlo MIS construction (ball-backed, so it "
+       "streams over implicit giga-scale topologies).",
+       {{"phases", 2, "Luby phases K (= ball radius)", 1, 64}},
+       /*randomized=*/true, /*ring_only=*/false,
+       /*default_language=*/"mis",
+       [](const ParamMap& p) -> std::unique_ptr<Construction> {
+         return std::make_unique<BallConstruction>(
+             std::make_unique<LubyBallMis>(
+                 static_cast<int>(param(p, "phases"))));
        }});
   constructions.add(
       {"rand-matching",

@@ -176,6 +176,26 @@ std::vector<ScenarioSpec> build_presets() {
 
   {
     ScenarioSpec spec;
+    spec.name = "ring-mis-implicit";
+    spec.doc =
+        "Giga-scale showcase for implicit topologies: K-phase Luby MIS on "
+        "the ring, checked by the LD decider — every trial touches only "
+        "radius-K balls, so --execution implicit streams C_n at n = 10^8 "
+        "and beyond in ball-bounded memory, bit-identical to the "
+        "materialized run at any n both can reach.";
+    spec.topology = "ring";
+    spec.language = "mis";
+    spec.construction = "luby-ball";
+    spec.decider = "lcl";
+    spec.params = {{"phases", 4}};
+    spec.n_grid = {4096};
+    spec.trials = 200;
+    spec.base_seed = 7;
+    presets.push_back(spec);
+  }
+
+  {
+    ScenarioSpec spec;
     spec.name = "luby-mis-rounds";
     spec.doc =
         "E10's round-growth side as a VALUE sweep: expected rounds of "

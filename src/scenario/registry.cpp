@@ -149,6 +149,44 @@ std::shared_ptr<const local::Instance> interned_instance(
   return it->second;
 }
 
+std::shared_ptr<const local::Instance> interned_implicit_instance(
+    const std::string& topology, std::uint64_t n, const ParamMap& params,
+    std::uint64_t seed) {
+  const TopologyEntry* entry = topologies().find(topology);
+  LNC_EXPECTS(entry != nullptr && "unknown topology");
+  LNC_EXPECTS(entry->build_implicit &&
+              "topology has no implicit representation");
+  const ParamMap merged = merged_params(entry->schema, params);
+
+  // "implicit:" prefixes the key space so the two representations of one
+  // spec intern side by side instead of evicting each other.
+  std::ostringstream key_stream;
+  key_stream << std::hexfloat << "implicit:" << topology << '/' << n << '/'
+             << seed;
+  for (const auto& [name, value] : merged) {
+    key_stream << '/' << name << '=' << value;
+  }
+  const std::string key = key_stream.str();
+
+  static std::mutex mutex;
+  static std::map<std::string, std::shared_ptr<const local::Instance>>* cache =
+      new std::map<std::string, std::shared_ptr<const local::Instance>>;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  std::shared_ptr<const graph::ImplicitTopology> implicit =
+      entry->build_implicit(n, merged, seed);
+  if (implicit == nullptr) return nullptr;  // hook declined the params
+  auto built = std::make_shared<const local::Instance>(
+      local::make_implicit_instance(std::move(implicit)));
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto [it, inserted] = cache->emplace(key, std::move(built));
+  (void)inserted;
+  return it->second;
+}
+
 std::unique_ptr<lang::Language> make_language(const std::string& name,
                                               const ParamMap& params) {
   const LanguageEntry* entry = languages().find(name);

@@ -76,6 +76,17 @@ struct TopologyEntry {
   std::function<local::Instance(std::uint64_t n, const ParamMap& params,
                                 std::uint64_t seed)>
       build;
+  /// Implicit counterpart of `build`: synthesizes the SAME topology
+  /// (identical size realization, identical edges — the bit-identity
+  /// contract tests/topology_test.cpp asserts) as an on-demand
+  /// ImplicitTopology, so ball-mode plans run at n beyond what `build`
+  /// can materialize. Null when the family cannot be sampled locally;
+  /// a non-null hook may still return null for parameter combinations it
+  /// cannot honor (e.g. random-ids=1 — implicit instances carry the
+  /// computed consecutive assignment).
+  std::function<std::shared_ptr<const graph::ImplicitTopology>(
+      std::uint64_t n, const ParamMap& params, std::uint64_t seed)>
+      build_implicit;
 };
 
 // ---------------------------------------------------------------------------
@@ -286,6 +297,14 @@ local::Instance build_instance(const std::string& topology, std::uint64_t n,
 /// share one immutable instance instead of rebuilding the graph
 /// (ROADMAP "Instance caching"). Thread-safe.
 std::shared_ptr<const local::Instance> interned_instance(
+    const std::string& topology, std::uint64_t n, const ParamMap& params = {},
+    std::uint64_t seed = 1);
+
+/// Same interning for the implicit representation (distinct key space —
+/// the two representations of one spec coexist without evicting each
+/// other). Asserts the named topology declares build_implicit; returns
+/// null when the hook declines the parameter combination.
+std::shared_ptr<const local::Instance> interned_implicit_instance(
     const std::string& topology, std::uint64_t n, const ParamMap& params = {},
     std::uint64_t seed = 1);
 

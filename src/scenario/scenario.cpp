@@ -46,6 +46,26 @@ std::string check_param(const std::string& key, double value,
 
 }  // namespace
 
+const char* to_string(Execution execution) noexcept {
+  switch (execution) {
+    case Execution::kAuto:
+      return "auto";
+    case Execution::kMaterialized:
+      return "materialized";
+    case Execution::kImplicit:
+      return "implicit";
+  }
+  return "auto";
+}
+
+std::optional<Execution> execution_from_string(
+    std::string_view text) noexcept {
+  if (text == "auto") return Execution::kAuto;
+  if (text == "materialized") return Execution::kMaterialized;
+  if (text == "implicit") return Execution::kImplicit;
+  return std::nullopt;
+}
+
 std::string validate(const ScenarioSpec& spec) {
   if (spec.name.empty()) return "scenario has no name";
   const TopologyEntry* topology = topologies().find(spec.topology);
@@ -80,6 +100,69 @@ std::string validate(const ScenarioSpec& spec) {
     if (lcl_core(*built) == nullptr) {
       return "decider '" + spec.decider + "' needs an LCL-backed language, "
              "but '" + spec.language + "' has no LCL core";
+    }
+  }
+
+  // Node ids are 32-bit (kInvalidNode reserved); no execution mode can
+  // exceed that.
+  for (const std::uint64_t n : spec.n_grid) {
+    if (n >= static_cast<std::uint64_t>(graph::kInvalidNode)) {
+      return "n = " + std::to_string(n) + " exceeds the 32-bit NodeId range";
+    }
+  }
+
+  // Implicit-execution eligibility: every grid point that will run without
+  // a materialized graph (execution=implicit, or execution=auto beyond
+  // kMaterializeCap) must be streamable — an implicit-capable family that
+  // accepts the parameters, ball exec mode, a ball-backed construction, a
+  // success workload, and a local (non-global-check) decider.
+  std::uint64_t implicit_n = 0;
+  bool any_implicit = false;
+  for (const std::uint64_t n : spec.n_grid) {
+    if (spec.execution == Execution::kImplicit ||
+        (spec.execution == Execution::kAuto && n > kMaterializeCap)) {
+      any_implicit = true;
+      implicit_n = n;
+      break;
+    }
+  }
+  if (any_implicit) {
+    const std::string why =
+        spec.execution == Execution::kImplicit
+            ? "execution=implicit"
+            : "n = " + std::to_string(implicit_n) +
+                  " exceeds the materialization cap (" +
+                  std::to_string(kMaterializeCap) + ")";
+    if (!topology->build_implicit) {
+      return why + ", but topology '" + spec.topology +
+             "' has no implicit representation";
+    }
+    const ParamMap merged = merged_params(topology->schema, spec.params);
+    if (topology->build_implicit(
+            implicit_n, merged,
+            rand::mix_keys(spec.base_seed, implicit_n)) == nullptr) {
+      return why + ", but topology '" + spec.topology +
+             "' declines implicit construction for these parameters "
+             "(implicit instances carry the computed consecutive identity "
+             "assignment — random-ids must be 0)";
+    }
+    if (spec.mode != local::ExecMode::kBalls) {
+      return why + ", which requires mode=balls (implicit instances have "
+             "no materialized graph for the engine to step)";
+    }
+    if (spec.workload != local::WorkloadKind::kSuccess) {
+      return why + ", which requires a success workload (value/counter "
+             "statistics read an O(n) output labeling)";
+    }
+    if (decider->global_check) {
+      return why + ", which requires a local decider — the 'exact' global "
+             "membership check reads an O(n) output labeling";
+    }
+    const std::unique_ptr<Construction> built =
+        make_construction(spec.construction, spec.params);
+    if (built->ball_algorithm() == nullptr) {
+      return why + ", which requires a ball-backed construction, but '" +
+             spec.construction + "' is engine-backed";
     }
   }
 
@@ -205,8 +288,19 @@ CompiledScenario compile(const ScenarioSpec& spec) {
 
     CompiledScenario::GridPoint point;
     point.requested_n = n;
+    // Representation choice per grid point (validated above): implicit
+    // points stream neighborhoods on demand and route into the streaming
+    // construct-then-decide plan; everything else materializes the CSR
+    // graph exactly as before.
+    const bool implicit_point =
+        spec.execution == Execution::kImplicit ||
+        (spec.execution == Execution::kAuto && n > kMaterializeCap);
     point.instance =
-        interned_instance(spec.topology, n, spec.params, instance_seed);
+        implicit_point
+            ? interned_implicit_instance(spec.topology, n, spec.params,
+                                         instance_seed)
+            : interned_instance(spec.topology, n, spec.params, instance_seed);
+    LNC_EXPECTS(point.instance != nullptr);
     const local::Instance& inst = *point.instance;
 
     if (spec.workload == local::WorkloadKind::kValue) {
@@ -295,14 +389,16 @@ CompiledScenario compile(const ScenarioSpec& spec) {
     // workload-matching finish turns each lockstep trial's output into
     // exactly what the scalar trial body would have tallied.
     {
-      double degree_sum = 0.0;
-      for (graph::NodeId v = 0; v < inst.g.node_count(); ++v) {
-        degree_sum += static_cast<double>(inst.g.degree(v));
+      double mean_degree = 0.0;
+      if (inst.is_implicit()) {
+        mean_degree = inst.implicit->mean_degree();
+      } else if (inst.node_count() > 0) {
+        double degree_sum = 0.0;
+        for (graph::NodeId v = 0; v < inst.g.node_count(); ++v) {
+          degree_sum += static_cast<double>(inst.g.degree(v));
+        }
+        mean_degree = degree_sum / static_cast<double>(inst.node_count());
       }
-      const double mean_degree =
-          inst.node_count() > 0
-              ? degree_sum / static_cast<double>(inst.node_count())
-              : 0.0;
       local::OptimizationConfig config = local::OptimizationConfig::automatic(
           inst.node_count(), spec.trials, mean_degree);
       if (spec.backend != local::OptimizationConfig::Backend::kAuto) {

@@ -12,13 +12,35 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "local/experiment.h"
 #include "scenario/registry.h"
 
 namespace lnc::scenario {
+
+/// How a grid point's graph is represented at execution time. Purely an
+/// execution-resource choice, never a results choice: both paths produce
+/// bit-identical tallies, telemetry, and cache keys for the same spec
+/// (cache_normal_form strips this field).
+///
+///   kAuto         — materialize up to kMaterializeCap nodes, go implicit
+///                   beyond (requires an implicit-capable scenario there);
+///   kMaterialized — always build the CSR graph;
+///   kImplicit     — always synthesize neighborhoods on demand (requires
+///                   an implicit-capable scenario at every grid point).
+enum class Execution { kAuto, kMaterialized, kImplicit };
+
+/// Largest n kAuto will materialize. Above this a CSR graph plus ids
+/// costs tens of MB and climbing — the regime implicit execution exists
+/// for.
+inline constexpr std::uint64_t kMaterializeCap = 4'000'000;
+
+const char* to_string(Execution execution) noexcept;
+std::optional<Execution> execution_from_string(std::string_view text) noexcept;
 
 struct ScenarioSpec {
   std::string name;
@@ -67,6 +89,11 @@ struct ScenarioSpec {
   /// spec JSON and warned about on sweep-shard merge mismatch.
   local::OptimizationConfig::Backend backend =
       local::OptimizationConfig::Backend::kAuto;
+
+  /// Graph representation at execution time (see Execution above). Like
+  /// `backend`, forcing it is a performance/memory choice, never a
+  /// results choice.
+  Execution execution = Execution::kAuto;
 };
 
 /// Resolves the spec against the registries: empty string when the spec is

@@ -319,6 +319,15 @@ ScenarioSpec spec_from_json(const Json& root) {
             value.as_string() + "'");
       }
       spec.backend = *backend;
+    } else if (key == "execution") {
+      const std::optional<Execution> execution =
+          execution_from_string(value.as_string());
+      if (!execution) {
+        throw std::runtime_error(
+            "spec 'execution' must be auto|materialized|implicit, got '" +
+            value.as_string() + "'");
+      }
+      spec.execution = *execution;
     } else if (key == "mode") {
       const std::string& mode = value.as_string();
       if (mode == "balls") {
@@ -350,6 +359,10 @@ ScenarioSpec cache_normal_form(const ScenarioSpec& spec) {
   normal.name.clear();
   normal.doc.clear();
   normal.backend = local::OptimizationConfig::Backend::kAuto;
+  // Implicit and materialized execution of one spec are bit-identical by
+  // contract (CI implicit topology gate), so runs on either path share a
+  // cache entry and top each other up.
+  normal.execution = Execution::kAuto;
   return normal;
 }
 
@@ -389,7 +402,13 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   os << "], \"trials\": " << spec.trials << ", \"seed\": " << spec.base_seed
      << ", \"success\": \"" << (spec.success_on_accept ? "accept" : "reject")
      << "\", \"mode\": \"" << local::to_string(spec.mode)
-     << "\", \"backend\": \"" << local::to_string(spec.backend) << "\"}\n";
+     << "\", \"backend\": \"" << local::to_string(spec.backend) << "\"";
+  // Emitted only when forced: kAuto stays implicit so pre-existing spec
+  // JSON (and every cache key derived from it) is byte-unchanged.
+  if (spec.execution != Execution::kAuto) {
+    os << ", \"execution\": \"" << to_string(spec.execution) << "\"";
+  }
+  os << "}\n";
   return os.str();
 }
 

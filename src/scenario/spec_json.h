@@ -60,7 +60,8 @@ struct Json {
 ///    "n": [16, 64], "trials": 2000, "seed": 1,
 ///    "success": "accept" | "reject",
 ///    "mode": "balls" | "messages" | "two-phase",
-///    "backend": "auto" | "naive" | "batched" | "vectorized"}
+///    "backend": "auto" | "naive" | "batched" | "vectorized",
+///    "execution": "auto" | "materialized" | "implicit"}
 ///
 /// Unknown top-level keys are rejected. Does NOT validate against the
 /// registries — call scenario::validate on the result.
@@ -74,10 +75,13 @@ ScenarioSpec spec_from_json(const Json& root);
 /// The spec with every field that does not affect WHICH curve is being
 /// computed reset to a fixed value: trials and seed (the cache stores
 /// accumulators over an explicit trial range at the entry's own seed),
-/// name and doc (labels), and backend (all backends are bit-identical
-/// by contract — CI's backend identity gate). Execution mode is KEPT:
-/// ball-mode and message-mode telemetry differ (measured vs modeled),
-/// so they are different cacheable results. serve::cache_key hashes
+/// name and doc (labels), backend (all backends are bit-identical by
+/// contract — CI's backend identity gate), and execution (implicit and
+/// materialized runs of one spec are bit-identical by contract — CI's
+/// implicit topology gate — so either path tops up the same cache
+/// entry). Execution mode is KEPT: ball-mode and message-mode telemetry
+/// differ (measured vs modeled), so they are different cacheable
+/// results. serve::cache_key hashes
 /// spec_to_json(cache_normal_form(spec)).
 ScenarioSpec cache_normal_form(const ScenarioSpec& spec);
 

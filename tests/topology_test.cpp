@@ -1,0 +1,267 @@
+// The implicit-topology bit-identity contract (PR "Implicit giga-scale
+// topologies"):
+//
+//   1. Per implicit-capable family, balls collected through the
+//      ImplicitTopology equal — member for member, edge for edge, word
+//      for word — balls collected from the materialized Graph of the
+//      same (family, n, params, seed), and materialize() reproduces the
+//      generator's graph exactly.
+//   2. A full ball-mode sweep produces bit-identical tallies and
+//      deterministic telemetry whether the grid point materializes or
+//      streams, at 1 and at 8 threads.
+//   3. Execution is representation, not semantics: all three Execution
+//      values of one spec share a single serve cache key.
+//   4. Validation rejects implicit execution for scenarios that cannot
+//      stream, with actionable diagnostics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/ball.h"
+#include "graph/implicit.h"
+#include "rand/splitmix.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "scenario/spec_json.h"
+#include "scenario/sweep.h"
+#include "serve/cache_key.h"
+#include "stats/threadpool.h"
+
+namespace lnc {
+namespace {
+
+struct FamilyCase {
+  const char* name;
+  scenario::ParamMap params;  // must make build_implicit accept
+};
+
+std::vector<FamilyCase> implicit_families() {
+  return {
+      {"ring", {}},
+      {"path", {}},
+      {"grid", {{"random-ids", 0}}},
+      {"torus", {{"random-ids", 0}}},
+      {"hypercube", {{"random-ids", 0}}},
+      {"binary-tree", {{"random-ids", 0}}},
+      {"random-regular", {{"random-ids", 0}}},
+      {"gnp", {{"random-ids", 0}}},
+  };
+}
+
+void expect_balls_equal(const graph::BallView& a, const graph::BallView& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  EXPECT_EQ(a.structure_signature(), b.structure_signature()) << label;
+  EXPECT_EQ(a.encoded_words(), b.encoded_words()) << label;
+  for (graph::NodeId local = 0; local < a.size(); ++local) {
+    ASSERT_EQ(a.to_original(local), b.to_original(local)) << label;
+    ASSERT_EQ(a.distance(local), b.distance(local)) << label;
+    ASSERT_EQ(a.host_degree(local), b.host_degree(local)) << label;
+    const auto na = a.neighbors(local);
+    const auto nb = b.neighbors(local);
+    ASSERT_EQ(std::vector<graph::NodeId>(na.begin(), na.end()),
+              std::vector<graph::NodeId>(nb.begin(), nb.end()))
+        << label;
+  }
+}
+
+TEST(ImplicitTopology, BallsMatchMaterializedPerFamily) {
+  for (const FamilyCase& family : implicit_families()) {
+    const scenario::TopologyEntry* entry =
+        scenario::topologies().find(family.name);
+    ASSERT_NE(entry, nullptr) << family.name;
+    ASSERT_TRUE(entry->build_implicit) << family.name;
+    const scenario::ParamMap merged =
+        scenario::merged_params(entry->schema, family.params);
+    for (const std::uint64_t n : {std::uint64_t{16}, std::uint64_t{256},
+                                  std::uint64_t{4096}}) {
+      const std::uint64_t seed = rand::mix_keys(1, n);
+      const auto implicit = entry->build_implicit(n, merged, seed);
+      ASSERT_NE(implicit, nullptr) << family.name;
+      const local::Instance inst = entry->build(n, merged, seed);
+      ASSERT_EQ(inst.g.node_count(), implicit->node_count()) << family.name;
+      const graph::NodeId count = inst.g.node_count();
+
+      // The synthesized neighborhoods materialize to the generator's
+      // graph exactly (vacuous for gnp/random-regular, whose generators
+      // already build through the sampler; the real content for the
+      // analytic families).
+      if (count <= 256) {
+        const graph::Graph rebuilt = graph::materialize(*implicit);
+        ASSERT_EQ(rebuilt.node_count(), count) << family.name;
+        for (graph::NodeId v = 0; v < count; ++v) {
+          const auto got = rebuilt.neighbors(v);
+          const auto want = inst.g.neighbors(v);
+          ASSERT_EQ(std::vector<graph::NodeId>(got.begin(), got.end()),
+                    std::vector<graph::NodeId>(want.begin(), want.end()))
+              << family.name << " n=" << n << " v=" << v;
+        }
+      }
+
+      // Ball equality: every center at small sizes, strided beyond.
+      const graph::NodeId stride = count <= 256 ? 1 : count / 61;
+      graph::BallScratch graph_scratch;
+      graph::BallScratch implicit_scratch;
+      graph::BallView from_graph;
+      graph::BallView from_implicit;
+      for (int radius = 0; radius <= 2; ++radius) {
+        for (graph::NodeId v = 0; v < count; v += stride) {
+          from_graph.collect(inst.g, v, radius, graph_scratch);
+          from_implicit.collect(*implicit, v, radius, implicit_scratch);
+          expect_balls_equal(
+              from_graph, from_implicit,
+              std::string(family.name) + " n=" + std::to_string(n) +
+                  " v=" + std::to_string(v) +
+                  " r=" + std::to_string(radius));
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+scenario::ScenarioSpec streaming_spec() {
+  scenario::ScenarioSpec spec;
+  spec.name = "implicit-identity";
+  spec.topology = "ring";
+  spec.language = "mis";
+  spec.construction = "luby-ball";
+  spec.decider = "lcl";
+  spec.params["phases"] = 4;
+  spec.n_grid = {4096};
+  spec.trials = 64;
+  spec.base_seed = 7;
+  return spec;
+}
+
+void expect_sweeps_equal(const scenario::SweepResult& a,
+                         const scenario::SweepResult& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << label;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    const scenario::SweepRow& ra = a.rows[i];
+    const scenario::SweepRow& rb = b.rows[i];
+    EXPECT_EQ(ra.actual_n, rb.actual_n) << label;
+    EXPECT_EQ(ra.tally.trials, rb.tally.trials) << label;
+    EXPECT_EQ(ra.tally.successes, rb.tally.successes) << label;
+    EXPECT_EQ(ra.tally.telemetry.messages_sent,
+              rb.tally.telemetry.messages_sent)
+        << label;
+    EXPECT_EQ(ra.tally.telemetry.words_sent, rb.tally.telemetry.words_sent)
+        << label;
+    EXPECT_EQ(ra.tally.telemetry.rounds_executed,
+              rb.tally.telemetry.rounds_executed)
+        << label;
+    EXPECT_EQ(ra.tally.telemetry.ball_expansions,
+              rb.tally.telemetry.ball_expansions)
+        << label;
+  }
+}
+
+TEST(ImplicitTopology, SweepBitIdenticalAcrossExecutionAndThreads) {
+  scenario::ScenarioSpec materialized = streaming_spec();
+  materialized.execution = scenario::Execution::kMaterialized;
+  ASSERT_EQ(scenario::validate(materialized), "");
+  const scenario::SweepResult reference =
+      scenario::run_sweep(scenario::compile(materialized));
+  ASSERT_TRUE(reference.complete());
+  // A degenerate tally (0 or all successes) would let an
+  // always-reject/accept bug slip through the comparison.
+  ASSERT_GT(reference.rows[0].tally.successes, 0u);
+  ASSERT_LT(reference.rows[0].tally.successes, reference.rows[0].tally.trials);
+
+  scenario::ScenarioSpec implicit = streaming_spec();
+  implicit.execution = scenario::Execution::kImplicit;
+  ASSERT_EQ(scenario::validate(implicit), "");
+  const scenario::CompiledScenario compiled = scenario::compile(implicit);
+  ASSERT_TRUE(compiled.points()[0].instance->is_implicit());
+
+  expect_sweeps_equal(reference, scenario::run_sweep(compiled),
+                      "implicit sequential");
+  const stats::ThreadPool pool(8);
+  scenario::SweepOptions options;
+  options.pool = &pool;
+  expect_sweeps_equal(reference, scenario::run_sweep(compiled, options),
+                      "implicit 8 threads");
+}
+
+TEST(ImplicitTopology, ExecutionSharesOneCacheKey) {
+  scenario::ScenarioSpec spec = streaming_spec();
+  spec.execution = scenario::Execution::kAuto;
+  const serve::CacheKey auto_key = serve::cache_key(spec);
+  spec.execution = scenario::Execution::kMaterialized;
+  EXPECT_EQ(serve::cache_key(spec), auto_key);
+  spec.execution = scenario::Execution::kImplicit;
+  EXPECT_EQ(serve::cache_key(spec), auto_key);
+
+  // The normal form strips execution outright...
+  EXPECT_EQ(scenario::cache_normal_form(spec).execution,
+            scenario::Execution::kAuto);
+  // ...and kAuto never reaches the spec JSON, so pre-existing keys (and
+  // files) are byte-unchanged.
+  EXPECT_EQ(scenario::spec_to_json(streaming_spec()).find("execution"),
+            std::string::npos);
+  // Forced execution round-trips field for field through spec JSON.
+  const scenario::ScenarioSpec reparsed =
+      scenario::spec_from_json(scenario::spec_to_json(spec));
+  EXPECT_EQ(reparsed.execution, scenario::Execution::kImplicit);
+}
+
+TEST(ImplicitTopology, ValidationRejectsUnstreamableSpecs) {
+  // Engine-backed construction cannot stream.
+  scenario::ScenarioSpec spec = streaming_spec();
+  spec.execution = scenario::Execution::kImplicit;
+  spec.construction = "luby-mis";
+  spec.params.erase("phases");
+  EXPECT_NE(scenario::validate(spec).find("engine-backed"),
+            std::string::npos);
+
+  // Families without a local neighborhood oracle cannot stream.
+  spec = streaming_spec();
+  spec.execution = scenario::Execution::kImplicit;
+  spec.topology = "random-tree";
+  EXPECT_NE(scenario::validate(spec).find("no implicit representation"),
+            std::string::npos);
+
+  // Implicit instances compute consecutive identities.
+  spec = streaming_spec();
+  spec.execution = scenario::Execution::kImplicit;
+  spec.params["random-ids"] = 1;
+  EXPECT_NE(scenario::validate(spec).find("random-ids"), std::string::npos);
+
+  // The exact pseudo-decider reads an O(n) labeling.
+  spec = streaming_spec();
+  spec.execution = scenario::Execution::kImplicit;
+  spec.decider = "exact";
+  EXPECT_NE(scenario::validate(spec).find("local decider"),
+            std::string::npos);
+
+  // Engine exec modes need a materialized graph to step.
+  spec = streaming_spec();
+  spec.execution = scenario::Execution::kImplicit;
+  spec.mode = local::ExecMode::kMessages;
+  EXPECT_NE(scenario::validate(spec).find("mode=balls"), std::string::npos);
+
+  // kAuto beyond the cap demands an implicit-capable scenario...
+  spec = streaming_spec();
+  spec.topology = "random-tree";
+  spec.n_grid = {scenario::kMaterializeCap + 1};
+  EXPECT_NE(scenario::validate(spec).find("materialization cap"),
+            std::string::npos);
+
+  // ...and a streamable spec validates clean there without building
+  // anything of that size.
+  spec = streaming_spec();
+  spec.n_grid = {scenario::kMaterializeCap + 1};
+  EXPECT_EQ(scenario::validate(spec), "");
+
+  // Node ids are 32-bit on every path.
+  spec = streaming_spec();
+  spec.n_grid = {std::uint64_t{1} << 32};
+  EXPECT_NE(scenario::validate(spec).find("NodeId"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lnc

@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""CI value-sweep merge gate: a sharded value/counter sweep merged with
-`lnc_sweep --merge` must reproduce the unsharded run BIT FOR BIT.
+"""CI sweep bit-identity gate: two lnc_sweep runs that the contracts say
+are the same result — a sharded run merged with `lnc_sweep --merge`
+against the unsharded run, or an implicit-execution run against the
+materialized run of one spec — must reproduce each other BIT FOR BIT.
 
-Usage: check_value_merge.py UNSHARDED.json MERGED.json...
+Usage: check_value_merge.py REFERENCE.json OTHER.json...
 
-Each file is a complete lnc_sweep --out result of a value or counter
-workload. The gate compares, per row, the exact-sum accumulators (the
-authoritative hex words plus the rounded sum/sum_sq doubles) or the
-integer count slots against the first file — any difference means the
-exact-merge contract broke. Telemetry timing fields are machine-dependent
-and ignored (the telemetry gate checks the deterministic counters).
+Each file is a complete lnc_sweep --out result. The gate compares, per
+row, the workload's authoritative tally against the first file: the
+exact-sum accumulators (hex words plus the rounded sum/sum_sq doubles)
+for value workloads, the integer count slots for counter workloads, the
+success/trial counts for success workloads. Any difference means the
+bit-identity contract broke. Telemetry timing fields are
+machine-dependent and ignored (the telemetry gate checks the
+deterministic counters).
 """
 import json
 import sys
@@ -19,9 +23,8 @@ def load(path):
     with open(path) as f:
         data = json.load(f)
     workload = data.get("workload", "success")
-    if workload not in ("value", "counter"):
-        raise SystemExit(f"{path}: workload is {workload!r} — pass value or "
-                         "counter sweep results to this gate")
+    if workload not in ("success", "value", "counter"):
+        raise SystemExit(f"{path}: unknown workload {workload!r}")
     for row in data["rows"]:
         if row["trials"] != row["total_trials"]:
             raise SystemExit(
@@ -34,6 +37,9 @@ def load(path):
         if workload == "counter" and "counts" not in row:
             raise SystemExit(f"{path}: counter row n={row['n']} has no "
                              "counts array")
+        if workload == "success" and "successes" not in row:
+            raise SystemExit(f"{path}: success row n={row['n']} has no "
+                             "successes count")
     return data
 
 
@@ -42,7 +48,9 @@ def row_fingerprint(workload, row):
         values = row["values"]
         return (values["exact_sum"], values["exact_sum_sq"],
                 values["sum"], values["sum_sq"])
-    return tuple(row["counts"])
+    if workload == "counter":
+        return tuple(row["counts"])
+    return (row["successes"], row["trials"])
 
 
 def main(argv):
@@ -54,13 +62,19 @@ def main(argv):
     if workload == "value":
         nonzero = any(row["values"]["exact_sum"] != "0"
                       for row in reference["rows"])
-    else:
+    elif workload == "counter":
         nonzero = any(count != 0 for row in reference["rows"]
                       for count in row["counts"])
+    else:
+        # Success smokes must be non-degenerate in BOTH directions: an
+        # always-accept (or always-reject) tally would let a decider that
+        # ignores its input slip through the comparison.
+        nonzero = any(0 < row["successes"] < row["trials"]
+                      for row in reference["rows"])
     if not nonzero:
-        raise SystemExit(f"{reference_path}: every row tallies to zero — "
-                         "the smoke scenario is not exercising the "
-                         "value path")
+        raise SystemExit(f"{reference_path}: every row tallies "
+                         "degenerately — the smoke scenario is not "
+                         "exercising the workload path")
     for path in argv[2:]:
         other = load(path)
         if other.get("workload") != workload or \
@@ -72,9 +86,9 @@ def main(argv):
             got = row_fingerprint(workload, row)
             if want != got:
                 raise SystemExit(
-                    f"value-merge mismatch at n={row['n']}: "
+                    f"{workload}-tally mismatch at n={row['n']}: "
                     f"{reference_path} has {want}, {path} has {got}")
-    print(f"value-merge gate OK: {workload} tallies bit-identical across "
+    print(f"bit-identity gate OK: {workload} tallies identical across "
           f"{reference_path} and {', '.join(argv[2:])}")
     return 0
 

@@ -51,6 +51,7 @@
 //   --workload success|value|counter | --statistic NAME
 //   --success accept|reject | --mode balls|messages|two-phase
 //   --backend auto|naive|batched|vectorized
+//   --execution auto|materialized|implicit
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -96,6 +97,7 @@ int usage(std::ostream& os, int code) {
         "         --statistic NAME | --success accept|reject\n"
         "         --mode balls|messages|two-phase\n"
         "         --backend auto|naive|batched|vectorized\n"
+        "         --execution auto|materialized|implicit\n"
         "The merged result is bit-identical to the unsharded lnc_sweep\n"
         "run; failed shards never reach the merge.\n"
         "build identity: " << util::build_identity() << "\n";
@@ -131,6 +133,7 @@ struct Options {
   std::optional<local::WorkloadKind> workload;
   std::optional<std::string> statistic;
   std::optional<local::OptimizationConfig::Backend> backend;
+  std::optional<scenario::Execution> execution;
 };
 
 /// Strict flag parses (util::parse_uint / parse_nonnegative_double) —
@@ -332,6 +335,17 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         return false;
       }
       options.backend = *backend;
+    } else if (arg == "--execution") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::optional<scenario::Execution> execution =
+          scenario::execution_from_string(value);
+      if (!execution) {
+        error = std::string("--execution expects "
+                            "auto|materialized|implicit, got '") +
+                value + "'";
+        return false;
+      }
+      options.execution = *execution;
     } else {
       error = "unknown flag '" + arg + "'";
       return false;
@@ -352,6 +366,7 @@ void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
   if (options.workload) spec.workload = *options.workload;
   if (options.statistic) spec.statistic = *options.statistic;
   if (options.backend) spec.backend = *options.backend;
+  if (options.execution) spec.execution = *options.execution;
 }
 
 /// The lnc_sweep next to this binary — shards run the same build by
@@ -540,7 +555,8 @@ int main(int argc, char** argv) {
           !options.params.empty() || options.n_grid || options.trials ||
           options.seed || options.success_on_accept || options.mode ||
           options.workload || options.statistic || options.backend ||
-          options.shards != 0 || options.run_dir.has_value();
+          options.execution || options.shards != 0 ||
+          options.run_dir.has_value();
       if (has_overrides) {
         std::cerr << "--resume re-runs the FROZEN spec in its existing "
                      "directory; --run-dir and spec overrides "

@@ -25,6 +25,7 @@
 //   --success accept|reject
 //   --mode balls|messages|two-phase
 //   --backend auto|naive|batched|vectorized  trial-execution backend
+//   --execution auto|materialized|implicit   graph representation
 //   --shard i/k      run only trial slice i of k (emits a mergeable tally)
 //   --threads N      worker threads (0 = hardware concurrency; default 1)
 //   --out FILE       also write the result as JSON (shard or complete)
@@ -63,6 +64,7 @@ int usage(std::ostream& os, int code) {
         "           --workload success|value|counter | --statistic NAME\n"
         "           --success accept|reject | --mode balls|messages|two-phase\n"
         "           --backend auto|naive|batched|vectorized\n"
+        "           --execution auto|materialized|implicit\n"
         "           --shard i/k | --threads N | --out FILE | --telemetry\n"
         "           --trial-range B:E | --cache DIR | --help | --version\n"
         "value/counter workloads measure a registered statistic of the\n"
@@ -75,6 +77,11 @@ int usage(std::ostream& os, int code) {
         "--backend picks how trials execute (auto tunes per grid point;\n"
         "all backends produce bit-identical tallies, so forcing one is a\n"
         "performance choice, never a results choice).\n"
+        "--execution picks the graph representation: materialized builds\n"
+        "the CSR graph, implicit synthesizes neighborhoods on demand\n"
+        "(ball-bounded memory — rings at n = 10^8 and beyond), auto\n"
+        "materializes small grids and goes implicit past the cap. Both\n"
+        "paths are bit-identical and share one cache key.\n"
         "--cache DIR reads/writes the content-addressed result store\n"
         "(src/serve): a repeated query is answered from cache, a raised\n"
         "--trials runs only the missing trial range and merges exactly.\n"
@@ -96,9 +103,11 @@ void print_schema(const scenario::ParamSchema& schema) {
 }
 
 void list_catalogue() {
-  std::cout << "topologies:\n";
+  std::cout << "topologies ([implicit] = giga-scale on-demand capable):\n";
   for (const auto* entry : scenario::topologies().all()) {
-    std::cout << "  " << entry->name << " — " << entry->doc << "\n";
+    std::cout << "  " << entry->name
+              << (entry->build_implicit ? " [implicit]" : "") << " — "
+              << entry->doc << "\n";
     print_schema(entry->schema);
   }
   std::cout << "\nlanguages:\n";
@@ -160,6 +169,7 @@ struct Options {
   std::optional<local::WorkloadKind> workload;
   std::optional<std::string> statistic;
   std::optional<local::OptimizationConfig::Backend> backend;
+  std::optional<scenario::Execution> execution;
 
   unsigned shard = 0;
   unsigned shard_count = 1;
@@ -300,6 +310,17 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         return false;
       }
       options.backend = *backend;
+    } else if (arg == "--execution") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::optional<scenario::Execution> execution =
+          scenario::execution_from_string(value);
+      if (!execution) {
+        error = std::string("--execution expects "
+                            "auto|materialized|implicit, got '") +
+                value + "'";
+        return false;
+      }
+      options.execution = *execution;
     } else if (arg == "--shard") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       const std::string text = value;
@@ -411,6 +432,7 @@ void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
   if (options.workload) spec.workload = *options.workload;
   if (options.statistic) spec.statistic = *options.statistic;
   if (options.backend) spec.backend = *options.backend;
+  if (options.execution) spec.execution = *options.execution;
 }
 
 /// The --out path for one scenario: unchanged for a single run, suffixed
