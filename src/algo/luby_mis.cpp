@@ -44,6 +44,7 @@ class LubyProgram final : public local::NodeProgram {
       joining_ = true;
       for (std::size_t p = 0; p < inbox.size(); ++p) {
         const auto msg = inbox[p];
+        if (msg.empty()) continue;  // silent port (crashed/lossy neighbor)
         if (msg[0] != kUndecided) continue;
         const std::uint64_t their_draw = msg[1];
         const std::uint64_t their_id = msg[2];
@@ -61,6 +62,7 @@ class LubyProgram final : public local::NodeProgram {
     }
     for (std::size_t p = 0; p < inbox.size(); ++p) {
       const auto msg = inbox[p];
+      if (msg.empty()) continue;  // silent port (crashed/lossy neighbor)
       if (msg[0] == kUndecided && msg[1] == 1) {
         status_ = kOut;
         return false;  // a neighbor joined this phase

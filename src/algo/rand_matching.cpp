@@ -59,6 +59,9 @@ class MatchingProgram final : public local::NodeProgram {
       std::uint64_t best_draw = 0;
       for (std::size_t p = 0; p < inbox.size(); ++p) {
         const auto msg = inbox[p];
+        // A silent port (crashed/lossy neighbor) carries no information;
+        // the last known availability stands.
+        if (msg.empty()) continue;
         neighbor_available_[p] = msg[0] == 0;
         if (msg[0] != 0) continue;
         neighbor_id_[p] = msg[4];
@@ -80,6 +83,7 @@ class MatchingProgram final : public local::NodeProgram {
     if (role_ == kRoleProposer && proposal_target_ != 0) {
       for (std::size_t p = 0; p < inbox.size(); ++p) {
         const auto msg = inbox[p];
+        if (msg.empty()) continue;  // silent port: no acceptance heard
         if (msg[0] == 0 && msg[1] == id_) {
           // Only our proposal target could have accepted us.
           matched_ = true;

@@ -28,6 +28,7 @@ class WeakColorProgram final : public local::NodeProgram {
   bool receive(int round, const local::Inbox& inbox) override {
     bool all_agree = true;
     for (std::size_t p = 0; p < inbox.size(); ++p) {
+      if (inbox[p].empty()) continue;  // silent port cannot disagree
       if (inbox[p][0] != bit_) {
         all_agree = false;
         break;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 
+#include "fault/fault.h"
 #include "graph/metrics.h"
+#include "util/assert.h"
 
 namespace lnc::decide {
 namespace {
@@ -28,6 +31,22 @@ DecisionOutcome evaluate_impl(const local::Instance& inst,
     }
   }
 
+  // Fault censoring: crashed nodes cast no verdict, and surviving nodes
+  // observe only the realized fault subgraph. Telemetry for the realized
+  // faults is NOT charged here — the construction side owns that tally.
+  std::optional<fault::BallCensor> censor;
+  if (options.fault != nullptr && !options.fault->trivial()) {
+    LNC_EXPECTS(options.fault_coins != nullptr &&
+                "non-trivial fault model requires its coin stream");
+    censor.emplace(*options.fault, *options.fault_coins,
+                   [&inst](graph::NodeId v) { return inst.identity_of(v); });
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (counted[v] != 0 && censor->node_blocked(v)) counted[v] = 0;
+    }
+  }
+  const graph::BallFilter* filter =
+      censor.has_value() ? &*censor : nullptr;
+
   std::vector<char> rejected(n, 0);
   const bool count_telemetry = options.telemetry != nullptr;
   // Relaxed atomics: commutative sums, bit-identical whatever the node
@@ -38,7 +57,7 @@ DecisionOutcome evaluate_impl(const local::Instance& inst,
   auto body = [&](local::BallWorkspace& workspace, std::uint64_t v) {
     if (counted[v] == 0) return;
     workspace.ball.collect(inst.topology(), static_cast<graph::NodeId>(v),
-                           radius, workspace.scratch);
+                           radius, workspace.scratch, filter);
     const graph::BallView& ball = workspace.ball;
     local::View view;
     view.ball = &ball;

@@ -17,6 +17,10 @@
 #include "local/telemetry.h"
 #include "stats/threadpool.h"
 
+namespace lnc::fault {
+class FaultModel;
+}
+
 namespace lnc::decide {
 
 /// Restricts which verdicts count toward acceptance.
@@ -54,6 +58,16 @@ struct EvaluateOptions {
   /// worker's slot per trial. Pooled evaluations manage per-worker
   /// workspaces internally.
   local::BallWorkspace* ball = nullptr;
+
+  /// Optional adversary (src/fault/): when `fault` is non-null and
+  /// non-trivial, `fault_coins` must be the trial's dedicated fault
+  /// stream. Crashed nodes cast no verdict (they are not counted toward
+  /// acceptance — a crash-stop node cannot reject), and every surviving
+  /// node's decision ball is collected inside the realized fault
+  /// subgraph. The censor charges NO fault telemetry: the construction
+  /// side already tallied this trial's realized faults exactly once.
+  const fault::FaultModel* fault = nullptr;
+  const rand::CoinProvider* fault_coins = nullptr;
 };
 
 /// Deterministic decider over the configuration.

@@ -5,9 +5,17 @@
 #include <cstdint>
 #include <utility>
 
+#include "fault/fault.h"
 #include "util/assert.h"
 
 namespace lnc::decide {
+namespace {
+
+bool fault_requested(const EvaluateOptions& options) {
+  return options.fault != nullptr && !options.fault->trivial();
+}
+
+}  // namespace
 
 local::ExperimentPlan acceptance_plan(
     std::string name, const local::Instance& inst,
@@ -21,9 +29,11 @@ local::ExperimentPlan acceptance_plan(
   plan.success_trial = [&inst, output, &decider, options,
                         success_on_accept](const local::TrialEnv& env) {
     const rand::PhiloxCoins coins = env.decision_coins();
+    const rand::PhiloxCoins fault_coins = env.fault_coins();
     EvaluateOptions trial_options = options;
     trial_options.telemetry = &env.arena->telemetry();
     trial_options.ball = &env.arena->ball_workspace();
+    if (fault_requested(options)) trial_options.fault_coins = &fault_coins;
     const DecisionOutcome outcome =
         evaluate(inst, output, decider, coins, trial_options);
     return outcome.accepted == success_on_accept;
@@ -53,6 +63,8 @@ local::ExperimentPlan construct_then_decide_plan(
     // materialized path's.
     LNC_EXPECTS(mode == local::ExecMode::kBalls);
     LNC_EXPECTS(!options.far_from.has_value());
+    LNC_EXPECTS(!fault_requested(options) &&
+                "implicit execution does not support fault models");
     plan.success_trial = [&inst, &algo, &decider, options,
                           success_on_accept](const local::TrialEnv& env) {
       const rand::PhiloxCoins c_coins = env.construction_coins();
@@ -111,15 +123,22 @@ local::ExperimentPlan construct_then_decide_plan(
                         mode](const local::TrialEnv& env) {
     const rand::PhiloxCoins c_coins = env.construction_coins();
     const rand::PhiloxCoins d_coins = env.decision_coins();
+    const rand::PhiloxCoins f_coins = env.fault_coins();
     local::ExecOptions exec_options;
     exec_options.grant_n = options.grant_n;
     exec_options.arena = env.arena;
+    // One realized adversary per trial, shared by both phases: the
+    // construction runs (and charges the realized faults) under the same
+    // fault stream the decision censor reads.
+    exec_options.fault = options.fault;
+    exec_options.fault_coins = &f_coins;
     local::Labeling& output = env.arena->labeling();
     local::run_construction_into(inst, algo, c_coins, mode, output,
                                  exec_options);
     EvaluateOptions trial_options = options;
     trial_options.telemetry = &env.arena->telemetry();
     trial_options.ball = &env.arena->ball_workspace();
+    if (fault_requested(options)) trial_options.fault_coins = &f_coins;
     const DecisionOutcome outcome =
         evaluate(inst, output, decider, d_coins, trial_options);
     return outcome.accepted == success_on_accept;
@@ -156,9 +175,11 @@ local::ExperimentPlan guarantee_side_plan(
       arena.note_sample(owner, seed);
     }
     const rand::PhiloxCoins coins = env.decision_coins();
+    const rand::PhiloxCoins fault_coins = env.fault_coins();
     EvaluateOptions trial_options = options;
     trial_options.telemetry = &arena.telemetry();
     trial_options.ball = &arena.ball_workspace();
+    if (fault_requested(options)) trial_options.fault_coins = &fault_coins;
     const DecisionOutcome outcome =
         evaluate(sample.inst(), sample.output, decider, coins,
                  trial_options);

@@ -18,18 +18,18 @@ BallView::BallView(const Topology& topology, NodeId center, int radius) {
 }
 
 void BallView::collect(const Topology& topology, NodeId center, int radius,
-                       BallScratch& scratch) {
+                       BallScratch& scratch, const BallFilter* filter) {
   // A materialized graph keeps the stamp-versioned O(n)-scratch fast
   // path; one dynamic_cast per ball is noise next to the BFS.
   if (const auto* g = dynamic_cast<const Graph*>(&topology)) {
-    collect(*g, center, radius, scratch);
+    collect(*g, center, radius, scratch, filter);
     return;
   }
-  collect_generic(topology, center, radius, scratch);
+  collect_generic(topology, center, radius, scratch, filter);
 }
 
 void BallView::collect(const Graph& g, NodeId center, int radius,
-                       BallScratch& scratch) {
+                       BallScratch& scratch, const BallFilter* filter) {
   LNC_EXPECTS(center < g.node_count());
   LNC_EXPECTS(radius >= 0);
   radius_ = radius;
@@ -63,6 +63,10 @@ void BallView::collect(const Graph& g, NodeId center, int radius,
     ++head;
     if (du == radius) continue;
     for (NodeId w : g.neighbors(u)) {
+      if (filter != nullptr &&
+          (filter->node_blocked(w) || filter->edge_blocked(u, w))) {
+        continue;
+      }
       if (local_of(w) == kInvalidNode) {
         mark(w, static_cast<NodeId>(members_.size()));
         members_.push_back(w);
@@ -84,6 +88,7 @@ void BallView::collect(const Graph& g, NodeId center, int radius,
       const NodeId b = local_of(w);
       if (b == kInvalidNode) continue;
       if (distances_[a] == radius && distances_[b] == radius) continue;
+      if (filter != nullptr && filter->edge_blocked(members_[a], w)) continue;
       ++offsets_[a + 1];
     }
   }
@@ -97,6 +102,7 @@ void BallView::collect(const Graph& g, NodeId center, int radius,
       const NodeId b = local_of(w);
       if (b == kInvalidNode) continue;
       if (distances_[a] == radius && distances_[b] == radius) continue;
+      if (filter != nullptr && filter->edge_blocked(members_[a], w)) continue;
       adjacency_[scratch.cursor_[a]++] = b;
     }
   }
@@ -110,7 +116,8 @@ void BallView::collect(const Graph& g, NodeId center, int radius,
 }
 
 void BallView::collect_generic(const Topology& topology, NodeId center,
-                               int radius, BallScratch& scratch) {
+                               int radius, BallScratch& scratch,
+                               const BallFilter* filter) {
   LNC_EXPECTS(center < topology.node_count());
   LNC_EXPECTS(radius >= 0);
   radius_ = radius;
@@ -183,6 +190,10 @@ void BallView::collect_generic(const Topology& topology, NodeId center,
     host_offsets.push_back(host_adj.size());
     if (du == radius) continue;
     for (NodeId w : nbrs) {
+      if (filter != nullptr &&
+          (filter->node_blocked(w) || filter->edge_blocked(u, w))) {
+        continue;
+      }
       if (local_of(w) == kInvalidNode) {
         mark(w, static_cast<NodeId>(members_.size()));
         members_.push_back(w);
@@ -209,6 +220,7 @@ void BallView::collect_generic(const Topology& topology, NodeId center,
       const NodeId b = local_of(w);
       if (b == kInvalidNode) continue;
       if (distances_[a] == radius && distances_[b] == radius) continue;
+      if (filter != nullptr && filter->edge_blocked(members_[a], w)) continue;
       ++offsets_[a + 1];
     }
   }
@@ -222,6 +234,7 @@ void BallView::collect_generic(const Topology& topology, NodeId center,
       const NodeId b = local_of(w);
       if (b == kInvalidNode) continue;
       if (distances_[a] == radius && distances_[b] == radius) continue;
+      if (filter != nullptr && filter->edge_blocked(members_[a], w)) continue;
       adjacency_[scratch.cursor_[a]++] = b;
     }
   }

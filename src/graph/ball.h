@@ -20,6 +20,21 @@
 
 namespace lnc::graph {
 
+/// Optional censoring predicate for ball collection — the hook through
+/// which fault models (src/fault/) erase crashed nodes and faulty edges
+/// from what a LOCAL algorithm can observe. Predicates must be pure
+/// (collection may probe the same node or edge repeatedly) and
+/// edge_blocked must be symmetric in its arguments; both receive
+/// ORIGINAL graph indices. A blocked node never joins the ball (the
+/// center itself is exempt — callers decide what a failed center means);
+/// a blocked edge is traversed by neither BFS nor the adjacency pass.
+class BallFilter {
+ public:
+  virtual ~BallFilter() = default;
+  virtual bool node_blocked(NodeId v) const = 0;
+  virtual bool edge_blocked(NodeId a, NodeId b) const = 0;
+};
+
 /// Reusable working storage for BallView::collect. The visited map is
 /// stamp-versioned, so successive collections touch only the nodes of the
 /// ball being built instead of clearing an O(n) array each time; the
@@ -60,9 +75,13 @@ class BallView {
   /// Re-collects B_G(center, radius) into this view, reusing this view's
   /// vector capacity and the scratch's visited map. Bit-identical to a
   /// freshly constructed BallView (tests/graph_test.cpp asserts this);
-  /// only the allocations differ.
+  /// only the allocations differ. A non-null `filter` censors the
+  /// collection: blocked nodes and blocked edges are invisible to BFS and
+  /// adjacency alike, i.e. the ball is collected in the realized fault
+  /// subgraph (host_degrees_ still report the intact host graph — the
+  /// algorithm knows its port count even when links misbehave).
   void collect(const Graph& g, NodeId center, int radius,
-               BallScratch& scratch);
+               BallScratch& scratch, const BallFilter* filter = nullptr);
 
   /// Collects the ball from any Topology. A materialized Graph takes the
   /// CSR fast path above; anything else expands through neighbors_of with
@@ -70,7 +89,7 @@ class BallView {
   /// bit-identical to collecting from the materialized graph of the same
   /// topology (tests/topology_test.cpp).
   void collect(const Topology& topology, NodeId center, int radius,
-               BallScratch& scratch);
+               BallScratch& scratch, const BallFilter* filter = nullptr);
 
   /// Number of nodes in the ball.
   NodeId size() const noexcept {
@@ -132,7 +151,7 @@ class BallView {
 
  private:
   void collect_generic(const Topology& topology, NodeId center, int radius,
-                       BallScratch& scratch);
+                       BallScratch& scratch, const BallFilter* filter);
 
   int radius_ = 0;
   std::vector<NodeId> members_;     // local -> original

@@ -128,6 +128,7 @@ class WorkerArena {
 inline constexpr std::uint64_t kConstructionSeedTag = 0xC0;
 inline constexpr std::uint64_t kDecisionSeedTag = 0xD0;
 inline constexpr std::uint64_t kSampleSeedTag = 0x15;
+inline constexpr std::uint64_t kFaultSeedTag = 0xFA;
 
 /// Everything a trial body receives: its index, its private seed
 /// (stats::trial_seed(base_seed, index) — a pure function of the index, so
@@ -150,6 +151,11 @@ struct TrialEnv {
   /// The trial's decision coins (the paper's sigma' in Rand(D)).
   rand::PhiloxCoins decision_coins() const noexcept {
     return {derive(kDecisionSeedTag), rand::Stream::kDecision};
+  }
+  /// The trial's adversity coins — the fault model's private stream,
+  /// disjoint from both algorithms' randomness by construction.
+  rand::PhiloxCoins fault_coins() const noexcept {
+    return {derive(kFaultSeedTag), rand::Stream::kFault};
   }
   /// Seed for per-trial instance/configuration sampling.
   std::uint64_t sample_seed() const noexcept {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "local/vector_engine.h"
 #include "util/assert.h"
 
@@ -88,6 +89,25 @@ EngineResult run_engine(const Instance& inst,
   s.last_factory_ = &factory;
   s.last_factory_name_ = factory.name();
 
+  // Resolve the adversary once per run: crash rounds are pure per-node
+  // draws, the per-port suppression bitmap is refilled by a deterministic
+  // single-threaded pass each round.
+  const bool fault_active =
+      options.fault != nullptr && !options.fault->trivial();
+  if (fault_active) {
+    LNC_EXPECTS(options.fault_coins != nullptr &&
+                "non-trivial fault model requires its coin stream");
+    s.crash_rounds_.resize(n);
+    s.dead_.assign(n, 0);
+    s.port_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      s.crash_rounds_[v] =
+          options.fault->crash_round(*options.fault_coins, inst.ids[v]);
+      s.port_offsets_[v + 1] = s.port_offsets_[v] + inst.g.degree(v);
+    }
+    s.suppressed_.assign(s.port_offsets_[n], 0);
+  }
+
   auto all_halted = [&]() {
     return std::all_of(s.halted_.begin(), s.halted_.end(),
                        [](char h) { return h != 0; });
@@ -108,7 +128,11 @@ EngineResult run_engine(const Instance& inst,
     result.rounds = rounds;
     result.output.resize(n);
     for (graph::NodeId v = 0; v < n; ++v) {
-      result.output[v] = s.programs_[v]->output();
+      // A crashed node produced no output; label 0 is its tombstone (the
+      // deciders treat crashed nodes separately — see decide/evaluate.cpp).
+      result.output[v] = fault_active && s.dead_[v] != 0
+                             ? Label{0}
+                             : s.programs_[v]->output();
     }
     run_telemetry.rounds_executed = static_cast<std::uint64_t>(rounds);
     run_telemetry.arena_peak_bytes =
@@ -126,23 +150,39 @@ EngineResult run_engine(const Instance& inst,
     if (round >= options.max_rounds) return finish(round, false);
     ++round;
 
+    // Crash-stop resolution: a node whose crash round has arrived falls
+    // silent BEFORE sending (it is dead for this and all later rounds).
+    // Only crashes realized within the executed window are counted — the
+    // tally is still a pure function of the trial, not of the schedule.
+    if (fault_active) {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        if (s.dead_[v] == 0 &&
+            s.crash_rounds_[v] <= static_cast<std::uint64_t>(round)) {
+          s.dead_[v] = 1;
+          s.halted_[v] = 1;
+          ++run_telemetry.nodes_crashed;
+        }
+      }
+    }
+
     s.store_.begin_round();
     auto receive_step = [&](std::uint64_t v) {
       if (s.halted_[v] != 0) return;
-      const Inbox inbox(s.store_,
-                        inst.g.neighbors(static_cast<graph::NodeId>(v)));
+      const Inbox inbox(
+          s.store_, inst.g.neighbors(static_cast<graph::NodeId>(v)),
+          fault_active ? s.suppressed_.data() + s.port_offsets_[v] : nullptr);
       if (s.programs_[v]->receive(round, inbox)) s.halted_[v] = 1;
     };
 
     if (parallel_steps) {
       options.pool->parallel_for(n, [&](std::uint64_t v) {
         MessageWriter out = s.store_.writer(static_cast<graph::NodeId>(v));
-        s.programs_[v]->send(round, out);
+        if (!fault_active || s.dead_[v] == 0) s.programs_[v]->send(round, out);
       });
     } else {
       for (graph::NodeId v = 0; v < n; ++v) {
         MessageWriter out = s.store_.writer(v);
-        s.programs_[v]->send(round, out);
+        if (!fault_active || s.dead_[v] == 0) s.programs_[v]->send(round, out);
         s.store_.end_write(v);
       }
     }
@@ -153,6 +193,41 @@ EngineResult run_engine(const Instance& inst,
       if (words > 0) {
         ++run_telemetry.messages_sent;
         run_telemetry.words_sent += words;
+      }
+    }
+    // Link-fault pass (single-threaded, after the send barrier): fill the
+    // per-port suppression bitmap for this round and tally what was
+    // realized. Every draw is keyed by (identities, round), so the bitmap
+    // — and the counters — are independent of thread count.
+    if (fault_active) {
+      const auto& model = *options.fault;
+      const auto& fcoins = *options.fault_coins;
+      for (graph::NodeId v = 0; v < n; ++v) {
+        const auto nbrs = inst.g.neighbors(v);
+        for (std::size_t p = 0; p < nbrs.size(); ++p) {
+          const graph::NodeId u = nbrs[p];
+          char& slot = s.suppressed_[s.port_offsets_[v] + p];
+          slot = 0;
+          if (model.edge_down(fcoins, inst.ids[v], inst.ids[u],
+                              static_cast<std::uint64_t>(round))) {
+            slot = 1;
+            // One (edge, round) deactivation == one churn event; count it
+            // at the lower endpoint so each unordered pair counts once.
+            if (v < u) ++run_telemetry.edges_churned;
+            continue;
+          }
+          // A drop is only an event when there was a delivery to lose: a
+          // non-silent, non-crashed sender and a receiver still running.
+          if (s.halted_[v] != 0 || s.dead_[u] != 0 ||
+              s.store_.message(u).empty()) {
+            continue;
+          }
+          if (model.drops_delivery(fcoins, inst.ids[u], inst.ids[v],
+                                   static_cast<std::uint64_t>(round))) {
+            slot = 1;
+            ++run_telemetry.messages_dropped;
+          }
+        }
       }
     }
     if (parallel_steps) {

@@ -39,6 +39,10 @@
 #include "rand/coins.h"
 #include "stats/threadpool.h"
 
+namespace lnc::fault {
+class FaultModel;
+}
+
 namespace lnc::local {
 
 class MessageStore;
@@ -132,20 +136,26 @@ class MessageStore {
 
 /// Zero-copy view of the messages on a node's ports this round: inbox[p]
 /// is the message from the neighbor on port p (empty span == silence).
+/// A non-null `suppressed` row (one char per port, set by the engine's
+/// fault pass) turns the flagged ports into silence — a dropped delivery
+/// is indistinguishable from a silent neighbor, exactly the lossy-link
+/// semantics.
 class Inbox {
  public:
-  Inbox(const MessageStore& store,
-        std::span<const graph::NodeId> neighbors) noexcept
-      : store_(&store), neighbors_(neighbors) {}
+  Inbox(const MessageStore& store, std::span<const graph::NodeId> neighbors,
+        const char* suppressed = nullptr) noexcept
+      : store_(&store), neighbors_(neighbors), suppressed_(suppressed) {}
 
   std::size_t size() const noexcept { return neighbors_.size(); }
   std::span<const std::uint64_t> operator[](std::size_t port) const noexcept {
+    if (suppressed_ != nullptr && suppressed_[port] != 0) return {};
     return store_->message(neighbors_[port]);
   }
 
  private:
   const MessageStore* store_;
   std::span<const graph::NodeId> neighbors_;
+  const char* suppressed_;
 };
 
 /// What a node knows at wake-up. Ports are indices into the neighbor list
@@ -243,6 +253,13 @@ class EngineScratch {
   std::vector<rand::NodeRng> rngs_;  // contiguous; reserve() keeps ptrs stable
   std::vector<char> halted_;
   MessageStore store_;
+  // Fault-pass storage (sized/filled only when a non-trivial fault model
+  // is active): per-node crash rounds and dead flags, plus a per-port
+  // suppression bitmap addressed by port_offsets_ (prefix degrees).
+  std::vector<std::uint64_t> crash_rounds_;
+  std::vector<char> dead_;
+  std::vector<char> suppressed_;
+  std::vector<std::size_t> port_offsets_;
   // Which factory populated programs_ — recycling is only attempted when
   // the same factory (by address AND name, to survive address reuse) runs
   // again on this scratch.
@@ -257,6 +274,16 @@ struct EngineOptions {
   bool grant_ring_orientation = false;  ///< expose succ_port on cycle()
   const rand::CoinProvider* coins = nullptr;  ///< null => deterministic
   const stats::ThreadPool* pool = nullptr;    ///< null => sequential steps
+
+  /// Optional adversary (src/fault/). When `fault` is non-null and
+  /// non-trivial, `fault_coins` must be set (the trial's dedicated fault
+  /// stream): crashed nodes fall silent from their crash round onward and
+  /// output 0, dropped/churned deliveries read as silence, and the fault
+  /// telemetry counters measure what was realized. All draws are keyed by
+  /// node identities and the round index — never by schedule — so faulty
+  /// runs stay bit-identical across thread counts and shards.
+  const fault::FaultModel* fault = nullptr;
+  const rand::CoinProvider* fault_coins = nullptr;
 
   /// Keep the per-node programs alive in EngineResult::programs so callers
   /// can read program-specific state back (e.g. the ball collector's

@@ -1,11 +1,37 @@
 #include "local/experiment.h"
 
+#include <optional>
 #include <utility>
 
+#include "fault/fault.h"
 #include "util/assert.h"
 
 namespace lnc::local {
 namespace {
+
+bool fault_engaged(const ExecOptions& options) {
+  return options.fault != nullptr && !options.fault->trivial();
+}
+
+/// Shared kBalls fault plumbing: censor the run and charge the realized
+/// faults (once per trial — this is the ball path's ONLY charging site).
+template <typename RunBody>
+void run_censored_balls(const Instance& inst, const ExecOptions& options,
+                        RunOptions& run_options, RunBody&& run) {
+  std::optional<fault::BallCensor> censor;
+  if (fault_engaged(options)) {
+    LNC_EXPECTS(options.fault_coins != nullptr &&
+                "non-trivial fault model requires its coin stream");
+    censor.emplace(*options.fault, *options.fault_coins,
+                   [&inst](graph::NodeId v) { return inst.identity_of(v); });
+    run_options.ball_filter = &*censor;
+  }
+  run();
+  if (censor.has_value() && options.arena != nullptr) {
+    charge_fault_telemetry(inst, *options.fault, *options.fault_coins,
+                           options.arena->telemetry());
+  }
+}
 
 /// Per-node compute step shared by the messages and two-phase modes.
 using ComputeFromView = std::function<Label(const View&)>;
@@ -123,6 +149,37 @@ void run_two_phase_mode(const Instance& inst, int radius,
 
 }  // namespace
 
+void charge_fault_telemetry(const Instance& inst,
+                            const fault::FaultModel& model,
+                            const rand::CoinProvider& fault_coins,
+                            Telemetry& telemetry) {
+  const graph::NodeId n = inst.node_count();
+  auto failed = [&](graph::NodeId v) {
+    return model.ball_node_failed(fault_coins, inst.identity_of(v));
+  };
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (failed(v)) ++telemetry.nodes_crashed;
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (failed(v)) continue;
+    for (graph::NodeId w : inst.g.neighbors(v)) {
+      // Each surviving undirected edge is drawn once (lower endpoint).
+      if (w <= v || failed(w)) continue;
+      switch (model.ball_edge_fault(fault_coins, inst.identity_of(v),
+                                    inst.identity_of(w))) {
+        case fault::EdgeFault::kDropped:
+          ++telemetry.messages_dropped;
+          break;
+        case fault::EdgeFault::kChurned:
+          ++telemetry.edges_churned;
+          break;
+        case fault::EdgeFault::kNone:
+          break;
+      }
+    }
+  }
+}
+
 const char* to_string(ExecMode mode) noexcept {
   switch (mode) {
     case ExecMode::kBalls:
@@ -146,16 +203,22 @@ void run_construction_into(const Instance& inst, const BallAlgorithm& algo,
         run_options.telemetry = &options.arena->telemetry();
         run_options.ball = &options.arena->ball_workspace();
       }
-      run_ball_algorithm_into(inst, algo, output, run_options);
+      run_censored_balls(inst, options, run_options, [&] {
+        run_ball_algorithm_into(inst, algo, output, run_options);
+      });
       return;
     }
     case ExecMode::kMessages:
+      LNC_EXPECTS(!fault_engaged(options) &&
+                  "simulation modes do not support fault models");
       run_messages_mode(
           inst, algo.name(), algo.radius(),
           [&algo](const View& view) { return algo.compute(view); }, output,
           options);
       return;
     case ExecMode::kTwoPhase:
+      LNC_EXPECTS(!fault_engaged(options) &&
+                  "simulation modes do not support fault models");
       run_two_phase_mode(
           inst, algo.radius(),
           [&algo](const View& view) { return algo.compute(view); }, output,
@@ -176,10 +239,14 @@ void run_construction_into(const Instance& inst,
         run_options.telemetry = &options.arena->telemetry();
         run_options.ball = &options.arena->ball_workspace();
       }
-      run_ball_algorithm_into(inst, algo, coins, output, run_options);
+      run_censored_balls(inst, options, run_options, [&] {
+        run_ball_algorithm_into(inst, algo, coins, output, run_options);
+      });
       return;
     }
     case ExecMode::kMessages:
+      LNC_EXPECTS(!fault_engaged(options) &&
+                  "simulation modes do not support fault models");
       run_messages_mode(
           inst, algo.name(), algo.radius(),
           [&algo, &coins](const View& view) {
@@ -188,6 +255,8 @@ void run_construction_into(const Instance& inst,
           output, options);
       return;
     case ExecMode::kTwoPhase:
+      LNC_EXPECTS(!fault_engaged(options) &&
+                  "simulation modes do not support fault models");
       run_two_phase_mode(
           inst, algo.radius(),
           [&algo, &coins](const View& view) {
@@ -218,17 +287,21 @@ ExperimentPlan construction_plan(std::string name, const Instance& inst,
                                  const RandomizedBallAlgorithm& algo,
                                  OutputPredicate predicate,
                                  std::uint64_t trials, std::uint64_t base_seed,
-                                 ExecMode mode, bool grant_n) {
+                                 ExecMode mode, bool grant_n,
+                                 const fault::FaultModel* fault) {
   ExperimentPlan plan;
   plan.name = std::move(name);
   plan.trials = trials;
   plan.base_seed = base_seed;
   plan.success_trial = [&inst, &algo, predicate = std::move(predicate), mode,
-                        grant_n](const TrialEnv& env) {
+                        grant_n, fault](const TrialEnv& env) {
     const rand::PhiloxCoins coins = env.construction_coins();
+    const rand::PhiloxCoins fault_coins = env.fault_coins();
     ExecOptions options;
     options.grant_n = grant_n;
     options.arena = env.arena;
+    options.fault = fault;
+    options.fault_coins = &fault_coins;
     Labeling& output = env.arena->labeling();
     run_construction_into(inst, algo, coins, mode, output, options);
     return predicate(inst, output);
@@ -240,17 +313,20 @@ ExperimentPlan construction_value_plan(
     std::string name, const Instance& inst,
     const RandomizedBallAlgorithm& algo, OutputStatistic statistic,
     std::uint64_t trials, std::uint64_t base_seed, ExecMode mode,
-    bool grant_n) {
+    bool grant_n, const fault::FaultModel* fault) {
   ExperimentPlan plan;
   plan.name = std::move(name);
   plan.trials = trials;
   plan.base_seed = base_seed;
   plan.value_trial = [&inst, &algo, statistic = std::move(statistic), mode,
-                      grant_n](const TrialEnv& env) {
+                      grant_n, fault](const TrialEnv& env) {
     const rand::PhiloxCoins coins = env.construction_coins();
+    const rand::PhiloxCoins fault_coins = env.fault_coins();
     ExecOptions options;
     options.grant_n = grant_n;
     options.arena = env.arena;
+    options.fault = fault;
+    options.fault_coins = &fault_coins;
     Labeling& output = env.arena->labeling();
     run_construction_into(inst, algo, coins, mode, output, options);
     return statistic(inst, output);

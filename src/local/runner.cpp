@@ -17,9 +17,15 @@ void run_per_node(const Instance& inst, int radius, const RunOptions& options,
   // bit-identical whatever the node schedule (pool or sequential).
   std::atomic<std::uint64_t> announcements{0};
   std::atomic<std::uint64_t> encoded_words{0};
+  std::atomic<std::uint64_t> expansions{0};
   auto body = [&](BallWorkspace& workspace, std::uint64_t v) {
+    if (options.ball_filter != nullptr &&
+        options.ball_filter->node_blocked(static_cast<graph::NodeId>(v))) {
+      output[v] = 0;  // crashed center: tombstone, no collection, no charge
+      return;
+    }
     workspace.ball.collect(inst.topology(), static_cast<graph::NodeId>(v),
-                           radius, workspace.scratch);
+                           radius, workspace.scratch, options.ball_filter);
     const graph::BallView& ball = workspace.ball;
     View view;
     view.ball = &ball;
@@ -30,6 +36,7 @@ void run_per_node(const Instance& inst, int radius, const RunOptions& options,
       announcements.fetch_add(ball.size(), std::memory_order_relaxed);
       encoded_words.fetch_add(ball.encoded_words(),
                               std::memory_order_relaxed);
+      expansions.fetch_add(1, std::memory_order_relaxed);
     }
   };
   if (options.pool != nullptr) {
@@ -55,7 +62,7 @@ void run_per_node(const Instance& inst, int radius, const RunOptions& options,
     telemetry.words_sent += encoded_words.load(std::memory_order_relaxed);
     telemetry.rounds_executed +=
         static_cast<std::uint64_t>(std::max(radius, 1));
-    telemetry.ball_expansions += n;
+    telemetry.ball_expansions += expansions.load(std::memory_order_relaxed);
   }
 }
 

@@ -89,6 +89,14 @@ struct RunOptions {
   /// Null still reuses one call-local workspace across the nodes of this
   /// run; pooled runs manage one workspace per pool worker internally.
   BallWorkspace* ball = nullptr;
+
+  /// Optional fault censoring (src/fault/): every ball is collected inside
+  /// the realized fault subgraph the filter describes. A node whose CENTER
+  /// is blocked is crashed: it computes nothing and outputs the 0
+  /// tombstone (filters are pure, so the censored run stays a pure
+  /// function of the trial). Modeled telemetry charges only the balls of
+  /// surviving nodes — crashed nodes neither announce nor read.
+  const graph::BallFilter* ball_filter = nullptr;
 };
 
 /// Runs a deterministic ball algorithm at every node.

@@ -42,6 +42,12 @@ struct Telemetry {
   std::uint64_t ball_expansions = 0;  ///< BallViews materialized in the
                                       ///< harness (direct runner, decider
                                       ///< evaluations, two-phase rebuilds)
+  std::uint64_t messages_dropped = 0;  ///< deliveries suppressed by the
+                                       ///< fault model (lossy links)
+  std::uint64_t nodes_crashed = 0;     ///< crash-stop nodes realized by the
+                                       ///< fault model
+  std::uint64_t edges_churned = 0;     ///< (edge, round) deactivations
+                                       ///< realized by the fault model
 
   // -- environment-dependent (reported, never gated) ------------------------
   std::uint64_t arena_peak_bytes = 0;  ///< high-water engine-arena footprint
@@ -57,6 +63,9 @@ struct Telemetry {
     words_sent += other.words_sent;
     rounds_executed += other.rounds_executed;
     ball_expansions += other.ball_expansions;
+    messages_dropped += other.messages_dropped;
+    nodes_crashed += other.nodes_crashed;
+    edges_churned += other.edges_churned;
     arena_peak_bytes = std::max(arena_peak_bytes, other.arena_peak_bytes);
     wall_seconds += other.wall_seconds;
   }
@@ -68,7 +77,10 @@ struct Telemetry {
     return messages_sent == other.messages_sent &&
            words_sent == other.words_sent &&
            rounds_executed == other.rounds_executed &&
-           ball_expansions == other.ball_expansions;
+           ball_expansions == other.ball_expansions &&
+           messages_dropped == other.messages_dropped &&
+           nodes_crashed == other.nodes_crashed &&
+           edges_churned == other.edges_churned;
   }
 };
 

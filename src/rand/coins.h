@@ -26,6 +26,7 @@ enum class Stream : std::uint64_t {
   kConstruction = 0x433A,  // "C:"
   kDecision = 0x443A,      // "D:"
   kAux = 0x413A,           // "A:" free for tests/experiments
+  kFault = 0x463A,         // "F:" adversity draws (fault models)
 };
 
 /// Immutable source of coins: a pure function of (identity, draw index).

@@ -24,6 +24,7 @@
 #include "decide/lcl_decider.h"
 #include "decide/resilient_decider.h"
 #include "decide/slack_decider.h"
+#include "fault/fault.h"
 #include "graph/generators.h"
 #include "graph/implicit.h"
 #include "lang/amos.h"
@@ -47,6 +48,13 @@ namespace {
 /// Identity-derivation tag: keeps identity sampling independent of the
 /// topology's own edge sampling under one scenario seed.
 constexpr std::uint64_t kIdSeedTag = 0x1D;
+
+/// Round cap for engine constructions under a non-trivial fault model:
+/// faults can stall termination (a node whose progress messages always
+/// drop never halts), so a faulty run that exhausts this budget is a
+/// legitimate outcome, not an engine bug. Deterministic in the fault
+/// coins, so the cap itself never breaks bit-reproducibility.
+constexpr int kFaultMaxRounds = 256;
 
 ident::IdAssignment ids_for(graph::NodeId n, bool random_ids,
                             std::uint64_t seed) {
@@ -404,10 +412,15 @@ class BallConstruction final : public Construction {
 
   Outcome run(const local::Instance& inst, const local::TrialEnv& env,
               local::Labeling& output,
-              const RunOptions& /*run_options*/) const override {
+              const RunOptions& run_options) const override {
     const rand::PhiloxCoins coins = env.construction_coins();
+    const rand::PhiloxCoins fault_coins = env.fault_coins();
     local::ExecOptions options;
     options.arena = env.arena;
+    if (run_options.fault != nullptr && !run_options.fault->trivial()) {
+      options.fault = run_options.fault;
+      options.fault_coins = &fault_coins;
+    }
     local::run_construction_into(inst, *algo_, coins, local::ExecMode::kBalls,
                                  output, options);
     return {algo_->radius()};
@@ -434,12 +447,23 @@ class EngineConstruction final : public Construction {
               local::Labeling& output,
               const RunOptions& run_options) const override {
     const rand::PhiloxCoins coins = env.construction_coins();
+    const rand::PhiloxCoins fault_coins = env.fault_coins();
     local::EngineOptions options;
     if (randomized_) options.coins = &coins;
     if (env.arena != nullptr) options.scratch = &env.arena->engine();
     options.pool = run_options.pool;
+    const bool faulty =
+        run_options.fault != nullptr && !run_options.fault->trivial();
+    if (faulty) {
+      options.fault = run_options.fault;
+      options.fault_coins = &fault_coins;
+      // Lossy/crashed neighborhoods can stall progress detection forever
+      // (e.g. a proposer whose acceptances always drop); cap the rounds and
+      // let undecided nodes keep their current output.
+      options.max_rounds = kFaultMaxRounds;
+    }
     local::EngineResult result = run_engine(inst, *factory_, options);
-    LNC_ASSERT(result.completed);
+    if (!faulty) LNC_ASSERT(result.completed);
     output = std::move(result.output);
     return {result.rounds};
   }
@@ -615,6 +639,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {{"colors", 3, "palette size q", 1, 1e9}},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"coloring",
+       /*fault_capable=*/true,
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
          return std::make_unique<BallConstruction>(
              std::make_unique<algo::UniformRandomColoring>(
@@ -627,6 +652,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {{"count", 1, "number of selected nodes", 0, 1e18}},
        /*randomized=*/false, /*ring_only=*/false,
        /*default_language=*/"amos",
+       /*fault_capable=*/true,
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
          return std::make_unique<BallConstruction>(
              std::make_unique<SelectIdBelow>(
@@ -638,6 +664,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {{"fixup-rounds", 6, "resampling rounds R", 0, 1e6}},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"weak-coloring",
+       /*fault_capable=*/true,
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
          return std::make_unique<EngineConstruction>(
              std::make_unique<algo::WeakColorMcFactory>(
@@ -650,6 +677,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"mis",
+       /*fault_capable=*/true,
        [](const ParamMap&) -> std::unique_ptr<Construction> {
          return std::make_unique<EngineConstruction>(
              std::make_unique<algo::LubyMisFactory>(), /*randomized=*/true);
@@ -662,6 +690,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {{"phases", 2, "Luby phases K (= ball radius)", 1, 64}},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"mis",
+       /*fault_capable=*/true,
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
          return std::make_unique<BallConstruction>(
              std::make_unique<LubyBallMis>(
@@ -673,6 +702,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"matching",
+       /*fault_capable=*/true,
        [](const ParamMap&) -> std::unique_ptr<Construction> {
          return std::make_unique<EngineConstruction>(
              std::make_unique<algo::RandMatchingFactory>(),
@@ -685,6 +715,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {},
        /*randomized=*/false, /*ring_only=*/false,
        /*default_language=*/"coloring",
+       /*fault_capable=*/false,
        [](const ParamMap&) -> std::unique_ptr<Construction> {
          return std::make_unique<EngineConstruction>(
              std::make_unique<algo::GreedyColoringFactory>(),
@@ -696,6 +727,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {},
        /*randomized=*/false, /*ring_only=*/false,
        /*default_language=*/"mis",
+       /*fault_capable=*/false,
        [](const ParamMap&) -> std::unique_ptr<Construction> {
          return std::make_unique<EngineConstruction>(
              std::make_unique<algo::GreedyMisFactory>(), /*randomized=*/false);
@@ -706,6 +738,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {},
        /*randomized=*/false, /*ring_only=*/true,
        /*default_language=*/"coloring",
+       /*fault_capable=*/false,
        [](const ParamMap&) -> std::unique_ptr<Construction> {
          return std::make_unique<ColeVishkinConstruction>();
        }});
@@ -715,6 +748,7 @@ void register_constructions(Registry<ConstructionEntry>& constructions) {
        {{"max-phases", 10000, "resampling phase cap", 1, 1e9}},
        /*randomized=*/true, /*ring_only=*/false,
        /*default_language=*/"lll-avoidance",
+       /*fault_capable=*/false,
        [](const ParamMap& p) -> std::unique_ptr<Construction> {
          return std::make_unique<MoserTardosConstruction>(
              static_cast<int>(param(p, "max-phases")));
@@ -895,18 +929,55 @@ void register_statistics(Registry<StatisticEntry>& statistics) {
        }});
 }
 
+// ------------------------------------------------------------ fault models --
+
+void register_faults(Registry<FaultEntry>& faults) {
+  faults.add({"none",
+              "No faults: every message delivers, every node and edge stays "
+              "up. The default; specs omitting the fault block get this.",
+              {},
+              [](const ParamMap&) { return fault::make_none(); }});
+  faults.add({"drop",
+              "Lossy links: each delivery is independently dropped with "
+              "probability p-loss (the sender never learns).",
+              {{"p-loss", 0.1, "per-delivery loss probability", 0, 1}},
+              [](const ParamMap& p) {
+                return fault::make_drop(param(p, "p-loss"));
+              }});
+  faults.add({"crash",
+              "Crash-stop nodes: with probability p-crash a node dies before "
+              "a round drawn uniformly from [1, crash-round] and falls "
+              "silent for the rest of the run.",
+              {{"p-crash", 0.05, "per-node crash probability", 0, 1},
+               {"crash-round", 1, "latest possible crash round", 1, 1e6}},
+              [](const ParamMap& p) {
+                return fault::make_crash(
+                    param(p, "p-crash"),
+                    static_cast<std::uint64_t>(param(p, "crash-round")));
+              }});
+  faults.add({"churn",
+              "Edge churn: each edge is independently down for each round "
+              "with probability p-churn (no message crosses either way).",
+              {{"p-churn", 0.1, "per-edge per-round outage probability", 0, 1}},
+              [](const ParamMap& p) {
+                return fault::make_churn(param(p, "p-churn"));
+              }});
+}
+
 }  // namespace
 
 void register_builtins(Registry<TopologyEntry>& topologies,
                        Registry<LanguageEntry>& languages,
                        Registry<ConstructionEntry>& constructions,
                        Registry<DeciderEntry>& deciders,
-                       Registry<StatisticEntry>& statistics) {
+                       Registry<StatisticEntry>& statistics,
+                       Registry<FaultEntry>& faults) {
   register_topologies(topologies);
   register_languages(languages);
   register_constructions(constructions);
   register_deciders(deciders);
   register_statistics(statistics);
+  register_faults(faults);
 }
 
 }  // namespace lnc::scenario::detail

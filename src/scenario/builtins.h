@@ -11,6 +11,7 @@ void register_builtins(Registry<TopologyEntry>& topologies,
                        Registry<LanguageEntry>& languages,
                        Registry<ConstructionEntry>& constructions,
                        Registry<DeciderEntry>& deciders,
-                       Registry<StatisticEntry>& statistics);
+                       Registry<StatisticEntry>& statistics,
+                       Registry<FaultEntry>& faults);
 
 }  // namespace lnc::scenario::detail

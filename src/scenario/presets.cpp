@@ -288,6 +288,68 @@ std::vector<ScenarioSpec> build_presets() {
     presets.push_back(spec);
   }
 
+  {
+    ScenarioSpec spec;
+    spec.name = "ring-amos-drop";
+    spec.doc =
+        "Resilience sweep over lossy links: the E1 amos yes side where "
+        "every decider-phase ball is censored by 10% per-edge loss — "
+        "measures how far the golden-ratio acceptance degrades when the "
+        "verifier sees an incomplete neighborhood.";
+    spec.topology = "ring";
+    spec.language = "amos";
+    spec.construction = "select-id-below";
+    spec.decider = "amos";
+    spec.fault = "drop";
+    spec.fault_params = {{"p-loss", 0.1}};
+    spec.params = {{"count", 1}};
+    spec.n_grid = {16, 64};
+    spec.trials = 4000;
+    spec.base_seed = 0xFA1;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "luby-mis-crash";
+    spec.doc =
+        "Resilience sweep over crash-stop nodes: Luby's MIS on random "
+        "3-regular graphs where each node dies before round 1 with "
+        "probability 5% and falls silent — survivors must still produce "
+        "an independent set that is maximal among themselves (checked "
+        "globally, so success measures crash damage).";
+    spec.topology = "random-regular";
+    spec.language = "mis";
+    spec.construction = "luby-mis";
+    spec.decider = "exact";
+    spec.fault = "crash";
+    spec.fault_params = {{"p-crash", 0.05}, {"crash-round", 1}};
+    spec.params = {{"degree", 3}};
+    spec.n_grid = {64, 256};
+    spec.trials = 400;
+    spec.base_seed = 0xFA2;
+    presets.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "rand-matching-churn";
+    spec.doc =
+        "Resilience sweep over edge churn: propose-and-accept maximal "
+        "matching on bounded-degree random trees where every edge is "
+        "independently down 10% of the rounds — proposals and acceptances "
+        "that cross a down edge are lost both ways.";
+    spec.topology = "random-tree";
+    spec.language = "matching";
+    spec.construction = "rand-matching";
+    spec.decider = "exact";
+    spec.fault = "churn";
+    spec.fault_params = {{"p-churn", 0.1}};
+    spec.params = {{"max-degree", 3}};
+    spec.n_grid = {64, 256};
+    spec.trials = 400;
+    spec.base_seed = 0xFA3;
+    presets.push_back(spec);
+  }
+
   for (const ScenarioSpec& spec : presets) {
     const std::string error = validate(spec);
     LNC_EXPECTS(error.empty() && "invalid built-in preset");

@@ -75,6 +75,7 @@ template class Registry<LanguageEntry>;
 template class Registry<ConstructionEntry>;
 template class Registry<DeciderEntry>;
 template class Registry<StatisticEntry>;
+template class Registry<FaultEntry>;
 
 namespace {
 
@@ -84,6 +85,7 @@ struct Registries {
   Registry<ConstructionEntry> constructions;
   Registry<DeciderEntry> deciders;
   Registry<StatisticEntry> statistics;
+  Registry<FaultEntry> faults;
 };
 
 /// Built-ins register during the (thread-safe) static-local init, so the
@@ -92,7 +94,7 @@ Registries& registries() {
   static Registries* instance = [] {
     auto* r = new Registries;
     detail::register_builtins(r->topologies, r->languages, r->constructions,
-                              r->deciders, r->statistics);
+                              r->deciders, r->statistics, r->faults);
     return r;
   }();
   return *instance;
@@ -107,6 +109,7 @@ Registry<ConstructionEntry>& constructions() {
 }
 Registry<DeciderEntry>& deciders() { return registries().deciders; }
 Registry<StatisticEntry>& statistics() { return registries().statistics; }
+Registry<FaultEntry>& faults() { return registries().faults; }
 
 local::Instance build_instance(const std::string& topology, std::uint64_t n,
                                const ParamMap& params, std::uint64_t seed) {
@@ -213,6 +216,13 @@ std::unique_ptr<decide::RandomizedDecider> make_decider(
                 "decider needs an LCL-backed language");
   }
   return entry->build(language, merged_params(entry->schema, params));
+}
+
+std::shared_ptr<const fault::FaultModel> make_fault(const std::string& name,
+                                                    const ParamMap& params) {
+  const FaultEntry* entry = faults().find(name);
+  LNC_EXPECTS(entry != nullptr && "unknown fault model");
+  return entry->build(merged_params(entry->schema, params));
 }
 
 }  // namespace lnc::scenario

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "decide/decider.h"
+#include "fault/fault.h"
 #include "lang/language.h"
 #include "local/batch_runner.h"
 #include "local/instance.h"
@@ -132,9 +133,14 @@ class Construction {
 
   /// Per-run knobs beyond the TrialEnv. `pool` requests parallel NODE
   /// stepping inside the run (engine substrate ablations); Monte-Carlo
-  /// sweeps parallelize across trials instead and leave it null.
+  /// sweeps parallelize across trials instead and leave it null. A
+  /// non-null, non-trivial `fault` runs the construction under that
+  /// adversary (drawing from the trial's fault_coins()); only
+  /// fault-capable constructions accept one — scenario validation
+  /// enforces the flag.
   struct RunOptions {
     const stats::ThreadPool* pool = nullptr;
+    const fault::FaultModel* fault = nullptr;
   };
 
   virtual ~Construction() = default;
@@ -177,6 +183,11 @@ struct ConstructionEntry {
   /// is no sensible default) — drivers use it to verify outputs without
   /// being told a language explicitly.
   std::string default_language;
+  /// Honors Construction::RunOptions::fault: its run is well-defined when
+  /// nodes crash and deliveries vanish (ball algorithms censored by the
+  /// fault subgraph, or engine programs hardened against silent ports).
+  /// Validation rejects non-trivial faults on entries left at false.
+  bool fault_capable = false;
   std::function<std::unique_ptr<Construction>(const ParamMap& params)> build;
 };
 
@@ -212,6 +223,22 @@ struct StatisticEntry {
   /// the plan through the custom path that snapshots telemetry per trial.
   bool needs_telemetry = false;
   std::function<double(const StatisticContext&)> eval;
+};
+
+// ---------------------------------------------------------------------------
+// Faults
+
+/// One registered fault model (src/fault/): an adversary every scenario
+/// may name. `build` receives schema-merged params; the returned model is
+/// immutable and shareable across trials (all per-trial state lives in
+/// the trial's fault coin stream).
+struct FaultEntry {
+  std::string name;
+  std::string doc;
+  ParamSchema schema;
+  std::function<std::shared_ptr<const fault::FaultModel>(
+      const ParamMap& params)>
+      build;
 };
 
 // ---------------------------------------------------------------------------
@@ -282,6 +309,7 @@ Registry<LanguageEntry>& languages();
 Registry<ConstructionEntry>& constructions();
 Registry<DeciderEntry>& deciders();
 Registry<StatisticEntry>& statistics();
+Registry<FaultEntry>& faults();
 
 // ---------------------------------------------------------------------------
 // Convenience builders (assert on unknown names; scenario/scenario.h
@@ -315,5 +343,7 @@ std::unique_ptr<Construction> make_construction(const std::string& name,
 std::unique_ptr<decide::RandomizedDecider> make_decider(
     const std::string& name, const lang::Language* language,
     const ParamMap& params = {});
+std::shared_ptr<const fault::FaultModel> make_fault(
+    const std::string& name, const ParamMap& params = {});
 
 }  // namespace lnc::scenario

@@ -6,6 +6,7 @@
 
 #include "decide/evaluate.h"
 #include "decide/experiment_plans.h"
+#include "fault/fault.h"
 #include "rand/coins.h"
 #include "util/assert.h"
 
@@ -14,6 +15,24 @@ namespace {
 
 /// Seed-derivation tags separating the per-grid-point streams.
 constexpr std::uint64_t kPlanSeedTag = 0xE1;
+
+/// The one unknown-component diagnostic every registry lookup emits:
+/// "unknown <kind> '<name>'; available: a, b, c". Uniform across all six
+/// registries so callers (and tests) can rely on one shape.
+template <typename Entry>
+std::string unknown_component(const char* kind, const std::string& name,
+                              const Registry<Entry>& registry) {
+  std::string message = "unknown ";
+  message += kind;
+  message += " '" + name + "'; available: ";
+  bool first = true;
+  for (const Entry* entry : registry.all()) {
+    if (!first) message += ", ";
+    message += entry->name;
+    first = false;
+  }
+  return message;
+}
 
 /// Union-of-schemas check for one user parameter: the key must be
 /// declared by some component, and the value must satisfy the declared
@@ -69,16 +88,27 @@ std::optional<Execution> execution_from_string(
 std::string validate(const ScenarioSpec& spec) {
   if (spec.name.empty()) return "scenario has no name";
   const TopologyEntry* topology = topologies().find(spec.topology);
-  if (topology == nullptr) return "unknown topology '" + spec.topology + "'";
+  if (topology == nullptr) {
+    return unknown_component("topology", spec.topology, topologies());
+  }
   const LanguageEntry* language = languages().find(spec.language);
-  if (language == nullptr) return "unknown language '" + spec.language + "'";
+  if (language == nullptr) {
+    return unknown_component("language", spec.language, languages());
+  }
   const ConstructionEntry* construction =
       constructions().find(spec.construction);
   if (construction == nullptr) {
-    return "unknown construction '" + spec.construction + "'";
+    return unknown_component("construction", spec.construction,
+                             constructions());
   }
   const DeciderEntry* decider = deciders().find(spec.decider);
-  if (decider == nullptr) return "unknown decider '" + spec.decider + "'";
+  if (decider == nullptr) {
+    return unknown_component("decider", spec.decider, deciders());
+  }
+  const FaultEntry* fault_entry = faults().find(spec.fault);
+  if (fault_entry == nullptr) {
+    return unknown_component("fault", spec.fault, faults());
+  }
 
   const std::vector<const ParamSchema*> schemas = {
       &topology->schema, &language->schema, &construction->schema,
@@ -88,11 +118,71 @@ std::string validate(const ScenarioSpec& spec) {
     if (!problem.empty()) return problem;
   }
 
+  // Fault parameters are a separate namespace: checked against the fault
+  // entry's schema only. `none` has an empty schema, so any fault-param on
+  // it is rejected here (keeping "none + defaults" the exact spec shape
+  // old cache keys hashed).
+  for (const auto& [key, value] : spec.fault_params) {
+    bool declared = false;
+    for (const ParamSpec& fspec : fault_entry->schema) {
+      if (fspec.name != key) continue;
+      declared = true;
+      if (!(value >= fspec.min_value && value <= fspec.max_value)) {
+        std::ostringstream os;
+        os << "fault parameter '" << key << "' = " << value
+           << " is outside the declared range [" << fspec.min_value << ", "
+           << fspec.max_value << "] (" << fspec.doc << ")";
+        return os.str();
+      }
+    }
+    if (!declared) {
+      return "fault parameter '" + key + "' is not declared by fault model '" +
+             spec.fault + "'";
+    }
+  }
+
   if (spec.n_grid.empty()) return "empty n-grid";
   if (spec.trials == 0) return "zero trials";
   if (construction->ring_only && !is_canonical_ring(spec.topology)) {
     return "construction '" + spec.construction +
            "' requires the canonical ring topology";
+  }
+
+  // Non-trivial fault models constrain the execution paths: the
+  // construction must tolerate silent ports / censored balls
+  // (fault_capable), ball constructions must run in ball mode (the
+  // messages/two-phase simulation modes have no fault semantics), and
+  // implicit streaming points are out (the realized fault subgraph is
+  // charged per materialized trial).
+  if (spec.fault != "none") {
+    if (!construction->fault_capable) {
+      return "fault model '" + spec.fault + "' requires a fault-capable "
+             "construction, but '" + spec.construction +
+             "' does not tolerate faulty execution (sequential-greedy and "
+             "orientation-dependent algorithms deadlock or corrupt state "
+             "when neighbors fall silent)";
+    }
+    if (spec.mode != local::ExecMode::kBalls) {
+      const std::unique_ptr<Construction> built =
+          make_construction(spec.construction, spec.params);
+      if (built->ball_algorithm() != nullptr) {
+        return "fault model '" + spec.fault + "' requires mode=balls for "
+               "ball-backed constructions (the simulation-theorem modes "
+               "have no fault semantics)";
+      }
+    }
+    bool implicit_under_fault =
+        spec.execution == Execution::kImplicit;
+    for (const std::uint64_t n : spec.n_grid) {
+      if (spec.execution == Execution::kAuto && n > kMaterializeCap) {
+        implicit_under_fault = true;
+      }
+    }
+    if (implicit_under_fault) {
+      return "fault model '" + spec.fault + "' requires materialized "
+             "execution (implicit streaming points cannot charge the "
+             "realized fault subgraph's telemetry)";
+    }
   }
   if (decider->needs_lcl) {
     const std::unique_ptr<lang::Language> built =
@@ -186,7 +276,7 @@ std::string validate(const ScenarioSpec& spec) {
   }
   const StatisticEntry* statistic = statistics().find(spec.statistic);
   if (statistic == nullptr) {
-    return "unknown statistic '" + spec.statistic + "'";
+    return unknown_component("statistic", spec.statistic, statistics());
   }
   if (spec.workload == local::WorkloadKind::kCounter &&
       !statistic->integer_valued) {
@@ -215,6 +305,7 @@ CompiledScenario compile(const ScenarioSpec& spec) {
   compiled.spec_ = spec;
   compiled.language_ = make_language(spec.language, spec.params);
   compiled.construction_ = make_construction(spec.construction, spec.params);
+  compiled.fault_model_ = make_fault(spec.fault, spec.fault_params);
   if (!decider_entry->global_check) {
     compiled.decider_ =
         make_decider(spec.decider, compiled.language_.get(), spec.params);
@@ -223,17 +314,27 @@ CompiledScenario compile(const ScenarioSpec& spec) {
   const lang::Language* language = compiled.language_.get();
   const Construction* construction = compiled.construction_.get();
   const decide::RandomizedDecider* decider = compiled.decider_.get();
+  // Null for trivial models: every execution path below bypasses the
+  // fault machinery entirely then, keeping fault="none" bit-identical to
+  // pre-fault runs.
+  const fault::FaultModel* fault = compiled.fault_model_->trivial()
+                                       ? nullptr
+                                       : compiled.fault_model_.get();
   const local::RandomizedBallAlgorithm* ball = construction->ball_algorithm();
   // Engine constructions whose factory implements create_vector() can run
-  // trial-vectorized; probe the capability once for the whole grid.
+  // trial-vectorized; probe the capability once for the whole grid. The
+  // SoA lockstep path has no fault hooks, so faulty specs stay on the
+  // scalar engine (which realizes faults round by round).
   const local::NodeProgramFactory* engine_factory =
       construction->engine_factory();
-  const bool vectorizable =
-      engine_factory != nullptr && engine_factory->create_vector() != nullptr;
+  const bool vectorizable = engine_factory != nullptr &&
+                            engine_factory->create_vector() != nullptr &&
+                            fault == nullptr;
   const bool accept = spec.success_on_accept;
 
   decide::EvaluateOptions eval_options;
   eval_options.grant_n = decider_entry->needs_n;
+  eval_options.fault = fault;
 
   // Value/counter workloads evaluate a registered statistic per trial.
   // Registry entries are process-lifetime, so plans may capture the entry.
@@ -247,21 +348,28 @@ CompiledScenario compile(const ScenarioSpec& spec) {
   // telemetry delta when the statistic reads it, evaluate.
   const local::ExecMode mode = spec.mode;
   const auto evaluate_statistic =
-      [language, construction, statistic, ball,
-       mode](const local::Instance& instance, const local::TrialEnv& env) {
+      [language, construction, statistic, ball, mode,
+       fault](const local::Instance& instance, const local::TrialEnv& env) {
         local::Labeling& output = env.arena->labeling();
         local::Telemetry before;
         if (statistic->needs_telemetry) before = env.arena->telemetry();
         StatisticContext ctx;
         if (ball != nullptr) {
+          const rand::PhiloxCoins fault_coins = env.fault_coins();
           local::ExecOptions exec_options;
           exec_options.arena = env.arena;
+          if (fault != nullptr) {
+            exec_options.fault = fault;
+            exec_options.fault_coins = &fault_coins;
+          }
           local::run_construction_into(instance, *ball,
                                        env.construction_coins(), mode,
                                        output, exec_options);
           ctx.outcome = Construction::Outcome{ball->radius()};
         } else {
-          ctx.outcome = construction->run(instance, env, output);
+          Construction::RunOptions run_options;
+          run_options.fault = fault;
+          ctx.outcome = construction->run(instance, env, output, run_options);
         }
         if (statistic->needs_telemetry) {
           const local::Telemetry& after = env.arena->telemetry();
@@ -321,7 +429,7 @@ CompiledScenario compile(const ScenarioSpec& spec) {
               ctx.language = language;
               return statistic->eval(ctx);
             },
-            spec.trials, plan_seed, spec.mode);
+            spec.trials, plan_seed, spec.mode, /*grant_n=*/false, fault);
       } else {
         const local::Instance* inst_ptr = point.instance.get();
         point.plan = local::custom_value_plan(
@@ -348,15 +456,17 @@ CompiledScenario compile(const ScenarioSpec& spec) {
                                const local::Labeling& output) {
               return language->contains(instance, output) == accept;
             },
-            spec.trials, plan_seed, spec.mode);
+            spec.trials, plan_seed, spec.mode, /*grant_n=*/false, fault);
       } else {
         const local::Instance* inst_ptr = point.instance.get();
         point.plan = local::custom_plan(
             plan_name, spec.trials, plan_seed,
-            [inst_ptr, language, construction, accept](
+            [inst_ptr, language, construction, accept, fault](
                 const local::TrialEnv& env) {
               local::Labeling& output = env.arena->labeling();
-              construction->run(*inst_ptr, env, output);
+              Construction::RunOptions run_options;
+              run_options.fault = fault;
+              construction->run(*inst_ptr, env, output, run_options);
               return language->contains(*inst_ptr, output) == accept;
             });
       }
@@ -368,14 +478,18 @@ CompiledScenario compile(const ScenarioSpec& spec) {
       const local::Instance* inst_ptr = point.instance.get();
       point.plan = local::custom_plan(
           plan_name, spec.trials, plan_seed,
-          [inst_ptr, construction, decider, eval_options,
-           accept](const local::TrialEnv& env) {
+          [inst_ptr, construction, decider, eval_options, accept,
+           fault](const local::TrialEnv& env) {
             local::Labeling& output = env.arena->labeling();
-            construction->run(*inst_ptr, env, output);
+            Construction::RunOptions run_options;
+            run_options.fault = fault;
+            construction->run(*inst_ptr, env, output, run_options);
             const rand::PhiloxCoins d_coins = env.decision_coins();
+            const rand::PhiloxCoins f_coins = env.fault_coins();
             decide::EvaluateOptions trial_options = eval_options;
             trial_options.telemetry = &env.arena->telemetry();
             trial_options.ball = &env.arena->ball_workspace();
+            if (fault != nullptr) trial_options.fault_coins = &f_coins;
             const decide::DecisionOutcome outcome = decide::evaluate(
                 *inst_ptr, output, *decider, d_coins, trial_options);
             return outcome.accepted == accept;

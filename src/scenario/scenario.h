@@ -56,6 +56,14 @@ struct ScenarioSpec {
   /// reach every component that declares them).
   ParamMap params;
 
+  /// Fault model from the faults registry ("none" = perfectly reliable
+  /// execution — the default, and byte-compatible with specs predating
+  /// the fault axis). Fault parameters live in their own namespace
+  /// (`fault_params`), validated against the fault entry's schema only:
+  /// fault knobs like p-loss never collide with component parameters.
+  std::string fault = "none";
+  ParamMap fault_params;
+
   /// What each trial contributes (local/batch_runner.h):
   ///   kSuccess — a {0,1} outcome through the decider slot (Wilson
   ///              estimate of the success probability);
@@ -123,6 +131,10 @@ class CompiledScenario {
   const decide::RandomizedDecider* decider() const noexcept {
     return decider_.get();
   }
+  /// The spec's fault model (never null; trivial() for fault="none").
+  const fault::FaultModel& fault_model() const noexcept {
+    return *fault_model_;
+  }
 
  private:
   friend CompiledScenario compile(const ScenarioSpec& spec);
@@ -131,6 +143,7 @@ class CompiledScenario {
   std::unique_ptr<lang::Language> language_;
   std::unique_ptr<Construction> construction_;
   std::unique_ptr<decide::RandomizedDecider> decider_;
+  std::shared_ptr<const fault::FaultModel> fault_model_;
   std::vector<GridPoint> points_;
 };
 

@@ -282,6 +282,12 @@ ScenarioSpec spec_from_json(const Json& root) {
       spec.construction = value.as_string();
     } else if (key == "decider") {
       spec.decider = value.as_string();
+    } else if (key == "fault") {
+      spec.fault = value.as_string();
+    } else if (key == "fault-params") {
+      for (const auto& [param_name, param_value] : value.as_object()) {
+        spec.fault_params[param_name] = param_value.as_number();
+      }
     } else if (key == "params") {
       for (const auto& [param_name, param_value] : value.as_object()) {
         spec.params[param_name] = param_value.as_number();
@@ -363,6 +369,15 @@ ScenarioSpec cache_normal_form(const ScenarioSpec& spec) {
   // contract (CI implicit topology gate), so runs on either path share a
   // cache entry and top each other up.
   normal.execution = Execution::kAuto;
+  // Fault canonicalization: "none" always normalizes to the absent block
+  // (pre-fault keys stay byte-unchanged), and non-trivial models
+  // materialize their schema defaults so `drop` and `drop{p-loss=0.1}` —
+  // the same realized adversary — share one cache entry.
+  if (normal.fault == "none") {
+    normal.fault_params.clear();
+  } else if (const FaultEntry* entry = faults().find(normal.fault)) {
+    normal.fault_params = merged_params(entry->schema, normal.fault_params);
+  }
   return normal;
 }
 
@@ -376,6 +391,25 @@ std::string spec_to_json(const ScenarioSpec& spec) {
      << "\", \"language\": \"" << util::json_escape(spec.language)
      << "\", \"construction\": \"" << util::json_escape(spec.construction)
      << "\", \"decider\": \"" << util::json_escape(spec.decider) << "\"";
+  // The fault block is emitted only when non-trivial: specs predating the
+  // fault axis (and every cache key derived from their JSON) stay
+  // byte-unchanged, and fault="none" IS the absent block.
+  if (spec.fault != "none") {
+    os << ", \"fault\": \"" << util::json_escape(spec.fault) << "\"";
+    if (!spec.fault_params.empty()) {
+      os << ", \"fault-params\": {";
+      bool first = true;
+      for (const auto& [key, value] : spec.fault_params) {
+        if (!first) os << ", ";
+        first = false;
+        std::ostringstream number;
+        number.precision(17);
+        number << value;
+        os << "\"" << util::json_escape(key) << "\": " << number.str();
+      }
+      os << "}";
+    }
+  }
   if (!spec.params.empty()) {
     os << ", \"params\": {";
     bool first = true;
@@ -418,8 +452,19 @@ std::string telemetry_to_json(const local::Telemetry& telemetry) {
   os << "{\"messages\": " << telemetry.messages_sent
      << ", \"words\": " << telemetry.words_sent
      << ", \"rounds\": " << telemetry.rounds_executed
-     << ", \"ball_expansions\": " << telemetry.ball_expansions
-     << ", \"arena_peak_bytes\": " << telemetry.arena_peak_bytes
+     << ", \"ball_expansions\": " << telemetry.ball_expansions;
+  // Fault counters appear only when a fault model actually charged them:
+  // fault-free telemetry JSON is byte-identical to the pre-fault format.
+  if (telemetry.messages_dropped != 0) {
+    os << ", \"messages_dropped\": " << telemetry.messages_dropped;
+  }
+  if (telemetry.nodes_crashed != 0) {
+    os << ", \"nodes_crashed\": " << telemetry.nodes_crashed;
+  }
+  if (telemetry.edges_churned != 0) {
+    os << ", \"edges_churned\": " << telemetry.edges_churned;
+  }
+  os << ", \"arena_peak_bytes\": " << telemetry.arena_peak_bytes
      << ", \"wall_seconds\": " << telemetry.wall_seconds << "}";
   return os.str();
 }
@@ -447,6 +492,15 @@ local::Telemetry telemetry_from_json(const Json& json) {
   }
   if (json.has("ball_expansions")) {
     telemetry.ball_expansions = json.at("ball_expansions").as_uint64();
+  }
+  if (json.has("messages_dropped")) {
+    telemetry.messages_dropped = json.at("messages_dropped").as_uint64();
+  }
+  if (json.has("nodes_crashed")) {
+    telemetry.nodes_crashed = json.at("nodes_crashed").as_uint64();
+  }
+  if (json.has("edges_churned")) {
+    telemetry.edges_churned = json.at("edges_churned").as_uint64();
   }
   if (json.has("arena_peak_bytes")) {
     telemetry.arena_peak_bytes = json.at("arena_peak_bytes").as_uint64();

@@ -452,6 +452,79 @@ TEST(Validation, RejectsUnknownComponentsAndParams) {
   EXPECT_NE(scenario::validate(spec).find("LCL"), std::string::npos);
 }
 
+TEST(Validation, AllSixRegistriesShareOneUnknownDiagnosticShape) {
+  // Every string-addressable registry — topology, language, construction,
+  // decider, fault, statistic — answers an unknown name with the same
+  // "unknown <kind> '<name>'; available: …" shape, so a CLI user always
+  // sees the catalogue they can pick from, whichever knob they mistyped.
+  const auto expect_shape = [](const std::string& message,
+                               const std::string& kind, const char* member) {
+    EXPECT_EQ(message.rfind("unknown " + kind + " 'nope'; available: ", 0), 0u)
+        << message;
+    EXPECT_NE(message.find(member), std::string::npos) << message;
+  };
+  ScenarioSpec base;
+  base.name = "diag";
+  base.topology = "ring";
+  base.language = "coloring";
+  base.construction = "rand-coloring";
+  base.decider = "exact";
+  base.n_grid = {8};
+  ASSERT_EQ(scenario::validate(base), "");
+
+  ScenarioSpec spec = base;
+  spec.topology = "nope";
+  expect_shape(scenario::validate(spec), "topology", "ring");
+  spec = base;
+  spec.language = "nope";
+  expect_shape(scenario::validate(spec), "language", "coloring");
+  spec = base;
+  spec.construction = "nope";
+  expect_shape(scenario::validate(spec), "construction", "rand-coloring");
+  spec = base;
+  spec.decider = "nope";
+  expect_shape(scenario::validate(spec), "decider", "exact");
+  spec = base;
+  spec.fault = "nope";
+  expect_shape(scenario::validate(spec), "fault", "drop");
+  spec = base;
+  spec.workload = local::WorkloadKind::kValue;
+  spec.statistic = "nope";
+  expect_shape(scenario::validate(spec), "statistic", "rounds");
+}
+
+TEST(Validation, FaultParamsAndCompatibilityAreDiagnosed) {
+  ScenarioSpec spec;
+  spec.name = "faulty";
+  spec.topology = "ring";
+  spec.language = "coloring";
+  spec.construction = "rand-coloring";
+  spec.decider = "exact";
+  spec.n_grid = {8};
+  spec.fault = "drop";
+  spec.fault_params = {{"p-loss", 0.25}};
+  EXPECT_EQ(scenario::validate(spec), "");
+
+  // Fault params live in their own namespace, validated against the fault
+  // model's schema only: foreign keys and out-of-range values name the
+  // fault model, and `none` declares no parameters at all.
+  spec.fault_params = {{"p-crash", 0.25}};
+  EXPECT_NE(scenario::validate(spec).find("fault model 'drop'"),
+            std::string::npos);
+  spec.fault_params = {{"p-loss", 1.5}};
+  EXPECT_NE(scenario::validate(spec).find("range"), std::string::npos);
+  spec.fault = "none";
+  spec.fault_params = {{"p-loss", 0.1}};
+  EXPECT_NE(scenario::validate(spec).find("fault model 'none'"),
+            std::string::npos);
+
+  // Non-trivial faults require a fault-capable construction.
+  spec.fault = "drop";
+  spec.fault_params.clear();
+  spec.construction = "greedy-coloring";
+  EXPECT_NE(scenario::validate(spec).find("fault"), std::string::npos);
+}
+
 TEST(Validation, RejectsOutOfRangeAndNanParameters) {
   ScenarioSpec spec;
   spec.name = "ranges";

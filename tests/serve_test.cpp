@@ -75,6 +75,9 @@ void expect_rows_bit_identical(const scenario::SweepResult& want,
     EXPECT_EQ(w.telemetry.words_sent, g.telemetry.words_sent);
     EXPECT_EQ(w.telemetry.rounds_executed, g.telemetry.rounds_executed);
     EXPECT_EQ(w.telemetry.ball_expansions, g.telemetry.ball_expansions);
+    EXPECT_EQ(w.telemetry.messages_dropped, g.telemetry.messages_dropped);
+    EXPECT_EQ(w.telemetry.nodes_crashed, g.telemetry.nodes_crashed);
+    EXPECT_EQ(w.telemetry.edges_churned, g.telemetry.edges_churned);
   }
 }
 
@@ -171,6 +174,56 @@ TEST(CacheKey, SemanticChangesChangeTheKey) {
   flipped.success_on_accept = !success.success_on_accept;
   EXPECT_NE(serve::cache_key(flipped), serve::cache_key(success))
       << "success side";
+}
+
+TEST(CacheKey, TrivialFaultBlocksDoNotKey) {
+  // A spec that never mentions faults, one that says fault="none", and
+  // one that says fault="none" with no parameters all canonicalize to the
+  // same bytes — pre-fault cache entries stay addressable, byte for byte.
+  const ScenarioSpec base = shrunk("ring-amos-yes", 100, 16);
+  const CacheKey key = serve::cache_key(base);
+
+  ScenarioSpec variant = base;
+  variant.fault = "none";
+  EXPECT_EQ(serve::cache_key(variant), key) << "explicit none must not key";
+
+  // Spelling out a non-trivial model's schema default equals omitting
+  // it: cache_normal_form materializes defaults before hashing, so
+  // `drop` and `drop{p-loss=0.1}` share one cache entry.
+  ScenarioSpec defaulted = base;
+  defaulted.fault = "drop";
+  ScenarioSpec spelled = defaulted;
+  spelled.fault_params = {{"p-loss", 0.1}};  // the declared default
+  EXPECT_EQ(serve::cache_key(spelled), serve::cache_key(defaulted));
+  EXPECT_NE(serve::cache_key(defaulted), key)
+      << "a non-trivial fault model must key";
+}
+
+TEST(CacheKey, EveryFaultModelAndParamIsKeySensitive) {
+  const ScenarioSpec base = shrunk("ring-amos-yes", 100, 16);
+  auto with_fault = [&](const char* model, scenario::ParamMap params) {
+    ScenarioSpec spec = base;
+    spec.fault = model;
+    spec.fault_params = std::move(params);
+    return serve::cache_key(spec);
+  };
+
+  // Distinct models key distinctly.
+  const CacheKey drop = with_fault("drop", {{"p-loss", 0.1}});
+  const CacheKey crash =
+      with_fault("crash", {{"p-crash", 0.05}, {"crash-round", 1}});
+  const CacheKey churn = with_fault("churn", {{"p-churn", 0.1}});
+  EXPECT_NE(drop, crash);
+  EXPECT_NE(drop, churn);
+  EXPECT_NE(crash, churn);
+
+  // Every declared parameter is key-sensitive.
+  EXPECT_NE(with_fault("drop", {{"p-loss", 0.2}}), drop);
+  EXPECT_NE(with_fault("crash", {{"p-crash", 0.1}, {"crash-round", 1}}),
+            crash);
+  EXPECT_NE(with_fault("crash", {{"p-crash", 0.05}, {"crash-round", 4}}),
+            crash);
+  EXPECT_NE(with_fault("churn", {{"p-churn", 0.25}}), churn);
 }
 
 TEST(CacheKey, PreimageIsVersionedByEpoch) {
@@ -362,6 +415,46 @@ TEST(SweepService, TopUpIsBitIdenticalToAColdRun) {
     const serve::QueryOutcome again = service.query(big);
     EXPECT_EQ(again.outcome, CacheOutcome::kHit);
     expect_rows_bit_identical(topped.result, again.result);
+  }
+}
+
+TEST(SweepService, FaultyMissHitAndTopUpAreBitIdentical) {
+  // The serving tier treats faulty scenarios like any other: a miss
+  // seeds the cache, a repeat query hits without recomputation, and a
+  // top-up (computing only the missing trial range) is bit-identical to
+  // a cold run — fault telemetry included. Works because fault coins are
+  // pure functions of the trial index, never of the cached prefix.
+  struct Case {
+    const char* preset;
+    std::uint64_t n;
+  };
+  for (const Case& c : {Case{"ring-amos-drop", 16}, Case{"luby-mis-crash", 64},
+                        Case{"rand-matching-churn", 64}}) {
+    serve::ServiceOptions options;
+    options.threads = 1;
+    serve::SweepService service(
+        fresh_dir(std::string("fault-topup-") + c.preset), options);
+
+    const ScenarioSpec small = shrunk(c.preset, 11, c.n);
+    ScenarioSpec big = small;
+    big.trials = 29;
+
+    EXPECT_EQ(service.query(small).outcome, CacheOutcome::kMiss) << c.preset;
+    const serve::QueryOutcome repeat = service.query(small);
+    EXPECT_EQ(repeat.outcome, CacheOutcome::kHit) << c.preset;
+    EXPECT_EQ(repeat.trials_computed, 0u) << c.preset;
+
+    const serve::QueryOutcome topped = service.query(big);
+    EXPECT_EQ(topped.outcome, CacheOutcome::kTopUp) << c.preset;
+    EXPECT_EQ(topped.trials_reused, 11u) << c.preset;
+    EXPECT_EQ(topped.trials_computed, 18u) << c.preset;
+    expect_rows_bit_identical(cold_run(big), topped.result);
+
+    const local::Telemetry& telemetry = topped.result.rows[0].tally.telemetry;
+    EXPECT_GT(telemetry.messages_dropped + telemetry.nodes_crashed +
+                  telemetry.edges_churned,
+              0u)
+        << c.preset << ": the fault model never fired";
   }
 }
 

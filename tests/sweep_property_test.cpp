@@ -1,12 +1,13 @@
 // Property tests for the scenario stack (ISSUE 4 satellite):
 //
-//  * randomized ScenarioSpecs drawn over the registries (seeded, no
-//    wall-clock) either compile and run, or fail validation with a
-//    non-empty human-readable diagnostic — never crash;
-//  * shard-merge identity: for success, value, and counter workloads, a
-//    2-way and an uneven 3-way shard partition (JSON-round-tripped, as
-//    the cross-process workflow does) merge back to the unsharded run
-//    BIT FOR BIT, at 1, 2, and 8 worker threads.
+//  * randomized ScenarioSpecs drawn over the registries — including the
+//    fault registry (ISSUE 9) — (seeded, no wall-clock) either compile
+//    and run, or fail validation with a non-empty human-readable
+//    diagnostic — never crash;
+//  * shard-merge identity: for success, value, counter, and faulty
+//    workloads, a 2-way and an uneven 3-way shard partition
+//    (JSON-round-tripped, as the cross-process workflow does) merge back
+//    to the unsharded run BIT FOR BIT, at 1, 2, and 8 worker threads.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -104,6 +105,22 @@ ScenarioSpec random_spec(rand::SplitMix64& rng) {
   for (std::size_t i = 0; i < param_count; ++i) {
     spec.params[pick(rng, param_keys)] =
         static_cast<double>(1 + rng.next_below(4));
+  }
+  // Half the draws carry a fault block: mostly a registered model,
+  // occasionally a bogus name or a parameter the model's schema does not
+  // declare / does not accept — both sides of the sixth registry's
+  // diagnostics. (crash-round=0 is below its declared minimum, and every
+  // key is foreign to some model, so rejections accumulate too.)
+  static const std::vector<std::string> faults =
+      registered_names(scenario::faults());
+  if (rng.next_below(2) == 0) {
+    spec.fault = pick_name(rng, faults, "no-such-fault");
+    if (rng.next_below(3) == 0) {
+      static const std::vector<std::string> fault_keys = {
+          "p-loss", "p-crash", "crash-round", "p-churn", "frobnicate"};
+      spec.fault_params[pick(rng, fault_keys)] =
+          0.05 * static_cast<double>(rng.next_below(4));
+    }
   }
   spec.n_grid = {8 + rng.next_below(25)};
   if (rng.next_below(16) == 0) spec.n_grid.clear();  // must diagnose
@@ -215,10 +232,12 @@ ScenarioSpec shrunk_preset(const std::string& name) {
 }
 
 TEST(SweepProperty, ShardMergesBitIdenticalForEveryWorkloadAndThreadCount) {
-  // One preset per workload kind: success, value (exact mean-merge), and
-  // counter (exact integer totals).
+  // One preset per workload kind — success, value (exact mean-merge),
+  // counter (exact integer totals) — plus the three fault presets, whose
+  // tallies AND fault-telemetry counters must obey the same contract.
   const std::vector<std::string> preset_names = {
-      "ring-amos-yes", "luby-mis-rounds", "ring-amos-words"};
+      "ring-amos-yes",  "luby-mis-rounds", "ring-amos-words",
+      "ring-amos-drop", "luby-mis-crash",  "rand-matching-churn"};
   for (const std::string& name : preset_names) {
     const ScenarioSpec spec = shrunk_preset(name);
     const scenario::CompiledScenario compiled = scenario::compile(spec);

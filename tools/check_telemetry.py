@@ -2,23 +2,31 @@
 """CI telemetry gate: deterministic communication counters must be nonzero
 and bit-identical across lnc_sweep result files.
 
-Usage: check_telemetry.py RESULT.json RESULT.json...
+Usage: check_telemetry.py [--require-fault] RESULT.json RESULT.json...
 
 Each file is an lnc_sweep --out file (unsharded or merged: every row must
 cover its full trial range). The gate checks, per row, that the
-deterministic counters (messages, words, rounds, ball_expansions) are
+deterministic counters (messages, words, rounds, ball_expansions, and the
+fault counters messages_dropped / nodes_crashed / edges_churned) are
 nonzero and agree across every file — the contract that makes
 communication-volume trajectories comparable across thread counts and
-shard layouts. Timing fields (wall_seconds, arena_peak_bytes) are
+shard layouts. Fault counters are emitted only when nonzero, so absent
+keys read as 0; with --require-fault the reference must additionally show
+fault activity (some fault counter nonzero on every row), the CI check
+that a faulty sweep actually injected faults identically at every thread
+count. Timing fields (wall_seconds, arena_peak_bytes) are
 machine-dependent and deliberately ignored.
 """
 import json
 import sys
 
-DETERMINISTIC = ("messages", "words", "rounds", "ball_expansions")
+DETERMINISTIC = ("messages", "words", "rounds", "ball_expansions",
+                 "messages_dropped", "nodes_crashed", "edges_churned")
 # Counters the smoke scenario must actually exercise; ball_expansions is
 # nonzero for ball-mode runs but legitimately zero for pure engine sweeps.
 MUST_BE_NONZERO = ("messages", "words", "rounds")
+# At least one of these must be nonzero per row under --require-fault.
+FAULT_COUNTERS = ("messages_dropped", "nodes_crashed", "edges_churned")
 
 
 def load_rows(path):
@@ -39,17 +47,25 @@ def load_rows(path):
 
 
 def main(argv):
+    require_fault = "--require-fault" in argv
+    argv = [arg for arg in argv if arg != "--require-fault"]
     if len(argv) < 3:
         raise SystemExit(__doc__)
     reference_path = argv[1]
     scenario, reference = load_rows(reference_path)
     for row in reference:
         for key in MUST_BE_NONZERO:
-            if row["telemetry"][key] == 0:
+            if row["telemetry"].get(key, 0) == 0:
                 raise SystemExit(
                     f"{reference_path}: {scenario} n={row['n']}: "
                     f"deterministic counter '{key}' is zero — telemetry "
                     "is not being accumulated")
+        if require_fault and \
+                all(row["telemetry"].get(key, 0) == 0
+                    for key in FAULT_COUNTERS):
+            raise SystemExit(
+                f"{reference_path}: {scenario} n={row['n']}: every fault "
+                "counter is zero — the fault model never fired")
     for path in argv[2:]:
         other_scenario, other = load_rows(path)
         if other_scenario != scenario or len(other) != len(reference):
@@ -57,15 +73,17 @@ def main(argv):
                              f"({other_scenario!r} vs {scenario!r})")
         for ref_row, row in zip(reference, other):
             for key in DETERMINISTIC:
-                want, got = ref_row["telemetry"][key], row["telemetry"][key]
+                want = ref_row["telemetry"].get(key, 0)
+                got = row["telemetry"].get(key, 0)
                 if want != got:
                     raise SystemExit(
                         f"telemetry mismatch: {scenario} n={row['n']} "
                         f"counter '{key}': {reference_path} has {want}, "
                         f"{path} has {got}")
     names = ", ".join(argv[2:])
+    suffix = " (fault counters active)" if require_fault else ""
     print(f"telemetry gate OK: {scenario} deterministic counters nonzero "
-          f"and identical across {reference_path} and {names}")
+          f"and identical across {reference_path} and {names}{suffix}")
     return 0
 
 

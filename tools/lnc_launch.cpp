@@ -98,8 +98,10 @@ int usage(std::ostream& os, int code) {
         "         --mode balls|messages|two-phase\n"
         "         --backend auto|naive|batched|vectorized\n"
         "         --execution auto|materialized|implicit\n"
+        "         --fault NAME | --fault-param k=v\n"
         "The merged result is bit-identical to the unsharded lnc_sweep\n"
-        "run; failed shards never reach the merge.\n"
+        "run; failed shards never reach the merge (faulty runs included:\n"
+        "fault draws are keyed per trial, never per process).\n"
         "build identity: " << util::build_identity() << "\n";
   return code;
 }
@@ -134,6 +136,8 @@ struct Options {
   std::optional<std::string> statistic;
   std::optional<local::OptimizationConfig::Backend> backend;
   std::optional<scenario::Execution> execution;
+  std::optional<std::string> fault;
+  scenario::ParamMap fault_params;
 };
 
 /// Strict flag parses (util::parse_uint / parse_nonnegative_double) —
@@ -346,6 +350,24 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         return false;
       }
       options.execution = *execution;
+    } else if (arg == "--fault") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.fault = value;
+    } else if (arg == "--fault-param") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string text = value;
+      const std::size_t eq = text.find('=');
+      if (eq == std::string::npos) {
+        error = "--fault-param expects k=v, got '" + text + "'";
+        return false;
+      }
+      const std::optional<double> param_value =
+          util::parse_finite_double(text.substr(eq + 1));
+      if (!param_value) {
+        error = "--fault-param " + text + " has a malformed numeric value";
+        return false;
+      }
+      options.fault_params[text.substr(0, eq)] = *param_value;
     } else {
       error = "unknown flag '" + arg + "'";
       return false;
@@ -367,6 +389,10 @@ void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
   if (options.statistic) spec.statistic = *options.statistic;
   if (options.backend) spec.backend = *options.backend;
   if (options.execution) spec.execution = *options.execution;
+  if (options.fault) spec.fault = *options.fault;
+  for (const auto& [key, value] : options.fault_params) {
+    spec.fault_params[key] = value;
+  }
 }
 
 /// The lnc_sweep next to this binary — shards run the same build by
@@ -555,8 +581,8 @@ int main(int argc, char** argv) {
           !options.params.empty() || options.n_grid || options.trials ||
           options.seed || options.success_on_accept || options.mode ||
           options.workload || options.statistic || options.backend ||
-          options.execution || options.shards != 0 ||
-          options.run_dir.has_value();
+          options.execution || options.fault || !options.fault_params.empty() ||
+          options.shards != 0 || options.run_dir.has_value();
       if (has_overrides) {
         std::cerr << "--resume re-runs the FROZEN spec in its existing "
                      "directory; --run-dir and spec overrides "

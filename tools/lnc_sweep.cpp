@@ -65,6 +65,7 @@ int usage(std::ostream& os, int code) {
         "           --success accept|reject | --mode balls|messages|two-phase\n"
         "           --backend auto|naive|batched|vectorized\n"
         "           --execution auto|materialized|implicit\n"
+        "           --fault NAME | --fault-param k=v\n"
         "           --shard i/k | --threads N | --out FILE | --telemetry\n"
         "           --trial-range B:E | --cache DIR | --help | --version\n"
         "value/counter workloads measure a registered statistic of the\n"
@@ -87,6 +88,11 @@ int usage(std::ostream& os, int code) {
         "--trials runs only the missing trial range and merges exactly.\n"
         "--trial-range B:E runs only trials [B, E) — the slice form of\n"
         "--shard, used by cache top-ups and range-partitioned fleets.\n"
+        "--fault picks a fault model from the faults registry (see --list):\n"
+        "lossy links (drop), crash-stop nodes (crash), per-round edge\n"
+        "churn (churn). Faulty runs draw every fault from a dedicated\n"
+        "per-trial coin stream, so they stay bit-identical across thread\n"
+        "counts, shards, and trial ranges like fault-free runs do.\n"
         "build identity: " << lnc::util::build_identity() << "\n";
   return code;
 }
@@ -131,6 +137,11 @@ void list_catalogue() {
               << (entry->integer_valued ? "" : " (value-only)") << " — "
               << entry->doc << "\n";
   }
+  std::cout << "\nfaults (--fault / --fault-param):\n";
+  for (const auto* entry : scenario::faults().all()) {
+    std::cout << "  " << entry->name << " — " << entry->doc << "\n";
+    print_schema(entry->schema);
+  }
   std::cout << "\nscenarios:\n";
   for (const scenario::ScenarioSpec& spec : scenario::preset_scenarios()) {
     std::cout << "  " << spec.name << " — " << spec.topology << " / "
@@ -170,6 +181,8 @@ struct Options {
   std::optional<std::string> statistic;
   std::optional<local::OptimizationConfig::Backend> backend;
   std::optional<scenario::Execution> execution;
+  std::optional<std::string> fault;
+  scenario::ParamMap fault_params;
 
   unsigned shard = 0;
   unsigned shard_count = 1;
@@ -321,6 +334,24 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         return false;
       }
       options.execution = *execution;
+    } else if (arg == "--fault") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.fault = value;
+    } else if (arg == "--fault-param") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      const std::string text = value;
+      const std::size_t eq = text.find('=');
+      if (eq == std::string::npos) {
+        error = "--fault-param expects k=v, got '" + text + "'";
+        return false;
+      }
+      const std::optional<double> param_value =
+          util::parse_finite_double(text.substr(eq + 1));
+      if (!param_value) {
+        error = "--fault-param " + text + " has a malformed numeric value";
+        return false;
+      }
+      options.fault_params[text.substr(0, eq)] = *param_value;
     } else if (arg == "--shard") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       const std::string text = value;
@@ -433,6 +464,10 @@ void apply_overrides(const Options& options, scenario::ScenarioSpec& spec) {
   if (options.statistic) spec.statistic = *options.statistic;
   if (options.backend) spec.backend = *options.backend;
   if (options.execution) spec.execution = *options.execution;
+  if (options.fault) spec.fault = *options.fault;
+  for (const auto& [key, value] : options.fault_params) {
+    spec.fault_params[key] = value;
+  }
 }
 
 /// The --out path for one scenario: unchanged for a single run, suffixed
@@ -471,7 +506,10 @@ void print_telemetry_summary(std::ostream& os,
   os << "telemetry[" << result.scenario
      << "]: messages=" << total.messages_sent
      << " words=" << total.words_sent << " rounds=" << total.rounds_executed
-     << " ball_expansions=" << total.ball_expansions << "\n";
+     << " ball_expansions=" << total.ball_expansions
+     << " messages_dropped=" << total.messages_dropped
+     << " nodes_crashed=" << total.nodes_crashed
+     << " edges_churned=" << total.edges_churned << "\n";
   os << "timing[" << result.scenario << "]: wall_ms="
      << static_cast<std::uint64_t>(total.wall_seconds * 1e3)
      << " arena_peak_bytes=" << total.arena_peak_bytes << "\n\n";
