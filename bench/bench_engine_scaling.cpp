@@ -13,6 +13,8 @@
 #include "graph/ball.h"
 #include "local/ball_collector.h"
 #include "local/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/presets.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
@@ -351,6 +353,63 @@ void print_tables() {
     }
   }
   bench::print_table(backend_table, nullptr, &vectorized_config);
+
+  // Observability overhead: the obs layer (src/obs) promises near-zero
+  // cost while disabled and a strictly timing-only effect when enabled.
+  // The SAME workload runs with the trace recorder + metrics off, then
+  // on (spans and latency histograms recorded, the trace then
+  // discarded); the bit-identical column re-asserts the timing-only
+  // contract from inside the bench harness, and the relative column is
+  // the price of --trace.
+  std::cout << "Observability overhead — trace recorder + metrics off vs\n"
+               "on (Luby MIS rounds, n = 256, 400 trials, 1 thread):\n\n";
+  util::Table obs_table(
+      {"observability", "trials/s", "relative", "bit-identical"});
+  {
+    scenario::ScenarioSpec spec = *scenario::find_preset("luby-mis-rounds");
+    spec.n_grid = {256};
+    spec.trials = 400;
+    const scenario::CompiledScenario compiled = scenario::compile(spec);
+    scenario::run_sweep(compiled);  // warm-up: allocations out of the timing
+
+    struct Run {
+      double seconds = 0;
+      local::ShardTally tally;
+    };
+    auto timed_run = [&](bool enabled) {
+      obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+      if (enabled) {
+        recorder.enable();
+        obs::set_metrics_enabled(true);
+      }
+      Run run;
+      util::Timer timer;
+      const scenario::SweepResult result = scenario::run_sweep(compiled);
+      run.seconds = timer.elapsed_seconds();
+      run.tally = result.rows[0].tally;
+      recorder.disable();
+      obs::set_metrics_enabled(false);
+      recorder.clear();
+      return run;
+    };
+    const Run off = timed_run(false);
+    const Run on = timed_run(true);
+    auto add_row = [&](const char* label, const Run& run) {
+      const bool identical =
+          run.tally.successes == off.tally.successes &&
+          run.tally.value_sum == off.tally.value_sum &&
+          run.tally.value_sum_sq == off.tally.value_sum_sq &&
+          run.tally.telemetry.deterministic_equal(off.tally.telemetry);
+      obs_table.new_row()
+          .add_cell(label)
+          .add_cell(static_cast<double>(spec.trials) / run.seconds, 0)
+          .add_cell(off.seconds / run.seconds, 2)
+          .add_cell(identical ? "yes" : "NO");
+    };
+    add_row("off", off);
+    add_row("trace + metrics on", on);
+  }
+  bench::print_table(obs_table);
 }
 
 void BM_BatchedTrials(benchmark::State& state) {

@@ -6,7 +6,11 @@
 #include <utility>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/assert.h"
+#include "util/timer.h"
 
 namespace lnc::decide {
 namespace {
@@ -80,33 +84,58 @@ local::ExperimentPlan construct_then_decide_plan(
       std::uint64_t announcements = 0;
       std::uint64_t encoded_words = 0;
       bool accepted = true;
-      for (graph::NodeId v = 0; v < n; ++v) {
-        dec_ws.ball.collect(topology, v, t_dec, dec_ws.scratch);
-        const graph::BallView& dec_ball = dec_ws.ball;
-        announcements += dec_ball.size();
-        encoded_words += dec_ball.encoded_words();
-        member_outputs.assign(dec_ball.size(), 0);
-        for (graph::NodeId m = 0; m < dec_ball.size(); ++m) {
-          member_ws.ball.collect(topology, dec_ball.to_original(m), t_cons,
-                                 member_ws.scratch);
-          local::View member_view;
-          member_view.ball = &member_ws.ball;
-          member_view.instance = &inst;
-          if (options.grant_n) member_view.n_nodes = n;
-          member_outputs[m] = algo.compute(member_view, c_coins);
-          if (m == 0) {
-            // The center's construction ball IS node v's construction-
-            // phase visit; charge it exactly once.
-            announcements += member_ws.ball.size();
-            encoded_words += member_ws.ball.encoded_words();
+      // Observability over the streaming loop: the node sweep is chunked
+      // so giga-scale trials emit node-range trace spans and live
+      // progress ticks without perturbing per-node work. Ball-collection
+      // latency is SAMPLED (every 1024th node) — timing 10^8 collects
+      // individually would dominate the loop. All of it is timing-only:
+      // the verdict, telemetry charges, and iteration order are
+      // untouched.
+      constexpr graph::NodeId kNodeChunk = 1u << 16;
+      constexpr graph::NodeId kCollectSampleMask = 1023;
+      obs::MetricsRegistry* obs_metrics = obs::worker_metrics();
+      for (graph::NodeId chunk_begin = 0; chunk_begin < n;) {
+        const graph::NodeId chunk_end =
+            n - chunk_begin > kNodeChunk ? chunk_begin + kNodeChunk : n;
+        const obs::Span chunk_span(
+            "node-range", obs::span_args("begin", chunk_begin));
+        for (graph::NodeId v = chunk_begin; v < chunk_end; ++v) {
+          if (obs_metrics != nullptr && (v & kCollectSampleMask) == 0) {
+            const util::Timer collect_timer;
+            dec_ws.ball.collect(topology, v, t_dec, dec_ws.scratch);
+            obs_metrics->observe("ball_collect_seconds",
+                                 collect_timer.elapsed_seconds());
+          } else {
+            dec_ws.ball.collect(topology, v, t_dec, dec_ws.scratch);
           }
+          const graph::BallView& dec_ball = dec_ws.ball;
+          announcements += dec_ball.size();
+          encoded_words += dec_ball.encoded_words();
+          member_outputs.assign(dec_ball.size(), 0);
+          for (graph::NodeId m = 0; m < dec_ball.size(); ++m) {
+            member_ws.ball.collect(topology, dec_ball.to_original(m), t_cons,
+                                   member_ws.scratch);
+            local::View member_view;
+            member_view.ball = &member_ws.ball;
+            member_view.instance = &inst;
+            if (options.grant_n) member_view.n_nodes = n;
+            member_outputs[m] = algo.compute(member_view, c_coins);
+            if (m == 0) {
+              // The center's construction ball IS node v's construction-
+              // phase visit; charge it exactly once.
+              announcements += member_ws.ball.size();
+              encoded_words += member_ws.ball.encoded_words();
+            }
+          }
+          local::View view;
+          view.ball = &dec_ball;
+          view.instance = &inst;
+          if (options.grant_n) view.n_nodes = n;
+          const DeciderView dv{view, {}, member_outputs};
+          if (!decider.accept(dv, d_coins)) accepted = false;
         }
-        local::View view;
-        view.ball = &dec_ball;
-        view.instance = &inst;
-        if (options.grant_n) view.n_nodes = n;
-        const DeciderView dv{view, {}, member_outputs};
-        if (!decider.accept(dv, d_coins)) accepted = false;
+        obs::node_progress_tick(chunk_end - chunk_begin);
+        chunk_begin = chunk_end;
       }
       local::Telemetry& telemetry = arena.telemetry();
       telemetry.messages_sent += announcements;

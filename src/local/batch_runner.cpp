@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/timer.h"
 
@@ -145,6 +147,14 @@ void BatchRunner::for_each_trial(const ExperimentPlan& plan, TrialRange range,
     TrialEnv env;
     env.index = i;
     env.seed = stats::trial_seed(plan.base_seed, i);
+    // Observability channel for this worker: deep engine code (ball
+    // collection, vector kernels) reaches the registry through the
+    // thread-local pointer. Installed only when metrics are on, so the
+    // disabled path costs one relaxed load here and a null TLS read at
+    // every downstream hook.
+    obs::MetricsRegistry* metrics =
+        obs::metrics_enabled() ? &arenas_[worker].metrics() : nullptr;
+    const obs::WorkerMetricsScope metrics_scope(metrics);
     const util::Timer trial_timer;
     if (fresh_arenas) {
       // Naive backend: a cold arena per trial (nothing survives — the
@@ -160,8 +170,12 @@ void BatchRunner::for_each_trial(const ExperimentPlan& plan, TrialRange range,
     }
     // Per-trial wall time lands in the worker's lock-free accumulator
     // (timing-only telemetry; never part of the deterministic contract).
-    arenas_[worker].telemetry().wall_seconds +=
-        trial_timer.elapsed_seconds();
+    const double trial_seconds = trial_timer.elapsed_seconds();
+    arenas_[worker].telemetry().wall_seconds += trial_seconds;
+    if (metrics != nullptr) {
+      metrics->observe("trial_wall_seconds", trial_seconds);
+    }
+    if (progress_ != nullptr) progress_->tick(1);
   };
   if (pool_ != nullptr) {
     pool_->parallel_for_workers(range.count(), invoke);
@@ -181,6 +195,10 @@ void BatchRunner::for_each_vector_trial(const ExperimentPlan& plan,
     WorkerArena& arena = arenas_[worker];
     const std::uint64_t begin = range.begin + b * batch_size;
     const std::uint64_t end = std::min(range.end, begin + batch_size);
+    obs::MetricsRegistry* metrics =
+        obs::metrics_enabled() ? &arena.metrics() : nullptr;
+    const obs::WorkerMetricsScope metrics_scope(metrics);
+    const obs::Span batch_span("batch", obs::span_args("trials", end - begin));
     // Per-trial construction-coin keys, exactly what the scalar trial
     // body's env.construction_coins() would produce.
     auto& keys = arena.vector_scratch().coin_key_buffer();
@@ -203,7 +221,16 @@ void BatchRunner::for_each_vector_trial(const ExperimentPlan& plan,
           env.arena = &arena;
           body(worker, env, out, rounds, delta);
         });
-    arena.telemetry().wall_seconds += batch_timer.elapsed_seconds();
+    const double batch_seconds = batch_timer.elapsed_seconds();
+    arena.telemetry().wall_seconds += batch_seconds;
+    if (metrics != nullptr) {
+      metrics->observe("batch_wall_seconds", batch_seconds);
+      if (batch_seconds > 0.0) {
+        metrics->observe("batch_trials_per_sec",
+                         static_cast<double>(end - begin) / batch_seconds);
+      }
+    }
+    if (progress_ != nullptr) progress_->tick(end - begin);
   };
   if (pool_ != nullptr) {
     pool_->parallel_for_workers(batches, run_batch);
@@ -214,6 +241,16 @@ void BatchRunner::for_each_vector_trial(const ExperimentPlan& plan,
 
 void BatchRunner::reset_worker_telemetry() {
   for (WorkerArena& arena : arenas_) arena.telemetry().reset();
+}
+
+void BatchRunner::reset_worker_metrics() {
+  for (WorkerArena& arena : arenas_) arena.metrics().clear();
+}
+
+obs::MetricsRegistry BatchRunner::merged_worker_metrics() {
+  obs::MetricsRegistry merged;
+  for (const WorkerArena& arena : arenas_) merged.merge(arena.metrics());
+  return merged;
 }
 
 Telemetry BatchRunner::merged_worker_telemetry() {
@@ -249,6 +286,7 @@ ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
   const bool fresh_arenas = backend == OptimizationConfig::Backend::kNaive;
 
   reset_worker_telemetry();
+  reset_worker_metrics();
   ShardTally tally;
   tally.trials = range.count();
   switch (kind) {
@@ -337,6 +375,7 @@ ShardTally BatchRunner::run_shard(const ExperimentPlan& plan,
   }
   tally.telemetry = merged_worker_telemetry();
   last_telemetry_ = tally.telemetry;
+  last_metrics_ = merged_worker_metrics();
   return tally;
 }
 

@@ -33,9 +33,14 @@
 #include "local/engine.h"
 #include "local/runner.h"
 #include "local/vector_engine.h"
+#include "obs/metrics.h"
 #include "rand/coins.h"
 #include "stats/montecarlo.h"
 #include "stats/threadpool.h"
+
+namespace lnc::obs {
+class Progress;
+}  // namespace lnc::obs
 
 namespace lnc::local {
 
@@ -86,6 +91,13 @@ class WorkerArena {
   Telemetry& telemetry() noexcept { return engine_.telemetry(); }
   const Telemetry& telemetry() const noexcept { return engine_.telemetry(); }
 
+  /// This worker's observability metrics (timing histograms and the
+  /// like). Populated only while obs::metrics_enabled(); reset and
+  /// merged by BatchRunner exactly like telemetry(), but NEVER part of
+  /// the deterministic contract — metrics carry wall-clock measurements.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
   /// This worker's reusable trial-vectorized batch storage (SoA arrays,
   /// the vector program, and the per-batch coin-key buffer stay warm
   /// across batches, mirroring what engine() does for the scalar path).
@@ -116,6 +128,7 @@ class WorkerArena {
   BallWorkspace member_ball_;
   Labeling ball_outputs_;
   VectorScratch vector_;
+  obs::MetricsRegistry metrics_;
   SampledConfiguration sample_;
   const void* sample_owner_ = nullptr;
   std::uint64_t sample_seed_ = 0;
@@ -346,6 +359,19 @@ class BatchRunner {
   /// counters are bit-identical across thread counts.
   const Telemetry& last_telemetry() const noexcept { return last_telemetry_; }
 
+  /// Observability metrics of the most recent run (per-trial wall-time
+  /// and per-batch throughput histograms, merged across workers). Empty
+  /// unless obs::metrics_enabled() was set during the run.
+  const obs::MetricsRegistry& last_metrics() const noexcept {
+    return last_metrics_;
+  }
+
+  /// Optional live-progress sink: when set, every completed trial ticks
+  /// the heartbeat. Timing-only; never affects results.
+  void set_progress(obs::Progress* progress) noexcept {
+    progress_ = progress;
+  }
+
  private:
   template <typename Body>
   void for_each_trial(const ExperimentPlan& plan, TrialRange range,
@@ -362,10 +388,14 @@ class BatchRunner {
   /// Clears per-worker accumulators before a batch / merges them after.
   void reset_worker_telemetry();
   Telemetry merged_worker_telemetry();
+  void reset_worker_metrics();
+  obs::MetricsRegistry merged_worker_metrics();
 
   const stats::ThreadPool* pool_;
   std::vector<WorkerArena> arenas_;
   Telemetry last_telemetry_;
+  obs::MetricsRegistry last_metrics_;
+  obs::Progress* progress_ = nullptr;
 };
 
 }  // namespace lnc::local

@@ -4,7 +4,9 @@
 
 #include "fault/fault.h"
 #include "local/vector_engine.h"
+#include "obs/metrics.h"
 #include "util/assert.h"
+#include "util/timer.h"
 
 namespace lnc::local {
 
@@ -43,6 +45,12 @@ EngineResult run_engine(const Instance& inst,
                         const EngineOptions& options) {
   inst.validate();
   const graph::NodeId n = inst.node_count();
+
+  // Observability-only run timing: lands in the worker's metrics
+  // registry when one is installed (obs::WorkerMetricsScope), otherwise
+  // a single TLS load. Never touches the deterministic telemetry.
+  obs::MetricsRegistry* obs_metrics = obs::worker_metrics();
+  const util::Timer run_timer;
 
   std::optional<std::vector<std::uint32_t>> succ_ports;
   if (options.grant_ring_orientation) {
@@ -141,6 +149,9 @@ EngineResult run_engine(const Instance& inst,
         s.rngs_.capacity() * sizeof(rand::NodeRng) + s.halted_.capacity();
     result.telemetry = run_telemetry;
     s.telemetry_.merge(run_telemetry);
+    if (obs_metrics != nullptr) {
+      obs_metrics->observe("engine_run_seconds", run_timer.elapsed_seconds());
+    }
     if (options.retain_programs) result.programs = std::move(s.programs_);
     return result;
   };

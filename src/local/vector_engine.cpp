@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/assert.h"
+#include "util/timer.h"
 
 namespace lnc::local {
 namespace {
@@ -183,6 +185,11 @@ void run_vector_batch(
     return false;
   };
 
+  // Observability-only kernel timing and footprint: recorded into the
+  // worker's metrics registry when one is installed (a null TLS read
+  // otherwise). The lockstep round loop is the batch's hot kernel.
+  obs::MetricsRegistry* obs_metrics = obs::worker_metrics();
+  const util::Timer kernel_timer;
   settle(0);
   int round = 0;
   while (any_live()) {
@@ -190,6 +197,13 @@ void run_vector_batch(
     ++round;
     program.round(batch, round);
     settle(round);
+  }
+  if (obs_metrics != nullptr) {
+    obs_metrics->observe("vector_kernel_seconds",
+                         kernel_timer.elapsed_seconds());
+    obs_metrics->observe("vector_batch_footprint_bytes",
+                         static_cast<double>(batch.footprint_bytes() +
+                                             program.footprint_bytes()));
   }
 
   if (accumulate != nullptr) {

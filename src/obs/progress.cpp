@@ -1,0 +1,119 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace lnc::obs {
+namespace {
+
+std::atomic<Progress*> g_node_progress{nullptr};
+
+std::string format_compact(double value) {
+  char buf[32];
+  if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Progress::Progress(std::string label, std::uint64_t total, std::string unit,
+                   std::ostream* out, double min_interval_seconds)
+    : label_(std::move(label)),
+      unit_(std::move(unit)),
+      total_(total),
+      out_(out),
+      min_interval_us_(
+          static_cast<std::uint64_t>(min_interval_seconds * 1e6)),
+      start_us_(now_micros()),
+      last_print_us_(start_us_),
+      window_us_(start_us_) {}
+
+Progress::~Progress() { finish(); }
+
+void Progress::tick(std::uint64_t delta) {
+  done_.fetch_add(delta, std::memory_order_relaxed);
+  const std::uint64_t now = now_micros();
+  std::uint64_t last = last_print_us_.load(std::memory_order_relaxed);
+  if (now - last < min_interval_us_) return;
+  // One thread wins the interval; the rest return without blocking on
+  // the print lock.
+  if (!last_print_us_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  print_line(/*final=*/false);
+}
+
+void Progress::finish() {
+  std::lock_guard<std::mutex> guard(print_guard_);
+  if (finished_) return;
+  finished_ = true;
+  if (done_.load(std::memory_order_relaxed) == 0 && total_ == 0) return;
+  if (out_ == nullptr) return;
+  std::ostream& os = *out_;
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t now = now_micros();
+  const double elapsed = static_cast<double>(now - start_us_) * 1e-6;
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed
+                                    : 0.0;
+  os << "progress[" << label_ << "]: " << done;
+  if (total_ > 0) os << "/" << total_ << " " << unit_ << " 100.0%";
+  else os << " " << unit_;
+  os << " " << format_compact(rate) << " " << unit_ << "/s done in "
+     << format_compact(elapsed) << "s\n";
+  os.flush();
+}
+
+void Progress::print_line(bool) {
+  std::lock_guard<std::mutex> guard(print_guard_);
+  if (finished_ || out_ == nullptr) return;
+  std::ostream& os = *out_;
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t now = now_micros();
+  // Instantaneous throughput over the window since the last heartbeat;
+  // ETA from the overall average, which is steadier.
+  const double window_seconds =
+      static_cast<double>(now - window_us_) * 1e-6;
+  const double window_rate =
+      window_seconds > 0.0
+          ? static_cast<double>(done - window_done_) / window_seconds
+          : 0.0;
+  const double elapsed = static_cast<double>(now - start_us_) * 1e-6;
+  const double average_rate =
+      elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  window_done_ = done;
+  window_us_ = now;
+  os << "progress[" << label_ << "]: " << done;
+  if (total_ > 0) {
+    const double percent =
+        100.0 * static_cast<double>(done) / static_cast<double>(total_);
+    os << "/" << total_ << " " << unit_ << " " << format_compact(percent)
+       << "%";
+  } else {
+    os << " " << unit_;
+  }
+  os << " " << format_compact(window_rate) << " " << unit_ << "/s";
+  if (total_ > done && average_rate > 0.0) {
+    const double eta =
+        static_cast<double>(total_ - done) / average_rate;
+    os << " eta " << format_compact(eta) << "s";
+  }
+  os << "\n";
+  os.flush();
+}
+
+void install_node_progress(Progress* progress) noexcept {
+  g_node_progress.store(progress, std::memory_order_release);
+}
+
+void node_progress_tick(std::uint64_t delta) noexcept {
+  Progress* progress = g_node_progress.load(std::memory_order_acquire);
+  if (progress != nullptr) progress->tick(delta);
+}
+
+}  // namespace lnc::obs

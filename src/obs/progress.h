@@ -1,0 +1,74 @@
+// Rate-limited live progress heartbeats for long runs: trials completed
+// (sweeps), nodes streamed (implicit topologies), shards finished
+// (fleets). Emits grep-stable lines of the form
+//
+//   progress[label]: 1234/5000 trials 24.7% 812.3 trials/s eta 4.6s
+//   progress[label]: 52428800 nodes 1.3e+07 nodes/s        (unknown total)
+//   progress[label]: 5000/5000 trials 100.0% 790.1 trials/s done in 6.3s
+//
+// to a caller-supplied stream (stderr by convention — result JSON and
+// tables own stdout). tick() is thread-safe and costs one relaxed
+// fetch_add plus a time check; printing is rate-limited to the configured
+// interval, and finish() always prints a final line when any work was
+// observed, so short runs still leave one heartbeat for CI to grep.
+//
+// Progress is timing-only observability: it never touches tallies,
+// deterministic telemetry, or cache keys.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace lnc::obs {
+
+class Progress {
+ public:
+  /// `total` may be 0 when unknown (no percentage / ETA, rate only).
+  Progress(std::string label, std::uint64_t total, std::string unit,
+           std::ostream* out, double min_interval_seconds = 1.0);
+  ~Progress();
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Records `delta` completed units; prints a heartbeat if at least the
+  /// minimum interval has elapsed since the last one.
+  void tick(std::uint64_t delta = 1);
+
+  /// Prints the final line (idempotent; skipped when nothing was ever
+  /// ticked AND the total is unknown, so idle channels stay silent).
+  void finish();
+
+  std::uint64_t done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void print_line(bool final);
+
+  const std::string label_;
+  const std::string unit_;
+  const std::uint64_t total_;
+  std::ostream* const out_;
+  const std::uint64_t min_interval_us_;
+  const std::uint64_t start_us_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> last_print_us_;
+  // Rate window: units/time at the previous heartbeat, for instantaneous
+  // throughput (guarded by print_guard_).
+  std::uint64_t window_done_ = 0;
+  std::uint64_t window_us_;
+  bool finished_ = false;
+  std::mutex print_guard_;
+};
+
+/// Global node-granularity channel: the implicit streaming loop sits
+/// behind plan lambdas that cannot carry a sink, so the tool installs a
+/// Progress here for the run's duration. tick forwarding is a single
+/// relaxed load when nothing is installed.
+void install_node_progress(Progress* progress) noexcept;
+void node_progress_tick(std::uint64_t delta) noexcept;
+
+}  // namespace lnc::obs

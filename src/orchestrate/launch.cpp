@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "scenario/spec_json.h"
 #include "util/file_util.h"
 
@@ -79,6 +80,9 @@ RunManifest plan_topup_run(const scenario::ScenarioSpec& spec,
 }
 
 LaunchOutcome merge_run(const RunManifest& manifest) {
+  const obs::Span merge_span(
+      "merge", obs::span_args("shards", static_cast<std::uint64_t>(
+                                            manifest.shards.size())));
   LaunchOutcome outcome;
   for (const ShardRecord& record : manifest.shards) {
     if (record.state != ShardState::kDone) {

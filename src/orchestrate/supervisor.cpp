@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -11,6 +13,8 @@
 #include <vector>
 
 #include "local/batch_runner.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 namespace lnc::orchestrate {
 namespace {
@@ -20,8 +24,11 @@ namespace {
 /// the lock; only bookkeeping takes it.
 class Coordinator {
  public:
-  Coordinator(RunManifest& manifest, const SupervisorOptions& options)
-      : manifest_(&manifest), options_(&options) {}
+  Coordinator(RunManifest& manifest, const SupervisorOptions& options,
+              obs::Progress* fleet_progress)
+      : manifest_(&manifest),
+        options_(&options),
+        fleet_progress_(fleet_progress) {}
 
   /// Claims the next shard needing work; false when none remain (or a
   /// worker hit a coordinator-side error and the run is winding down).
@@ -52,7 +59,10 @@ class Coordinator {
     return error_;
   }
 
-  void init_claim_map() { claimed_.assign(manifest_->shards.size(), false); }
+  void init_claim_map() {
+    claimed_.assign(manifest_->shards.size(), false);
+    attempt_start_us_.assign(manifest_->shards.size(), 0);
+  }
 
   void mark_running(unsigned shard) {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -60,6 +70,7 @@ class Coordinator {
     record.state = ShardState::kRunning;
     ++record.attempts;
     record.error.clear();
+    attempt_start_us_[shard] = obs::now_micros();
     save_manifest(*manifest_);
     log(shard, record.attempts, "started");
   }
@@ -72,6 +83,8 @@ class Coordinator {
     record.error.clear();
     save_manifest(*manifest_);
     log(shard, record.attempts, "done");
+    record_attempt_span(shard, record.attempts, "done");
+    if (fleet_progress_ != nullptr) fleet_progress_->tick(1);
   }
 
   void mark_failure(unsigned shard, const TransportResult& result,
@@ -90,6 +103,8 @@ class Coordinator {
           "failed (" + result.error + "); retrying in " +
               std::to_string(static_cast<std::uint64_t>(retry_ms)) + " ms");
     }
+    record_attempt_span(shard, record.attempts,
+                        permanent ? "failed" : "retrying");
   }
 
  private:
@@ -103,10 +118,29 @@ class Coordinator {
     options_->status->flush();
   }
 
+  /// One "shard-attempt" trace span per dispatch attempt, spanning
+  /// mark_running → terminal transition, tagged with the outcome. No-op
+  /// unless the process-wide recorder is enabled (lnc_launch --trace).
+  void record_attempt_span(unsigned shard, unsigned attempt,
+                           const char* outcome) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+    if (!recorder.enabled()) return;
+    const std::uint64_t start = attempt_start_us_[shard];
+    const std::uint64_t end = obs::now_micros();
+    recorder.record("shard-attempt", start, end > start ? end - start : 0,
+                    obs::span_args("shard", static_cast<std::uint64_t>(shard)) +
+                        ", " +
+                        obs::span_args("attempt",
+                                       static_cast<std::uint64_t>(attempt)) +
+                        ", \"outcome\": \"" + outcome + "\"");
+  }
+
   std::mutex mutex_;
   RunManifest* manifest_;
   const SupervisorOptions* options_;
   std::vector<char> claimed_;
+  std::vector<std::uint64_t> attempt_start_us_;
+  obs::Progress* fleet_progress_;
   std::string error_;
 };
 
@@ -132,7 +166,17 @@ bool JobSupervisor::run(RunManifest& manifest, unsigned sweep_threads) {
   }
   save_manifest(manifest);
 
-  Coordinator coordinator(manifest, options_);
+  // Fleet heartbeat: one tick per shard landed. Constructed before the
+  // coordinator so every mark_done can tick it; finished after the
+  // workers drain so the final line reflects the whole run.
+  std::optional<obs::Progress> fleet_progress;
+  if (options_.progress && options_.status != nullptr) {
+    fleet_progress.emplace("launch:" + manifest.scenario,
+                           manifest.shards.size(), "shards", options_.status);
+  }
+
+  Coordinator coordinator(manifest, options_,
+                          fleet_progress ? &*fleet_progress : nullptr);
   coordinator.init_claim_map();
 
   unsigned parallel = options_.max_parallel;
@@ -213,6 +257,8 @@ bool JobSupervisor::run(RunManifest& manifest, unsigned sweep_threads) {
   threads.reserve(parallel);
   for (unsigned i = 0; i < parallel; ++i) threads.emplace_back(worker);
   for (std::thread& thread : threads) thread.join();
+
+  if (fleet_progress) fleet_progress->finish();
 
   const std::string error = coordinator.error();
   if (!error.empty()) {

@@ -34,6 +34,12 @@ struct SupervisorOptions {
   double backoff_ms = 100;
   /// Streaming status lines (one per state transition); null = silent.
   std::ostream* status = nullptr;
+  /// Live fleet heartbeat (shards done, throughput, ETA) on `status`
+  /// between the per-transition lines (lnc_launch --progress). The
+  /// supervisor additionally records shard lifecycle trace spans
+  /// whenever the process-wide obs::TraceRecorder is enabled
+  /// (lnc_launch --trace) — both are timing-only observability.
+  bool progress = false;
 };
 
 /// Runs jobs until every shard is done or permanently failed.

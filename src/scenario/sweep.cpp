@@ -7,11 +7,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "scenario/spec_json.h"
 #include "util/assert.h"
 #include "util/build_info.h"
 #include "util/file_util.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace lnc::scenario {
 
@@ -34,8 +37,11 @@ SweepResult run_sweep(const CompiledScenario& scenario,
   result.backend = scenario.spec().backend;
 
   local::BatchRunner runner(options.pool);
+  runner.set_progress(options.progress);
   result.rows.reserve(scenario.points().size());
   bool range_recorded = false;
+  const obs::Span sweep_span("sweep",
+                             obs::span_args("scenario", result.scenario));
   for (const CompiledScenario::GridPoint& point : scenario.points()) {
     const local::TrialRange range =
         options.trial_range
@@ -53,7 +59,16 @@ SweepResult run_sweep(const CompiledScenario& scenario,
     row.requested_n = point.requested_n;
     row.actual_n = point.instance->node_count();
     row.total_trials = point.plan.trials;
-    row.tally = runner.run_shard(point.plan, range);
+    {
+      // True elapsed wall-clock per grid point (one measurement, NOT the
+      // per-trial sum telemetry.wall_seconds accumulates) plus the row's
+      // trace span. Timing-only observability.
+      const obs::Span row_span("row", obs::span_args("n", row.requested_n));
+      const util::Timer row_timer;
+      row.tally = runner.run_shard(point.plan, range);
+      row.elapsed_seconds = row_timer.elapsed_seconds();
+    }
+    result.metrics.merge(runner.last_metrics());
     result.rows.push_back(row);
   }
   return result;
@@ -122,6 +137,7 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards) {
   merged.workload = shards[0].workload;
   merged.backend = shards[0].backend;
   merged.rows = shards[0].rows;
+  merged.metrics = shards[0].metrics;
 
   // Duplicate shard files would double-count trials yet can still sum to
   // total_trials (e.g. the same half merged twice) — reject repeats and
@@ -162,7 +178,11 @@ SweepResult merge_sweeps(std::span<const SweepResult> shards) {
         }
       }
       row.tally.telemetry.merge(other.tally.telemetry);
+      // Machine-time across the fleet: the merged row's elapsed seconds
+      // is the sum of each shard's true wall-clock.
+      row.elapsed_seconds += other.elapsed_seconds;
     }
+    merged.metrics.merge(shard.metrics);
   }
   for (const SweepRow& row : merged.rows) {
     LNC_EXPECTS(row.tally.trials == row.total_trials &&
@@ -243,8 +263,10 @@ SweepResult merge_trial_ranges(std::span<const SweepResult> parts) {
   merged.workload = parts[0].workload;
   merged.backend = parts[0].backend;
   merged.rows = parts[0].rows;
+  merged.metrics = parts[0].metrics;
   for (std::size_t s = 1; s < parts.size(); ++s) {
     const SweepResult& part = parts[s];
+    merged.metrics.merge(part.metrics);
     for (std::size_t i = 0; i < merged.rows.size(); ++i) {
       SweepRow& row = merged.rows[i];
       const SweepRow& other = part.rows[i];
@@ -265,6 +287,7 @@ SweepResult merge_trial_ranges(std::span<const SweepResult> parts) {
         }
       }
       row.tally.telemetry.merge(other.tally.telemetry);
+      row.elapsed_seconds += other.elapsed_seconds;
     }
   }
   merged.trial_begin = 0;
@@ -489,9 +512,17 @@ void write_json(std::ostream& os, const SweepResult& result) {
       os << "]";
     }
     os << ", \"telemetry\": " << telemetry_to_json(row.tally.telemetry)
+       << ", \"elapsed_seconds\": " << format_exact(row.elapsed_seconds)
        << "}";
   }
-  os << "]}\n";
+  os << "]";
+  if (!result.metrics.empty()) {
+    // Optional observability block (lnc_sweep --trace): timing
+    // histograms merged across workers. Machine-dependent by nature;
+    // every determinism gate ignores it.
+    os << ", \"metrics\": " << result.metrics.to_json();
+  }
+  os << "}\n";
 }
 
 SweepResult sweep_from_json(const std::string& text,
@@ -522,7 +553,7 @@ SweepResult sweep_from_json(const Json& root,
   warn_unknown(root.as_object(),
                {"scenario", "base_seed", "shard", "shard_count", "workload",
                 "backend", "trial_begin", "trial_end", "seed_stream_epoch",
-                "build_rev", "rows"},
+                "build_rev", "rows", "metrics"},
                "top-level");
   SweepResult result;
   result.scenario = root.at("scenario").as_string();
@@ -573,7 +604,7 @@ SweepResult sweep_from_json(const Json& root,
   for (const Json& row_json : root.at("rows").as_array()) {
     warn_unknown(row_json.as_object(),
                  {"n", "actual_n", "total_trials", "trials", "successes",
-                  "values", "counts", "telemetry"},
+                  "values", "counts", "telemetry", "elapsed_seconds"},
                  "row");
     SweepRow row;
     row.requested_n = row_json.at("n").as_uint64();
@@ -610,7 +641,14 @@ SweepResult sweep_from_json(const Json& root,
     if (row_json.has("telemetry")) {
       row.tally.telemetry = telemetry_from_json(row_json.at("telemetry"));
     }
+    if (row_json.has("elapsed_seconds")) {
+      row.elapsed_seconds = row_json.at("elapsed_seconds").as_number();
+    }
     result.rows.push_back(row);
+  }
+  if (root.has("metrics")) {
+    result.metrics = obs::MetricsRegistry::from_json(
+        root.at("metrics"), "metrics", warnings);
   }
   if (!root.has("trial_begin") && !root.has("trial_end") &&
       !result.rows.empty() && result.complete()) {

@@ -13,9 +13,14 @@
 #include <optional>
 #include <span>
 
+#include "obs/metrics.h"
 #include "scenario/scenario.h"
 #include "scenario/spec_json.h"
 #include "util/table.h"
+
+namespace lnc::obs {
+class Progress;
+}  // namespace lnc::obs
 
 namespace lnc::scenario {
 
@@ -30,6 +35,9 @@ struct SweepOptions {
   /// abutting ranges (merge_trial_ranges).
   std::optional<local::TrialRange> trial_range;
   const stats::ThreadPool* pool = nullptr;  ///< null => sequential trials
+  /// Optional live-progress heartbeat, ticked once per completed trial
+  /// (lnc_sweep --progress). Timing-only: never affects results.
+  obs::Progress* progress = nullptr;
 };
 
 struct SweepRow {
@@ -38,6 +46,13 @@ struct SweepRow {
   std::uint64_t total_trials = 0;    ///< the plan's full trial count
   local::ShardTally tally;           ///< this result's executed share,
                                      ///< including its telemetry block
+  /// TRUE elapsed wall-clock for this row's local computation (start to
+  /// finish of the grid point, one measurement per run) — unlike
+  /// telemetry.wall_seconds, which SUMS per-trial time across workers
+  /// and so exceeds elapsed time on multi-threaded runs. Summed when
+  /// merging shards (total machine-time across the fleet). Machine-
+  /// dependent; never part of the deterministic contract.
+  double elapsed_seconds = 0.0;
 };
 
 struct SweepResult {
@@ -61,6 +76,13 @@ struct SweepResult {
   std::uint64_t trial_begin = 0;
   std::uint64_t trial_end = 0;
   std::vector<SweepRow> rows;
+  /// Observability metrics merged across the sweep's workers (per-trial
+  /// wall-time / throughput histograms and friends). Empty unless
+  /// obs::metrics_enabled() was set during the run (lnc_sweep --trace);
+  /// lands in the JSON as an optional top-level `metrics` block and
+  /// merges across shards order-free. Timing-only — ignored by every
+  /// determinism gate.
+  obs::MetricsRegistry metrics;
 
   /// True when the result covers every trial (unsharded or merged).
   bool complete() const noexcept {

@@ -87,7 +87,34 @@ std::string handle_request_line(SweepService& service,
                                 const std::string& line) {
   QueryOutcome outcome;
   try {
-    outcome = service.query(spec_from_request(scenario::Json::parse(line)));
+    const scenario::Json root = scenario::Json::parse(line);
+    // Introspection op, dispatched BEFORE the spec path (which rejects
+    // unknown keys): {"op": "stats"} returns the daemon's monotonic
+    // query totals plus its latency-metric registry, and runs no trials.
+    if (root.has("op")) {
+      const std::string& op = root.at("op").as_string();
+      if (op != "stats") {
+        throw std::runtime_error("unknown op '" + op +
+                                 "' (the only op is 'stats')");
+      }
+      if (root.as_object().size() != 1) {
+        throw std::runtime_error(
+            "a stats request carries no keys besides 'op'");
+      }
+      const SweepService::Stats stats = service.stats();
+      std::ostringstream os;
+      os << "{\"status\": \"ok\", \"stats\": {\"queries\": " << stats.queries
+         << ", \"hits\": " << stats.hits << ", \"topups\": " << stats.topups
+         << ", \"misses\": " << stats.misses
+         << ", \"trials_computed\": " << stats.trials_computed
+         << ", \"trials_reused\": " << stats.trials_reused << "}"
+         << ", \"metrics\": " << service.metrics_snapshot().to_json()
+         << ", \"identity\": {\"seed_stream_epoch\": "
+         << util::seed_stream_epoch() << ", \"build_rev\": \""
+         << util::json_escape(util::build_rev()) << "\"}}\n";
+      return os.str();
+    }
+    outcome = service.query(spec_from_request(root));
   } catch (const std::exception& ex) {
     return error_response(ex.what());
   }

@@ -7,6 +7,13 @@
 //    "trials": T, "seed": S, "n": [16, 64], "params": {"colors": 3}}
 // trials/seed/n/params override the named preset or embedded spec.
 //
+// Introspection (runs no trials):
+//   {"op": "stats"}
+// answers {"status": "ok", "stats": {"queries": N, "hits": H,
+//   "topups": U, "misses": M, "trials_computed": C, "trials_reused": R},
+//   "metrics": {<latency histograms: cache_lookup_seconds,
+//   query_seconds>}, "identity": {...}}.
+//
 // Response, one line:
 //   {"status": "ok",
 //    "cache": {"outcome": "hit|topup|miss", "trials_reused": R,

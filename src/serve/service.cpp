@@ -5,6 +5,7 @@
 
 #include "serve/cache_key.h"
 #include "util/assert.h"
+#include "util/timer.h"
 
 namespace lnc::serve {
 
@@ -36,6 +37,11 @@ SweepService::Stats SweepService::stats() const {
   return stats_;
 }
 
+obs::MetricsRegistry SweepService::metrics_snapshot() const {
+  std::lock_guard<std::mutex> guard(stats_guard_);
+  return metrics_;
+}
+
 QueryOutcome SweepService::query(const scenario::ScenarioSpec& spec) {
   const std::string invalid = scenario::validate(spec);
   if (!invalid.empty()) {
@@ -43,6 +49,7 @@ QueryOutcome SweepService::query(const scenario::ScenarioSpec& spec) {
   }
   QueryOutcome out;
   out.key = cache_key(spec);
+  const util::Timer query_timer;
 
   // In-flight deduplication: identical concurrent queries serialize
   // here, so the loser of a miss race re-reads the winner's entry and
@@ -50,7 +57,9 @@ QueryOutcome SweepService::query(const scenario::ScenarioSpec& spec) {
   std::lock_guard<std::mutex> key_guard(key_mutex(out.key));
 
   std::string diagnostic;
+  const util::Timer lookup_timer;
   std::optional<CacheEntry> entry = store_.lookup(out.key, &diagnostic);
+  const double lookup_seconds = lookup_timer.elapsed_seconds();
   if (!entry && diagnostic != "no entry") {
     out.notes.push_back("cache: " + diagnostic);
   }
@@ -119,6 +128,8 @@ QueryOutcome SweepService::query(const scenario::ScenarioSpec& spec) {
     if (out.outcome == CacheOutcome::kMiss) ++stats_.misses;
     stats_.trials_computed += out.trials_computed;
     stats_.trials_reused += out.trials_reused;
+    metrics_.observe("cache_lookup_seconds", lookup_seconds);
+    metrics_.observe("query_seconds", query_timer.elapsed_seconds());
   }
   return out;
 }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "scenario/scenario.h"
 #include "scenario/sweep.h"
 #include "serve/result_store.h"
@@ -82,6 +83,13 @@ class SweepService {
   };
   Stats stats() const;
 
+  /// Latency metrics accumulated across queries (store-lookup and
+  /// whole-query wall time histograms) — the registry behind the
+  /// daemon's {"op": "stats"} response. Always collected (one observe
+  /// per query; negligible next to the query itself) and timing-only:
+  /// never part of any served result.
+  obs::MetricsRegistry metrics_snapshot() const;
+
  private:
   /// The per-key serialization point for in-flight deduplication.
   std::mutex& key_mutex(const CacheKey& key);
@@ -95,6 +103,7 @@ class SweepService {
 
   mutable std::mutex stats_guard_;
   Stats stats_;
+  obs::MetricsRegistry metrics_;  ///< guarded by stats_guard_
 };
 
 }  // namespace lnc::serve

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI observability gate: a --trace file must be a well-formed Chrome
+trace that Perfetto / chrome://tracing will load.
+
+Usage: check_trace.py [--require NAME]... TRACE.json
+
+Checks:
+  - the file parses and holds a non-empty "traceEvents" array;
+  - every event is a complete span: string "name", "ph" == "X",
+    non-negative integer "ts"/"dur", integer "pid"/"tid";
+  - events are globally sorted by start time (the writer emits them
+    sorted with ties broken longest-duration-first so parents precede
+    children — the order Perfetto's flame view expects);
+  - per (pid, tid) lane, spans nest strictly: a span starting inside
+    another on the same lane must also END inside it. Partial overlap
+    means a broken recorder (clock going backwards, torn buffers);
+  - each --require NAME (repeatable) appears at least once — the hook
+    that asserts a sweep trace really contains sweep/row/node-range
+    spans and a fleet trace contains fleet/shard-attempt spans.
+
+Exits 0 when every check passes, 1 with a diagnosis otherwise.
+"""
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}")
+    sys.exit(1)
+
+
+def validate_events(events):
+    last_ts = -1
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(f"{where} is not an object")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where} lacks a non-empty string 'name'")
+        if event.get("ph") != "X":
+            fail(f"{where} ('{name}') has ph={event.get('ph')!r}, "
+                 "expected complete event 'X'")
+        for key in ("ts", "dur", "pid", "tid"):
+            value = event.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(f"{where} ('{name}') has non-integer {key}="
+                     f"{value!r}")
+        if event["ts"] < 0 or event["dur"] < 0:
+            fail(f"{where} ('{name}') has negative ts/dur")
+        if event["ts"] < last_ts:
+            fail(f"{where} ('{name}') starts at {event['ts']} before the "
+                 f"previous event's {last_ts} — the file is not sorted")
+        last_ts = event["ts"]
+
+
+def check_nesting(events):
+    """Spans on one lane must nest like a call stack."""
+    lanes = {}
+    for event in events:
+        lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+    for lane, lane_events in lanes.items():
+        # Same start: the longer span is the parent and must come first.
+        lane_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for event in lane_events:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(f"lane pid={lane[0]} tid={lane[1]}: span "
+                     f"'{event['name']}' [{start}, {end}) partially "
+                     f"overlaps enclosing '{stack[-1][0]}' ending at "
+                     f"{stack[-1][1]} — spans must nest")
+            stack.append((event["name"], end))
+
+
+def main(argv):
+    required = []
+    paths = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require":
+            i += 1
+            if i >= len(argv):
+                fail("--require needs a span name")
+            required.append(argv[i])
+        else:
+            paths.append(argv[i])
+        i += 1
+    if len(paths) != 1:
+        print(__doc__)
+        sys.exit(2)
+
+    try:
+        with open(paths[0]) as handle:
+            root = json.load(handle)
+    except (OSError, json.JSONDecodeError) as ex:
+        fail(f"{paths[0]}: {ex}")
+    events = root.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{paths[0]} has no non-empty traceEvents array")
+
+    validate_events(events)
+    check_nesting(events)
+
+    names = {event["name"] for event in events}
+    for name in required:
+        if name not in names:
+            fail(f"required span '{name}' is absent (present: "
+                 f"{', '.join(sorted(names))})")
+
+    print(f"check_trace: OK: {paths[0]} ({len(events)} spans, "
+          f"{len(names)} distinct names)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -34,6 +34,15 @@
 //   --retries N          attempts per shard per run (default 3)
 //   --backoff-ms MS      first retry delay, doubling per retry (def 100)
 //   --out FILE           also write the merged result JSON
+//   --trace FILE         write a Chrome trace-event JSON of the fleet:
+//                        one "shard-attempt" span per dispatch attempt
+//                        (tagged shard/attempt/outcome), a "merge" span,
+//                        and the enclosing "fleet" span. Load in
+//                        Perfetto (ui.perfetto.dev). Timing-only: the
+//                        merged result is bit-identical with or without.
+//   --progress           live fleet heartbeat on stderr (shards done,
+//                        throughput, ETA) between the per-transition
+//                        launch[...] lines
 //   --cache DIR          content-addressed result store (serve/): a
 //                        cached result at >= the requested trials is
 //                        served without launching any shard; a cached
@@ -61,6 +70,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "orchestrate/launch.h"
 #include "orchestrate/manifest.h"
 #include "orchestrate/supervisor.h"
@@ -88,6 +98,9 @@ int usage(std::ostream& os, int code) {
         "         --remote-sweep CMD | --sweep-bin PATH\n"
         "         --sweep-threads N | --jobs J | --timeout SEC\n"
         "         --retries N | --backoff-ms MS | --out FILE\n"
+        "         --trace FILE  (Chrome trace of the fleet — shard\n"
+        "                        lifecycle + merge spans; Perfetto-ready)\n"
+        "         --progress    (live fleet heartbeat on stderr)\n"
         "         --cache DIR   (result store: hit skips the fleet,\n"
         "                        a cached prefix tops up only the missing\n"
         "                        trials; merged results are written back)\n"
@@ -120,6 +133,7 @@ struct Options {
   unsigned sweep_threads = 1;
   orchestrate::SupervisorOptions supervisor;
   std::optional<std::string> out_file;
+  std::optional<std::string> trace_file;
   std::optional<std::string> cache_dir;
   std::optional<std::pair<unsigned, unsigned>> inject_fail;  // shard, times
   bool help = false;
@@ -233,6 +247,11 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
     } else if (arg == "--out") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.out_file = value;
+    } else if (arg == "--trace") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.trace_file = value;
+    } else if (arg == "--progress") {
+      options.supervisor.progress = true;
     } else if (arg == "--cache") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.cache_dir = value;
@@ -565,6 +584,10 @@ int main(int argc, char** argv) {
 
   orchestrate::SupervisorOptions supervisor = options.supervisor;
   supervisor.status = &std::cerr;
+  // Tracing captures the fleet's control plane (dispatch / retry / kill /
+  // merge); the per-trial work lives in the shard processes, which trace
+  // separately via lnc_sweep --trace. Timing-only either way.
+  if (options.trace_file) obs::TraceRecorder::instance().enable();
 
   try {
     std::optional<serve::ResultStore> store;
@@ -713,12 +736,34 @@ int main(int argc, char** argv) {
       }
     }
 
-    const orchestrate::LaunchOutcome outcome = orchestrate::execute_run(
-        manifest, *effective, supervisor, options.sweep_threads);
+    orchestrate::LaunchOutcome outcome;
+    {
+      const obs::Span fleet_span(
+          "fleet", obs::span_args("shards", static_cast<std::uint64_t>(
+                                                manifest.shard_count)));
+      outcome = orchestrate::execute_run(manifest, *effective, supervisor,
+                                         options.sweep_threads);
+    }
     if (outcome.ok && store && cache_spec) {
       write_back(*store, *cache_spec, outcome.merged);
     }
-    return report_outcome(manifest, outcome, options);
+    int rc = report_outcome(manifest, outcome, options);
+    if (options.trace_file) {
+      obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+      std::string trace_error;
+      if (recorder.write_file(*options.trace_file, &trace_error)) {
+        std::cerr << "trace: wrote " << *options.trace_file << " ("
+                  << recorder.event_count() << " spans";
+        if (recorder.dropped_count() > 0) {
+          std::cerr << ", " << recorder.dropped_count() << " dropped";
+        }
+        std::cerr << ")\n";
+      } else {
+        std::cerr << "trace: " << trace_error << "\n";
+        rc |= 1;
+      }
+    }
+    return rc;
   } catch (const std::exception& ex) {
     std::cerr << ex.what() << "\n";
     return 1;

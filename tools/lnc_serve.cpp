@@ -19,6 +19,11 @@
 //       stderr. Exits nonzero when the daemon reports an error. The
 //       connect retries until --timeout seconds, so a script can start
 //       the daemon and query it with no sleep in between.
+//
+//   lnc_serve --query-stats (--socket PATH | --tcp PORT)
+//       Ask a running daemon for its monotonic query totals and latency
+//       metrics ({"op": "stats"} on the wire — runs no trials): raw
+//       response JSON on stdout, a one-line summary on stderr.
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -43,6 +48,7 @@ int usage(std::ostream& os, int code) {
         "                  --request JSONLINE)\n"
         "                 [--trials N] [--seed S] [--n A,B,C]\n"
         "                 [--param k=v]... [--timeout SECONDS]\n"
+        "       lnc_serve --query-stats (--socket PATH | --tcp PORT)\n"
         "The daemon answers spec queries from a content-addressed cache\n"
         "of merged sweep results: repeated queries hit without running a\n"
         "single trial, and a raised trial count computes only the missing\n"
@@ -55,6 +61,7 @@ struct Options {
   bool help = false;
   bool version = false;
   bool query = false;
+  bool query_stats = false;
   std::string socket_path;
   int tcp_port = 0;
   std::string cache_dir;
@@ -88,6 +95,8 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
       options.version = true;
     } else if (arg == "--query") {
       options.query = true;
+    } else if (arg == "--query-stats") {
+      options.query_stats = true;
     } else if (arg == "--socket") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.socket_path = value;
@@ -299,6 +308,47 @@ int query_mode(const Options& options) {
   return 0;
 }
 
+/// {"op": "stats"}: raw response on stdout (scripts), a one-line totals
+/// summary on stderr (humans / CI greps).
+int stats_mode(const Options& options) {
+  if (options.socket_path.empty() && options.tcp_port == 0) {
+    std::cerr << "--query-stats needs --socket PATH or --tcp PORT\n";
+    return 2;
+  }
+  serve::Endpoint endpoint;
+  endpoint.socket_path = options.socket_path;
+  endpoint.tcp_port = options.tcp_port;
+  std::string response;
+  std::string error;
+  if (!serve::query_daemon(endpoint, "{\"op\": \"stats\"}",
+                           options.timeout_seconds, response, error)) {
+    std::cerr << "lnc_serve: " << error << "\n";
+    return 1;
+  }
+  std::cout << response << "\n";
+  try {
+    const scenario::Json root = scenario::Json::parse(response);
+    if (root.at("status").as_string() != "ok") {
+      std::cerr << "lnc_serve: daemon error: "
+                << root.at("error").as_string() << "\n";
+      return 1;
+    }
+    const scenario::Json& stats = root.at("stats");
+    std::cerr << "stats: queries=" << stats.at("queries").as_uint64()
+              << " hits=" << stats.at("hits").as_uint64()
+              << " topups=" << stats.at("topups").as_uint64()
+              << " misses=" << stats.at("misses").as_uint64()
+              << " trials_reused=" << stats.at("trials_reused").as_uint64()
+              << " trials_computed="
+              << stats.at("trials_computed").as_uint64() << "\n";
+  } catch (const std::exception& ex) {
+    std::cerr << "lnc_serve: malformed daemon response: " << ex.what()
+              << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -313,6 +363,11 @@ int main(int argc, char** argv) {
     std::cout << "lnc_serve (" << util::build_identity() << ")\n";
     return 0;
   }
+  if (options.query && options.query_stats) {
+    std::cerr << "pick one of --query, --query-stats\n";
+    return usage(std::cerr, 2);
+  }
+  if (options.query_stats) return stats_mode(options);
   if (options.query) return query_mode(options);
 
   if (options.socket_path.empty()) {

@@ -29,6 +29,8 @@
 //   --shard i/k      run only trial slice i of k (emits a mergeable tally)
 //   --threads N      worker threads (0 = hardware concurrency; default 1)
 //   --out FILE       also write the result as JSON (shard or complete)
+//   --trace FILE     write a Chrome trace-event JSON span profile
+//   --progress       live heartbeat lines (throughput / ETA) on stderr
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -38,6 +40,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "scenario/presets.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
@@ -67,7 +72,8 @@ int usage(std::ostream& os, int code) {
         "           --execution auto|materialized|implicit\n"
         "           --fault NAME | --fault-param k=v\n"
         "           --shard i/k | --threads N | --out FILE | --telemetry\n"
-        "           --trial-range B:E | --cache DIR | --help | --version\n"
+        "           --trial-range B:E | --cache DIR | --trace FILE\n"
+        "           --progress | --help | --version\n"
         "value/counter workloads measure a registered statistic of the\n"
         "construction's output (mean/stddev via exact sums, or exact\n"
         "integer totals) instead of a success probability; sharded value\n"
@@ -88,6 +94,13 @@ int usage(std::ostream& os, int code) {
         "--trials runs only the missing trial range and merges exactly.\n"
         "--trial-range B:E runs only trials [B, E) — the slice form of\n"
         "--shard, used by cache top-ups and range-partitioned fleets.\n"
+        "--trace FILE records hierarchical spans (sweep/row/batch/\n"
+        "node-range) as Chrome trace-event JSON — open in Perfetto or\n"
+        "chrome://tracing — and adds a `metrics` block (latency\n"
+        "histograms) to --out JSON. --progress prints rate-limited\n"
+        "heartbeats (trials or nodes done, throughput, ETA) to stderr.\n"
+        "Both are timing-only: results are bit-identical with or without\n"
+        "them (CI's observability gate enforces this).\n"
         "--fault picks a fault model from the faults registry (see --list):\n"
         "lossy links (drop), crash-stop nodes (crash), per-round edge\n"
         "churn (churn). Faulty runs draw every fault from a dedicated\n"
@@ -191,6 +204,8 @@ struct Options {
   unsigned threads = 1;
   bool telemetry = false;
   std::optional<std::string> out_file;
+  std::optional<std::string> trace_file;
+  bool progress = false;
 };
 
 bool parse_args(int argc, char** argv, Options& options, std::string& error) {
@@ -427,6 +442,11 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
     } else if (arg == "--out") {
       if ((value = next_value(i, arg)) == nullptr) return false;
       options.out_file = value;
+    } else if (arg == "--trace") {
+      if ((value = next_value(i, arg)) == nullptr) return false;
+      options.trace_file = value;
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (arg == "--help") {
       options.help = true;
     } else if (arg == "--version") {
@@ -510,10 +530,34 @@ void print_telemetry_summary(std::ostream& os,
      << " messages_dropped=" << total.messages_dropped
      << " nodes_crashed=" << total.nodes_crashed
      << " edges_churned=" << total.edges_churned << "\n";
-  os << "timing[" << result.scenario << "]: wall_ms="
-     << static_cast<std::uint64_t>(total.wall_seconds * 1e3)
-     << " arena_peak_bytes=" << total.arena_peak_bytes << "\n\n";
+  // cpu-trial-secs is the SUM of per-trial wall time across workers
+  // (telemetry.wall_seconds) — on an 8-thread run it reads ~8x the true
+  // elapsed time; wall-secs is the real elapsed wall-clock summed over
+  // the rows' single per-grid-point measurements.
+  double elapsed = 0.0;
+  for (const scenario::SweepRow& row : result.rows) {
+    elapsed += row.elapsed_seconds;
+  }
+  std::ostringstream timing;
+  timing.precision(3);
+  timing << std::fixed << "timing[" << result.scenario
+         << "]: cpu-trial-secs=" << total.wall_seconds
+         << " wall-secs=" << elapsed
+         << " arena_peak_bytes=" << total.arena_peak_bytes;
+  os << timing.str() << "\n\n";
 }
+
+/// Owns the global node-granularity heartbeat for one run and guarantees
+/// uninstall-before-destroy on every exit path.
+struct NodeProgressGuard {
+  std::optional<obs::Progress> heartbeat;
+  ~NodeProgressGuard() {
+    if (heartbeat) {
+      obs::install_node_progress(nullptr);
+      heartbeat->finish();
+    }
+  }
+};
 
 int run_one(const scenario::ScenarioSpec& spec, const Options& options,
             bool multiple_specs, const stats::ThreadPool* pool,
@@ -522,6 +566,15 @@ int run_one(const scenario::ScenarioSpec& spec, const Options& options,
   if (!error.empty()) {
     std::cerr << "invalid scenario '" << spec.name << "': " << error << "\n";
     return 1;
+  }
+  // Node-granularity heartbeat (implicit streaming loops tick it through
+  // the global channel); trial-granularity progress is wired through
+  // SweepOptions below. Both print to stderr — stdout owns the tables.
+  NodeProgressGuard node_progress;
+  if (options.progress) {
+    node_progress.heartbeat.emplace("nodes:" + spec.name, 0, "nodes",
+                                    &std::cerr);
+    obs::install_node_progress(&*node_progress.heartbeat);
   }
   if (options.trial_range && options.trial_range->end > spec.trials) {
     std::cerr << "--trial-range [" << options.trial_range->begin << ", "
@@ -558,7 +611,20 @@ int run_one(const scenario::ScenarioSpec& spec, const Options& options,
     sweep_options.shard_count = options.shard_count;
     sweep_options.trial_range = options.trial_range;
     sweep_options.pool = pool;
+    std::optional<obs::Progress> trial_progress;
+    if (options.progress) {
+      const local::TrialRange range =
+          options.trial_range
+              ? *options.trial_range
+              : local::shard_range(spec.trials, options.shard,
+                                   options.shard_count);
+      trial_progress.emplace(
+          "sweep:" + spec.name,
+          range.count() * compiled.points().size(), "trials", &std::cerr);
+      sweep_options.progress = &*trial_progress;
+    }
     result = scenario::run_sweep(compiled, sweep_options);
+    if (trial_progress) trial_progress->finish();
   }
 
   os << "=== " << spec.name << " — " << spec.topology << " / "
@@ -692,6 +758,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (options.trace_file) {
+    // --trace turns on both pillars that cost anything: span recording
+    // and the metrics registries (which then land as the result JSON's
+    // `metrics` block). Results stay bit-identical either way — the CI
+    // observability gate holds lnc_sweep to that.
+    obs::TraceRecorder::instance().enable();
+    obs::set_metrics_enabled(true);
+  }
+
   std::optional<stats::ThreadPool> pool;
   if (options.threads != 1) pool.emplace(options.threads);
 
@@ -711,6 +786,24 @@ int main(int argc, char** argv) {
     apply_overrides(options, spec);
     rc |= run_one(spec, options, specs.size() > 1, pool ? &*pool : nullptr,
                   service ? &*service : nullptr, std::cout);
+  }
+
+  if (options.trace_file) {
+    // Workers are idle by now (the pool outlives every sweep), so the
+    // buffers are quiescent and the write is race-free.
+    const obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+    std::string trace_error;
+    if (!recorder.write_file(*options.trace_file, &trace_error)) {
+      std::cerr << "cannot write trace: " << trace_error << "\n";
+      rc |= 1;
+    } else {
+      std::cerr << "trace: wrote " << *options.trace_file << " ("
+                << recorder.event_count() << " spans";
+      if (recorder.dropped_count() > 0) {
+        std::cerr << ", " << recorder.dropped_count() << " dropped";
+      }
+      std::cerr << ")\n";
+    }
   }
   return rc;
 }
